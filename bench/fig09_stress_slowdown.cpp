@@ -1,0 +1,102 @@
+// Reproduces paper Figure 9: slowdown of the synthetic cyclic-exchange
+// stress test under (a) the previous centralized implementation and (b) the
+// distributed wait state tracking implementation at fan-ins 2, 4, and 8.
+//
+// Reported benchmark time is the *virtual* application completion time of
+// the tooled run; the `slowdown` counter is its ratio to an untooled
+// reference run — the quantity Figure 9 plots. The paper's centralized
+// implementation scaled to 512 processes; the same limit applies here.
+//
+// Expected shape (paper §6): distributed slowdown is roughly constant and
+// *decreases* with scale (reference runs shift to slower inter-node
+// communication while tool cost per event stays fixed); lower fan-in gives
+// lower slowdown at the cost of more tool processes; the centralized
+// slowdown grows about linearly with the process count.
+#include <benchmark/benchmark.h>
+
+#include "bench/common.hpp"
+#include "workloads/stress.hpp"
+
+namespace {
+
+using namespace wst;
+
+constexpr std::int32_t kIterations = 50;
+
+workloads::StressParams stressParams() {
+  workloads::StressParams params;
+  params.iterations = kIterations;
+  params.bytes = 4;  // a single integer, as in the paper
+  params.barrierEvery = 10;
+  return params;
+}
+
+must::HarnessResult reference(std::int32_t procs) {
+  return must::runReference(procs, bench::sierraLike(),
+                            workloads::cyclicExchange(stressParams()));
+}
+
+void reportRun(benchmark::State& state, const must::HarnessResult& tooled,
+               const must::HarnessResult& ref) {
+  state.SetIterationTime(sim::toSeconds(tooled.completionTime));
+  state.counters["slowdown"] = tooled.slowdownOver(ref);
+  state.counters["ref_ms"] = sim::toSeconds(ref.completionTime) * 1e3;
+  state.counters["tool_ms"] = sim::toSeconds(tooled.completionTime) * 1e3;
+  state.counters["tool_msgs"] = static_cast<double>(tooled.toolMessages);
+  state.counters["deadlock"] = tooled.deadlockReported ? 1 : 0;
+}
+
+void BM_StressDistributed(benchmark::State& state) {
+  const auto procs = static_cast<std::int32_t>(state.range(0));
+  const auto fanIn = static_cast<std::int32_t>(state.range(1));
+  const auto ref = reference(procs);
+  must::HarnessResult tooled;
+  for (auto _ : state) {
+    tooled = must::runWithTool(procs, bench::sierraLike(),
+                               bench::distributedTool(fanIn),
+                               workloads::cyclicExchange(stressParams()));
+  }
+  reportRun(state, tooled, ref);
+}
+
+void BM_StressCentralized(benchmark::State& state) {
+  const auto procs = static_cast<std::int32_t>(state.range(0));
+  const auto ref = reference(procs);
+  must::HarnessResult tooled;
+  for (auto _ : state) {
+    tooled = must::runWithTool(procs, bench::sierraLike(),
+                               bench::centralizedTool(procs),
+                               workloads::cyclicExchange(stressParams()));
+  }
+  reportRun(state, tooled, ref);
+}
+
+void distributedArgs(benchmark::internal::Benchmark* b) {
+  for (const std::int64_t fanIn : {2, 4, 8}) {
+    for (std::int64_t p = 16; p <= 4096; p *= 4) {
+      b->Args({p, fanIn});
+    }
+  }
+}
+
+BENCHMARK(BM_StressDistributed)
+    ->Apply(distributedArgs)
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->ArgNames({"p", "fanin"});
+
+BENCHMARK(BM_StressCentralized)
+    ->Args({16})
+    ->Args({64})
+    ->Args({128})
+    ->Args({256})
+    ->Args({512})
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->ArgNames({"p"});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Reproduces paper Figure 10: deadlock detection time for the wildcard
+// receive stress case — every rank posts Recv(MPI_ANY_SOURCE) without any
+// matching send, producing a wait-for graph of maximal size (p² arcs).
+//
+// 10(a): total detection time from the detection timeout to the root's
+// report. 10(b): breakdown into the paper's five activity groups —
+// Synchronization (consistent-state protocol), WFG gather, Graph build,
+// Deadlock check, and Output generation (DOT + HTML).
+//
+// Convention (see EXPERIMENTS.md): network phases (synchronization, gather)
+// are simulated virtual time; compute phases (build/check/output) are
+// measured wall time of the real computation at the root. The paper's
+// headline observation — output generation dominating (~75%) at scale,
+// synchronization negligible — emerges from the p²-sized DOT graph.
+#include <benchmark/benchmark.h>
+
+#include "bench/common.hpp"
+#include "workloads/stress.hpp"
+
+namespace {
+
+using namespace wst;
+
+void BM_WildcardDetection(benchmark::State& state) {
+  const auto procs = static_cast<std::int32_t>(state.range(0));
+  must::HarnessResult result;
+  for (auto _ : state) {
+    result = must::runWithTool(procs, bench::sierraLike(),
+                               bench::distributedTool(4),
+                               workloads::wildcardDeadlock());
+  }
+  if (!result.deadlockReported) {
+    state.SkipWithError("deadlock not detected");
+    return;
+  }
+  const wfg::DetectionTimes& t = result.report->times;
+  state.SetIterationTime(sim::toSeconds(t.totalNs()));
+  const double total = static_cast<double>(t.totalNs());
+  state.counters["total_ms"] = total / 1e6;
+  state.counters["sync_pct"] = 100.0 * t.synchronizationNs / total;
+  state.counters["gather_pct"] = 100.0 * t.wfgGatherNs / total;
+  state.counters["build_pct"] = 100.0 * t.graphBuildNs / total;
+  state.counters["check_pct"] = 100.0 * t.deadlockCheckNs / total;
+  state.counters["output_pct"] = 100.0 * t.outputGenerationNs / total;
+  state.counters["arcs"] = static_cast<double>(result.report->check.arcCount);
+  state.counters["dot_MB"] =
+      static_cast<double>(result.report->dotBytes) / 1e6;
+}
+
+BENCHMARK(BM_WildcardDetection)
+    ->RangeMultiplier(2)
+    ->Range(16, 4096)
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->ArgNames({"p"});
+
+}  // namespace
+
+BENCHMARK_MAIN();

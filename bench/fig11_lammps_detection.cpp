@@ -1,0 +1,57 @@
+// Reproduces paper Figure 11: detection time for the potential send-send
+// deadlock in 126.lammps. The application itself completes (the MPI buffers
+// standard-mode sends) but the conservative blocking model b stalls the wait
+// state analysis at the unsafe exchange; the timeout-triggered detection
+// then reports a deadlock whose wait-for graph is tiny (a cycle between
+// neighbour ranks) — so, unlike the wildcard case of Figure 10, output
+// generation is cheap and the total detection time stays low.
+#include <benchmark/benchmark.h>
+
+#include "bench/common.hpp"
+#include "workloads/spec.hpp"
+
+namespace {
+
+using namespace wst;
+
+void BM_LammpsDetection(benchmark::State& state) {
+  const auto procs = static_cast<std::int32_t>(state.range(0));
+  const workloads::SpecApp* app = workloads::findSpecApp("126.lammps");
+  workloads::SpecScale scale;
+  scale.iterations = 10;
+  scale.computeScale = 256.0 / procs;
+  must::HarnessResult result;
+  for (auto _ : state) {
+    result = must::runWithTool(procs, bench::sierraLike(),
+                               bench::distributedTool(4),
+                               app->make(scale));
+  }
+  if (!result.deadlockReported) {
+    state.SkipWithError("potential deadlock not detected");
+    return;
+  }
+  const wfg::DetectionTimes& t = result.report->times;
+  state.SetIterationTime(sim::toSeconds(t.totalNs()));
+  const double total = static_cast<double>(t.totalNs());
+  state.counters["total_ms"] = total / 1e6;
+  state.counters["sync_pct"] = 100.0 * t.synchronizationNs / total;
+  state.counters["gather_pct"] = 100.0 * t.wfgGatherNs / total;
+  state.counters["build_pct"] = 100.0 * t.graphBuildNs / total;
+  state.counters["check_pct"] = 100.0 * t.deadlockCheckNs / total;
+  state.counters["output_pct"] = 100.0 * t.outputGenerationNs / total;
+  state.counters["arcs"] = static_cast<double>(result.report->check.arcCount);
+  state.counters["deadlocked"] =
+      static_cast<double>(result.report->check.deadlocked.size());
+}
+
+BENCHMARK(BM_LammpsDetection)
+    ->RangeMultiplier(2)
+    ->Range(16, 2048)
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->ArgNames({"p"});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// The paper's synthetic stress test (§6, Figure 9) as a runnable example:
+// compares an untooled reference run against the distributed tool at a
+// chosen fan-in and against the centralized baseline.
+//
+//   $ ./examples/stress_test [procs] [fanIn] [iterations]
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/common.hpp"
+#include "workloads/stress.hpp"
+
+using namespace wst;
+
+int main(int argc, char** argv) {
+  const std::int32_t procs = argc > 1 ? std::atoi(argv[1]) : 64;
+  const std::int32_t fanIn = argc > 2 ? std::atoi(argv[2]) : 2;
+  const std::int32_t iterations = argc > 3 ? std::atoi(argv[3]) : 50;
+
+  workloads::StressParams params;
+  params.iterations = iterations;
+  const auto program = workloads::cyclicExchange(params);
+  const mpi::RuntimeConfig mpiCfg = bench::sierraLike();
+
+  std::printf("cyclic exchange stress test: %d ranks, %d iterations, "
+              "barrier every %d\n\n",
+              procs, iterations, params.barrierEvery);
+
+  const auto ref = must::runReference(procs, mpiCfg, program);
+  std::printf("reference:    %8.3f ms virtual runtime\n",
+              sim::toSeconds(ref.completionTime) * 1e3);
+
+  const auto dist = must::runWithTool(procs, mpiCfg,
+                                      bench::distributedTool(fanIn), program);
+  std::printf("distributed (fan-in %d): %8.3f ms  -> slowdown %.1fx, "
+              "%llu tool messages\n",
+              fanIn, sim::toSeconds(dist.completionTime) * 1e3,
+              dist.slowdownOver(ref),
+              static_cast<unsigned long long>(dist.toolMessages));
+
+  if (procs <= 512) {
+    const auto cent = must::runWithTool(
+        procs, mpiCfg, bench::centralizedTool(procs), program);
+    std::printf("centralized baseline:    %8.3f ms  -> slowdown %.1fx\n",
+                sim::toSeconds(cent.completionTime) * 1e3,
+                cent.slowdownOver(ref));
+  } else {
+    std::printf("centralized baseline: skipped (scales to 512 ranks, as in "
+                "the paper)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,202 @@
+#include "match/central_matcher.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+#include "support/strings.hpp"
+
+namespace wst::match {
+
+using trace::Kind;
+using trace::OpId;
+using trace::ProcId;
+using trace::Record;
+
+CentralMatcher::CentralMatcher(std::int32_t procCount,
+                               const waitstate::CommView& comms)
+    : trace_(procCount),
+      comms_(comms),
+      collSeq_(static_cast<std::size_t>(procCount)) {}
+
+void CentralMatcher::registerComm(mpi::CommId comm,
+                                  std::vector<trace::ProcId> group) {
+  trace_.setCommGroup(comm, std::move(group));
+}
+
+void CentralMatcher::onEvent(const trace::Event& event) {
+  if (const auto* newOp = std::get_if<trace::NewOpEvent>(&event)) {
+    onNewOp(*newOp);
+  } else {
+    onMatchInfo(std::get<trace::MatchInfoEvent>(event));
+  }
+}
+
+void CentralMatcher::onNewOp(const trace::NewOpEvent& ev) {
+  const Record& rec = ev.rec;
+  trace_.append(rec);
+  const ProcId p = rec.id.proc;
+
+  switch (rec.kind) {
+    case Kind::kSend:
+    case Kind::kIsend: {
+      pendingSends_[ChannelKey{p, rec.peer, rec.comm}].push_back(
+          PendingSend{rec.id, rec.tag});
+      tryMatchProbes(rec.peer);
+      tryMatch(rec.peer, rec.comm);
+      break;
+    }
+    case Kind::kSendrecv: {
+      pendingSends_[ChannelKey{p, rec.peer, rec.comm}].push_back(
+          PendingSend{rec.id, rec.tag});
+      tryMatchProbes(rec.peer);
+      tryMatch(rec.peer, rec.comm);
+      pendingRecvs_[{p, rec.comm}].push_back(
+          PendingRecv{rec.id, rec.recvPeer, rec.recvTag});
+      tryMatch(p, rec.comm);
+      break;
+    }
+    case Kind::kRecv:
+    case Kind::kIrecv: {
+      pendingRecvs_[{p, rec.comm}].push_back(
+          PendingRecv{rec.id, rec.peer, rec.tag});
+      tryMatch(p, rec.comm);
+      break;
+    }
+    case Kind::kProbe: {
+      pendingProbes_[{p, rec.comm}].push_back(
+          PendingRecv{rec.id, rec.peer, rec.tag});
+      tryMatchProbes(p);
+      break;
+    }
+    case Kind::kCollective: {
+      const std::uint32_t seq = collSeq_[static_cast<std::size_t>(p)]
+                                        [rec.comm]++;
+      const auto key = std::make_pair(rec.comm, seq);
+      auto it = waves_.find(key);
+      if (it == waves_.end()) {
+        const auto groupSize = static_cast<std::uint32_t>(
+            comms_.group(rec.comm).size());
+        const std::size_t waveIdx =
+            trace_.addCollectiveWave(rec.comm, rec.collective, groupSize);
+        it = waves_.emplace(key, Wave{waveIdx, rec.collective, rec.root})
+                 .first;
+      } else if (it->second.kind != rec.collective ||
+                 it->second.root != rec.root) {
+        errors_.push_back(support::format(
+            "collective mismatch on comm %d wave %u: %s(root:%d) vs "
+            "%s(root:%d) by rank %d",
+            rec.comm, seq, mpi::toString(it->second.kind), it->second.root,
+            mpi::toString(rec.collective), rec.root, p));
+      }
+      trace_.addToWave(it->second.waveIdx, rec.id);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void CentralMatcher::onMatchInfo(const trace::MatchInfoEvent& ev) {
+  const ProcId p = ev.recvOp.proc;
+  const Record& rec = trace_.op(ev.recvOp);
+  auto resolveIn = [&](std::deque<PendingRecv>& list) -> bool {
+    for (PendingRecv& pending : list) {
+      if (pending.op == ev.recvOp) {
+        pending.resolved = true;
+        pending.resolvedSource = ev.source;
+        pending.resolvedTag = ev.tag;
+        return true;
+      }
+    }
+    return false;
+  };
+  if (rec.kind == Kind::kProbe) {
+    if (resolveIn(pendingProbes_[{p, rec.comm}])) tryMatchProbes(p);
+    return;
+  }
+  if (resolveIn(pendingRecvs_[{p, rec.comm}])) tryMatch(p, rec.comm);
+}
+
+void CentralMatcher::tryMatch(ProcId proc, mpi::CommId comm) {
+  const auto it = pendingRecvs_.find({proc, comm});
+  if (it == pendingRecvs_.end()) return;
+  auto& list = it->second;
+
+  bool anyTagBlocked = false;
+  std::vector<mpi::Tag> blockedTags;
+
+  for (auto lit = list.begin(); lit != list.end();) {
+    PendingRecv& recv = *lit;
+    if (recv.src == mpi::kAnySource && !recv.resolved) {
+      if (recv.tag == mpi::kAnyTag) {
+        anyTagBlocked = true;
+        break;
+      }
+      blockedTags.push_back(recv.tag);
+      ++lit;
+      continue;
+    }
+    const mpi::Rank source = recv.resolved ? recv.resolvedSource : recv.src;
+    const mpi::Tag tag = recv.resolved ? recv.resolvedTag : recv.tag;
+
+    const auto chIt = pendingSends_.find(ChannelKey{source, proc, comm});
+    bool matched = false;
+    if (chIt != pendingSends_.end()) {
+      auto& sends = chIt->second;
+      for (auto sit = sends.begin(); sit != sends.end(); ++sit) {
+        if (tag != mpi::kAnyTag && sit->tag != tag) continue;
+        if (anyTagBlocked) break;
+        if (std::find(blockedTags.begin(), blockedTags.end(), sit->tag) !=
+            blockedTags.end()) {
+          continue;
+        }
+        trace_.matchSendRecv(sit->op, recv.op);
+        ++matches_;
+        sends.erase(sit);
+        matched = true;
+        break;
+      }
+    }
+    if (matched) {
+      lit = list.erase(lit);
+    } else {
+      ++lit;
+    }
+  }
+}
+
+void CentralMatcher::tryMatchProbes(ProcId proc) {
+  for (auto& [key, list] : pendingProbes_) {
+    if (key.first != proc) continue;
+    const mpi::CommId comm = key.second;
+    for (auto lit = list.begin(); lit != list.end();) {
+      PendingRecv& probe = *lit;
+      const bool needResolution =
+          probe.src == mpi::kAnySource && !probe.resolved;
+      if (needResolution) {
+        ++lit;
+        continue;  // wildcard probe waits for its MatchInfo
+      }
+      const mpi::Rank source =
+          probe.resolved ? probe.resolvedSource : probe.src;
+      const mpi::Tag tag = probe.resolved ? probe.resolvedTag : probe.tag;
+      const auto chIt = pendingSends_.find(ChannelKey{source, proc, comm});
+      bool matched = false;
+      if (chIt != pendingSends_.end()) {
+        for (const PendingSend& send : chIt->second) {
+          if (tag != mpi::kAnyTag && send.tag != tag) continue;
+          trace_.matchProbe(probe.op, send.op);
+          matched = true;
+          break;
+        }
+      }
+      if (matched) {
+        lit = list.erase(lit);
+      } else {
+        ++lit;
+      }
+    }
+  }
+}
+
+}  // namespace wst::match

@@ -1,0 +1,99 @@
+// Centralized point-to-point and collective matching.
+//
+// Consumes the globally ordered event stream of one application run (call
+// records plus wildcard MatchInfo observations) and produces the MatchedTrace
+// the formal transition system analyzes. This is the matching engine of the
+// centralized baseline tool (paper Figure 1(a)) and the oracle against which
+// the distributed first-layer matching is property-tested.
+//
+// Matching rules implemented (identical to the distributed matcher):
+//  * per (source, destination, communicator) channels are FIFO;
+//  * a consuming receive matches the earliest compatible pending send;
+//  * a wildcard (MPI_ANY_SOURCE) receive is matched only once the observed
+//    execution reveals its source (MatchInfo) — an unresolved wildcard
+//    blocks the tags it could claim for receives posted after it;
+//  * probes reference their send without consuming it;
+//  * collectives match into waves: the nth collective call of a process on a
+//    communicator joins the communicator's nth wave. Kind/root consistency
+//    violations are recorded as usage errors (the CollectiveMatch analysis).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/event.hpp"
+#include "trace/matched_trace.hpp"
+#include "waitstate/comm_view.hpp"
+
+namespace wst::match {
+
+class CentralMatcher {
+ public:
+  CentralMatcher(std::int32_t procCount, const waitstate::CommView& comms);
+
+  /// Feed one event; events must arrive in a global order consistent with
+  /// per-process call order.
+  void onEvent(const trace::Event& event);
+
+  /// Number of point-to-point matches made so far.
+  std::uint64_t matches() const { return matches_; }
+
+  /// Collective mismatches and similar MPI usage errors found during
+  /// matching.
+  const std::vector<std::string>& usageErrors() const { return errors_; }
+
+  /// The matched trace (valid at any point; typically read after the run).
+  const trace::MatchedTrace& trace() const { return trace_; }
+  trace::MatchedTrace takeTrace() { return std::move(trace_); }
+
+  /// Register a communicator group discovered during the run (Comm_dup /
+  /// Comm_split results). World is pre-registered.
+  void registerComm(mpi::CommId comm, std::vector<trace::ProcId> group);
+
+ private:
+  struct ChannelKey {
+    trace::ProcId src;
+    trace::ProcId dst;
+    mpi::CommId comm;
+    auto operator<=>(const ChannelKey&) const = default;
+  };
+  struct PendingSend {
+    trace::OpId op;
+    mpi::Tag tag;
+  };
+  struct PendingRecv {
+    trace::OpId op;
+    mpi::Rank src;       // kAnySource for unresolved wildcards
+    mpi::Tag tag;
+    bool resolved = false;
+    mpi::Rank resolvedSource = -1;
+    mpi::Tag resolvedTag = mpi::kAnyTag;
+  };
+  struct Wave {
+    std::size_t waveIdx;  // index into trace_.waves()
+    mpi::CollectiveKind kind;
+    mpi::Rank root;
+  };
+
+  void onNewOp(const trace::NewOpEvent& ev);
+  void onMatchInfo(const trace::MatchInfoEvent& ev);
+  void tryMatch(trace::ProcId proc, mpi::CommId comm);
+  void tryMatchProbes(trace::ProcId proc);
+
+  trace::MatchedTrace trace_;
+  const waitstate::CommView& comms_;
+  std::map<ChannelKey, std::deque<PendingSend>> pendingSends_;
+  std::map<std::pair<trace::ProcId, mpi::CommId>, std::deque<PendingRecv>>
+      pendingRecvs_;
+  std::map<std::pair<trace::ProcId, mpi::CommId>, std::deque<PendingRecv>>
+      pendingProbes_;
+  std::map<std::pair<mpi::CommId, std::uint32_t>, Wave> waves_;
+  std::vector<std::map<mpi::CommId, std::uint32_t>> collSeq_;  // per proc
+  std::uint64_t matches_ = 0;
+  std::vector<std::string> errors_;
+};
+
+}  // namespace wst::match

@@ -1,0 +1,54 @@
+// Communicators and groups of the simulated MPI runtime.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mpi/types.hpp"
+#include "support/assert.hpp"
+
+namespace wst::mpi {
+
+/// A communicator: an ordered group of world ranks. Local rank r within the
+/// communicator maps to world rank group()[r].
+class Communicator {
+ public:
+  Communicator(CommId id, std::vector<Rank> group, std::int32_t worldSize)
+      : id_(id), group_(std::move(group)), worldToLocal_(worldSize, -1) {
+    for (std::size_t i = 0; i < group_.size(); ++i) {
+      WST_ASSERT(group_[i] >= 0 && group_[i] < worldSize,
+                 "communicator group member out of range");
+      WST_ASSERT(worldToLocal_[static_cast<std::size_t>(group_[i])] == -1,
+                 "communicator group member duplicated");
+      worldToLocal_[static_cast<std::size_t>(group_[i])] =
+          static_cast<Rank>(i);
+    }
+  }
+
+  CommId id() const { return id_; }
+  const std::vector<Rank>& group() const { return group_; }
+  std::int32_t size() const { return static_cast<std::int32_t>(group_.size()); }
+
+  /// World rank of local rank `local`.
+  Rank toWorld(Rank local) const {
+    WST_ASSERT(local >= 0 && local < size(), "local rank out of range");
+    return group_[static_cast<std::size_t>(local)];
+  }
+
+  /// Local rank of world rank `world`, or -1 if not a member.
+  Rank toLocal(Rank world) const {
+    WST_ASSERT(world >= 0 &&
+                   world < static_cast<Rank>(worldToLocal_.size()),
+               "world rank out of range");
+    return worldToLocal_[static_cast<std::size_t>(world)];
+  }
+
+  bool contains(Rank world) const { return toLocal(world) >= 0; }
+
+ private:
+  CommId id_;
+  std::vector<Rank> group_;
+  std::vector<Rank> worldToLocal_;
+};
+
+}  // namespace wst::mpi

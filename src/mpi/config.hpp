@@ -1,0 +1,92 @@
+// Cost model and policy configuration of the simulated MPI runtime.
+#pragma once
+
+#include <cstdint>
+
+#include "mpi/types.hpp"
+#include "sim/time.hpp"
+
+namespace wst::mpi {
+
+/// Timing and semantics configuration.
+///
+/// Defaults approximate the paper's testbed (LLNL Sierra: 12 cores/node,
+/// QDR InfiniBand): sub-microsecond shared-memory latency inside a node,
+/// a couple of microseconds across nodes. The exact values matter less than
+/// the *ratios*, which drive the slowdown shapes of paper Figures 9 and 12.
+struct RuntimeConfig {
+  /// Number of ranks placed per simulated node; peers on the same node
+  /// communicate with intra-node latency. Sierra had 12 cores per node.
+  std::int32_t ranksPerNode = 12;
+
+  /// One-way small-message latency between ranks on the same node.
+  sim::Duration intraNodeLatency = 400;  // 0.4 us
+  /// One-way small-message latency between ranks on different nodes.
+  sim::Duration interNodeLatency = 1'800;  // 1.8 us
+
+  /// Per-byte transfer cost (inverse bandwidth), intra node (~20 GB/s).
+  sim::Duration intraNodePerByte = 0;  // modelled as 0.05ns/B rounded down
+  /// Per-byte transfer cost across nodes (~3 GB/s effective for QDR).
+  sim::Duration interNodePerByte = 0;
+
+  /// Local software overhead of issuing any MPI call.
+  sim::Duration callOverhead = 60;
+
+  /// Messages at most this large complete eagerly for standard-mode sends
+  /// when buffering is enabled (typical rendezvous threshold).
+  Bytes eagerThreshold = 4096;
+
+  /// Whether the modeled MPI implementation buffers standard-mode sends that
+  /// fall under the eager threshold. Buffering hides send-send deadlocks
+  /// (paper Figure 2(b) and the 126.lammps case); disabling it makes every
+  /// standard send synchronous.
+  bool bufferStandardSends = true;
+
+  /// Collective synchronization behaviour of the modeled implementation.
+  CollectiveSync collectiveSync = CollectiveSync::kSynchronizing;
+
+  /// Per-hop cost of a collective algorithm step (tree algorithms pay
+  /// ceil(log2(p)) such steps plus network latency per hop).
+  sim::Duration collectiveHopCost = 250;
+
+  /// Buffered-send backlog congestion: when a rank has more than
+  /// `eagerBacklogThreshold` outstanding (sent but not yet matched) eager
+  /// sends, each further eager send's delivery pays `eagerBacklogPenalty`
+  /// per excess message. Models the MPI-internal degradation from "high
+  /// amounts of buffered sends" the paper observes for 137.lu (§6): a tool
+  /// that throttles the sender keeps the backlog low and can *speed up*
+  /// such an application. 0 disables the model.
+  sim::Duration eagerBacklogPenalty = 0;
+  std::uint32_t eagerBacklogThreshold = 16;
+
+  /// Unexpected-message queue pathology: each receive pays this per message
+  /// sitting unmatched in its unexpected queue when it matches (real MPI
+  /// implementations scan that queue). A producer racing ahead with eager
+  /// sends floods the consumer's queue and degrades the *consumer* — the
+  /// throttling effect through which an attached tool can accelerate
+  /// 137.lu-style applications (paper §6). 0 disables the model.
+  sim::Duration unexpectedScanPenalty = 0;
+
+  /// Eager-to-rendezvous fallback: a standard/buffered send destined to a
+  /// rank whose unexpected queue already holds this many messages completes
+  /// synchronously instead of eagerly (real implementations stop accepting
+  /// eager traffic when receive-side buffering fills). Couples a runaway
+  /// producer to its consumer. 0 disables the fallback.
+  std::uint32_t eagerQueueLimit = 0;
+
+  /// Deterministic seed (used only for modelled jitter; 0 disables jitter).
+  std::uint64_t seed = 0;
+
+  /// Latency between two ranks given their placement.
+  sim::Duration latency(Rank a, Rank b) const {
+    return sameNode(a, b) ? intraNodeLatency : interNodeLatency;
+  }
+  sim::Duration perByte(Rank a, Rank b) const {
+    return sameNode(a, b) ? intraNodePerByte : interNodePerByte;
+  }
+  bool sameNode(Rank a, Rank b) const {
+    return a / ranksPerNode == b / ranksPerNode;
+  }
+};
+
+}  // namespace wst::mpi

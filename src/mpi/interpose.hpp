@@ -1,0 +1,39 @@
+// Tool attachment point: the simulated equivalent of PMPI interposition.
+//
+// MUST intercepts every MPI call of every application process through
+// wrappers. Here, the runtime calls the registered Interposer at every call
+// entry (and for wildcard receives/probes once the matching decision is
+// observable). The interposer may charge the calling rank extra local cost
+// (wrapper overhead, event serialization) and may *block* the rank on a gate
+// — that is how finite tool-channel credits exert back-pressure on the
+// application, the mechanism behind the slowdowns of paper Figures 9/12.
+#pragma once
+
+#include <memory>
+
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+#include "trace/event.hpp"
+
+namespace wst::mpi {
+
+class Interposer {
+ public:
+  virtual ~Interposer() = default;
+
+  /// What the application rank must do before proceeding past this event.
+  struct Hold {
+    /// Extra local overhead charged to the calling rank.
+    sim::Duration cost = 0;
+    /// If set, the rank additionally waits until the gate opens (tool
+    /// back-pressure). The gate is owned jointly so the interposer can keep
+    /// it alive until it opens it.
+    std::shared_ptr<sim::Gate> wait;
+  };
+
+  /// Observe one event from a rank. `event` carries the assigned (i, j)
+  /// operation id. Called in call order per rank.
+  virtual Hold onEvent(const trace::Event& event) = 0;
+};
+
+}  // namespace wst::mpi

@@ -1,0 +1,440 @@
+#include "mpi/proc.hpp"
+
+#include <algorithm>
+
+#include "sim/awaitables.hpp"
+#include "support/assert.hpp"
+
+namespace wst::mpi {
+
+namespace {
+bool watchSatisfied(const std::vector<Runtime::PointOpPtr>& ops,
+                    bool needAll) {
+  if (ops.empty()) return true;
+  if (needAll) {
+    return std::all_of(ops.begin(), ops.end(),
+                       [](const auto& op) { return op->complete; });
+  }
+  return std::any_of(ops.begin(), ops.end(),
+                     [](const auto& op) { return op->complete; });
+}
+}  // namespace
+
+trace::Record Proc::base(trace::Kind kind) const {
+  trace::Record rec;
+  rec.id = trace::OpId{rank_, nextTs_};  // assigned for real in enter()
+  rec.kind = kind;
+  return rec;
+}
+
+Rank Proc::toWorld(Rank local, CommId comm) const {
+  if (local == kAnySource) return kAnySource;
+  return rt_.comm(comm).toWorld(local);
+}
+
+sim::Task Proc::enter(trace::Record rec) {
+  WST_ASSERT(!finalized_, "MPI call after MPI_Finalize");
+  rec.id = trace::OpId{rank_, nextTs_++};
+  currentId_ = rec.id;
+  ++rt_.totalCalls_;
+  if (Interposer* ip = rt_.interposer()) {
+    Interposer::Hold hold = ip->onEvent(trace::NewOpEvent{rec});
+    if (hold.cost > 0) co_await sim::Delay{rt_.engine(), hold.cost};
+    if (hold.wait) co_await hold.wait->wait();
+  }
+  if (rt_.config().callOverhead > 0) {
+    co_await sim::Delay{rt_.engine(), rt_.config().callOverhead};
+  }
+}
+
+sim::Task Proc::awaitWatch(std::vector<Runtime::PointOpPtr> ops,
+                           bool needAll) {
+  if (watchSatisfied(ops, needAll)) co_return;
+  WST_ASSERT(!watch_.active, "rank already blocked in a completion watch");
+  watch_.ops = std::move(ops);
+  watch_.needAll = needAll;
+  watch_.active = true;
+  co_await watch_.gate.wait();
+  watch_.gate.reset();
+  watch_.ops.clear();
+}
+
+void Proc::notifyRequestProgress() {
+  if (!watch_.active) return;
+  if (!watchSatisfied(watch_.ops, watch_.needAll)) return;
+  watch_.active = false;
+  watch_.gate.open();  // resumes awaitWatch, which resets the gate
+}
+
+void Proc::install(sim::Task task) {
+  program_ = std::move(task);
+  rt_.engine().schedule(0, [this] { program_.start(); });
+}
+
+// --- Point-to-point ---------------------------------------------------------
+
+sim::Task Proc::sendImpl(Rank to, Tag tag, Bytes bytes, CommId comm,
+                         SendMode mode) {
+  const Rank dst = toWorld(to, comm);
+  trace::Record rec = base(trace::Kind::kSend);
+  rec.peer = dst;
+  rec.tag = tag;
+  rec.comm = comm;
+  rec.bytes = bytes;
+  rec.sendMode = mode;
+  co_await enter(rec);
+  auto op = rt_.postSend(rank_, currentId_, dst, tag, comm, bytes, mode,
+                         /*nonblocking=*/false, kNullRequest);
+  co_await op->gate.wait();
+}
+
+sim::Task Proc::recv(Rank from, Tag tag, Status* status, CommId comm) {
+  const Rank src = toWorld(from, comm);
+  trace::Record rec = base(trace::Kind::kRecv);
+  rec.peer = src;
+  rec.tag = tag;
+  rec.comm = comm;
+  co_await enter(rec);
+  auto op = rt_.postRecv(rank_, currentId_, src, tag, comm,
+                         /*nonblocking=*/false, kNullRequest);
+  co_await op->gate.wait();
+  if (status) *status = op->status;
+}
+
+sim::Task Proc::probe(Rank from, Tag tag, Status* status, CommId comm) {
+  const Rank src = toWorld(from, comm);
+  trace::Record rec = base(trace::Kind::kProbe);
+  rec.peer = src;
+  rec.tag = tag;
+  rec.comm = comm;
+  co_await enter(rec);
+  auto op = rt_.postProbe(rank_, currentId_, src, tag, comm);
+  co_await op->gate.wait();
+  if (status) *status = op->status;
+}
+
+sim::Task Proc::iprobe(Rank from, Tag tag, bool* flag, Status* status,
+                       CommId comm) {
+  const Rank src = toWorld(from, comm);
+  trace::Record rec = base(trace::Kind::kIprobe);
+  rec.peer = src;
+  rec.tag = tag;
+  rec.comm = comm;
+  co_await enter(rec);
+  *flag = rt_.iprobeNow(rank_, src, tag, comm, status);
+}
+
+sim::Task Proc::sendrecv(Rank to, Tag sendTag, Bytes bytes, Rank from,
+                         Tag recvTag, Status* status, CommId comm) {
+  const Rank dst = toWorld(to, comm);
+  const Rank src = toWorld(from, comm);
+  trace::Record rec = base(trace::Kind::kSendrecv);
+  rec.peer = dst;
+  rec.tag = sendTag;
+  rec.recvPeer = src;
+  rec.recvTag = recvTag;
+  rec.comm = comm;
+  rec.bytes = bytes;
+  co_await enter(rec);
+  // Internally a non-blocking send + receive completed together, as the MPI
+  // standard suggests; the tool sees the single kSendrecv record above.
+  auto sendOp = rt_.postSend(rank_, currentId_, dst, sendTag, comm, bytes,
+                             SendMode::kStandard, /*nonblocking=*/true,
+                             kNullRequest);
+  auto recvOp = rt_.postRecv(rank_, currentId_, src, recvTag, comm,
+                             /*nonblocking=*/true, kNullRequest);
+  std::vector<Runtime::PointOpPtr> halves;
+  halves.push_back(sendOp);
+  halves.push_back(recvOp);
+  co_await awaitWatch(std::move(halves), /*needAll=*/true);
+  if (status) *status = recvOp->status;
+}
+
+// --- Non-blocking -------------------------------------------------------------
+
+sim::Task Proc::isend(Rank to, Tag tag, Bytes bytes, RequestId* request,
+                      CommId comm, SendMode mode) {
+  const Rank dst = toWorld(to, comm);
+  const RequestId req = nextRequest_++;
+  trace::Record rec = base(trace::Kind::kIsend);
+  rec.peer = dst;
+  rec.tag = tag;
+  rec.comm = comm;
+  rec.bytes = bytes;
+  rec.sendMode = mode;
+  rec.request = req;
+  co_await enter(rec);
+  rt_.postSend(rank_, currentId_, dst, tag, comm, bytes, mode,
+               /*nonblocking=*/true, req);
+  *request = req;
+}
+
+sim::Task Proc::irecv(Rank from, Tag tag, RequestId* request, CommId comm) {
+  const Rank src = toWorld(from, comm);
+  const RequestId req = nextRequest_++;
+  trace::Record rec = base(trace::Kind::kIrecv);
+  rec.peer = src;
+  rec.tag = tag;
+  rec.comm = comm;
+  rec.request = req;
+  co_await enter(rec);
+  rt_.postRecv(rank_, currentId_, src, tag, comm, /*nonblocking=*/true, req);
+  *request = req;
+}
+
+
+// --- Persistent requests --------------------------------------------------------
+
+RequestId Proc::resolveRequest(RequestId request) const {
+  const auto it = persistent_.find(request);
+  if (it == persistent_.end()) return request;
+  WST_ASSERT(it->second.active != kNullRequest,
+             "persistent request is not active (missing MPI_Start?)");
+  return it->second.active;
+}
+
+sim::Task Proc::sendInit(Rank to, Tag tag, Bytes bytes, RequestId* request,
+                         CommId comm, SendMode mode) {
+  const Rank dst = toWorld(to, comm);
+  const RequestId req = nextRequest_++;
+  trace::Record rec = base(trace::Kind::kSendInit);
+  rec.peer = dst;
+  rec.tag = tag;
+  rec.comm = comm;
+  rec.bytes = bytes;
+  rec.sendMode = mode;
+  co_await enter(rec);
+  persistent_.emplace(req,
+                      PersistentReq{true, dst, tag, comm, bytes, mode,
+                                    kNullRequest});
+  *request = req;
+}
+
+sim::Task Proc::recvInit(Rank from, Tag tag, RequestId* request,
+                         CommId comm) {
+  const Rank src = toWorld(from, comm);
+  const RequestId req = nextRequest_++;
+  trace::Record rec = base(trace::Kind::kRecvInit);
+  rec.peer = src;
+  rec.tag = tag;
+  rec.comm = comm;
+  co_await enter(rec);
+  persistent_.emplace(req, PersistentReq{false, src, tag, comm, 0,
+                                         SendMode::kStandard, kNullRequest});
+  *request = req;
+}
+
+sim::Task Proc::start(RequestId request) {
+  const auto it = persistent_.find(request);
+  WST_ASSERT(it != persistent_.end(), "MPI_Start on a non-persistent request");
+  PersistentReq& p = it->second;
+  WST_ASSERT(p.active == kNullRequest,
+             "MPI_Start on an already-active persistent request");
+  // Each activation is traced as a fresh non-blocking operation with its own
+  // synthetic request (paper: persistent ops behave like Isend/Irecv).
+  const RequestId synthetic = nextRequest_++;
+  trace::Record rec = base(p.isSend ? trace::Kind::kIsend
+                                    : trace::Kind::kIrecv);
+  rec.peer = p.peer;
+  rec.tag = p.tag;
+  rec.comm = p.comm;
+  rec.bytes = p.bytes;
+  rec.sendMode = p.mode;
+  rec.request = synthetic;
+  co_await enter(rec);
+  if (p.isSend) {
+    rt_.postSend(rank_, currentId_, p.peer, p.tag, p.comm, p.bytes, p.mode,
+                 /*nonblocking=*/true, synthetic);
+  } else {
+    rt_.postRecv(rank_, currentId_, p.peer, p.tag, p.comm,
+                 /*nonblocking=*/true, synthetic);
+  }
+  p.active = synthetic;
+}
+
+sim::Task Proc::startAll(std::vector<RequestId> requests) {
+  for (const RequestId r : requests) co_await start(r);
+}
+
+// --- Completions ---------------------------------------------------------------
+
+sim::Task Proc::wait(RequestId request, Status* status) {
+  const RequestId actual = resolveRequest(request);
+  trace::Record rec = base(trace::Kind::kWait);
+  rec.completes = {actual};
+  co_await enter(rec);
+  auto op = rt_.findRequest(rank_, actual);
+  WST_ASSERT(op != nullptr, "Wait on unknown request");
+  std::vector<Runtime::PointOpPtr> ops;
+  ops.push_back(op);
+  co_await awaitWatch(std::move(ops), /*needAll=*/true);
+  if (status) *status = op->status;
+  retire(request, actual);
+}
+
+sim::Task Proc::waitall(std::vector<RequestId> requests) {
+  std::vector<RequestId> actual(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    actual[i] = resolveRequest(requests[i]);
+  }
+  trace::Record rec = base(trace::Kind::kWaitall);
+  rec.completes = actual;
+  co_await enter(rec);
+  std::vector<Runtime::PointOpPtr> ops;
+  ops.reserve(actual.size());
+  for (RequestId r : actual) {
+    auto op = rt_.findRequest(rank_, r);
+    WST_ASSERT(op != nullptr, "Waitall on unknown request");
+    ops.push_back(std::move(op));
+  }
+  co_await awaitWatch(ops, /*needAll=*/true);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    retire(requests[i], actual[i]);
+  }
+}
+
+sim::Task Proc::waitany(std::vector<RequestId> requests, int* index) {
+  std::vector<RequestId> actual(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    actual[i] = resolveRequest(requests[i]);
+  }
+  trace::Record rec = base(trace::Kind::kWaitany);
+  rec.completes = actual;
+  co_await enter(rec);
+  std::vector<Runtime::PointOpPtr> ops;
+  ops.reserve(actual.size());
+  for (RequestId r : actual) {
+    auto op = rt_.findRequest(rank_, r);
+    WST_ASSERT(op != nullptr, "Waitany on unknown request");
+    ops.push_back(std::move(op));
+  }
+  co_await awaitWatch(ops, /*needAll=*/false);
+  *index = -1;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i]->complete) {
+      *index = static_cast<int>(i);
+      retire(requests[i], actual[i]);
+      break;
+    }
+  }
+  WST_ASSERT(*index >= 0, "Waitany returned without a completed request");
+}
+
+sim::Task Proc::waitsome(std::vector<RequestId> requests,
+                         std::vector<int>* indices) {
+  std::vector<RequestId> actual(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    actual[i] = resolveRequest(requests[i]);
+  }
+  trace::Record rec = base(trace::Kind::kWaitsome);
+  rec.completes = actual;
+  co_await enter(rec);
+  std::vector<Runtime::PointOpPtr> ops;
+  ops.reserve(actual.size());
+  for (RequestId r : actual) {
+    auto op = rt_.findRequest(rank_, r);
+    WST_ASSERT(op != nullptr, "Waitsome on unknown request");
+    ops.push_back(std::move(op));
+  }
+  co_await awaitWatch(ops, /*needAll=*/false);
+  indices->clear();
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i]->complete) {
+      indices->push_back(static_cast<int>(i));
+      retire(requests[i], actual[i]);
+    }
+  }
+  WST_ASSERT(!indices->empty(), "Waitsome returned without completions");
+}
+
+sim::Task Proc::test(RequestId request, bool* flag, Status* status) {
+  const RequestId actual = resolveRequest(request);
+  trace::Record rec = base(trace::Kind::kTest);
+  rec.completes = {actual};
+  co_await enter(rec);
+  auto op = rt_.findRequest(rank_, actual);
+  WST_ASSERT(op != nullptr, "Test on unknown request");
+  *flag = op->complete;
+  if (op->complete) {
+    if (status) *status = op->status;
+    retire(request, actual);
+  }
+}
+
+sim::Task Proc::testall(std::vector<RequestId> requests, bool* flag) {
+  std::vector<RequestId> actual(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    actual[i] = resolveRequest(requests[i]);
+  }
+  trace::Record rec = base(trace::Kind::kTestall);
+  rec.completes = actual;
+  co_await enter(rec);
+  bool all = true;
+  for (RequestId r : actual) {
+    auto op = rt_.findRequest(rank_, r);
+    WST_ASSERT(op != nullptr, "Testall on unknown request");
+    all = all && op->complete;
+  }
+  *flag = all;
+  if (all) {
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      retire(requests[i], actual[i]);
+    }
+  }
+}
+
+sim::Task Proc::testany(std::vector<RequestId> requests, bool* flag,
+                        int* index) {
+  std::vector<RequestId> actual(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    actual[i] = resolveRequest(requests[i]);
+  }
+  trace::Record rec = base(trace::Kind::kTestany);
+  rec.completes = actual;
+  co_await enter(rec);
+  *flag = false;
+  *index = -1;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    auto op = rt_.findRequest(rank_, actual[i]);
+    WST_ASSERT(op != nullptr, "Testany on unknown request");
+    if (op->complete) {
+      *flag = true;
+      *index = static_cast<int>(i);
+      retire(requests[i], actual[i]);
+      break;
+    }
+  }
+}
+
+// --- Collectives ----------------------------------------------------------------
+
+sim::Task Proc::collectiveImpl(CollectiveKind kind, Rank rootLocal,
+                               Bytes bytes, CommId comm, int color, int key,
+                               CommId* out) {
+  const Rank root = rt_.comm(comm).toWorld(rootLocal);
+  trace::Record rec = base(trace::Kind::kCollective);
+  rec.collective = kind;
+  rec.comm = comm;
+  rec.root = root;
+  rec.bytes = bytes;
+  co_await enter(rec);
+  auto op = rt_.joinCollective(rank_, currentId_, comm, kind, root, bytes,
+                               color, key);
+  co_await op->gate.wait();
+  if (out) *out = op->resultComm;
+}
+
+// --- Other ------------------------------------------------------------------------
+
+sim::Task Proc::compute(sim::Duration d) {
+  co_await sim::Delay{rt_.engine(), d};
+}
+
+sim::Task Proc::finalize() {
+  trace::Record rec = base(trace::Kind::kFinalize);
+  co_await enter(rec);
+  finalized_ = true;
+  rt_.markFinalized(rank_);
+}
+
+}  // namespace wst::mpi

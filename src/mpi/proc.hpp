@@ -1,0 +1,226 @@
+// Per-rank MPI API used by simulated application programs.
+//
+// Every method that corresponds to an MPI call is a coroutine: awaiting it
+// models the call's blocking behaviour (and the tool wrapper's overhead /
+// back-pressure when an interposer is attached). Out-parameters carry results
+// in MPI style:
+//
+//   wst::sim::Task program(wst::mpi::Proc& self) {
+//     mpi::Status st;
+//     co_await self.send(/*to=*/1, /*tag=*/0, /*bytes=*/4);
+//     co_await self.recv(mpi::kAnySource, mpi::kAnyTag, &st);
+//     co_await self.barrier();
+//     co_await self.finalize();
+//   }
+//
+// Peers and roots are communicator-local ranks (as in MPI); the runtime
+// translates them to world ranks internally.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "mpi/runtime.hpp"
+#include "sim/task.hpp"
+
+namespace wst::mpi {
+
+class Proc {
+ public:
+  Proc(Runtime& runtime, Rank rank) : rt_(runtime), rank_(rank) {}
+  Proc(const Proc&) = delete;
+  Proc& operator=(const Proc&) = delete;
+
+  Rank rank() const { return rank_; }
+  std::int32_t worldSize() const { return rt_.procCount(); }
+  Runtime& runtime() { return rt_; }
+  bool finalized() const { return finalized_; }
+
+  // --- Blocking point-to-point --------------------------------------------
+
+  sim::Task send(Rank to, Tag tag = 0, Bytes bytes = 4,
+                 CommId comm = kCommWorld) {
+    return sendImpl(to, tag, bytes, comm, SendMode::kStandard);
+  }
+  sim::Task bsend(Rank to, Tag tag = 0, Bytes bytes = 4,
+                  CommId comm = kCommWorld) {
+    return sendImpl(to, tag, bytes, comm, SendMode::kBuffered);
+  }
+  sim::Task ssend(Rank to, Tag tag = 0, Bytes bytes = 4,
+                  CommId comm = kCommWorld) {
+    return sendImpl(to, tag, bytes, comm, SendMode::kSynchronous);
+  }
+  sim::Task rsend(Rank to, Tag tag = 0, Bytes bytes = 4,
+                  CommId comm = kCommWorld) {
+    return sendImpl(to, tag, bytes, comm, SendMode::kReady);
+  }
+
+  /// Blocking receive; `from` may be kAnySource, `tag` may be kAnyTag.
+  sim::Task recv(Rank from, Tag tag = kAnyTag, Status* status = nullptr,
+                 CommId comm = kCommWorld);
+
+  /// Blocking probe: waits for a matching message without consuming it.
+  sim::Task probe(Rank from, Tag tag = kAnyTag, Status* status = nullptr,
+                  CommId comm = kCommWorld);
+
+  /// Non-blocking probe: *flag is set to whether a message is waiting.
+  sim::Task iprobe(Rank from, Tag tag, bool* flag, Status* status = nullptr,
+                   CommId comm = kCommWorld);
+
+  /// MPI_Sendrecv, reported to the tool as one operation (paper footnote 1).
+  sim::Task sendrecv(Rank to, Tag sendTag, Bytes bytes, Rank from,
+                     Tag recvTag, Status* status = nullptr,
+                     CommId comm = kCommWorld);
+
+  // --- Non-blocking point-to-point ----------------------------------------
+
+  sim::Task isend(Rank to, Tag tag, Bytes bytes, RequestId* request,
+                  CommId comm = kCommWorld,
+                  SendMode mode = SendMode::kStandard);
+  sim::Task irecv(Rank from, Tag tag, RequestId* request,
+                  CommId comm = kCommWorld);
+
+  // --- Persistent communication requests ------------------------------------
+  //
+  // MPI_Send_init / MPI_Recv_init create reusable request handles; each
+  // MPI_Start posts one communication (traced as a fresh Isend/Irecv, paper
+  // §3.1), completed with the usual wait/test calls and restartable after.
+
+  sim::Task sendInit(Rank to, Tag tag, Bytes bytes, RequestId* request,
+                     CommId comm = kCommWorld,
+                     SendMode mode = SendMode::kStandard);
+  sim::Task recvInit(Rank from, Tag tag, RequestId* request,
+                     CommId comm = kCommWorld);
+  sim::Task start(RequestId request);
+  sim::Task startAll(std::vector<RequestId> requests);
+
+  // --- Completion operations -----------------------------------------------
+
+  sim::Task wait(RequestId request, Status* status = nullptr);
+  sim::Task waitall(std::vector<RequestId> requests);
+  /// Blocks until one request completes; *index receives its position.
+  sim::Task waitany(std::vector<RequestId> requests, int* index);
+  /// Blocks until at least one completes; *indices receives all completed.
+  sim::Task waitsome(std::vector<RequestId> requests,
+                     std::vector<int>* indices);
+
+  sim::Task test(RequestId request, bool* flag, Status* status = nullptr);
+  sim::Task testall(std::vector<RequestId> requests, bool* flag);
+  sim::Task testany(std::vector<RequestId> requests, bool* flag, int* index);
+
+  // --- Collectives (root is communicator-local) -----------------------------
+
+  sim::Task barrier(CommId comm = kCommWorld) {
+    return collectiveImpl(CollectiveKind::kBarrier, 0, 0, comm, 0, 0, nullptr);
+  }
+  sim::Task bcast(Rank root, Bytes bytes = 4, CommId comm = kCommWorld) {
+    return collectiveImpl(CollectiveKind::kBcast, root, bytes, comm, 0, 0,
+                          nullptr);
+  }
+  sim::Task reduce(Rank root, Bytes bytes = 4, CommId comm = kCommWorld) {
+    return collectiveImpl(CollectiveKind::kReduce, root, bytes, comm, 0, 0,
+                          nullptr);
+  }
+  sim::Task allreduce(Bytes bytes = 4, CommId comm = kCommWorld) {
+    return collectiveImpl(CollectiveKind::kAllreduce, 0, bytes, comm, 0, 0,
+                          nullptr);
+  }
+  sim::Task gather(Rank root, Bytes bytes = 4, CommId comm = kCommWorld) {
+    return collectiveImpl(CollectiveKind::kGather, root, bytes, comm, 0, 0,
+                          nullptr);
+  }
+  sim::Task allgather(Bytes bytes = 4, CommId comm = kCommWorld) {
+    return collectiveImpl(CollectiveKind::kAllgather, 0, bytes, comm, 0, 0,
+                          nullptr);
+  }
+  sim::Task scatter(Rank root, Bytes bytes = 4, CommId comm = kCommWorld) {
+    return collectiveImpl(CollectiveKind::kScatter, root, bytes, comm, 0, 0,
+                          nullptr);
+  }
+  sim::Task alltoall(Bytes bytes = 4, CommId comm = kCommWorld) {
+    return collectiveImpl(CollectiveKind::kAlltoall, 0, bytes, comm, 0, 0,
+                          nullptr);
+  }
+  sim::Task commDup(CommId comm, CommId* out) {
+    return collectiveImpl(CollectiveKind::kCommDup, 0, 0, comm, 0, 0, out);
+  }
+  sim::Task commSplit(CommId comm, int color, int key, CommId* out) {
+    return collectiveImpl(CollectiveKind::kCommSplit, 0, 0, comm, color, key,
+                          out);
+  }
+
+  // --- Other -----------------------------------------------------------------
+
+  /// Local computation for `d` of virtual time (not an MPI call).
+  sim::Task compute(sim::Duration d);
+
+  /// MPI_Finalize: terminal operation; the rank is done afterwards.
+  sim::Task finalize();
+
+  // --- Runtime-internal ------------------------------------------------------
+
+  /// Called by the runtime when a non-blocking operation of this rank
+  /// completes; re-evaluates a pending completion watch.
+  void notifyRequestProgress();
+
+  /// Install and schedule this rank's program (called by Runtime::start).
+  void install(sim::Task task);
+
+ private:
+  friend class Runtime;
+
+  trace::Record base(trace::Kind kind) const;
+  /// Interposition + call overhead at call entry; assigns the (i, j) id and
+  /// leaves it in currentId_.
+  sim::Task enter(trace::Record rec);
+  sim::Task sendImpl(Rank to, Tag tag, Bytes bytes, CommId comm,
+                     SendMode mode);
+  sim::Task collectiveImpl(CollectiveKind kind, Rank rootLocal, Bytes bytes,
+                           CommId comm, int color, int key, CommId* out);
+  /// Block until the watch condition over `ops` holds.
+  sim::Task awaitWatch(std::vector<Runtime::PointOpPtr> ops, bool needAll);
+  Rank toWorld(Rank local, CommId comm) const;
+
+  Runtime& rt_;
+  Rank rank_;
+  trace::LocalTs nextTs_ = 0;
+  RequestId nextRequest_ = 0;
+  trace::OpId currentId_{};
+  bool finalized_ = false;
+  sim::Task program_;
+
+  struct Watch {
+    std::vector<Runtime::PointOpPtr> ops;
+    bool needAll = false;
+    bool active = false;
+    sim::Gate gate;
+  };
+  Watch watch_;
+
+  /// Persistent request state: the setup parameters plus the synthetic
+  /// per-activation request id of the currently active communication.
+  struct PersistentReq {
+    bool isSend = false;
+    Rank peer = kAnySource;  // world rank
+    Tag tag = 0;
+    CommId comm = kCommWorld;
+    Bytes bytes = 0;
+    SendMode mode = SendMode::kStandard;
+    RequestId active = kNullRequest;
+  };
+  std::unordered_map<RequestId, PersistentReq> persistent_;
+
+  /// Map an application request id to the id the runtime tracks: persistent
+  /// requests resolve to their active generation's synthetic id.
+  RequestId resolveRequest(RequestId request) const;
+
+  /// Retire a completed request; a persistent request becomes inactive
+  /// (restartable) instead of being destroyed.
+  void retire(RequestId appRequest, RequestId actual) {
+    rt_.retireRequest(rank_, actual);
+    const auto it = persistent_.find(appRequest);
+    if (it != persistent_.end()) it->second.active = kNullRequest;
+  }
+};
+
+}  // namespace wst::mpi

@@ -1,0 +1,502 @@
+#include "mpi/runtime.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+
+#include "mpi/proc.hpp"
+#include "support/strings.hpp"
+
+namespace wst::mpi {
+
+Runtime::Runtime(sim::Engine& engine, RuntimeConfig config,
+                 std::int32_t procCount)
+    : engine_(engine), config_(config) {
+  WST_ASSERT(procCount > 0, "Runtime needs at least one process");
+  procs_.reserve(static_cast<std::size_t>(procCount));
+  for (Rank r = 0; r < procCount; ++r) {
+    procs_.push_back(std::make_unique<Proc>(*this, r));
+  }
+  mailboxes_.resize(static_cast<std::size_t>(procCount));
+  requests_.resize(static_cast<std::size_t>(procCount));
+  eagerOutstanding_.assign(static_cast<std::size_t>(procCount), 0);
+  finalized_.assign(static_cast<std::size_t>(procCount), false);
+
+  // MPI_COMM_WORLD.
+  std::vector<Rank> world(static_cast<std::size_t>(procCount));
+  std::iota(world.begin(), world.end(), 0);
+  createComm(std::move(world));
+}
+
+Runtime::~Runtime() = default;
+
+Proc& Runtime::proc(Rank rank) {
+  WST_ASSERT(rank >= 0 && rank < procCount(), "rank out of range");
+  return *procs_[static_cast<std::size_t>(rank)];
+}
+
+const Communicator& Runtime::comm(CommId id) const {
+  WST_ASSERT(id >= 0 && id < static_cast<CommId>(comms_.size()),
+             "unknown communicator");
+  return *comms_[static_cast<std::size_t>(id)];
+}
+
+CommId Runtime::createComm(std::vector<Rank> group) {
+  const CommId id = static_cast<CommId>(comms_.size());
+  comms_.push_back(
+      std::make_unique<Communicator>(id, std::move(group), procCount()));
+  CommState state;
+  state.nextWave.assign(static_cast<std::size_t>(procCount()), 0);
+  commStates_.push_back(std::move(state));
+  return id;
+}
+
+void Runtime::start(const Program& program) {
+  start([&program](Rank) { return program; });
+}
+
+void Runtime::start(const std::function<Program(Rank)>& programFor) {
+  for (Rank r = 0; r < procCount(); ++r) {
+    // Keep the callable alive at a stable address: the coroutine frame will
+    // reference captures stored inside it for the rank's entire lifetime.
+    programs_.push_back(programFor(r));
+    Proc& p = proc(r);
+    p.install(programs_.back()(p));
+  }
+}
+
+void Runtime::runToCompletion(const Program& program) {
+  start(program);
+  engine_.run();
+}
+
+bool Runtime::allFinalized() const {
+  return finalizedCount_ == procCount();
+}
+
+std::vector<Rank> Runtime::unfinishedRanks() const {
+  std::vector<Rank> out;
+  for (Rank r = 0; r < procCount(); ++r) {
+    if (!finalized_[static_cast<std::size_t>(r)]) out.push_back(r);
+  }
+  return out;
+}
+
+void Runtime::markFinalized(Rank rank) {
+  WST_ASSERT(!finalized_[static_cast<std::size_t>(rank)],
+             "rank finalized twice");
+  finalized_[static_cast<std::size_t>(rank)] = true;
+  ++finalizedCount_;
+  lastFinalizeTime_ = std::max(lastFinalizeTime_, engine_.now());
+}
+
+// --- Point-to-point ------------------------------------------------------------
+
+Runtime::PointOpPtr Runtime::postSend(Rank src, trace::OpId id, Rank dstWorld,
+                                      Tag tag, CommId comm, Bytes bytes,
+                                      SendMode mode, bool nonblocking,
+                                      RequestId request) {
+  WST_ASSERT(dstWorld >= 0 && dstWorld < procCount(),
+             "send destination out of range");
+  WST_ASSERT(this->comm(comm).contains(src) && this->comm(comm).contains(dstWorld),
+             "send endpoints must be members of the communicator");
+  auto op = std::make_shared<PointOp>();
+  op->owner = src;
+  op->opId = id;
+  op->isSend = true;
+  op->mode = mode;
+  op->peer = dstWorld;
+  op->tag = tag;
+  op->comm = comm;
+  op->bytes = bytes;
+  op->nonblocking = nonblocking;
+  op->request = request;
+  switch (mode) {
+    case SendMode::kSynchronous:
+      op->rendezvous = true;
+      break;
+    case SendMode::kStandard:
+      op->rendezvous =
+          !config_.bufferStandardSends || bytes > config_.eagerThreshold;
+      break;
+    case SendMode::kBuffered:
+    case SendMode::kReady:
+      op->rendezvous = false;
+      break;
+  }
+  if (!op->rendezvous && config_.eagerQueueLimit > 0 &&
+      mode != SendMode::kBuffered &&
+      mailboxes_[static_cast<std::size_t>(dstWorld)].unexpected.size() >=
+          config_.eagerQueueLimit) {
+    // Receive-side buffering is full: fall back to rendezvous.
+    op->rendezvous = true;
+  }
+  if (nonblocking && request != kNullRequest) {
+    const bool inserted =
+        requests_[static_cast<std::size_t>(src)].emplace(request, op).second;
+    WST_ASSERT(inserted, "request id reused");
+  }
+
+  // Envelope travels to the destination; matching happens there. Eager
+  // sends pile up in MPI-internal buffers: past the configured threshold
+  // each excess outstanding send adds congestion to the delivery.
+  sim::Duration latency = config_.latency(src, dstWorld);
+  if (!op->rendezvous && config_.eagerBacklogPenalty > 0) {
+    const std::uint32_t backlog =
+        ++eagerOutstanding_[static_cast<std::size_t>(src)];
+    if (backlog > config_.eagerBacklogThreshold) {
+      latency += config_.eagerBacklogPenalty *
+                 (backlog - config_.eagerBacklogThreshold);
+    }
+  } else if (!op->rendezvous) {
+    ++eagerOutstanding_[static_cast<std::size_t>(src)];
+  }
+  engine_.schedule(latency, [this, dstWorld, op] {
+    deliverEnvelope(dstWorld, Envelope{op, engine_.now()});
+  });
+
+  if (!op->rendezvous) {
+    // Eager: the send buffer is copied away; the call completes locally.
+    completePointOp(op, config_.callOverhead);
+  }
+  return op;
+}
+
+bool Runtime::envelopeMatchesRecv(const PointOp& recv,
+                                  const PointOp& send) const {
+  return recv.comm == send.comm &&
+         (recv.peer == kAnySource || recv.peer == send.owner) &&
+         (recv.tag == kAnyTag || recv.tag == send.tag);
+}
+
+void Runtime::deliverEnvelope(Rank dst, Envelope env) {
+  Mailbox& box = mailboxes_[static_cast<std::size_t>(dst)];
+
+  // Blocking probes observe the message without consuming it.
+  for (auto it = box.postedProbes.begin(); it != box.postedProbes.end();) {
+    if (envelopeMatchesRecv(**it, *env.sendOp)) {
+      completeProbe(*it, env.sendOp);
+      it = box.postedProbes.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Earliest posted receive wins (post order).
+  for (auto it = box.postedRecvs.begin(); it != box.postedRecvs.end(); ++it) {
+    if (envelopeMatchesRecv(**it, *env.sendOp)) {
+      PointOpPtr recvOp = *it;
+      box.postedRecvs.erase(it);
+      executeMatch(dst, recvOp, std::move(env));
+      return;
+    }
+  }
+  box.unexpected.push_back(std::move(env));
+}
+
+Runtime::PointOpPtr Runtime::postRecv(Rank dst, trace::OpId id, Rank srcWorld,
+                                      Tag tag, CommId comm, bool nonblocking,
+                                      RequestId request) {
+  auto op = std::make_shared<PointOp>();
+  op->owner = dst;
+  op->opId = id;
+  op->peer = srcWorld;
+  op->tag = tag;
+  op->comm = comm;
+  op->nonblocking = nonblocking;
+  op->request = request;
+  if (nonblocking && request != kNullRequest) {
+    const bool inserted =
+        requests_[static_cast<std::size_t>(dst)].emplace(request, op).second;
+    WST_ASSERT(inserted, "request id reused");
+  }
+
+  Mailbox& box = mailboxes_[static_cast<std::size_t>(dst)];
+  // Long unexpected queues slow real MPI matching down; model the scan cost
+  // as extra completion delay for this receive.
+  const sim::Duration scanCost =
+      config_.unexpectedScanPenalty *
+      static_cast<sim::Duration>(box.unexpected.size());
+  // Earliest arrived compatible envelope wins (arrival order).
+  for (auto it = box.unexpected.begin(); it != box.unexpected.end(); ++it) {
+    if (envelopeMatchesRecv(*op, *it->sendOp)) {
+      Envelope env = std::move(*it);
+      box.unexpected.erase(it);
+      executeMatch(dst, op, std::move(env), scanCost);
+      return op;
+    }
+  }
+  box.postedRecvs.push_back(op);
+  return op;
+}
+
+Runtime::PointOpPtr Runtime::postProbe(Rank dst, trace::OpId id,
+                                       Rank srcWorld, Tag tag, CommId comm) {
+  auto op = std::make_shared<PointOp>();
+  op->owner = dst;
+  op->opId = id;
+  op->probe = true;
+  op->peer = srcWorld;
+  op->tag = tag;
+  op->comm = comm;
+
+  Mailbox& box = mailboxes_[static_cast<std::size_t>(dst)];
+  for (const Envelope& env : box.unexpected) {
+    if (envelopeMatchesRecv(*op, *env.sendOp)) {
+      completeProbe(op, env.sendOp);
+      return op;
+    }
+  }
+  box.postedProbes.push_back(op);
+  return op;
+}
+
+bool Runtime::iprobeNow(Rank dst, Rank srcWorld, Tag tag, CommId comm,
+                        Status* status) {
+  Mailbox& box = mailboxes_[static_cast<std::size_t>(dst)];
+  for (const Envelope& env : box.unexpected) {
+    const PointOp& send = *env.sendOp;
+    if (comm == send.comm && (srcWorld == kAnySource || srcWorld == send.owner) &&
+        (tag == kAnyTag || tag == send.tag)) {
+      if (status) *status = Status{send.owner, send.tag, send.bytes};
+      return true;
+    }
+  }
+  return false;
+}
+
+void Runtime::executeMatch(Rank dst, const PointOpPtr& recvOp, Envelope env,
+                           sim::Duration extraDelay) {
+  PointOpPtr sendOp = env.sendOp;
+  if (!sendOp->rendezvous) {
+    auto& outstanding =
+        eagerOutstanding_[static_cast<std::size_t>(sendOp->owner)];
+    WST_ASSERT(outstanding > 0, "eager backlog underflow");
+    --outstanding;
+  }
+  recvOp->status = Status{sendOp->owner, sendOp->tag, sendOp->bytes};
+
+  const sim::Duration transfer =
+      config_.perByte(sendOp->owner, dst) *
+          static_cast<sim::Duration>(sendOp->bytes) +
+      extraDelay;
+
+  // Wildcard receives reveal the implementation's matching decision to the
+  // tool. Scheduled before the completion below so the MatchInfo event
+  // precedes any later call of the same rank on the tool channel.
+  if (recvOp->peer == kAnySource) {
+    engine_.schedule(transfer + config_.callOverhead,
+                     [this, recvOp] { emitMatchInfo(recvOp); });
+  }
+
+  completePointOp(recvOp, transfer + config_.callOverhead);
+
+  if (sendOp->rendezvous) {
+    // Rendezvous sender learns of the match one latency later.
+    completePointOp(sendOp,
+                    transfer + config_.latency(dst, sendOp->owner));
+  }
+}
+
+void Runtime::completeProbe(const PointOpPtr& probeOp,
+                            const PointOpPtr& sendOp) {
+  probeOp->status = Status{sendOp->owner, sendOp->tag, sendOp->bytes};
+  // Every probe reveals its observed source to the tool (the tool needs the
+  // observed match for wildcard probes; status is available at call exit).
+  engine_.schedule(config_.callOverhead,
+                   [this, probeOp] { emitMatchInfo(probeOp); });
+  completePointOp(probeOp, config_.callOverhead);
+}
+
+void Runtime::completePointOp(const PointOpPtr& op, sim::Duration delay) {
+  engine_.schedule(delay, [this, op] {
+    WST_ASSERT(!op->complete, "operation completed twice");
+    op->complete = true;
+    op->gate.open();
+    if (op->nonblocking) proc(op->owner).notifyRequestProgress();
+  });
+}
+
+void Runtime::emitMatchInfo(const PointOpPtr& recvOp) {
+  if (interposer_ == nullptr) return;
+  trace::MatchInfoEvent info;
+  info.recvOp = recvOp->opId;
+  info.source = recvOp->status.source;
+  info.tag = recvOp->status.tag;
+  const Interposer::Hold hold = interposer_->onEvent(info);
+  // MatchInfo piggybacks on the operation's completion; the tool must not
+  // exert back-pressure here (there is no blocked caller to hold).
+  WST_ASSERT(hold.wait == nullptr,
+             "interposers must not block MatchInfo events");
+}
+
+Runtime::PointOpPtr Runtime::findRequest(Rank owner,
+                                         RequestId request) const {
+  const auto& table = requests_[static_cast<std::size_t>(owner)];
+  const auto it = table.find(request);
+  if (it == table.end()) return nullptr;
+  return it->second;
+}
+
+void Runtime::retireRequest(Rank owner, RequestId request) {
+  auto& table = requests_[static_cast<std::size_t>(owner)];
+  const auto it = table.find(request);
+  WST_ASSERT(it != table.end(), "retiring unknown request");
+  WST_ASSERT(it->second->complete, "retiring incomplete request");
+  table.erase(it);
+}
+
+// --- Collectives ------------------------------------------------------------------
+
+sim::Duration Runtime::collectiveCost(std::int32_t groupSize) const {
+  const auto size = static_cast<std::uint32_t>(std::max(groupSize, 1));
+  const auto hops = static_cast<sim::Duration>(std::bit_width(size - 1));
+  return hops * (config_.collectiveHopCost + config_.interNodeLatency);
+}
+
+Runtime::PointOpPtr Runtime::joinCollective(Rank rank, trace::OpId id,
+                                            CommId comm, CollectiveKind kind,
+                                            Rank rootWorld, Bytes bytes,
+                                            int color, int key) {
+  const Communicator& c = this->comm(comm);
+  WST_ASSERT(c.contains(rank), "rank not a member of the communicator");
+  CommState& state = commStates_[static_cast<std::size_t>(comm)];
+
+  const std::uint32_t waveIndex =
+      state.nextWave[static_cast<std::size_t>(rank)]++;
+  WST_ASSERT(waveIndex >= state.popped, "collective wave already retired");
+  while (waveIndex - state.popped >= state.waves.size()) {
+    state.waves.emplace_back();
+  }
+  CollWave& wave = state.waves[waveIndex - state.popped];
+
+  if (!wave.kindRecorded) {
+    wave.kind = kind;
+    wave.root = rootWorld;
+    wave.kindRecorded = true;
+  } else if (wave.kind != kind || wave.root != rootWorld) {
+    usageErrors_.push_back(support::format(
+        "collective mismatch on comm %d wave %u: %s(root:%d) vs %s(root:%d)",
+        comm, waveIndex, toString(wave.kind), wave.root, toString(kind),
+        rootWorld));
+  }
+
+  auto op = std::make_shared<PointOp>();
+  op->owner = rank;
+  op->opId = id;
+  op->comm = comm;
+  op->bytes = bytes;
+  wave.members.push_back(
+      CollWave::Member{rank, op, color, key, engine_.now()});
+  if (rank == wave.root) {
+    wave.rootArrived = true;
+    wave.rootArrivalTime = engine_.now();
+  }
+
+  const bool rooted = config_.collectiveSync == CollectiveSync::kRooted;
+  const bool rootSink =
+      rooted && (kind == CollectiveKind::kReduce ||
+                 kind == CollectiveKind::kGather);
+  const bool rootSource =
+      rooted && (kind == CollectiveKind::kBcast ||
+                 kind == CollectiveKind::kScatter);
+
+  CollWave::Member& me = wave.members.back();
+  if (rootSink && rank != wave.root) {
+    // Non-root contribution is fire-and-forget: complete locally.
+    finishCollectiveMember(me, comm, kind,
+                           config_.collectiveHopCost + config_.callOverhead);
+  } else if (rootSource) {
+    if (rank == wave.root) {
+      finishCollectiveMember(me, comm, kind,
+                             config_.collectiveHopCost + config_.callOverhead);
+    } else if (wave.rootArrived) {
+      finishCollectiveMember(
+          me, comm, kind,
+          config_.collectiveHopCost + config_.interNodeLatency);
+    }
+    // else: completed when the root arrives (handled below).
+  }
+
+  if (rootSource && rank == wave.root) {
+    // Root arrival releases all already-waiting non-root members.
+    for (auto& member : wave.members) {
+      if (member.rank != wave.root && !member.completed) {
+        finishCollectiveMember(
+            member, comm, kind,
+            config_.collectiveHopCost + config_.interNodeLatency);
+      }
+    }
+  }
+
+  maybeFinishWave(comm, waveIndex);
+  return op;
+}
+
+void Runtime::maybeFinishWave(CommId comm, std::uint32_t waveIndex) {
+  const Communicator& c = this->comm(comm);
+  CommState& state = commStates_[static_cast<std::size_t>(comm)];
+  CollWave& wave = state.waves[waveIndex - state.popped];
+  if (static_cast<std::int32_t>(wave.members.size()) != c.size()) return;
+
+  // Wave complete: create result communicators for Comm_dup / Comm_split.
+  if (wave.kind == CollectiveKind::kCommDup) {
+    const CommId dup = createComm(c.group());
+    for (auto& m : wave.members) m.op->resultComm = dup;
+  } else if (wave.kind == CollectiveKind::kCommSplit) {
+    // Group members by color; order each group by (key, world rank).
+    std::vector<const CollWave::Member*> sorted;
+    sorted.reserve(wave.members.size());
+    for (const auto& m : wave.members) sorted.push_back(&m);
+    std::sort(sorted.begin(), sorted.end(), [](const auto* a, const auto* b) {
+      if (a->color != b->color) return a->color < b->color;
+      if (a->key != b->key) return a->key < b->key;
+      return a->rank < b->rank;
+    });
+    std::size_t i = 0;
+    while (i < sorted.size()) {
+      std::size_t j = i;
+      std::vector<Rank> group;
+      while (j < sorted.size() && sorted[j]->color == sorted[i]->color) {
+        group.push_back(sorted[j]->rank);
+        ++j;
+      }
+      const CommId split = createComm(std::move(group));
+      for (std::size_t k = i; k < j; ++k) sorted[k]->op->resultComm = split;
+      i = j;
+    }
+  }
+
+  const sim::Duration cost = collectiveCost(c.size());
+  for (auto& member : wave.members) {
+    if (!member.completed) {
+      finishCollectiveMember(member, comm, wave.kind, cost);
+    }
+  }
+
+  // Retire fully-completed waves from the front of the deque so long runs
+  // keep bounded memory. Done last: popping invalidates wave references.
+  while (!state.waves.empty()) {
+    const CollWave& front = state.waves.front();
+    const bool full =
+        static_cast<std::int32_t>(front.members.size()) == c.size();
+    const bool allDone =
+        full && std::all_of(front.members.begin(), front.members.end(),
+                            [](const auto& m) { return m.completed; });
+    if (!allDone) break;
+    state.waves.pop_front();
+    ++state.popped;
+  }
+}
+
+void Runtime::finishCollectiveMember(CollWave::Member& member, CommId comm,
+                                     CollectiveKind kind,
+                                     sim::Duration delay) {
+  (void)comm;
+  (void)kind;
+  WST_ASSERT(!member.completed, "collective member completed twice");
+  member.completed = true;
+  completePointOp(member.op, delay);
+}
+
+}  // namespace wst::mpi

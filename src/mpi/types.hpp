@@ -1,0 +1,109 @@
+// Fundamental types of the simulated MPI runtime ("simpi").
+//
+// The reproduction cannot run on a real MPI library (no cluster, no
+// multi-process launcher in this environment), so we implement a
+// deterministic discrete-event MPI runtime that executes rank programs
+// written as C++20 coroutines. The runtime implements the matching and
+// blocking semantics that the paper's wait state analysis models:
+// point-to-point matching with non-overtaking channels and wildcard
+// receives, all four send modes, non-blocking operations with completion
+// calls, synchronizing and non-synchronizing collectives, and probe calls.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace wst::mpi {
+
+/// Rank of a process within a communicator.
+using Rank = std::int32_t;
+
+/// Message tag.
+using Tag = std::int32_t;
+
+/// Identifier of a communicator. kCommWorld is created by the runtime.
+using CommId = std::int32_t;
+
+/// Identifier (per process) of a non-blocking communication request.
+using RequestId = std::int32_t;
+
+/// Wildcard source for receive/probe operations (MPI_ANY_SOURCE).
+inline constexpr Rank kAnySource = -1;
+
+/// Wildcard tag for receive/probe operations (MPI_ANY_TAG).
+inline constexpr Tag kAnyTag = -1;
+
+/// The world communicator, always communicator 0.
+inline constexpr CommId kCommWorld = 0;
+
+/// Invalid/null request.
+inline constexpr RequestId kNullRequest = -1;
+
+/// Payload size in modeled bytes. Only the size is simulated; no user data
+/// moves through the runtime (the analyses under study never look at data).
+using Bytes = std::uint32_t;
+
+/// Send modes of MPI. Standard-mode completion is implementation-defined
+/// (may buffer); the runtime's buffering policy is configurable, which the
+/// paper exploits: its blocking predicate `b` conservatively treats standard
+/// sends as synchronous (paper §3.3 "Freedoms of MPI").
+enum class SendMode : std::uint8_t {
+  kStandard,     // MPI_Send — may buffer (policy-dependent)
+  kBuffered,     // MPI_Bsend — always buffers
+  kSynchronous,  // MPI_Ssend — completes only when matched
+  kReady,        // MPI_Rsend — requires a posted receive; we model as eager
+};
+
+/// Collective operations supported by the runtime. All are modeled as
+/// "collective over the communicator's group"; MPI_Comm_dup/split are also
+/// collectives (the paper treats every group-collective call as such).
+enum class CollectiveKind : std::uint8_t {
+  kBarrier,
+  kBcast,
+  kReduce,
+  kAllreduce,
+  kGather,
+  kAllgather,
+  kScatter,
+  kAlltoall,
+  kCommDup,
+  kCommSplit,
+};
+
+/// Whether a collective, as executed by the modeled MPI implementation,
+/// synchronizes all participants. The paper's analysis always treats
+/// collectives as synchronizing (conservative `b`); the *runtime* can be
+/// configured to use rooted (non-synchronizing) semantics so that the
+/// "unexpected match" scenario of paper Figure 4 is executable.
+enum class CollectiveSync : std::uint8_t {
+  kSynchronizing,  // every rank leaves only after all ranks arrived
+  kRooted,         // rooted collectives: non-root ranks may leave early
+};
+
+inline const char* toString(SendMode mode) {
+  switch (mode) {
+    case SendMode::kStandard: return "Send";
+    case SendMode::kBuffered: return "Bsend";
+    case SendMode::kSynchronous: return "Ssend";
+    case SendMode::kReady: return "Rsend";
+  }
+  return "?";
+}
+
+inline const char* toString(CollectiveKind kind) {
+  switch (kind) {
+    case CollectiveKind::kBarrier: return "Barrier";
+    case CollectiveKind::kBcast: return "Bcast";
+    case CollectiveKind::kReduce: return "Reduce";
+    case CollectiveKind::kAllreduce: return "Allreduce";
+    case CollectiveKind::kGather: return "Gather";
+    case CollectiveKind::kAllgather: return "Allgather";
+    case CollectiveKind::kScatter: return "Scatter";
+    case CollectiveKind::kAlltoall: return "Alltoall";
+    case CollectiveKind::kCommDup: return "Comm_dup";
+    case CollectiveKind::kCommSplit: return "Comm_split";
+  }
+  return "?";
+}
+
+}  // namespace wst::mpi

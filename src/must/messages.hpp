@@ -1,0 +1,118 @@
+// Tool-internal messages of the integrated MUST-style tool: the wait-state
+// algorithm's five messages, the application event stream, and the control
+// messages of the timeout-triggered detection protocol (paper §5).
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "tbon/topology.hpp"
+#include "trace/event.hpp"
+#include "waitstate/messages.hpp"
+#include "wfg/graph.hpp"
+
+namespace wst::must {
+
+/// Root -> first layer: stop the transition system and synchronize
+/// (paper Figure 8 / §5).
+struct RequestConsistentStateMsg {
+  std::uint32_t epoch = 0;  // detection round
+};
+
+/// First layer -> root (aggregated): `count` first-layer nodes reached a
+/// consistent state.
+struct AckConsistentStateMsg {
+  std::uint32_t epoch = 0;
+  std::uint32_t count = 1;
+};
+
+/// Intralayer double ping-pong (paper Figure 8). `remaining` counts the
+/// ping-pong rounds still to run after this one.
+struct PingMsg {
+  tbon::NodeId origin = -1;
+  std::int32_t remaining = 0;
+};
+struct PongMsg {
+  tbon::NodeId responder = -1;
+  std::int32_t remaining = 0;
+};
+
+/// Root -> first layer: describe the wait-for conditions of all processes.
+struct RequestWaitsMsg {
+  std::uint32_t epoch = 0;
+};
+
+/// Facts for root-side unexpected-match checking (paper §3.3): sends active
+/// at the consistent state...
+struct ActiveSendInfo {
+  trace::OpId op{};
+  trace::ProcId dest = -1;
+  mpi::Tag tag = 0;
+  mpi::CommId comm = mpi::kCommWorld;
+};
+
+/// ...and wildcard receives active at the consistent state, with the
+/// matching decision (if any) point-to-point matching made for them.
+struct ActiveWildcardInfo {
+  trace::OpId op{};
+  mpi::Tag tag = mpi::kAnyTag;
+  mpi::CommId comm = mpi::kCommWorld;
+  bool matched = false;
+  trace::OpId matchedSend{};
+};
+
+/// First layer -> root: wait-for conditions of the node's hosted processes
+/// plus the §3.3 facts.
+struct WaitInfoMsg {
+  std::uint32_t epoch = 0;
+  std::vector<wfg::NodeConditions> conditions;
+  std::vector<ActiveSendInfo> activeSends;
+  std::vector<ActiveWildcardInfo> activeWildcards;
+};
+
+using ToolMsg =
+    std::variant<trace::NewOpEvent, trace::MatchInfoEvent,
+                 waitstate::PassSendMsg, waitstate::RecvActiveMsg,
+                 waitstate::RecvActiveAckMsg, waitstate::CollectiveReadyMsg,
+                 waitstate::CollectiveAckMsg, RequestConsistentStateMsg,
+                 AckConsistentStateMsg, PingMsg, PongMsg, RequestWaitsMsg,
+                 WaitInfoMsg>;
+
+/// Modeled wire size for bandwidth accounting.
+inline std::size_t modeledSize(const ToolMsg& msg) {
+  return std::visit(
+      [](const auto& m) -> std::size_t {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, trace::NewOpEvent>) {
+          return 32 + 4 * m.rec.completes.size();
+        } else if constexpr (std::is_same_v<T, trace::MatchInfoEvent>) {
+          return 16;
+        } else if constexpr (std::is_same_v<T, waitstate::PassSendMsg>) {
+          return waitstate::kPassSendBytes;
+        } else if constexpr (std::is_same_v<T, waitstate::RecvActiveMsg>) {
+          return waitstate::kRecvActiveBytes;
+        } else if constexpr (std::is_same_v<T, waitstate::RecvActiveAckMsg>) {
+          return waitstate::kRecvActiveAckBytes;
+        } else if constexpr (std::is_same_v<T,
+                                            waitstate::CollectiveReadyMsg>) {
+          return waitstate::kCollectiveReadyBytes;
+        } else if constexpr (std::is_same_v<T, waitstate::CollectiveAckMsg>) {
+          return waitstate::kCollectiveAckBytes;
+        } else if constexpr (std::is_same_v<T, WaitInfoMsg>) {
+          std::size_t bytes = 16;
+          for (const auto& node : m.conditions) {
+            bytes += 16;
+            for (const auto& clause : node.clauses) {
+              bytes += 8 + 4 * clause.targets.size();
+            }
+          }
+          return bytes;
+        } else {
+          return 12;  // control messages
+        }
+      },
+      msg);
+}
+
+}  // namespace wst::must

@@ -1,0 +1,32 @@
+#include "must/recorder.hpp"
+
+#include "must/runtime_comm_view.hpp"
+
+namespace wst::must {
+
+Recorder::Recorder(mpi::Runtime& runtime) : runtime_(runtime) {
+  // The matcher needs live group information for communicators created
+  // during the run; read them straight from the runtime's table.
+  liveView_ = std::make_unique<RuntimeCommView>(runtime_);
+  matcher_ = std::make_unique<match::CentralMatcher>(runtime_.procCount(),
+                                                     *liveView_);
+  runtime_.setInterposer(this);
+}
+
+Recorder::~Recorder() {
+  if (runtime_.interposer() == this) runtime_.setInterposer(nullptr);
+}
+
+mpi::Interposer::Hold Recorder::onEvent(const trace::Event& event) {
+  matcher_->onEvent(event);
+  return Hold{};  // pure recording: no modeled overhead
+}
+
+trace::MatchedTrace Recorder::finish() {
+  for (mpi::CommId c = 0; c < runtime_.commCount(); ++c) {
+    matcher_->registerComm(c, runtime_.comm(c).group());
+  }
+  return matcher_->takeTrace();
+}
+
+}  // namespace wst::must

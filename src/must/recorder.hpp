@@ -1,0 +1,36 @@
+// Offline recorder: an interposer that feeds the centralized matcher.
+//
+// Produces the MatchedTrace of a run so the formal transition system
+// (waitstate::TransitionSystem) can analyze it offline. This is both a
+// building block of oracle tests — distributed tracker vs. formal system on
+// the same execution — and a minimal "trace collection" mode of the tool.
+#pragma once
+
+#include <memory>
+
+#include "match/central_matcher.hpp"
+#include "mpi/runtime.hpp"
+
+namespace wst::must {
+
+class Recorder : public mpi::Interposer {
+ public:
+  /// Attaches itself to the runtime. The runtime must outlive the recorder.
+  explicit Recorder(mpi::Runtime& runtime);
+  ~Recorder() override;
+
+  Hold onEvent(const trace::Event& event) override;
+
+  /// Finish recording: registers every communicator the run created and
+  /// returns the matched trace.
+  trace::MatchedTrace finish();
+
+  const match::CentralMatcher& matcher() const { return *matcher_; }
+
+ private:
+  mpi::Runtime& runtime_;
+  std::unique_ptr<waitstate::CommView> liveView_;
+  std::unique_ptr<match::CentralMatcher> matcher_;
+};
+
+}  // namespace wst::must

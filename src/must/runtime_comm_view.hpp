@@ -1,0 +1,25 @@
+// Communicator view backed by the simulated runtime's communicator table.
+//
+// MUST reconstructs communicator groups from intercepted Comm_dup/Comm_split
+// calls; the reconstruction is mechanical (the color/key arguments are in
+// the event stream), so the reproduction reads the authoritative table
+// directly. See waitstate/comm_view.hpp.
+#pragma once
+
+#include "mpi/runtime.hpp"
+#include "waitstate/comm_view.hpp"
+
+namespace wst::must {
+
+class RuntimeCommView : public waitstate::CommView {
+ public:
+  explicit RuntimeCommView(const mpi::Runtime& runtime) : runtime_(runtime) {}
+  const std::vector<trace::ProcId>& group(mpi::CommId comm) const override {
+    return runtime_.comm(comm).group();
+  }
+
+ private:
+  const mpi::Runtime& runtime_;
+};
+
+}  // namespace wst::must

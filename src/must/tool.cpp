@@ -1,0 +1,522 @@
+#include "must/tool.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "support/assert.hpp"
+#include "support/strings.hpp"
+
+namespace wst::must {
+
+using tbon::NodeId;
+using trace::ProcId;
+
+namespace {
+template <class... Ts>
+struct Overloaded : Ts... {
+  using Ts::operator()...;
+};
+template <class... Ts>
+Overloaded(Ts...) -> Overloaded<Ts...>;
+
+std::uint64_t wallNs(std::chrono::steady_clock::time_point a,
+                     std::chrono::steady_clock::time_point b) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+}
+}  // namespace
+
+/// Per-TBON-node runtime state. First-layer nodes own a tracker; inner nodes
+/// aggregate collectiveReady counts; every node participates in the
+/// consistent-state protocol bookkeeping relevant to its role.
+struct DistributedTool::NodeState : waitstate::Comms {
+  DistributedTool& tool;
+  NodeId id;
+  std::unique_ptr<waitstate::DistributedTracker> tracker;  // first layer only
+
+  // Inner-node collectiveReady aggregation: accumulated ready counts per
+  // (comm, wave) until the node's whole subtree is ready.
+  std::map<std::pair<mpi::CommId, std::uint32_t>, std::uint32_t> innerWaves;
+
+  // Consistent-state protocol (first layer).
+  std::uint32_t epoch = 0;
+  std::int32_t outstandingPeers = 0;
+
+  NodeState(DistributedTool& t, NodeId nodeId) : tool(t), id(nodeId) {
+    const tbon::NodeInfo& info = tool.topology_.node(nodeId);
+    if (tool.topology_.isFirstLayer(nodeId)) {
+      waitstate::TrackerConfig cfg;
+      cfg.blockingModel = tool.config_.blockingModel;
+      cfg.eagerThreshold = tool.config_.eagerThreshold;
+      tracker = std::make_unique<waitstate::DistributedTracker>(
+          info.procLo, info.procHi, *this, tool.commView_, cfg);
+    }
+  }
+
+  // waitstate::Comms — route by destination process / towards the root.
+  void passSend(const waitstate::PassSendMsg& msg) override {
+    const NodeId dest = tool.topology_.nodeOfProc(msg.destProc);
+    tool.overlay_->sendIntralayer(id, dest, ToolMsg{msg},
+                                  waitstate::kPassSendBytes);
+  }
+  void recvActive(ProcId sendProc,
+                  const waitstate::RecvActiveMsg& msg) override {
+    const NodeId dest = tool.topology_.nodeOfProc(sendProc);
+    tool.overlay_->sendIntralayer(id, dest, ToolMsg{msg},
+                                  waitstate::kRecvActiveBytes);
+  }
+  void recvActiveAck(ProcId recvProc,
+                     const waitstate::RecvActiveAckMsg& msg) override {
+    const NodeId dest = tool.topology_.nodeOfProc(recvProc);
+    tool.overlay_->sendIntralayer(id, dest, ToolMsg{msg},
+                                  waitstate::kRecvActiveAckBytes);
+  }
+  void collectiveReady(const waitstate::CollectiveReadyMsg& msg) override {
+    if (tool.topology_.isRoot(id)) {
+      // Single-node tree: keep queue semantics with a self-send.
+      tool.overlay_->sendIntralayer(id, id, ToolMsg{msg},
+                                    waitstate::kCollectiveReadyBytes);
+    } else {
+      tool.overlay_->sendUp(id, ToolMsg{msg},
+                            waitstate::kCollectiveReadyBytes);
+    }
+  }
+};
+
+DistributedTool::DistributedTool(sim::Engine& engine, mpi::Runtime& runtime,
+                                 ToolConfig config)
+    : engine_(engine),
+      runtime_(runtime),
+      config_(config),
+      commView_(runtime),
+      topology_(runtime.procCount(), config.fanIn) {
+  overlay_ = std::make_unique<tbon::Overlay<ToolMsg>>(
+      engine_, topology_, config_.overlay,
+      [this](NodeId node, const ToolMsg& msg) {
+        return messageCost(node, msg);
+      });
+  overlay_->setHandler(
+      [this](NodeId node, ToolMsg&& msg) { handleMessage(node, std::move(msg)); });
+  if (config_.prioritizeWaitState) {
+    overlay_->setUrgency([](const ToolMsg& msg) {
+      return std::holds_alternative<waitstate::PassSendMsg>(msg) ||
+             std::holds_alternative<waitstate::RecvActiveMsg>(msg) ||
+             std::holds_alternative<waitstate::RecvActiveAckMsg>(msg) ||
+             std::holds_alternative<waitstate::CollectiveReadyMsg>(msg) ||
+             std::holds_alternative<waitstate::CollectiveAckMsg>(msg);
+    });
+  }
+  nodes_.reserve(static_cast<std::size_t>(topology_.nodeCount()));
+  for (NodeId n = 0; n < topology_.nodeCount(); ++n) {
+    nodes_.push_back(std::make_unique<NodeState>(*this, n));
+  }
+  runtime_.setInterposer(this);
+  if (config_.detectOnQuiescence) {
+    quiescenceHookId_ = engine_.addQuiescenceHook([this] { onQuiescence(); });
+  }
+  if (config_.periodicDetection > 0) {
+    engine_.schedule(config_.periodicDetection, [this] { onPeriodic(); });
+  }
+}
+
+DistributedTool::~DistributedTool() {
+  if (config_.detectOnQuiescence) {
+    engine_.removeQuiescenceHook(quiescenceHookId_);
+  }
+  if (runtime_.interposer() == this) runtime_.setInterposer(nullptr);
+}
+
+ToolConfig DistributedTool::centralizedConfig(std::int32_t procCount,
+                                              ToolConfig base) {
+  base.fanIn = std::max(procCount, 2);
+  return base;
+}
+
+const waitstate::DistributedTracker& DistributedTool::tracker(
+    NodeId node) const {
+  WST_ASSERT(topology_.isFirstLayer(node), "node has no tracker");
+  return *nodes_[static_cast<std::size_t>(node)]->tracker;
+}
+
+bool DistributedTool::analysisFinished() const {
+  for (NodeId n = 0; n < topology_.firstLayerCount(); ++n) {
+    if (!nodes_[static_cast<std::size_t>(n)]->tracker->allFinished()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::uint64_t DistributedTool::totalTransitions() const {
+  std::uint64_t total = 0;
+  for (NodeId n = 0; n < topology_.firstLayerCount(); ++n) {
+    total += nodes_[static_cast<std::size_t>(n)]->tracker->transitions();
+  }
+  return total;
+}
+
+std::size_t DistributedTool::maxWindowSize() const {
+  std::size_t maxSize = 0;
+  for (NodeId n = 0; n < topology_.firstLayerCount(); ++n) {
+    maxSize = std::max(
+        maxSize, nodes_[static_cast<std::size_t>(n)]->tracker->maxWindowSize());
+  }
+  return maxSize;
+}
+
+// --- Interposition -------------------------------------------------------------
+
+mpi::Interposer::Hold DistributedTool::onEvent(const trace::Event& event) {
+  Hold hold;
+  hold.cost = config_.appEventCost;
+  const bool isMatchInfo = std::holds_alternative<trace::MatchInfoEvent>(event);
+  const ProcId proc =
+      isMatchInfo ? std::get<trace::MatchInfoEvent>(event).recvOp.proc
+                  : std::get<trace::NewOpEvent>(event).rec.id.proc;
+  ToolMsg msg = std::visit([](const auto& e) { return ToolMsg{e}; }, event);
+  const std::size_t bytes = trace::modeledSize(event);
+
+  if (isMatchInfo) {
+    // Status piggybacks on the operation's completion; never blocks.
+    overlay_->injectUnthrottled(proc, std::move(msg), bytes);
+    return hold;
+  }
+  if (overlay_->canInject(proc)) {
+    overlay_->inject(proc, std::move(msg), bytes);
+    return hold;
+  }
+  // Tool channel full: the rank blocks until the leaf node catches up.
+  auto gate = std::make_shared<sim::Gate>();
+  hold.wait = gate;
+  overlay_->onceInjectCredit(
+      proc, [this, proc, m = std::move(msg), bytes, gate]() mutable {
+        overlay_->inject(proc, std::move(m), bytes);
+        gate->open();
+      });
+  return hold;
+}
+
+// --- Message dispatch -------------------------------------------------------------
+
+sim::Duration DistributedTool::messageCost(NodeId /*node*/,
+                                           const ToolMsg& msg) const {
+  return std::visit(
+      Overloaded{
+          [&](const trace::NewOpEvent&) { return config_.newOpCost; },
+          [&](const trace::MatchInfoEvent&) { return config_.matchInfoCost; },
+          [&](const waitstate::PassSendMsg&) { return config_.intralayerCost; },
+          [&](const waitstate::RecvActiveMsg&) {
+            return config_.intralayerCost;
+          },
+          [&](const waitstate::RecvActiveAckMsg&) {
+            return config_.intralayerCost;
+          },
+          [&](const waitstate::CollectiveReadyMsg&) {
+            return config_.collectiveMsgCost;
+          },
+          [&](const waitstate::CollectiveAckMsg&) {
+            return config_.collectiveMsgCost;
+          },
+          [&](const WaitInfoMsg& m) {
+            return config_.controlMsgCost +
+                   static_cast<sim::Duration>(20 * m.conditions.size());
+          },
+          [&](const auto&) { return config_.controlMsgCost; },
+      },
+      msg);
+}
+
+void DistributedTool::broadcastDown(NodeId from, const ToolMsg& msg) {
+  const tbon::NodeInfo& info = topology_.node(from);
+  if (info.children.empty()) {
+    // Single-node tree: the root is also the first layer; self-deliver.
+    overlay_->sendIntralayer(from, from, ToolMsg{msg}, modeledSize(msg));
+    return;
+  }
+  for (const NodeId child : info.children) {
+    overlay_->sendDown(from, child, ToolMsg{msg}, modeledSize(msg));
+  }
+}
+
+void DistributedTool::handleMessage(NodeId node, ToolMsg&& msg) {
+  NodeState& ns = *nodes_[static_cast<std::size_t>(node)];
+  std::visit(
+      Overloaded{
+          [&](trace::NewOpEvent& e) { ns.tracker->onNewOp(e.rec); },
+          [&](trace::MatchInfoEvent& e) { ns.tracker->onMatchInfo(e); },
+          [&](waitstate::PassSendMsg& m) { ns.tracker->onPassSend(m); },
+          [&](waitstate::RecvActiveMsg& m) { ns.tracker->onRecvActive(m); },
+          [&](waitstate::RecvActiveAckMsg& m) {
+            ns.tracker->onRecvActiveAck(m);
+          },
+          [&](waitstate::CollectiveReadyMsg& m) {
+            handleCollectiveReady(node, m);
+          },
+          [&](waitstate::CollectiveAckMsg& m) {
+            if (topology_.isFirstLayer(node)) {
+              ns.tracker->onCollectiveAck(m);
+            } else {
+              broadcastDown(node, ToolMsg{m});
+            }
+          },
+          [&](RequestConsistentStateMsg& m) {
+            if (topology_.isFirstLayer(node)) {
+              handleRequestConsistentState(node, m.epoch);
+            } else {
+              broadcastDown(node, ToolMsg{m});
+            }
+          },
+          [&](AckConsistentStateMsg& m) {
+            if (topology_.isRoot(node)) {
+              acksAtRoot_ += m.count;
+              if (acksAtRoot_ ==
+                  static_cast<std::uint32_t>(topology_.firstLayerCount())) {
+                handleRootAllAcked();
+              }
+            } else {
+              overlay_->sendUp(node, ToolMsg{m}, modeledSize(ToolMsg{m}));
+            }
+          },
+          [&](PingMsg& m) {
+            overlay_->sendIntralayer(node, m.origin,
+                                     ToolMsg{PongMsg{node, m.remaining}}, 12);
+          },
+          [&](PongMsg& m) {
+            if (m.remaining > 0) {
+              overlay_->sendIntralayer(
+                  node, m.responder,
+                  ToolMsg{PingMsg{node, m.remaining - 1}}, 12);
+              return;
+            }
+            WST_ASSERT(ns.outstandingPeers > 0, "unexpected pong");
+            if (--ns.outstandingPeers == 0) maybeAckConsistentState(node);
+          },
+          [&](RequestWaitsMsg& m) {
+            if (!topology_.isFirstLayer(node)) {
+              broadcastDown(node, ToolMsg{m});
+              return;
+            }
+            WaitInfoMsg info;
+            info.epoch = m.epoch;
+            const tbon::NodeInfo& topo = topology_.node(node);
+            for (ProcId p = topo.procLo; p < topo.procHi; ++p) {
+              info.conditions.push_back(ns.tracker->waitConditions(p));
+            }
+            for (const auto& s : ns.tracker->activeSends()) {
+              info.activeSends.push_back(
+                  ActiveSendInfo{s.op, s.dest, s.tag, s.comm});
+            }
+            for (const auto& w : ns.tracker->activeWildcards()) {
+              ActiveWildcardInfo wi;
+              wi.op = w.op;
+              wi.tag = w.tag;
+              wi.comm = w.comm;
+              wi.matched = w.matched;
+              wi.matchedSend = w.matchedSend;
+              info.activeWildcards.push_back(wi);
+            }
+            if (topology_.isRoot(node)) {
+              handleWaitInfoAtRoot(std::move(info));
+            } else {
+              const std::size_t bytes = modeledSize(ToolMsg{info});
+              overlay_->sendUp(node, ToolMsg{std::move(info)}, bytes);
+            }
+            ns.tracker->resumeProgress();
+          },
+          [&](WaitInfoMsg& m) {
+            if (topology_.isRoot(node)) {
+              handleWaitInfoAtRoot(std::move(m));
+            } else {
+              const std::size_t bytes = modeledSize(ToolMsg{m});
+              overlay_->sendUp(node, ToolMsg{std::move(m)}, bytes);
+            }
+          },
+      },
+      msg);
+}
+
+// --- Collective matching in the tree -------------------------------------------------
+
+void DistributedTool::handleCollectiveReady(
+    NodeId node, const waitstate::CollectiveReadyMsg& msg) {
+  if (topology_.isRoot(node)) {
+    RootWaveState& wave = rootWaves_[{msg.comm, msg.wave}];
+    if (!wave.kindRecorded) {
+      wave.kind = msg.kind;
+      wave.kindRecorded = true;
+    } else if (wave.kind != msg.kind) {
+      usageErrors_.push_back(support::format(
+          "collective mismatch on comm %d wave %u: %s vs %s", msg.comm,
+          msg.wave, mpi::toString(wave.kind), mpi::toString(msg.kind)));
+    }
+    wave.readyCount += msg.readyCount;
+    const auto groupSize =
+        static_cast<std::uint32_t>(commView_.group(msg.comm).size());
+    WST_ASSERT(wave.readyCount <= groupSize, "collective over-subscription");
+    if (wave.readyCount == groupSize) {
+      rootCollectiveComplete(msg);
+      rootWaves_.erase({msg.comm, msg.wave});
+    }
+    return;
+  }
+
+  // Inner node: order-preserving aggregation — forward one message once the
+  // whole subtree is ready (paper [12]).
+  NodeState& ns = *nodes_[static_cast<std::size_t>(node)];
+  const tbon::NodeInfo& info = topology_.node(node);
+  std::uint32_t expected = 0;
+  for (const ProcId member : commView_.group(msg.comm)) {
+    if (member >= info.procLo && member < info.procHi) ++expected;
+  }
+  auto& count = ns.innerWaves[{msg.comm, msg.wave}];
+  count += msg.readyCount;
+  WST_ASSERT(count <= expected, "subtree collective over-subscription");
+  if (count == expected) {
+    waitstate::CollectiveReadyMsg up = msg;
+    up.readyCount = expected;
+    overlay_->sendUp(node, ToolMsg{up}, waitstate::kCollectiveReadyBytes);
+    ns.innerWaves.erase({msg.comm, msg.wave});
+  }
+}
+
+void DistributedTool::rootCollectiveComplete(
+    const waitstate::CollectiveReadyMsg& msg) {
+  broadcastDown(topology_.root(),
+                ToolMsg{waitstate::CollectiveAckMsg{msg.comm, msg.wave}});
+}
+
+// --- Detection (paper §5) -------------------------------------------------------------
+
+void DistributedTool::onQuiescence() {
+  if (detectionInProgress_) return;
+  if (deadlockFound()) return;
+  if (analysisFinished() && runtime_.allFinalized()) return;
+  if (quiescenceDetections_ >= 3) return;  // diverging: give up safely
+  ++quiescenceDetections_;
+  startDetection();
+}
+
+void DistributedTool::onPeriodic() {
+  if (deadlockFound()) return;
+  if (runtime_.allFinalized() && analysisFinished()) return;
+  if (!detectionInProgress_ && !analysisFinished()) startDetection();
+  engine_.schedule(config_.periodicDetection, [this] { onPeriodic(); });
+}
+
+void DistributedTool::startDetection() {
+  WST_ASSERT(!detectionInProgress_, "detection already running");
+  detectionInProgress_ = true;
+  ++epoch_;
+  acksAtRoot_ = 0;
+  gatheredConditions_.assign(static_cast<std::size_t>(runtime_.procCount()),
+                             wfg::NodeConditions{});
+  gatheredProcs_ = 0;
+  syncStart_ = engine_.now();
+  broadcastDown(topology_.root(), ToolMsg{RequestConsistentStateMsg{epoch_}});
+}
+
+void DistributedTool::handleRequestConsistentState(NodeId node,
+                                                   std::uint32_t epoch) {
+  NodeState& ns = *nodes_[static_cast<std::size_t>(node)];
+  ns.tracker->stopProgress();
+  ns.epoch = epoch;
+
+  // Nodes that may still owe us wait-state messages: those hosting matching
+  // receives of our outstanding sends (paper Figure 8). The node itself is a
+  // valid target: same-node matching uses the (FIFO, zero-latency) self
+  // channel, and the self ping-pong flushes it exactly like a remote one.
+  std::vector<NodeId> peers;
+  for (const ProcId proc : ns.tracker->activeSendPeerProcs()) {
+    peers.push_back(topology_.nodeOfProc(proc));
+  }
+  std::sort(peers.begin(), peers.end());
+  peers.erase(std::unique(peers.begin(), peers.end()), peers.end());
+
+  ns.outstandingPeers = static_cast<std::int32_t>(peers.size());
+  for (const NodeId peer : peers) {
+    // remaining=1: one more ping-pong follows — the double ping-pong.
+    overlay_->sendIntralayer(node, peer, ToolMsg{PingMsg{node, 1}}, 12);
+  }
+  if (ns.outstandingPeers == 0) maybeAckConsistentState(node);
+}
+
+void DistributedTool::maybeAckConsistentState(NodeId node) {
+  NodeState& ns = *nodes_[static_cast<std::size_t>(node)];
+  const ToolMsg ack{AckConsistentStateMsg{ns.epoch, 1}};
+  if (topology_.isRoot(node)) {
+    overlay_->sendIntralayer(node, node, ack, 12);
+  } else {
+    overlay_->sendUp(node, ack, 12);
+  }
+}
+
+void DistributedTool::handleRootAllAcked() {
+  syncEnd_ = engine_.now();
+  broadcastDown(topology_.root(), ToolMsg{RequestWaitsMsg{epoch_}});
+}
+
+void DistributedTool::handleWaitInfoAtRoot(WaitInfoMsg&& msg) {
+  gatheredSends_.insert(gatheredSends_.end(), msg.activeSends.begin(),
+                        msg.activeSends.end());
+  gatheredWildcards_.insert(gatheredWildcards_.end(),
+                            msg.activeWildcards.begin(),
+                            msg.activeWildcards.end());
+  for (wfg::NodeConditions& cond : msg.conditions) {
+    gatheredConditions_[static_cast<std::size_t>(cond.proc)] =
+        std::move(cond);
+    ++gatheredProcs_;
+  }
+  if (gatheredProcs_ ==
+      static_cast<std::uint32_t>(runtime_.procCount())) {
+    gatherEnd_ = engine_.now();
+    finishDetection();
+  }
+}
+
+void DistributedTool::finishDetection() {
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+  wfg::WaitForGraph graph(runtime_.procCount());
+  for (wfg::NodeConditions& cond : gatheredConditions_) {
+    graph.setNode(std::move(cond));
+  }
+  graph.pruneCollectiveCoWaiters();
+  const auto t1 = Clock::now();
+  const wfg::CheckResult check = graph.check();
+  const auto t2 = Clock::now();
+  wfg::Report report = wfg::makeReport(graph, check);
+  const auto t3 = Clock::now();
+
+  report.times.synchronizationNs = syncEnd_ - syncStart_;
+  report.times.wfgGatherNs = gatherEnd_ - syncEnd_;
+  report.times.graphBuildNs = wallNs(t0, t1);
+  report.times.deadlockCheckNs = wallNs(t1, t2);
+  report.times.outputGenerationNs = wallNs(t2, t3);
+
+  report_ = std::move(report);
+  gatheredConditions_.clear();
+
+  // Unexpected-match check (paper §3.3): cross every gathered active
+  // wildcard receive with every gathered active send to its process.
+  unexpectedMatches_.clear();
+  for (const ActiveWildcardInfo& w : gatheredWildcards_) {
+    for (const ActiveSendInfo& s : gatheredSends_) {
+      if (s.dest != w.op.proc || s.comm != w.comm) continue;
+      if (w.tag != mpi::kAnyTag && w.tag != s.tag) continue;
+      if (s.op.proc == w.op.proc) continue;
+      // Paper §3.3: unexpected means matching bound the wildcard to a
+      // *different* send that is not active in this state. A still-unmatched
+      // wildcard facing an active send is a pending (normal) match.
+      if (w.matched && w.matchedSend != s.op) {
+        unexpectedMatches_.push_back(
+            UnexpectedMatchFact{w.op, s.op, w.matched, w.matchedSend});
+      }
+    }
+  }
+  gatheredSends_.clear();
+  gatheredWildcards_.clear();
+  detectionInProgress_ = false;
+  ++detectionsCompleted_;
+}
+
+}  // namespace wst::must

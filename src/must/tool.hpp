@@ -1,0 +1,185 @@
+// The integrated runtime deadlock detection tool (paper Figure 1(b)).
+//
+// DistributedTool attaches to a simulated MPI runtime as an interposer and
+// assembles the full pipeline:
+//
+//   application ranks --events--> first tool layer (P2PMatch + WaitState,
+//   one DistributedTracker per node, intralayer passSend/recvActive/ack)
+//   --collectiveReady/Ack--> tree/root (CollectiveMatch) --timeout-->
+//   consistent-state protocol --> requestWaits --> WFG build + deadlock
+//   check + DOT/HTML output at the root (WfgCheck).
+//
+// The *centralized baseline* of the paper's evaluation (Figure 1(a),
+// Figure 9) is the same tool instantiated with fanIn >= procCount: a single
+// tool process hosts every rank, so all events and handshakes serialize
+// through one node — exactly the scalability bottleneck the paper replaces.
+//
+// Timeout model: in a discrete-event simulation, "no tool events arrive for
+// the configured timeout" is the moment the event queue drains while some
+// process has not finalized (engine quiescence). An optional periodic
+// timeout additionally triggers detection at fixed virtual-time intervals,
+// which exercises intermediate (non-terminal) consistent states.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "mpi/proc.hpp"
+#include "mpi/runtime.hpp"
+#include "must/messages.hpp"
+#include "must/runtime_comm_view.hpp"
+#include "tbon/overlay.hpp"
+#include "tbon/topology.hpp"
+#include "waitstate/distributed_tracker.hpp"
+#include "wfg/report.hpp"
+
+namespace wst::must {
+
+struct ToolConfig {
+  std::int32_t fanIn = 4;
+  trace::BlockingModel blockingModel = trace::BlockingModel::kConservative;
+  mpi::Bytes eagerThreshold = 4096;
+
+  tbon::OverlayConfig overlay{};
+
+  /// Tool-node service costs per message class. The stress test of paper
+  /// Figure 9 is dominated by these: wait-state messages cannot be
+  /// aggregated (paper §4.2), so every one pays an immediate-send cost.
+  sim::Duration newOpCost = 700;
+  sim::Duration matchInfoCost = 250;
+  sim::Duration intralayerCost = 900;
+  sim::Duration collectiveMsgCost = 300;
+  sim::Duration controlMsgCost = 250;
+
+  /// Local overhead charged to an application rank per intercepted call
+  /// (wrapper + event serialization).
+  sim::Duration appEventCost = 150;
+
+  /// Detect when the simulation quiesces with unfinished processes or a
+  /// stalled analysis (the paper's timeout without an explicit clock).
+  bool detectOnQuiescence = true;
+  /// Additional periodic detection interval (0 disables). Exercises
+  /// consistent-state snapshots of intermediate states.
+  sim::Duration periodicDetection = 0;
+
+  /// Prefer processing wait-state messages (passSend, recvActive,
+  /// recvActiveAck, collectiveReady/Ack) over the bulk NewOp event stream —
+  /// the paper's §6 proposal for reducing the trace-window footprint of
+  /// high-call-rate applications (128.GAPgeofem). MatchInfo stays in the
+  /// normal class: it shares the application channel with NewOp events and
+  /// must not overtake them.
+  bool prioritizeWaitState = false;
+};
+
+class DistributedTool : public mpi::Interposer {
+ public:
+  DistributedTool(sim::Engine& engine, mpi::Runtime& runtime,
+                  ToolConfig config);
+  ~DistributedTool() override;
+
+  /// Convenience: a centralized-baseline configuration (paper Fig. 1(a)).
+  static ToolConfig centralizedConfig(std::int32_t procCount,
+                                      ToolConfig base = {});
+
+  // mpi::Interposer:
+  Hold onEvent(const trace::Event& event) override;
+
+  // --- Results -------------------------------------------------------------
+
+  /// Deadlock report of the last completed detection (if any ran).
+  const std::optional<wfg::Report>& report() const { return report_; }
+  bool deadlockFound() const { return report_ && report_->deadlock; }
+  std::uint32_t detectionsRun() const { return detectionsCompleted_; }
+
+  /// Collective matching errors found at the root (kind/root mismatches).
+  const std::vector<std::string>& usageErrors() const { return usageErrors_; }
+
+  /// Unexpected matches (paper §3.3) found during the last detection round:
+  /// a wildcard receive active at the consistent state could match an
+  /// active send while point-to-point matching bound it elsewhere (or not
+  /// at all). Signals that the conservative blocking model diverged from
+  /// the MPI implementation's choices.
+  struct UnexpectedMatchFact {
+    trace::OpId wildcardRecv{};
+    trace::OpId activeSend{};
+    bool hadMatch = false;
+    trace::OpId matchedSend{};
+  };
+  const std::vector<UnexpectedMatchFact>& unexpectedMatches() const {
+    return unexpectedMatches_;
+  }
+
+  // --- Introspection ---------------------------------------------------------
+
+  const tbon::Topology& topology() const { return topology_; }
+  tbon::Overlay<ToolMsg>& overlay() { return *overlay_; }
+  const waitstate::DistributedTracker& tracker(tbon::NodeId node) const;
+  bool analysisFinished() const;  // every tracker finished every rank
+  std::uint64_t totalTransitions() const;
+  std::size_t maxWindowSize() const;
+
+  /// Manually start a detection round (tests / ablations).
+  void startDetection();
+
+ private:
+  struct NodeState;
+
+  sim::Duration messageCost(tbon::NodeId node, const ToolMsg& msg) const;
+  void handleMessage(tbon::NodeId node, ToolMsg&& msg);
+  void handleAtFirstLayer(tbon::NodeId node, ToolMsg&& msg);
+  void handleAtInner(tbon::NodeId node, ToolMsg&& msg);
+  void handleCollectiveReady(tbon::NodeId node,
+                             const waitstate::CollectiveReadyMsg& msg);
+  void broadcastDown(tbon::NodeId from, const ToolMsg& msg);
+  void rootCollectiveComplete(const waitstate::CollectiveReadyMsg& msg);
+
+  // Consistent-state protocol.
+  void handleRequestConsistentState(tbon::NodeId node, std::uint32_t epoch);
+  void maybeAckConsistentState(tbon::NodeId node);
+  void handleRootAllAcked();
+  void handleWaitInfoAtRoot(WaitInfoMsg&& msg);
+  void finishDetection();
+  void onQuiescence();
+  void onPeriodic();
+
+  sim::Engine& engine_;
+  mpi::Runtime& runtime_;
+  ToolConfig config_;
+  RuntimeCommView commView_;
+  tbon::Topology topology_;
+  std::unique_ptr<tbon::Overlay<ToolMsg>> overlay_;
+  std::vector<std::unique_ptr<NodeState>> nodes_;  // first-layer trackers
+  std::size_t quiescenceHookId_ = 0;
+
+  // Root state.
+  struct RootWaveState {
+    std::uint32_t readyCount = 0;
+    bool kindRecorded = false;
+    mpi::CollectiveKind kind = mpi::CollectiveKind::kBarrier;
+    bool acked = false;
+  };
+  std::map<std::pair<mpi::CommId, std::uint32_t>, RootWaveState> rootWaves_;
+  std::vector<std::string> usageErrors_;
+
+  // Detection round state (root).
+  std::uint32_t epoch_ = 0;
+  bool detectionInProgress_ = false;
+  std::uint32_t detectionsCompleted_ = 0;
+  std::uint32_t quiescenceDetections_ = 0;
+  std::uint32_t acksAtRoot_ = 0;
+  std::vector<wfg::NodeConditions> gatheredConditions_;
+  std::vector<ActiveSendInfo> gatheredSends_;
+  std::vector<ActiveWildcardInfo> gatheredWildcards_;
+  std::vector<UnexpectedMatchFact> unexpectedMatches_;
+  std::uint32_t gatheredProcs_ = 0;
+  sim::Time syncStart_ = 0;
+  sim::Time syncEnd_ = 0;
+  sim::Time gatherEnd_ = 0;
+  std::optional<wfg::Report> report_;
+};
+
+}  // namespace wst::must

@@ -1,0 +1,25 @@
+// Small awaitable helpers on top of the engine.
+#pragma once
+
+#include <coroutine>
+
+#include "sim/engine.hpp"
+
+namespace wst::sim {
+
+/// Awaitable that suspends the coroutine for `d` of virtual time.
+/// Zero-duration delays complete without suspending.
+struct Delay {
+  Engine& engine;
+  Duration duration;
+
+  bool await_ready() const noexcept { return duration == 0; }
+  void await_suspend(std::coroutine_handle<> h) const {
+    engine.schedule(duration, [h] { h.resume(); });
+  }
+  void await_resume() const noexcept {}
+};
+
+inline Delay delayFor(Engine& engine, Duration d) { return Delay{engine, d}; }
+
+}  // namespace wst::sim

@@ -1,0 +1,67 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+#include "support/assert.hpp"
+
+namespace wst::sim {
+
+void Engine::schedule(Duration delay, Action action) {
+  scheduleAt(now_ + delay, std::move(action));
+}
+
+void Engine::scheduleAt(Time when, Action action) {
+  WST_ASSERT(when >= now_, "cannot schedule an event in the virtual past");
+  queue_.push(Event{when, nextSeq_++, std::move(action)});
+}
+
+std::size_t Engine::addQuiescenceHook(Action hook) {
+  const std::size_t id = nextHookId_++;
+  quiescenceHooks_.emplace_back(id, std::move(hook));
+  return id;
+}
+
+void Engine::removeQuiescenceHook(std::size_t id) {
+  std::erase_if(quiescenceHooks_,
+                [id](const auto& entry) { return entry.first == id; });
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; the action must be moved out before
+  // pop, so copy the header fields and move the closure via const_cast-free
+  // re-push-less approach: take a copy of top (Action copy), then pop.
+  Event event = queue_.top();
+  queue_.pop();
+  WST_ASSERT(event.when >= now_, "event queue returned a past event");
+  now_ = event.when;
+  ++executed_;
+  event.action();
+  return true;
+}
+
+bool Engine::runQuiescenceHooks() {
+  // Copy: a hook may register/unregister hooks while running.
+  const auto hooks = quiescenceHooks_;
+  for (const auto& [id, hook] : hooks) {
+    hook();
+    if (!queue_.empty()) return true;
+  }
+  return !queue_.empty();
+}
+
+void Engine::run() {
+  for (;;) {
+    while (step()) {
+    }
+    if (!runQuiescenceHooks()) return;
+  }
+}
+
+std::uint64_t Engine::runSome(std::uint64_t maxEvents) {
+  std::uint64_t count = 0;
+  while (count < maxEvents && step()) ++count;
+  return count;
+}
+
+}  // namespace wst::sim

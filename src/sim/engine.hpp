@@ -1,0 +1,86 @@
+// Discrete-event simulation engine.
+//
+// The engine owns a priority queue of (time, sequence, action) events and a
+// virtual clock. Everything in the reproduction — simulated MPI ranks,
+// simulated TBON tool nodes, channel deliveries — runs as engine events, so a
+// single-threaded run is fully deterministic: ties in time are broken by
+// insertion sequence number.
+//
+// Quiescence hooks model the paper's detection timeout: in the real tool the
+// TBON root starts graph-based deadlock detection when no events arrive for a
+// configurable timeout. In a discrete-event simulation "no events arrive
+// anymore" is precisely the moment the event queue drains while the system
+// has not terminated, so we surface that moment as a callback. Hooks may
+// schedule new events (the consistent-state protocol), which resumes the run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace wst::sim {
+
+class Engine {
+ public:
+  using Action = std::function<void()>;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current virtual time.
+  Time now() const { return now_; }
+
+  /// Schedule `action` to run at now() + delay.
+  void schedule(Duration delay, Action action);
+
+  /// Schedule `action` at an absolute virtual time (must be >= now()).
+  void scheduleAt(Time when, Action action);
+
+  /// Register a hook invoked whenever the event queue drains. Hooks run in
+  /// registration order; if any hook schedules new events the run continues.
+  /// Returns an id usable with removeQuiescenceHook.
+  std::size_t addQuiescenceHook(Action hook);
+  void removeQuiescenceHook(std::size_t id);
+
+  /// Run until the event queue is empty and no quiescence hook reschedules.
+  void run();
+
+  /// Run at most `maxEvents` events (for incremental/step debugging).
+  /// Returns the number of events actually executed.
+  std::uint64_t runSome(std::uint64_t maxEvents);
+
+  /// True if no events are pending.
+  bool empty() const { return queue_.empty(); }
+
+  /// Number of events executed since construction.
+  std::uint64_t eventsExecuted() const { return executed_; }
+
+ private:
+  struct Event {
+    Time when;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool step();
+  bool runQuiescenceHooks();
+
+  Time now_ = 0;
+  std::uint64_t nextSeq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<std::pair<std::size_t, Action>> quiescenceHooks_;
+  std::size_t nextHookId_ = 0;
+};
+
+}  // namespace wst::sim

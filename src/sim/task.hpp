@@ -1,0 +1,175 @@
+// C++20 coroutine task used to express simulated MPI rank programs.
+//
+// A rank program is written as ordinary blocking-style code:
+//
+//   wst::sim::Task ring(wst::mpi::Proc& self) {
+//     int value = self.rank();
+//     co_await self.send(right, kTag, sizeof value);
+//     co_await self.recv(left, kTag);
+//     co_await self.barrier();
+//     co_await self.finalize();
+//   }
+//
+// Suspension points hand control back to the discrete-event engine; the MPI
+// runtime resumes the coroutine when the modeled operation completes. Tasks
+// support nesting (`co_await subTask(...)`) via symmetric transfer, so
+// workloads can be decomposed into reusable communication phases.
+//
+// Lifetime: Task owns the coroutine frame (RAII). The owner (mpi::Runtime)
+// keeps the root Task of every rank alive for the duration of the run.
+#pragma once
+
+#include <coroutine>
+#include <functional>
+#include <exception>
+#include <utility>
+
+#include "support/assert.hpp"
+
+namespace wst::sim {
+
+class Task {
+ public:
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  struct promise_type {
+    std::coroutine_handle<> continuation;  // resumed when this task finishes
+
+    Task get_return_object() { return Task(Handle::from_promise(*this)); }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      std::coroutine_handle<> await_suspend(Handle h) noexcept {
+        auto cont = h.promise().continuation;
+        return cont ? cont : std::noop_coroutine();
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() {}
+    void unhandled_exception() { std::terminate(); }
+  };
+
+  Task() = default;
+  explicit Task(Handle h) : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  /// Begin executing a root task (one with no awaiting parent). Runs until
+  /// the first suspension point or completion.
+  void start() {
+    WST_ASSERT(handle_ && !handle_.done(), "start() on finished/empty task");
+    handle_.resume();
+  }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+  bool done() const { return !handle_ || handle_.done(); }
+
+  /// Awaiter for task nesting: suspends the parent, runs the child, and
+  /// resumes the parent when the child finishes (symmetric transfer).
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      Handle child;
+      bool await_ready() const noexcept { return !child || child.done(); }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> parent) noexcept {
+        child.promise().continuation = parent;
+        return child;
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  Handle handle_{};
+};
+
+/// One-shot synchronization point between the simulation runtime and a
+/// coroutine. A blocking MPI call suspends its rank's coroutine on a Gate;
+/// the runtime opens the gate when the modeled operation completes.
+///
+/// A Gate may be opened before it is awaited (the completion raced ahead of
+/// the caller reaching the suspension point); in that case the await is a
+/// no-op. At most one coroutine may wait on a gate at a time.
+class Gate {
+ public:
+  Gate() = default;
+  Gate(const Gate&) = delete;
+  Gate& operator=(const Gate&) = delete;
+
+  bool isOpen() const { return open_; }
+
+  /// Open the gate. If a coroutine or callback is parked on it, resumes/runs
+  /// it immediately (we are inside an engine event, so this is a
+  /// deterministic point).
+  void open() {
+    WST_ASSERT(!open_, "Gate opened twice");
+    open_ = true;
+    if (waiter_) {
+      auto w = std::exchange(waiter_, {});
+      w.resume();
+    } else if (callback_) {
+      auto cb = std::exchange(callback_, {});
+      cb();
+    }
+  }
+
+  /// Register a callback to run when the gate opens (runs immediately if the
+  /// gate is already open). Used by non-coroutine runtime code that needs to
+  /// chain work after an interposer hold. Exclusive with a coroutine waiter.
+  void onOpen(std::function<void()> cb) {
+    if (open_) {
+      cb();
+      return;
+    }
+    WST_ASSERT(!waiter_ && !callback_, "Gate already has a waiter");
+    callback_ = std::move(cb);
+  }
+
+  /// Reset a consumed gate so it can be reused for the next operation.
+  void reset() {
+    WST_ASSERT(!waiter_ && !callback_, "Gate reset while something waits");
+    open_ = false;
+  }
+
+  auto wait() noexcept {
+    struct Awaiter {
+      Gate& gate;
+      bool await_ready() const noexcept { return gate.open_; }
+      void await_suspend(std::coroutine_handle<> h) noexcept {
+        WST_ASSERT(!gate.waiter_ && !gate.callback_,
+                   "two waiters on one Gate");
+        gate.waiter_ = h;
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  std::coroutine_handle<> waiter_{};
+  std::function<void()> callback_{};
+  bool open_ = false;
+};
+
+}  // namespace wst::sim

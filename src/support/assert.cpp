@@ -1,0 +1,17 @@
+#include "support/assert.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace wst::support {
+
+void panic(std::string_view condition, std::string_view message,
+           const char* file, int line) {
+  std::fprintf(stderr, "[wst] assertion failed: %.*s\n  %.*s\n  at %s:%d\n",
+               static_cast<int>(condition.size()), condition.data(),
+               static_cast<int>(message.size()), message.data(), file, line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace wst::support

@@ -1,0 +1,30 @@
+// Runtime assertion helpers for the wst library.
+//
+// We keep assertions enabled in all build types: the analyses in this library
+// (wait state tracking, matching, deadlock detection) rely on structural
+// invariants whose violation would silently produce wrong verdicts. A loud
+// abort with a source location is preferable to a wrong deadlock report.
+#pragma once
+
+#include <string_view>
+
+namespace wst::support {
+
+/// Print a diagnostic to stderr and abort. Never returns.
+[[noreturn]] void panic(std::string_view condition, std::string_view message,
+                        const char* file, int line);
+
+}  // namespace wst::support
+
+/// Assert that `cond` holds; abort with a source location otherwise.
+/// Always active (not compiled out in release builds); see file comment.
+#define WST_ASSERT(cond, msg)                                         \
+  do {                                                                \
+    if (!(cond)) [[unlikely]] {                                       \
+      ::wst::support::panic(#cond, (msg), __FILE__, __LINE__);        \
+    }                                                                 \
+  } while (false)
+
+/// Marks a code path that must be unreachable.
+#define WST_UNREACHABLE(msg) \
+  ::wst::support::panic("unreachable", (msg), __FILE__, __LINE__)

@@ -1,0 +1,31 @@
+#include "support/log.hpp"
+
+#include <cstdio>
+
+namespace wst::support {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void setLogLevel(LogLevel level) { g_level = level; }
+LogLevel logLevel() { return g_level; }
+
+void logLine(LogLevel level, std::string_view message) {
+  if (level < g_level) return;
+  std::fprintf(stderr, "[wst %s] %.*s\n", levelName(level),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace wst::support

@@ -1,0 +1,26 @@
+// Minimal leveled logging to stderr.
+//
+// The tool's user-facing output (deadlock reports) goes through wst::wfg
+// report emitters, not this logger; this is for diagnostics and tests.
+#pragma once
+
+#include <string_view>
+
+namespace wst::support {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped. Defaults to kWarn so
+/// benchmarks and tests stay quiet unless a failure needs context.
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/// Emit one log line (appends '\n').
+void logLine(LogLevel level, std::string_view message);
+
+inline void logDebug(std::string_view m) { logLine(LogLevel::kDebug, m); }
+inline void logInfo(std::string_view m) { logLine(LogLevel::kInfo, m); }
+inline void logWarn(std::string_view m) { logLine(LogLevel::kWarn, m); }
+inline void logError(std::string_view m) { logLine(LogLevel::kError, m); }
+
+}  // namespace wst::support

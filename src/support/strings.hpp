@@ -1,0 +1,34 @@
+// Small string formatting helpers.
+//
+// libstdc++ 12 does not ship std::format, so we provide the handful of
+// formatting utilities the library needs (reports, DOT output, bench tables)
+// on top of snprintf.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wst::support {
+
+/// printf-style formatting into a std::string.
+[[gnu::format(printf, 1, 2)]] std::string format(const char* fmt, ...);
+
+/// Join elements with a separator: join({"a","b"}, ", ") == "a, b".
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Human-readable engineering formatting of a nanosecond duration,
+/// e.g. 1'234'567 -> "1.235 ms".
+std::string formatDurationNs(std::uint64_t ns);
+
+/// Thousands-separated integer: 1234567 -> "1,234,567".
+std::string withCommas(std::uint64_t value);
+
+/// Escape a string for inclusion in HTML text content.
+std::string htmlEscape(std::string_view text);
+
+/// Escape a string for inclusion in a DOT double-quoted identifier.
+std::string dotEscape(std::string_view text);
+
+}  // namespace wst::support

@@ -1,0 +1,265 @@
+// Generic simulated TBON overlay: channels + per-node sequential service.
+//
+// The overlay owns
+//  * one flow-controlled channel from every application process to its
+//    first-layer node (finite credits: a saturated tool node back-pressures
+//    the application, the slowdown mechanism of paper Figures 9/12),
+//  * intralayer channels between first-layer nodes (paper [13]) used by
+//    passSend / recvActive / recvActiveAck and the consistent-state
+//    ping-pong,
+//  * tree channels (up and down) used by collective matching aggregation,
+//    collectiveReady/collectiveAck, and the detection protocol.
+//
+// All channels are non-overtaking (sim::Channel guarantees it), which the
+// distributed algorithm requires. Every node processes its merged inbox
+// strictly sequentially with a configurable per-message service cost —
+// tool nodes are single-threaded processes in the real system.
+//
+// The overlay is a class template over the tool's message type so the TBON
+// machinery stays independent of MUST-specific message sets.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sim/channel.hpp"
+#include "sim/engine.hpp"
+#include "support/assert.hpp"
+#include "tbon/topology.hpp"
+
+namespace wst::tbon {
+
+enum class LinkClass : std::uint8_t {
+  kAppToLeaf = 0,
+  kIntralayer = 1,
+  kUp = 2,
+  kDown = 3,
+  kSelf = 4,
+};
+inline constexpr std::size_t kLinkClassCount = 5;
+
+struct OverlayConfig {
+  sim::ChannelConfig appToLeaf{
+      .latency = 2'000, .perByte = 0, .credits = 64};
+  sim::ChannelConfig intralayer{.latency = 2'000, .perByte = 0, .credits = 0};
+  sim::ChannelConfig treeUp{.latency = 2'000, .perByte = 0, .credits = 0};
+  sim::ChannelConfig treeDown{.latency = 2'000, .perByte = 0, .credits = 0};
+};
+
+template <typename M>
+class Overlay {
+ public:
+  /// Invoked once per delivered message, on the receiving node, in arrival
+  /// order. Runs inside an engine event.
+  using Handler = std::function<void(NodeId self, M&&)>;
+  /// Service cost the receiving node pays per message.
+  using CostFn = std::function<sim::Duration(NodeId self, const M&)>;
+  /// Optional message priority: urgent messages are processed before normal
+  /// ones (per node; FIFO within each class). Implements the paper's §6
+  /// proposal of preferring wait-state messages over the bulk event stream
+  /// to shrink trace windows. Note that messages of the same channel whose
+  /// relative order carries meaning must share a class.
+  using UrgencyFn = std::function<bool(const M&)>;
+
+  Overlay(sim::Engine& engine, const Topology& topology, OverlayConfig config,
+          CostFn cost)
+      : engine_(engine),
+        topology_(topology),
+        config_(config),
+        cost_(std::move(cost)),
+        nodes_(static_cast<std::size_t>(topology.nodeCount())) {
+    // Application injection channels.
+    appChannels_.reserve(static_cast<std::size_t>(topology.procCount()));
+    for (trace::ProcId p = 0; p < topology.procCount(); ++p) {
+      const NodeId leaf = topology.nodeOfProc(p);
+      appChannels_.push_back(makeChannel(leaf, config_.appToLeaf,
+                                         LinkClass::kAppToLeaf));
+    }
+  }
+
+  void setHandler(Handler handler) { handler_ = std::move(handler); }
+  void setUrgency(UrgencyFn urgency) { urgency_ = std::move(urgency); }
+
+  const Topology& topology() const { return topology_; }
+  sim::Engine& engine() { return engine_; }
+
+  // --- Application-side injection (flow controlled) -------------------------
+
+  bool canInject(trace::ProcId proc) const {
+    return appChannels_[static_cast<std::size_t>(proc)]->hasCredit();
+  }
+  void onceInjectCredit(trace::ProcId proc, std::function<void()> cb) {
+    appChannels_[static_cast<std::size_t>(proc)]->onceCredit(std::move(cb));
+  }
+  void inject(trace::ProcId proc, M msg, std::size_t bytes) {
+    count(LinkClass::kAppToLeaf, bytes);
+    appChannels_[static_cast<std::size_t>(proc)]->send(std::move(msg), bytes);
+  }
+  /// Inject bypassing flow control (events that must never block the rank,
+  /// e.g. MatchInfo piggybacked on an operation's completion).
+  void injectUnthrottled(trace::ProcId proc, M msg, std::size_t bytes) {
+    count(LinkClass::kAppToLeaf, bytes);
+    appChannels_[static_cast<std::size_t>(proc)]->sendUnthrottled(
+        std::move(msg), bytes);
+  }
+
+  // --- Node-side sends -------------------------------------------------------
+
+  void sendUp(NodeId from, M msg, std::size_t bytes) {
+    const NodeId parent = topology_.node(from).parent;
+    WST_ASSERT(parent >= 0, "sendUp from the root");
+    count(LinkClass::kUp, bytes);
+    link(from, parent, config_.treeUp, LinkClass::kUp)
+        ->send(std::move(msg), bytes);
+  }
+
+  void sendDown(NodeId from, NodeId child, M msg, std::size_t bytes) {
+    count(LinkClass::kDown, bytes);
+    link(from, child, config_.treeDown, LinkClass::kDown)
+        ->send(std::move(msg), bytes);
+  }
+
+  /// Send to a node in the same layer; from == to enqueues locally.
+  void sendIntralayer(NodeId from, NodeId to, M msg, std::size_t bytes) {
+    if (from == to) {
+      count(LinkClass::kSelf, bytes);
+      link(from, to, sim::ChannelConfig{.latency = 0, .perByte = 0,
+                                        .credits = 0},
+           LinkClass::kSelf)
+          ->send(std::move(msg), bytes);
+      return;
+    }
+    WST_ASSERT(topology_.node(from).layer == topology_.node(to).layer,
+               "sendIntralayer requires same-layer nodes");
+    count(LinkClass::kIntralayer, bytes);
+    link(from, to, config_.intralayer, LinkClass::kIntralayer)
+        ->send(std::move(msg), bytes);
+  }
+
+  // --- Statistics ------------------------------------------------------------
+
+  std::uint64_t messages(LinkClass c) const {
+    return stats_[static_cast<std::size_t>(c)].messages;
+  }
+  std::uint64_t bytes(LinkClass c) const {
+    return stats_[static_cast<std::size_t>(c)].bytes;
+  }
+  std::uint64_t totalMessages() const {
+    std::uint64_t total = 0;
+    for (const auto& s : stats_) total += s.messages;
+    return total;
+  }
+  std::size_t maxQueueDepth() const { return maxQueueDepth_; }
+
+ private:
+  using Chan = sim::Channel<M>;
+
+  struct NodeRuntime {
+    std::deque<std::pair<M, Chan*>> queue;
+    std::deque<std::pair<M, Chan*>> urgentQueue;
+    bool processing = false;
+    sim::Time busyUntil = 0;
+    std::size_t maxDepth = 0;
+
+    std::size_t depth() const { return queue.size() + urgentQueue.size(); }
+  };
+
+  struct LinkStats {
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  void count(LinkClass linkClass, std::size_t bytes) {
+    auto& stats = stats_[static_cast<std::size_t>(linkClass)];
+    ++stats.messages;
+    stats.bytes += bytes;
+  }
+
+  std::unique_ptr<Chan> makeChannel(NodeId dest, sim::ChannelConfig cfg,
+                                    LinkClass /*linkClass*/) {
+    // The deliver callback needs the channel pointer (to return its credit
+    // after processing); resolve it through a stable index since the channel
+    // does not exist yet while its callback is being constructed.
+    auto channel = std::make_unique<Chan>(
+        engine_, cfg, [this, dest, chanSlot = channelCount_](M&& msg) {
+          deliver(dest, std::move(msg), channelByIndex_[chanSlot]);
+        });
+    channelByIndex_.push_back(channel.get());
+    ++channelCount_;
+    return channel;
+  }
+
+  Chan* link(NodeId from, NodeId to, sim::ChannelConfig cfg,
+             LinkClass linkClass) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 34) |
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(to)) << 4) |
+        static_cast<std::uint64_t>(linkClass);
+    auto it = links_.find(key);
+    if (it == links_.end()) {
+      it = links_.emplace(key, makeChannel(to, cfg, linkClass)).first;
+    }
+    return it->second.get();
+  }
+
+  void deliver(NodeId dest, M&& msg, Chan* origin) {
+    NodeRuntime& node = nodes_[static_cast<std::size_t>(dest)];
+    if (urgency_ && urgency_(msg)) {
+      node.urgentQueue.emplace_back(std::move(msg), origin);
+    } else {
+      node.queue.emplace_back(std::move(msg), origin);
+    }
+    node.maxDepth = std::max(node.maxDepth, node.depth());
+    maxQueueDepth_ = std::max(maxQueueDepth_, node.depth());
+    if (!node.processing) {
+      node.processing = true;
+      const sim::Time startAt = std::max(engine_.now(), node.busyUntil);
+      engine_.scheduleAt(startAt, [this, dest] { processNext(dest); });
+    }
+  }
+
+  void processNext(NodeId dest) {
+    NodeRuntime& node = nodes_[static_cast<std::size_t>(dest)];
+    WST_ASSERT(node.depth() > 0, "processNext on empty queue");
+    auto& source = node.urgentQueue.empty() ? node.queue : node.urgentQueue;
+    auto [msg, origin] = std::move(source.front());
+    source.pop_front();
+    const sim::Duration cost = cost_ ? cost_(dest, msg) : 0;
+    handler_(dest, std::move(msg));
+    node.busyUntil = engine_.now() + cost;
+    // The credit models a finite receive buffer slot: it frees once the
+    // node has *processed* the message.
+    if (origin != nullptr && origin->config().credits != 0) {
+      engine_.scheduleAt(node.busyUntil,
+                         [origin] { origin->returnCredit(); });
+    }
+    if (node.depth() > 0) {
+      engine_.scheduleAt(node.busyUntil, [this, dest] { processNext(dest); });
+    } else {
+      node.processing = false;
+    }
+  }
+
+  sim::Engine& engine_;
+  const Topology& topology_;
+  OverlayConfig config_;
+  CostFn cost_;
+  Handler handler_;
+  UrgencyFn urgency_;
+
+  std::vector<NodeRuntime> nodes_;
+  std::vector<std::unique_ptr<Chan>> appChannels_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Chan>> links_;
+  std::vector<Chan*> channelByIndex_;
+  std::size_t channelCount_ = 0;
+  LinkStats stats_[kLinkClassCount]{};
+  std::size_t maxQueueDepth_ = 0;
+};
+
+}  // namespace wst::tbon

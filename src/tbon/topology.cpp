@@ -1,0 +1,67 @@
+#include "tbon/topology.hpp"
+
+#include "support/assert.hpp"
+
+namespace wst::tbon {
+
+Topology::Topology(std::int32_t procCount, std::int32_t fanIn)
+    : procCount_(procCount), fanIn_(fanIn) {
+  WST_ASSERT(procCount > 0, "Topology needs at least one process");
+  WST_ASSERT(fanIn > 1, "Topology fan-in must be at least 2");
+
+  // First layer: one node per fanIn consecutive processes.
+  firstLayerCount_ = (procCount + fanIn - 1) / fanIn;
+  for (std::int32_t i = 0; i < firstLayerCount_; ++i) {
+    NodeInfo node;
+    node.id = static_cast<NodeId>(nodes_.size());
+    node.layer = 1;
+    node.procLo = i * fanIn;
+    node.procHi = std::min(procCount, (i + 1) * fanIn);
+    nodes_.push_back(std::move(node));
+  }
+  layerCount_ = 1;
+
+  // Higher layers reduce by fanIn until one node remains.
+  std::int32_t layerStart = 0;
+  std::int32_t layerSize = firstLayerCount_;
+  while (layerSize > 1) {
+    const std::int32_t nextSize = (layerSize + fanIn - 1) / fanIn;
+    ++layerCount_;
+    for (std::int32_t i = 0; i < nextSize; ++i) {
+      NodeInfo node;
+      node.id = static_cast<NodeId>(nodes_.size());
+      node.layer = layerCount_;
+      const std::int32_t childLo = layerStart + i * fanIn;
+      const std::int32_t childHi =
+          std::min(layerStart + layerSize, childLo + fanIn);
+      for (std::int32_t c = childLo; c < childHi; ++c) {
+        node.children.push_back(c);
+        nodes_[static_cast<std::size_t>(c)].parent = node.id;
+      }
+      node.procLo = nodes_[static_cast<std::size_t>(childLo)].procLo;
+      node.procHi = nodes_[static_cast<std::size_t>(childHi - 1)].procHi;
+      nodes_.push_back(std::move(node));
+    }
+    layerStart += layerSize;
+    layerSize = nextSize;
+  }
+}
+
+const NodeInfo& Topology::node(NodeId id) const {
+  WST_ASSERT(id >= 0 && id < nodeCount(), "node id out of range");
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+NodeId Topology::nodeOfProc(trace::ProcId proc) const {
+  WST_ASSERT(proc >= 0 && proc < procCount_, "process id out of range");
+  return proc / fanIn_;
+}
+
+std::vector<NodeId> Topology::firstLayerNodes() const {
+  std::vector<NodeId> out;
+  out.reserve(static_cast<std::size_t>(firstLayerCount_));
+  for (NodeId i = 0; i < firstLayerCount_; ++i) out.push_back(i);
+  return out;
+}
+
+}  // namespace wst::tbon

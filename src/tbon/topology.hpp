@@ -1,0 +1,70 @@
+// Tree-Based Overlay Network topology.
+//
+// The tool attaches one leaf ("first tool layer") node per `fanIn`
+// application processes; higher layers reduce by the same fan-in until a
+// single root remains (paper §1/§4: Periscope/MRNet/GTI-style TBON). The
+// first tool layer runs distributed point-to-point matching and wait state
+// tracking; the full tree matches collectives; the root runs the graph-based
+// deadlock check.
+//
+// Node numbering: first-layer nodes come first (0 .. firstLayerCount-1),
+// then each higher layer in order; the root is the last id. A topology with
+// a single first-layer node has that node double as the root.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/op.hpp"
+
+namespace wst::tbon {
+
+using NodeId = std::int32_t;
+
+struct NodeInfo {
+  NodeId id = -1;
+  std::int32_t layer = 1;  // 1 = first tool layer
+  NodeId parent = -1;      // -1 for the root
+  std::vector<NodeId> children;  // lower-layer tool nodes (empty on layer 1)
+  /// Application processes routed to this node's subtree: [procLo, procHi).
+  /// For first-layer nodes this is the hosted process range.
+  trace::ProcId procLo = 0;
+  trace::ProcId procHi = 0;
+
+  std::int32_t procCount() const { return procHi - procLo; }
+};
+
+class Topology {
+ public:
+  /// Build a TBON over `procCount` application processes with the given
+  /// fan-in (paper evaluates fan-ins 2, 4, and 8).
+  Topology(std::int32_t procCount, std::int32_t fanIn);
+
+  std::int32_t procCount() const { return procCount_; }
+  std::int32_t fanIn() const { return fanIn_; }
+  std::int32_t nodeCount() const {
+    return static_cast<std::int32_t>(nodes_.size());
+  }
+  std::int32_t firstLayerCount() const { return firstLayerCount_; }
+  std::int32_t layerCount() const { return layerCount_; }
+
+  const NodeInfo& node(NodeId id) const;
+  NodeId root() const { return nodeCount() - 1; }
+  bool isRoot(NodeId id) const { return id == root(); }
+  bool isFirstLayer(NodeId id) const { return id < firstLayerCount_; }
+
+  /// First-layer node hosting application process `proc`.
+  NodeId nodeOfProc(trace::ProcId proc) const;
+
+  /// All node ids of the first layer.
+  std::vector<NodeId> firstLayerNodes() const;
+
+ private:
+  std::int32_t procCount_;
+  std::int32_t fanIn_;
+  std::int32_t firstLayerCount_ = 0;
+  std::int32_t layerCount_ = 0;
+  std::vector<NodeInfo> nodes_;
+};
+
+}  // namespace wst::tbon

@@ -1,0 +1,143 @@
+// Fluent construction of matched traces for tests and documentation.
+//
+// The transition system tests build small programs like paper Figure 2/3/4
+// directly as matched traces; TraceBuilder keeps that terse:
+//
+//   TraceBuilder b(2);
+//   auto s0 = b.send(0, /*to=*/1);
+//   auto r1 = b.recv(1, /*from=*/0);
+//   b.match(s0, r1);
+//   auto trace = b.take();
+#pragma once
+
+#include <initializer_list>
+#include <utility>
+#include <vector>
+
+#include "trace/matched_trace.hpp"
+
+namespace wst::trace {
+
+class TraceBuilder {
+ public:
+  explicit TraceBuilder(std::int32_t procCount)
+      : trace_(procCount), nextRequest_(static_cast<std::size_t>(procCount), 0) {}
+
+  // --- Point-to-point ------------------------------------------------------
+
+  OpId send(ProcId proc, mpi::Rank to, mpi::Tag tag = 0,
+            mpi::SendMode mode = mpi::SendMode::kStandard,
+            mpi::Bytes bytes = 4) {
+    Record r = base(proc, Kind::kSend);
+    r.peer = to;
+    r.tag = tag;
+    r.sendMode = mode;
+    r.bytes = bytes;
+    return push(r);
+  }
+
+  OpId recv(ProcId proc, mpi::Rank from, mpi::Tag tag = 0) {
+    Record r = base(proc, Kind::kRecv);
+    r.peer = from;
+    r.tag = tag;
+    return push(r);
+  }
+
+  OpId probe(ProcId proc, mpi::Rank from, mpi::Tag tag = 0) {
+    Record r = base(proc, Kind::kProbe);
+    r.peer = from;
+    r.tag = tag;
+    return push(r);
+  }
+
+  // --- Non-blocking + completions -----------------------------------------
+
+  /// Returns (operation id, request id).
+  std::pair<OpId, mpi::RequestId> isend(ProcId proc, mpi::Rank to,
+                                        mpi::Tag tag = 0,
+                                        mpi::SendMode mode =
+                                            mpi::SendMode::kStandard) {
+    Record r = base(proc, Kind::kIsend);
+    r.peer = to;
+    r.tag = tag;
+    r.sendMode = mode;
+    r.request = nextRequest_[static_cast<std::size_t>(proc)]++;
+    return {push(r), r.request};
+  }
+
+  std::pair<OpId, mpi::RequestId> irecv(ProcId proc, mpi::Rank from,
+                                        mpi::Tag tag = 0) {
+    Record r = base(proc, Kind::kIrecv);
+    r.peer = from;
+    r.tag = tag;
+    r.request = nextRequest_[static_cast<std::size_t>(proc)]++;
+    return {push(r), r.request};
+  }
+
+  OpId completion(ProcId proc, Kind kind,
+                  std::initializer_list<mpi::RequestId> requests) {
+    Record r = base(proc, kind);
+    r.completes.assign(requests);
+    return push(r);
+  }
+  OpId wait(ProcId proc, mpi::RequestId req) {
+    return completion(proc, Kind::kWait, {req});
+  }
+
+  // --- Collectives ---------------------------------------------------------
+
+  OpId collective(ProcId proc, mpi::CollectiveKind kind,
+                  mpi::CommId comm = mpi::kCommWorld, mpi::Rank root = 0) {
+    Record r = base(proc, Kind::kCollective);
+    r.collective = kind;
+    r.comm = comm;
+    r.root = root;
+    return push(r);
+  }
+
+  /// Append a barrier on every process and match them into one complete
+  /// wave over MPI_COMM_WORLD.
+  void barrierAll() {
+    const auto wave = trace_.addCollectiveWave(
+        mpi::kCommWorld, mpi::CollectiveKind::kBarrier,
+        static_cast<std::uint32_t>(trace_.procCount()));
+    for (ProcId p = 0; p < trace_.procCount(); ++p) {
+      trace_.addToWave(wave, collective(p, mpi::CollectiveKind::kBarrier));
+    }
+  }
+
+  void finalize(ProcId proc) { push(base(proc, Kind::kFinalize)); }
+  void finalizeAll() {
+    for (ProcId p = 0; p < trace_.procCount(); ++p) finalize(p);
+  }
+
+  // --- Matching pass-throughs ----------------------------------------------
+
+  void match(OpId send, OpId recv) { trace_.matchSendRecv(send, recv); }
+  void matchProbe(OpId probe, OpId send) { trace_.matchProbe(probe, send); }
+  std::size_t wave(mpi::CommId comm, mpi::CollectiveKind kind,
+                   std::uint32_t groupSize) {
+    return trace_.addCollectiveWave(comm, kind, groupSize);
+  }
+  void addToWave(std::size_t wave, OpId op) { trace_.addToWave(wave, op); }
+
+  MatchedTrace& trace() { return trace_; }
+  MatchedTrace take() { return std::move(trace_); }
+
+ private:
+  Record base(ProcId proc, Kind kind) {
+    Record r;
+    r.id = OpId{proc, trace_.length(proc)};
+    r.kind = kind;
+    return r;
+  }
+  OpId push(const Record& r) {
+    trace_.append(r);
+    return r.id;
+  }
+
+  MatchedTrace trace_;
+  std::vector<mpi::RequestId> nextRequest_;
+};
+
+}  // namespace wst::trace

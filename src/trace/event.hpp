@@ -1,0 +1,44 @@
+// Events flowing from application processes into the tool.
+//
+// These correspond to what a PMPI interposition layer observes: one NewOp
+// event per MPI call at call entry, plus — for wildcard receives only — a
+// MatchInfo event once the MPI implementation's matching decision is
+// observable (paper §4.1: "the node that hosts the receive waits for an
+// additional status update that reveals the matching decision of the MPI
+// implementation"). Following the observed execution is what makes the
+// analysis free of false positives (paper §2).
+#pragma once
+
+#include <variant>
+
+#include "trace/op.hpp"
+
+namespace wst::trace {
+
+/// An MPI call entered on a process. `rec.id.ts` is the call's logical
+/// timestamp, assigned in call order by the interposition wrapper.
+struct NewOpEvent {
+  Record rec;
+};
+
+/// Matching decision for a wildcard receive/probe observed at call exit:
+/// the receive `recvOp` received from `source`. Combined with per-channel
+/// FIFO order, this identifies the matching send uniquely.
+struct MatchInfoEvent {
+  OpId recvOp;
+  mpi::Rank source = -1;
+  mpi::Tag tag = 0;
+};
+
+using Event = std::variant<NewOpEvent, MatchInfoEvent>;
+
+/// Modeled wire size of an event, used for channel bandwidth accounting.
+inline std::size_t modeledSize(const Event& event) {
+  if (std::holds_alternative<NewOpEvent>(event)) {
+    const auto& rec = std::get<NewOpEvent>(event).rec;
+    return 32 + 4 * rec.completes.size();
+  }
+  return 16;
+}
+
+}  // namespace wst::trace

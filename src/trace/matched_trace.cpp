@@ -1,0 +1,135 @@
+#include "trace/matched_trace.hpp"
+
+#include "support/assert.hpp"
+#include "support/strings.hpp"
+
+namespace wst::trace {
+
+MatchedTrace::MatchedTrace(std::int32_t procCount)
+    : ops_(static_cast<std::size_t>(procCount)),
+      requestOrigin_(static_cast<std::size_t>(procCount)) {
+  WST_ASSERT(procCount > 0, "MatchedTrace needs at least one process");
+  std::vector<ProcId> world(static_cast<std::size_t>(procCount));
+  for (std::int32_t i = 0; i < procCount; ++i)
+    world[static_cast<std::size_t>(i)] = i;
+  commGroups_.emplace(mpi::kCommWorld, std::move(world));
+}
+
+void MatchedTrace::setCommGroup(mpi::CommId comm, std::vector<ProcId> group) {
+  commGroups_[comm] = std::move(group);
+}
+
+const std::vector<ProcId>& MatchedTrace::commGroup(mpi::CommId comm) const {
+  const auto it = commGroups_.find(comm);
+  WST_ASSERT(it != commGroups_.end(), "unknown communicator group");
+  return it->second;
+}
+
+void MatchedTrace::append(const Record& rec) {
+  const auto proc = static_cast<std::size_t>(rec.id.proc);
+  WST_ASSERT(proc < ops_.size(), "append: process id out of range");
+  WST_ASSERT(rec.id.ts == ops_[proc].size(),
+             "append: timestamp must follow call order");
+  ops_[proc].push_back(rec);
+  ++totalOps_;
+  if (rec.request != mpi::kNullRequest) {
+    const bool inserted =
+        requestOrigin_[proc].emplace(rec.request, rec.id).second;
+    WST_ASSERT(inserted, "request ids must not be reused");
+  }
+}
+
+std::uint32_t MatchedTrace::length(ProcId proc) const {
+  const auto p = static_cast<std::size_t>(proc);
+  WST_ASSERT(p < ops_.size(), "length: process id out of range");
+  return static_cast<std::uint32_t>(ops_[p].size());
+}
+
+const Record& MatchedTrace::op(OpId id) const {
+  const auto proc = static_cast<std::size_t>(id.proc);
+  WST_ASSERT(proc < ops_.size() && id.ts < ops_[proc].size(),
+             "op: id out of range");
+  return ops_[proc][id.ts];
+}
+
+bool MatchedTrace::hasOp(OpId id) const {
+  const auto proc = static_cast<std::size_t>(id.proc);
+  return proc < ops_.size() && id.ts < ops_[proc].size();
+}
+
+void MatchedTrace::matchSendRecv(OpId send, OpId recv) {
+  // Sendrecv operations participate on both sides: their send half matches a
+  // receive elsewhere, their receive half matches a send elsewhere.
+  WST_ASSERT(op(send).isSendLike() || op(send).kind == Kind::kSendrecv,
+             "matchSendRecv: not a send");
+  WST_ASSERT((op(recv).isRecvLike() && op(recv).kind != Kind::kProbe &&
+              op(recv).kind != Kind::kIprobe) ||
+                 op(recv).kind == Kind::kSendrecv,
+             "matchSendRecv: not a consuming receive");
+  const bool s = sendToRecv_.emplace(send, recv).second;
+  const bool r = recvToSend_.emplace(recv, send).second;
+  WST_ASSERT(s && r, "matchSendRecv: operation matched twice");
+}
+
+void MatchedTrace::matchProbe(OpId probe, OpId send) {
+  WST_ASSERT(op(probe).kind == Kind::kProbe || op(probe).kind == Kind::kIprobe,
+             "matchProbe: not a probe");
+  WST_ASSERT(op(send).isSendLike(), "matchProbe: not a send");
+  const bool inserted = recvToSend_.emplace(probe, send).second;
+  WST_ASSERT(inserted, "matchProbe: probe matched twice");
+  sendToProbes_[send].push_back(probe);
+}
+
+std::vector<OpId> MatchedTrace::probesOf(OpId send) const {
+  const auto it = sendToProbes_.find(send);
+  if (it == sendToProbes_.end()) return {};
+  return it->second;
+}
+
+std::optional<OpId> MatchedTrace::recvOf(OpId send) const {
+  const auto it = sendToRecv_.find(send);
+  if (it == sendToRecv_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<OpId> MatchedTrace::sendOf(OpId recvOrProbe) const {
+  const auto it = recvToSend_.find(recvOrProbe);
+  if (it == recvToSend_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t MatchedTrace::addCollectiveWave(mpi::CommId comm,
+                                            mpi::CollectiveKind kind,
+                                            std::uint32_t groupSize) {
+  WST_ASSERT(groupSize > 0, "collective wave needs a non-empty group");
+  waves_.push_back(CollectiveWave{comm, kind, {}, groupSize});
+  return waves_.size() - 1;
+}
+
+void MatchedTrace::addToWave(std::size_t wave, OpId op) {
+  WST_ASSERT(wave < waves_.size(), "addToWave: wave out of range");
+  WST_ASSERT(this->op(op).kind == Kind::kCollective,
+             "addToWave: not a collective operation");
+  auto& w = waves_[wave];
+  WST_ASSERT(w.members.size() < w.groupSize, "addToWave: wave already full");
+  w.members.push_back(op);
+  const bool inserted = opToWave_.emplace(op, wave).second;
+  WST_ASSERT(inserted, "addToWave: operation already in a wave");
+}
+
+std::optional<std::size_t> MatchedTrace::waveOf(OpId op) const {
+  const auto it = opToWave_.find(op);
+  if (it == opToWave_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<OpId> MatchedTrace::requestOrigin(ProcId proc,
+                                                mpi::RequestId request) const {
+  const auto p = static_cast<std::size_t>(proc);
+  WST_ASSERT(p < requestOrigin_.size(), "requestOrigin: proc out of range");
+  const auto it = requestOrigin_[p].find(request);
+  if (it == requestOrigin_[p].end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace wst::trace

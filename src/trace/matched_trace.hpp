@@ -1,0 +1,127 @@
+// A matched trace: the input of the wait state transition system.
+//
+// Paper §3.1: "The input of our wait state analysis is a matched trace that
+// is derived from distributed point-to-point and collective matching."
+// This container holds, for a finite set of processes P = {0..p-1}:
+//
+//  * the operation sequence t(i) of every process,
+//  * the point-to-point matching relation (send <-> receive, plus probe ->
+//    send references, which do not consume the send),
+//  * collective waves (sets C of matching collective operations), and
+//  * the request table mapping (process, request) to the non-blocking
+//    operation that created it, used by completion rules 4(I)/4(II).
+//
+// MatchedTrace is the *offline* representation: the formal transition system
+// executor (waitstate::TransitionSystem) and the centralized baseline consume
+// it directly; the distributed implementation works on bounded windows
+// instead and never materializes this object.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/op.hpp"
+
+namespace wst::trace {
+
+/// One set C of matching collective operations (paper rule (3)).
+struct CollectiveWave {
+  mpi::CommId comm = mpi::kCommWorld;
+  mpi::CollectiveKind kind = mpi::CollectiveKind::kBarrier;
+  /// Participants recorded so far (at most one per process).
+  std::vector<OpId> members;
+  /// Number of processes in the communicator's group: the wave is complete
+  /// when members.size() == groupSize.
+  std::uint32_t groupSize = 0;
+
+  bool complete() const { return members.size() == groupSize; }
+};
+
+class MatchedTrace {
+ public:
+  explicit MatchedTrace(std::int32_t procCount);
+
+  std::int32_t procCount() const {
+    return static_cast<std::int32_t>(ops_.size());
+  }
+
+  /// Append the next operation of process `rec.id.proc`. The record's
+  /// timestamp must equal the current sequence length (call order).
+  /// Registers the record's request, if any, in the request table.
+  void append(const Record& rec);
+
+  /// Number of operations recorded for process i (paper: m_i + 1).
+  std::uint32_t length(ProcId proc) const;
+
+  const Record& op(OpId id) const;
+  bool hasOp(OpId id) const;
+
+  // --- Point-to-point matching -------------------------------------------
+
+  /// Record that send `send` matches receive `recv` (consuming match).
+  void matchSendRecv(OpId send, OpId recv);
+
+  /// Record that probe `probe` observed send `send` (non-consuming).
+  void matchProbe(OpId probe, OpId send);
+
+  /// The receive matching a send, if any.
+  std::optional<OpId> recvOf(OpId send) const;
+  /// The send matching a receive/probe, if any.
+  std::optional<OpId> sendOf(OpId recvOrProbe) const;
+  /// All probes that observed a given send (non-consuming matches).
+  std::vector<OpId> probesOf(OpId send) const;
+
+  // --- Collective matching -----------------------------------------------
+
+  /// Add `op` to collective wave `wave` (index into waves()).
+  std::size_t addCollectiveWave(mpi::CommId comm, mpi::CollectiveKind kind,
+                                std::uint32_t groupSize);
+  void addToWave(std::size_t wave, OpId op);
+
+  const std::vector<CollectiveWave>& waves() const { return waves_; }
+  /// Wave index that `op` belongs to, if it is a matched collective.
+  std::optional<std::size_t> waveOf(OpId op) const;
+
+  // --- Communicator groups -------------------------------------------------
+
+  /// Register the member processes of a communicator. kCommWorld is
+  /// registered automatically. Needed by wait-for extraction: a blocked
+  /// collective waits on *group members*, including those that have not
+  /// called the collective yet; a blocked wildcard receive waits on every
+  /// potential sender in the group.
+  void setCommGroup(mpi::CommId comm, std::vector<ProcId> group);
+  const std::vector<ProcId>& commGroup(mpi::CommId comm) const;
+
+  // --- Requests ------------------------------------------------------------
+
+  /// The non-blocking operation that created `request` on `proc`.
+  std::optional<OpId> requestOrigin(ProcId proc, mpi::RequestId request) const;
+
+  /// Total number of operations across all processes.
+  std::uint64_t totalOps() const { return totalOps_; }
+
+ private:
+  struct OpIdHash {
+    std::size_t operator()(const OpId& id) const {
+      return std::hash<std::uint64_t>{}(
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(id.proc))
+           << 32) |
+          id.ts);
+    }
+  };
+
+  std::vector<std::vector<Record>> ops_;
+  std::unordered_map<OpId, OpId, OpIdHash> sendToRecv_;
+  std::unordered_map<OpId, OpId, OpIdHash> recvToSend_;  // also probe -> send
+  std::unordered_map<OpId, std::vector<OpId>, OpIdHash> sendToProbes_;
+  std::unordered_map<mpi::CommId, std::vector<ProcId>> commGroups_;
+  std::vector<CollectiveWave> waves_;
+  std::unordered_map<OpId, std::size_t, OpIdHash> opToWave_;
+  // Request table: requests are never reused, so (proc, request) is unique.
+  std::vector<std::unordered_map<mpi::RequestId, OpId>> requestOrigin_;
+  std::uint64_t totalOps_ = 0;
+};
+
+}  // namespace wst::trace

@@ -1,0 +1,138 @@
+#include "trace/op.hpp"
+
+#include <string>
+
+#include "support/strings.hpp"
+
+namespace wst::trace {
+
+const char* toString(Kind kind) {
+  switch (kind) {
+    case Kind::kSend: return "Send";
+    case Kind::kRecv: return "Recv";
+    case Kind::kProbe: return "Probe";
+    case Kind::kSendrecv: return "Sendrecv";
+    case Kind::kIsend: return "Isend";
+    case Kind::kIrecv: return "Irecv";
+    case Kind::kIprobe: return "Iprobe";
+    case Kind::kSendInit: return "Send_init";
+    case Kind::kRecvInit: return "Recv_init";
+    case Kind::kWait: return "Wait";
+    case Kind::kWaitall: return "Waitall";
+    case Kind::kWaitany: return "Waitany";
+    case Kind::kWaitsome: return "Waitsome";
+    case Kind::kTest: return "Test";
+    case Kind::kTestall: return "Testall";
+    case Kind::kTestany: return "Testany";
+    case Kind::kTestsome: return "Testsome";
+    case Kind::kCollective: return "Collective";
+    case Kind::kFinalize: return "Finalize";
+  }
+  return "?";
+}
+
+bool isBlocking(const Record& op, BlockingModel model,
+                mpi::Bytes eagerThreshold) {
+  switch (op.kind) {
+    case Kind::kRecv:
+    case Kind::kProbe:
+    case Kind::kSendrecv:
+    case Kind::kWait:
+    case Kind::kWaitall:
+    case Kind::kWaitany:
+    case Kind::kWaitsome:
+    case Kind::kCollective:
+      return true;
+    case Kind::kSend:
+      switch (op.sendMode) {
+        case mpi::SendMode::kSynchronous:
+          return true;
+        case mpi::SendMode::kBuffered:
+        case mpi::SendMode::kReady:
+          // Paper: MPI_{B,R}send are non-blocking for b.
+          return false;
+        case mpi::SendMode::kStandard:
+          if (model == BlockingModel::kConservative) return true;
+          return op.bytes > eagerThreshold;
+      }
+      return true;
+    case Kind::kIsend:
+    case Kind::kIrecv:
+    case Kind::kIprobe:
+    case Kind::kSendInit:
+    case Kind::kRecvInit:
+    case Kind::kTest:
+    case Kind::kTestall:
+    case Kind::kTestany:
+    case Kind::kTestsome:
+      return false;
+    case Kind::kFinalize:
+      // Terminal: never advanced past, but also never "waiting" — callers
+      // special-case Finalize before consulting b.
+      return true;
+  }
+  return true;
+}
+
+std::string describe(const Record& op) {
+  using support::format;
+  switch (op.kind) {
+    case Kind::kSend:
+    case Kind::kIsend: {
+      const char* name = op.kind == Kind::kIsend ? "I" : "";
+      const char* mode = "";
+      switch (op.sendMode) {
+        case mpi::SendMode::kStandard: mode = "send"; break;
+        case mpi::SendMode::kBuffered: mode = "bsend"; break;
+        case mpi::SendMode::kSynchronous: mode = "ssend"; break;
+        case mpi::SendMode::kReady: mode = "rsend"; break;
+      }
+      return format("%s%s(to:%d, tag:%d)", name, mode, op.peer, op.tag);
+    }
+    case Kind::kRecv:
+    case Kind::kIrecv: {
+      const char* name = op.kind == Kind::kIrecv ? "Irecv" : "Recv";
+      if (op.peer == mpi::kAnySource)
+        return format("%s(from:ANY, tag:%d)", name, op.tag);
+      return format("%s(from:%d, tag:%d)", name, op.peer, op.tag);
+    }
+    case Kind::kProbe:
+    case Kind::kIprobe: {
+      const char* name = op.kind == Kind::kIprobe ? "Iprobe" : "Probe";
+      if (op.peer == mpi::kAnySource)
+        return format("%s(from:ANY, tag:%d)", name, op.tag);
+      return format("%s(from:%d, tag:%d)", name, op.peer, op.tag);
+    }
+    case Kind::kSendrecv:
+      return format("Sendrecv(to:%d, from:%s)", op.peer,
+                    op.recvPeer == mpi::kAnySource
+                        ? "ANY"
+                        : std::to_string(op.recvPeer).c_str());
+    case Kind::kWait:
+      return "Wait()";
+    case Kind::kWaitall:
+      return format("Waitall(%zu reqs)", op.completes.size());
+    case Kind::kWaitany:
+      return format("Waitany(%zu reqs)", op.completes.size());
+    case Kind::kWaitsome:
+      return format("Waitsome(%zu reqs)", op.completes.size());
+    case Kind::kTest:
+    case Kind::kTestall:
+    case Kind::kTestany:
+    case Kind::kTestsome:
+      return format("%s()", toString(op.kind));
+    case Kind::kSendInit:
+      return format("Send_init(to:%d, tag:%d)", op.peer, op.tag);
+    case Kind::kRecvInit:
+      if (op.peer == mpi::kAnySource)
+        return format("Recv_init(from:ANY, tag:%d)", op.tag);
+      return format("Recv_init(from:%d, tag:%d)", op.peer, op.tag);
+    case Kind::kCollective:
+      return format("%s(comm:%d)", mpi::toString(op.collective), op.comm);
+    case Kind::kFinalize:
+      return "Finalize()";
+  }
+  return "?";
+}
+
+}  // namespace wst::trace

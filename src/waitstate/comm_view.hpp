@@ -1,0 +1,50 @@
+// Read-only communicator-group information for tool nodes.
+//
+// MUST reconstructs communicator construction from the intercepted
+// Comm_dup/Comm_split calls (the color/key arguments are in the event
+// stream). We factor that mechanical reconstruction behind an interface: the
+// integrated tool provides a view backed by the simulated runtime's
+// communicator table, and unit tests provide small map-backed views.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "mpi/types.hpp"
+#include "support/assert.hpp"
+#include "trace/op.hpp"
+
+namespace wst::waitstate {
+
+class CommView {
+ public:
+  virtual ~CommView() = default;
+  /// Member processes (world ranks) of a communicator's group.
+  virtual const std::vector<trace::ProcId>& group(mpi::CommId comm) const = 0;
+};
+
+/// Map-backed view for tests and for the offline recorder.
+class MapCommView : public CommView {
+ public:
+  explicit MapCommView(std::int32_t worldSize) {
+    std::vector<trace::ProcId> world(static_cast<std::size_t>(worldSize));
+    for (std::int32_t i = 0; i < worldSize; ++i)
+      world[static_cast<std::size_t>(i)] = i;
+    groups_.emplace(mpi::kCommWorld, std::move(world));
+  }
+
+  void set(mpi::CommId comm, std::vector<trace::ProcId> group) {
+    groups_[comm] = std::move(group);
+  }
+
+  const std::vector<trace::ProcId>& group(mpi::CommId comm) const override {
+    const auto it = groups_.find(comm);
+    WST_ASSERT(it != groups_.end(), "unknown communicator");
+    return it->second;
+  }
+
+ private:
+  std::unordered_map<mpi::CommId, std::vector<trace::ProcId>> groups_;
+};
+
+}  // namespace wst::waitstate

@@ -1,0 +1,859 @@
+#include "waitstate/distributed_tracker.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+#include "support/strings.hpp"
+
+namespace wst::waitstate {
+
+using trace::Kind;
+using trace::LocalTs;
+using trace::OpId;
+using trace::ProcId;
+using trace::Record;
+
+namespace {
+/// Bounded per-channel history of consumed sends for late probe resolution.
+constexpr std::size_t kConsumedHistory = 8;
+
+bool isSendLikeKind(Kind k) {
+  return k == Kind::kSend || k == Kind::kIsend || k == Kind::kSendrecv;
+}
+bool isConsumingRecvKind(Kind k) {
+  return k == Kind::kRecv || k == Kind::kIrecv || k == Kind::kSendrecv;
+}
+}  // namespace
+
+DistributedTracker::DistributedTracker(ProcId procLo, ProcId procHi,
+                                       Comms& comms, const CommView& commView,
+                                       TrackerConfig config)
+    : procLo_(procLo),
+      procHi_(procHi),
+      comms_(comms),
+      commView_(commView),
+      config_(config),
+      procs_(static_cast<std::size_t>(procHi - procLo)),
+      pendingProbes_(static_cast<std::size_t>(procHi - procLo)) {
+  WST_ASSERT(procLo >= 0 && procHi > procLo, "invalid hosted process range");
+}
+
+DistributedTracker::ProcState& DistributedTracker::state(ProcId proc) {
+  WST_ASSERT(hosts(proc), "process not hosted on this tracker");
+  return procs_[static_cast<std::size_t>(proc - procLo_)];
+}
+const DistributedTracker::ProcState& DistributedTracker::state(
+    ProcId proc) const {
+  WST_ASSERT(hosts(proc), "process not hosted on this tracker");
+  return procs_[static_cast<std::size_t>(proc - procLo_)];
+}
+
+DistributedTracker::OpState* DistributedTracker::findOp(ProcId proc,
+                                                        LocalTs ts) {
+  ProcState& ps = state(proc);
+  if (ts < ps.windowBase) return nullptr;  // retired: protocol complete
+  const std::size_t idx = ts - ps.windowBase;
+  if (idx >= ps.window.size()) return nullptr;  // not arrived
+  return &ps.window[idx];
+}
+const DistributedTracker::OpState* DistributedTracker::findOp(
+    ProcId proc, LocalTs ts) const {
+  return const_cast<DistributedTracker*>(this)->findOp(proc, ts);
+}
+
+bool DistributedTracker::opArrived(const ProcState& ps, LocalTs ts) const {
+  return ts < ps.arrived;
+}
+
+bool DistributedTracker::blocking(const Record& rec) const {
+  return trace::isBlocking(rec, config_.blockingModel, config_.eagerThreshold);
+}
+
+trace::LocalTs DistributedTracker::current(ProcId proc) const {
+  return state(proc).current;
+}
+
+bool DistributedTracker::finishedProc(ProcId proc) const {
+  return state(proc).finished;
+}
+
+bool DistributedTracker::allFinished() const {
+  return std::all_of(procs_.begin(), procs_.end(),
+                     [](const ProcState& ps) { return ps.finished; });
+}
+
+std::size_t DistributedTracker::windowSize(ProcId proc) const {
+  return state(proc).window.size();
+}
+
+// --- newOp -------------------------------------------------------------------
+
+void DistributedTracker::onNewOp(const Record& rec) {
+  const ProcId p = rec.id.proc;
+  ProcState& ps = state(p);
+  WST_ASSERT(rec.id.ts == ps.arrived, "newOp out of order");
+  ++ps.arrived;
+  ps.window.push_back(OpState{});
+  OpState& op = ps.window.back();
+  op.rec = rec;
+  maxWindow_ = std::max(maxWindow_, ps.window.size());
+
+  switch (rec.kind) {
+    case Kind::kSend:
+    case Kind::kIsend: {
+      PassSendMsg msg;
+      msg.sendOp = rec.id;
+      msg.destProc = rec.peer;
+      msg.tag = rec.tag;
+      msg.comm = rec.comm;
+      msg.bytes = rec.bytes;
+      msg.mode = rec.sendMode;
+      comms_.passSend(msg);
+      if (rec.kind == Kind::kIsend) {
+        ps.requests.emplace(rec.request, ReqInfo{rec, false});
+      }
+      break;
+    }
+    case Kind::kSendrecv: {
+      PassSendMsg msg;
+      msg.sendOp = rec.id;
+      msg.destProc = rec.peer;
+      msg.tag = rec.tag;
+      msg.comm = rec.comm;
+      msg.bytes = rec.bytes;
+      msg.mode = rec.sendMode;
+      comms_.passSend(msg);
+      enqueueRecvLike(p, rec.id.ts);
+      tryMatch(p, rec.comm);
+      break;
+    }
+    case Kind::kRecv:
+    case Kind::kIrecv: {
+      if (rec.kind == Kind::kIrecv) {
+        ps.requests.emplace(rec.request, ReqInfo{rec, false});
+      }
+      enqueueRecvLike(p, rec.id.ts);
+      tryMatch(p, rec.comm);
+      break;
+    }
+    case Kind::kProbe: {
+      pendingProbes_[static_cast<std::size_t>(p - procLo_)].push_back(
+          rec.id.ts);
+      if (rec.peer != mpi::kAnySource) {
+        // A deterministic probe may already observe a pending send.
+        const ChannelKey key{rec.peer, p, rec.comm};
+        const auto it = pendingSends_.find(key);
+        if (it != pendingSends_.end()) {
+          for (const PassSendMsg& send : it->second) {
+            if (rec.tag == mpi::kAnyTag || rec.tag == send.tag) {
+              op.matched = true;
+              op.matchedSend = send.sendOp;
+              std::erase(
+                  pendingProbes_[static_cast<std::size_t>(p - procLo_)],
+                  rec.id.ts);
+              break;
+            }
+          }
+        }
+      }
+      break;
+    }
+    case Kind::kCollective: {
+      op.wave = ps.collSeq[rec.comm]++;
+      break;
+    }
+    default:
+      break;  // Iprobe, Test*, Wait*, Finalize need no arrival bookkeeping
+  }
+
+  if (rec.id.ts == ps.current && !op.activated) activate(p, op);
+  pump(p);
+}
+
+// --- activation / advancing -----------------------------------------------------
+
+void DistributedTracker::activate(ProcId proc, OpState& op) {
+  WST_ASSERT(!op.activated, "operation activated twice");
+  op.activated = true;
+  const Kind kind = op.rec.kind;
+
+  if (kind == Kind::kCollective) {
+    onCollectiveActivated(proc, op);
+  }
+  if (isConsumingRecvKind(kind)) {
+    maybeSendRecvActive(proc, op);
+  }
+  if (kind == Kind::kProbe && op.matched && !op.sentRecvActive) {
+    comms_.recvActive(op.matchedSend.proc,
+                      RecvActiveMsg{op.matchedSend, op.rec.id, true});
+    op.sentRecvActive = true;
+  }
+  if (isSendLikeKind(kind)) {
+    if (op.gotRecvActive && !op.sentRecvActiveAck) {
+      comms_.recvActiveAck(op.matchedRecv.proc,
+                           RecvActiveAckMsg{op.matchedRecv, false});
+      op.sentRecvActiveAck = true;
+    }
+    for (const OpId& probe : op.pendingProbeAcks) {
+      comms_.recvActiveAck(probe.proc, RecvActiveAckMsg{probe, true});
+    }
+    op.pendingProbeAcks.clear();
+  }
+}
+
+bool DistributedTracker::canAdvanceOp(const ProcState& ps,
+                                      const OpState& op) const {
+  const Record& r = op.rec;
+  if (r.kind == Kind::kFinalize) return false;
+  if (!blocking(r)) return true;
+  switch (r.kind) {
+    case Kind::kSend:
+      return op.gotRecvActive;
+    case Kind::kRecv:
+    case Kind::kProbe:
+      return op.gotAck;
+    case Kind::kSendrecv:
+      return op.gotRecvActive && op.gotAck;
+    case Kind::kCollective:
+      return op.gotCollAck;
+    case Kind::kWait:
+    case Kind::kWaitall: {
+      for (mpi::RequestId req : r.completes) {
+        const auto it = ps.requests.find(req);
+        if (it == ps.requests.end() || !it->second.reached) return false;
+      }
+      return true;
+    }
+    case Kind::kWaitany:
+    case Kind::kWaitsome: {
+      if (r.completes.empty()) return true;
+      for (mpi::RequestId req : r.completes) {
+        const auto it = ps.requests.find(req);
+        if (it != ps.requests.end() && it->second.reached) return true;
+      }
+      return false;
+    }
+    default:
+      return false;
+  }
+}
+
+void DistributedTracker::pump(ProcId proc) {
+  if (stopped_) return;
+  ProcState& ps = state(proc);
+  while (!ps.finished && opArrived(ps, ps.current)) {
+    OpState* op = findOp(proc, ps.current);
+    WST_ASSERT(op != nullptr, "active operation missing from window");
+    if (op->rec.kind == Kind::kFinalize) {
+      ps.finished = true;
+      break;
+    }
+    if (!canAdvanceOp(ps, *op)) break;
+    ++ps.current;
+    ++transitions_;
+    retireFront(ps);
+    if (opArrived(ps, ps.current)) {
+      OpState* next = findOp(proc, ps.current);
+      WST_ASSERT(next != nullptr, "next operation missing from window");
+      if (!next->activated) activate(proc, *next);
+    }
+  }
+}
+
+void DistributedTracker::stopProgress() {
+  stopped_ = true;
+  frozenActive_.assign(procs_.size(), 0);
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    frozenActive_[i] = opArrived(procs_[i], procs_[i].current) ? 1 : 0;
+  }
+}
+
+void DistributedTracker::resumeProgress() {
+  stopped_ = false;
+  frozenActive_.clear();
+  for (ProcId p = procLo_; p < procHi_; ++p) pump(p);
+}
+
+bool DistributedTracker::protocolComplete(const OpState& op) const {
+  switch (op.rec.kind) {
+    case Kind::kSend:
+    case Kind::kIsend:
+      return op.gotRecvActive && op.sentRecvActiveAck &&
+             op.pendingProbeAcks.empty();
+    case Kind::kRecv:
+    case Kind::kIrecv:
+      return op.matched && op.gotAck;
+    case Kind::kSendrecv:
+      return op.gotRecvActive && op.sentRecvActiveAck &&
+             op.pendingProbeAcks.empty() && op.matched && op.gotAck;
+    case Kind::kCollective:
+      return op.gotCollAck;
+    case Kind::kProbe:
+      return op.gotAck;
+    case Kind::kFinalize:
+      return false;
+    default:
+      return true;  // Iprobe / Test* / Wait* carry no pending protocol work
+  }
+}
+
+void DistributedTracker::retireFront(ProcState& ps) {
+  while (!ps.window.empty() && ps.windowBase < ps.current &&
+         protocolComplete(ps.window.front())) {
+    const OpState& front = ps.window.front();
+    // Completion calls that definitively consumed their requests release the
+    // request table entries.
+    const Kind k = front.rec.kind;
+    if (k == Kind::kWait || k == Kind::kWaitall) {
+      for (mpi::RequestId req : front.rec.completes) ps.requests.erase(req);
+    } else if (k == Kind::kTest || k == Kind::kTestall) {
+      for (mpi::RequestId req : front.rec.completes) {
+        const auto it = ps.requests.find(req);
+        if (it != ps.requests.end() && it->second.reached) {
+          ps.requests.erase(it);
+        }
+      }
+    }
+    ps.window.pop_front();
+    ++ps.windowBase;
+  }
+}
+
+// --- matching ---------------------------------------------------------------------
+
+void DistributedTracker::enqueueRecvLike(ProcId proc, LocalTs ts) {
+  const OpState* op = findOp(proc, ts);
+  WST_ASSERT(op != nullptr, "enqueueRecvLike: missing op");
+  const mpi::CommId comm = op->rec.comm;
+  pendingRecvs_[{proc, comm}].push_back(ts);
+}
+
+void DistributedTracker::tryMatch(ProcId proc, mpi::CommId comm) {
+  const auto it = pendingRecvs_.find({proc, comm});
+  if (it == pendingRecvs_.end()) return;
+  auto& list = it->second;
+
+  // Tags an unresolved wildcard ahead in the queue could still claim; sends
+  // with such tags must not be matched by later receives.
+  bool anyTagBlocked = false;
+  std::vector<mpi::Tag> blockedTags;
+
+  for (auto lit = list.begin(); lit != list.end();) {
+    OpState* op = findOp(proc, *lit);
+    WST_ASSERT(op != nullptr, "pending receive missing from window");
+    const Record& r = op->rec;
+    const mpi::Rank wantSrc =
+        r.kind == Kind::kSendrecv ? r.recvPeer : r.peer;
+    const mpi::Tag wantTag = r.kind == Kind::kSendrecv ? r.recvTag : r.tag;
+
+    if (wantSrc == mpi::kAnySource && !op->wildcardResolved) {
+      // Head-of-line wildcard: its matching decision is unknown; block the
+      // tags it could claim for everything behind it.
+      if (wantTag == mpi::kAnyTag) {
+        anyTagBlocked = true;
+        break;  // it could claim anything: full stall
+      }
+      blockedTags.push_back(wantTag);
+      ++lit;
+      continue;
+    }
+
+    const mpi::Rank source =
+        op->wildcardResolved ? op->resolvedSource : wantSrc;
+    const mpi::Tag matchTag =
+        op->wildcardResolved ? op->resolvedTag : wantTag;
+
+    const auto chIt = pendingSends_.find(ChannelKey{source, proc, comm});
+    const PassSendMsg* found = nullptr;
+    std::size_t foundIdx = 0;
+    if (chIt != pendingSends_.end()) {
+      for (std::size_t i = 0; i < chIt->second.size(); ++i) {
+        const PassSendMsg& send = chIt->second[i];
+        if (matchTag != mpi::kAnyTag && send.tag != matchTag) continue;
+        if (anyTagBlocked) continue;
+        if (std::find(blockedTags.begin(), blockedTags.end(), send.tag) !=
+            blockedTags.end()) {
+          continue;  // an earlier unresolved wildcard could claim this send
+        }
+        found = &send;
+        foundIdx = i;
+        break;
+      }
+    }
+    if (found != nullptr) {
+      const PassSendMsg send = *found;
+      auto& chan = chIt->second;
+      auto& history = consumedSends_[ChannelKey{source, proc, comm}];
+      history.push_back(send);
+      if (history.size() > kConsumedHistory) history.pop_front();
+      chan.erase(chan.begin() + static_cast<std::ptrdiff_t>(foundIdx));
+      performMatch(proc, *op, send);
+      lit = list.erase(lit);
+    } else {
+      ++lit;
+    }
+  }
+}
+
+void DistributedTracker::performMatch(ProcId proc, OpState& recv,
+                                      const PassSendMsg& send) {
+  WST_ASSERT(!recv.matched, "receive matched twice");
+  recv.matched = true;
+  recv.matchedSend = send.sendOp;
+  maybeSendRecvActive(proc, recv);
+}
+
+void DistributedTracker::maybeSendRecvActive(ProcId proc, OpState& op) {
+  if (!op.matched || op.sentRecvActive) return;
+  if (!reachedLocally(state(proc), op.rec.id.ts)) return;
+  comms_.recvActive(op.matchedSend.proc,
+                    RecvActiveMsg{op.matchedSend, op.rec.id, false});
+  op.sentRecvActive = true;
+}
+
+void DistributedTracker::satisfyProbes(ProcId dst, const PassSendMsg& send) {
+  auto& probes = pendingProbes_[static_cast<std::size_t>(dst - procLo_)];
+  for (auto it = probes.begin(); it != probes.end();) {
+    OpState* probe = findOp(dst, *it);
+    WST_ASSERT(probe != nullptr, "pending probe missing from window");
+    const Record& r = probe->rec;
+    bool compatible = false;
+    if (probe->wildcardResolved) {
+      compatible = send.sendOp.proc == probe->resolvedSource &&
+                   send.tag == probe->resolvedTag && send.comm == r.comm;
+    } else if (r.peer != mpi::kAnySource) {
+      compatible = send.sendOp.proc == r.peer && send.comm == r.comm &&
+                   (r.tag == mpi::kAnyTag || r.tag == send.tag);
+    }
+    if (compatible && !probe->matched) {
+      probe->matched = true;
+      probe->matchedSend = send.sendOp;
+      if (reachedLocally(state(dst), r.id.ts) && !probe->sentRecvActive) {
+        comms_.recvActive(probe->matchedSend.proc,
+                          RecvActiveMsg{probe->matchedSend, r.id, true});
+        probe->sentRecvActive = true;
+      }
+      it = probes.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void DistributedTracker::resolveProbe(ProcId proc, OpState& probe) {
+  if (probe.matched) return;
+  const Record& r = probe.rec;
+  const ChannelKey key{probe.resolvedSource, proc, r.comm};
+  const auto scan = [&](const std::deque<PassSendMsg>& sends)
+      -> const PassSendMsg* {
+    for (const PassSendMsg& send : sends) {
+      if (send.tag == probe.resolvedTag) return &send;
+    }
+    return nullptr;
+  };
+  const PassSendMsg* found = nullptr;
+  if (const auto it = pendingSends_.find(key); it != pendingSends_.end()) {
+    found = scan(it->second);
+  }
+  if (found == nullptr) {
+    if (const auto it = consumedSends_.find(key); it != consumedSends_.end()) {
+      found = scan(it->second);
+    }
+  }
+  if (found == nullptr) return;  // passSend not yet here; satisfyProbes later
+  probe.matched = true;
+  probe.matchedSend = found->sendOp;
+  std::erase(pendingProbes_[static_cast<std::size_t>(proc - procLo_)],
+             r.id.ts);
+  if (reachedLocally(state(proc), r.id.ts) && !probe.sentRecvActive) {
+    comms_.recvActive(probe.matchedSend.proc,
+                      RecvActiveMsg{probe.matchedSend, r.id, true});
+    probe.sentRecvActive = true;
+  }
+}
+
+// --- message handlers -----------------------------------------------------------
+
+void DistributedTracker::onPassSend(const PassSendMsg& msg) {
+  WST_ASSERT(hosts(msg.destProc), "passSend routed to the wrong node");
+  satisfyProbes(msg.destProc, msg);
+  pendingSends_[ChannelKey{msg.sendOp.proc, msg.destProc, msg.comm}]
+      .push_back(msg);
+  tryMatch(msg.destProc, msg.comm);
+  pump(msg.destProc);
+}
+
+void DistributedTracker::onMatchInfo(const trace::MatchInfoEvent& info) {
+  const ProcId p = info.recvOp.proc;
+  OpState* op = findOp(p, info.recvOp.ts);
+  if (op == nullptr || op->matched) return;  // already matched and handled
+  op->wildcardResolved = true;
+  op->resolvedSource = info.source;
+  op->resolvedTag = info.tag;
+  if (op->rec.kind == Kind::kProbe) {
+    resolveProbe(p, *op);
+  } else {
+    tryMatch(p, op->rec.comm);
+  }
+  pump(p);
+}
+
+void DistributedTracker::onRecvActive(const RecvActiveMsg& msg) {
+  const ProcId p = msg.sendOp.proc;
+  WST_ASSERT(hosts(p), "recvActive routed to the wrong node");
+  ProcState& ps = state(p);
+  OpState* send = findOp(p, msg.sendOp.ts);
+
+  if (msg.forProbe) {
+    if (send == nullptr) {
+      // Retired: the send completed its protocol, hence it was reached.
+      comms_.recvActiveAck(msg.recvOp.proc, RecvActiveAckMsg{msg.recvOp, true});
+      return;
+    }
+    if (reachedLocally(ps, msg.sendOp.ts)) {
+      comms_.recvActiveAck(msg.recvOp.proc, RecvActiveAckMsg{msg.recvOp, true});
+    } else {
+      send->pendingProbeAcks.push_back(msg.recvOp);
+    }
+    return;
+  }
+
+  WST_ASSERT(send != nullptr, "recvActive for an unknown send");
+  WST_ASSERT(!send->gotRecvActive, "send received recvActive twice");
+  send->gotRecvActive = true;
+  send->matchedRecv = msg.recvOp;
+  if (send->rec.kind == Kind::kIsend) {
+    // Rule 4 premise for a completion of this Isend: matching receive
+    // reached — which is exactly what this message asserts.
+    markRequestReached(p, send->rec.request);
+  }
+  if (reachedLocally(ps, msg.sendOp.ts) && !send->sentRecvActiveAck) {
+    comms_.recvActiveAck(msg.recvOp.proc, RecvActiveAckMsg{msg.recvOp, false});
+    send->sentRecvActiveAck = true;
+  }
+  pump(p);
+  retireFront(ps);
+}
+
+void DistributedTracker::onRecvActiveAck(const RecvActiveAckMsg& msg) {
+  const ProcId p = msg.recvOp.proc;
+  WST_ASSERT(hosts(p), "recvActiveAck routed to the wrong node");
+  OpState* op = findOp(p, msg.recvOp.ts);
+  if (msg.forProbe) {
+    if (op != nullptr) {
+      op->gotAck = true;
+      pump(p);
+    }
+    return;
+  }
+  WST_ASSERT(op != nullptr, "recvActiveAck for an unknown receive");
+  op->gotAck = true;
+  if (op->rec.kind == Kind::kIrecv) {
+    markRequestReached(p, op->rec.request);
+  }
+  pump(p);
+  retireFront(state(p));
+}
+
+void DistributedTracker::markRequestReached(ProcId proc,
+                                            mpi::RequestId request) {
+  ProcState& ps = state(proc);
+  const auto it = ps.requests.find(request);
+  if (it != ps.requests.end()) it->second.reached = true;
+}
+
+// --- collectives ----------------------------------------------------------------
+
+std::uint32_t DistributedTracker::hostedCountInGroup(mpi::CommId comm) const {
+  std::uint32_t count = 0;
+  for (const ProcId member : commView_.group(comm)) {
+    if (hosts(member)) ++count;
+  }
+  return count;
+}
+
+void DistributedTracker::onCollectiveActivated(ProcId /*proc*/, OpState& op) {
+  const auto key = std::make_pair(op.rec.comm, op.wave);
+  NodeWave& wave = collWaves_[key];
+  ++wave.activeCount;
+  const std::uint32_t hosted = hostedCountInGroup(op.rec.comm);
+  if (!wave.readySent && wave.activeCount == hosted) {
+    CollectiveReadyMsg msg;
+    msg.comm = op.rec.comm;
+    msg.wave = op.wave;
+    msg.readyCount = hosted;
+    msg.kind = op.rec.collective;
+    comms_.collectiveReady(msg);
+    wave.readySent = true;
+  }
+}
+
+void DistributedTracker::onCollectiveAck(const CollectiveAckMsg& msg) {
+  for (const ProcId member : commView_.group(msg.comm)) {
+    if (!hosts(member)) continue;
+    ProcState& ps = state(member);
+    OpState* op = findOp(member, ps.current);
+    WST_ASSERT(op != nullptr && op->rec.kind == Kind::kCollective &&
+                   op->rec.comm == msg.comm && op->wave == msg.wave,
+               "collectiveAck does not match the active operation");
+    op->gotCollAck = true;
+    pump(member);
+  }
+  collWaves_.erase(std::make_pair(msg.comm, msg.wave));
+}
+
+// --- consistent-state support -----------------------------------------------------
+
+std::vector<ProcId> DistributedTracker::activeSendPeerProcs() const {
+  std::vector<ProcId> peers;
+  for (ProcId p = procLo_; p < procHi_; ++p) {
+    const ProcState& ps = state(p);
+    // Every window send still awaiting its recvActive may have handshake
+    // messages in flight; flushing their hosts covers the active-send case
+    // of paper Figure 8 and outstanding non-blocking sends.
+    for (const OpState& op : ps.window) {
+      if (isSendLikeKind(op.rec.kind) && !op.gotRecvActive) {
+        peers.push_back(op.rec.peer);
+      }
+    }
+  }
+  std::sort(peers.begin(), peers.end());
+  peers.erase(std::unique(peers.begin(), peers.end()), peers.end());
+  return peers;
+}
+
+std::vector<DistributedTracker::ActiveSend> DistributedTracker::activeSends()
+    const {
+  std::vector<ActiveSend> out;
+  for (ProcId p = procLo_; p < procHi_; ++p) {
+    const ProcState& ps = state(p);
+    if (ps.finished || !opArrived(ps, ps.current)) continue;
+    const OpState* op = findOp(p, ps.current);
+    if (op == nullptr) continue;
+    const Record& r = op->rec;
+    if (r.kind == Kind::kSend || r.kind == Kind::kSendrecv) {
+      out.push_back(ActiveSend{r.id, r.peer, r.tag, r.comm});
+    }
+  }
+  return out;
+}
+
+std::vector<DistributedTracker::ActiveWildcard>
+DistributedTracker::activeWildcards() const {
+  std::vector<ActiveWildcard> out;
+  const auto add = [&](const OpState& op, mpi::Rank want, mpi::Tag tag,
+                       mpi::CommId comm) {
+    if (want != mpi::kAnySource) return;
+    ActiveWildcard w;
+    w.op = op.rec.id;
+    w.tag = tag;
+    w.comm = comm;
+    w.matched = op.matched || op.wildcardResolved;
+    if (op.matched) {
+      w.matchedSend = op.matchedSend;
+    } else if (op.wildcardResolved) {
+      // Resolved but the identified send's description has not arrived:
+      // treat as matched to an unknown (not active) send of the source.
+      w.matchedSend = trace::OpId{op.resolvedSource, 0};
+    }
+    out.push_back(w);
+  };
+  for (ProcId p = procLo_; p < procHi_; ++p) {
+    const ProcState& ps = state(p);
+    if (ps.finished || !opArrived(ps, ps.current)) continue;
+    const OpState* op = findOp(p, ps.current);
+    if (op == nullptr || canAdvanceOp(ps, *op)) continue;
+    const Record& r = op->rec;
+    switch (r.kind) {
+      case Kind::kRecv:
+      case Kind::kProbe:
+        add(*op, r.peer, r.tag, r.comm);
+        break;
+      case Kind::kSendrecv:
+        if (!op->gotAck) add(*op, r.recvPeer, r.recvTag, r.comm);
+        break;
+      case Kind::kWait:
+      case Kind::kWaitall:
+      case Kind::kWaitany:
+      case Kind::kWaitsome: {
+        for (const mpi::RequestId req : r.completes) {
+          const auto it = ps.requests.find(req);
+          if (it == ps.requests.end() || it->second.reached) continue;
+          const Record& origin = it->second.origin;
+          if (origin.kind != Kind::kIrecv) continue;
+          if (const OpState* originOp = findOp(p, origin.id.ts)) {
+            add(*originOp, origin.peer, origin.tag, origin.comm);
+          }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+// --- wait conditions ----------------------------------------------------------------
+
+wfg::NodeConditions DistributedTracker::waitConditions(ProcId proc) const {
+  const ProcState& ps = state(proc);
+  wfg::NodeConditions node;
+  node.proc = proc;
+  if (ps.finished) {
+    node.description = "finished";
+    return node;
+  }
+  if (!opArrived(ps, ps.current)) {
+    node.description = "running";
+    return node;
+  }
+  if (stopped_ &&
+      !frozenActive_[static_cast<std::size_t>(proc - procLo_)]) {
+    // The operation became active after the consistent-state freeze: its
+    // wait-state handshakes were not flushed by the synchronization, so its
+    // process made progress up to the cut and is reported as running.
+    node.description = "running";
+    return node;
+  }
+  const OpState* op = findOp(proc, ps.current);
+  WST_ASSERT(op != nullptr, "active operation missing from window");
+  const Record& r = op->rec;
+  node.description = trace::describe(r);
+  if (r.kind == Kind::kFinalize || canAdvanceOp(ps, *op)) {
+    return node;  // not blocked (a transition exists or the proc is done)
+  }
+  node.blocked = true;
+
+  const auto singleTarget = [&](ProcId target, std::string reason) {
+    wfg::Clause clause;
+    clause.targets.push_back(target);
+    clause.reason = std::move(reason);
+    node.clauses.push_back(std::move(clause));
+  };
+  const auto wildcardClause = [&](mpi::CommId comm, const char* what) {
+    wfg::Clause clause;
+    for (const ProcId member : commView_.group(comm)) {
+      if (member != proc) clause.targets.push_back(member);
+    }
+    clause.reason =
+        support::format("%s from any rank in comm %d", what, comm);
+    node.clauses.push_back(std::move(clause));
+  };
+  const auto recvTarget = [&](const OpState& recvOp, mpi::Rank want,
+                              mpi::CommId comm, const char* what) {
+    if (recvOp.matched) {
+      singleTarget(recvOp.matchedSend.proc,
+                   support::format("%s: waits for op %u of rank %d", what,
+                                   recvOp.matchedSend.ts,
+                                   recvOp.matchedSend.proc));
+    } else if (recvOp.wildcardResolved) {
+      singleTarget(recvOp.resolvedSource,
+                   support::format("%s: waits for rank %d", what,
+                                   recvOp.resolvedSource));
+    } else if (want != mpi::kAnySource) {
+      singleTarget(want, support::format("%s: waits for a send from rank %d",
+                                         what, want));
+    } else {
+      wildcardClause(comm, what);
+    }
+  };
+
+  switch (r.kind) {
+    case Kind::kSend:
+      singleTarget(r.peer, support::format("waits for a receive by rank %d",
+                                           r.peer));
+      break;
+    case Kind::kRecv:
+    case Kind::kProbe:
+      recvTarget(*op, r.peer, r.comm, "waits for a send");
+      break;
+    case Kind::kSendrecv:
+      if (!op->gotRecvActive) {
+        singleTarget(r.peer,
+                     support::format("send half waits for a receive by %d",
+                                     r.peer));
+      }
+      if (!op->gotAck) {
+        recvTarget(*op, r.recvPeer, r.comm, "receive half waits for a send");
+      }
+      break;
+    case Kind::kCollective: {
+      node.inCollective = true;
+      node.collComm = r.comm;
+      node.collWaveIndex = op->wave;
+      for (const ProcId member : commView_.group(r.comm)) {
+        if (member == proc) continue;
+        wfg::Clause clause;
+        clause.targets.push_back(member);
+        clause.type = wfg::ClauseType::kCollective;
+        clause.comm = r.comm;
+        clause.waveIndex = op->wave;
+        clause.reason = support::format(
+            "waits for rank %d to enter %s on comm %d", member,
+            mpi::toString(r.collective), r.comm);
+        node.clauses.push_back(std::move(clause));
+      }
+      break;
+    }
+    case Kind::kWait:
+    case Kind::kWaitall:
+    case Kind::kWaitany:
+    case Kind::kWaitsome: {
+      const bool needAll = r.completionNeedsAll();
+      wfg::Clause anyClause;
+      for (mpi::RequestId req : r.completes) {
+        const auto it = ps.requests.find(req);
+        if (it != ps.requests.end() && it->second.reached) continue;
+        std::vector<ProcId> targets;
+        std::string reason;
+        if (it == ps.requests.end()) {
+          reason = support::format("waits for unknown request %d", req);
+        } else {
+          const Record& origin = it->second.origin;
+          const OpState* originOp = findOp(proc, origin.id.ts);
+          const bool resolved =
+              originOp != nullptr &&
+              (originOp->matched || originOp->wildcardResolved);
+          if (resolved) {
+            const ProcId target = originOp->matched
+                                      ? originOp->matchedSend.proc
+                                      : originOp->resolvedSource;
+            targets.push_back(target);
+            reason = support::format("waits for rank %d (%s)", target,
+                                     trace::describe(origin).c_str());
+          } else if (origin.peer != mpi::kAnySource) {
+            targets.push_back(origin.peer);
+            reason = support::format("waits for rank %d (%s)", origin.peer,
+                                     trace::describe(origin).c_str());
+          } else {
+            for (const ProcId member : commView_.group(origin.comm)) {
+              if (member != proc) targets.push_back(member);
+            }
+            reason = support::format("waits for any sender (%s)",
+                                     trace::describe(origin).c_str());
+          }
+        }
+        if (needAll) {
+          wfg::Clause clause;
+          clause.targets = std::move(targets);
+          clause.reason = std::move(reason);
+          node.clauses.push_back(std::move(clause));
+        } else {
+          anyClause.targets.insert(anyClause.targets.end(), targets.begin(),
+                                   targets.end());
+          if (!anyClause.reason.empty()) anyClause.reason += "; ";
+          anyClause.reason += reason;
+        }
+      }
+      if (!needAll) node.clauses.push_back(std::move(anyClause));
+      break;
+    }
+    default:
+      node.clauses.push_back(wfg::Clause{});
+      break;
+  }
+  return node;
+}
+
+}  // namespace wst::waitstate

@@ -1,0 +1,240 @@
+// Distributed wait state tracking — the paper's core contribution (§4).
+//
+// One DistributedTracker runs on every first-layer TBON node and owns the
+// slice l_{procLo} .. l_{procHi-1} of the global transition-system state. It
+// implements the handler functions of paper Figure 7 (newOp, activate,
+// handlePassSend, handleRecvActive, handleRecvActiveAck,
+// handleCollectiveAck) plus the pieces the paper describes in prose:
+// distributed point-to-point matching with wildcard resolution from observed
+// execution, probe handshakes, completion operations (rule 4), bounded
+// trace windows (§4.2), and the stop/resume hooks of the consistent-state
+// protocol (§5).
+//
+// The tracker is deliberately TBON-agnostic: all outgoing communication goes
+// through the Comms interface (routed by *destination process*; the tool
+// layer maps processes to nodes), which lets unit tests drive pairs of
+// trackers directly and assert on every message.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/event.hpp"
+#include "trace/op.hpp"
+#include "waitstate/comm_view.hpp"
+#include "waitstate/messages.hpp"
+#include "wfg/graph.hpp"
+
+namespace wst::waitstate {
+
+/// Outgoing communication of a tracker. Implementations route by process:
+/// the node hosting `destProc` / `sendProc` / `recvProc` receives the
+/// message; collectiveReady flows towards the TBON root.
+class Comms {
+ public:
+  virtual ~Comms() = default;
+  virtual void passSend(const PassSendMsg& msg) = 0;
+  virtual void recvActive(trace::ProcId sendProc, const RecvActiveMsg& msg) = 0;
+  virtual void recvActiveAck(trace::ProcId recvProc,
+                             const RecvActiveAckMsg& msg) = 0;
+  virtual void collectiveReady(const CollectiveReadyMsg& msg) = 0;
+};
+
+struct TrackerConfig {
+  trace::BlockingModel blockingModel = trace::BlockingModel::kConservative;
+  mpi::Bytes eagerThreshold = 4096;
+};
+
+class DistributedTracker {
+ public:
+  DistributedTracker(trace::ProcId procLo, trace::ProcId procHi, Comms& comms,
+                     const CommView& comms_view, TrackerConfig config = {});
+
+  trace::ProcId procLo() const { return procLo_; }
+  trace::ProcId procHi() const { return procHi_; }
+  bool hosts(trace::ProcId proc) const {
+    return proc >= procLo_ && proc < procHi_;
+  }
+
+  // --- Inputs (called in channel arrival order) ------------------------------
+
+  /// An MPI call record arrived from a hosted application process.
+  void onNewOp(const trace::Record& rec);
+  /// Wildcard matching decision observed from the MPI implementation.
+  void onMatchInfo(const trace::MatchInfoEvent& info);
+  void onPassSend(const PassSendMsg& msg);
+  void onRecvActive(const RecvActiveMsg& msg);
+  void onRecvActiveAck(const RecvActiveAckMsg& msg);
+  void onCollectiveAck(const CollectiveAckMsg& msg);
+
+  // --- Consistent-state protocol support (paper §5) --------------------------
+
+  /// Stop applying transitions; message handling continues. Captures which
+  /// processes had an *active* (arrived) operation at the freeze: operations
+  /// that only arrive during the stop belong to the future of the cut — the
+  /// double ping-pong has not flushed their handshakes — so waitConditions
+  /// reports their processes as running (sound: a deadlock that existed at
+  /// the cut consists of operations active before it; one forming during
+  /// the protocol is caught by the next detection round).
+  void stopProgress();
+  /// Resume and apply any transitions enabled while stopped.
+  void resumeProgress();
+  bool stoppedProgress() const { return stopped_; }
+
+  /// Destination processes of currently active send operations: the
+  /// consistent-state handler pings the nodes hosting their matching
+  /// receives (paper Figure 8).
+  std::vector<trace::ProcId> activeSendPeerProcs() const;
+
+  /// Facts for root-side unexpected-match checking (paper §3.3).
+  /// A send active at the current state of a hosted process.
+  struct ActiveSend {
+    trace::OpId op{};
+    trace::ProcId dest = -1;
+    mpi::Tag tag = 0;
+    mpi::CommId comm = mpi::kCommWorld;
+  };
+  /// A wildcard receive/probe active (or an unsatisfied wildcard Irecv of an
+  /// active completion) of a hosted process, with its matching decision.
+  struct ActiveWildcard {
+    trace::OpId op{};
+    mpi::Tag tag = mpi::kAnyTag;
+    mpi::CommId comm = mpi::kCommWorld;
+    bool matched = false;
+    trace::OpId matchedSend{};
+  };
+  std::vector<ActiveSend> activeSends() const;
+  std::vector<ActiveWildcard> activeWildcards() const;
+
+  // --- State inspection --------------------------------------------------------
+
+  /// Current timestamp l_i of a hosted process.
+  trace::LocalTs current(trace::ProcId proc) const;
+  /// Process reached MPI_Finalize.
+  bool finishedProc(trace::ProcId proc) const;
+  bool allFinished() const;
+  /// Wait-for conditions of a hosted process for the requestWaits reply.
+  wfg::NodeConditions waitConditions(trace::ProcId proc) const;
+
+  /// Transitions applied so far (sum over hosted processes).
+  std::uint64_t transitions() const { return transitions_; }
+  /// Largest trace window across hosted processes (paper §4.2/§6: bounded
+  /// memory unless the tool falls behind, cf. 128.GAPgeofem).
+  std::size_t maxWindowSize() const { return maxWindow_; }
+  std::size_t windowSize(trace::ProcId proc) const;
+
+ private:
+  /// Per-operation tracking state (paper: the object o with l, l_s, active,
+  /// gotRecvActive, canAdvance attributes).
+  struct OpState {
+    trace::Record rec;
+    bool activated = false;
+    // Send side (kSend, kIsend, send half of kSendrecv):
+    bool gotRecvActive = false;
+    bool sentRecvActiveAck = false;
+    trace::OpId matchedRecv{};
+    std::vector<trace::OpId> pendingProbeAcks;  // probes waiting for us
+    // Receive side (kRecv, kIrecv, kProbe, recv half of kSendrecv):
+    bool matched = false;
+    trace::OpId matchedSend{};
+    bool sentRecvActive = false;
+    bool gotAck = false;
+    bool wildcardResolved = false;
+    mpi::Rank resolvedSource = -1;
+    mpi::Tag resolvedTag = mpi::kAnyTag;
+    // Collectives:
+    std::uint32_t wave = 0;
+    bool gotCollAck = false;
+  };
+
+  struct ReqInfo {
+    trace::Record origin;
+    bool reached = false;  // counterpart operation reached (rule 4 premise)
+  };
+
+  struct ProcState {
+    std::deque<OpState> window;
+    trace::LocalTs windowBase = 0;  // timestamp of window.front()
+    trace::LocalTs current = 0;     // l_i
+    trace::LocalTs arrived = 0;     // next expected newOp timestamp
+    bool finished = false;
+    std::unordered_map<mpi::RequestId, ReqInfo> requests;
+    std::unordered_map<mpi::CommId, std::uint32_t> collSeq;
+  };
+
+  /// Channel of pending (unmatched) sends: keyed by source process and
+  /// communicator; entries stay in send order (intralayer channels are
+  /// non-overtaking and each sender's node emits passSend in program order).
+  struct ChannelKey {
+    trace::ProcId src;
+    trace::ProcId dst;
+    mpi::CommId comm;
+    auto operator<=>(const ChannelKey&) const = default;
+  };
+
+  struct NodeWave {
+    std::uint32_t activeCount = 0;
+    bool readySent = false;
+  };
+
+  ProcState& state(trace::ProcId proc);
+  const ProcState& state(trace::ProcId proc) const;
+  OpState* findOp(trace::ProcId proc, trace::LocalTs ts);
+  const OpState* findOp(trace::ProcId proc, trace::LocalTs ts) const;
+  bool opArrived(const ProcState& ps, trace::LocalTs ts) const;
+  /// l_i >= ts for a hosted process.
+  bool reachedLocally(const ProcState& ps, trace::LocalTs ts) const {
+    return ts <= ps.current;
+  }
+
+  bool blocking(const trace::Record& rec) const;
+  bool canAdvanceOp(const ProcState& ps, const OpState& op) const;
+  void pump(trace::ProcId proc);
+  void activate(trace::ProcId proc, OpState& op);
+  void retireFront(ProcState& ps);
+  bool protocolComplete(const OpState& op) const;
+
+  // Matching.
+  void enqueueRecvLike(trace::ProcId proc, trace::LocalTs ts);
+  void tryMatch(trace::ProcId proc, mpi::CommId comm);
+  void performMatch(trace::ProcId proc, OpState& recv, const PassSendMsg& send);
+  void maybeSendRecvActive(trace::ProcId proc, OpState& op);
+  void satisfyProbes(trace::ProcId dst, const PassSendMsg& send);
+  void resolveProbe(trace::ProcId proc, OpState& probe);
+
+  // Collectives.
+  std::uint32_t hostedCountInGroup(mpi::CommId comm) const;
+  void onCollectiveActivated(trace::ProcId proc, OpState& op);
+
+  void markRequestReached(trace::ProcId proc, mpi::RequestId request);
+
+  trace::ProcId procLo_;
+  trace::ProcId procHi_;
+  Comms& comms_;
+  const CommView& commView_;
+  TrackerConfig config_;
+  bool stopped_ = false;
+
+  std::vector<ProcState> procs_;
+  std::map<ChannelKey, std::deque<PassSendMsg>> pendingSends_;
+  /// Recently consumed sends per channel (bounded history) so late probe
+  /// resolutions can still identify their send.
+  std::map<ChannelKey, std::deque<PassSendMsg>> consumedSends_;
+  /// Unmatched consuming receive-like ops per (proc, comm), in call order.
+  std::map<std::pair<trace::ProcId, mpi::CommId>, std::deque<trace::LocalTs>>
+      pendingRecvs_;
+  /// Unmatched probes per proc, in call order.
+  std::vector<std::vector<trace::LocalTs>> pendingProbes_;
+  std::map<std::pair<mpi::CommId, std::uint32_t>, NodeWave> collWaves_;
+
+  std::uint64_t transitions_ = 0;
+  std::size_t maxWindow_ = 0;
+  /// Per hosted process: active op had arrived when stopProgress ran.
+  std::vector<char> frozenActive_;
+};
+
+}  // namespace wst::waitstate

@@ -1,0 +1,74 @@
+// Messages of the distributed wait state algorithm (paper §4.1).
+//
+// Five message kinds connect the first-layer trackers and the tree:
+//
+//   passSend         sender-host  -> receiver-host   (intralayer)
+//   recvActive       receiver-host -> sender-host    (intralayer)
+//   recvActiveAck    sender-host  -> receiver-host   (intralayer)
+//   collectiveReady  first layer  -> root            (aggregated up)
+//   collectiveAck    root         -> first layer     (broadcast down)
+//
+// recvActive/recvActiveAck carry a `forProbe` flag: a probe behaves like a
+// receive for rule (2) — it waits for the matching send to be reached — but
+// it neither consumes the match nor satisfies the *send's* wait condition
+// (the send still waits for its real receive).
+#pragma once
+
+#include <cstdint>
+
+#include "mpi/types.hpp"
+#include "trace/op.hpp"
+
+namespace wst::waitstate {
+
+/// Routes a send operation's description to the node hosting the matching
+/// receive; includes the send's timestamp (paper: "includes the timestamp of
+/// the send").
+struct PassSendMsg {
+  trace::OpId sendOp{};       // (i1, j1)
+  trace::ProcId destProc = -1;  // receiver process (world rank)
+  mpi::Tag tag = 0;
+  mpi::CommId comm = mpi::kCommWorld;
+  mpi::Bytes bytes = 0;
+  mpi::SendMode mode = mpi::SendMode::kStandard;
+};
+
+/// The matching receive o_{i2,j2} of send o_{i1,j1} is now active
+/// (premise of rule (2) for the sender: l_{i2} >= j2).
+struct RecvActiveMsg {
+  trace::OpId sendOp{};  // l_s
+  trace::OpId recvOp{};  // l_r
+  bool forProbe = false;
+};
+
+/// The send o_{i1,j1} matching receive/probe o_{i2,j2} is now active
+/// (premise of rule (2) for the receiver: l_{i1} >= j1).
+struct RecvActiveAckMsg {
+  trace::OpId recvOp{};  // l_r — receive or probe
+  bool forProbe = false;
+};
+
+/// All of a subtree's processes in a collective's group activated their
+/// participating operation. Aggregated towards the root.
+struct CollectiveReadyMsg {
+  mpi::CommId comm = mpi::kCommWorld;
+  std::uint32_t wave = 0;  // nth collective on this communicator
+  std::uint32_t readyCount = 0;
+  mpi::CollectiveKind kind = mpi::CollectiveKind::kBarrier;
+};
+
+/// Root determined the collective wave is complete: premise of rule (3)
+/// holds for all participants. Broadcast to the first layer.
+struct CollectiveAckMsg {
+  mpi::CommId comm = mpi::kCommWorld;
+  std::uint32_t wave = 0;
+};
+
+/// Modeled wire sizes (bandwidth accounting in the overlay).
+inline constexpr std::size_t kPassSendBytes = 28;
+inline constexpr std::size_t kRecvActiveBytes = 20;
+inline constexpr std::size_t kRecvActiveAckBytes = 12;
+inline constexpr std::size_t kCollectiveReadyBytes = 16;
+inline constexpr std::size_t kCollectiveAckBytes = 10;
+
+}  // namespace wst::waitstate

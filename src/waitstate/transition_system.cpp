@@ -1,0 +1,442 @@
+#include "waitstate/transition_system.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "support/assert.hpp"
+#include "support/strings.hpp"
+
+namespace wst::waitstate {
+
+using trace::Kind;
+using trace::OpId;
+using trace::ProcId;
+using trace::Record;
+
+TransitionSystem::TransitionSystem(const trace::MatchedTrace& trace,
+                                   AnalysisConfig config)
+    : trace_(trace),
+      config_(config),
+      state_(static_cast<std::size_t>(trace.procCount()), 0),
+      waveReachedCount_(trace.waves().size(), 0) {
+  // The initial state L0 = (0, ..., 0) activates every process's first
+  // operation; run the activation bookkeeping for them.
+  std::vector<ProcId> ignored;
+  for (ProcId i = 0; i < trace_.procCount(); ++i) {
+    onActivated(i, 0, ignored);
+  }
+}
+
+bool TransitionSystem::blocking(const Record& op) const {
+  return trace::isBlocking(op, config_.blockingModel, config_.eagerThreshold);
+}
+
+bool TransitionSystem::requestSatisfied(ProcId proc,
+                                        mpi::RequestId request) const {
+  const auto origin = trace_.requestOrigin(proc, request);
+  if (!origin) return false;
+  const Record& o = trace_.op(*origin);
+  const std::optional<OpId> m =
+      o.isSendLike() ? trace_.recvOf(*origin) : trace_.sendOf(*origin);
+  return m.has_value() && reached(*m);
+}
+
+Rule TransitionSystem::applicableRule(ProcId proc) const {
+  const auto i = static_cast<std::size_t>(proc);
+  const trace::LocalTs j = state_[i];
+  if (j >= trace_.length(proc)) return Rule::kNone;
+  const OpId id{proc, j};
+  const Record& o = trace_.op(id);
+  if (o.kind == Kind::kFinalize) return Rule::kNone;
+  if (!blocking(o)) return Rule::kNonBlocking;
+
+  switch (o.kind) {
+    case Kind::kSend: {
+      const auto m = trace_.recvOf(id);
+      return m && reached(*m) ? Rule::kP2P : Rule::kNone;
+    }
+    case Kind::kRecv:
+    case Kind::kProbe: {
+      const auto m = trace_.sendOf(id);
+      return m && reached(*m) ? Rule::kP2P : Rule::kNone;
+    }
+    case Kind::kSendrecv: {
+      const auto mr = trace_.recvOf(id);  // receive matching our send half
+      const auto ms = trace_.sendOf(id);  // send matching our receive half
+      return mr && reached(*mr) && ms && reached(*ms) ? Rule::kP2P
+                                                      : Rule::kNone;
+    }
+    case Kind::kCollective: {
+      const auto w = trace_.waveOf(id);
+      if (!w) return Rule::kNone;
+      const trace::CollectiveWave& wave = trace_.waves()[*w];
+      if (!wave.complete()) return Rule::kNone;
+      return waveReachedCount_[*w] == wave.groupSize ? Rule::kCollective
+                                                     : Rule::kNone;
+    }
+    case Kind::kWait:
+    case Kind::kWaitall: {
+      for (mpi::RequestId r : o.completes) {
+        if (!requestSatisfied(proc, r)) return Rule::kNone;
+      }
+      return Rule::kCompletionAll;
+    }
+    case Kind::kWaitany:
+    case Kind::kWaitsome: {
+      if (o.completes.empty()) return Rule::kCompletionAny;
+      for (mpi::RequestId r : o.completes) {
+        if (requestSatisfied(proc, r)) return Rule::kCompletionAny;
+      }
+      return Rule::kNone;
+    }
+    default:
+      return Rule::kNone;
+  }
+}
+
+void TransitionSystem::onActivated(ProcId proc, trace::LocalTs ts,
+                                   std::vector<ProcId>& wake) {
+  if (ts >= trace_.length(proc)) return;
+  const OpId id{proc, ts};
+  const Record& o = trace_.op(id);
+  if (const auto m = trace_.recvOf(id)) wake.push_back(m->proc);
+  if (const auto m = trace_.sendOf(id)) wake.push_back(m->proc);
+  for (const OpId& probe : trace_.probesOf(id)) wake.push_back(probe.proc);
+  if (o.kind == Kind::kCollective) {
+    if (const auto w = trace_.waveOf(id)) {
+      std::uint32_t& reachedCount = waveReachedCount_[*w];
+      ++reachedCount;
+      const trace::CollectiveWave& wave = trace_.waves()[*w];
+      if (wave.complete() && reachedCount == wave.groupSize) {
+        for (const OpId& member : wave.members) wake.push_back(member.proc);
+      }
+    }
+  }
+}
+
+void TransitionSystem::advance(ProcId proc) {
+  WST_ASSERT(applicableRule(proc) != Rule::kNone,
+             "advance: no applicable rule for this process");
+  std::vector<ProcId> ignored;
+  ++state_[static_cast<std::size_t>(proc)];
+  onActivated(proc, state_[static_cast<std::size_t>(proc)], ignored);
+}
+
+std::uint64_t TransitionSystem::runToTerminal() {
+  const auto p = static_cast<std::size_t>(trace_.procCount());
+  std::vector<char> queued(p, 1);
+  std::deque<ProcId> queue;
+  for (ProcId i = 0; i < trace_.procCount(); ++i) queue.push_back(i);
+
+  std::uint64_t transitions = 0;
+  std::vector<ProcId> wake;
+  while (!queue.empty()) {
+    const ProcId i = queue.front();
+    queue.pop_front();
+    queued[static_cast<std::size_t>(i)] = 0;
+    while (applicableRule(i) != Rule::kNone) {
+      ++transitions;
+      ++state_[static_cast<std::size_t>(i)];
+      wake.clear();
+      onActivated(i, state_[static_cast<std::size_t>(i)], wake);
+      for (const ProcId k : wake) {
+        if (k != i && !queued[static_cast<std::size_t>(k)]) {
+          queued[static_cast<std::size_t>(k)] = 1;
+          queue.push_back(k);
+        }
+      }
+    }
+  }
+  return transitions;
+}
+
+std::uint64_t TransitionSystem::runToTerminalRandomized(support::Rng& rng) {
+  std::uint64_t transitions = 0;
+  std::vector<ProcId> enabled;
+  for (;;) {
+    enabled.clear();
+    for (ProcId i = 0; i < trace_.procCount(); ++i) {
+      if (applicableRule(i) != Rule::kNone) enabled.push_back(i);
+    }
+    if (enabled.empty()) return transitions;
+    const ProcId pick =
+        enabled[rng.below(enabled.size())];
+    advance(pick);
+    ++transitions;
+  }
+}
+
+bool TransitionSystem::terminal() const {
+  for (ProcId i = 0; i < trace_.procCount(); ++i) {
+    if (applicableRule(i) != Rule::kNone) return false;
+  }
+  return true;
+}
+
+bool TransitionSystem::finished(ProcId proc) const {
+  const trace::LocalTs j = state_[static_cast<std::size_t>(proc)];
+  if (j >= trace_.length(proc)) return true;
+  return trace_.op(OpId{proc, j}).kind == Kind::kFinalize;
+}
+
+bool TransitionSystem::allFinished() const {
+  for (ProcId i = 0; i < trace_.procCount(); ++i) {
+    if (!finished(i)) return false;
+  }
+  return true;
+}
+
+std::vector<ProcId> TransitionSystem::blockedProcs() const {
+  std::vector<ProcId> out;
+  for (ProcId i = 0; i < trace_.procCount(); ++i) {
+    if (!finished(i) && applicableRule(i) == Rule::kNone) out.push_back(i);
+  }
+  return out;
+}
+
+namespace {
+
+/// OR-clause over every potential sender of an unmatched wildcard receive:
+/// all members of the communicator's group except the receiver itself.
+wfg::Clause wildcardClause(const trace::MatchedTrace& trace, ProcId self,
+                           mpi::CommId comm, const char* what) {
+  wfg::Clause clause;
+  for (ProcId member : trace.commGroup(comm)) {
+    if (member != self) clause.targets.push_back(member);
+  }
+  clause.reason = support::format("%s from any rank in comm %d", what, comm);
+  return clause;
+}
+
+}  // namespace
+
+wfg::NodeConditions TransitionSystem::waitConditions(ProcId proc) const {
+  wfg::NodeConditions node;
+  node.proc = proc;
+  const trace::LocalTs j = state_[static_cast<std::size_t>(proc)];
+  if (finished(proc)) {
+    node.description = "finished";
+    return node;
+  }
+  const OpId id{proc, j};
+  const Record& o = trace_.op(id);
+  node.description = trace::describe(o);
+  if (applicableRule(proc) != Rule::kNone) {
+    return node;  // not blocked
+  }
+  node.blocked = true;
+
+  const auto singleTarget = [&](ProcId target, std::string reason) {
+    wfg::Clause clause;
+    clause.targets.push_back(target);
+    clause.reason = std::move(reason);
+    node.clauses.push_back(std::move(clause));
+  };
+
+  switch (o.kind) {
+    case Kind::kSend: {
+      const auto m = trace_.recvOf(id);
+      const ProcId target = m ? m->proc : o.peer;
+      singleTarget(target,
+                   support::format("waits for a receive by rank %d", target));
+      break;
+    }
+    case Kind::kRecv:
+    case Kind::kProbe: {
+      const auto m = trace_.sendOf(id);
+      if (m) {
+        singleTarget(m->proc,
+                     support::format("waits for send %u of rank %d to start",
+                                     m->ts, m->proc));
+      } else if (o.peer != mpi::kAnySource) {
+        singleTarget(o.peer,
+                     support::format("waits for a send from rank %d", o.peer));
+      } else {
+        node.clauses.push_back(
+            wildcardClause(trace_, proc, o.comm, "waits for a send"));
+      }
+      break;
+    }
+    case Kind::kSendrecv: {
+      const auto mr = trace_.recvOf(id);
+      if (!mr || !reached(*mr)) {
+        const ProcId target = mr ? mr->proc : o.peer;
+        singleTarget(target, support::format(
+                                 "send half waits for a receive by rank %d",
+                                 target));
+      }
+      const auto ms = trace_.sendOf(id);
+      if (!ms || !reached(*ms)) {
+        if (ms) {
+          singleTarget(ms->proc,
+                       support::format("receive half waits for rank %d",
+                                       ms->proc));
+        } else if (o.recvPeer != mpi::kAnySource) {
+          singleTarget(o.recvPeer,
+                       support::format("receive half waits for rank %d",
+                                       o.recvPeer));
+        } else {
+          node.clauses.push_back(wildcardClause(
+              trace_, proc, o.comm, "receive half waits for a send"));
+        }
+      }
+      break;
+    }
+    case Kind::kCollective: {
+      const auto w = trace_.waveOf(id);
+      node.inCollective = true;
+      node.collComm = o.comm;
+      node.collWaveIndex =
+          w ? static_cast<std::uint32_t>(*w)
+            : 0xffffffffu;  // unmatched: never identified as co-waiter
+      // Wait for every group member whose participating operation has not
+      // been reached. Members already in the wave with reached ops do not
+      // block us; members not in the wave have not called the collective.
+      std::vector<char> satisfied(
+          static_cast<std::size_t>(trace_.procCount()), 0);
+      if (w) {
+        for (const OpId& member : trace_.waves()[*w].members) {
+          if (reached(member)) {
+            satisfied[static_cast<std::size_t>(member.proc)] = 1;
+          }
+        }
+      }
+      for (ProcId member : trace_.commGroup(o.comm)) {
+        if (member == proc || satisfied[static_cast<std::size_t>(member)]) {
+          continue;
+        }
+        wfg::Clause clause;
+        clause.targets.push_back(member);
+        clause.type = wfg::ClauseType::kCollective;
+        clause.comm = o.comm;
+        clause.waveIndex = node.collWaveIndex;
+        clause.reason = support::format(
+            "waits for rank %d to enter %s on comm %d", member,
+            mpi::toString(o.collective), o.comm);
+        node.clauses.push_back(std::move(clause));
+      }
+      break;
+    }
+    case Kind::kWait:
+    case Kind::kWaitall:
+    case Kind::kWaitany:
+    case Kind::kWaitsome: {
+      const bool needAll = o.completionNeedsAll();
+      wfg::Clause anyClause;  // merged OR clause for Waitany/Waitsome
+      for (mpi::RequestId r : o.completes) {
+        if (requestSatisfied(proc, r)) continue;
+        const auto origin = trace_.requestOrigin(proc, r);
+        std::vector<ProcId> targets;
+        std::string reason;
+        if (!origin) {
+          reason = support::format("waits for unknown request %d", r);
+        } else {
+          const Record& req = trace_.op(*origin);
+          const std::optional<OpId> m =
+              req.isSendLike() ? trace_.recvOf(*origin)
+                               : trace_.sendOf(*origin);
+          if (m) {
+            targets.push_back(m->proc);
+            reason = support::format("waits for op %u of rank %d", m->ts,
+                                     m->proc);
+          } else if (req.peer != mpi::kAnySource) {
+            targets.push_back(req.peer);
+            reason = support::format("waits for rank %d (%s)", req.peer,
+                                     trace::describe(req).c_str());
+          } else {
+            for (ProcId member : trace_.commGroup(req.comm)) {
+              if (member != proc) targets.push_back(member);
+            }
+            reason = support::format("waits for any sender (%s)",
+                                     trace::describe(req).c_str());
+          }
+        }
+        if (needAll) {
+          wfg::Clause clause;
+          clause.targets = std::move(targets);
+          clause.reason = std::move(reason);
+          node.clauses.push_back(std::move(clause));
+        } else {
+          anyClause.targets.insert(anyClause.targets.end(), targets.begin(),
+                                   targets.end());
+          if (!anyClause.reason.empty()) anyClause.reason += "; ";
+          anyClause.reason += reason;
+        }
+      }
+      if (!needAll) {
+        node.clauses.push_back(std::move(anyClause));
+      }
+      break;
+    }
+    default:
+      // Blocked on something with no describable dependency — leave an
+      // unsatisfiable (empty) clause so the check treats it as stuck.
+      node.clauses.push_back(wfg::Clause{});
+      break;
+  }
+  return node;
+}
+
+wfg::WaitForGraph TransitionSystem::buildWaitForGraph() const {
+  wfg::WaitForGraph graph(trace_.procCount());
+  for (ProcId i = 0; i < trace_.procCount(); ++i) {
+    graph.setNode(waitConditions(i));
+  }
+  graph.pruneCollectiveCoWaiters();
+  return graph;
+}
+
+void TransitionSystem::appendUnexpectedForRecv(
+    OpId recvId, std::vector<UnexpectedMatch>& out) const {
+  const Record& recv = trace_.op(recvId);
+  if (recv.peer != mpi::kAnySource) return;
+  const auto matched = trace_.sendOf(recvId);
+  for (ProcId k = 0; k < trace_.procCount(); ++k) {
+    if (k == recvId.proc) continue;
+    const trace::LocalTs lk = state_[static_cast<std::size_t>(k)];
+    if (lk >= trace_.length(k)) continue;
+    const OpId sendId{k, lk};
+    const Record& send = trace_.op(sendId);
+    const bool sendLike =
+        send.isSendLike() || send.kind == Kind::kSendrecv;
+    if (!sendLike) continue;
+    if (send.peer != recvId.proc || send.comm != recv.comm) continue;
+    if (recv.tag != mpi::kAnyTag && recv.tag != send.tag) continue;
+    // Candidate active send found. Unexpected if matching chose a different
+    // send that is not active in this state (or found no match at all).
+    const bool expected =
+        matched && (*matched == sendId || reached(*matched));
+    if (!expected) {
+      UnexpectedMatch um;
+      um.wildcardRecv = recvId;
+      um.activeSendCandidate = sendId;
+      if (matched) um.matchedSend = *matched;
+      out.push_back(um);
+    }
+  }
+}
+
+std::vector<UnexpectedMatch> TransitionSystem::findUnexpectedMatches() const {
+  std::vector<UnexpectedMatch> out;
+  for (ProcId i = 0; i < trace_.procCount(); ++i) {
+    const trace::LocalTs j = state_[static_cast<std::size_t>(i)];
+    if (j >= trace_.length(i)) continue;
+    const OpId id{i, j};
+    const Record& o = trace_.op(id);
+    if (o.kind == Kind::kRecv || o.kind == Kind::kProbe) {
+      appendUnexpectedForRecv(id, out);
+    } else if (o.isCompletion()) {
+      for (mpi::RequestId r : o.completes) {
+        if (requestSatisfied(i, r)) continue;
+        if (const auto origin = trace_.requestOrigin(i, r)) {
+          if (trace_.op(*origin).kind == Kind::kIrecv) {
+            appendUnexpectedForRecv(*origin, out);
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace wst::waitstate

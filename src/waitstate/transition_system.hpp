@@ -1,0 +1,148 @@
+// The wait state transition system T = (States, ->ws, L0) of paper §3.1.
+//
+// States are p-tuples (l_0, ..., l_{p-1}) of per-process logical timestamps
+// of the currently active MPI operations. The transition rules are exactly
+// the paper's:
+//
+//   (1) non-blocking operation:   b(i,j) = ⊥ ∧ l_i = j           → l_i + 1
+//   (2) matched send/recv/probe:  l_i = j ∧ l_k ≥ n              → l_i + 1
+//   (3) complete collective wave: (i,j) ∈ C ∧ ∀(k,n) ∈ C: l_k ≥ n → l_i + 1
+//   (4) completion operations:
+//       (I)  Waitany/Waitsome: some associated op matched & counterpart
+//            reached                                               → l_i + 1
+//       (II) Wait/Waitall: every associated op matched & counterpart
+//            reached                                               → l_i + 1
+//
+// MPI_Finalize has no applicable rule (well-defined terminal). The system is
+// confluent: independent transitions never disable each other, so a unique
+// terminal state exists; TransitionSystemTest exercises this property with
+// randomized schedules.
+//
+// This class is the *centralized, offline* executor: it consumes a complete
+// MatchedTrace. It serves three purposes in the reproduction:
+//  * the formal reference/oracle that the distributed tracker is tested
+//    against (DESIGN.md §6),
+//  * the analysis engine of the centralized baseline tool (paper Fig. 1(a)),
+//  * the specification the paper derives its distributed algorithm from.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "trace/matched_trace.hpp"
+#include "trace/op.hpp"
+#include "wfg/graph.hpp"
+
+namespace wst::waitstate {
+
+/// State of the transition system: l_i per process.
+using State = std::vector<trace::LocalTs>;
+
+/// Which transition rule applies to a process's active operation.
+enum class Rule : std::uint8_t {
+  kNone,           // no rule applicable (blocked, finished, or at Finalize)
+  kNonBlocking,    // rule (1)
+  kP2P,            // rule (2)
+  kCollective,     // rule (3)
+  kCompletionAny,  // rule (4)(I)
+  kCompletionAll,  // rule (4)(II)
+};
+
+struct AnalysisConfig {
+  trace::BlockingModel blockingModel = trace::BlockingModel::kConservative;
+  mpi::Bytes eagerThreshold = 4096;
+};
+
+/// An unexpected match (paper §3.3): a wildcard receive active in the
+/// terminal state could match an active send, but point-to-point matching
+/// bound it to a send that is not active.
+struct UnexpectedMatch {
+  trace::OpId wildcardRecv{};
+  trace::OpId activeSendCandidate{};
+  /// The send p2p matching decided on (invalid proc if unmatched).
+  trace::OpId matchedSend{-1, 0};
+};
+
+class TransitionSystem {
+ public:
+  explicit TransitionSystem(const trace::MatchedTrace& trace,
+                            AnalysisConfig config = {});
+  /// The transition system keeps a reference to the trace; binding a
+  /// temporary would dangle.
+  explicit TransitionSystem(trace::MatchedTrace&&, AnalysisConfig = {}) =
+      delete;
+
+  const State& state() const { return state_; }
+  const trace::MatchedTrace& trace() const { return trace_; }
+
+  /// The rule applicable to process i's active operation at the current
+  /// state (kNone if the process cannot advance).
+  Rule applicableRule(trace::ProcId proc) const;
+  bool canAdvance(trace::ProcId proc) const {
+    return applicableRule(proc) != Rule::kNone;
+  }
+
+  /// Apply one transition for process i; a rule must be applicable.
+  void advance(trace::ProcId proc);
+
+  /// Run to the unique terminal state using an efficient worklist order.
+  /// Returns the number of transitions applied.
+  std::uint64_t runToTerminal();
+
+  /// Run to the terminal state applying single transitions in a randomized
+  /// order — used by the confluence property tests.
+  std::uint64_t runToTerminalRandomized(support::Rng& rng);
+
+  /// True if no rule applies to any process.
+  bool terminal() const;
+
+  /// Process finished: consumed its trace or sits at MPI_Finalize.
+  bool finished(trace::ProcId proc) const;
+  bool allFinished() const;
+
+  /// Blocked processes at the current state (paper §3.2): no transition can
+  /// advance them and they are not finished.
+  std::vector<trace::ProcId> blockedProcs() const;
+
+  /// Wait-for conditions of one process for graph-based deadlock detection.
+  /// The process must be blocked (or the result is an unblocked node).
+  wfg::NodeConditions waitConditions(trace::ProcId proc) const;
+
+  /// Build the complete wait-for graph at the current state (co-waiter
+  /// pruning already applied).
+  wfg::WaitForGraph buildWaitForGraph() const;
+
+  /// Unexpected matches at the current state (paper §3.3).
+  std::vector<UnexpectedMatch> findUnexpectedMatches() const;
+
+ private:
+  /// l_k >= n: the counterpart operation was reached (active or passed).
+  bool reached(trace::OpId id) const {
+    return state_[static_cast<std::size_t>(id.proc)] >= id.ts;
+  }
+  bool isActive(trace::OpId id) const {
+    return state_[static_cast<std::size_t>(id.proc)] == id.ts;
+  }
+  /// The operation's blocking predicate under this config.
+  bool blocking(const trace::Record& op) const;
+  /// Rule-4 premise for one associated request of a completion op. Returns
+  /// the matched counterpart if the request's communication is matched and
+  /// reached.
+  bool requestSatisfied(trace::ProcId proc, mpi::RequestId request) const;
+  /// Bookkeeping when (i, j) becomes active; appends processes whose
+  /// premises may have become true to `wake`.
+  void onActivated(trace::ProcId proc, trace::LocalTs ts,
+                   std::vector<trace::ProcId>& wake);
+  void appendUnexpectedForRecv(trace::OpId recvId,
+                               std::vector<UnexpectedMatch>& out) const;
+
+  const trace::MatchedTrace& trace_;
+  AnalysisConfig config_;
+  State state_;
+  /// Number of wave members whose operation is active or passed, per wave.
+  std::vector<std::uint32_t> waveReachedCount_;
+};
+
+}  // namespace wst::waitstate

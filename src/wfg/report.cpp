@@ -1,0 +1,84 @@
+#include "wfg/report.hpp"
+
+#include "support/strings.hpp"
+
+namespace wst::wfg {
+
+std::string summaryLine(const CheckResult& check) {
+  if (!check.deadlock) return "No deadlock detected.";
+  std::string cycle;
+  if (!check.cycle.empty()) {
+    std::vector<std::string> parts;
+    parts.reserve(check.cycle.size() + 1);
+    for (const auto proc : check.cycle) parts.push_back(std::to_string(proc));
+    parts.push_back(std::to_string(check.cycle.front()));
+    cycle = support::join(parts, " -> ");
+  }
+  return support::format(
+      "DEADLOCK: %zu process(es) cannot continue%s%s", check.deadlocked.size(),
+      cycle.empty() ? "" : ", representative cycle ", cycle.c_str());
+}
+
+Report makeReport(const WaitForGraph& graph, const CheckResult& check,
+                  const std::function<void(std::string_view)>& dotSink) {
+  Report report;
+  report.check = check;
+  report.deadlock = check.deadlock;
+  report.summary = summaryLine(check);
+
+  // DOT graph of the deadlocked processes (paper: "a wait-for graph of the
+  // deadlocked processes in DOT").
+  if (check.deadlock) {
+    if (dotSink) {
+      report.dotBytes = graph.writeDot(dotSink, check.deadlocked);
+    } else {
+      report.dotBytes =
+          graph.writeDot([](std::string_view) {}, check.deadlocked);
+    }
+  }
+
+  // HTML report. For very large deadlocks only a bounded number of processes
+  // is detailed (a p^2-arc graph is not human readable anyway — paper §6).
+  std::string& html = report.html;
+  html += "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">";
+  html += "<title>MUST-style deadlock report</title></head><body>\n";
+  html += support::format("<h1>%s</h1>\n",
+                          support::htmlEscape(report.summary).c_str());
+  if (check.deadlock) {
+    html += support::format(
+        "<p>Wait-for graph: %s arcs across %d processes.</p>\n",
+        support::withCommas(check.arcCount).c_str(), graph.procCount());
+    html += "<table border=\"1\"><tr><th>Process</th><th>Active call</th>"
+            "<th>Wait-for conditions</th></tr>\n";
+    constexpr std::size_t kMaxDetailed = 64;
+    std::size_t shown = 0;
+    for (const auto proc : check.deadlocked) {
+      if (shown++ == kMaxDetailed) {
+        html += support::format(
+            "<tr><td colspan=\"3\">... and %zu further processes</td></tr>\n",
+            check.deadlocked.size() - kMaxDetailed);
+        break;
+      }
+      const NodeConditions& node = graph.node(proc);
+      std::vector<std::string> reasons;
+      reasons.reserve(node.clauses.size());
+      for (const Clause& clause : node.clauses) {
+        reasons.push_back(clause.reason.empty()
+                              ? support::format("%zu dependencies",
+                                                clause.targets.size())
+                              : clause.reason);
+      }
+      html += support::format(
+          "<tr><td>%d</td><td>%s</td><td>%s</td></tr>\n", proc,
+          support::htmlEscape(node.description).c_str(),
+          support::htmlEscape(support::join(reasons, " AND ")).c_str());
+    }
+    html += "</table>\n";
+  } else {
+    html += "<p>All processes can continue.</p>\n";
+  }
+  html += "</body></html>\n";
+  return report;
+}
+
+}  // namespace wst::wfg

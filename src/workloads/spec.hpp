@@ -1,0 +1,46 @@
+// SPEC MPI2007 (large suite) proxy workloads for the paper's Figure 12.
+//
+// The benchmark suite itself is proprietary, so each application is replaced
+// by a mini-app reproducing its *dominant communication pattern and
+// communication/computation ratio* — the properties that determine tool
+// overhead (the tool only observes MPI calls). DESIGN.md documents the
+// substitution; the names follow the suite so bench output matches the
+// paper's figure labels.
+//
+// Strong scaling: per-rank compute shrinks as 1/p (SPEC mref is a fixed
+// problem size), so communication dominates more at larger scales — the
+// regime the paper evaluates at up to 2,048 processes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "mpi/proc.hpp"
+#include "mpi/runtime.hpp"
+
+namespace wst::workloads {
+
+struct SpecScale {
+  std::int32_t iterations = 20;
+  /// Multiplies every compute block; benches set 256.0 / p (strong scaling
+  /// normalized to the smallest evaluated process count).
+  double computeScale = 1.0;
+};
+
+struct SpecApp {
+  const char* name;
+  /// Excluded from the overhead average, as in the paper (§6):
+  /// 126.lammps aborts on the detected send-send deadlock and
+  /// 128.GAPgeofem exhausts tool memory (trace-window growth).
+  bool excludedFromAverage;
+  const char* notes;
+  mpi::Runtime::Program (*make)(const SpecScale&);
+};
+
+/// The proxy suite (12 applications of the SPEC MPI2007 large suite).
+std::span<const SpecApp> specSuite();
+
+/// Lookup by name (nullptr if unknown).
+const SpecApp* findSpecApp(std::string_view name);
+
+}  // namespace wst::workloads

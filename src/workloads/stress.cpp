@@ -1,0 +1,102 @@
+#include "workloads/stress.hpp"
+
+namespace wst::workloads {
+
+using mpi::Proc;
+
+mpi::Runtime::Program cyclicExchange(StressParams params) {
+  return [params](Proc& self) -> sim::Task {
+    const mpi::Rank n = self.worldSize();
+    const mpi::Rank right = (self.rank() + 1) % n;
+    const mpi::Rank left = (self.rank() + n - 1) % n;
+    for (std::int32_t i = 0; i < params.iterations; ++i) {
+      co_await self.sendrecv(right, 0, params.bytes, left, 0);
+      if (params.barrierEvery > 0 && i % params.barrierEvery ==
+                                         params.barrierEvery - 1) {
+        co_await self.barrier();
+      }
+    }
+    co_await self.finalize();
+  };
+}
+
+mpi::Runtime::Program unsafeCyclicExchange(StressParams params) {
+  return [params](Proc& self) -> sim::Task {
+    const mpi::Rank n = self.worldSize();
+    const mpi::Rank right = (self.rank() + 1) % n;
+    const mpi::Rank left = (self.rank() + n - 1) % n;
+    for (std::int32_t i = 0; i < params.iterations; ++i) {
+      co_await self.send(right, 0, params.bytes);
+      co_await self.recv(left, 0);
+      if (params.barrierEvery > 0 && i % params.barrierEvery ==
+                                         params.barrierEvery - 1) {
+        co_await self.barrier();
+      }
+    }
+    co_await self.finalize();
+  };
+}
+
+mpi::Runtime::Program wildcardDeadlock() {
+  return [](Proc& self) -> sim::Task {
+    co_await self.recv(mpi::kAnySource, mpi::kAnyTag);
+    co_await self.finalize();
+  };
+}
+
+mpi::Runtime::Program recvRecvDeadlock() {
+  return [](Proc& self) -> sim::Task {
+    const mpi::Rank partner = self.rank() ^ 1;
+    if (partner < self.worldSize()) {
+      co_await self.recv(partner, 0);
+      co_await self.send(partner, 0);
+    }
+    co_await self.finalize();
+  };
+}
+
+mpi::Runtime::Program figure2b() {
+  return [](Proc& self) -> sim::Task {
+    if (self.rank() == 0) {
+      co_await self.send(1);
+      co_await self.barrier();
+      co_await self.send(1);
+      co_await self.recv(2);
+    } else if (self.rank() == 1) {
+      co_await self.recv(mpi::kAnySource);
+      co_await self.recv(mpi::kAnySource);
+      co_await self.barrier();
+      co_await self.send(2);
+      co_await self.recv(0);
+    } else {
+      co_await self.send(1);
+      co_await self.barrier();
+      co_await self.send(0);
+      co_await self.recv(1);
+    }
+    co_await self.finalize();
+  };
+}
+
+mpi::Runtime::Program figure4() {
+  return [](Proc& self) -> sim::Task {
+    if (self.rank() == 0) {
+      // Slight local work before the send: in the racy execution the paper
+      // describes, process 2's post-collective send overtakes this one and
+      // claims the first wildcard receive.
+      co_await self.compute(50 * sim::kMicrosecond);
+      co_await self.send(1);
+      co_await self.reduce(/*root=*/1);
+    } else if (self.rank() == 1) {
+      co_await self.recv(mpi::kAnySource);
+      co_await self.reduce(/*root=*/1);
+      co_await self.recv(mpi::kAnySource);
+    } else {
+      co_await self.reduce(/*root=*/1);
+      co_await self.send(1);
+    }
+    co_await self.finalize();
+  };
+}
+
+}  // namespace wst::workloads

@@ -1,0 +1,47 @@
+// Synthetic workloads of the paper's evaluation (§6).
+#pragma once
+
+#include <cstdint>
+
+#include "mpi/proc.hpp"
+#include "mpi/runtime.hpp"
+#include "sim/time.hpp"
+
+namespace wst::workloads {
+
+/// The paper's synthetic stress test: iterations of a cyclic exchange —
+/// every rank exchanges a single integer with its right/left neighbours via
+/// MPI_Sendrecv (the safe formulation of "send right, receive left") and
+/// issues an MPI_Barrier every 10th iteration. Communication bound and
+/// latency sensitive: each call immediately produces tool events, and the
+/// wait-state messages cannot be aggregated (paper §4.2).
+struct StressParams {
+  std::int32_t iterations = 50;
+  mpi::Bytes bytes = 4;  // a single MPI_INT
+  std::int32_t barrierEvery = 10;
+};
+mpi::Runtime::Program cyclicExchange(StressParams params = {});
+
+/// The paper's *unsafe* variant used to exercise the conservative blocking
+/// model: blocking standard-mode sends before the receives. Completes only
+/// if the MPI implementation buffers; always flagged by the analysis.
+mpi::Runtime::Program unsafeCyclicExchange(StressParams params = {});
+
+/// Figure 10 workload: every rank posts a wildcard receive and never sends —
+/// a manifest deadlock whose wait-for graph has p*(p-1) ≈ p² arcs.
+mpi::Runtime::Program wildcardDeadlock();
+
+/// Paper Figure 2(a): head-to-head Recv/Recv deadlock between rank pairs.
+mpi::Runtime::Program recvRecvDeadlock();
+
+/// Paper Figure 2(b): wildcard receives + barrier complete, then every rank
+/// sends and nobody receives (send-send deadlock; manifests only without
+/// buffering, detected always).
+mpi::Runtime::Program figure2b();
+
+/// Paper Figure 4: a non-synchronizing rooted collective allows a send from
+/// "after" the collective to match an earlier wildcard receive (unexpected
+/// match). Run with CollectiveSync::kRooted.
+mpi::Runtime::Program figure4();
+
+}  // namespace wst::workloads

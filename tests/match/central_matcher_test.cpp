@@ -1,0 +1,196 @@
+// Centralized point-to-point and collective matching.
+#include <gtest/gtest.h>
+
+#include "match/central_matcher.hpp"
+
+namespace wst::match {
+namespace {
+
+using trace::Kind;
+using trace::OpId;
+using trace::ProcId;
+using trace::Record;
+
+struct Feeder {
+  waitstate::MapCommView comms;
+  CentralMatcher matcher;
+  std::vector<trace::LocalTs> ts;
+
+  explicit Feeder(std::int32_t procs)
+      : comms(procs), matcher(procs, comms),
+        ts(static_cast<std::size_t>(procs), 0) {}
+
+  Record base(ProcId p, Kind kind) {
+    Record r;
+    r.id = OpId{p, ts[static_cast<std::size_t>(p)]++};
+    r.kind = kind;
+    return r;
+  }
+  OpId send(ProcId p, mpi::Rank to, mpi::Tag tag = 0) {
+    Record r = base(p, Kind::kSend);
+    r.peer = to;
+    r.tag = tag;
+    matcher.onEvent(trace::NewOpEvent{r});
+    return r.id;
+  }
+  OpId recv(ProcId p, mpi::Rank from, mpi::Tag tag = 0) {
+    Record r = base(p, Kind::kRecv);
+    r.peer = from;
+    r.tag = tag;
+    matcher.onEvent(trace::NewOpEvent{r});
+    return r.id;
+  }
+  OpId probe(ProcId p, mpi::Rank from, mpi::Tag tag = 0) {
+    Record r = base(p, Kind::kProbe);
+    r.peer = from;
+    r.tag = tag;
+    matcher.onEvent(trace::NewOpEvent{r});
+    return r.id;
+  }
+  OpId collective(ProcId p, mpi::CollectiveKind kind, mpi::Rank root = 0) {
+    Record r = base(p, Kind::kCollective);
+    r.collective = kind;
+    r.root = root;
+    matcher.onEvent(trace::NewOpEvent{r});
+    return r.id;
+  }
+  void resolve(OpId recvOp, mpi::Rank source, mpi::Tag tag = 0) {
+    matcher.onEvent(trace::MatchInfoEvent{recvOp, source, tag});
+  }
+};
+
+TEST(CentralMatcher, MatchesSendBeforeRecv) {
+  Feeder f(2);
+  const auto s = f.send(0, 1);
+  const auto r = f.recv(1, 0);
+  EXPECT_EQ(f.matcher.trace().recvOf(s), r);
+  EXPECT_EQ(f.matcher.trace().sendOf(r), s);
+  EXPECT_EQ(f.matcher.matches(), 1u);
+}
+
+TEST(CentralMatcher, MatchesRecvBeforeSend) {
+  Feeder f(2);
+  const auto r = f.recv(1, 0);
+  const auto s = f.send(0, 1);
+  EXPECT_EQ(f.matcher.trace().recvOf(s), r);
+}
+
+TEST(CentralMatcher, ChannelFifoOrder) {
+  Feeder f(2);
+  const auto s1 = f.send(0, 1);
+  const auto s2 = f.send(0, 1);
+  const auto r1 = f.recv(1, 0);
+  const auto r2 = f.recv(1, 0);
+  EXPECT_EQ(f.matcher.trace().sendOf(r1), s1);
+  EXPECT_EQ(f.matcher.trace().sendOf(r2), s2);
+}
+
+TEST(CentralMatcher, TagsSelect) {
+  Feeder f(2);
+  const auto sA = f.send(0, 1, /*tag=*/7);
+  const auto sB = f.send(0, 1, /*tag=*/9);
+  const auto rB = f.recv(1, 0, /*tag=*/9);
+  const auto rA = f.recv(1, 0, /*tag=*/7);
+  EXPECT_EQ(f.matcher.trace().sendOf(rB), sB);
+  EXPECT_EQ(f.matcher.trace().sendOf(rA), sA);
+}
+
+TEST(CentralMatcher, WildcardWaitsForResolution) {
+  Feeder f(3);
+  const auto s = f.send(2, 0);
+  Record r = f.base(0, Kind::kRecv);
+  r.peer = mpi::kAnySource;
+  r.tag = mpi::kAnyTag;
+  f.matcher.onEvent(trace::NewOpEvent{r});
+  EXPECT_FALSE(f.matcher.trace().sendOf(r.id).has_value());
+  f.resolve(r.id, /*source=*/2, /*tag=*/0);
+  EXPECT_EQ(f.matcher.trace().sendOf(r.id), s);
+}
+
+TEST(CentralMatcher, UnresolvedWildcardStallsLaterRecvsOnClaimableTags) {
+  Feeder f(3);
+  const auto s = f.send(2, 0, /*tag=*/5);
+  // Wildcard that could claim tag 5, then a deterministic recv for tag 5.
+  Record wild = f.base(0, Kind::kRecv);
+  wild.peer = mpi::kAnySource;
+  wild.tag = 5;
+  f.matcher.onEvent(trace::NewOpEvent{wild});
+  const auto det = f.recv(0, 2, /*tag=*/5);
+  // The deterministic recv must NOT grab the send while the wildcard's
+  // decision is unknown.
+  EXPECT_FALSE(f.matcher.trace().sendOf(det).has_value());
+  f.resolve(wild.id, 2, 5);
+  EXPECT_EQ(f.matcher.trace().sendOf(wild.id), s);
+  // A second send now matches the deterministic receive.
+  const auto s2 = f.send(2, 0, /*tag=*/5);
+  EXPECT_EQ(f.matcher.trace().sendOf(det), s2);
+}
+
+TEST(CentralMatcher, UnresolvedWildcardDoesNotStallOtherTags) {
+  Feeder f(3);
+  Record wild = f.base(0, Kind::kRecv);
+  wild.peer = mpi::kAnySource;
+  wild.tag = 5;
+  f.matcher.onEvent(trace::NewOpEvent{wild});
+  const auto s9 = f.send(2, 0, /*tag=*/9);
+  const auto det = f.recv(0, 2, /*tag=*/9);
+  EXPECT_EQ(f.matcher.trace().sendOf(det), s9);  // tag 9 not claimable
+}
+
+TEST(CentralMatcher, ProbeReferencesWithoutConsuming) {
+  Feeder f(2);
+  const auto s = f.send(0, 1, /*tag=*/3);
+  const auto pr = f.probe(1, 0, /*tag=*/3);
+  const auto rc = f.recv(1, 0, /*tag=*/3);
+  EXPECT_EQ(f.matcher.trace().sendOf(pr), s);
+  EXPECT_EQ(f.matcher.trace().sendOf(rc), s);  // still consumed by the recv
+  EXPECT_EQ(f.matcher.trace().probesOf(s), (std::vector<OpId>{pr}));
+}
+
+TEST(CentralMatcher, CollectiveWavesMatchInOrder) {
+  Feeder f(3);
+  for (int wave = 0; wave < 2; ++wave) {
+    for (ProcId p = 0; p < 3; ++p) {
+      f.collective(p, mpi::CollectiveKind::kBarrier);
+    }
+  }
+  const auto& waves = f.matcher.trace().waves();
+  ASSERT_EQ(waves.size(), 2u);
+  EXPECT_TRUE(waves[0].complete());
+  EXPECT_TRUE(waves[1].complete());
+  EXPECT_TRUE(f.matcher.usageErrors().empty());
+}
+
+TEST(CentralMatcher, CollectiveKindMismatchFlagged) {
+  Feeder f(2);
+  f.collective(0, mpi::CollectiveKind::kBarrier);
+  f.collective(1, mpi::CollectiveKind::kAllreduce);
+  ASSERT_EQ(f.matcher.usageErrors().size(), 1u);
+  EXPECT_NE(f.matcher.usageErrors()[0].find("mismatch"), std::string::npos);
+}
+
+TEST(CentralMatcher, CollectiveRootMismatchFlagged) {
+  Feeder f(2);
+  f.collective(0, mpi::CollectiveKind::kReduce, /*root=*/0);
+  f.collective(1, mpi::CollectiveKind::kReduce, /*root=*/1);
+  EXPECT_EQ(f.matcher.usageErrors().size(), 1u);
+}
+
+TEST(CentralMatcher, SendrecvMatchesBothHalves) {
+  Feeder f(2);
+  Record sr0 = f.base(0, Kind::kSendrecv);
+  sr0.peer = 1;
+  sr0.recvPeer = 1;
+  f.matcher.onEvent(trace::NewOpEvent{sr0});
+  Record sr1 = f.base(1, Kind::kSendrecv);
+  sr1.peer = 0;
+  sr1.recvPeer = 0;
+  f.matcher.onEvent(trace::NewOpEvent{sr1});
+  EXPECT_EQ(f.matcher.trace().recvOf(sr0.id), sr1.id);
+  EXPECT_EQ(f.matcher.trace().sendOf(sr0.id), sr1.id);
+  EXPECT_EQ(f.matcher.trace().recvOf(sr1.id), sr0.id);
+  EXPECT_EQ(f.matcher.trace().sendOf(sr1.id), sr0.id);
+}
+
+}  // namespace
+}  // namespace wst::match

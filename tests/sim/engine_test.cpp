@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace wst::sim {
+namespace {
+
+TEST(Engine, StartsAtTimeZero) {
+  Engine e;
+  EXPECT_EQ(e.now(), 0u);
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule(30, [&] { order.push_back(3); });
+  e.schedule(10, [&] { order.push_back(1); });
+  e.schedule(20, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 30u);
+}
+
+TEST(Engine, TiesBreakByInsertionOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    e.schedule(100, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, EventsMayScheduleMoreEvents) {
+  Engine e;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) e.schedule(5, recurse);
+  };
+  e.schedule(0, recurse);
+  e.run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(e.now(), 45u);
+}
+
+TEST(Engine, QuiescenceHookRunsWhenQueueDrains) {
+  Engine e;
+  int hookRuns = 0;
+  e.addQuiescenceHook([&] { ++hookRuns; });
+  e.schedule(10, [] {});
+  e.run();
+  EXPECT_EQ(hookRuns, 1);
+}
+
+TEST(Engine, QuiescenceHookMayResumeTheRun) {
+  Engine e;
+  int hookRuns = 0;
+  bool lateEventRan = false;
+  e.addQuiescenceHook([&] {
+    if (++hookRuns == 1) e.schedule(50, [&] { lateEventRan = true; });
+  });
+  e.schedule(10, [] {});
+  e.run();
+  EXPECT_TRUE(lateEventRan);
+  EXPECT_EQ(hookRuns, 2);  // once to reschedule, once to terminate
+  EXPECT_EQ(e.now(), 60u);
+}
+
+TEST(Engine, RemovedHookDoesNotRun) {
+  Engine e;
+  int runs = 0;
+  const auto id = e.addQuiescenceHook([&] { ++runs; });
+  e.removeQuiescenceHook(id);
+  e.schedule(1, [] {});
+  e.run();
+  EXPECT_EQ(runs, 0);
+}
+
+TEST(Engine, RunSomeExecutesBoundedEvents) {
+  Engine e;
+  int ran = 0;
+  for (int i = 0; i < 10; ++i) e.schedule(i, [&] { ++ran; });
+  EXPECT_EQ(e.runSome(4), 4u);
+  EXPECT_EQ(ran, 4);
+  EXPECT_FALSE(e.empty());
+  e.run();
+  EXPECT_EQ(ran, 10);
+}
+
+TEST(Engine, ScheduleAtAbsoluteTime) {
+  Engine e;
+  Time seen = 0;
+  e.scheduleAt(123, [&] { seen = e.now(); });
+  e.run();
+  EXPECT_EQ(seen, 123u);
+}
+
+TEST(Engine, CountsExecutedEvents) {
+  Engine e;
+  for (int i = 0; i < 7; ++i) e.schedule(1, [] {});
+  e.run();
+  EXPECT_EQ(e.eventsExecuted(), 7u);
+}
+
+}  // namespace
+}  // namespace wst::sim

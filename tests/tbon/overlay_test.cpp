@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "tbon/overlay.hpp"
+#include "tbon/topology.hpp"
+
+namespace wst::tbon {
+namespace {
+
+struct Msg {
+  int tag = 0;
+};
+
+struct Fixture {
+  sim::Engine engine;
+  Topology topology;
+  Overlay<Msg> overlay;
+  std::vector<std::pair<NodeId, int>> received;
+
+  explicit Fixture(std::int32_t procs, std::int32_t fanIn,
+                   OverlayConfig cfg = {}, sim::Duration cost = 0)
+      : topology(procs, fanIn),
+        overlay(engine, topology, cfg, [cost](NodeId, const Msg&) {
+          return cost;
+        }) {
+    overlay.setHandler([this](NodeId node, Msg&& m) {
+      received.emplace_back(node, m.tag);
+    });
+  }
+};
+
+TEST(Overlay, InjectReachesHostingLeaf) {
+  Fixture f(8, 4);
+  f.overlay.inject(5, Msg{55}, 8);
+  f.engine.run();
+  ASSERT_EQ(f.received.size(), 1u);
+  EXPECT_EQ(f.received[0].first, f.topology.nodeOfProc(5));
+  EXPECT_EQ(f.received[0].second, 55);
+}
+
+TEST(Overlay, SendUpReachesParentAndDownReachesChild) {
+  Fixture f(8, 4);  // nodes 0,1 -> root 2
+  f.overlay.sendUp(0, Msg{1}, 4);
+  f.overlay.sendDown(2, 1, Msg{2}, 4);
+  f.engine.run();
+  ASSERT_EQ(f.received.size(), 2u);
+  EXPECT_EQ(f.received[0], (std::pair<NodeId, int>{2, 1}));
+  EXPECT_EQ(f.received[1], (std::pair<NodeId, int>{1, 2}));
+}
+
+TEST(Overlay, IntralayerAndSelfDelivery) {
+  Fixture f(8, 4);
+  f.overlay.sendIntralayer(0, 1, Msg{7}, 4);
+  f.overlay.sendIntralayer(1, 1, Msg{8}, 4);  // self-send
+  f.engine.run();
+  ASSERT_EQ(f.received.size(), 2u);
+  // Self-send has zero latency, delivered first.
+  EXPECT_EQ(f.received[0], (std::pair<NodeId, int>{1, 8}));
+  EXPECT_EQ(f.received[1], (std::pair<NodeId, int>{1, 7}));
+}
+
+TEST(Overlay, PerLinkFifoOrder) {
+  Fixture f(8, 4);
+  for (int i = 0; i < 10; ++i) f.overlay.sendIntralayer(0, 1, Msg{i}, 4);
+  f.engine.run();
+  ASSERT_EQ(f.received.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(f.received[i].second, i);
+}
+
+TEST(Overlay, ServiceCostSerializesNodeProcessing) {
+  Fixture f(8, 4, {}, /*cost=*/1'000);
+  const sim::Time start = f.engine.now();
+  for (int i = 0; i < 5; ++i) f.overlay.inject(0, Msg{i}, 4);
+  f.engine.run();
+  // 5 messages, 1us service each, processed sequentially after ~2us latency.
+  EXPECT_GE(f.engine.now() - start, 2'000u + 4u * 1'000u);
+  EXPECT_EQ(f.received.size(), 5u);
+}
+
+TEST(Overlay, CreditsBackpressureProducers) {
+  OverlayConfig cfg;
+  cfg.appToLeaf.credits = 2;
+  Fixture f(4, 4, cfg, /*cost=*/500);
+  EXPECT_TRUE(f.overlay.canInject(0));
+  f.overlay.inject(0, Msg{1}, 4);
+  f.overlay.inject(0, Msg{2}, 4);
+  EXPECT_FALSE(f.overlay.canInject(0));
+  bool woken = false;
+  f.overlay.onceInjectCredit(0, [&] { woken = true; });
+  f.engine.run();  // processing returns credits
+  EXPECT_TRUE(woken);
+  EXPECT_TRUE(f.overlay.canInject(0));
+}
+
+TEST(Overlay, UnthrottledInjectionBypassesCredits) {
+  OverlayConfig cfg;
+  cfg.appToLeaf.credits = 1;
+  Fixture f(4, 4, cfg);
+  f.overlay.inject(0, Msg{1}, 4);
+  EXPECT_FALSE(f.overlay.canInject(0));
+  f.overlay.injectUnthrottled(0, Msg{2}, 4);  // must not assert or block
+  f.engine.run();
+  EXPECT_EQ(f.received.size(), 2u);
+}
+
+TEST(Overlay, CountsTrafficByLinkClass) {
+  Fixture f(8, 4);
+  f.overlay.inject(0, Msg{}, 10);
+  f.overlay.sendUp(0, Msg{}, 20);
+  f.overlay.sendDown(2, 0, Msg{}, 30);
+  f.overlay.sendIntralayer(0, 1, Msg{}, 40);
+  f.engine.run();
+  EXPECT_EQ(f.overlay.messages(LinkClass::kAppToLeaf), 1u);
+  EXPECT_EQ(f.overlay.bytes(LinkClass::kAppToLeaf), 10u);
+  EXPECT_EQ(f.overlay.messages(LinkClass::kUp), 1u);
+  EXPECT_EQ(f.overlay.bytes(LinkClass::kUp), 20u);
+  EXPECT_EQ(f.overlay.messages(LinkClass::kDown), 1u);
+  EXPECT_EQ(f.overlay.messages(LinkClass::kIntralayer), 1u);
+  EXPECT_EQ(f.overlay.totalMessages(), 4u);
+}
+
+}  // namespace
+}  // namespace wst::tbon

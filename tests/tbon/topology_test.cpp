@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "tbon/topology.hpp"
+
+namespace wst::tbon {
+namespace {
+
+TEST(Topology, SingleNodeTreeWhenFanInCoversAll) {
+  Topology t(4, 8);
+  EXPECT_EQ(t.nodeCount(), 1);
+  EXPECT_EQ(t.firstLayerCount(), 1);
+  EXPECT_EQ(t.root(), 0);
+  EXPECT_TRUE(t.isFirstLayer(0));
+  EXPECT_TRUE(t.isRoot(0));
+  EXPECT_EQ(t.node(0).procLo, 0);
+  EXPECT_EQ(t.node(0).procHi, 4);
+}
+
+TEST(Topology, TwoLayerTree) {
+  Topology t(8, 4);
+  EXPECT_EQ(t.firstLayerCount(), 2);
+  EXPECT_EQ(t.nodeCount(), 3);
+  EXPECT_EQ(t.layerCount(), 2);
+  EXPECT_EQ(t.root(), 2);
+  EXPECT_EQ(t.node(0).parent, 2);
+  EXPECT_EQ(t.node(1).parent, 2);
+  EXPECT_EQ(t.node(2).children, (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(t.node(2).procLo, 0);
+  EXPECT_EQ(t.node(2).procHi, 8);
+}
+
+TEST(Topology, DeepTreeFanIn2) {
+  Topology t(16, 2);
+  // Layers: 8 + 4 + 2 + 1 = 15 nodes, 4 layers.
+  EXPECT_EQ(t.firstLayerCount(), 8);
+  EXPECT_EQ(t.nodeCount(), 15);
+  EXPECT_EQ(t.layerCount(), 4);
+  EXPECT_TRUE(t.isRoot(14));
+  // Every non-root node has a parent; subtree ranges nest.
+  for (NodeId n = 0; n < t.nodeCount() - 1; ++n) {
+    const NodeInfo& info = t.node(n);
+    ASSERT_GE(info.parent, 0);
+    const NodeInfo& parent = t.node(info.parent);
+    EXPECT_LE(parent.procLo, info.procLo);
+    EXPECT_GE(parent.procHi, info.procHi);
+  }
+}
+
+TEST(Topology, UnevenProcessCount) {
+  Topology t(10, 4);
+  EXPECT_EQ(t.firstLayerCount(), 3);
+  EXPECT_EQ(t.node(2).procLo, 8);
+  EXPECT_EQ(t.node(2).procHi, 10);
+  EXPECT_EQ(t.nodeOfProc(9), 2);
+  EXPECT_EQ(t.nodeOfProc(0), 0);
+  EXPECT_EQ(t.nodeOfProc(7), 1);
+}
+
+TEST(Topology, ProcRangesPartitionTheWorld) {
+  for (const int p : {3, 16, 100, 1000}) {
+    for (const int f : {2, 4, 8}) {
+      Topology t(p, f);
+      int covered = 0;
+      for (NodeId n = 0; n < t.firstLayerCount(); ++n) {
+        covered += t.node(n).procCount();
+        EXPECT_EQ(t.node(n).layer, 1);
+      }
+      EXPECT_EQ(covered, p);
+      // Root covers everything.
+      EXPECT_EQ(t.node(t.root()).procLo, 0);
+      EXPECT_EQ(t.node(t.root()).procHi, p);
+    }
+  }
+}
+
+TEST(Topology, StressScaleShapes) {
+  // Paper scales: 4096 processes at fan-in 2 -> 2048 leaves, 12 layers.
+  Topology t(4096, 2);
+  EXPECT_EQ(t.firstLayerCount(), 2048);
+  EXPECT_EQ(t.layerCount(), 12);
+  Topology t4(4096, 4);
+  EXPECT_EQ(t4.firstLayerCount(), 1024);
+  EXPECT_EQ(t4.layerCount(), 6);
+}
+
+}  // namespace
+}  // namespace wst::tbon

@@ -1,0 +1,191 @@
+// Trace model: blocking predicate table, record description, matched-trace
+// container invariants, and the builder.
+#include <gtest/gtest.h>
+
+#include "trace/builder.hpp"
+#include "trace/event.hpp"
+#include "trace/matched_trace.hpp"
+#include "trace/op.hpp"
+
+namespace wst::trace {
+namespace {
+
+Record make(Kind kind) {
+  Record r;
+  r.kind = kind;
+  return r;
+}
+
+// --- The paper's blocking predicate b (§3.1) -------------------------------
+
+struct BlockingCase {
+  Kind kind;
+  mpi::SendMode mode;
+  bool conservative;
+  bool faithful;  // small message, buffering implementation
+};
+
+class BlockingPredicateTest : public ::testing::TestWithParam<BlockingCase> {};
+
+TEST_P(BlockingPredicateTest, MatchesPaperDefinition) {
+  const BlockingCase& c = GetParam();
+  Record r = make(c.kind);
+  r.sendMode = c.mode;
+  r.bytes = 16;  // below any eager threshold
+  EXPECT_EQ(isBlocking(r, BlockingModel::kConservative), c.conservative);
+  EXPECT_EQ(isBlocking(r, BlockingModel::kImplementationFaithful),
+            c.faithful);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperTable, BlockingPredicateTest,
+    ::testing::Values(
+        // Blocking under both models.
+        BlockingCase{Kind::kRecv, mpi::SendMode::kStandard, true, true},
+        BlockingCase{Kind::kProbe, mpi::SendMode::kStandard, true, true},
+        BlockingCase{Kind::kSendrecv, mpi::SendMode::kStandard, true, true},
+        BlockingCase{Kind::kWait, mpi::SendMode::kStandard, true, true},
+        BlockingCase{Kind::kWaitall, mpi::SendMode::kStandard, true, true},
+        BlockingCase{Kind::kWaitany, mpi::SendMode::kStandard, true, true},
+        BlockingCase{Kind::kWaitsome, mpi::SendMode::kStandard, true, true},
+        BlockingCase{Kind::kCollective, mpi::SendMode::kStandard, true, true},
+        // Ssend blocks always; standard Send only conservatively.
+        BlockingCase{Kind::kSend, mpi::SendMode::kSynchronous, true, true},
+        BlockingCase{Kind::kSend, mpi::SendMode::kStandard, true, false},
+        // MPI_{B,R}send are non-blocking for b (paper definition).
+        BlockingCase{Kind::kSend, mpi::SendMode::kBuffered, false, false},
+        BlockingCase{Kind::kSend, mpi::SendMode::kReady, false, false},
+        // Non-blocking operations.
+        BlockingCase{Kind::kIsend, mpi::SendMode::kStandard, false, false},
+        BlockingCase{Kind::kIsend, mpi::SendMode::kSynchronous, false, false},
+        BlockingCase{Kind::kIrecv, mpi::SendMode::kStandard, false, false},
+        BlockingCase{Kind::kIprobe, mpi::SendMode::kStandard, false, false},
+        BlockingCase{Kind::kTest, mpi::SendMode::kStandard, false, false},
+        BlockingCase{Kind::kTestall, mpi::SendMode::kStandard, false, false},
+        BlockingCase{Kind::kTestany, mpi::SendMode::kStandard, false, false},
+        BlockingCase{Kind::kTestsome, mpi::SendMode::kStandard, false,
+                     false}));
+
+TEST(BlockingPredicate, LargeStandardSendBlocksEvenFaithfully) {
+  Record r = make(Kind::kSend);
+  r.sendMode = mpi::SendMode::kStandard;
+  r.bytes = 1 << 20;
+  EXPECT_TRUE(isBlocking(r, BlockingModel::kImplementationFaithful,
+                         /*eagerThreshold=*/4096));
+}
+
+// --- describe --------------------------------------------------------------
+
+TEST(Describe, RendersCommonOps) {
+  Record send = make(Kind::kSend);
+  send.peer = 3;
+  send.tag = 7;
+  EXPECT_EQ(describe(send), "send(to:3, tag:7)");
+  send.sendMode = mpi::SendMode::kSynchronous;
+  EXPECT_EQ(describe(send), "ssend(to:3, tag:7)");
+
+  Record recv = make(Kind::kRecv);
+  recv.peer = mpi::kAnySource;
+  recv.tag = 2;
+  EXPECT_EQ(describe(recv), "Recv(from:ANY, tag:2)");
+
+  Record coll = make(Kind::kCollective);
+  coll.collective = mpi::CollectiveKind::kAllreduce;
+  coll.comm = 1;
+  EXPECT_EQ(describe(coll), "Allreduce(comm:1)");
+
+  Record wait = make(Kind::kWaitall);
+  wait.completes = {0, 1, 2};
+  EXPECT_EQ(describe(wait), "Waitall(3 reqs)");
+
+  EXPECT_EQ(describe(make(Kind::kFinalize)), "Finalize()");
+}
+
+// --- MatchedTrace container ---------------------------------------------------
+
+TEST(MatchedTrace, AppendEnforcesCallOrder) {
+  MatchedTrace t(2);
+  Record r = make(Kind::kSend);
+  r.id = OpId{0, 0};
+  r.peer = 1;
+  t.append(r);
+  EXPECT_EQ(t.length(0), 1u);
+  EXPECT_EQ(t.length(1), 0u);
+  EXPECT_TRUE(t.hasOp(OpId{0, 0}));
+  EXPECT_FALSE(t.hasOp(OpId{0, 1}));
+  EXPECT_FALSE(t.hasOp(OpId{1, 0}));
+}
+
+TEST(MatchedTrace, RequestTable) {
+  MatchedTrace t(1);
+  Record r = make(Kind::kIsend);
+  r.id = OpId{0, 0};
+  r.peer = 0;
+  r.request = 5;
+  t.append(r);
+  EXPECT_EQ(t.requestOrigin(0, 5), (OpId{0, 0}));
+  EXPECT_FALSE(t.requestOrigin(0, 6).has_value());
+}
+
+TEST(MatchedTrace, WorldGroupPreRegistered) {
+  MatchedTrace t(3);
+  EXPECT_EQ(t.commGroup(mpi::kCommWorld),
+            (std::vector<ProcId>{0, 1, 2}));
+  t.setCommGroup(1, {0, 2});
+  EXPECT_EQ(t.commGroup(1), (std::vector<ProcId>{0, 2}));
+}
+
+TEST(MatchedTrace, CollectiveWaveCompleteness) {
+  TraceBuilder b(3);
+  const auto wave = b.wave(mpi::kCommWorld, mpi::CollectiveKind::kBarrier, 3);
+  b.addToWave(wave, b.collective(0, mpi::CollectiveKind::kBarrier));
+  b.addToWave(wave, b.collective(1, mpi::CollectiveKind::kBarrier));
+  EXPECT_FALSE(b.trace().waves()[wave].complete());
+  b.addToWave(wave, b.collective(2, mpi::CollectiveKind::kBarrier));
+  EXPECT_TRUE(b.trace().waves()[wave].complete());
+  EXPECT_EQ(b.trace().waveOf(OpId{0, 0}), wave);
+  EXPECT_FALSE(b.trace().waveOf(OpId{9, 9}).has_value());
+}
+
+TEST(MatchedTrace, ProbeMatchesDoNotConsume) {
+  TraceBuilder b(2);
+  const auto pr = b.probe(0, 1);
+  const auto rc = b.recv(0, 1);
+  const auto s = b.send(1, 0);
+  b.matchProbe(pr, s);
+  b.match(s, rc);
+  EXPECT_EQ(b.trace().sendOf(pr), s);
+  EXPECT_EQ(b.trace().sendOf(rc), s);
+  EXPECT_EQ(b.trace().recvOf(s), rc);
+  EXPECT_EQ(b.trace().probesOf(s), (std::vector<OpId>{pr}));
+}
+
+TEST(Builder, AssignsSequentialTimestampsPerProcess) {
+  TraceBuilder b(2);
+  const auto a = b.send(0, 1);
+  const auto c = b.recv(0, 1);
+  const auto d = b.send(1, 0);
+  EXPECT_EQ(a, (OpId{0, 0}));
+  EXPECT_EQ(c, (OpId{0, 1}));
+  EXPECT_EQ(d, (OpId{1, 0}));
+  EXPECT_EQ(b.trace().totalOps(), 3u);
+}
+
+TEST(Builder, IsendAllocatesDistinctRequests) {
+  TraceBuilder b(1);
+  auto [op1, req1] = b.isend(0, 0);
+  auto [op2, req2] = b.isend(0, 0);
+  (void)op1;
+  (void)op2;
+  EXPECT_NE(req1, req2);
+}
+
+TEST(Event, ModeledSizesArePositive) {
+  Record r = make(Kind::kWaitall);
+  r.completes = {0, 1, 2, 3};
+  EXPECT_GT(modeledSize(Event{NewOpEvent{r}}), 32u);
+  EXPECT_GT(modeledSize(Event{MatchInfoEvent{OpId{0, 0}, 1, 0}}), 0u);
+}
+
+}  // namespace
+}  // namespace wst::trace

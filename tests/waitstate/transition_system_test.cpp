@@ -1,0 +1,400 @@
+// Tests of the formal wait state transition system (paper §3), including the
+// paper's worked examples (Figures 2(a), 2(b)/3, 4).
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+#include "trace/builder.hpp"
+#include "waitstate/transition_system.hpp"
+
+namespace wst::waitstate {
+namespace {
+
+using trace::Kind;
+using trace::OpId;
+using trace::TraceBuilder;
+
+// Paper Figure 2(a): recv-recv deadlock.
+trace::MatchedTrace recvRecvDeadlock() {
+  TraceBuilder b(2);
+  b.recv(0, 1);  // P0: Recv(from:1) — never matched
+  b.send(0, 1);
+  b.recv(1, 0);  // P1: Recv(from:0) — never matched
+  b.send(1, 0);
+  return b.take();
+}
+
+TEST(TransitionSystem, RecvRecvDeadlockBlocksBothProcesses) {
+  const auto trace = recvRecvDeadlock();
+  TransitionSystem ts(trace);
+  EXPECT_EQ(ts.runToTerminal(), 0u);
+  EXPECT_TRUE(ts.terminal());
+  EXPECT_FALSE(ts.allFinished());
+  EXPECT_EQ(ts.blockedProcs(), (std::vector<trace::ProcId>{0, 1}));
+}
+
+// Paper Figure 2(b)/Figure 3: wildcard receives, barrier, then send-send
+// deadlock. Matching follows the execution illustrated in Figure 3: the
+// first wildcard receive of process 1 matches the send of process 2.
+trace::MatchedTrace figure3Trace() {
+  TraceBuilder b(3);
+  const auto s0 = b.send(0, 1);     // o_{0,0}
+  const auto r10 = b.recv(1, mpi::kAnySource);  // o_{1,0}
+  const auto r11 = b.recv(1, mpi::kAnySource);  // o_{1,1}
+  const auto s2 = b.send(2, 1);     // o_{2,0}
+  b.barrierAll();                   // o_{0,1}, o_{1,2}, o_{2,1}
+  b.send(0, 1);                     // o_{0,2} — unmatched
+  b.send(1, 2);                     // o_{1,3} — unmatched
+  b.send(2, 0);                     // o_{2,2} — unmatched
+  b.match(s2, r10);
+  b.match(s0, r11);
+  return b.take();
+}
+
+TEST(TransitionSystem, Figure3ReachesTerminalState232) {
+  const auto trace = figure3Trace();
+  TransitionSystem ts(trace);
+  ts.runToTerminal();
+  EXPECT_TRUE(ts.terminal());
+  // Paper: the terminal state is (2, 3, 2).
+  EXPECT_EQ(ts.state(), (State{2, 3, 2}));
+  EXPECT_FALSE(ts.allFinished());
+  EXPECT_EQ(ts.blockedProcs(), (std::vector<trace::ProcId>{0, 1, 2}));
+}
+
+TEST(TransitionSystem, Figure3IntermediateState231BlocksOnlySenders) {
+  // Paper §3.2: in state (2,3,1), processes 0 and 1 are blocked while
+  // process 2 (still in the barrier) can advance.
+  const auto trace = figure3Trace();
+  TransitionSystem ts(trace);
+  // Drive to exactly (2,3,1): advance 0 twice, 1 three times, 2 once.
+  // Order matters only in that premises must hold; replicate the paper's
+  // execution prefix.
+  ts.advance(2);  // (0,0,1): send o_{2,0} matched recv is active
+  ts.advance(1);  // (0,1,1)
+  ts.advance(1);  // (0,2,1)
+  ts.advance(0);  // (1,2,1)
+  ts.advance(1);  // (1,3,1): barrier complete — all reached their barrier op
+  ts.advance(0);  // (2,3,1)
+  EXPECT_EQ(ts.state(), (State{2, 3, 1}));
+  EXPECT_EQ(ts.blockedProcs(), (std::vector<trace::ProcId>{0, 1}));
+  EXPECT_TRUE(ts.canAdvance(2));
+}
+
+TEST(TransitionSystem, PaperExampleExecutionSequence) {
+  // The execution given in §3.1: (0,0,0) ->p2p (0,0,1) ->p2p (0,1,1)
+  // ->p2p (0,2,1) ->p2p (1,2,1) ->coll (1,2,2) ->coll (2,2,2) ->coll (2,3,2).
+  const auto trace = figure3Trace();
+  TransitionSystem ts(trace);
+  EXPECT_EQ(ts.applicableRule(2), Rule::kP2P);
+  ts.advance(2);
+  EXPECT_EQ(ts.state(), (State{0, 0, 1}));
+  // In (0,0,1): rule 2 not applicable to o_{0,0} (its match o_{1,1} not
+  // active), nor again to o_{2,0}; rule 3 not applicable to o_{2,1}.
+  EXPECT_EQ(ts.applicableRule(0), Rule::kNone);
+  EXPECT_EQ(ts.applicableRule(2), Rule::kNone);
+  ts.advance(1);
+  EXPECT_EQ(ts.state(), (State{0, 1, 1}));
+  EXPECT_EQ(ts.applicableRule(0), Rule::kP2P);  // o_{1,1} now active
+  ts.advance(1);
+  ts.advance(0);
+  EXPECT_EQ(ts.state(), (State{1, 2, 1}));
+  // All three barrier ops active: rule 3 applies to each process.
+  EXPECT_EQ(ts.applicableRule(0), Rule::kCollective);
+  EXPECT_EQ(ts.applicableRule(1), Rule::kCollective);
+  EXPECT_EQ(ts.applicableRule(2), Rule::kCollective);
+  ts.advance(2);
+  ts.advance(0);
+  ts.advance(1);
+  EXPECT_EQ(ts.state(), (State{2, 3, 2}));
+  EXPECT_TRUE(ts.terminal());
+}
+
+TEST(TransitionSystem, CleanRunFinishesAllProcesses) {
+  TraceBuilder b(2);
+  const auto s = b.send(0, 1);
+  const auto r = b.recv(1, 0);
+  b.match(s, r);
+  b.barrierAll();
+  b.finalizeAll();
+  const auto trace = b.take();
+  TransitionSystem ts(trace);
+  ts.runToTerminal();
+  EXPECT_TRUE(ts.terminal());
+  EXPECT_TRUE(ts.allFinished());
+  EXPECT_TRUE(ts.blockedProcs().empty());
+}
+
+TEST(TransitionSystem, NonBlockingOpsAlwaysAdvance) {
+  TraceBuilder b(2);
+  auto [is, isr] = b.isend(0, 1);
+  (void)is;
+  b.completion(0, Kind::kTest, {isr});
+  b.finalize(0);
+  b.finalize(1);
+  // The Isend is never matched; Test and Isend are non-blocking and advance.
+  const auto trace = b.take();
+  TransitionSystem ts(trace);
+  ts.runToTerminal();
+  EXPECT_TRUE(ts.allFinished());
+}
+
+TEST(TransitionSystem, WaitBlocksUntilCounterpartReached) {
+  TraceBuilder b(2);
+  auto [is, isReq] = b.isend(0, 1);
+  const auto w = b.wait(0, isReq);
+  (void)w;
+  b.finalize(0);
+  // P1 runs a non-blocking call first so its receive is not reached at L0.
+  b.completion(1, Kind::kTest, {});
+  const auto r = b.recv(1, 0);
+  b.finalize(1);
+  b.match(is, r);
+  const auto trace = b.take();
+  TransitionSystem ts(trace);
+  // Initially: P0 can advance past the Isend (rule 1) but then blocks in
+  // Wait until P1's receive is reached.
+  EXPECT_EQ(ts.applicableRule(0), Rule::kNonBlocking);
+  ts.advance(0);
+  EXPECT_EQ(ts.applicableRule(0), Rule::kNone);  // Wait: recv not reached
+  ts.advance(1);  // past the Test: the receive becomes active
+  EXPECT_EQ(ts.applicableRule(0), Rule::kCompletionAll);
+  EXPECT_EQ(ts.applicableRule(1), Rule::kP2P);  // recv premise: Isend reached
+  ts.runToTerminal();
+  EXPECT_TRUE(ts.allFinished());
+}
+
+TEST(TransitionSystem, WaitallNeedsAllWaitanyNeedsOne) {
+  TraceBuilder b(3);
+  auto [i1, r1] = b.irecv(0, 1);
+  auto [i2, r2] = b.irecv(0, 2);
+  const auto wAll = b.completion(0, Kind::kWaitall, {r1, r2});
+  (void)wAll;
+  b.finalize(0);
+  const auto s1 = b.send(1, 0);
+  b.finalize(1);
+  const auto s2 = b.send(2, 0);
+  b.finalize(2);
+  b.match(s1, i1);
+  // s2 intentionally unmatched: i2 never completes.
+  (void)s2;
+  (void)i2;
+  const auto trace = b.take();
+  TransitionSystem ts(trace);
+  ts.runToTerminal();
+  EXPECT_FALSE(ts.finished(0));  // Waitall blocked forever
+  EXPECT_EQ(ts.blockedProcs(), (std::vector<trace::ProcId>{0, 2}));
+
+  // Same trace with Waitany instead: one matched request suffices.
+  TraceBuilder b2(3);
+  auto [j1, q1] = b2.irecv(0, 1);
+  auto [j2, q2] = b2.irecv(0, 2);
+  (void)j2;
+  b2.completion(0, Kind::kWaitany, {q1, q2});
+  b2.finalize(0);
+  const auto t1 = b2.send(1, 0);
+  b2.finalize(1);
+  b2.send(2, 0);
+  b2.finalize(2);
+  b2.match(t1, j1);
+  const auto trace2 = b2.take();
+  TransitionSystem ts2(trace2);
+  ts2.runToTerminal();
+  EXPECT_TRUE(ts2.finished(0));
+}
+
+TEST(TransitionSystem, ProbeAdvancesWhenSendReached) {
+  TraceBuilder b(2);
+  const auto pr = b.probe(0, 1);
+  const auto rc = b.recv(0, 1);
+  b.finalize(0);
+  const auto s = b.send(1, 0);
+  b.finalize(1);
+  b.matchProbe(pr, s);
+  b.match(s, rc);
+  const auto trace = b.take();
+  TransitionSystem ts(trace);
+  ts.runToTerminal();
+  EXPECT_TRUE(ts.allFinished());
+}
+
+TEST(TransitionSystem, SendrecvExchangeAdvancesBothProcesses) {
+  trace::MatchedTrace t(2);
+  for (trace::ProcId p = 0; p < 2; ++p) {
+    trace::Record sr;
+    sr.id = OpId{p, 0};
+    sr.kind = Kind::kSendrecv;
+    sr.peer = 1 - p;
+    sr.recvPeer = 1 - p;
+    t.append(sr);
+    trace::Record fin;
+    fin.id = OpId{p, 1};
+    fin.kind = Kind::kFinalize;
+    t.append(fin);
+  }
+  // Each Sendrecv's send half matches the other's receive half.
+  t.matchSendRecv(OpId{0, 0}, OpId{1, 0});
+  t.matchSendRecv(OpId{1, 0}, OpId{0, 0});
+  TransitionSystem ts(t);
+  ts.runToTerminal();
+  EXPECT_TRUE(ts.allFinished());
+}
+
+TEST(TransitionSystem, SendrecvBlocksWithoutReceiveHalfMatch) {
+  trace::MatchedTrace t(2);
+  trace::Record sr;
+  sr.id = OpId{0, 0};
+  sr.kind = Kind::kSendrecv;
+  sr.peer = 1;
+  sr.recvPeer = 1;
+  t.append(sr);
+  trace::Record recv;
+  recv.id = OpId{1, 0};
+  recv.kind = Kind::kRecv;
+  recv.peer = 0;
+  t.append(recv);
+  // P1 receives P0's send half, but nobody sends to P0's receive half.
+  t.matchSendRecv(OpId{0, 0}, OpId{1, 0});
+  TransitionSystem ts(t);
+  ts.runToTerminal();
+  EXPECT_TRUE(ts.finished(1));   // plain receive got its message
+  EXPECT_FALSE(ts.finished(0));  // receive half never satisfied
+  EXPECT_EQ(ts.blockedProcs(), (std::vector<trace::ProcId>{0}));
+}
+
+TEST(TransitionSystem, CollectiveWaitsForAllParticipants) {
+  TraceBuilder b(3);
+  const auto wave = b.wave(mpi::kCommWorld, mpi::CollectiveKind::kBarrier, 3);
+  const auto c0 = b.collective(0, mpi::CollectiveKind::kBarrier);
+  const auto c1 = b.collective(1, mpi::CollectiveKind::kBarrier);
+  b.addToWave(wave, c0);
+  b.addToWave(wave, c1);
+  // Process 2 never calls the barrier: it receives instead (blocked).
+  b.recv(2, mpi::kAnySource);
+  b.finalize(0);
+  b.finalize(1);
+  b.finalize(2);
+  const auto trace = b.take();
+  TransitionSystem ts(trace);
+  ts.runToTerminal();
+  EXPECT_EQ(ts.blockedProcs(), (std::vector<trace::ProcId>{0, 1, 2}));
+}
+
+TEST(TransitionSystem, ImplementationFaithfulModelBuffersSmallSends) {
+  // Send-send pattern: deadlock under conservative b, none under the
+  // implementation-faithful model with buffering (paper §3.3).
+  TraceBuilder b(2);
+  const auto sa = b.send(0, 1);
+  const auto ra = b.recv(0, 1);
+  const auto sb = b.send(1, 0);
+  const auto rb = b.recv(1, 0);
+  b.finalize(0);
+  b.finalize(1);
+  b.match(sa, rb);
+  b.match(sb, ra);
+
+  TransitionSystem conservative(b.trace());
+  conservative.runToTerminal();
+  EXPECT_FALSE(conservative.allFinished());  // detected: unsafe program
+
+  AnalysisConfig faithful;
+  faithful.blockingModel = trace::BlockingModel::kImplementationFaithful;
+  TransitionSystem relaxed(b.trace(), faithful);
+  relaxed.runToTerminal();
+  EXPECT_TRUE(relaxed.allFinished());
+}
+
+// Paper Figure 4: unexpected match. A non-synchronizing reduce lets the
+// send of process 2 match the *first* wildcard receive of process 1.
+TEST(TransitionSystem, Figure4UnexpectedMatchDetected) {
+  TraceBuilder b(3);
+  const auto s0 = b.send(0, 1);                    // o_{0,0}
+  const auto r10 = b.recv(1, mpi::kAnySource);     // o_{1,0}
+  const auto wave = b.wave(mpi::kCommWorld, mpi::CollectiveKind::kReduce, 3);
+  const auto c0 = b.collective(0, mpi::CollectiveKind::kReduce, mpi::kCommWorld, 1);
+  const auto c1 = b.collective(1, mpi::CollectiveKind::kReduce, mpi::kCommWorld, 1);
+  const auto c2 = b.collective(2, mpi::CollectiveKind::kReduce, mpi::kCommWorld, 1);
+  b.addToWave(wave, c0);
+  b.addToWave(wave, c1);
+  b.addToWave(wave, c2);
+  const auto r11 = b.recv(1, mpi::kAnySource);     // o_{1,2}
+  const auto s2 = b.send(2, 1);                    // o_{2,1}
+  b.finalizeAll();
+  // Observed execution (non-synchronizing reduce): process 2's send matched
+  // the FIRST wildcard receive; process 0's send matched the second.
+  b.match(s2, r10);
+  b.match(s0, r11);
+
+  const auto trace = b.take();
+  TransitionSystem ts(trace);
+  ts.runToTerminal();
+  // Conservative b treats the reduce as synchronizing: process 1 is stuck in
+  // its first wildcard receive whose matched send (o_{2,1}) comes after the
+  // collective — the system cannot advance past its initial region.
+  EXPECT_FALSE(ts.allFinished());
+  const auto unexpected = ts.findUnexpectedMatches();
+  ASSERT_EQ(unexpected.size(), 1u);
+  EXPECT_EQ(unexpected[0].wildcardRecv, r10);
+  EXPECT_EQ(unexpected[0].activeSendCandidate, s0);
+  EXPECT_EQ(unexpected[0].matchedSend, s2);
+}
+
+TEST(TransitionSystem, ConfluenceRandomSchedulesReachSameTerminalState) {
+  // Paper §3.1: the transition system is confluent — any maximal execution
+  // reaches the same terminal state. Exercise with randomized schedules on
+  // a mixed trace.
+  TraceBuilder b(4);
+  // Buffered-send ring exchange + barrier + partial deadlock at the end.
+  std::vector<OpId> sends, recvs;
+  for (trace::ProcId p = 0; p < 4; ++p) {
+    sends.push_back(b.send(p, (p + 1) % 4, 0, mpi::SendMode::kBuffered));
+    recvs.push_back(b.recv(p, (p + 3) % 4));
+  }
+  for (trace::ProcId p = 0; p < 4; ++p) {
+    b.match(sends[static_cast<std::size_t>(p)],
+            recvs[static_cast<std::size_t>((p + 1) % 4)]);
+  }
+  b.barrierAll();
+  b.recv(0, 1);  // head-to-head recv deadlock between 0 and 1
+  b.recv(1, 0);
+  b.finalize(2);
+  b.finalize(3);
+  const auto trace = b.take();
+
+  TransitionSystem reference(trace);
+  reference.runToTerminal();
+  const State expected = reference.state();
+  // All procs stop at timestamp 3: procs 0/1 blocked in the final receive,
+  // procs 2/3 at MPI_Finalize (the well-defined terminal operation).
+  EXPECT_EQ(expected, (State{3, 3, 3, 3}));
+
+  support::Rng rng(1234);
+  for (int round = 0; round < 50; ++round) {
+    TransitionSystem ts(trace);
+    ts.runToTerminalRandomized(rng);
+    EXPECT_EQ(ts.state(), expected) << "schedule round " << round;
+  }
+}
+
+TEST(TransitionSystem, DeadlockPersistsInSuccessorStates) {
+  // Monotonicity (paper §4): once blocked procs form a deadlock, further
+  // transitions of other procs never unblock them.
+  const auto trace = figure3Trace();
+  TransitionSystem ts(trace);
+  // Reach (2,3,1): processes 0 and 1 deadlocked, 2 still advancing.
+  ts.advance(2);
+  ts.advance(1);
+  ts.advance(1);
+  ts.advance(0);
+  ts.advance(1);
+  ts.advance(0);
+  const auto blockedBefore = ts.blockedProcs();
+  ts.advance(2);  // finish the barrier on process 2
+  const auto blockedAfter = ts.blockedProcs();
+  for (const auto proc : blockedBefore) {
+    EXPECT_TRUE(std::find(blockedAfter.begin(), blockedAfter.end(), proc) !=
+                blockedAfter.end());
+  }
+}
+
+}  // namespace
+}  // namespace wst::waitstate

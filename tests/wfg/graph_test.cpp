@@ -1,0 +1,241 @@
+// Wait-for graph construction and the release-fixpoint deadlock criterion.
+#include <gtest/gtest.h>
+
+#include "wfg/graph.hpp"
+#include "wfg/report.hpp"
+
+namespace wst::wfg {
+namespace {
+
+NodeConditions blockedOn(trace::ProcId proc,
+                         std::vector<std::vector<trace::ProcId>> clauses) {
+  NodeConditions node;
+  node.proc = proc;
+  node.blocked = true;
+  for (auto& targets : clauses) {
+    Clause clause;
+    clause.targets = std::move(targets);
+    node.clauses.push_back(std::move(clause));
+  }
+  return node;
+}
+
+NodeConditions running(trace::ProcId proc) {
+  NodeConditions node;
+  node.proc = proc;
+  node.blocked = false;
+  return node;
+}
+
+TEST(WaitForGraph, NoBlockedProcessesNoDeadlock) {
+  WaitForGraph g(3);
+  for (trace::ProcId p = 0; p < 3; ++p) g.setNode(running(p));
+  const auto result = g.check();
+  EXPECT_FALSE(result.deadlock);
+  EXPECT_TRUE(result.deadlocked.empty());
+}
+
+TEST(WaitForGraph, TwoCycleIsDeadlock) {
+  WaitForGraph g(2);
+  g.setNode(blockedOn(0, {{1}}));
+  g.setNode(blockedOn(1, {{0}}));
+  const auto result = g.check();
+  EXPECT_TRUE(result.deadlock);
+  EXPECT_EQ(result.deadlocked, (std::vector<trace::ProcId>{0, 1}));
+  EXPECT_EQ(result.cycle.size(), 2u);
+  EXPECT_EQ(result.arcCount, 2u);
+}
+
+TEST(WaitForGraph, WaitingOnRunningProcessReleases) {
+  WaitForGraph g(2);
+  g.setNode(blockedOn(0, {{1}}));
+  g.setNode(running(1));
+  const auto result = g.check();
+  EXPECT_FALSE(result.deadlock);
+}
+
+TEST(WaitForGraph, ChainReleasesTransitively) {
+  WaitForGraph g(4);
+  g.setNode(blockedOn(0, {{1}}));
+  g.setNode(blockedOn(1, {{2}}));
+  g.setNode(blockedOn(2, {{3}}));
+  g.setNode(running(3));
+  const auto result = g.check();
+  EXPECT_FALSE(result.deadlock);
+  EXPECT_GE(result.releaseRounds, 2u);  // needs multiple release rounds
+}
+
+TEST(WaitForGraph, OrClauseReleasedByAnyTarget) {
+  WaitForGraph g(3);
+  g.setNode(blockedOn(0, {{1, 2}}));  // waits for 1 OR 2
+  g.setNode(blockedOn(1, {{0}}));     // deadlocked with nobody? waits on 0
+  g.setNode(running(2));
+  const auto result = g.check();
+  // 2 is running, so 0's OR clause is satisfiable; 0 releases, then 1.
+  EXPECT_FALSE(result.deadlock);
+}
+
+TEST(WaitForGraph, AndClausesNeedEveryClauseSatisfied) {
+  WaitForGraph g(3);
+  g.setNode(blockedOn(0, {{1}, {2}}));  // waits for 1 AND 2
+  g.setNode(running(1));
+  g.setNode(blockedOn(2, {{0}}));
+  const auto result = g.check();
+  // Clause {1} satisfied, clause {2} never: 0 and 2 deadlock.
+  EXPECT_TRUE(result.deadlock);
+  EXPECT_EQ(result.deadlocked, (std::vector<trace::ProcId>{0, 2}));
+}
+
+TEST(WaitForGraph, WildcardAllToAllOrDeadlock) {
+  // Paper's wildcard stress test: every process waits (OR) on all others —
+  // p*(p-1) arcs, all deadlocked.
+  const std::int32_t p = 32;
+  WaitForGraph g(p);
+  for (trace::ProcId i = 0; i < p; ++i) {
+    std::vector<trace::ProcId> targets;
+    for (trace::ProcId j = 0; j < p; ++j) {
+      if (j != i) targets.push_back(j);
+    }
+    g.setNode(blockedOn(i, {targets}));
+  }
+  const auto result = g.check();
+  EXPECT_TRUE(result.deadlock);
+  EXPECT_EQ(result.deadlocked.size(), static_cast<std::size_t>(p));
+  EXPECT_EQ(result.arcCount, static_cast<std::uint64_t>(p) * (p - 1));
+  EXPECT_FALSE(result.cycle.empty());
+}
+
+TEST(WaitForGraph, EmptyClauseIsUnsatisfiable) {
+  WaitForGraph g(2);
+  NodeConditions stuck = blockedOn(0, {});
+  stuck.clauses.push_back(Clause{});  // no targets: unprovidable condition
+  g.setNode(std::move(stuck));
+  g.setNode(running(1));
+  const auto result = g.check();
+  EXPECT_TRUE(result.deadlock);
+  EXPECT_EQ(result.deadlocked, (std::vector<trace::ProcId>{0}));
+  EXPECT_TRUE(result.cycle.empty());  // blocked on nothing reachable
+}
+
+TEST(WaitForGraph, CollectiveCoWaitersArePruned) {
+  // Three processes in the same barrier wave, one straggler (3) still
+  // running. Without pruning, the co-waiters would form a false cycle.
+  WaitForGraph g(4);
+  for (trace::ProcId i = 0; i < 3; ++i) {
+    NodeConditions node;
+    node.proc = i;
+    node.blocked = true;
+    node.inCollective = true;
+    node.collComm = 0;
+    node.collWaveIndex = 7;
+    for (trace::ProcId j = 0; j < 4; ++j) {
+      if (j == i) continue;
+      Clause clause;
+      clause.targets.push_back(j);
+      clause.type = ClauseType::kCollective;
+      clause.comm = 0;
+      clause.waveIndex = 7;
+      node.clauses.push_back(std::move(clause));
+    }
+    g.setNode(std::move(node));
+  }
+  g.setNode(running(3));
+  g.pruneCollectiveCoWaiters();
+  const auto result = g.check();
+  EXPECT_FALSE(result.deadlock);
+  // After pruning, each blocked node waits only on the straggler.
+  EXPECT_EQ(g.arcCount(), 3u);
+}
+
+TEST(WaitForGraph, CollectiveDeadlockWhenStragglerIsBlocked) {
+  WaitForGraph g(3);
+  for (trace::ProcId i = 0; i < 2; ++i) {
+    NodeConditions node;
+    node.proc = i;
+    node.blocked = true;
+    node.inCollective = true;
+    node.collComm = 0;
+    node.collWaveIndex = 0;
+    for (trace::ProcId j = 0; j < 3; ++j) {
+      if (j == i) continue;
+      Clause clause;
+      clause.targets.push_back(j);
+      clause.type = ClauseType::kCollective;
+      clause.comm = 0;
+      clause.waveIndex = 0;
+      node.clauses.push_back(std::move(clause));
+    }
+    g.setNode(std::move(node));
+  }
+  g.setNode(blockedOn(2, {{0}}));  // straggler waits on a barrier waiter
+  g.pruneCollectiveCoWaiters();
+  const auto result = g.check();
+  EXPECT_TRUE(result.deadlock);
+  EXPECT_EQ(result.deadlocked.size(), 3u);
+}
+
+TEST(WaitForGraph, DotOutputContainsBlockedNodesAndArcs) {
+  WaitForGraph g(2);
+  auto n0 = blockedOn(0, {{1}});
+  n0.description = "Recv(from:1)";
+  g.setNode(std::move(n0));
+  auto n1 = blockedOn(1, {{0}});
+  n1.description = "Recv(from:0)";
+  g.setNode(std::move(n1));
+  const std::string dot = g.toDot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("p0 -> p1"), std::string::npos);
+  EXPECT_NE(dot.find("p1 -> p0"), std::string::npos);
+  EXPECT_NE(dot.find("Recv(from:1)"), std::string::npos);
+}
+
+TEST(WaitForGraph, DotRestrictsToRequestedProcesses) {
+  WaitForGraph g(3);
+  g.setNode(blockedOn(0, {{1}}));
+  g.setNode(blockedOn(1, {{0}}));
+  g.setNode(blockedOn(2, {{0}}));
+  const std::string dot = g.toDot({0, 1});
+  EXPECT_NE(dot.find("p0 -> p1"), std::string::npos);
+  EXPECT_EQ(dot.find("p2"), std::string::npos);
+}
+
+TEST(WaitForGraph, WriteDotStreamsAndCountsBytes) {
+  WaitForGraph g(2);
+  g.setNode(blockedOn(0, {{1}}));
+  g.setNode(blockedOn(1, {{0}}));
+  std::uint64_t sunk = 0;
+  const std::uint64_t bytes =
+      g.writeDot([&](std::string_view s) { sunk += s.size(); });
+  EXPECT_EQ(bytes, sunk);
+  EXPECT_GT(bytes, 0u);
+}
+
+TEST(Report, SummaryAndHtmlForDeadlock) {
+  WaitForGraph g(2);
+  auto n0 = blockedOn(0, {{1}});
+  n0.description = "Recv(from:1)";
+  n0.clauses[0].reason = "waits for a send from rank 1";
+  g.setNode(std::move(n0));
+  g.setNode(blockedOn(1, {{0}}));
+  const auto check = g.check();
+  const auto report = makeReport(g, check);
+  EXPECT_TRUE(report.deadlock);
+  EXPECT_NE(report.summary.find("DEADLOCK"), std::string::npos);
+  EXPECT_NE(report.html.find("Recv(from:1)"), std::string::npos);
+  EXPECT_NE(report.html.find("waits for a send from rank 1"),
+            std::string::npos);
+  EXPECT_GT(report.dotBytes, 0u);
+}
+
+TEST(Report, NoDeadlockSummary) {
+  WaitForGraph g(2);
+  g.setNode(running(0));
+  g.setNode(running(1));
+  const auto report = makeReport(g, g.check());
+  EXPECT_FALSE(report.deadlock);
+  EXPECT_EQ(report.summary, "No deadlock detected.");
+  EXPECT_EQ(report.dotBytes, 0u);
+}
+
+}  // namespace
+}  // namespace wst::wfg

@@ -1,0 +1,116 @@
+// Workload sanity: every shipped workload runs (or deadlocks) as documented.
+#include <gtest/gtest.h>
+
+#include "must/harness.hpp"
+#include "workloads/spec.hpp"
+#include "workloads/stress.hpp"
+
+namespace wst::workloads {
+namespace {
+
+TEST(Stress, CyclicExchangeCompletesCleanly) {
+  StressParams params;
+  params.iterations = 20;
+  const auto result = must::runWithTool(8, mpi::RuntimeConfig{},
+                                        must::ToolConfig{.fanIn = 4},
+                                        cyclicExchange(params));
+  EXPECT_TRUE(result.allFinalized);
+  EXPECT_FALSE(result.deadlockReported);
+  // 20 sendrecv + 2 barriers + finalize per rank.
+  EXPECT_EQ(result.appCalls, 8u * 23u);
+}
+
+TEST(Stress, UnsafeCyclicExchangeFlagged) {
+  StressParams params;
+  params.iterations = 5;
+  params.barrierEvery = 0;
+  const auto result = must::runWithTool(4, mpi::RuntimeConfig{},
+                                        must::ToolConfig{.fanIn = 2},
+                                        unsafeCyclicExchange(params));
+  EXPECT_TRUE(result.allFinalized);  // buffering hides it at runtime
+  EXPECT_TRUE(result.deadlockReported);
+}
+
+TEST(Stress, WildcardDeadlockBlocksEveryRank) {
+  const auto result = must::runWithTool(6, mpi::RuntimeConfig{},
+                                        must::ToolConfig{.fanIn = 2},
+                                        wildcardDeadlock());
+  EXPECT_FALSE(result.allFinalized);
+  ASSERT_TRUE(result.deadlockReported);
+  EXPECT_EQ(result.report->check.deadlocked.size(), 6u);
+  EXPECT_EQ(result.report->check.arcCount, 30u);  // 6 * 5
+}
+
+TEST(Stress, RecvRecvDeadlockPairs) {
+  const auto result = must::runWithTool(4, mpi::RuntimeConfig{},
+                                        must::ToolConfig{.fanIn = 2},
+                                        recvRecvDeadlock());
+  EXPECT_FALSE(result.allFinalized);
+  ASSERT_TRUE(result.deadlockReported);
+  EXPECT_EQ(result.report->check.deadlocked.size(), 4u);
+}
+
+TEST(Spec, SuiteHasTwelveApps) {
+  const auto suite = specSuite();
+  EXPECT_EQ(suite.size(), 12u);
+  int excluded = 0;
+  for (const SpecApp& app : suite) excluded += app.excludedFromAverage;
+  EXPECT_EQ(excluded, 2);  // 126.lammps and 128.GAPgeofem, as in the paper
+  EXPECT_NE(findSpecApp("121.pop2"), nullptr);
+  EXPECT_NE(findSpecApp("137.lu"), nullptr);
+  EXPECT_EQ(findSpecApp("999.unknown"), nullptr);
+}
+
+class SpecAppTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SpecAppTest, RunsUnderToolAtSmallScale) {
+  const SpecApp& app = specSuite()[GetParam()];
+  SpecScale scale;
+  scale.iterations = 4;
+  scale.computeScale = 0.05;  // keep virtual runtimes tiny for the test
+  mpi::RuntimeConfig mpiCfg;
+  mpiCfg.eagerQueueLimit = 32;
+  mpiCfg.unexpectedScanPenalty = 500;
+  const auto result = must::runWithTool(16, mpiCfg,
+                                        must::ToolConfig{.fanIn = 4},
+                                        app.make(scale));
+  // Every app completes at runtime (the simulated MPI buffers); only the
+  // lammps proxy is flagged by the conservative analysis.
+  EXPECT_TRUE(result.allFinalized) << app.name;
+  if (std::string_view(app.name) == "126.lammps") {
+    EXPECT_TRUE(result.deadlockReported);
+  } else {
+    EXPECT_FALSE(result.deadlockReported) << app.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, SpecAppTest,
+                         ::testing::Range<std::size_t>(0, 12),
+                         [](const auto& info) {
+                           std::string name =
+                               workloads::specSuite()[info.param].name;
+                           for (char& c : name) {
+                             if (c == '.') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(Spec, ReferenceRunsMatchToolRunsInCallCounts) {
+  // The tool must be observation-only: identical programs issue identical
+  // call counts with and without it.
+  for (const char* name : {"121.pop2", "132.zeusmp2", "129.tera_tf"}) {
+    const SpecApp* app = findSpecApp(name);
+    SpecScale scale;
+    scale.iterations = 3;
+    scale.computeScale = 0.05;
+    const auto ref = must::runReference(8, mpi::RuntimeConfig{},
+                                        app->make(scale));
+    const auto tooled = must::runWithTool(8, mpi::RuntimeConfig{},
+                                          must::ToolConfig{.fanIn = 4},
+                                          app->make(scale));
+    EXPECT_EQ(ref.appCalls, tooled.appCalls) << name;
+  }
+}
+
+}  // namespace
+}  // namespace wst::workloads

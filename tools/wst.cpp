@@ -1,0 +1,295 @@
+// wst — command-line driver for the reproduction.
+//
+// Runs a named workload on the simulated MPI runtime with the deadlock
+// detection tool attached and reports the verdict, overheads, and (on
+// request) the DOT/HTML artifacts.
+//
+//   wst list
+//   wst run --workload wildcard --procs 64 --fanin 4 --dot /tmp/wfg.dot
+//   wst run --workload 126.lammps --procs 256 --centralized
+//   wst run --workload figure2b --no-buffer
+//   wst run --workload figure4 --rooted-collectives
+//
+// Exit code: 0 = clean run, 2 = deadlock reported, 1 = usage error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "must/harness.hpp"
+#include "support/strings.hpp"
+#include "wfg/compress.hpp"
+#include "workloads/spec.hpp"
+#include "workloads/stress.hpp"
+
+using namespace wst;
+
+namespace {
+
+struct Options {
+  std::string workload = "stress";
+  std::int32_t procs = 16;
+  std::int32_t fanIn = 4;
+  bool centralized = false;
+  bool faithful = false;
+  bool noBuffer = false;
+  bool rootedCollectives = false;
+  bool prioritize = false;
+  bool compare = false;  // also run an untooled reference and print slowdown
+  std::int32_t iterations = 50;
+  sim::Duration periodic = 0;
+  std::string dotPath;
+  std::string compressedDotPath;
+  std::string htmlPath;
+};
+
+void printUsage() {
+  std::puts(
+      "usage: wst <command> [options]\n"
+      "\n"
+      "commands:\n"
+      "  list                     list available workloads\n"
+      "  run                      run a workload under the tool\n"
+      "\n"
+      "run options:\n"
+      "  --workload NAME          workload or SPEC proxy name (default: stress)\n"
+      "  --procs N                number of simulated ranks (default: 16)\n"
+      "  --fanin F                TBON fan-in (default: 4)\n"
+      "  --centralized            use the centralized baseline architecture\n"
+      "  --iterations N           workload iterations (default: 50)\n"
+      "  --faithful               implementation-faithful blocking model\n"
+      "  --no-buffer              MPI does not buffer standard sends\n"
+      "  --rooted-collectives     rooted collectives do not synchronize\n"
+      "  --prioritize             prefer wait-state messages (smaller windows)\n"
+      "  --periodic-ms X          periodic detection every X virtual ms\n"
+      "  --compare                also run an untooled reference (slowdown)\n"
+      "  --dot PATH               write the deadlock wait-for graph as DOT\n"
+      "  --compressed-dot PATH    write the class-compressed DOT\n"
+      "  --html PATH              write the HTML report\n");
+}
+
+std::optional<mpi::Runtime::Program> makeWorkload(const Options& opt) {
+  workloads::StressParams stress;
+  stress.iterations = opt.iterations;
+  if (opt.workload == "stress") return workloads::cyclicExchange(stress);
+  if (opt.workload == "unsafe-stress") {
+    return workloads::unsafeCyclicExchange(stress);
+  }
+  if (opt.workload == "wildcard") return workloads::wildcardDeadlock();
+  if (opt.workload == "recv-recv") return workloads::recvRecvDeadlock();
+  if (opt.workload == "figure2b") return workloads::figure2b();
+  if (opt.workload == "figure4") return workloads::figure4();
+  if (const workloads::SpecApp* app = workloads::findSpecApp(opt.workload)) {
+    workloads::SpecScale scale;
+    scale.iterations = std::max(opt.iterations / 5, 2);
+    scale.computeScale = 256.0 / opt.procs;
+    return app->make(scale);
+  }
+  return std::nullopt;
+}
+
+int listWorkloads() {
+  std::puts("built-in workloads:");
+  std::puts("  stress          paper §6 cyclic-exchange stress test (safe)");
+  std::puts("  unsafe-stress   send-before-recv variant (flagged as unsafe)");
+  std::puts("  wildcard        paper Fig. 10: p^2-arc wildcard deadlock");
+  std::puts("  recv-recv       paper Fig. 2(a): head-to-head receives");
+  std::puts("  figure2b        paper Fig. 2(b): wildcards + send-send");
+  std::puts("  figure4         paper Fig. 4: unexpected match scenario");
+  std::puts("\nSPEC MPI2007 proxies:");
+  for (const workloads::SpecApp& app : workloads::specSuite()) {
+    std::printf("  %-15s %s%s\n", app.name, app.notes,
+                app.excludedFromAverage ? " [excluded from averages]" : "");
+  }
+  return 0;
+}
+
+int runWorkload(const Options& opt) {
+  const auto program = makeWorkload(opt);
+  if (!program) {
+    std::fprintf(stderr, "unknown workload '%s' (try: wst list)\n",
+                 opt.workload.c_str());
+    return 1;
+  }
+
+  mpi::RuntimeConfig mpiCfg;
+  mpiCfg.bufferStandardSends = !opt.noBuffer;
+  if (opt.rootedCollectives) {
+    mpiCfg.collectiveSync = mpi::CollectiveSync::kRooted;
+  }
+
+  must::ToolConfig toolCfg;
+  toolCfg.fanIn = opt.centralized ? std::max(opt.procs, 2) : opt.fanIn;
+  toolCfg.blockingModel = opt.faithful
+                              ? trace::BlockingModel::kImplementationFaithful
+                              : trace::BlockingModel::kConservative;
+  toolCfg.prioritizeWaitState = opt.prioritize;
+  toolCfg.periodicDetection = opt.periodic;
+
+  std::printf("running '%s' on %d simulated ranks (%s, fan-in %d, %s b)...\n",
+              opt.workload.c_str(), opt.procs,
+              opt.centralized ? "centralized" : "distributed", toolCfg.fanIn,
+              opt.faithful ? "implementation-faithful" : "conservative");
+
+  sim::Engine engine;
+  mpi::Runtime runtime(engine, mpiCfg, opt.procs);
+  must::DistributedTool tool(engine, runtime, toolCfg);
+  runtime.runToCompletion(*program);
+
+  std::printf("\napplication: %s (virtual runtime %s, %s MPI calls)\n",
+              runtime.allFinalized() ? "completed" : "DID NOT COMPLETE",
+              support::formatDurationNs(engine.now()).c_str(),
+              support::withCommas(runtime.totalCalls()).c_str());
+  std::printf("tool: %s transitions analyzed, %s messages, max trace window "
+              "%zu\n",
+              support::withCommas(tool.totalTransitions()).c_str(),
+              support::withCommas(tool.overlay().totalMessages()).c_str(),
+              tool.maxWindowSize());
+
+  if (opt.compare) {
+    sim::Engine refEngine;
+    mpi::Runtime refRuntime(refEngine, mpiCfg, opt.procs);
+    refRuntime.runToCompletion(*program);
+    if (refEngine.now() > 0) {
+      std::printf("slowdown vs untooled reference: %.2fx\n",
+                  static_cast<double>(engine.now()) /
+                      static_cast<double>(refEngine.now()));
+    }
+  }
+
+  for (const std::string& err : tool.usageErrors()) {
+    std::printf("MPI usage error: %s\n", err.c_str());
+  }
+  for (const auto& um : tool.unexpectedMatches()) {
+    std::printf(
+        "UNEXPECTED MATCH: wildcard (%d,%u) could take active send (%d,%u) "
+        "but matching chose (%d,%u)\n",
+        um.wildcardRecv.proc, um.wildcardRecv.ts, um.activeSend.proc,
+        um.activeSend.ts, um.matchedSend.proc, um.matchedSend.ts);
+  }
+
+  if (!tool.report()) {
+    std::puts("\nverdict: no detection round ran (analysis finished cleanly)");
+    return 0;
+  }
+  const wfg::Report& report = *tool.report();
+  std::printf("\nverdict: %s\n", report.summary.c_str());
+  if (report.deadlock) {
+    const auto& t = report.times;
+    std::printf("detection time: %s (sync %s, gather %s, build %s, check %s, "
+                "output %s)\n",
+                support::formatDurationNs(t.totalNs()).c_str(),
+                support::formatDurationNs(t.synchronizationNs).c_str(),
+                support::formatDurationNs(t.wfgGatherNs).c_str(),
+                support::formatDurationNs(t.graphBuildNs).c_str(),
+                support::formatDurationNs(t.deadlockCheckNs).c_str(),
+                support::formatDurationNs(t.outputGenerationNs).c_str());
+    std::printf("wait-for graph: %s arcs\n",
+                support::withCommas(report.check.arcCount).c_str());
+  }
+
+  if (!opt.htmlPath.empty()) {
+    std::ofstream out(opt.htmlPath);
+    out << report.html;
+    std::printf("HTML report written to %s\n", opt.htmlPath.c_str());
+  }
+
+  // Re-derive the graph artifacts from a fresh detection if requested: the
+  // report retains the summary; DOT needs the graph, so rebuild it from the
+  // tool's gathered state via a recorder-less trick — re-run detection is
+  // not possible post-hoc, so emit from the report's data when available.
+  if (report.deadlock &&
+      (!opt.dotPath.empty() || !opt.compressedDotPath.empty())) {
+    // Rebuild conditions by querying the trackers directly.
+    wfg::WaitForGraph graph(opt.procs);
+    for (trace::ProcId p = 0; p < opt.procs; ++p) {
+      graph.setNode(
+          tool.tracker(tool.topology().nodeOfProc(p)).waitConditions(p));
+    }
+    graph.pruneCollectiveCoWaiters();
+    if (!opt.dotPath.empty()) {
+      std::ofstream out(opt.dotPath);
+      graph.writeDot([&](std::string_view s) { out << s; },
+                     report.check.deadlocked);
+      std::printf("DOT graph written to %s\n", opt.dotPath.c_str());
+    }
+    if (!opt.compressedDotPath.empty()) {
+      const wfg::CompressedGraph compressed =
+          wfg::compress(graph, report.check.deadlocked);
+      std::ofstream out(opt.compressedDotPath);
+      out << compressed.toDot();
+      std::printf("compressed DOT written to %s (%s)\n",
+                  opt.compressedDotPath.c_str(),
+                  compressed.summary().c_str());
+    }
+  }
+  return report.deadlock ? 2 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    printUsage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  if (command == "list") return listWorkloads();
+  if (command != "run") {
+    printUsage();
+    return 1;
+  }
+
+  Options opt;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--workload") {
+      opt.workload = value();
+    } else if (arg == "--procs") {
+      opt.procs = std::atoi(value());
+    } else if (arg == "--fanin") {
+      opt.fanIn = std::atoi(value());
+    } else if (arg == "--iterations") {
+      opt.iterations = std::atoi(value());
+    } else if (arg == "--periodic-ms") {
+      opt.periodic = static_cast<sim::Duration>(std::atof(value()) * 1e6);
+    } else if (arg == "--dot") {
+      opt.dotPath = value();
+    } else if (arg == "--compressed-dot") {
+      opt.compressedDotPath = value();
+    } else if (arg == "--html") {
+      opt.htmlPath = value();
+    } else if (arg == "--centralized") {
+      opt.centralized = true;
+    } else if (arg == "--faithful") {
+      opt.faithful = true;
+    } else if (arg == "--no-buffer") {
+      opt.noBuffer = true;
+    } else if (arg == "--rooted-collectives") {
+      opt.rootedCollectives = true;
+    } else if (arg == "--prioritize") {
+      opt.prioritize = true;
+    } else if (arg == "--compare") {
+      opt.compare = true;
+    } else if (arg == "--help" || arg == "-h") {
+      printUsage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return 1;
+    }
+  }
+  if (opt.procs < 2) {
+    std::fprintf(stderr, "--procs must be at least 2\n");
+    return 1;
+  }
+  return runWorkload(opt);
+}

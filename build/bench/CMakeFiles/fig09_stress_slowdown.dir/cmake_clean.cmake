@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_stress_slowdown.dir/fig09_stress_slowdown.cpp.o"
+  "CMakeFiles/fig09_stress_slowdown.dir/fig09_stress_slowdown.cpp.o.d"
+  "fig09_stress_slowdown"
+  "fig09_stress_slowdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_stress_slowdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig09_stress_slowdown.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_stress_slowdown.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig11_lammps_detection.cpp" "bench/CMakeFiles/fig11_lammps_detection.dir/fig11_lammps_detection.cpp.o" "gcc" "bench/CMakeFiles/fig11_lammps_detection.dir/fig11_lammps_detection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/must/CMakeFiles/wst_must.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/wst_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/match/CMakeFiles/wst_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/waitstate/CMakeFiles/wst_waitstate.dir/DependInfo.cmake"
+  "/root/repo/build/src/tbon/CMakeFiles/wst_tbon.dir/DependInfo.cmake"
+  "/root/repo/build/src/wfg/CMakeFiles/wst_wfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/wst_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wst_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/wst_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/wst_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_specmpi_slowdown.dir/fig12_specmpi_slowdown.cpp.o"
+  "CMakeFiles/fig12_specmpi_slowdown.dir/fig12_specmpi_slowdown.cpp.o.d"
+  "fig12_specmpi_slowdown"
+  "fig12_specmpi_slowdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_specmpi_slowdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

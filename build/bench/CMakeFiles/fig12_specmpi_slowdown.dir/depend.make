@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_specmpi_slowdown.
+# This may be replaced when dependencies are built.

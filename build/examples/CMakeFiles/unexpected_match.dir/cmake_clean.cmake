@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unexpected_match.dir/unexpected_match.cpp.o"
+  "CMakeFiles/unexpected_match.dir/unexpected_match.cpp.o.d"
+  "unexpected_match"
+  "unexpected_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unexpected_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wildcard_deadlock.dir/wildcard_deadlock.cpp.o"
+  "CMakeFiles/wildcard_deadlock.dir/wildcard_deadlock.cpp.o.d"
+  "wildcard_deadlock"
+  "wildcard_deadlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wildcard_deadlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wst_match.dir/central_matcher.cpp.o"
+  "CMakeFiles/wst_match.dir/central_matcher.cpp.o.d"
+  "libwst_match.a"
+  "libwst_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wst_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for wst_match.
+# This may be replaced when dependencies are built.

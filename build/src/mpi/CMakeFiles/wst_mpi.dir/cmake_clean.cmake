@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wst_mpi.dir/proc.cpp.o"
+  "CMakeFiles/wst_mpi.dir/proc.cpp.o.d"
+  "CMakeFiles/wst_mpi.dir/runtime.cpp.o"
+  "CMakeFiles/wst_mpi.dir/runtime.cpp.o.d"
+  "libwst_mpi.a"
+  "libwst_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wst_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wst_must.dir/recorder.cpp.o"
+  "CMakeFiles/wst_must.dir/recorder.cpp.o.d"
+  "CMakeFiles/wst_must.dir/tool.cpp.o"
+  "CMakeFiles/wst_must.dir/tool.cpp.o.d"
+  "libwst_must.a"
+  "libwst_must.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wst_must.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwst_must.a"
+)

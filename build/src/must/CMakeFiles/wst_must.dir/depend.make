@@ -1,0 +1,2 @@
+# Empty dependencies file for wst_must.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wst_sim.dir/engine.cpp.o"
+  "CMakeFiles/wst_sim.dir/engine.cpp.o.d"
+  "libwst_sim.a"
+  "libwst_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wst_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wst_support.dir/assert.cpp.o"
+  "CMakeFiles/wst_support.dir/assert.cpp.o.d"
+  "CMakeFiles/wst_support.dir/log.cpp.o"
+  "CMakeFiles/wst_support.dir/log.cpp.o.d"
+  "CMakeFiles/wst_support.dir/strings.cpp.o"
+  "CMakeFiles/wst_support.dir/strings.cpp.o.d"
+  "libwst_support.a"
+  "libwst_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wst_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

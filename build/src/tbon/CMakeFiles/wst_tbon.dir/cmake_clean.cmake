@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wst_tbon.dir/topology.cpp.o"
+  "CMakeFiles/wst_tbon.dir/topology.cpp.o.d"
+  "libwst_tbon.a"
+  "libwst_tbon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wst_tbon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

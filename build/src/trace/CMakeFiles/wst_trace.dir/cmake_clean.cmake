@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wst_trace.dir/matched_trace.cpp.o"
+  "CMakeFiles/wst_trace.dir/matched_trace.cpp.o.d"
+  "CMakeFiles/wst_trace.dir/op.cpp.o"
+  "CMakeFiles/wst_trace.dir/op.cpp.o.d"
+  "libwst_trace.a"
+  "libwst_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wst_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wst_waitstate.dir/distributed_tracker.cpp.o"
+  "CMakeFiles/wst_waitstate.dir/distributed_tracker.cpp.o.d"
+  "CMakeFiles/wst_waitstate.dir/transition_system.cpp.o"
+  "CMakeFiles/wst_waitstate.dir/transition_system.cpp.o.d"
+  "libwst_waitstate.a"
+  "libwst_waitstate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wst_waitstate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wst_wfg.dir/compress.cpp.o"
+  "CMakeFiles/wst_wfg.dir/compress.cpp.o.d"
+  "CMakeFiles/wst_wfg.dir/graph.cpp.o"
+  "CMakeFiles/wst_wfg.dir/graph.cpp.o.d"
+  "CMakeFiles/wst_wfg.dir/report.cpp.o"
+  "CMakeFiles/wst_wfg.dir/report.cpp.o.d"
+  "libwst_wfg.a"
+  "libwst_wfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wst_wfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wst_workloads.dir/spec.cpp.o"
+  "CMakeFiles/wst_workloads.dir/spec.cpp.o.d"
+  "CMakeFiles/wst_workloads.dir/stress.cpp.o"
+  "CMakeFiles/wst_workloads.dir/stress.cpp.o.d"
+  "libwst_workloads.a"
+  "libwst_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wst_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_match.dir/match/central_matcher_test.cpp.o"
+  "CMakeFiles/test_match.dir/match/central_matcher_test.cpp.o.d"
+  "test_match"
+  "test_match.pdb"
+  "test_match[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

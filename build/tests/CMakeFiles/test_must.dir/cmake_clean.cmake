@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_must.dir/must/extensions_test.cpp.o"
+  "CMakeFiles/test_must.dir/must/extensions_test.cpp.o.d"
+  "CMakeFiles/test_must.dir/must/oracle_test.cpp.o"
+  "CMakeFiles/test_must.dir/must/oracle_test.cpp.o.d"
+  "CMakeFiles/test_must.dir/must/recorder_test.cpp.o"
+  "CMakeFiles/test_must.dir/must/recorder_test.cpp.o.d"
+  "CMakeFiles/test_must.dir/must/soundness_test.cpp.o"
+  "CMakeFiles/test_must.dir/must/soundness_test.cpp.o.d"
+  "CMakeFiles/test_must.dir/must/tool_test.cpp.o"
+  "CMakeFiles/test_must.dir/must/tool_test.cpp.o.d"
+  "test_must"
+  "test_must.pdb"
+  "test_must[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_must.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

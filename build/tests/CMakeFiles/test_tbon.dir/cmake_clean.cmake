@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tbon.dir/tbon/overlay_test.cpp.o"
+  "CMakeFiles/test_tbon.dir/tbon/overlay_test.cpp.o.d"
+  "CMakeFiles/test_tbon.dir/tbon/topology_test.cpp.o"
+  "CMakeFiles/test_tbon.dir/tbon/topology_test.cpp.o.d"
+  "test_tbon"
+  "test_tbon.pdb"
+  "test_tbon[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tbon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_waitstate.dir/waitstate/distributed_tracker_test.cpp.o"
+  "CMakeFiles/test_waitstate.dir/waitstate/distributed_tracker_test.cpp.o.d"
+  "CMakeFiles/test_waitstate.dir/waitstate/transition_system_test.cpp.o"
+  "CMakeFiles/test_waitstate.dir/waitstate/transition_system_test.cpp.o.d"
+  "test_waitstate"
+  "test_waitstate.pdb"
+  "test_waitstate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_waitstate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wfg.dir/wfg/compress_test.cpp.o"
+  "CMakeFiles/test_wfg.dir/wfg/compress_test.cpp.o.d"
+  "CMakeFiles/test_wfg.dir/wfg/graph_test.cpp.o"
+  "CMakeFiles/test_wfg.dir/wfg/graph_test.cpp.o.d"
+  "test_wfg"
+  "test_wfg.pdb"
+  "test_wfg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

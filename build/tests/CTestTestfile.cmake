@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_mpi[1]_include.cmake")
+include("/root/repo/build/tests/test_persistent[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_tbon[1]_include.cmake")
+include("/root/repo/build/tests/test_wfg[1]_include.cmake")
+include("/root/repo/build/tests/test_waitstate[1]_include.cmake")
+include("/root/repo/build/tests/test_match[1]_include.cmake")
+include("/root/repo/build/tests/test_must[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")

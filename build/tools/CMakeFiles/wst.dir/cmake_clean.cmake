@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wst.dir/wst.cpp.o"
+  "CMakeFiles/wst.dir/wst.cpp.o.d"
+  "wst"
+  "wst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

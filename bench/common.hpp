@@ -16,6 +16,9 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <string>
 
 #include "mpi/config.hpp"
 #include "must/harness.hpp"
@@ -59,6 +62,33 @@ inline must::ToolConfig centralizedTool(std::int32_t procCount) {
   cfg.fanIn = std::max(procCount, 2);
   cfg.intralayerCost = 1'500;
   return cfg;
+}
+
+/// Distributed tool with wait-state batching enabled (the intralayer
+/// coalescing ablation): identical to distributedTool() except that the
+/// passSend/recvActive/recvActiveAck/collectiveReady hot path is staged and
+/// flushed as batched channel messages (default waitStateBatch policy).
+inline must::ToolConfig batchedDistributedTool(std::int32_t fanIn) {
+  must::ToolConfig cfg = distributedTool(fanIn);
+  cfg.batchWaitState = true;
+  // Scale the flush window to this cost model: a staged message should wait
+  // about as long as the node takes to serve the rest of its layer's
+  // handshakes (fanIn messages at intralayerCost each), so concurrently
+  // advancing chains land in one envelope.
+  cfg.waitStateBatch.flushInterval = fanIn * cfg.intralayerCost;
+  return cfg;
+}
+
+/// Dump a harness result's metrics JSON to $WST_METRICS_DIR/<name>.json
+/// (no-op when the environment variable is unset). Lets benchmark runs
+/// archive the full per-configuration metrics registry next to the
+/// google-benchmark counters.
+inline void maybeDumpMetrics(const std::string& name,
+                             const must::HarnessResult& result) {
+  const char* dir = std::getenv("WST_METRICS_DIR");
+  if (dir == nullptr || result.metricsJson.empty()) return;
+  std::ofstream out(std::string(dir) + "/" + name + ".json");
+  out << result.metricsJson << "\n";
 }
 
 }  // namespace wst::bench

@@ -43,6 +43,12 @@ void reportRun(benchmark::State& state, const must::HarnessResult& tooled,
   state.counters["ref_ms"] = sim::toSeconds(ref.completionTime) * 1e3;
   state.counters["tool_ms"] = sim::toSeconds(tooled.completionTime) * 1e3;
   state.counters["tool_msgs"] = static_cast<double>(tooled.toolMessages);
+  state.counters["intra_msgs"] =
+      static_cast<double>(tooled.intralayerMessages);
+  state.counters["intra_channel_msgs"] =
+      static_cast<double>(tooled.intralayerChannelMessages);
+  state.counters["max_queue_depth"] =
+      static_cast<double>(tooled.maxQueueDepth);
   state.counters["deadlock"] = tooled.deadlockReported ? 1 : 0;
 }
 
@@ -57,6 +63,41 @@ void BM_StressDistributed(benchmark::State& state) {
                                workloads::cyclicExchange(stressParams()));
   }
   reportRun(state, tooled, ref);
+}
+
+// Batching ablation: same stress run with the exchange distance set to the
+// fan-in (every handshake crosses a node boundary — the worst case for
+// immediate sends and the best case for coalescing). Runs both the batched
+// and the unbatched configuration, reports the channel-message reduction,
+// and archives both metrics registries via $WST_METRICS_DIR.
+void BM_StressDistributedBatched(benchmark::State& state) {
+  const auto procs = static_cast<std::int32_t>(state.range(0));
+  const auto fanIn = static_cast<std::int32_t>(state.range(1));
+  auto params = stressParams();
+  params.neighborDistance = fanIn;
+  const auto program = workloads::cyclicExchange(params);
+  const auto ref = must::runReference(procs, bench::sierraLike(), program);
+  const auto plain = must::runWithTool(procs, bench::sierraLike(),
+                                       bench::distributedTool(fanIn), program);
+  must::HarnessResult batched;
+  for (auto _ : state) {
+    batched = must::runWithTool(procs, bench::sierraLike(),
+                                bench::batchedDistributedTool(fanIn), program);
+  }
+  reportRun(state, batched, ref);
+  state.counters["plain_tool_ms"] =
+      sim::toSeconds(plain.completionTime) * 1e3;
+  state.counters["plain_channel_msgs"] =
+      static_cast<double>(plain.intralayerChannelMessages);
+  state.counters["batch_reduction"] =
+      batched.intralayerChannelMessages == 0
+          ? 0.0
+          : static_cast<double>(plain.intralayerChannelMessages) /
+                static_cast<double>(batched.intralayerChannelMessages);
+  const std::string tag =
+      "fig09_p" + std::to_string(procs) + "_fanin" + std::to_string(fanIn);
+  bench::maybeDumpMetrics(tag + "_plain", plain);
+  bench::maybeDumpMetrics(tag + "_batched", batched);
 }
 
 void BM_StressCentralized(benchmark::State& state) {
@@ -81,6 +122,15 @@ void distributedArgs(benchmark::internal::Benchmark* b) {
 
 BENCHMARK(BM_StressDistributed)
     ->Apply(distributedArgs)
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->ArgNames({"p", "fanin"});
+
+BENCHMARK(BM_StressDistributedBatched)
+    ->Args({256, 4})
+    ->Args({1024, 4})
+    ->Args({4096, 8})
     ->UseManualTime()
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond)

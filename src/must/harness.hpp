@@ -5,6 +5,7 @@
 #pragma once
 
 #include <optional>
+#include <string>
 
 #include "mpi/proc.hpp"
 #include "mpi/runtime.hpp"
@@ -25,8 +26,17 @@ struct HarnessResult {
   std::uint32_t detections = 0;
   std::uint64_t appCalls = 0;
   std::uint64_t toolMessages = 0;
+  /// Intralayer traffic: logical messages vs. physical channel messages
+  /// (identical unless wait-state batching coalesced some).
+  std::uint64_t intralayerMessages = 0;
+  std::uint64_t intralayerChannelMessages = 0;
+  std::uint64_t channelMessages = 0;  // all link classes
+  std::size_t maxQueueDepth = 0;
   std::uint64_t transitions = 0;
   std::size_t maxWindow = 0;
+  /// Full metrics registry dump (see MetricsRegistry::toJson); empty for
+  /// reference runs.
+  std::string metricsJson;
 
   double slowdownOver(const HarnessResult& reference) const {
     if (reference.completionTime == 0) return 0.0;
@@ -68,8 +78,15 @@ inline HarnessResult runWithTool(std::int32_t procs,
   result.report = tool.report();
   result.detections = tool.detectionsRun();
   result.toolMessages = tool.overlay().totalMessages();
+  result.intralayerMessages =
+      tool.overlay().messages(tbon::LinkClass::kIntralayer);
+  result.intralayerChannelMessages =
+      tool.overlay().channelMessages(tbon::LinkClass::kIntralayer);
+  result.channelMessages = tool.overlay().totalChannelMessages();
+  result.maxQueueDepth = tool.overlay().maxQueueDepth();
   result.transitions = tool.totalTransitions();
   result.maxWindow = tool.maxWindowSize();
+  result.metricsJson = tool.metricsJson();
   return result;
 }
 

@@ -24,6 +24,31 @@ std::uint64_t wallNs(std::chrono::steady_clock::time_point a,
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
 }
+
+/// Metric name of a ToolMsg alternative (keep in sync with the variant).
+const char* toolMsgKindName(std::size_t index) {
+  static constexpr const char* kNames[] = {
+      "new_op",           "match_info",     "pass_send",
+      "recv_active",      "recv_active_ack", "collective_ready",
+      "collective_ack",   "request_consistent_state",
+      "ack_consistent_state", "ping",       "pong",
+      "request_waits",    "wait_info",
+  };
+  static_assert(std::variant_size_v<ToolMsg> ==
+                sizeof(kNames) / sizeof(kNames[0]));
+  return kNames[index];
+}
+
+const char* linkClassName(tbon::LinkClass c) {
+  switch (c) {
+    case tbon::LinkClass::kAppToLeaf: return "app_to_leaf";
+    case tbon::LinkClass::kIntralayer: return "intralayer";
+    case tbon::LinkClass::kUp: return "up";
+    case tbon::LinkClass::kDown: return "down";
+    case tbon::LinkClass::kSelf: return "self";
+  }
+  return "unknown";
+}
 }  // namespace
 
 /// Per-TBON-node runtime state. First-layer nodes own a tracker; inner nodes
@@ -48,6 +73,8 @@ struct DistributedTool::NodeState : waitstate::Comms {
       waitstate::TrackerConfig cfg;
       cfg.blockingModel = tool.config_.blockingModel;
       cfg.eagerThreshold = tool.config_.eagerThreshold;
+      cfg.consumedHistory = tool.config_.consumedHistory;
+      cfg.metrics = &tool.metrics_;
       tracker = std::make_unique<waitstate::DistributedTracker>(
           info.procLo, info.procHi, *this, tool.commView_, cfg);
     }
@@ -90,11 +117,31 @@ DistributedTool::DistributedTool(sim::Engine& engine, mpi::Runtime& runtime,
       config_(config),
       commView_(runtime),
       topology_(runtime.procCount(), config.fanIn) {
+  if (config_.batchWaitState) {
+    config_.overlay.batch[static_cast<std::size_t>(
+        tbon::LinkClass::kIntralayer)] = config_.waitStateBatch;
+    config_.overlay.batch[static_cast<std::size_t>(tbon::LinkClass::kUp)] =
+        config_.waitStateBatch;
+  }
+  for (std::size_t k = 0; k < msgCounters_.size(); ++k) {
+    msgCounters_[k] = &metrics_.counter(
+        std::string("tool/delivered/") + toolMsgKindName(k));
+  }
   overlay_ = std::make_unique<tbon::Overlay<ToolMsg>>(
       engine_, topology_, config_.overlay,
       [this](NodeId node, const ToolMsg& msg) {
         return messageCost(node, msg);
       });
+  overlay_->setMetrics(&metrics_);
+  // Only the wait-state data plane coalesces; every control message of the
+  // consistent-state protocol ships immediately (flushing staged traffic on
+  // its link so it cannot overtake earlier messages).
+  overlay_->setBatchable([](const ToolMsg& msg) {
+    return std::holds_alternative<waitstate::PassSendMsg>(msg) ||
+           std::holds_alternative<waitstate::RecvActiveMsg>(msg) ||
+           std::holds_alternative<waitstate::RecvActiveAckMsg>(msg) ||
+           std::holds_alternative<waitstate::CollectiveReadyMsg>(msg);
+  });
   overlay_->setHandler(
       [this](NodeId node, ToolMsg&& msg) { handleMessage(node, std::move(msg)); });
   if (config_.prioritizeWaitState) {
@@ -162,6 +209,30 @@ std::size_t DistributedTool::maxWindowSize() const {
         maxSize, nodes_[static_cast<std::size_t>(n)]->tracker->maxWindowSize());
   }
   return maxSize;
+}
+
+std::string DistributedTool::metricsJson() {
+  // Derived statistics snapshot as gauges (idempotent across calls).
+  for (const tbon::LinkClass c :
+       {tbon::LinkClass::kAppToLeaf, tbon::LinkClass::kIntralayer,
+        tbon::LinkClass::kUp, tbon::LinkClass::kDown, tbon::LinkClass::kSelf}) {
+    const std::string name = linkClassName(c);
+    metrics_.gauge("overlay/messages/" + name)
+        .set(static_cast<std::int64_t>(overlay_->messages(c)));
+    metrics_.gauge("overlay/channel_messages/" + name)
+        .set(static_cast<std::int64_t>(overlay_->channelMessages(c)));
+    metrics_.gauge("overlay/bytes/" + name)
+        .set(static_cast<std::int64_t>(overlay_->bytes(c)));
+  }
+  metrics_.gauge("overlay/max_queue_depth")
+      .set(static_cast<std::int64_t>(overlay_->maxQueueDepth()));
+  metrics_.gauge("tool/transitions")
+      .set(static_cast<std::int64_t>(totalTransitions()));
+  metrics_.gauge("tool/max_window")
+      .set(static_cast<std::int64_t>(maxWindowSize()));
+  metrics_.gauge("tool/detections")
+      .set(static_cast<std::int64_t>(detectionsRun()));
+  return metrics_.toJson();
 }
 
 // --- Interposition -------------------------------------------------------------
@@ -239,6 +310,7 @@ void DistributedTool::broadcastDown(NodeId from, const ToolMsg& msg) {
 }
 
 void DistributedTool::handleMessage(NodeId node, ToolMsg&& msg) {
+  msgCounters_[msg.index()]->add();
   NodeState& ns = *nodes_[static_cast<std::size_t>(node)];
   std::visit(
       Overloaded{

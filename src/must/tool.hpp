@@ -21,17 +21,20 @@
 // which exercises intermediate (non-terminal) consistent states.
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <variant>
 #include <vector>
 
 #include "mpi/proc.hpp"
 #include "mpi/runtime.hpp"
 #include "must/messages.hpp"
 #include "must/runtime_comm_view.hpp"
+#include "support/metrics.hpp"
 #include "tbon/overlay.hpp"
 #include "tbon/topology.hpp"
 #include "waitstate/distributed_tracker.hpp"
@@ -73,6 +76,23 @@ struct ToolConfig {
   /// normal class: it shares the application channel with NewOp events and
   /// must not overtake them.
   bool prioritizeWaitState = false;
+
+  /// Coalesce the wait-state hot path — passSend/recvActive/recvActiveAck
+  /// on intralayer links and collectiveReady on tree-up links — into
+  /// batched channel messages (waitStateBatch policy). Consistent-state
+  /// control messages (request/ack, ping/pong) always bypass staging: they
+  /// gate the detection timeout and must not wait for a flush interval.
+  /// A bypass send flushes its link's staged batch first, so channel order
+  /// is preserved and the double ping-pong still drains the link.
+  bool batchWaitState = false;
+  tbon::BatchConfig waitStateBatch{.maxMessages = 16,
+                                   .maxBytes = 0,
+                                   .flushInterval = 2'000,
+                                   .amortizedCostFactor = 0.25};
+
+  /// Bound of the per-channel consumed-send history kept for late probe
+  /// resolution (0 = unbounded); see TrackerConfig::consumedHistory.
+  std::size_t consumedHistory = 8;
 };
 
 class DistributedTool : public mpi::Interposer {
@@ -122,6 +142,14 @@ class DistributedTool : public mpi::Interposer {
   std::uint64_t totalTransitions() const;
   std::size_t maxWindowSize() const;
 
+  /// The tool's metrics registry: live overlay/tracker instruments plus
+  /// per-kind delivered-message counters.
+  support::MetricsRegistry& metrics() { return metrics_; }
+  /// Snapshot derived statistics (overlay traffic per link class, queue
+  /// depth, transitions, detections) into the registry and render the whole
+  /// registry as one JSON object. Safe to call repeatedly.
+  std::string metricsJson();
+
   /// Manually start a detection round (tests / ablations).
   void startDetection();
 
@@ -151,9 +179,12 @@ class DistributedTool : public mpi::Interposer {
   ToolConfig config_;
   RuntimeCommView commView_;
   tbon::Topology topology_;
+  support::MetricsRegistry metrics_;
   std::unique_ptr<tbon::Overlay<ToolMsg>> overlay_;
   std::vector<std::unique_ptr<NodeState>> nodes_;  // first-layer trackers
   std::size_t quiescenceHookId_ = 0;
+  /// Delivered-message counters, indexed by ToolMsg variant alternative.
+  std::array<support::Counter*, std::variant_size_v<ToolMsg>> msgCounters_{};
 
   // Root state.
   struct RootWaveState {

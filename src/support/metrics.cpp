@@ -1,0 +1,108 @@
+#include "support/metrics.hpp"
+
+#include <bit>
+
+#include "support/strings.hpp"
+
+namespace wst::support {
+
+void Histogram::record(std::uint64_t value) {
+  buckets_[static_cast<std::size_t>(std::bit_width(value))] += 1;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  ++count_;
+  sum_ += value;
+}
+
+std::size_t Histogram::bucketEnd() const {
+  std::size_t end = kBuckets;
+  while (end > 0 && buckets_[end - 1] == 0) --end;
+  return end;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), Counter{}).first;
+  }
+  return it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), Gauge{}).first;
+  }
+  return it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram{}).first;
+  }
+  return it->second;
+}
+
+namespace {
+
+// Metric names are restricted to [A-Za-z0-9._/-] by convention; escape the
+// JSON-significant characters anyway so a stray name cannot corrupt a dump.
+std::string jsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c; break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::toJson() const {
+  std::string out = "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    out += format("%s\"%s\": %llu", first ? "" : ", ",
+                  jsonEscape(name).c_str(),
+                  static_cast<unsigned long long>(counter.value()));
+    first = false;
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    out += format("%s\"%s\": {\"value\": %lld, \"max\": %lld}",
+                  first ? "" : ", ", jsonEscape(name).c_str(),
+                  static_cast<long long>(gauge.value()),
+                  static_cast<long long>(gauge.max()));
+    first = false;
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    out += format(
+        "%s\"%s\": {\"count\": %llu, \"sum\": %llu, \"min\": %llu, "
+        "\"max\": %llu, \"mean\": %.3f, \"buckets\": [",
+        first ? "" : ", ", jsonEscape(name).c_str(),
+        static_cast<unsigned long long>(histogram.count()),
+        static_cast<unsigned long long>(histogram.sum()),
+        static_cast<unsigned long long>(histogram.min()),
+        static_cast<unsigned long long>(histogram.max()), histogram.mean());
+    for (std::size_t b = 0; b < histogram.bucketEnd(); ++b) {
+      out += format("%s%llu", b == 0 ? "" : ", ",
+                    static_cast<unsigned long long>(histogram.bucket(b)));
+    }
+    out += "]}";
+    first = false;
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace wst::support

@@ -1,0 +1,105 @@
+// Lightweight metrics registry: counters, gauges, and log2 histograms.
+//
+// The overlay, the trackers, and the tool publish operational metrics here
+// (messages per kind per link class, batch occupancy, queue depths, service
+// times, window sizes) so benchmarks and the CLI can dump one JSON document
+// per run and perf claims stay measurable (ROADMAP north star).
+//
+// Design constraints:
+//  * hot-path friendly: components look their instruments up once by name at
+//    construction and keep references — instruments live as long as the
+//    registry and are never invalidated by later registrations;
+//  * deterministic output: names are emitted in lexicographic order so JSON
+//    dumps diff cleanly between runs and configurations.
+//
+// The registry is single-threaded, like the simulation that feeds it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace wst::support {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) { value_ += delta; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-written value plus the high-water mark over the run.
+class Gauge {
+ public:
+  void set(std::int64_t value) {
+    value_ = value;
+    if (value > max_) max_ = value;
+  }
+  std::int64_t value() const { return value_; }
+  std::int64_t max() const { return max_; }
+
+ private:
+  std::int64_t value_ = 0;
+  std::int64_t max_ = 0;
+};
+
+/// Power-of-two bucketed histogram of non-negative samples. Bucket k counts
+/// samples whose value needs k bits (0 -> bucket 0, 1 -> 1, 2..3 -> 2,
+/// 4..7 -> 3, ...), so occupancy and latency distributions stay compact at
+/// any magnitude.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;  // bit_width of uint64 + zero
+
+  void record(std::uint64_t value);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  /// Smallest / largest recorded sample; 0 when empty.
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  std::uint64_t bucket(std::size_t index) const { return buckets_[index]; }
+  /// Index one past the highest non-empty bucket.
+  std::size_t bucketEnd() const;
+
+ private:
+  std::uint64_t buckets_[kBuckets]{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+/// Named instrument store. Instruments are created on first lookup and have
+/// registry lifetime; returned references remain valid across later lookups.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// The registered instruments as one JSON object:
+  ///   {"counters": {name: value, ...},
+  ///    "gauges": {name: {"value": v, "max": m}, ...},
+  ///    "histograms": {name: {"count": c, "sum": s, "min": m, "max": M,
+  ///                          "mean": x, "buckets": [b0, b1, ...]}, ...}}
+  /// Keys are sorted; buckets are log2 (see Histogram) and truncated after
+  /// the last non-empty one.
+  std::string toJson() const;
+
+ private:
+  // std::map: stable references to mapped values across insertions.
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace wst::support

@@ -15,15 +15,28 @@
 // strictly sequentially with a configurable per-message service cost —
 // tool nodes are single-threaded processes in the real system.
 //
+// Batching (optional, per link class): messages to the same destination
+// node accumulate in a per-link staging buffer and ship as ONE channel
+// message — an envelope — when a count/byte threshold is reached or a
+// simulated flush interval elapses. The receiver unpacks the envelope in
+// order; members after the first pay an amortized service cost, modeling
+// the per-record savings of batched tracker transports. Messages the
+// batchable predicate rejects (the consistent-state control plane) bypass
+// staging, but FIRST flush anything staged on their link: a bypass message
+// must not overtake earlier traffic, or the double ping-pong of the
+// consistent-state protocol would no longer prove the channel drained.
+//
 // The overlay is a class template over the tool's message type so the TBON
 // machinery stays independent of MUST-specific message sets.
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -31,6 +44,7 @@
 #include "sim/channel.hpp"
 #include "sim/engine.hpp"
 #include "support/assert.hpp"
+#include "support/metrics.hpp"
 #include "tbon/topology.hpp"
 
 namespace wst::tbon {
@@ -44,12 +58,31 @@ enum class LinkClass : std::uint8_t {
 };
 inline constexpr std::size_t kLinkClassCount = 5;
 
+/// Coalescing policy of one link class. A staged batch flushes when it
+/// reaches maxMessages, when it reaches maxBytes (if nonzero), or
+/// flushInterval simulated time after its first message was staged —
+/// whichever happens first. flushInterval 0 still coalesces: the flush
+/// event runs at the current simulated instant, after every send the
+/// triggering handler performs.
+struct BatchConfig {
+  std::size_t maxMessages = 16;
+  std::size_t maxBytes = 0;  // 0 disables the byte trigger
+  sim::Duration flushInterval = 0;
+  /// Service-cost multiplier for batch members after the first: the
+  /// receiver pays cost(first) + amortizedCostFactor * cost(rest). Models
+  /// amortized per-record handling once framing/dispatch is paid once.
+  double amortizedCostFactor = 0.25;
+};
+
 struct OverlayConfig {
   sim::ChannelConfig appToLeaf{
       .latency = 2'000, .perByte = 0, .credits = 64};
   sim::ChannelConfig intralayer{.latency = 2'000, .perByte = 0, .credits = 0};
   sim::ChannelConfig treeUp{.latency = 2'000, .perByte = 0, .credits = 0};
   sim::ChannelConfig treeDown{.latency = 2'000, .perByte = 0, .credits = 0};
+  /// Per-link-class coalescing; disengaged = every message ships alone.
+  /// Supported on kIntralayer, kUp and kDown (classes without credits).
+  std::array<std::optional<BatchConfig>, kLinkClassCount> batch{};
 };
 
 template <typename M>
@@ -66,6 +99,10 @@ class Overlay {
   /// to shrink trace windows. Note that messages of the same channel whose
   /// relative order carries meaning must share a class.
   using UrgencyFn = std::function<bool(const M&)>;
+  /// Whether a message may be coalesced on a batching link class. Messages
+  /// rejected here ship immediately (after flushing their link's staged
+  /// batch, preserving order). No predicate = everything batchable.
+  using BatchableFn = std::function<bool(const M&)>;
 
   Overlay(sim::Engine& engine, const Topology& topology, OverlayConfig config,
           CostFn cost)
@@ -74,6 +111,17 @@ class Overlay {
         config_(config),
         cost_(std::move(cost)),
         nodes_(static_cast<std::size_t>(topology.nodeCount())) {
+    WST_ASSERT(!config_.batch[static_cast<std::size_t>(LinkClass::kAppToLeaf)],
+               "batching is not supported on flow-controlled app channels");
+    WST_ASSERT(!config_.batch[static_cast<std::size_t>(LinkClass::kSelf)],
+               "batching a node's zero-latency self link is meaningless");
+    WST_ASSERT(
+        !batchConfig(LinkClass::kIntralayer) || config_.intralayer.credits == 0,
+        "batched link classes must not use credit flow control");
+    WST_ASSERT(!batchConfig(LinkClass::kUp) || config_.treeUp.credits == 0,
+               "batched link classes must not use credit flow control");
+    WST_ASSERT(!batchConfig(LinkClass::kDown) || config_.treeDown.credits == 0,
+               "batched link classes must not use credit flow control");
     // Application injection channels.
     appChannels_.reserve(static_cast<std::size_t>(topology.procCount()));
     for (trace::ProcId p = 0; p < topology.procCount(); ++p) {
@@ -85,6 +133,22 @@ class Overlay {
 
   void setHandler(Handler handler) { handler_ = std::move(handler); }
   void setUrgency(UrgencyFn urgency) { urgency_ = std::move(urgency); }
+  void setBatchable(BatchableFn batchable) {
+    batchable_ = std::move(batchable);
+  }
+  /// Publish live instruments (batch occupancy, queue depth, service time)
+  /// into a registry. Call before traffic flows.
+  void setMetrics(support::MetricsRegistry* metrics) {
+    if (metrics == nullptr) {
+      batchOccupancy_ = nullptr;
+      queueDepth_ = nullptr;
+      serviceTime_ = nullptr;
+      return;
+    }
+    batchOccupancy_ = &metrics->histogram("overlay/batch_occupancy");
+    queueDepth_ = &metrics->histogram("overlay/queue_depth");
+    serviceTime_ = &metrics->histogram("overlay/service_time_ns");
+  }
 
   const Topology& topology() const { return topology_; }
   sim::Engine& engine() { return engine_; }
@@ -99,14 +163,17 @@ class Overlay {
   }
   void inject(trace::ProcId proc, M msg, std::size_t bytes) {
     count(LinkClass::kAppToLeaf, bytes);
-    appChannels_[static_cast<std::size_t>(proc)]->send(std::move(msg), bytes);
+    countChannel(LinkClass::kAppToLeaf, bytes);
+    appChannels_[static_cast<std::size_t>(proc)]->send(
+        Envelope{std::move(msg), {}}, bytes);
   }
   /// Inject bypassing flow control (events that must never block the rank,
   /// e.g. MatchInfo piggybacked on an operation's completion).
   void injectUnthrottled(trace::ProcId proc, M msg, std::size_t bytes) {
     count(LinkClass::kAppToLeaf, bytes);
+    countChannel(LinkClass::kAppToLeaf, bytes);
     appChannels_[static_cast<std::size_t>(proc)]->sendUnthrottled(
-        std::move(msg), bytes);
+        Envelope{std::move(msg), {}}, bytes);
   }
 
   // --- Node-side sends -------------------------------------------------------
@@ -115,35 +182,37 @@ class Overlay {
     const NodeId parent = topology_.node(from).parent;
     WST_ASSERT(parent >= 0, "sendUp from the root");
     count(LinkClass::kUp, bytes);
-    link(from, parent, config_.treeUp, LinkClass::kUp)
-        ->send(std::move(msg), bytes);
+    sendOnLink(link(from, parent, config_.treeUp, LinkClass::kUp),
+               std::move(msg), bytes);
   }
 
   void sendDown(NodeId from, NodeId child, M msg, std::size_t bytes) {
     count(LinkClass::kDown, bytes);
-    link(from, child, config_.treeDown, LinkClass::kDown)
-        ->send(std::move(msg), bytes);
+    sendOnLink(link(from, child, config_.treeDown, LinkClass::kDown),
+               std::move(msg), bytes);
   }
 
   /// Send to a node in the same layer; from == to enqueues locally.
   void sendIntralayer(NodeId from, NodeId to, M msg, std::size_t bytes) {
     if (from == to) {
       count(LinkClass::kSelf, bytes);
-      link(from, to, sim::ChannelConfig{.latency = 0, .perByte = 0,
-                                        .credits = 0},
-           LinkClass::kSelf)
-          ->send(std::move(msg), bytes);
+      sendOnLink(link(from, to,
+                      sim::ChannelConfig{.latency = 0, .perByte = 0,
+                                         .credits = 0},
+                      LinkClass::kSelf),
+                 std::move(msg), bytes);
       return;
     }
     WST_ASSERT(topology_.node(from).layer == topology_.node(to).layer,
                "sendIntralayer requires same-layer nodes");
     count(LinkClass::kIntralayer, bytes);
-    link(from, to, config_.intralayer, LinkClass::kIntralayer)
-        ->send(std::move(msg), bytes);
+    sendOnLink(link(from, to, config_.intralayer, LinkClass::kIntralayer),
+               std::move(msg), bytes);
   }
 
   // --- Statistics ------------------------------------------------------------
 
+  /// Logical messages handed to the overlay (batch members count one each).
   std::uint64_t messages(LinkClass c) const {
     return stats_[static_cast<std::size_t>(c)].messages;
   }
@@ -155,14 +224,48 @@ class Overlay {
     for (const auto& s : stats_) total += s.messages;
     return total;
   }
+  /// Physical channel messages: a flushed batch counts once. Equals
+  /// messages(c) when the class does not batch.
+  std::uint64_t channelMessages(LinkClass c) const {
+    return channelStats_[static_cast<std::size_t>(c)].messages;
+  }
+  std::uint64_t channelBytes(LinkClass c) const {
+    return channelStats_[static_cast<std::size_t>(c)].bytes;
+  }
+  std::uint64_t totalChannelMessages() const {
+    std::uint64_t total = 0;
+    for (const auto& s : channelStats_) total += s.messages;
+    return total;
+  }
   std::size_t maxQueueDepth() const { return maxQueueDepth_; }
 
  private:
-  using Chan = sim::Channel<M>;
+  /// Channel payload: one message, or a flushed batch (rest empty for
+  /// singles — no allocation on the unbatched path).
+  struct Envelope {
+    M first;
+    std::vector<M> rest;
+  };
+  using Chan = sim::Channel<Envelope>;
+
+  /// A directed connection plus its staging buffer while batching.
+  struct Link {
+    std::unique_ptr<Chan> chan;
+    LinkClass linkClass = LinkClass::kIntralayer;
+    std::vector<M> staged;
+    std::size_t stagedBytes = 0;
+    std::uint64_t flushGen = 0;  // bumped per flush; invalidates timers
+  };
+
+  struct QueueEntry {
+    M msg;
+    Chan* origin;
+    float costScale;
+  };
 
   struct NodeRuntime {
-    std::deque<std::pair<M, Chan*>> queue;
-    std::deque<std::pair<M, Chan*>> urgentQueue;
+    std::deque<QueueEntry> queue;
+    std::deque<QueueEntry> urgentQueue;
     bool processing = false;
     sim::Time busyUntil = 0;
     std::size_t maxDepth = 0;
@@ -175,27 +278,37 @@ class Overlay {
     std::uint64_t bytes = 0;
   };
 
+  const std::optional<BatchConfig>& batchConfig(LinkClass linkClass) const {
+    return config_.batch[static_cast<std::size_t>(linkClass)];
+  }
+
   void count(LinkClass linkClass, std::size_t bytes) {
     auto& stats = stats_[static_cast<std::size_t>(linkClass)];
     ++stats.messages;
     stats.bytes += bytes;
   }
+  void countChannel(LinkClass linkClass, std::size_t bytes) {
+    auto& stats = channelStats_[static_cast<std::size_t>(linkClass)];
+    ++stats.messages;
+    stats.bytes += bytes;
+  }
 
   std::unique_ptr<Chan> makeChannel(NodeId dest, sim::ChannelConfig cfg,
-                                    LinkClass /*linkClass*/) {
+                                    LinkClass linkClass) {
     // The deliver callback needs the channel pointer (to return its credit
     // after processing); resolve it through a stable index since the channel
     // does not exist yet while its callback is being constructed.
     auto channel = std::make_unique<Chan>(
-        engine_, cfg, [this, dest, chanSlot = channelCount_](M&& msg) {
-          deliver(dest, std::move(msg), channelByIndex_[chanSlot]);
+        engine_, cfg,
+        [this, dest, linkClass, chanSlot = channelCount_](Envelope&& env) {
+          deliver(dest, std::move(env), channelByIndex_[chanSlot], linkClass);
         });
     channelByIndex_.push_back(channel.get());
     ++channelCount_;
     return channel;
   }
 
-  Chan* link(NodeId from, NodeId to, sim::ChannelConfig cfg,
+  Link& link(NodeId from, NodeId to, sim::ChannelConfig cfg,
              LinkClass linkClass) {
     const std::uint64_t key =
         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 34) |
@@ -203,20 +316,72 @@ class Overlay {
         static_cast<std::uint64_t>(linkClass);
     auto it = links_.find(key);
     if (it == links_.end()) {
-      it = links_.emplace(key, makeChannel(to, cfg, linkClass)).first;
+      Link lnk;
+      lnk.chan = makeChannel(to, cfg, linkClass);
+      lnk.linkClass = linkClass;
+      it = links_.emplace(key, std::move(lnk)).first;
     }
-    return it->second.get();
+    return it->second;
   }
 
-  void deliver(NodeId dest, M&& msg, Chan* origin) {
-    NodeRuntime& node = nodes_[static_cast<std::size_t>(dest)];
-    if (urgency_ && urgency_(msg)) {
-      node.urgentQueue.emplace_back(std::move(msg), origin);
-    } else {
-      node.queue.emplace_back(std::move(msg), origin);
+  void sendOnLink(Link& lnk, M msg, std::size_t bytes) {
+    const auto& bc = batchConfig(lnk.linkClass);
+    if (!bc || (batchable_ && !batchable_(msg))) {
+      // Unbatched (or bypass) message. Flush staged traffic first so this
+      // message cannot overtake logically earlier ones on the same link —
+      // the consistent-state protocol depends on that order.
+      flushLink(lnk);
+      countChannel(lnk.linkClass, bytes);
+      lnk.chan->send(Envelope{std::move(msg), {}}, bytes);
+      return;
     }
+    if (lnk.staged.empty()) {
+      // Arm the flush timer when the batch opens. The generation check
+      // makes the timer a no-op if a threshold (or a bypass send) flushed
+      // the batch earlier; a later batch arms its own timer.
+      engine_.scheduleAt(
+          engine_.now() + bc->flushInterval,
+          [this, &lnk, gen = lnk.flushGen] {
+            if (lnk.flushGen == gen) flushLink(lnk);
+          });
+    }
+    lnk.staged.push_back(std::move(msg));
+    lnk.stagedBytes += bytes;
+    if (lnk.staged.size() >= bc->maxMessages ||
+        (bc->maxBytes != 0 && lnk.stagedBytes >= bc->maxBytes)) {
+      flushLink(lnk);
+    }
+  }
+
+  void flushLink(Link& lnk) {
+    ++lnk.flushGen;
+    if (lnk.staged.empty()) return;
+    if (batchOccupancy_ != nullptr) batchOccupancy_->record(lnk.staged.size());
+    Envelope env{std::move(lnk.staged.front()), {}};
+    env.rest.reserve(lnk.staged.size() - 1);
+    for (std::size_t i = 1; i < lnk.staged.size(); ++i) {
+      env.rest.push_back(std::move(lnk.staged[i]));
+    }
+    countChannel(lnk.linkClass, lnk.stagedBytes);
+    lnk.chan->send(std::move(env), lnk.stagedBytes);
+    lnk.staged.clear();
+    lnk.stagedBytes = 0;
+  }
+
+  void deliver(NodeId dest, Envelope&& env, Chan* origin,
+               LinkClass linkClass) {
+    NodeRuntime& node = nodes_[static_cast<std::size_t>(dest)];
+    float restScale = 1.0F;
+    if (!env.rest.empty()) {
+      const auto& bc = batchConfig(linkClass);
+      WST_ASSERT(bc.has_value(), "multi-message envelope on unbatched class");
+      restScale = static_cast<float>(bc->amortizedCostFactor);
+    }
+    enqueue(node, std::move(env.first), origin, 1.0F);
+    for (M& msg : env.rest) enqueue(node, std::move(msg), origin, restScale);
     node.maxDepth = std::max(node.maxDepth, node.depth());
     maxQueueDepth_ = std::max(maxQueueDepth_, node.depth());
+    if (queueDepth_ != nullptr) queueDepth_->record(node.depth());
     if (!node.processing) {
       node.processing = true;
       const sim::Time startAt = std::max(engine_.now(), node.busyUntil);
@@ -224,20 +389,34 @@ class Overlay {
     }
   }
 
+  void enqueue(NodeRuntime& node, M&& msg, Chan* origin, float costScale) {
+    if (urgency_ && urgency_(msg)) {
+      node.urgentQueue.push_back(
+          QueueEntry{std::move(msg), origin, costScale});
+    } else {
+      node.queue.push_back(QueueEntry{std::move(msg), origin, costScale});
+    }
+  }
+
   void processNext(NodeId dest) {
     NodeRuntime& node = nodes_[static_cast<std::size_t>(dest)];
     WST_ASSERT(node.depth() > 0, "processNext on empty queue");
     auto& source = node.urgentQueue.empty() ? node.queue : node.urgentQueue;
-    auto [msg, origin] = std::move(source.front());
+    QueueEntry entry = std::move(source.front());
     source.pop_front();
-    const sim::Duration cost = cost_ ? cost_(dest, msg) : 0;
-    handler_(dest, std::move(msg));
+    const sim::Duration base = cost_ ? cost_(dest, entry.msg) : 0;
+    const sim::Duration cost = static_cast<sim::Duration>(
+        static_cast<double>(base) * static_cast<double>(entry.costScale));
+    if (serviceTime_ != nullptr) {
+      serviceTime_->record(static_cast<std::uint64_t>(cost));
+    }
+    handler_(dest, std::move(entry.msg));
     node.busyUntil = engine_.now() + cost;
     // The credit models a finite receive buffer slot: it frees once the
     // node has *processed* the message.
-    if (origin != nullptr && origin->config().credits != 0) {
+    if (entry.origin != nullptr && entry.origin->config().credits != 0) {
       engine_.scheduleAt(node.busyUntil,
-                         [origin] { origin->returnCredit(); });
+                         [origin = entry.origin] { origin->returnCredit(); });
     }
     if (node.depth() > 0) {
       engine_.scheduleAt(node.busyUntil, [this, dest] { processNext(dest); });
@@ -252,14 +431,22 @@ class Overlay {
   CostFn cost_;
   Handler handler_;
   UrgencyFn urgency_;
+  BatchableFn batchable_;
 
   std::vector<NodeRuntime> nodes_;
   std::vector<std::unique_ptr<Chan>> appChannels_;
-  std::unordered_map<std::uint64_t, std::unique_ptr<Chan>> links_;
+  // Link references must stay stable across insertions (flush timers hold
+  // them): unordered_map guarantees that for mapped values.
+  std::unordered_map<std::uint64_t, Link> links_;
   std::vector<Chan*> channelByIndex_;
   std::size_t channelCount_ = 0;
   LinkStats stats_[kLinkClassCount]{};
+  LinkStats channelStats_[kLinkClassCount]{};
   std::size_t maxQueueDepth_ = 0;
+
+  support::Histogram* batchOccupancy_ = nullptr;
+  support::Histogram* queueDepth_ = nullptr;
+  support::Histogram* serviceTime_ = nullptr;
 };
 
 }  // namespace wst::tbon

@@ -14,9 +14,6 @@ using trace::ProcId;
 using trace::Record;
 
 namespace {
-/// Bounded per-channel history of consumed sends for late probe resolution.
-constexpr std::size_t kConsumedHistory = 8;
-
 bool isSendLikeKind(Kind k) {
   return k == Kind::kSend || k == Kind::kIsend || k == Kind::kSendrecv;
 }
@@ -36,6 +33,10 @@ DistributedTracker::DistributedTracker(ProcId procLo, ProcId procHi,
       procs_(static_cast<std::size_t>(procHi - procLo)),
       pendingProbes_(static_cast<std::size_t>(procHi - procLo)) {
   WST_ASSERT(procLo >= 0 && procHi > procLo, "invalid hosted process range");
+  if (config_.metrics != nullptr) {
+    evictionCounter_ = &config_.metrics->counter("tracker/consumed_evictions");
+    windowGauge_ = &config_.metrics->gauge("tracker/max_window");
+  }
 }
 
 DistributedTracker::ProcState& DistributedTracker::state(ProcId proc) {
@@ -97,6 +98,9 @@ void DistributedTracker::onNewOp(const Record& rec) {
   OpState& op = ps.window.back();
   op.rec = rec;
   maxWindow_ = std::max(maxWindow_, ps.window.size());
+  if (windowGauge_ != nullptr) {
+    windowGauge_->set(static_cast<std::int64_t>(maxWindow_));
+  }
 
   switch (rec.kind) {
     case Kind::kSend:
@@ -385,7 +389,13 @@ void DistributedTracker::tryMatch(ProcId proc, mpi::CommId comm) {
       auto& chan = chIt->second;
       auto& history = consumedSends_[ChannelKey{source, proc, comm}];
       history.push_back(send);
-      if (history.size() > kConsumedHistory) history.pop_front();
+      if (config_.consumedHistory != 0 &&
+          history.size() > config_.consumedHistory) {
+        // A probe that names this send after the eviction can never
+        // resolve; the counter makes that failure mode observable.
+        history.pop_front();
+        if (evictionCounter_ != nullptr) evictionCounter_->add();
+      }
       chan.erase(chan.begin() + static_cast<std::ptrdiff_t>(foundIdx));
       performMatch(proc, *op, send);
       lit = list.erase(lit);
@@ -591,11 +601,20 @@ void DistributedTracker::onCollectiveActivated(ProcId /*proc*/, OpState& op) {
 void DistributedTracker::onCollectiveAck(const CollectiveAckMsg& msg) {
   for (const ProcId member : commView_.group(msg.comm)) {
     if (!hosts(member)) continue;
+    // Locate the member's operation of this wave explicitly instead of
+    // assuming it is the current one: the acked collective is what keeps
+    // the member blocked, but tying the lookup to l_i would silently ack
+    // the wrong operation if a non-group op ever sat at `current`.
     ProcState& ps = state(member);
-    OpState* op = findOp(member, ps.current);
-    WST_ASSERT(op != nullptr && op->rec.kind == Kind::kCollective &&
-                   op->rec.comm == msg.comm && op->wave == msg.wave,
-               "collectiveAck does not match the active operation");
+    OpState* op = nullptr;
+    for (OpState& cand : ps.window) {
+      if (cand.rec.kind == Kind::kCollective && cand.rec.comm == msg.comm &&
+          cand.wave == msg.wave) {
+        op = &cand;
+        break;
+      }
+    }
+    WST_ASSERT(op != nullptr, "collectiveAck for an unknown wave");
     op->gotCollAck = true;
     pump(member);
   }

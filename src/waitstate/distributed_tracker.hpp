@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "support/metrics.hpp"
 #include "trace/event.hpp"
 #include "trace/op.hpp"
 #include "waitstate/comm_view.hpp"
@@ -47,6 +48,15 @@ class Comms {
 struct TrackerConfig {
   trace::BlockingModel blockingModel = trace::BlockingModel::kConservative;
   mpi::Bytes eagerThreshold = 4096;
+  /// Per-channel history of consumed sends kept for late probe resolution
+  /// (paper §4: probes learn their matched send from observed execution,
+  /// which may arrive long after the send was consumed by its receive).
+  /// 0 = unbounded. Evictions are counted in `metrics` — a nonzero
+  /// tracker/consumed_evictions with unresolved probes means the bound is
+  /// too small for the workload's probe latency.
+  std::size_t consumedHistory = 8;
+  /// Optional metrics sink (shared across trackers; counters aggregate).
+  support::MetricsRegistry* metrics = nullptr;
 };
 
 class DistributedTracker {
@@ -233,6 +243,9 @@ class DistributedTracker {
 
   std::uint64_t transitions_ = 0;
   std::size_t maxWindow_ = 0;
+  // Cached instruments (null when config_.metrics is null).
+  support::Counter* evictionCounter_ = nullptr;
+  support::Gauge* windowGauge_ = nullptr;
   /// Per hosted process: active op had arrived when stopProgress ran.
   std::vector<char> frozenActive_;
 };

@@ -7,8 +7,10 @@ using mpi::Proc;
 mpi::Runtime::Program cyclicExchange(StressParams params) {
   return [params](Proc& self) -> sim::Task {
     const mpi::Rank n = self.worldSize();
-    const mpi::Rank right = (self.rank() + 1) % n;
-    const mpi::Rank left = (self.rank() + n - 1) % n;
+    const mpi::Rank d =
+        ((params.neighborDistance % n) + n) % n;  // ring-normalized stride
+    const mpi::Rank right = (self.rank() + d) % n;
+    const mpi::Rank left = (self.rank() + n - d) % n;
     for (std::int32_t i = 0; i < params.iterations; ++i) {
       co_await self.sendrecv(right, 0, params.bytes, left, 0);
       if (params.barrierEvery > 0 && i % params.barrierEvery ==
@@ -23,8 +25,10 @@ mpi::Runtime::Program cyclicExchange(StressParams params) {
 mpi::Runtime::Program unsafeCyclicExchange(StressParams params) {
   return [params](Proc& self) -> sim::Task {
     const mpi::Rank n = self.worldSize();
-    const mpi::Rank right = (self.rank() + 1) % n;
-    const mpi::Rank left = (self.rank() + n - 1) % n;
+    const mpi::Rank d =
+        ((params.neighborDistance % n) + n) % n;  // ring-normalized stride
+    const mpi::Rank right = (self.rank() + d) % n;
+    const mpi::Rank left = (self.rank() + n - d) % n;
     for (std::int32_t i = 0; i < params.iterations; ++i) {
       co_await self.send(right, 0, params.bytes);
       co_await self.recv(left, 0);

@@ -19,6 +19,11 @@ struct StressParams {
   std::int32_t iterations = 50;
   mpi::Bytes bytes = 4;  // a single MPI_INT
   std::int32_t barrierEvery = 10;
+  /// Ring distance of the exchange: rank r pairs with (r ± distance) mod p.
+  /// Distance 1 is the paper's nearest-neighbour ring; setting it to the
+  /// tool's fan-in models a stencil that is misaligned with the rank-to-node
+  /// mapping, where every handshake crosses a node boundary.
+  std::int32_t neighborDistance = 1;
 };
 mpi::Runtime::Program cyclicExchange(StressParams params = {});
 

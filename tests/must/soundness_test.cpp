@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <tuple>
 
 #include "must/harness.hpp"
 #include "support/rng.hpp"
@@ -83,10 +84,11 @@ mpi::Runtime::Program scenarioProgram(const Scenario& sc) {
   };
 }
 
-class SoundnessTest : public ::testing::TestWithParam<std::uint64_t> {};
+class SoundnessTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, bool>> {};
 
 TEST_P(SoundnessTest, ReportedDeadlockedProcsNeverFinalize) {
-  const std::uint64_t seed = GetParam();
+  const auto [seed, batch] = GetParam();
   support::Rng rng(seed);
   Scenario sc;
   sc.procs = 6 + static_cast<std::int32_t>(rng.below(6));
@@ -102,6 +104,12 @@ TEST_P(SoundnessTest, ReportedDeadlockedProcsNeverFinalize) {
   toolCfg.fanIn = 2;
   // Aggressive periodic detection: snapshots land mid-flight.
   toolCfg.periodicDetection = 200 * sim::kMicrosecond;
+  // The batched variant stages the wait-state trio with a flush window
+  // spanning many snapshot periods, so requestConsistentState regularly
+  // arrives while passSend/recvActive messages sit undelivered in staging —
+  // the consistent-state ping-pong must bypass-flush them.
+  toolCfg.batchWaitState = batch;
+  toolCfg.waitStateBatch.flushInterval = 150 * sim::kMicrosecond;
 
   sim::Engine engine;
   mpi::Runtime runtime(engine, mpiCfg, sc.procs);
@@ -127,8 +135,47 @@ TEST_P(SoundnessTest, ReportedDeadlockedProcsNeverFinalize) {
       << "seed " << seed;
 }
 
-INSTANTIATE_TEST_SUITE_P(RandomScenarios, SoundnessTest,
-                         ::testing::Range<std::uint64_t>(1, 26));
+INSTANTIATE_TEST_SUITE_P(
+    RandomScenarios, SoundnessTest,
+    ::testing::Combine(::testing::Range<std::uint64_t>(1, 26),
+                       ::testing::Bool()));
+
+// Deterministic drain check: with a flush window far longer than the run,
+// staged wait-state messages are only ever delivered by bypass flushes (a
+// consistent-state request/ping sharing the link) or the flush timer. The
+// analysis must still terminate with the exact same verdict as the
+// unbatched tool — if the double ping-pong failed to drain staged batches,
+// the snapshot would be inconsistent or detection would hang on a
+// never-quiescing link.
+TEST(SoundnessBatching, SnapshotArrivesWithTrioStaged) {
+  Scenario sc;
+  sc.procs = 8;
+  sc.deadlockers = 2;
+  sc.seed = 7;
+
+  mpi::RuntimeConfig mpiCfg;
+  mpiCfg.ranksPerNode = 4;
+  ToolConfig toolCfg;
+  toolCfg.fanIn = 2;
+  toolCfg.periodicDetection = 200 * sim::kMicrosecond;
+  toolCfg.batchWaitState = true;
+  toolCfg.waitStateBatch.flushInterval = 10 * sim::kMillisecond;
+
+  sim::Engine engine;
+  mpi::Runtime runtime(engine, mpiCfg, sc.procs);
+  DistributedTool tool(engine, runtime, toolCfg);
+  runtime.start(scenarioProgram(sc));
+  engine.run();
+
+  ASSERT_TRUE(tool.deadlockFound());
+  const auto unfinished = runtime.unfinishedRanks();
+  EXPECT_EQ(unfinished.size(), 2u);
+  const std::set<mpi::Rank> unfinishedSet(unfinished.begin(),
+                                          unfinished.end());
+  for (const trace::ProcId proc : tool.report()->check.deadlocked) {
+    EXPECT_TRUE(unfinishedSet.contains(proc));
+  }
+}
 
 }  // namespace
 }  // namespace wst::must

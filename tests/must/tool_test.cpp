@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "must/harness.hpp"
+#include "workloads/stress.hpp"
 
 namespace wst::must {
 namespace {
@@ -351,6 +352,76 @@ TEST(Tool, AnalysisStatisticsExposed) {
   EXPECT_EQ(result.transitions, 4u);  // one barrier transition per rank
   EXPECT_GT(result.toolMessages, 0u);
   EXPECT_GE(result.maxWindow, 1u);
+}
+
+// --- Wait-state batching at stress scale -----------------------------------
+
+TEST(ToolBatching, HalvesIntralayerChannelMessagesAtStressScale) {
+  // Cyclic exchange at 256 processes with the exchange distance equal to the
+  // fan-in: every rank's partner lives on the neighbouring tool node, so each
+  // intralayer link multiplexes fanIn independent handshake chains — the
+  // traffic pattern batching is built for. (At distance 1 each link carries a
+  // single serial passSend/recvActive/ack chain and coalescing is bounded by
+  // the round trip.)
+  workloads::StressParams params;
+  params.iterations = 30;
+  params.neighborDistance = 4;
+  const auto program = workloads::cyclicExchange(params);
+
+  ToolConfig plain{.fanIn = 4};
+  ToolConfig batched = plain;
+  batched.batchWaitState = true;  // default waitStateBatch policy
+
+  const auto base = runWithTool(256, mpi::RuntimeConfig{}, plain, program);
+  const auto coalesced =
+      runWithTool(256, mpi::RuntimeConfig{}, batched, program);
+
+  // Identical analysis outcome.
+  EXPECT_TRUE(base.allFinalized);
+  EXPECT_TRUE(coalesced.allFinalized);
+  EXPECT_EQ(base.deadlockReported, coalesced.deadlockReported);
+  EXPECT_EQ(base.report.has_value(), coalesced.report.has_value());
+  EXPECT_EQ(base.detections, coalesced.detections);
+
+  // Batching changes the physical envelope count, not the logical traffic.
+  EXPECT_EQ(base.intralayerMessages, coalesced.intralayerMessages);
+  EXPECT_EQ(base.intralayerMessages, base.intralayerChannelMessages);
+  EXPECT_GE(coalesced.intralayerMessages,
+            2 * coalesced.intralayerChannelMessages);
+
+  // Both runs expose the traffic in their metrics dumps.
+  EXPECT_NE(base.metricsJson.find("overlay/channel_messages/intralayer"),
+            std::string::npos);
+  EXPECT_NE(coalesced.metricsJson.find("overlay/batch_occupancy"),
+            std::string::npos);
+}
+
+TEST(ToolBatching, PreservesDeadlockVerdictAndWfgOutput) {
+  // The unsafe ring without send buffering manifests a send-send deadlock;
+  // batching must produce the identical report.
+  workloads::StressParams params;
+  params.iterations = 5;
+  params.neighborDistance = 4;
+  const auto program = workloads::unsafeCyclicExchange(params);
+  mpi::RuntimeConfig world;
+  world.bufferStandardSends = false;
+
+  ToolConfig plain{.fanIn = 4};
+  ToolConfig batched = plain;
+  batched.batchWaitState = true;
+
+  const auto base = runWithTool(256, world, plain, program);
+  const auto coalesced = runWithTool(256, world, batched, program);
+
+  EXPECT_FALSE(base.allFinalized);
+  EXPECT_FALSE(coalesced.allFinalized);
+  ASSERT_TRUE(base.deadlockReported);
+  ASSERT_TRUE(coalesced.deadlockReported);
+  EXPECT_EQ(base.report->summary, coalesced.report->summary);
+  EXPECT_EQ(base.report->check.deadlocked, coalesced.report->check.deadlocked);
+  EXPECT_EQ(base.report->check.cycle, coalesced.report->check.cycle);
+  EXPECT_EQ(base.report->dotBytes, coalesced.report->dotBytes);
+  EXPECT_EQ(base.report->html, coalesced.report->html);
 }
 
 }  // namespace

@@ -1,0 +1,93 @@
+#include "support/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wst::support {
+namespace {
+
+TEST(Metrics, CounterAccumulates) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("overlay/messages");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Same name resolves to the same instrument.
+  EXPECT_EQ(registry.counter("overlay/messages").value(), 42u);
+}
+
+TEST(Metrics, GaugeTracksMax) {
+  MetricsRegistry registry;
+  Gauge& g = registry.gauge("queue/depth");
+  g.set(7);
+  g.set(3);
+  EXPECT_EQ(g.value(), 3);
+  EXPECT_EQ(g.max(), 7);
+}
+
+TEST(Metrics, HistogramBucketsByLog2) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("batch/occupancy");
+  h.record(0);  // bucket 0
+  h.record(1);  // bucket 1
+  h.record(2);  // bucket 2
+  h.record(3);  // bucket 2
+  h.record(4);  // bucket 3
+  h.record(7);  // bucket 3
+  h.record(8);  // bucket 4
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_EQ(h.sum(), 25u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 8u);
+  EXPECT_NEAR(h.mean(), 25.0 / 7.0, 1e-9);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_EQ(h.bucket(3), 2u);
+  EXPECT_EQ(h.bucket(4), 1u);
+  EXPECT_EQ(h.bucketEnd(), 5u);
+}
+
+TEST(Metrics, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.bucketEnd(), 0u);
+}
+
+TEST(Metrics, StableReferencesAcrossRegistrations) {
+  MetricsRegistry registry;
+  Counter& first = registry.counter("a");
+  for (int i = 0; i < 100; ++i) {
+    registry.counter("name" + std::to_string(i));
+  }
+  first.add(5);
+  EXPECT_EQ(registry.counter("a").value(), 5u);
+  EXPECT_EQ(&registry.counter("a"), &first);
+}
+
+TEST(Metrics, JsonDumpIsSortedAndComplete) {
+  MetricsRegistry registry;
+  registry.counter("b").add(2);
+  registry.counter("a").add(1);
+  registry.gauge("depth").set(9);
+  registry.histogram("occ").record(3);
+  const std::string json = registry.toJson();
+  EXPECT_EQ(json,
+            "{\"counters\": {\"a\": 1, \"b\": 2}, "
+            "\"gauges\": {\"depth\": {\"value\": 9, \"max\": 9}}, "
+            "\"histograms\": {\"occ\": {\"count\": 1, \"sum\": 3, "
+            "\"min\": 3, \"max\": 3, \"mean\": 3.000, "
+            "\"buckets\": [0, 0, 1]}}}");
+}
+
+TEST(Metrics, JsonEmptyRegistry) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.toJson(),
+            "{\"counters\": {}, \"gauges\": {}, \"histograms\": {}}");
+}
+
+}  // namespace
+}  // namespace wst::support

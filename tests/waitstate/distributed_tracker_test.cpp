@@ -419,5 +419,130 @@ TEST(DistributedTracker, ConservativeSendBlocksFaithfulSendDoesNot) {
   EXPECT_EQ(h.of(0).current(0), 1u);
 }
 
+// Regression: a collective on a proper sub-communicator whose group spans
+// tracker nodes only partially. Node readiness must count the hosted *group
+// members* (one per node here), not all hosted processes — counting every
+// hosted process would stall the wave forever, since non-members never call
+// the collective.
+TEST(DistributedTracker, SubCommunicatorBarrierSplitAcrossNodes) {
+  Harness h(4, 2);  // node 0 hosts {0,1}, node 1 hosts {2,3}
+  const mpi::CommId sub = 42;
+  h.comms.set(sub, {1, 2});
+  // Non-members are busy elsewhere (blocked in an unrelated recv).
+  h.recv(0, 3, /*tag=*/9);
+  Record b1 = h.rec(1, Kind::kCollective);
+  b1.collective = mpi::CollectiveKind::kBarrier;
+  b1.comm = sub;
+  h.newOp(b1);
+  // Each node hosts exactly one member: node 0 is ready immediately, but
+  // the root has only 1 of 2 group members — no ack yet, proc 1 blocked.
+  EXPECT_EQ(h.collectiveReadies, 1);
+  EXPECT_EQ(h.collectiveAcks, 0);
+  EXPECT_EQ(h.of(1).current(1), 0u);
+  Record b2 = h.rec(2, Kind::kCollective);
+  b2.collective = mpi::CollectiveKind::kBarrier;
+  b2.comm = sub;
+  h.newOp(b2);
+  EXPECT_EQ(h.collectiveReadies, 2);
+  EXPECT_EQ(h.collectiveAcks, 1);
+  EXPECT_EQ(h.of(1).current(1), 1u);
+  EXPECT_EQ(h.of(2).current(2), 1u);
+  // The non-member never participated and is still waiting on its recv.
+  EXPECT_EQ(h.of(0).current(0), 0u);
+}
+
+// Two successive waves on the sub-communicator keep their order while a
+// non-member on each node sits blocked; the ack must resolve by (comm,
+// wave), not by whatever operation happens to be current on the node.
+TEST(DistributedTracker, SubCommunicatorWavesWithBlockedNonMembers) {
+  Harness h(6, 3);  // node 0 hosts {0,1,2}, node 1 hosts {3,4,5}
+  const mpi::CommId sub = 9;
+  h.comms.set(sub, {2, 3});
+  h.recv(0, 4);  // non-member blocked on node 0
+  h.recv(5, 1);  // non-member blocked on node 1
+  for (int wave = 0; wave < 2; ++wave) {
+    for (const ProcId member : {ProcId{2}, ProcId{3}}) {
+      Record b = h.rec(member, Kind::kCollective);
+      b.collective = mpi::CollectiveKind::kBarrier;
+      b.comm = sub;
+      h.newOp(b);
+    }
+  }
+  EXPECT_EQ(h.collectiveAcks, 2);
+  EXPECT_EQ(h.of(2).current(2), 2u);
+  EXPECT_EQ(h.of(3).current(3), 2u);
+  EXPECT_EQ(h.of(0).current(0), 0u);
+  EXPECT_EQ(h.of(5).current(5), 0u);
+}
+
+// Regression: the consumed-send history bound. A wildcard probe whose
+// MatchInfo arrives after more than `consumedHistory` sends were consumed
+// on its channel can only resolve if the named send is still in history.
+void runProbeAfterConsumedSends(const TrackerConfig& cfg, int traffic,
+                                bool expectResolved,
+                                std::uint64_t* evictions = nullptr) {
+  Harness h(4, 2, cfg);
+  // The wildcard probe posts first and stays pending (no MatchInfo yet).
+  Record probe = h.rec(2, Kind::kProbe);
+  probe.peer = mpi::kAnySource;
+  probe.tag = mpi::kAnyTag;
+  const OpId probeId = probe.id;
+  h.newOp(probe);
+  // `traffic` send/recv pairs on channel 0 -> 2 all match and retire.
+  for (int i = 0; i < traffic; ++i) {
+    h.send(0, 2, /*tag=*/100 + i);
+    h.recv(2, 0, /*tag=*/100 + i);
+  }
+  EXPECT_EQ(h.of(2).current(2), 0u);  // probe still blocks the timeline
+  // Late wildcard resolution: the probe had observed the FIRST send.
+  h.matchInfo(probeId, /*source=*/0, /*tag=*/100);
+  if (expectResolved) {
+    EXPECT_GE(h.of(2).current(2), 1u) << "probe failed to resolve";
+  } else {
+    EXPECT_EQ(h.of(2).current(2), 0u) << "probe unexpectedly resolved";
+  }
+  if (evictions != nullptr && cfg.metrics != nullptr) {
+    *evictions = cfg.metrics->counter("tracker/consumed_evictions").value();
+  }
+}
+
+TEST(DistributedTracker, ProbeResolutionSurvivesHeavyTrafficWhenUnbounded) {
+  TrackerConfig cfg;
+  cfg.consumedHistory = 0;  // unbounded
+  runProbeAfterConsumedSends(cfg, /*traffic=*/12, /*expectResolved=*/true);
+}
+
+TEST(DistributedTracker, ProbeResolutionSurvivesWithLargeEnoughBound) {
+  TrackerConfig cfg;
+  cfg.consumedHistory = 16;
+  runProbeAfterConsumedSends(cfg, /*traffic=*/12, /*expectResolved=*/true);
+}
+
+TEST(DistributedTracker, DefaultBoundEvictsAndCountsInMetrics) {
+  // The default bound (8) cannot cover 12 consumed sends: the probe's send
+  // is evicted and the probe stays unresolved — and the metrics layer now
+  // reports exactly how many entries were dropped, instead of failing
+  // silently as before.
+  support::MetricsRegistry metrics;
+  TrackerConfig cfg;
+  cfg.metrics = &metrics;
+  std::uint64_t evictions = 0;
+  runProbeAfterConsumedSends(cfg, /*traffic=*/12, /*expectResolved=*/false,
+                             &evictions);
+  EXPECT_EQ(evictions, 4u);  // 12 consumed - 8 retained
+}
+
+TEST(DistributedTracker, MetricsTrackMaxWindow) {
+  support::MetricsRegistry metrics;
+  TrackerConfig cfg;
+  cfg.metrics = &metrics;
+  Harness h(4, 2, cfg);
+  h.recv(2, 0, 1);
+  h.recv(2, 0, 2);
+  h.send(0, 2, 1);
+  h.send(0, 2, 2);
+  EXPECT_GE(metrics.gauge("tracker/max_window").max(), 2);
+}
+
 }  // namespace
 }  // namespace wst::waitstate

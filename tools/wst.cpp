@@ -36,12 +36,15 @@ struct Options {
   bool noBuffer = false;
   bool rootedCollectives = false;
   bool prioritize = false;
+  bool batch = false;  // coalesce wait-state messages on intralayer/up links
   bool compare = false;  // also run an untooled reference and print slowdown
   std::int32_t iterations = 50;
+  std::int32_t distance = 1;  // stress neighbour distance (ring stride)
   sim::Duration periodic = 0;
   std::string dotPath;
   std::string compressedDotPath;
   std::string htmlPath;
+  std::string metricsPath;  // dump the tool metrics registry as JSON
 };
 
 void printUsage() {
@@ -58,20 +61,25 @@ void printUsage() {
       "  --fanin F                TBON fan-in (default: 4)\n"
       "  --centralized            use the centralized baseline architecture\n"
       "  --iterations N           workload iterations (default: 50)\n"
+      "  --distance D             stress exchange ring distance (default: 1;\n"
+      "                           set to the fan-in to cross node boundaries)\n"
       "  --faithful               implementation-faithful blocking model\n"
       "  --no-buffer              MPI does not buffer standard sends\n"
       "  --rooted-collectives     rooted collectives do not synchronize\n"
       "  --prioritize             prefer wait-state messages (smaller windows)\n"
+      "  --batch                  coalesce wait-state messages per link\n"
       "  --periodic-ms X          periodic detection every X virtual ms\n"
       "  --compare                also run an untooled reference (slowdown)\n"
       "  --dot PATH               write the deadlock wait-for graph as DOT\n"
       "  --compressed-dot PATH    write the class-compressed DOT\n"
-      "  --html PATH              write the HTML report\n");
+      "  --html PATH              write the HTML report\n"
+      "  --metrics PATH           write the tool metrics registry as JSON\n");
 }
 
 std::optional<mpi::Runtime::Program> makeWorkload(const Options& opt) {
   workloads::StressParams stress;
   stress.iterations = opt.iterations;
+  stress.neighborDistance = opt.distance;
   if (opt.workload == "stress") return workloads::cyclicExchange(stress);
   if (opt.workload == "unsafe-stress") {
     return workloads::unsafeCyclicExchange(stress);
@@ -125,6 +133,7 @@ int runWorkload(const Options& opt) {
                               ? trace::BlockingModel::kImplementationFaithful
                               : trace::BlockingModel::kConservative;
   toolCfg.prioritizeWaitState = opt.prioritize;
+  toolCfg.batchWaitState = opt.batch;
   toolCfg.periodicDetection = opt.periodic;
 
   std::printf("running '%s' on %d simulated ranks (%s, fan-in %d, %s b)...\n",
@@ -146,6 +155,25 @@ int runWorkload(const Options& opt) {
               support::withCommas(tool.totalTransitions()).c_str(),
               support::withCommas(tool.overlay().totalMessages()).c_str(),
               tool.maxWindowSize());
+  if (opt.batch) {
+    std::printf("batching: %s intralayer messages in %s channel messages\n",
+                support::withCommas(
+                    tool.overlay().messages(tbon::LinkClass::kIntralayer))
+                    .c_str(),
+                support::withCommas(tool.overlay().channelMessages(
+                                        tbon::LinkClass::kIntralayer))
+                    .c_str());
+  }
+  if (!opt.metricsPath.empty()) {
+    std::ofstream out(opt.metricsPath);
+    if (out) {
+      out << tool.metricsJson() << "\n";
+      std::printf("metrics JSON written to %s\n", opt.metricsPath.c_str());
+    } else {
+      std::fprintf(stderr, "warning: cannot write metrics to %s\n",
+                   opt.metricsPath.c_str());
+    }
+  }
 
   if (opt.compare) {
     sim::Engine refEngine;
@@ -259,6 +287,8 @@ int main(int argc, char** argv) {
       opt.fanIn = std::atoi(value());
     } else if (arg == "--iterations") {
       opt.iterations = std::atoi(value());
+    } else if (arg == "--distance") {
+      opt.distance = std::atoi(value());
     } else if (arg == "--periodic-ms") {
       opt.periodic = static_cast<sim::Duration>(std::atof(value()) * 1e6);
     } else if (arg == "--dot") {
@@ -267,6 +297,10 @@ int main(int argc, char** argv) {
       opt.compressedDotPath = value();
     } else if (arg == "--html") {
       opt.htmlPath = value();
+    } else if (arg == "--metrics") {
+      opt.metricsPath = value();
+    } else if (arg == "--batch") {
+      opt.batch = true;
     } else if (arg == "--centralized") {
       opt.centralized = true;
     } else if (arg == "--faithful") {

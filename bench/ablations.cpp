@@ -17,6 +17,7 @@
 
 #include "bench/common.hpp"
 #include "must/recorder.hpp"
+#include "sim/parallel_engine.hpp"
 #include "waitstate/transition_system.hpp"
 #include "wfg/compress.hpp"
 #include "workloads/spec.hpp"
@@ -185,6 +186,51 @@ BENCHMARK(BM_BlockingModel)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond)
     ->ArgNames({"faithful"});
+
+// --- Engine parallelism ------------------------------------------------------------
+
+// Worker-count sweep of the parallel conservative engine on a fixed tooled
+// stress run, wall-clock measured (no UseManualTime). The interesting
+// ablation outputs are the round/stall counters: lookahead is the minimum
+// cross-LP channel latency, so the round count is a property of the event
+// timeline, not of the worker count — only wall time should move.
+void BM_EngineThreads(benchmark::State& state) {
+  const auto threads = static_cast<std::int32_t>(state.range(0));
+  const std::int32_t procs = 256;
+  workloads::StressParams params;
+  params.iterations = 50;
+  params.neighborDistance = 4;  // cross node boundaries at fan-in 4
+  const auto program = workloads::cyclicExchange(params);
+  const mpi::RuntimeConfig mpiCfg = bench::sierraLike();
+  const must::ToolConfig toolCfg = bench::distributedTool(4);
+  std::uint64_t events = 0;
+  sim::ParallelEngine::Stats stats;
+  for (auto _ : state) {
+    sim::ParallelEngine engine(threads);
+    mpi::Runtime runtime(engine, mpiCfg, procs);
+    must::DistributedTool tool(engine, runtime, toolCfg);
+    runtime.runToCompletion(program);
+    benchmark::DoNotOptimize(tool.deadlockFound());
+    events = engine.eventsExecuted();
+    stats = engine.stats();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events));
+  state.counters["events"] = static_cast<double>(events);
+  state.counters["rounds"] = static_cast<double>(stats.rounds);
+  state.counters["horizon_stalls"] = static_cast<double>(stats.horizonStalls);
+  state.counters["cross_lp"] = static_cast<double>(stats.crossLpEvents);
+  state.counters["mailbox_hw"] =
+      static_cast<double>(stats.mailboxHighWater);
+}
+
+BENCHMARK(BM_EngineThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->ArgNames({"threads"});
 
 // --- Channel credits ---------------------------------------------------------------
 

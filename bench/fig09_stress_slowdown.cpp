@@ -15,6 +15,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/common.hpp"
+#include "sim/parallel_engine.hpp"
 #include "workloads/stress.hpp"
 
 namespace {
@@ -100,6 +101,49 @@ void BM_StressDistributedBatched(benchmark::State& state) {
   bench::maybeDumpMetrics(tag + "_batched", batched);
 }
 
+// Wall-clock scaling of the parallel conservative engine: the same tooled
+// stress run executed on sim::ParallelEngine at different worker counts.
+// Unlike the virtual-time benchmarks above (UseManualTime), this measures
+// REAL elapsed time — the quantity the parallel engine exists to improve.
+// Speedup is the t4/t1 wall-time ratio of a {p, fanin} pair; it requires
+// the host to actually have spare cores (a single-CPU container runs the
+// thread counts at parity, modulo coordination overhead).
+//
+// `trace_hash_lo` doubles as a determinism witness: it must be identical
+// across the thread counts of a given {p, fanin} pair.
+void BM_StressDistributedThreaded(benchmark::State& state) {
+  const auto procs = static_cast<std::int32_t>(state.range(0));
+  const auto fanIn = static_cast<std::int32_t>(state.range(1));
+  const auto threads = static_cast<std::int32_t>(state.range(2));
+  const auto program = workloads::cyclicExchange(stressParams());
+  const mpi::RuntimeConfig mpiCfg = bench::sierraLike();
+  const must::ToolConfig toolCfg = bench::distributedTool(fanIn);
+  std::uint64_t events = 0;
+  std::uint64_t hash = 0;
+  sim::ParallelEngine::Stats stats;
+  double virtualMs = 0;
+  for (auto _ : state) {
+    sim::ParallelEngine engine(threads);
+    mpi::Runtime runtime(engine, mpiCfg, procs);
+    must::DistributedTool tool(engine, runtime, toolCfg);
+    runtime.runToCompletion(program);
+    benchmark::DoNotOptimize(tool.deadlockFound());
+    events = engine.eventsExecuted();
+    hash = engine.traceHash();
+    stats = engine.stats();
+    virtualMs = sim::toSeconds(engine.now()) * 1e3;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events));
+  state.counters["events"] = static_cast<double>(events);
+  state.counters["rounds"] = static_cast<double>(stats.rounds);
+  state.counters["horizon_stalls"] = static_cast<double>(stats.horizonStalls);
+  state.counters["cross_lp"] = static_cast<double>(stats.crossLpEvents);
+  state.counters["virtual_ms"] = virtualMs;
+  state.counters["trace_hash_lo"] =
+      static_cast<double>(hash & 0xffffffffULL);
+}
+
 void BM_StressCentralized(benchmark::State& state) {
   const auto procs = static_cast<std::int32_t>(state.range(0));
   const auto ref = reference(procs);
@@ -135,6 +179,14 @@ BENCHMARK(BM_StressDistributedBatched)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond)
     ->ArgNames({"p", "fanin"});
+
+BENCHMARK(BM_StressDistributedThreaded)
+    ->Args({256, 4, 1})
+    ->Args({256, 4, 4})
+    ->Args({1024, 4, 1})
+    ->Args({1024, 4, 4})
+    ->Unit(benchmark::kMillisecond)
+    ->ArgNames({"p", "fanin", "threads"});
 
 BENCHMARK(BM_StressCentralized)
     ->Args({16})

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <mutex>
 #include <numeric>
 
 #include "mpi/proc.hpp"
@@ -9,7 +10,7 @@
 
 namespace wst::mpi {
 
-Runtime::Runtime(sim::Engine& engine, RuntimeConfig config,
+Runtime::Runtime(sim::Scheduler& engine, RuntimeConfig config,
                  std::int32_t procCount)
     : engine_(engine), config_(config) {
   WST_ASSERT(procCount > 0, "Runtime needs at least one process");
@@ -36,12 +37,14 @@ Proc& Runtime::proc(Rank rank) {
 }
 
 const Communicator& Runtime::comm(CommId id) const {
+  std::shared_lock lock(commsMu_);
   WST_ASSERT(id >= 0 && id < static_cast<CommId>(comms_.size()),
              "unknown communicator");
   return *comms_[static_cast<std::size_t>(id)];
 }
 
 CommId Runtime::createComm(std::vector<Rank> group) {
+  std::unique_lock lock(commsMu_);
   const CommId id = static_cast<CommId>(comms_.size());
   comms_.push_back(
       std::make_unique<Communicator>(id, std::move(group), procCount()));

@@ -32,6 +32,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -57,12 +58,13 @@ struct Status {
 
 class Runtime {
  public:
-  Runtime(sim::Engine& engine, RuntimeConfig config, std::int32_t procCount);
+  Runtime(sim::Scheduler& engine, RuntimeConfig config,
+          std::int32_t procCount);
   ~Runtime();
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
 
-  sim::Engine& engine() { return engine_; }
+  sim::Scheduler& engine() { return engine_; }
   const RuntimeConfig& config() const { return config_; }
   std::int32_t procCount() const { return static_cast<std::int32_t>(procs_.size()); }
   Proc& proc(Rank rank);
@@ -74,6 +76,7 @@ class Runtime {
   const Communicator& comm(CommId id) const;
   /// Number of communicators created so far (including MPI_COMM_WORLD).
   std::int32_t commCount() const {
+    std::shared_lock lock(commsMu_);
     return static_cast<std::int32_t>(comms_.size());
   }
 
@@ -209,12 +212,16 @@ class Runtime {
   sim::Duration collectiveCost(std::int32_t groupSize) const;
   void emitMatchInfo(const PointOpPtr& recvOp);
 
-  sim::Engine& engine_;
+  sim::Scheduler& engine_;
   RuntimeConfig config_;
   Interposer* interposer_ = nullptr;
 
   std::vector<std::unique_ptr<Proc>> procs_;
   std::vector<Mailbox> mailboxes_;
+  /// Ranks create communicators on the main LP while tool-node LPs resolve
+  /// groups through comm(); the shared mutex covers the vector only —
+  /// Communicator objects are immutable once created.
+  mutable std::shared_mutex commsMu_;
   std::vector<std::unique_ptr<Communicator>> comms_;
   /// Deque: Comm_dup/Comm_split create communicators while references into
   /// an existing CommState are live; deque growth keeps them stable.

@@ -10,6 +10,7 @@
 #include "mpi/proc.hpp"
 #include "mpi/runtime.hpp"
 #include "must/tool.hpp"
+#include "sim/parallel_engine.hpp"
 
 namespace wst::must {
 
@@ -37,6 +38,10 @@ struct HarnessResult {
   /// Full metrics registry dump (see MetricsRegistry::toJson); empty for
   /// reference runs.
   std::string metricsJson;
+  /// Engine event-trace hash (see Scheduler::traceHash); byte-identical
+  /// across ParallelEngine thread counts for the same workload.
+  std::uint64_t traceHash = 0;
+  std::uint64_t eventsExecuted = 0;
 
   double slowdownOver(const HarnessResult& reference) const {
     if (reference.completionTime == 0) return 0.0;
@@ -60,15 +65,10 @@ inline HarnessResult runReference(std::int32_t procs,
   return result;
 }
 
-/// Run with the distributed (or, with fanIn >= procs, centralized) tool.
-inline HarnessResult runWithTool(std::int32_t procs,
-                                 const mpi::RuntimeConfig& mpiConfig,
-                                 const ToolConfig& toolConfig,
-                                 const mpi::Runtime::Program& program) {
-  sim::Engine engine;
-  mpi::Runtime runtime(engine, mpiConfig, procs);
-  DistributedTool tool(engine, runtime, toolConfig);
-  runtime.runToCompletion(program);
+/// Collect the tooled-run outcome shared by every engine variant.
+inline HarnessResult collectToolResult(sim::Scheduler& engine,
+                                       mpi::Runtime& runtime,
+                                       DistributedTool& tool) {
   HarnessResult result;
   result.allFinalized = runtime.allFinalized();
   result.completionTime = engine.now();
@@ -86,8 +86,40 @@ inline HarnessResult runWithTool(std::int32_t procs,
   result.maxQueueDepth = tool.overlay().maxQueueDepth();
   result.transitions = tool.totalTransitions();
   result.maxWindow = tool.maxWindowSize();
+  result.traceHash = engine.traceHash();
+  result.eventsExecuted = engine.eventsExecuted();
   result.metricsJson = tool.metricsJson();
   return result;
+}
+
+/// Run with the distributed (or, with fanIn >= procs, centralized) tool.
+inline HarnessResult runWithTool(std::int32_t procs,
+                                 const mpi::RuntimeConfig& mpiConfig,
+                                 const ToolConfig& toolConfig,
+                                 const mpi::Runtime::Program& program) {
+  sim::Engine engine;
+  mpi::Runtime runtime(engine, mpiConfig, procs);
+  DistributedTool tool(engine, runtime, toolConfig);
+  runtime.runToCompletion(program);
+  return collectToolResult(engine, runtime, tool);
+}
+
+/// Run with the tool on the parallel conservative engine. `threads == 1`
+/// executes everything inline on the calling thread; the outcome (verdicts,
+/// metrics JSON, trace hash) is byte-identical for any thread count.
+inline HarnessResult runWithToolThreaded(std::int32_t threads,
+                                         std::int32_t procs,
+                                         const mpi::RuntimeConfig& mpiConfig,
+                                         const ToolConfig& toolConfig,
+                                         const mpi::Runtime::Program& program) {
+  sim::ParallelEngine engine(threads);
+  mpi::Runtime runtime(engine, mpiConfig, procs);
+  DistributedTool tool(engine, runtime, toolConfig);
+  runtime.runToCompletion(program);
+  // Deterministic engine gauges only: per-worker splits depend on the racy
+  // LP-to-worker assignment and would break cross-thread-count comparison.
+  engine.publishMetrics(tool.metrics(), /*includePerWorker=*/false);
+  return collectToolResult(engine, runtime, tool);
 }
 
 }  // namespace wst::must

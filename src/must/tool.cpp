@@ -67,6 +67,23 @@ struct DistributedTool::NodeState : waitstate::Comms {
   std::uint32_t epoch = 0;
   std::int32_t outstandingPeers = 0;
 
+  /// Cached count of this node's hosted processes per communicator group
+  /// (groups are immutable once created).
+  std::map<mpi::CommId, std::uint32_t> hostedCounts;
+
+  std::uint32_t hostedInComm(mpi::CommId comm) {
+    auto it = hostedCounts.find(comm);
+    if (it == hostedCounts.end()) {
+      const tbon::NodeInfo& info = tool.topology_.node(id);
+      std::uint32_t hosted = 0;
+      for (const ProcId member : tool.commView_.group(comm)) {
+        if (member >= info.procLo && member < info.procHi) ++hosted;
+      }
+      it = hostedCounts.emplace(comm, hosted).first;
+    }
+    return it->second;
+  }
+
   NodeState(DistributedTool& t, NodeId nodeId) : tool(t), id(nodeId) {
     const tbon::NodeInfo& info = tool.topology_.node(nodeId);
     if (tool.topology_.isFirstLayer(nodeId)) {
@@ -110,13 +127,18 @@ struct DistributedTool::NodeState : waitstate::Comms {
   }
 };
 
-DistributedTool::DistributedTool(sim::Engine& engine, mpi::Runtime& runtime,
+DistributedTool::DistributedTool(sim::Scheduler& engine, mpi::Runtime& runtime,
                                  ToolConfig config)
     : engine_(engine),
       runtime_(runtime),
       config_(config),
       commView_(runtime),
       topology_(runtime.procCount(), config.fanIn) {
+  // Periodic detection reads every tracker from a main-LP timer; under the
+  // parallel engine the trackers live on other LPs and may be mid-round.
+  // Quiescence-triggered detection runs between rounds and stays supported.
+  WST_ASSERT(!(engine_.parallel() && config_.periodicDetection > 0),
+             "periodic detection requires the serial engine");
   if (config_.batchWaitState) {
     config_.overlay.batch[static_cast<std::size_t>(
         tbon::LinkClass::kIntralayer)] = config_.waitStateBatch;
@@ -422,8 +444,14 @@ void DistributedTool::handleCollectiveReady(
           msg.wave, mpi::toString(wave.kind), mpi::toString(msg.kind)));
     }
     wave.readyCount += msg.readyCount;
-    const auto groupSize =
-        static_cast<std::uint32_t>(commView_.group(msg.comm).size());
+    auto sizeIt = rootGroupSizes_.find(msg.comm);
+    if (sizeIt == rootGroupSizes_.end()) {
+      sizeIt = rootGroupSizes_
+                   .emplace(msg.comm, static_cast<std::uint32_t>(
+                                          commView_.group(msg.comm).size()))
+                   .first;
+    }
+    const std::uint32_t groupSize = sizeIt->second;
     WST_ASSERT(wave.readyCount <= groupSize, "collective over-subscription");
     if (wave.readyCount == groupSize) {
       rootCollectiveComplete(msg);
@@ -435,11 +463,7 @@ void DistributedTool::handleCollectiveReady(
   // Inner node: order-preserving aggregation — forward one message once the
   // whole subtree is ready (paper [12]).
   NodeState& ns = *nodes_[static_cast<std::size_t>(node)];
-  const tbon::NodeInfo& info = topology_.node(node);
-  std::uint32_t expected = 0;
-  for (const ProcId member : commView_.group(msg.comm)) {
-    if (member >= info.procLo && member < info.procHi) ++expected;
-  }
+  const std::uint32_t expected = ns.hostedInComm(msg.comm);
   auto& count = ns.innerWaves[{msg.comm, msg.wave}];
   count += msg.readyCount;
   WST_ASSERT(count <= expected, "subtree collective over-subscription");

@@ -97,7 +97,7 @@ struct ToolConfig {
 
 class DistributedTool : public mpi::Interposer {
  public:
-  DistributedTool(sim::Engine& engine, mpi::Runtime& runtime,
+  DistributedTool(sim::Scheduler& engine, mpi::Runtime& runtime,
                   ToolConfig config);
   ~DistributedTool() override;
 
@@ -174,7 +174,7 @@ class DistributedTool : public mpi::Interposer {
   void onQuiescence();
   void onPeriodic();
 
-  sim::Engine& engine_;
+  sim::Scheduler& engine_;
   mpi::Runtime& runtime_;
   ToolConfig config_;
   RuntimeCommView commView_;
@@ -194,6 +194,9 @@ class DistributedTool : public mpi::Interposer {
     bool acked = false;
   };
   std::map<std::pair<mpi::CommId, std::uint32_t>, RootWaveState> rootWaves_;
+  /// Cached |group(comm)| — communicator groups are immutable, so the size
+  /// is resolved once per comm instead of once per collectiveReady message.
+  std::map<mpi::CommId, std::uint32_t> rootGroupSizes_;
   std::vector<std::string> usageErrors_;
 
   // Detection round state (root).

@@ -10,7 +10,7 @@ namespace wst::sim {
 /// Awaitable that suspends the coroutine for `d` of virtual time.
 /// Zero-duration delays complete without suspending.
 struct Delay {
-  Engine& engine;
+  Scheduler& engine;
   Duration duration;
 
   bool await_ready() const noexcept { return duration == 0; }
@@ -20,6 +20,8 @@ struct Delay {
   void await_resume() const noexcept {}
 };
 
-inline Delay delayFor(Engine& engine, Duration d) { return Delay{engine, d}; }
+inline Delay delayFor(Scheduler& engine, Duration d) {
+  return Delay{engine, d};
+}
 
 }  // namespace wst::sim

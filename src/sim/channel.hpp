@@ -45,7 +45,7 @@ class Channel {
  public:
   using Deliver = std::function<void(M&&)>;
 
-  Channel(Engine& engine, ChannelConfig config, Deliver deliver)
+  Channel(Scheduler& engine, ChannelConfig config, Deliver deliver = {})
       : engine_(engine),
         config_(config),
         deliver_(std::move(deliver)),
@@ -53,6 +53,21 @@ class Channel {
 
   Channel(const Channel&) = delete;
   Channel& operator=(const Channel&) = delete;
+
+  /// Install the delivery callback after construction (the callback often
+  /// needs the channel's own address).
+  void setDeliver(Deliver deliver) { deliver_ = std::move(deliver); }
+
+  /// Pin the channel between logical processes: sends execute on
+  /// `producer`, deliveries run on `consumer`. Channel state (FIFO clock,
+  /// credits, waiters) lives on the producer LP; credit returns are routed
+  /// back to it. Defaults to kMainLp on both ends.
+  void setEndpoints(LpId producer, LpId consumer) {
+    producerLp_ = producer;
+    consumerLp_ = consumer;
+  }
+  LpId producerLp() const { return producerLp_; }
+  LpId consumerLp() const { return consumerLp_; }
 
   /// True if a message may be sent right now without exhausting credits.
   bool hasCredit() const {
@@ -116,15 +131,18 @@ class Channel {
     const Time arrival = depart + config_.latency;
     ++sent_;
     bytesSent_ += bytes;
-    // M is moved into the scheduled closure; delivery happens at `arrival`.
-    engine_.scheduleAt(arrival, [this, m = std::move(msg)]() mutable {
+    // M is moved into the scheduled closure; delivery happens at `arrival`
+    // on the consumer's LP (on the serial engine scheduleOn == scheduleAt).
+    engine_.scheduleOn(consumerLp_, arrival, [this, m = std::move(msg)]() mutable {
       deliver_(std::move(m));
     });
   }
 
-  Engine& engine_;
+  Scheduler& engine_;
   ChannelConfig config_;
   Deliver deliver_;
+  LpId producerLp_ = kMainLp;
+  LpId consumerLp_ = kMainLp;
   Time lastDepart_ = 0;
   std::uint32_t creditsLeft_ = 0;
   std::deque<std::function<void()>> creditWaiters_;

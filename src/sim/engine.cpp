@@ -12,7 +12,12 @@ void Engine::schedule(Duration delay, Action action) {
 
 void Engine::scheduleAt(Time when, Action action) {
   WST_ASSERT(when >= now_, "cannot schedule an event in the virtual past");
-  queue_.push(Event{when, nextSeq_++, std::move(action)});
+  queue_.push(when, nextSeq_++, std::move(action));
+}
+
+void Engine::scheduleOn(LpId /*lp*/, Time when, Action action) {
+  // One queue: LP affinity is meaningful only on the parallel engine.
+  scheduleAt(when, std::move(action));
 }
 
 std::size_t Engine::addQuiescenceHook(Action hook) {
@@ -28,20 +33,19 @@ void Engine::removeQuiescenceHook(std::size_t id) {
 
 bool Engine::step() {
   if (queue_.empty()) return false;
-  // priority_queue::top returns const&; the action must be moved out before
-  // pop, so copy the header fields and move the closure via const_cast-free
-  // re-push-less approach: take a copy of top (Action copy), then pop.
-  Event event = queue_.top();
-  queue_.pop();
+  detail::Event event = queue_.pop();
   WST_ASSERT(event.when >= now_, "event queue returned a past event");
   now_ = event.when;
   ++executed_;
+  traceHash_ = detail::fnvMix(detail::fnvMix(traceHash_, event.when),
+                              event.seq);
   event.action();
   return true;
 }
 
 bool Engine::runQuiescenceHooks() {
-  // Copy: a hook may register/unregister hooks while running.
+  // Copy: a hook may register/unregister hooks while running. A hook removed
+  // by an earlier hook of the same round still runs this round.
   const auto hooks = quiescenceHooks_;
   for (const auto& [id, hook] : hooks) {
     hook();

@@ -1,10 +1,18 @@
-// Discrete-event simulation engine.
+// Discrete-event simulation scheduling.
 //
-// The engine owns a priority queue of (time, sequence, action) events and a
-// virtual clock. Everything in the reproduction — simulated MPI ranks,
-// simulated TBON tool nodes, channel deliveries — runs as engine events, so a
-// single-threaded run is fully deterministic: ties in time are broken by
-// insertion sequence number.
+// Two engines implement one scheduling interface:
+//
+//  * Engine (this file): the single-threaded engine. One priority heap of
+//    (time, sequence, action) events and one virtual clock; ties in time are
+//    broken by insertion sequence number, so a run is fully deterministic.
+//  * ParallelEngine (sim/parallel_engine.hpp): a conservative parallel
+//    engine that shards the event queue into logical processes (LPs) and
+//    executes LPs concurrently below a lookahead-based safe horizon.
+//
+// Components schedule against the Scheduler interface so the same MPI
+// runtime, channels, and tool run unchanged on either engine. The LP-aware
+// calls (scheduleOn, createLp, noteCrossLpLatency) degrade to no-ops on the
+// serial engine: everything lives on the single main LP.
 //
 // Quiescence hooks model the paper's detection timeout: in the real tool the
 // TBON root starts graph-based deadlock detection when no events arrive for a
@@ -16,69 +24,203 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "sim/time.hpp"
 
 namespace wst::sim {
 
-class Engine {
+/// Identifier of a logical process (an independently schedulable event
+/// queue). The serial engine has exactly one, kMainLp.
+using LpId = std::int32_t;
+inline constexpr LpId kMainLp = 0;
+
+namespace detail {
+
+/// FNV-1a folding of one 64-bit value into a running hash. Used for the
+/// event-trace hash that the determinism tests compare across thread counts.
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+inline std::uint64_t fnvMix(std::uint64_t hash, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (8 * i)) & 0xFFU;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+struct Event {
+  Time when = 0;
+  std::uint64_t seq = 0;
+  std::function<void()> action;
+};
+
+/// Binary min-heap on (when, seq) whose pop() *moves* the event out —
+/// std::priority_queue::top() is const&, which forced a std::function copy
+/// (and its closure allocation) per executed event on the hottest path.
+class EventHeap {
+ public:
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  const Event& top() const { return heap_.front(); }
+
+  void push(Time when, std::uint64_t seq, std::function<void()> action) {
+    heap_.push_back(Event{when, seq, std::move(action)});
+    siftUp(heap_.size() - 1);
+  }
+
+  /// Remove and return the earliest event (smallest (when, seq)).
+  Event pop() {
+    Event out = std::move(heap_.front());
+    Event last = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) siftDown(std::move(last));
+    return out;
+  }
+
+ private:
+  static bool earlier(const Event& a, const Event& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
+  }
+  static bool earlier(const Event& a, Time when, std::uint64_t seq) {
+    if (a.when != when) return a.when < when;
+    return a.seq < seq;
+  }
+
+  void siftUp(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!earlier(heap_[i], heap_[parent])) break;
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+
+  /// Place `hole` (the former last element) starting from the root.
+  void siftDown(Event hole) {
+    std::size_t i = 0;
+    const std::size_t n = heap_.size();
+    for (;;) {
+      std::size_t child = 2 * i + 1;
+      if (child >= n) break;
+      if (child + 1 < n && earlier(heap_[child + 1], heap_[child])) ++child;
+      if (!earlier(heap_[child], hole.when, hole.seq)) break;
+      heap_[i] = std::move(heap_[child]);
+      i = child;
+    }
+    heap_[i] = std::move(hole);
+  }
+
+  std::vector<Event> heap_;
+};
+
+}  // namespace detail
+
+/// Scheduling interface shared by the serial Engine and the ParallelEngine.
+class Scheduler {
  public:
   using Action = std::function<void()>;
 
-  Engine() = default;
-  Engine(const Engine&) = delete;
-  Engine& operator=(const Engine&) = delete;
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+  virtual ~Scheduler() = default;
 
-  /// Current virtual time.
-  Time now() const { return now_; }
+  /// Current virtual time (of the executing LP; global when idle).
+  virtual Time now() const = 0;
 
-  /// Schedule `action` to run at now() + delay.
-  void schedule(Duration delay, Action action);
+  /// Schedule `action` to run at now() + delay on the current LP.
+  virtual void schedule(Duration delay, Action action) = 0;
 
-  /// Schedule `action` at an absolute virtual time (must be >= now()).
-  void scheduleAt(Time when, Action action);
+  /// Schedule `action` at an absolute virtual time (>= now()) on the
+  /// current LP.
+  virtual void scheduleAt(Time when, Action action) = 0;
+
+  /// Schedule `action` at an absolute time on a specific LP. When the
+  /// target is not the executing LP, `when` must be at least the sender's
+  /// lookahead into the future (see ParallelEngine); the serial engine
+  /// ignores the LP and behaves like scheduleAt.
+  virtual void scheduleOn(LpId lp, Time when, Action action) = 0;
+
+  /// Create a new logical process. The serial engine returns kMainLp: all
+  /// "LPs" share the one queue. Call before run().
+  virtual LpId createLp() = 0;
+
+  /// LP of the currently executing event (kMainLp outside of events).
+  virtual LpId currentLp() const = 0;
+  virtual std::int32_t lpCount() const = 0;
+
+  /// Declare a cross-LP channel latency. The minimum over all declarations
+  /// is the conservative lookahead: cross-LP events must be scheduled at
+  /// least this far into the sender's future. No-op on the serial engine.
+  virtual void noteCrossLpLatency(Duration latency) = 0;
+
+  /// True when events may execute concurrently (ParallelEngine). Components
+  /// with cross-LP shared state use this to reject unsupported modes.
+  virtual bool parallel() const = 0;
 
   /// Register a hook invoked whenever the event queue drains. Hooks run in
-  /// registration order; if any hook schedules new events the run continues.
-  /// Returns an id usable with removeQuiescenceHook.
-  std::size_t addQuiescenceHook(Action hook);
-  void removeQuiescenceHook(std::size_t id);
+  /// registration order (serially, in the parallel engine too); if any hook
+  /// schedules new events the run continues. Returns an id usable with
+  /// removeQuiescenceHook.
+  virtual std::size_t addQuiescenceHook(Action hook) = 0;
+  virtual void removeQuiescenceHook(std::size_t id) = 0;
 
-  /// Run until the event queue is empty and no quiescence hook reschedules.
-  void run();
+  /// Run until every event queue is empty and no quiescence hook
+  /// reschedules.
+  virtual void run() = 0;
+
+  /// True if no events are pending.
+  virtual bool empty() const = 0;
+
+  /// Number of events executed since construction.
+  virtual std::uint64_t eventsExecuted() const = 0;
+
+  /// FNV-1a hash over the executed (time, sequence) trace, folded per LP in
+  /// LP order. Byte-identical across worker counts for the same workload —
+  /// the determinism tests' primary witness.
+  virtual std::uint64_t traceHash() const = 0;
+};
+
+/// The single-threaded engine.
+class Engine final : public Scheduler {
+ public:
+  Engine() = default;
+
+  Time now() const override { return now_; }
+  void schedule(Duration delay, Action action) override;
+  void scheduleAt(Time when, Action action) override;
+  void scheduleOn(LpId lp, Time when, Action action) override;
+  LpId createLp() override { return kMainLp; }
+  LpId currentLp() const override { return kMainLp; }
+  std::int32_t lpCount() const override { return 1; }
+  void noteCrossLpLatency(Duration) override {}
+  bool parallel() const override { return false; }
+
+  std::size_t addQuiescenceHook(Action hook) override;
+  void removeQuiescenceHook(std::size_t id) override;
+
+  void run() override;
 
   /// Run at most `maxEvents` events (for incremental/step debugging).
   /// Returns the number of events actually executed.
   std::uint64_t runSome(std::uint64_t maxEvents);
 
-  /// True if no events are pending.
-  bool empty() const { return queue_.empty(); }
-
-  /// Number of events executed since construction.
-  std::uint64_t eventsExecuted() const { return executed_; }
+  bool empty() const override { return queue_.empty(); }
+  std::uint64_t eventsExecuted() const override { return executed_; }
+  std::uint64_t traceHash() const override { return traceHash_; }
 
  private:
-  struct Event {
-    Time when;
-    std::uint64_t seq;
-    Action action;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
-  };
-
   bool step();
   bool runQuiescenceHooks();
 
   Time now_ = 0;
   std::uint64_t nextSeq_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::uint64_t traceHash_ = detail::kFnvOffset;
+  detail::EventHeap queue_;
   std::vector<std::pair<std::size_t, Action>> quiescenceHooks_;
   std::size_t nextHookId_ = 0;
 };

@@ -1,0 +1,330 @@
+#include "sim/parallel_engine.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "support/assert.hpp"
+#include "support/metrics.hpp"
+
+namespace wst::sim {
+
+namespace {
+constexpr Time kNever = std::numeric_limits<Time>::max();
+}  // namespace
+
+thread_local ParallelEngine* ParallelEngine::tlsEngine_ = nullptr;
+thread_local ParallelEngine::Lp* ParallelEngine::tlsLp_ = nullptr;
+
+ParallelEngine::ParallelEngine(std::int32_t threads, Duration minLookahead)
+    : threads_(std::max(threads, 1)), lookahead_(minLookahead) {
+  lps_.emplace_back();  // the main LP (application world)
+  lps_.back().id = kMainLp;
+  stats_.workerEvents.assign(static_cast<std::size_t>(threads_), 0);
+}
+
+ParallelEngine::~ParallelEngine() {
+  if (!workers_.empty()) {
+    {
+      std::lock_guard lock(poolMu_);
+      shutdown_ = true;
+    }
+    poolCv_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+}
+
+ParallelEngine::Lp* ParallelEngine::executingLp() const {
+  return (tlsEngine_ == this) ? tlsLp_ : nullptr;
+}
+
+Time ParallelEngine::now() const {
+  const Lp* lp = executingLp();
+  return lp != nullptr ? lp->now : globalNow_;
+}
+
+LpId ParallelEngine::currentLp() const {
+  const Lp* lp = executingLp();
+  return lp != nullptr ? lp->id : kMainLp;
+}
+
+LpId ParallelEngine::createLp() {
+  WST_ASSERT(!running_, "createLp during run()");
+  lps_.emplace_back();
+  lps_.back().id = static_cast<LpId>(lps_.size() - 1);
+  return lps_.back().id;
+}
+
+void ParallelEngine::noteCrossLpLatency(Duration latency) {
+  WST_ASSERT(!running_, "noteCrossLpLatency during run()");
+  WST_ASSERT(latency > 0, "cross-LP channels need a positive latency");
+  if (lookahead_ == 0 || latency < lookahead_) lookahead_ = latency;
+}
+
+void ParallelEngine::enqueueLocal(Lp& lp, Time when, Action action) {
+  WST_ASSERT(when >= lp.now, "cannot schedule an event in the virtual past");
+  lp.queue.push(when, lp.nextSeq++, std::move(action));
+}
+
+void ParallelEngine::enqueueMail(Lp& dst, Mail mail) {
+  std::lock_guard lock(dst.mailboxMu);
+  dst.mailbox.push_back(std::move(mail));
+}
+
+void ParallelEngine::schedule(Duration delay, Action action) {
+  scheduleAt(now() + delay, std::move(action));
+}
+
+void ParallelEngine::scheduleAt(Time when, Action action) {
+  Lp* lp = executingLp();
+  if (lp != nullptr) {
+    enqueueLocal(*lp, when, std::move(action));
+    return;
+  }
+  // Outside any event (setup or a quiescence hook): route to the main LP
+  // through its mailbox, stamped with the external sequence — the single
+  // coordinator thread owns the counter.
+  WST_ASSERT(when >= globalNow_,
+             "cannot schedule an event in the virtual past");
+  enqueueMail(lps_.front(),
+              Mail{when, kExternalLp, externalSeq_++, std::move(action)});
+}
+
+void ParallelEngine::scheduleOn(LpId target, Time when, Action action) {
+  WST_ASSERT(target >= 0 && target < lpCount(), "scheduleOn: unknown LP");
+  Lp& dst = lps_[static_cast<std::size_t>(target)];
+  Lp* src = executingLp();
+  if (src != nullptr) {
+    if (src == &dst) {
+      enqueueLocal(dst, when, std::move(action));
+      return;
+    }
+    // The conservative guarantee: cross-LP events land at or beyond the
+    // horizon of the round that sent them.
+    WST_ASSERT(when >= src->now + lookahead_,
+               "cross-LP event inside the lookahead window");
+    enqueueMail(dst, Mail{when, src->id, src->crossSeq++, std::move(action)});
+    return;
+  }
+  WST_ASSERT(when >= globalNow_,
+             "cannot schedule an event in the virtual past");
+  enqueueMail(dst, Mail{when, kExternalLp, externalSeq_++, std::move(action)});
+}
+
+std::size_t ParallelEngine::addQuiescenceHook(Action hook) {
+  const std::size_t id = nextHookId_++;
+  quiescenceHooks_.emplace_back(id, std::move(hook));
+  return id;
+}
+
+void ParallelEngine::removeQuiescenceHook(std::size_t id) {
+  std::erase_if(quiescenceHooks_,
+                [id](const auto& entry) { return entry.first == id; });
+}
+
+void ParallelEngine::drainMailboxes() {
+  std::vector<Mail> mail;
+  for (Lp& lp : lps_) {
+    mail.clear();
+    {
+      std::lock_guard lock(lp.mailboxMu);
+      mail.swap(lp.mailbox);
+    }
+    if (mail.empty()) continue;
+    stats_.mailboxHighWater = std::max(stats_.mailboxHighWater, mail.size());
+    stats_.crossLpEvents += mail.size();
+    // (when, srcLp, srcSeq) is a deterministic total order of the round's
+    // cross-LP traffic into this LP, independent of worker interleaving.
+    std::sort(mail.begin(), mail.end(), [](const Mail& a, const Mail& b) {
+      if (a.when != b.when) return a.when < b.when;
+      if (a.srcLp != b.srcLp) return a.srcLp < b.srcLp;
+      return a.srcSeq < b.srcSeq;
+    });
+    for (Mail& m : mail) {
+      WST_ASSERT(m.when >= lp.now, "cross-LP event arrived in the past");
+      lp.queue.push(m.when, lp.nextSeq++, std::move(m.action));
+    }
+  }
+}
+
+Time ParallelEngine::minNextEventTime() const {
+  Time tmin = kNever;
+  for (const Lp& lp : lps_) {
+    if (!lp.queue.empty()) tmin = std::min(tmin, lp.queue.top().when);
+  }
+  return tmin;
+}
+
+void ParallelEngine::buildRound(Time tmin) {
+  if (lps_.size() == 1) {
+    horizon_ = kNever;  // no cross-LP traffic possible: run to empty
+  } else {
+    WST_ASSERT(lookahead_ > 0,
+               "multiple LPs require a positive lookahead "
+               "(noteCrossLpLatency)");
+    horizon_ = tmin + lookahead_;
+  }
+  ready_.clear();
+  for (Lp& lp : lps_) {
+    if (lp.queue.empty()) continue;
+    if (lp.queue.top().when < horizon_) {
+      ready_.push_back(&lp);
+    } else {
+      ++stats_.horizonStalls;
+    }
+  }
+  ++stats_.rounds;
+}
+
+void ParallelEngine::runLp(Lp& lp, std::size_t worker) {
+  tlsEngine_ = this;
+  tlsLp_ = &lp;
+  std::uint64_t executed = 0;
+  while (!lp.queue.empty() && lp.queue.top().when < horizon_) {
+    detail::Event event = lp.queue.pop();
+    WST_ASSERT(event.when >= lp.now, "event queue returned a past event");
+    lp.now = event.when;
+    lp.hash = detail::fnvMix(detail::fnvMix(lp.hash, event.when), event.seq);
+    ++executed;
+    event.action();
+  }
+  lp.executed += executed;
+  stats_.workerEvents[worker] += executed;
+  tlsLp_ = nullptr;
+  tlsEngine_ = nullptr;
+}
+
+void ParallelEngine::claimLps(std::size_t worker) {
+  for (std::size_t k = nextReady_.fetch_add(1, std::memory_order_relaxed);
+       k < ready_.size();
+       k = nextReady_.fetch_add(1, std::memory_order_relaxed)) {
+    runLp(*ready_[k], worker);
+  }
+}
+
+void ParallelEngine::startWorkers() {
+  if (!workers_.empty() || threads_ == 1) return;
+  workers_.reserve(static_cast<std::size_t>(threads_) - 1);
+  for (std::int32_t i = 1; i < threads_; ++i) {
+    workers_.emplace_back(
+        [this, i] { workerMain(static_cast<std::size_t>(i)); });
+  }
+}
+
+void ParallelEngine::workerMain(std::size_t worker) {
+  std::uint64_t seenGen = 0;
+  for (;;) {
+    {
+      std::unique_lock lock(poolMu_);
+      poolCv_.wait(lock,
+                   [&] { return shutdown_ || roundGen_ != seenGen; });
+      if (shutdown_) return;
+      seenGen = roundGen_;
+    }
+    claimLps(worker);
+    {
+      std::lock_guard lock(poolMu_);
+      if (--pendingWorkers_ == 0) doneCv_.notify_one();
+    }
+  }
+}
+
+void ParallelEngine::executeRound() {
+  if (threads_ == 1 || ready_.size() == 1) {
+    for (Lp* lp : ready_) runLp(*lp, 0);
+    return;
+  }
+  startWorkers();
+  nextReady_.store(0, std::memory_order_relaxed);
+  {
+    std::lock_guard lock(poolMu_);
+    ++roundGen_;
+    pendingWorkers_ = static_cast<std::int32_t>(workers_.size());
+  }
+  poolCv_.notify_all();
+  claimLps(0);  // the coordinator works too
+  {
+    std::unique_lock lock(poolMu_);
+    doneCv_.wait(lock, [&] { return pendingWorkers_ == 0; });
+  }
+}
+
+bool ParallelEngine::anyPending() const {
+  for (const Lp& lp : lps_) {
+    if (!lp.queue.empty()) return true;
+    std::lock_guard lock(lp.mailboxMu);
+    if (!lp.mailbox.empty()) return true;
+  }
+  return false;
+}
+
+bool ParallelEngine::runQuiescenceHooks() {
+  // Same copy semantics as the serial engine: hooks may add/remove hooks
+  // while running; a hook removed by an earlier hook still runs this round.
+  const auto hooks = quiescenceHooks_;
+  for (const auto& [id, hook] : hooks) {
+    hook();
+    if (anyPending()) return true;
+  }
+  return anyPending();
+}
+
+void ParallelEngine::run() {
+  WST_ASSERT(!running_, "run() is not reentrant");
+  running_ = true;
+  for (;;) {
+    drainMailboxes();
+    const Time tmin = minNextEventTime();
+    if (tmin == kNever) {
+      for (const Lp& lp : lps_) globalNow_ = std::max(globalNow_, lp.now);
+      if (!runQuiescenceHooks()) break;
+      continue;
+    }
+    buildRound(tmin);
+    executeRound();
+  }
+  running_ = false;
+}
+
+bool ParallelEngine::empty() const { return !anyPending(); }
+
+std::uint64_t ParallelEngine::eventsExecuted() const {
+  std::uint64_t total = 0;
+  for (const Lp& lp : lps_) total += lp.executed;
+  return total;
+}
+
+std::uint64_t ParallelEngine::traceHash() const {
+  std::uint64_t hash = detail::kFnvOffset;
+  for (const Lp& lp : lps_) {
+    hash = detail::fnvMix(hash, lp.hash);
+    hash = detail::fnvMix(hash, lp.executed);
+  }
+  return hash;
+}
+
+void ParallelEngine::publishMetrics(support::MetricsRegistry& metrics,
+                                    bool includePerWorker) const {
+  metrics.gauge("engine/rounds")
+      .set(static_cast<std::int64_t>(stats_.rounds));
+  metrics.gauge("engine/horizon_stalls")
+      .set(static_cast<std::int64_t>(stats_.horizonStalls));
+  metrics.gauge("engine/cross_lp_events")
+      .set(static_cast<std::int64_t>(stats_.crossLpEvents));
+  metrics.gauge("engine/mailbox_high_water")
+      .set(static_cast<std::int64_t>(stats_.mailboxHighWater));
+  metrics.gauge("engine/lps").set(lpCount());
+  metrics.gauge("engine/lookahead_ns")
+      .set(static_cast<std::int64_t>(lookahead_));
+  metrics.gauge("engine/events")
+      .set(static_cast<std::int64_t>(eventsExecuted()));
+  if (!includePerWorker) return;
+  metrics.gauge("engine/threads").set(threads_);
+  for (std::size_t i = 0; i < stats_.workerEvents.size(); ++i) {
+    metrics.gauge("engine/worker" + std::to_string(i) + "/events")
+        .set(static_cast<std::int64_t>(stats_.workerEvents[i]));
+  }
+}
+
+}  // namespace wst::sim

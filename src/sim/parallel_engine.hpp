@@ -1,0 +1,176 @@
+// Conservative parallel discrete-event engine with channel-latency lookahead.
+//
+// The simulation is sharded into logical processes (LPs): the main LP (id 0)
+// hosts the application world — every rank coroutine and the MPI matching
+// machinery, which share state and cannot be split — and each TBON tool node
+// gets an LP of its own (the overlay creates them). Execution proceeds in
+// barrier-synchronized rounds:
+//
+//   1. Drain every LP's mailbox of cross-LP events into its local queue,
+//      in deterministic (when, source LP, source sequence) order.
+//   2. Compute T_min = the earliest pending event time across LPs and the
+//      safe horizon T_min + L, where L is the minimum cross-LP channel
+//      latency (the lookahead; every overlay link has latency >= 2us).
+//   3. Worker threads claim LPs whose next event is below the horizon and
+//      execute them concurrently, each LP strictly sequentially in
+//      (time, sequence) order.
+//
+// Safety: an LP executing at time t < T_min + L can only send cross-LP
+// events with timestamp >= t + L >= T_min + L — at or beyond the horizon —
+// so no event that could still arrive this round precedes anything a worker
+// executes. Events never execute out of (time, sequence) order per LP.
+//
+// Determinism: each LP's local order is (time, sequence), exactly like the
+// serial engine; cross-LP events are stamped with the *sending LP's*
+// deterministic counter and merged into the destination queue in sorted
+// (when, srcLp, srcSeq) order at round boundaries, which do not depend on
+// the number of worker threads. Hence verdicts, DOT output, metrics, and the
+// event-trace hash are byte-identical for --threads 1..N.
+//
+// Quiescence hooks run serially on the coordinating thread between rounds,
+// with the same copy semantics as the serial engine.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace wst::support {
+class MetricsRegistry;
+}  // namespace wst::support
+
+namespace wst::sim {
+
+class ParallelEngine final : public Scheduler {
+ public:
+  /// Deterministic per-run statistics (except workerEvents, which depends on
+  /// the racy LP-to-worker assignment and is excluded from compared output).
+  struct Stats {
+    std::uint64_t rounds = 0;
+    /// LPs that had pending events at or beyond the horizon of a round.
+    std::uint64_t horizonStalls = 0;
+    std::uint64_t crossLpEvents = 0;
+    /// Largest single-round mailbox of any LP, measured at drain time.
+    std::size_t mailboxHighWater = 0;
+    /// Events executed per worker thread (index 0 = the calling thread).
+    std::vector<std::uint64_t> workerEvents;
+  };
+
+  /// `threads` counts the calling thread; 1 runs everything inline (no
+  /// worker threads are spawned) with identical results. `minLookahead`
+  /// seeds the lookahead; components lower it via noteCrossLpLatency.
+  explicit ParallelEngine(std::int32_t threads = 1, Duration minLookahead = 0);
+  ~ParallelEngine() override;
+
+  Time now() const override;
+  void schedule(Duration delay, Action action) override;
+  void scheduleAt(Time when, Action action) override;
+  void scheduleOn(LpId lp, Time when, Action action) override;
+  LpId createLp() override;
+  LpId currentLp() const override;
+  std::int32_t lpCount() const override {
+    return static_cast<std::int32_t>(lps_.size());
+  }
+  void noteCrossLpLatency(Duration latency) override;
+  bool parallel() const override { return true; }
+
+  std::size_t addQuiescenceHook(Action hook) override;
+  void removeQuiescenceHook(std::size_t id) override;
+
+  void run() override;
+
+  bool empty() const override;
+  std::uint64_t eventsExecuted() const override;
+  std::uint64_t traceHash() const override;
+
+  std::int32_t threads() const { return threads_; }
+  Duration lookahead() const { return lookahead_; }
+  const Stats& stats() const { return stats_; }
+
+  /// Publish engine statistics as gauges (engine/rounds, engine/lps,
+  /// engine/horizon_stalls, engine/cross_lp_events, engine/events,
+  /// engine/mailbox_high_water, engine/lookahead_ns) — all deterministic
+  /// across thread counts. With includePerWorker, adds engine/threads and
+  /// engine/worker<i>/events, which are NOT deterministic; keep them out of
+  /// any output that is compared across thread counts.
+  void publishMetrics(support::MetricsRegistry& metrics,
+                      bool includePerWorker = false) const;
+
+ private:
+  /// A cross-LP event parked in the destination's mailbox until the next
+  /// round boundary.
+  struct Mail {
+    Time when = 0;
+    LpId srcLp = 0;
+    std::uint64_t srcSeq = 0;
+    Action action;
+  };
+
+  struct Lp {
+    LpId id = 0;
+    detail::EventHeap queue;
+    Time now = 0;
+    std::uint64_t nextSeq = 0;   // local insertion order
+    std::uint64_t crossSeq = 0;  // stamped onto outgoing cross-LP events
+    std::uint64_t executed = 0;
+    std::uint64_t hash = detail::kFnvOffset;
+    mutable std::mutex mailboxMu;
+    std::vector<Mail> mailbox;
+  };
+
+  /// Sort key source for events sent from outside any LP (pre-run setup and
+  /// quiescence hooks). Sorts before any real LP at equal times.
+  static constexpr LpId kExternalLp = -1;
+
+  Lp* executingLp() const;
+  void enqueueLocal(Lp& lp, Time when, Action action);
+  void enqueueMail(Lp& dst, Mail mail);
+  void drainMailboxes();
+  Time minNextEventTime() const;
+  void buildRound(Time tmin);
+  void executeRound();
+  void runLp(Lp& lp, std::size_t worker);
+  void claimLps(std::size_t worker);
+  void startWorkers();
+  void workerMain(std::size_t worker);
+  bool anyPending() const;
+  bool runQuiescenceHooks();
+
+  static thread_local ParallelEngine* tlsEngine_;
+  static thread_local Lp* tlsLp_;
+
+  const std::int32_t threads_;
+  Duration lookahead_ = 0;
+  std::deque<Lp> lps_;  // stable addresses; mutex members are not movable
+  Time globalNow_ = 0;
+  std::uint64_t externalSeq_ = 0;
+  bool running_ = false;
+
+  std::vector<std::pair<std::size_t, Action>> quiescenceHooks_;
+  std::size_t nextHookId_ = 0;
+
+  // Round state, written by the coordinator before workers wake (the pool
+  // mutex orders the hand-off).
+  Time horizon_ = 0;
+  std::vector<Lp*> ready_;
+  std::atomic<std::size_t> nextReady_{0};
+
+  // Worker pool (spawned lazily on the first multi-LP round).
+  std::vector<std::thread> workers_;
+  std::mutex poolMu_;
+  std::condition_variable poolCv_;   // coordinator -> workers: round start
+  std::condition_variable doneCv_;   // workers -> coordinator: round done
+  std::uint64_t roundGen_ = 0;
+  std::int32_t pendingWorkers_ = 0;
+  bool shutdown_ = false;
+
+  Stats stats_;
+};
+
+}  // namespace wst::sim

@@ -7,39 +7,51 @@
 namespace wst::support {
 
 void Histogram::record(std::uint64_t value) {
-  buckets_[static_cast<std::size_t>(std::bit_width(value))] += 1;
-  if (count_ == 0 || value < min_) min_ = value;
-  if (value > max_) max_ = value;
-  ++count_;
-  sum_ += value;
+  buckets_[static_cast<std::size_t>(std::bit_width(value))].fetch_add(
+      1, std::memory_order_relaxed);
+  std::uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !min_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !max_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
 }
 
 std::size_t Histogram::bucketEnd() const {
   std::size_t end = kBuckets;
-  while (end > 0 && buckets_[end - 1] == 0) --end;
+  while (end > 0 && bucket(end - 1) == 0) --end;
   return end;
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
-    it = counters_.emplace(std::string(name), Counter{}).first;
+    // try_emplace: instruments hold atomics and are neither copyable nor
+    // movable, so they must be constructed in place.
+    it = counters_.try_emplace(std::string(name)).first;
   }
   return it->second;
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
-    it = gauges_.emplace(std::string(name), Gauge{}).first;
+    it = gauges_.try_emplace(std::string(name)).first;
   }
   return it->second;
 }
 
 Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
-    it = histograms_.emplace(std::string(name), Histogram{}).first;
+    it = histograms_.try_emplace(std::string(name)).first;
   }
   return it->second;
 }
@@ -66,6 +78,7 @@ std::string jsonEscape(std::string_view text) {
 }  // namespace
 
 std::string MetricsRegistry::toJson() const {
+  std::lock_guard lock(mu_);
   std::string out = "{\"counters\": {";
   bool first = true;
   for (const auto& [name, counter] : counters_) {

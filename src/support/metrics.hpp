@@ -10,13 +10,21 @@
 //    construction and keep references — instruments live as long as the
 //    registry and are never invalidated by later registrations;
 //  * deterministic output: names are emitted in lexicographic order so JSON
-//    dumps diff cleanly between runs and configurations.
-//
-// The registry is single-threaded, like the simulation that feeds it.
+//    dumps diff cleanly between runs and configurations;
+//  * thread-safe updates: the parallel engine executes tool-node LPs
+//    concurrently, so instruments use relaxed atomics. Counter::add,
+//    Gauge::observe, and Histogram::record commute — concurrent updates from
+//    any interleaving yield the same final value, which keeps metrics dumps
+//    byte-identical across worker counts. Gauge::set is last-writer-wins and
+//    must only be used from single-threaded contexts (setup, hooks, or state
+//    owned by one LP).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <limits>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -25,26 +33,51 @@ namespace wst::support {
 /// Monotonically increasing event count.
 class Counter {
  public:
-  void add(std::uint64_t delta = 1) { value_ += delta; }
-  std::uint64_t value() const { return value_; }
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 /// Last-written value plus the high-water mark over the run.
 class Gauge {
  public:
+  /// Last-writer-wins assignment. Not deterministic under concurrent
+  /// writers — reserve for single-threaded contexts.
   void set(std::int64_t value) {
-    value_ = value;
-    if (value > max_) max_ = value;
+    value_.store(value, std::memory_order_relaxed);
+    raiseMax(value);
   }
-  std::int64_t value() const { return value_; }
-  std::int64_t max() const { return max_; }
+
+  /// Monotone variant: raises value and max to at least `value`. Commutes
+  /// with itself, so concurrent observers from different LPs still produce a
+  /// deterministic final reading.
+  void observe(std::int64_t value) {
+    std::int64_t cur = value_.load(std::memory_order_relaxed);
+    while (cur < value &&
+           !value_.compare_exchange_weak(cur, value,
+                                         std::memory_order_relaxed)) {
+    }
+    raiseMax(value);
+  }
+
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  std::int64_t max() const { return max_.load(std::memory_order_relaxed); }
 
  private:
-  std::int64_t value_ = 0;
-  std::int64_t max_ = 0;
+  void raiseMax(std::int64_t value) {
+    std::int64_t cur = max_.load(std::memory_order_relaxed);
+    while (cur < value &&
+           !max_.compare_exchange_weak(cur, value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> max_{0};
 };
 
 /// Power-of-two bucketed histogram of non-negative samples. Bucket k counts
@@ -57,29 +90,35 @@ class Histogram {
 
   void record(std::uint64_t value);
 
-  std::uint64_t count() const { return count_; }
-  std::uint64_t sum() const { return sum_; }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
   /// Smallest / largest recorded sample; 0 when empty.
-  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
-  std::uint64_t max() const { return max_; }
-  double mean() const {
-    return count_ == 0 ? 0.0
-                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  std::uint64_t min() const {
+    return count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
   }
-  std::uint64_t bucket(std::size_t index) const { return buckets_[index]; }
+  std::uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  double mean() const {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+  }
+  std::uint64_t bucket(std::size_t index) const {
+    return buckets_[index].load(std::memory_order_relaxed);
+  }
   /// Index one past the highest non-empty bucket.
   std::size_t bucketEnd() const;
 
  private:
-  std::uint64_t buckets_[kBuckets]{};
-  std::uint64_t count_ = 0;
-  std::uint64_t sum_ = 0;
-  std::uint64_t min_ = 0;
-  std::uint64_t max_ = 0;
+  std::atomic<std::uint64_t> buckets_[kBuckets]{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{std::numeric_limits<std::uint64_t>::max()};
+  std::atomic<std::uint64_t> max_{0};
 };
 
 /// Named instrument store. Instruments are created on first lookup and have
 /// registry lifetime; returned references remain valid across later lookups.
+/// Lookups lock a registry mutex (components cache the references, so the
+/// lock is off the hot path); updates through the references are lock-free.
 class MetricsRegistry {
  public:
   Counter& counter(std::string_view name);
@@ -96,6 +135,7 @@ class MetricsRegistry {
   std::string toJson() const;
 
  private:
+  mutable std::mutex mu_;
   // std::map: stable references to mapped values across insertions.
   std::map<std::string, Counter, std::less<>> counters_;
   std::map<std::string, Gauge, std::less<>> gauges_;

@@ -28,10 +28,18 @@
 //
 // The overlay is a class template over the tool's message type so the TBON
 // machinery stays independent of MUST-specific message sets.
+//
+// Parallel execution: every tool node gets a logical process of its own
+// (engine.createLp()); application processes stay on the main LP. Channel
+// latencies are declared to the engine as cross-LP lookahead, so on a
+// ParallelEngine distinct tool nodes execute concurrently. State is
+// partitioned accordingly — NodeRuntime and a node's outgoing Link map are
+// only touched by that node's LP; shared statistics use relaxed atomics.
 #pragma once
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -104,13 +112,14 @@ class Overlay {
   /// batch, preserving order). No predicate = everything batchable.
   using BatchableFn = std::function<bool(const M&)>;
 
-  Overlay(sim::Engine& engine, const Topology& topology, OverlayConfig config,
-          CostFn cost)
+  Overlay(sim::Scheduler& engine, const Topology& topology,
+          OverlayConfig config, CostFn cost)
       : engine_(engine),
         topology_(topology),
         config_(config),
         cost_(std::move(cost)),
-        nodes_(static_cast<std::size_t>(topology.nodeCount())) {
+        nodes_(static_cast<std::size_t>(topology.nodeCount())),
+        links_(static_cast<std::size_t>(topology.nodeCount())) {
     WST_ASSERT(!config_.batch[static_cast<std::size_t>(LinkClass::kAppToLeaf)],
                "batching is not supported on flow-controlled app channels");
     WST_ASSERT(!config_.batch[static_cast<std::size_t>(LinkClass::kSelf)],
@@ -122,12 +131,38 @@ class Overlay {
                "batched link classes must not use credit flow control");
     WST_ASSERT(!batchConfig(LinkClass::kDown) || config_.treeDown.credits == 0,
                "batched link classes must not use credit flow control");
+    // One logical process per tool node (the serial engine hands back
+    // kMainLp for each — everything stays on one queue).
+    nodeLps_.reserve(static_cast<std::size_t>(topology.nodeCount()));
+    for (NodeId n = 0; n < topology.nodeCount(); ++n) {
+      nodeLps_.push_back(engine_.createLp());
+    }
+    if (engine_.parallel()) {
+      // Channel latencies bound the conservative lookahead. Only classes
+      // that actually cross LPs in this topology are declared, and they
+      // must be positive — zero-latency cross-LP links would leave the
+      // parallel engine no safe horizon.
+      WST_ASSERT(config_.appToLeaf.latency > 0,
+                 "parallel engine requires positive app->leaf latency");
+      engine_.noteCrossLpLatency(config_.appToLeaf.latency);
+      if (topology.firstLayerCount() > 1) {
+        WST_ASSERT(config_.intralayer.latency > 0,
+                   "parallel engine requires positive intralayer latency");
+        engine_.noteCrossLpLatency(config_.intralayer.latency);
+      }
+      if (topology.nodeCount() > 1) {
+        WST_ASSERT(config_.treeUp.latency > 0 && config_.treeDown.latency > 0,
+                   "parallel engine requires positive tree latencies");
+        engine_.noteCrossLpLatency(config_.treeUp.latency);
+        engine_.noteCrossLpLatency(config_.treeDown.latency);
+      }
+    }
     // Application injection channels.
     appChannels_.reserve(static_cast<std::size_t>(topology.procCount()));
     for (trace::ProcId p = 0; p < topology.procCount(); ++p) {
       const NodeId leaf = topology.nodeOfProc(p);
       appChannels_.push_back(makeChannel(leaf, config_.appToLeaf,
-                                         LinkClass::kAppToLeaf));
+                                         LinkClass::kAppToLeaf, sim::kMainLp));
     }
   }
 
@@ -151,7 +186,11 @@ class Overlay {
   }
 
   const Topology& topology() const { return topology_; }
-  sim::Engine& engine() { return engine_; }
+  sim::Scheduler& engine() { return engine_; }
+  /// Logical process hosting a tool node (kMainLp on the serial engine).
+  sim::LpId nodeLp(NodeId node) const {
+    return nodeLps_[static_cast<std::size_t>(node)];
+  }
 
   // --- Application-side injection (flow controlled) -------------------------
 
@@ -214,30 +253,40 @@ class Overlay {
 
   /// Logical messages handed to the overlay (batch members count one each).
   std::uint64_t messages(LinkClass c) const {
-    return stats_[static_cast<std::size_t>(c)].messages;
+    return stats_[static_cast<std::size_t>(c)].messages.load(
+        std::memory_order_relaxed);
   }
   std::uint64_t bytes(LinkClass c) const {
-    return stats_[static_cast<std::size_t>(c)].bytes;
+    return stats_[static_cast<std::size_t>(c)].bytes.load(
+        std::memory_order_relaxed);
   }
   std::uint64_t totalMessages() const {
     std::uint64_t total = 0;
-    for (const auto& s : stats_) total += s.messages;
+    for (const auto& s : stats_) {
+      total += s.messages.load(std::memory_order_relaxed);
+    }
     return total;
   }
   /// Physical channel messages: a flushed batch counts once. Equals
   /// messages(c) when the class does not batch.
   std::uint64_t channelMessages(LinkClass c) const {
-    return channelStats_[static_cast<std::size_t>(c)].messages;
+    return channelStats_[static_cast<std::size_t>(c)].messages.load(
+        std::memory_order_relaxed);
   }
   std::uint64_t channelBytes(LinkClass c) const {
-    return channelStats_[static_cast<std::size_t>(c)].bytes;
+    return channelStats_[static_cast<std::size_t>(c)].bytes.load(
+        std::memory_order_relaxed);
   }
   std::uint64_t totalChannelMessages() const {
     std::uint64_t total = 0;
-    for (const auto& s : channelStats_) total += s.messages;
+    for (const auto& s : channelStats_) {
+      total += s.messages.load(std::memory_order_relaxed);
+    }
     return total;
   }
-  std::size_t maxQueueDepth() const { return maxQueueDepth_; }
+  std::size_t maxQueueDepth() const {
+    return maxQueueDepth_.load(std::memory_order_relaxed);
+  }
 
  private:
   /// Channel payload: one message, or a flushed batch (rest empty for
@@ -273,9 +322,11 @@ class Overlay {
     std::size_t depth() const { return queue.size() + urgentQueue.size(); }
   };
 
+  /// Updated from whichever LP sends; commutative relaxed adds keep the
+  /// totals deterministic across worker counts.
   struct LinkStats {
-    std::uint64_t messages = 0;
-    std::uint64_t bytes = 0;
+    std::atomic<std::uint64_t> messages{0};
+    std::atomic<std::uint64_t> bytes{0};
   };
 
   const std::optional<BatchConfig>& batchConfig(LinkClass linkClass) const {
@@ -284,42 +335,43 @@ class Overlay {
 
   void count(LinkClass linkClass, std::size_t bytes) {
     auto& stats = stats_[static_cast<std::size_t>(linkClass)];
-    ++stats.messages;
-    stats.bytes += bytes;
+    stats.messages.fetch_add(1, std::memory_order_relaxed);
+    stats.bytes.fetch_add(bytes, std::memory_order_relaxed);
   }
   void countChannel(LinkClass linkClass, std::size_t bytes) {
     auto& stats = channelStats_[static_cast<std::size_t>(linkClass)];
-    ++stats.messages;
-    stats.bytes += bytes;
+    stats.messages.fetch_add(1, std::memory_order_relaxed);
+    stats.bytes.fetch_add(bytes, std::memory_order_relaxed);
   }
 
   std::unique_ptr<Chan> makeChannel(NodeId dest, sim::ChannelConfig cfg,
-                                    LinkClass linkClass) {
+                                    LinkClass linkClass, sim::LpId producer) {
+    auto channel = std::make_unique<Chan>(engine_, cfg);
+    channel->setEndpoints(producer, nodeLps_[static_cast<std::size_t>(dest)]);
     // The deliver callback needs the channel pointer (to return its credit
-    // after processing); resolve it through a stable index since the channel
-    // does not exist yet while its callback is being constructed.
-    auto channel = std::make_unique<Chan>(
-        engine_, cfg,
-        [this, dest, linkClass, chanSlot = channelCount_](Envelope&& env) {
-          deliver(dest, std::move(env), channelByIndex_[chanSlot], linkClass);
+    // after processing); install it after construction.
+    channel->setDeliver(
+        [this, dest, linkClass, chan = channel.get()](Envelope&& env) {
+          deliver(dest, std::move(env), chan, linkClass);
         });
-    channelByIndex_.push_back(channel.get());
-    ++channelCount_;
     return channel;
   }
 
   Link& link(NodeId from, NodeId to, sim::ChannelConfig cfg,
              LinkClass linkClass) {
-    const std::uint64_t key =
-        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 34) |
-        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(to)) << 4) |
-        static_cast<std::uint64_t>(linkClass);
-    auto it = links_.find(key);
-    if (it == links_.end()) {
+    // Outgoing links are sharded by sending node: only `from`'s LP ever
+    // touches its shard, so lazy creation needs no locking.
+    auto& shard = links_[static_cast<std::size_t>(from)];
+    const std::uint32_t key =
+        (static_cast<std::uint32_t>(to) << 3) |
+        static_cast<std::uint32_t>(linkClass);
+    auto it = shard.find(key);
+    if (it == shard.end()) {
       Link lnk;
-      lnk.chan = makeChannel(to, cfg, linkClass);
+      lnk.chan = makeChannel(to, cfg, linkClass,
+                             nodeLps_[static_cast<std::size_t>(from)]);
       lnk.linkClass = linkClass;
-      it = links_.emplace(key, std::move(lnk)).first;
+      it = shard.emplace(key, std::move(lnk)).first;
     }
     return it->second;
   }
@@ -338,9 +390,11 @@ class Overlay {
     if (lnk.staged.empty()) {
       // Arm the flush timer when the batch opens. The generation check
       // makes the timer a no-op if a threshold (or a bypass send) flushed
-      // the batch earlier; a later batch arms its own timer.
-      engine_.scheduleAt(
-          engine_.now() + bc->flushInterval,
+      // the batch earlier; a later batch arms its own timer. sendOnLink
+      // always runs on the link's producer LP, so the timer is pinned there
+      // too and the staged buffer stays single-LP.
+      engine_.scheduleOn(
+          lnk.chan->producerLp(), engine_.now() + bc->flushInterval,
           [this, &lnk, gen = lnk.flushGen] {
             if (lnk.flushGen == gen) flushLink(lnk);
           });
@@ -380,7 +434,11 @@ class Overlay {
     enqueue(node, std::move(env.first), origin, 1.0F);
     for (M& msg : env.rest) enqueue(node, std::move(msg), origin, restScale);
     node.maxDepth = std::max(node.maxDepth, node.depth());
-    maxQueueDepth_ = std::max(maxQueueDepth_, node.depth());
+    std::size_t depth = node.depth();
+    std::size_t cur = maxQueueDepth_.load(std::memory_order_relaxed);
+    while (depth > cur && !maxQueueDepth_.compare_exchange_weak(
+                              cur, depth, std::memory_order_relaxed)) {
+    }
     if (queueDepth_ != nullptr) queueDepth_->record(node.depth());
     if (!node.processing) {
       node.processing = true;
@@ -413,9 +471,12 @@ class Overlay {
     handler_(dest, std::move(entry.msg));
     node.busyUntil = engine_.now() + cost;
     // The credit models a finite receive buffer slot: it frees once the
-    // node has *processed* the message.
+    // node has *processed* the message AND the acknowledgement has traveled
+    // back over the link. Credit state lives on the producer's LP, and the
+    // return trip supplies the cross-LP lookahead.
     if (entry.origin != nullptr && entry.origin->config().credits != 0) {
-      engine_.scheduleAt(node.busyUntil,
+      engine_.scheduleOn(entry.origin->producerLp(),
+                         node.busyUntil + entry.origin->config().latency,
                          [origin = entry.origin] { origin->returnCredit(); });
     }
     if (node.depth() > 0) {
@@ -425,7 +486,7 @@ class Overlay {
     }
   }
 
-  sim::Engine& engine_;
+  sim::Scheduler& engine_;
   const Topology& topology_;
   OverlayConfig config_;
   CostFn cost_;
@@ -434,15 +495,15 @@ class Overlay {
   BatchableFn batchable_;
 
   std::vector<NodeRuntime> nodes_;
+  std::vector<sim::LpId> nodeLps_;
   std::vector<std::unique_ptr<Chan>> appChannels_;
-  // Link references must stay stable across insertions (flush timers hold
+  // Outgoing links sharded by sending node, keyed by (to, class). Link
+  // references must stay stable across insertions (flush timers hold
   // them): unordered_map guarantees that for mapped values.
-  std::unordered_map<std::uint64_t, Link> links_;
-  std::vector<Chan*> channelByIndex_;
-  std::size_t channelCount_ = 0;
+  std::vector<std::unordered_map<std::uint32_t, Link>> links_;
   LinkStats stats_[kLinkClassCount]{};
   LinkStats channelStats_[kLinkClassCount]{};
-  std::size_t maxQueueDepth_ = 0;
+  std::atomic<std::size_t> maxQueueDepth_{0};
 
   support::Histogram* batchOccupancy_ = nullptr;
   support::Histogram* queueDepth_ = nullptr;

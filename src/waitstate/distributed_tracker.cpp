@@ -99,7 +99,9 @@ void DistributedTracker::onNewOp(const Record& rec) {
   op.rec = rec;
   maxWindow_ = std::max(maxWindow_, ps.window.size());
   if (windowGauge_ != nullptr) {
-    windowGauge_->set(static_cast<std::int64_t>(maxWindow_));
+    // observe(): the gauge is shared by every node's tracker, which run on
+    // different LPs under the parallel engine — a monotone max commutes.
+    windowGauge_->observe(static_cast<std::int64_t>(maxWindow_));
   }
 
   switch (rec.kind) {
@@ -575,11 +577,23 @@ void DistributedTracker::markRequestReached(ProcId proc,
 // --- collectives ----------------------------------------------------------------
 
 std::uint32_t DistributedTracker::hostedCountInGroup(mpi::CommId comm) const {
-  std::uint32_t count = 0;
-  for (const ProcId member : commView_.group(comm)) {
-    if (hosts(member)) ++count;
+  // Groups are immutable once a communicator exists, so both the count and
+  // the hosted-member list are resolved once per comm, not once per message.
+  return hostedGroupCache(comm).count;
+}
+
+const DistributedTracker::HostedGroup& DistributedTracker::hostedGroupCache(
+    mpi::CommId comm) const {
+  auto it = hostedGroups_.find(comm);
+  if (it == hostedGroups_.end()) {
+    HostedGroup cached;
+    for (const ProcId member : commView_.group(comm)) {
+      if (hosts(member)) cached.members.push_back(member);
+    }
+    cached.count = static_cast<std::uint32_t>(cached.members.size());
+    it = hostedGroups_.emplace(comm, std::move(cached)).first;
   }
-  return count;
+  return it->second;
 }
 
 void DistributedTracker::onCollectiveActivated(ProcId /*proc*/, OpState& op) {
@@ -599,8 +613,7 @@ void DistributedTracker::onCollectiveActivated(ProcId /*proc*/, OpState& op) {
 }
 
 void DistributedTracker::onCollectiveAck(const CollectiveAckMsg& msg) {
-  for (const ProcId member : commView_.group(msg.comm)) {
-    if (!hosts(member)) continue;
+  for (const ProcId member : hostedGroupCache(msg.comm).members) {
     // Locate the member's operation of this wave explicitly instead of
     // assuming it is the current one: the acked collective is what keeps
     // the member blocked, but tying the lookup to l_i would silently ack

@@ -217,6 +217,13 @@ class DistributedTracker {
   void resolveProbe(trace::ProcId proc, OpState& probe);
 
   // Collectives.
+  /// Hosted members of a communicator's group, resolved once per comm
+  /// (groups are immutable after creation).
+  struct HostedGroup {
+    std::vector<trace::ProcId> members;
+    std::uint32_t count = 0;
+  };
+  const HostedGroup& hostedGroupCache(mpi::CommId comm) const;
   std::uint32_t hostedCountInGroup(mpi::CommId comm) const;
   void onCollectiveActivated(trace::ProcId proc, OpState& op);
 
@@ -240,6 +247,7 @@ class DistributedTracker {
   /// Unmatched probes per proc, in call order.
   std::vector<std::vector<trace::LocalTs>> pendingProbes_;
   std::map<std::pair<mpi::CommId, std::uint32_t>, NodeWave> collWaves_;
+  mutable std::map<mpi::CommId, HostedGroup> hostedGroups_;
 
   std::uint64_t transitions_ = 0;
   std::size_t maxWindow_ = 0;

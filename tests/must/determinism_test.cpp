@@ -1,0 +1,144 @@
+// Determinism of the parallel conservative engine at the tool level: for a
+// fixed workload, verdicts, wait-for-graph DOT output, the full metrics JSON
+// dump, and the engine's event-trace hash must be byte-identical for any
+// worker thread count (ISSUE: the primary acceptance witness of the
+// parallel engine).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "must/harness.hpp"
+#include "sim/parallel_engine.hpp"
+#include "wfg/graph.hpp"
+#include "workloads/stress.hpp"
+
+namespace wst::must {
+namespace {
+
+struct RunOutput {
+  bool deadlock = false;
+  std::string summary;   // verdict line ("none" if no detection ran)
+  std::string dot;       // rebuilt WFG DOT (empty unless deadlocked)
+  std::string metricsJson;
+  std::uint64_t traceHash = 0;
+  std::uint64_t events = 0;
+  sim::Time completionTime = 0;
+};
+
+RunOutput runScenario(std::int32_t threads, std::int32_t procs,
+                      const mpi::RuntimeConfig& mpiCfg,
+                      const ToolConfig& toolCfg,
+                      const mpi::Runtime::Program& program) {
+  sim::ParallelEngine engine(threads);
+  mpi::Runtime runtime(engine, mpiCfg, procs);
+  DistributedTool tool(engine, runtime, toolCfg);
+  runtime.runToCompletion(program);
+  engine.publishMetrics(tool.metrics(), /*includePerWorker=*/false);
+
+  RunOutput out;
+  out.deadlock = tool.deadlockFound();
+  out.summary = tool.report() ? tool.report()->summary : "none";
+  out.metricsJson = tool.metricsJson();
+  out.traceHash = engine.traceHash();
+  out.events = engine.eventsExecuted();
+  out.completionTime = engine.now();
+  if (tool.deadlockFound()) {
+    wfg::WaitForGraph graph(procs);
+    for (trace::ProcId p = 0; p < procs; ++p) {
+      graph.setNode(
+          tool.tracker(tool.topology().nodeOfProc(p)).waitConditions(p));
+    }
+    graph.pruneCollectiveCoWaiters();
+    graph.writeDot([&](std::string_view s) { out.dot += s; },
+                   tool.report()->check.deadlocked);
+  }
+  return out;
+}
+
+void expectIdentical(const RunOutput& base, const RunOutput& other,
+                     std::int32_t threads) {
+  EXPECT_EQ(base.deadlock, other.deadlock) << "threads=" << threads;
+  EXPECT_EQ(base.summary, other.summary) << "threads=" << threads;
+  EXPECT_EQ(base.dot, other.dot) << "threads=" << threads;
+  EXPECT_EQ(base.metricsJson, other.metricsJson) << "threads=" << threads;
+  EXPECT_EQ(base.traceHash, other.traceHash) << "threads=" << threads;
+  EXPECT_EQ(base.events, other.events) << "threads=" << threads;
+  EXPECT_EQ(base.completionTime, other.completionTime)
+      << "threads=" << threads;
+}
+
+TEST(ParallelDeterminism, StressWorkloadIsByteIdenticalAcrossThreadCounts) {
+  workloads::StressParams params;
+  params.iterations = 20;
+  params.neighborDistance = 4;  // cross node boundaries (fan-in 4)
+  const auto program = workloads::cyclicExchange(params);
+  const mpi::RuntimeConfig mpiCfg;
+  ToolConfig toolCfg;
+  toolCfg.fanIn = 4;
+
+  const RunOutput base = runScenario(1, 16, mpiCfg, toolCfg, program);
+  EXPECT_FALSE(base.deadlock);
+  EXPECT_GT(base.events, 0u);
+  for (const std::int32_t threads : {2, 4}) {
+    expectIdentical(base, runScenario(threads, 16, mpiCfg, toolCfg, program),
+                    threads);
+  }
+}
+
+TEST(ParallelDeterminism, BatchedStressIsByteIdenticalAcrossThreadCounts) {
+  workloads::StressParams params;
+  params.iterations = 15;
+  params.neighborDistance = 2;
+  const auto program = workloads::cyclicExchange(params);
+  const mpi::RuntimeConfig mpiCfg;
+  ToolConfig toolCfg;
+  toolCfg.fanIn = 2;
+  toolCfg.batchWaitState = true;
+  toolCfg.prioritizeWaitState = true;
+
+  const RunOutput base = runScenario(1, 8, mpiCfg, toolCfg, program);
+  for (const std::int32_t threads : {2, 4}) {
+    expectIdentical(base, runScenario(threads, 8, mpiCfg, toolCfg, program),
+                    threads);
+  }
+}
+
+TEST(ParallelDeterminism, WildcardDeadlockIsByteIdenticalAcrossThreadCounts) {
+  const auto program = workloads::wildcardDeadlock();
+  const mpi::RuntimeConfig mpiCfg;
+  ToolConfig toolCfg;
+  toolCfg.fanIn = 4;
+
+  const RunOutput base = runScenario(1, 12, mpiCfg, toolCfg, program);
+  EXPECT_TRUE(base.deadlock);
+  EXPECT_FALSE(base.dot.empty());
+  for (const std::int32_t threads : {2, 4}) {
+    expectIdentical(base, runScenario(threads, 12, mpiCfg, toolCfg, program),
+                    threads);
+  }
+}
+
+TEST(ParallelDeterminism, ParallelEngineAgreesWithSerialEngineOnVerdicts) {
+  // The serial engine is the reference implementation: virtual-time results
+  // (completion time, verdict, transition counts) must agree with the
+  // parallel engine even though the trace-hash construction differs.
+  workloads::StressParams params;
+  params.iterations = 10;
+  const auto program = workloads::cyclicExchange(params);
+  const mpi::RuntimeConfig mpiCfg;
+  ToolConfig toolCfg;
+  toolCfg.fanIn = 4;
+
+  const HarnessResult serial = runWithTool(16, mpiCfg, toolCfg, program);
+  const HarnessResult par = runWithToolThreaded(4, 16, mpiCfg, toolCfg,
+                                                program);
+  EXPECT_EQ(serial.allFinalized, par.allFinalized);
+  EXPECT_EQ(serial.deadlockReported, par.deadlockReported);
+  EXPECT_EQ(serial.completionTime, par.completionTime);
+  EXPECT_EQ(serial.transitions, par.transitions);
+  EXPECT_EQ(serial.toolMessages, par.toolMessages);
+  EXPECT_EQ(serial.eventsExecuted, par.eventsExecuted);
+}
+
+}  // namespace
+}  // namespace wst::must

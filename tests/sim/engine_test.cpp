@@ -79,6 +79,74 @@ TEST(Engine, RemovedHookDoesNotRun) {
   EXPECT_EQ(runs, 0);
 }
 
+TEST(Engine, HookAddedByRunningHookRunsNextRound) {
+  Engine e;
+  int firstRuns = 0;
+  int addedRuns = 0;
+  e.addQuiescenceHook([&] {
+    if (++firstRuns == 1) {
+      e.addQuiescenceHook([&] { ++addedRuns; });
+      // Resume the run so a second quiescence round happens.
+      e.schedule(5, [] {});
+    }
+  });
+  e.schedule(1, [] {});
+  e.run();
+  // The added hook is not part of the snapshot of the round that added it,
+  // but runs in the following round.
+  EXPECT_EQ(firstRuns, 2);
+  EXPECT_EQ(addedRuns, 1);
+}
+
+TEST(Engine, HookRemovedByEarlierHookStillRunsThisRound) {
+  Engine e;
+  int removedRuns = 0;
+  std::size_t victimId = 0;
+  e.addQuiescenceHook([&] { e.removeQuiescenceHook(victimId); });
+  victimId = e.addQuiescenceHook([&] { ++removedRuns; });
+  e.schedule(1, [] {});
+  e.run();
+  // Copy semantics: the snapshot taken at quiescence still contains the
+  // victim, so it runs once — and never again after removal.
+  EXPECT_EQ(removedRuns, 1);
+}
+
+TEST(Engine, HookMayRemoveItselfWhileRunning) {
+  Engine e;
+  int runs = 0;
+  std::size_t id = 0;
+  id = e.addQuiescenceHook([&] {
+    ++runs;
+    e.removeQuiescenceHook(id);
+    e.schedule(5, [] {});  // force another quiescence round
+  });
+  e.schedule(1, [] {});
+  e.run();
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(Engine, TraceHashIsReproducible) {
+  const auto run = [] {
+    Engine e;
+    for (int i = 0; i < 20; ++i) {
+      e.schedule(static_cast<Duration>((i * 7) % 5), [] {});
+    }
+    e.run();
+    return e.traceHash();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Engine, TraceHashDistinguishesSchedules) {
+  Engine a;
+  a.schedule(10, [] {});
+  a.run();
+  Engine b;
+  b.schedule(11, [] {});
+  b.run();
+  EXPECT_NE(a.traceHash(), b.traceHash());
+}
+
 TEST(Engine, RunSomeExecutesBoundedEvents) {
   Engine e;
   int ran = 0;

@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -40,6 +41,8 @@ struct Options {
   bool compare = false;  // also run an untooled reference and print slowdown
   std::int32_t iterations = 50;
   std::int32_t distance = 1;  // stress neighbour distance (ring stride)
+  std::int32_t threads = 1;   // parallel engine workers; 0 = classic serial
+  bool engineStats = false;   // print parallel-engine round statistics
   sim::Duration periodic = 0;
   std::string dotPath;
   std::string compressedDotPath;
@@ -68,6 +71,10 @@ void printUsage() {
       "  --rooted-collectives     rooted collectives do not synchronize\n"
       "  --prioritize             prefer wait-state messages (smaller windows)\n"
       "  --batch                  coalesce wait-state messages per link\n"
+      "  --threads N              parallel engine worker threads (default: 1;\n"
+      "                           0 = classic single-queue serial engine).\n"
+      "                           Results are identical for any N\n"
+      "  --engine-stats           print parallel engine round statistics\n"
       "  --periodic-ms X          periodic detection every X virtual ms\n"
       "  --compare                also run an untooled reference (slowdown)\n"
       "  --dot PATH               write the deadlock wait-for graph as DOT\n"
@@ -141,10 +148,31 @@ int runWorkload(const Options& opt) {
               opt.centralized ? "centralized" : "distributed", toolCfg.fanIn,
               opt.faithful ? "implementation-faithful" : "conservative");
 
-  sim::Engine engine;
+  // --threads 0 selects the classic single-queue serial engine; N >= 1 runs
+  // the conservative parallel engine with N workers (N == 1 executes inline,
+  // no threads spawned). Periodic detection reads cross-LP state and is only
+  // supported on the serial engine.
+  std::unique_ptr<sim::Scheduler> engineHolder;
+  sim::ParallelEngine* parEngine = nullptr;
+  if (opt.threads == 0 || opt.periodic > 0) {
+    if (opt.periodic > 0 && opt.threads > 1) {
+      std::puts("note: --periodic-ms requires the serial engine; "
+                "ignoring --threads");
+    }
+    engineHolder = std::make_unique<sim::Engine>();
+  } else {
+    auto par = std::make_unique<sim::ParallelEngine>(opt.threads);
+    parEngine = par.get();
+    engineHolder = std::move(par);
+  }
+  sim::Scheduler& engine = *engineHolder;
   mpi::Runtime runtime(engine, mpiCfg, opt.procs);
   must::DistributedTool tool(engine, runtime, toolCfg);
   runtime.runToCompletion(*program);
+  if (parEngine != nullptr) {
+    parEngine->publishMetrics(tool.metrics(),
+                              /*includePerWorker=*/opt.engineStats);
+  }
 
   std::printf("\napplication: %s (virtual runtime %s, %s MPI calls)\n",
               runtime.allFinalized() ? "completed" : "DID NOT COMPLETE",
@@ -163,6 +191,23 @@ int runWorkload(const Options& opt) {
                 support::withCommas(tool.overlay().channelMessages(
                                         tbon::LinkClass::kIntralayer))
                     .c_str());
+  }
+  if (opt.engineStats && parEngine != nullptr) {
+    const sim::ParallelEngine::Stats& st = parEngine->stats();
+    std::printf("engine: %d thread(s), %d LPs, lookahead %s, %s rounds, "
+                "%s horizon stalls, %s cross-LP events "
+                "(mailbox high water %zu), trace hash %016llx\n",
+                parEngine->threads(), parEngine->lpCount(),
+                support::formatDurationNs(parEngine->lookahead()).c_str(),
+                support::withCommas(st.rounds).c_str(),
+                support::withCommas(st.horizonStalls).c_str(),
+                support::withCommas(st.crossLpEvents).c_str(),
+                st.mailboxHighWater,
+                static_cast<unsigned long long>(engine.traceHash()));
+    for (std::size_t w = 0; w < st.workerEvents.size(); ++w) {
+      std::printf("engine: worker %zu executed %s events\n", w,
+                  support::withCommas(st.workerEvents[w]).c_str());
+    }
   }
   if (!opt.metricsPath.empty()) {
     std::ofstream out(opt.metricsPath);
@@ -289,6 +334,10 @@ int main(int argc, char** argv) {
       opt.iterations = std::atoi(value());
     } else if (arg == "--distance") {
       opt.distance = std::atoi(value());
+    } else if (arg == "--threads") {
+      opt.threads = std::atoi(value());
+    } else if (arg == "--engine-stats") {
+      opt.engineStats = true;
     } else if (arg == "--periodic-ms") {
       opt.periodic = static_cast<sim::Duration>(std::atof(value()) * 1e6);
     } else if (arg == "--dot") {
@@ -323,6 +372,10 @@ int main(int argc, char** argv) {
   }
   if (opt.procs < 2) {
     std::fprintf(stderr, "--procs must be at least 2\n");
+    return 1;
+  }
+  if (opt.threads < 0) {
+    std::fprintf(stderr, "--threads must be >= 0\n");
     return 1;
   }
   return runWorkload(opt);

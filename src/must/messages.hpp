@@ -39,8 +39,12 @@ struct PongMsg {
 };
 
 /// Root -> first layer: describe the wait-for conditions of all processes.
+/// `baseEpoch` is the last epoch whose wait info the root fully integrated
+/// (0 = none): trackers that replied in exactly that epoch may answer with a
+/// delta — conditions only for processes whose wait state changed since.
 struct RequestWaitsMsg {
   std::uint32_t epoch = 0;
+  std::uint32_t baseEpoch = 0;
 };
 
 /// Facts for root-side unexpected-match checking (paper §3.3): sends active
@@ -63,9 +67,14 @@ struct ActiveWildcardInfo {
 };
 
 /// First layer -> root: wait-for conditions of the node's hosted processes
-/// plus the §3.3 facts.
+/// plus the §3.3 facts. In a delta reply only *changed* processes carry a
+/// NodeConditions entry; `unchangedCount` processes are unchanged since the
+/// request's baseEpoch, so the root knows the reply is complete. Inner TBON
+/// nodes merge the replies of their children on the way up, so one message
+/// per tree link carries a whole subtree's delta.
 struct WaitInfoMsg {
   std::uint32_t epoch = 0;
+  std::uint32_t unchangedCount = 0;
   std::vector<wfg::NodeConditions> conditions;
   std::vector<ActiveSendInfo> activeSends;
   std::vector<ActiveWildcardInfo> activeWildcards;
@@ -100,13 +109,15 @@ inline std::size_t modeledSize(const ToolMsg& msg) {
         } else if constexpr (std::is_same_v<T, waitstate::CollectiveAckMsg>) {
           return waitstate::kCollectiveAckBytes;
         } else if constexpr (std::is_same_v<T, WaitInfoMsg>) {
-          std::size_t bytes = 16;
+          std::size_t bytes = 20;  // header incl. the unchanged-count word
           for (const auto& node : m.conditions) {
             bytes += 16;
             for (const auto& clause : node.clauses) {
               bytes += 8 + 4 * clause.targets.size();
             }
           }
+          bytes += 16 * m.activeSends.size();
+          bytes += 20 * m.activeWildcards.size();
           return bytes;
         } else {
           return 12;  // control messages

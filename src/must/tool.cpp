@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <iterator>
 
 #include "support/assert.hpp"
 #include "support/strings.hpp"
@@ -49,6 +50,16 @@ const char* linkClassName(tbon::LinkClass c) {
   }
   return "unknown";
 }
+
+/// Modeled wire size of one process's conditions inside a WaitInfoMsg
+/// (mirrors the conditions term of modeledSize(WaitInfoMsg)).
+std::size_t conditionBytes(const wfg::NodeConditions& node) {
+  std::size_t bytes = 16;
+  for (const auto& clause : node.clauses) {
+    bytes += 8 + 4 * clause.targets.size();
+  }
+  return bytes;
+}
 }  // namespace
 
 /// Per-TBON-node runtime state. First-layer nodes own a tracker; inner nodes
@@ -61,15 +72,37 @@ struct DistributedTool::NodeState : waitstate::Comms {
 
   // Inner-node collectiveReady aggregation: accumulated ready counts per
   // (comm, wave) until the node's whole subtree is ready.
-  std::map<std::pair<mpi::CommId, std::uint32_t>, std::uint32_t> innerWaves;
+  std::unordered_map<std::pair<mpi::CommId, std::uint32_t>, std::uint32_t,
+                     CommWaveHash>
+      innerWaves;
 
   // Consistent-state protocol (first layer).
   std::uint32_t epoch = 0;
   std::int32_t outstandingPeers = 0;
 
+  // Incremental gather (first layer): epoch of this node's last wait-info
+  // reply and the modeled size of each hosted process's last reported
+  // conditions (drives the bytes-saved accounting for elided processes).
+  std::uint32_t lastReplyEpoch = 0;
+  std::vector<std::size_t> lastCondBytes;
+
+  // Ping pruning (first layer): the ping candidates and skips of the round
+  // in flight, plus the per-peer (dataSent, dataDelivered) snapshot taken at
+  // the last wait-info reply — the moment the links are provably drained.
+  std::vector<NodeId> pingCandidates;
+  std::vector<NodeId> skippedPeers;
+  std::unordered_map<NodeId, std::pair<std::uint64_t, std::uint64_t>>
+      cutActivity;
+
+  // Inner-node wait-info aggregation: one merged delta per child subtree,
+  // forwarded once every child reported.
+  WaitInfoMsg pendingWaitInfo;
+  std::uint32_t waitInfoChildren = 0;
+  std::uint64_t waitInfoChildBytes = 0;
+
   /// Cached count of this node's hosted processes per communicator group
   /// (groups are immutable once created).
-  std::map<mpi::CommId, std::uint32_t> hostedCounts;
+  std::unordered_map<mpi::CommId, std::uint32_t> hostedCounts;
 
   std::uint32_t hostedInComm(mpi::CommId comm) {
     auto it = hostedCounts.find(comm);
@@ -94,6 +127,8 @@ struct DistributedTool::NodeState : waitstate::Comms {
       cfg.metrics = &tool.metrics_;
       tracker = std::make_unique<waitstate::DistributedTracker>(
           info.procLo, info.procHi, *this, tool.commView_, cfg);
+      lastCondBytes.assign(
+          static_cast<std::size_t>(info.procHi - info.procLo), 0);
     }
   }
 
@@ -134,11 +169,6 @@ DistributedTool::DistributedTool(sim::Scheduler& engine, mpi::Runtime& runtime,
       config_(config),
       commView_(runtime),
       topology_(runtime.procCount(), config.fanIn) {
-  // Periodic detection reads every tracker from a main-LP timer; under the
-  // parallel engine the trackers live on other LPs and may be mid-round.
-  // Quiescence-triggered detection runs between rounds and stays supported.
-  WST_ASSERT(!(engine_.parallel() && config_.periodicDetection > 0),
-             "periodic detection requires the serial engine");
   if (config_.batchWaitState) {
     config_.overlay.batch[static_cast<std::size_t>(
         tbon::LinkClass::kIntralayer)] = config_.waitStateBatch;
@@ -180,11 +210,40 @@ DistributedTool::DistributedTool(sim::Scheduler& engine, mpi::Runtime& runtime,
     nodes_.push_back(std::make_unique<NodeState>(*this, n));
   }
   runtime_.setInterposer(this);
+
+  incremental_.emplace(runtime_.procCount(), config_.warmStartThreshold);
+  procSends_.resize(static_cast<std::size_t>(runtime_.procCount()));
+  procWildcards_.resize(static_cast<std::size_t>(runtime_.procCount()));
+  pingsSentCounter_ = &metrics_.counter("tool/pings_sent");
+  pingsSkippedCounter_ = &metrics_.counter("tool/pings_skipped");
+  pingSkipHazards_ = &metrics_.counter("tool/ping_skip_hazards");
+  gatherSavedBytes_ = &metrics_.counter("tool/gather_saved_bytes");
+  mergeSavedBytes_ = &metrics_.counter("tool/waitinfo_merge_saved_bytes");
+  waitinfoFanin_ = &metrics_.histogram("tool/waitinfo_fanin");
+
+  // Ping pruning is sound only if an intralayer message in flight when a
+  // node freezes is delivered (and, FIFO, processed) strictly before the
+  // node's requestWaits arrives — which travels at least one tree-up plus
+  // one tree-down hop after the freeze. Batching adds up to one flush
+  // interval of staging delay on the sender.
+  {
+    sim::Duration slack = 0;
+    const auto& batch = config_.overlay.batch[static_cast<std::size_t>(
+        tbon::LinkClass::kIntralayer)];
+    if (batch) slack = batch->flushInterval;
+    pruneGateOk_ = config_.overlay.intralayer.latency + slack <
+                   config_.overlay.treeUp.latency +
+                       config_.overlay.treeDown.latency;
+  }
+
   if (config_.detectOnQuiescence) {
     quiescenceHookId_ = engine_.addQuiescenceHook([this] { onQuiescence(); });
   }
   if (config_.periodicDetection > 0) {
-    engine_.schedule(config_.periodicDetection, [this] { onPeriodic(); });
+    // The periodic timer lives on the root's LP: every decision it takes
+    // reads only root-LP state, so it composes with the parallel engine.
+    engine_.scheduleOn(overlay_->nodeLp(topology_.root()),
+                       config_.periodicDetection, [this] { onPeriodic(); });
   }
 }
 
@@ -254,6 +313,22 @@ std::string DistributedTool::metricsJson() {
       .set(static_cast<std::int64_t>(maxWindowSize()));
   metrics_.gauge("tool/detections")
       .set(static_cast<std::int64_t>(detectionsRun()));
+  metrics_.gauge("tool/verify_divergences")
+      .set(static_cast<std::int64_t>(verifyDivergences_));
+  if (!roundStats_.empty()) {
+    const RoundStats& last = roundStats_.back();
+    metrics_.gauge("tool/last_round/changed")
+        .set(static_cast<std::int64_t>(last.changed));
+    metrics_.gauge("tool/last_round/unchanged")
+        .set(static_cast<std::int64_t>(last.unchanged));
+    metrics_.gauge("tool/last_round/repruned")
+        .set(static_cast<std::int64_t>(last.repruned));
+    metrics_.gauge("tool/last_round/seed_released")
+        .set(static_cast<std::int64_t>(last.seedReleased));
+    metrics_.gauge("tool/last_round/warm_start").set(last.warmStart ? 1 : 0);
+    metrics_.gauge("tool/last_round/full_rebuild")
+        .set(last.fullRebuild ? 1 : 0);
+  }
   return metrics_.toJson();
 }
 
@@ -390,25 +465,67 @@ void DistributedTool::handleMessage(NodeId node, ToolMsg&& msg) {
               broadcastDown(node, ToolMsg{m});
               return;
             }
+            // Delta reply: processes whose wait-state version is unchanged
+            // since this node's reply of the root's base epoch are elided
+            // and only counted. Everything else (first round, base
+            // mismatch, incremental gather off) reports in full.
             WaitInfoMsg info;
             info.epoch = m.epoch;
             const tbon::NodeInfo& topo = topology_.node(node);
+            const bool delta = config_.incrementalGather && m.baseEpoch != 0 &&
+                               m.baseEpoch == ns.lastReplyEpoch;
+            std::vector<waitstate::DistributedTracker::ActiveSend> sends;
+            std::vector<waitstate::DistributedTracker::ActiveWildcard> wilds;
             for (ProcId p = topo.procLo; p < topo.procHi; ++p) {
-              info.conditions.push_back(ns.tracker->waitConditions(p));
+              const auto local = static_cast<std::size_t>(p - topo.procLo);
+              if (delta && !ns.tracker->dirtySinceReport(p)) {
+                ++info.unchangedCount;
+                gatherSavedBytes_->add(ns.lastCondBytes[local]);
+                continue;
+              }
+              wfg::NodeConditions cond = ns.tracker->waitConditions(p);
+              ns.lastCondBytes[local] = conditionBytes(cond);
+              info.conditions.push_back(std::move(cond));
+              sends.clear();
+              ns.tracker->appendActiveSends(p, sends);
+              for (const auto& s : sends) {
+                info.activeSends.push_back(
+                    ActiveSendInfo{s.op, s.dest, s.tag, s.comm});
+              }
+              wilds.clear();
+              ns.tracker->appendActiveWildcards(p, wilds);
+              for (const auto& w : wilds) {
+                ActiveWildcardInfo wi;
+                wi.op = w.op;
+                wi.tag = w.tag;
+                wi.comm = w.comm;
+                wi.matched = w.matched;
+                wi.matchedSend = w.matchedSend;
+                info.activeWildcards.push_back(wi);
+              }
+              ns.tracker->markReported(p);
             }
-            for (const auto& s : ns.tracker->activeSends()) {
-              info.activeSends.push_back(
-                  ActiveSendInfo{s.op, s.dest, s.tag, s.comm});
+            ns.lastReplyEpoch = m.epoch;
+            // The drain guarantee holds here (post-sync): flag skipped
+            // links that saw data-plane traffic during the stopped window,
+            // then snapshot this round's candidate links as the next cut.
+            for (const NodeId peer : ns.skippedPeers) {
+              const auto it = ns.cutActivity.find(peer);
+              if (it != ns.cutActivity.end() &&
+                  (it->second.first !=
+                       overlay_->intralayerDataSent(node, peer) ||
+                   it->second.second !=
+                       overlay_->intralayerDataDelivered(node, peer))) {
+                pingSkipHazards_->add();
+              }
             }
-            for (const auto& w : ns.tracker->activeWildcards()) {
-              ActiveWildcardInfo wi;
-              wi.op = w.op;
-              wi.tag = w.tag;
-              wi.comm = w.comm;
-              wi.matched = w.matched;
-              wi.matchedSend = w.matchedSend;
-              info.activeWildcards.push_back(wi);
+            ns.skippedPeers.clear();
+            for (const NodeId peer : ns.pingCandidates) {
+              ns.cutActivity[peer] = {
+                  overlay_->intralayerDataSent(node, peer),
+                  overlay_->intralayerDataDelivered(node, peer)};
             }
+            ns.pingCandidates.clear();
             if (topology_.isRoot(node)) {
               handleWaitInfoAtRoot(std::move(info));
             } else {
@@ -420,10 +537,35 @@ void DistributedTool::handleMessage(NodeId node, ToolMsg&& msg) {
           [&](WaitInfoMsg& m) {
             if (topology_.isRoot(node)) {
               handleWaitInfoAtRoot(std::move(m));
-            } else {
-              const std::size_t bytes = modeledSize(ToolMsg{m});
-              overlay_->sendUp(node, ToolMsg{std::move(m)}, bytes);
+              return;
             }
+            // TBON aggregation: merge the subtree's deltas into one upward
+            // message per round instead of relaying each child's reply.
+            ns.waitInfoChildBytes += modeledSize(ToolMsg{m});
+            ns.pendingWaitInfo.epoch = m.epoch;
+            ns.pendingWaitInfo.unchangedCount += m.unchangedCount;
+            std::move(m.conditions.begin(), m.conditions.end(),
+                      std::back_inserter(ns.pendingWaitInfo.conditions));
+            std::move(m.activeSends.begin(), m.activeSends.end(),
+                      std::back_inserter(ns.pendingWaitInfo.activeSends));
+            std::move(m.activeWildcards.begin(), m.activeWildcards.end(),
+                      std::back_inserter(ns.pendingWaitInfo.activeWildcards));
+            ++ns.waitInfoChildren;
+            const auto& children = topology_.node(node).children;
+            if (ns.waitInfoChildren <
+                static_cast<std::uint32_t>(children.size())) {
+              return;
+            }
+            WaitInfoMsg merged = std::move(ns.pendingWaitInfo);
+            ns.pendingWaitInfo = WaitInfoMsg{};
+            ns.waitInfoChildren = 0;
+            const std::size_t bytes = modeledSize(ToolMsg{merged});
+            waitinfoFanin_->record(children.size());
+            if (ns.waitInfoChildBytes > bytes) {
+              mergeSavedBytes_->add(ns.waitInfoChildBytes - bytes);
+            }
+            ns.waitInfoChildBytes = 0;
+            overlay_->sendUp(node, ToolMsg{std::move(merged)}, bytes);
           },
       },
       msg);
@@ -493,10 +635,15 @@ void DistributedTool::onQuiescence() {
 }
 
 void DistributedTool::onPeriodic() {
-  if (deadlockFound()) return;
-  if (runtime_.allFinalized() && analysisFinished()) return;
-  if (!detectionInProgress_ && !analysisFinished()) startDetection();
-  engine_.schedule(config_.periodicDetection, [this] { onPeriodic(); });
+  // Runs on the root's LP; every read here is root-LP state. The timer stops
+  // once a round reported deadlock or gathered "finished" from every process
+  // (periodicStopped_), so it never inspects tracker or runtime state that
+  // lives on other LPs.
+  if (deadlockFound() || periodicStopped_) return;
+  if (!detectionInProgress_) startDetection();
+  engine_.scheduleOn(overlay_->nodeLp(topology_.root()),
+                     engine_.now() + config_.periodicDetection,
+                     [this] { onPeriodic(); });
 }
 
 void DistributedTool::startDetection() {
@@ -504,9 +651,8 @@ void DistributedTool::startDetection() {
   detectionInProgress_ = true;
   ++epoch_;
   acksAtRoot_ = 0;
-  gatheredConditions_.assign(static_cast<std::size_t>(runtime_.procCount()),
-                             wfg::NodeConditions{});
   gatheredProcs_ = 0;
+  gatheredUnchanged_ = 0;
   syncStart_ = engine_.now();
   broadcastDown(topology_.root(), ToolMsg{RequestConsistentStateMsg{epoch_}});
 }
@@ -528,11 +674,34 @@ void DistributedTool::handleRequestConsistentState(NodeId node,
   std::sort(peers.begin(), peers.end());
   peers.erase(std::unique(peers.begin(), peers.end()), peers.end());
 
-  ns.outstandingPeers = static_cast<std::int32_t>(peers.size());
+  // Ping pruning (DESIGN.md §10): a peer link that was drained at the last
+  // consistent cut and has carried no data-plane traffic in either
+  // direction since (sent from here, delivered here) is still drained, so
+  // the double ping-pong toward it proves nothing. Both counters are local
+  // to this node's LP. Never skip the self ping-pong: it flushes the
+  // zero-latency self channel that same-node matching runs on.
+  ns.pingCandidates = peers;
+  ns.skippedPeers.clear();
+  const bool canPrune = config_.pruneConsistentPings && pruneGateOk_;
+  std::int32_t sent = 0;
   for (const NodeId peer : peers) {
+    if (canPrune && peer != node) {
+      const auto it = ns.cutActivity.find(peer);
+      if (it != ns.cutActivity.end() &&
+          it->second.first == overlay_->intralayerDataSent(node, peer) &&
+          it->second.second ==
+              overlay_->intralayerDataDelivered(node, peer)) {
+        ns.skippedPeers.push_back(peer);
+        pingsSkippedCounter_->add();
+        continue;
+      }
+    }
+    pingsSentCounter_->add();
+    ++sent;
     // remaining=1: one more ping-pong follows — the double ping-pong.
     overlay_->sendIntralayer(node, peer, ToolMsg{PingMsg{node, 1}}, 12);
   }
+  ns.outstandingPeers = sent;
   if (ns.outstandingPeers == 0) maybeAckConsistentState(node);
 }
 
@@ -548,21 +717,31 @@ void DistributedTool::maybeAckConsistentState(NodeId node) {
 
 void DistributedTool::handleRootAllAcked() {
   syncEnd_ = engine_.now();
-  broadcastDown(topology_.root(), ToolMsg{RequestWaitsMsg{epoch_}});
+  // baseEpoch names the last round the root fully integrated; trackers whose
+  // previous reply matches it send deltas, everyone else replies in full.
+  const std::uint32_t base =
+      config_.incrementalGather ? lastIntegratedEpoch_ : 0;
+  broadcastDown(topology_.root(), ToolMsg{RequestWaitsMsg{epoch_, base}});
 }
 
 void DistributedTool::handleWaitInfoAtRoot(WaitInfoMsg&& msg) {
-  gatheredSends_.insert(gatheredSends_.end(), msg.activeSends.begin(),
-                        msg.activeSends.end());
-  gatheredWildcards_.insert(gatheredWildcards_.end(),
-                            msg.activeWildcards.begin(),
-                            msg.activeWildcards.end());
+  gatheredUnchanged_ += msg.unchangedCount;
+  // A process appearing in the delta invalidates its persisted active
+  // sends/wildcards (refilled below); elided processes keep theirs.
   for (wfg::NodeConditions& cond : msg.conditions) {
-    gatheredConditions_[static_cast<std::size_t>(cond.proc)] =
-        std::move(cond);
+    const auto p = static_cast<std::size_t>(cond.proc);
+    procSends_[p].clear();
+    procWildcards_[p].clear();
     ++gatheredProcs_;
+    incremental_->stage(std::move(cond));
   }
-  if (gatheredProcs_ ==
+  for (const ActiveSendInfo& s : msg.activeSends) {
+    procSends_[static_cast<std::size_t>(s.op.proc)].push_back(s);
+  }
+  for (const ActiveWildcardInfo& w : msg.activeWildcards) {
+    procWildcards_[static_cast<std::size_t>(w.op.proc)].push_back(w);
+  }
+  if (gatheredProcs_ + gatheredUnchanged_ ==
       static_cast<std::uint32_t>(runtime_.procCount())) {
     gatherEnd_ = engine_.now();
     finishDetection();
@@ -571,46 +750,88 @@ void DistributedTool::handleWaitInfoAtRoot(WaitInfoMsg&& msg) {
 
 void DistributedTool::finishDetection() {
   using Clock = std::chrono::steady_clock;
-  const auto t0 = Clock::now();
-  wfg::WaitForGraph graph(runtime_.procCount());
-  for (wfg::NodeConditions& cond : gatheredConditions_) {
-    graph.setNode(std::move(cond));
-  }
-  graph.pruneCollectiveCoWaiters();
-  const auto t1 = Clock::now();
-  const wfg::CheckResult check = graph.check();
+  const wfg::IncrementalWfg::RoundResult round =
+      incremental_->commit(/*forceFull=*/!config_.incrementalGather);
   const auto t2 = Clock::now();
-  wfg::Report report = wfg::makeReport(graph, check);
+  wfg::Report report = wfg::makeReport(incremental_->graph(), round.check);
   const auto t3 = Clock::now();
 
   report.times.synchronizationNs = syncEnd_ - syncStart_;
   report.times.wfgGatherNs = gatherEnd_ - syncEnd_;
-  report.times.graphBuildNs = wallNs(t0, t1);
-  report.times.deadlockCheckNs = wallNs(t1, t2);
+  report.times.graphBuildNs = round.buildNs;
+  report.times.deadlockCheckNs = round.checkNs;
   report.times.outputGenerationNs = wallNs(t2, t3);
+  report.incremental.incremental = config_.incrementalGather;
+  report.incremental.warmStart = round.warmStart;
+  report.incremental.changedConditions = gatheredProcs_;
+  report.incremental.unchangedConditions = gatheredUnchanged_;
+  report.incremental.reprunedNodes = round.repruned;
+  report.incremental.seedReleased = round.seedReleased;
+  report.incremental.gatherBytesSaved = gatherSavedBytes_->value();
+
+  if (config_.verifyIncremental) {
+    // Side-by-side reference: full rebuild + cold check over the same
+    // pristine conditions must agree in verdict, deadlock set, cycle, and
+    // DOT rendering.
+    wfg::WaitForGraph full = incremental_->buildFullGraph();
+    const wfg::CheckResult cold = full.check();
+    const bool agree =
+        cold.deadlock == round.check.deadlock &&
+        cold.deadlocked == round.check.deadlocked &&
+        cold.cycle == round.check.cycle &&
+        full.toDot(cold.deadlocked) ==
+            incremental_->graph().toDot(round.check.deadlocked);
+    if (!agree) ++verifyDivergences_;
+  }
+
+  RoundStats stats;
+  stats.epoch = epoch_;
+  stats.changed = gatheredProcs_;
+  stats.unchanged = gatheredUnchanged_;
+  stats.fullRebuild = round.fullRebuild;
+  stats.warmStart = round.warmStart;
+  stats.repruned = round.repruned;
+  stats.seedReleased = round.seedReleased;
+  stats.syncNs = static_cast<std::uint64_t>(syncEnd_ - syncStart_);
+  stats.gatherNs = static_cast<std::uint64_t>(gatherEnd_ - syncEnd_);
+  stats.buildNs = round.buildNs;
+  stats.checkNs = round.checkNs;
+  stats.pingsSent = pingsSentCounter_->value() - lastPingsSent_;
+  stats.pingsSkipped = pingsSkippedCounter_->value() - lastPingsSkipped_;
+  stats.deadlock = round.check.deadlock;
+  lastPingsSent_ = pingsSentCounter_->value();
+  lastPingsSkipped_ = pingsSkippedCounter_->value();
+  roundStats_.push_back(stats);
 
   report_ = std::move(report);
-  gatheredConditions_.clear();
+  lastIntegratedEpoch_ = epoch_;
+  periodicStopped_ =
+      incremental_->finishedCount() ==
+      static_cast<std::uint32_t>(runtime_.procCount());
 
-  // Unexpected-match check (paper §3.3): cross every gathered active
-  // wildcard receive with every gathered active send to its process.
+  // Unexpected-match check (paper §3.3): cross every persisted active
+  // wildcard receive with every persisted active send to its process, in
+  // ascending process order.
   unexpectedMatches_.clear();
-  for (const ActiveWildcardInfo& w : gatheredWildcards_) {
-    for (const ActiveSendInfo& s : gatheredSends_) {
-      if (s.dest != w.op.proc || s.comm != w.comm) continue;
-      if (w.tag != mpi::kAnyTag && w.tag != s.tag) continue;
-      if (s.op.proc == w.op.proc) continue;
-      // Paper §3.3: unexpected means matching bound the wildcard to a
-      // *different* send that is not active in this state. A still-unmatched
-      // wildcard facing an active send is a pending (normal) match.
-      if (w.matched && w.matchedSend != s.op) {
-        unexpectedMatches_.push_back(
-            UnexpectedMatchFact{w.op, s.op, w.matched, w.matchedSend});
+  for (const auto& wildcards : procWildcards_) {
+    for (const ActiveWildcardInfo& w : wildcards) {
+      for (const auto& sends : procSends_) {
+        for (const ActiveSendInfo& s : sends) {
+          if (s.dest != w.op.proc || s.comm != w.comm) continue;
+          if (w.tag != mpi::kAnyTag && w.tag != s.tag) continue;
+          if (s.op.proc == w.op.proc) continue;
+          // Paper §3.3: unexpected means matching bound the wildcard to a
+          // *different* send that is not active in this state. A
+          // still-unmatched wildcard facing an active send is a pending
+          // (normal) match.
+          if (w.matched && w.matchedSend != s.op) {
+            unexpectedMatches_.push_back(
+                UnexpectedMatchFact{w.op, s.op, w.matched, w.matchedSend});
+          }
+        }
       }
     }
   }
-  gatheredSends_.clear();
-  gatheredWildcards_.clear();
   detectionInProgress_ = false;
   ++detectionsCompleted_;
 }

@@ -27,6 +27,8 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <unordered_map>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -38,6 +40,7 @@
 #include "tbon/overlay.hpp"
 #include "tbon/topology.hpp"
 #include "waitstate/distributed_tracker.hpp"
+#include "wfg/incremental.hpp"
 #include "wfg/report.hpp"
 
 namespace wst::must {
@@ -93,6 +96,28 @@ struct ToolConfig {
   /// Bound of the per-channel consumed-send history kept for late probe
   /// resolution (0 = unbounded); see TrackerConfig::consumedHistory.
   std::size_t consumedHistory = 8;
+
+  // --- Incremental detection rounds (DESIGN.md §10) --------------------------
+
+  /// Delta wait-info gather: requestWaits carries the last epoch the root
+  /// integrated; trackers reply only with conditions of processes whose
+  /// wait-state version changed since their reply of that epoch (plus an
+  /// unchanged count), and the root applies the delta to a persistent
+  /// wait-for graph. Off = every round gathers and rebuilds everything.
+  bool incrementalGather = true;
+  /// Maximum changed-process fraction for which the root warm-starts the
+  /// release fixpoint from the previous round's released set; above it the
+  /// check falls back to a full cold run (<= 0 forces full checks).
+  double warmStartThreshold = 0.5;
+  /// Skip the consistent-state double ping-pong toward peers whose
+  /// intralayer data-plane links saw no traffic since the last detection
+  /// round (per-link activity counters in the overlay). Only engages when
+  /// channel latencies guarantee in-flight messages outrun the requestWaits
+  /// broadcast (see DESIGN.md §10); conservative and off by default.
+  bool pruneConsistentPings = false;
+  /// Run the full rebuild + cold check next to every incremental round and
+  /// count divergences in verdict, deadlock set, or DOT output.
+  bool verifyIncremental = false;
 };
 
 class DistributedTool : public mpi::Interposer {
@@ -132,6 +157,31 @@ class DistributedTool : public mpi::Interposer {
   const std::vector<UnexpectedMatchFact>& unexpectedMatches() const {
     return unexpectedMatches_;
   }
+
+  /// Per-detection-round statistics (delta sizes, warm-start behavior,
+  /// ping pruning) in completion order; drives the detection bench and the
+  /// differential tests.
+  struct RoundStats {
+    std::uint32_t epoch = 0;
+    std::uint32_t changed = 0;    // NodeConditions gathered this round
+    std::uint32_t unchanged = 0;  // processes elided by the delta protocol
+    bool fullRebuild = false;
+    bool warmStart = false;
+    std::uint32_t repruned = 0;
+    std::uint32_t seedReleased = 0;
+    std::uint64_t syncNs = 0;    // virtual: consistent-state sync
+    std::uint64_t gatherNs = 0;  // virtual: wait-info gather
+    std::uint64_t buildNs = 0;   // wall: delta apply + (re)prune
+    std::uint64_t checkNs = 0;   // wall: (seeded) deadlock check
+    std::uint64_t pingsSent = 0;
+    std::uint64_t pingsSkipped = 0;
+    bool deadlock = false;
+  };
+  const std::vector<RoundStats>& roundHistory() const { return roundStats_; }
+
+  /// Rounds where the side-by-side full check disagreed with the
+  /// incremental one (only counted with ToolConfig::verifyIncremental).
+  std::uint32_t verifyDivergences() const { return verifyDivergences_; }
 
   // --- Introspection ---------------------------------------------------------
 
@@ -193,10 +243,24 @@ class DistributedTool : public mpi::Interposer {
     mpi::CollectiveKind kind = mpi::CollectiveKind::kBarrier;
     bool acked = false;
   };
-  std::map<std::pair<mpi::CommId, std::uint32_t>, RootWaveState> rootWaves_;
+  /// Hash for (comm, wave) keys — collective bookkeeping is pure point
+  /// lookup/erase (never iterated), so unordered maps carry no ordering
+  /// dependency into the output.
+  struct CommWaveHash {
+    std::size_t operator()(
+        const std::pair<mpi::CommId, std::uint32_t>& key) const {
+      return std::hash<std::uint64_t>{}(
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(key.first))
+           << 32) |
+          key.second);
+    }
+  };
+  std::unordered_map<std::pair<mpi::CommId, std::uint32_t>, RootWaveState,
+                     CommWaveHash>
+      rootWaves_;
   /// Cached |group(comm)| — communicator groups are immutable, so the size
   /// is resolved once per comm instead of once per collectiveReady message.
-  std::map<mpi::CommId, std::uint32_t> rootGroupSizes_;
+  std::unordered_map<mpi::CommId, std::uint32_t> rootGroupSizes_;
   std::vector<std::string> usageErrors_;
 
   // Detection round state (root).
@@ -205,15 +269,43 @@ class DistributedTool : public mpi::Interposer {
   std::uint32_t detectionsCompleted_ = 0;
   std::uint32_t quiescenceDetections_ = 0;
   std::uint32_t acksAtRoot_ = 0;
-  std::vector<wfg::NodeConditions> gatheredConditions_;
-  std::vector<ActiveSendInfo> gatheredSends_;
-  std::vector<ActiveWildcardInfo> gatheredWildcards_;
   std::vector<UnexpectedMatchFact> unexpectedMatches_;
   std::uint32_t gatheredProcs_ = 0;
+  std::uint32_t gatheredUnchanged_ = 0;
   sim::Time syncStart_ = 0;
   sim::Time syncEnd_ = 0;
   sim::Time gatherEnd_ = 0;
   std::optional<wfg::Report> report_;
+
+  // Incremental detection state (root).
+  std::optional<wfg::IncrementalWfg> incremental_;
+  /// Epoch of the last fully integrated round; requestWaits carries it as
+  /// the delta base (0 = none yet, forces a full gather).
+  std::uint32_t lastIntegratedEpoch_ = 0;
+  /// Latest active sends / wildcard receives per process, kept across
+  /// rounds so delta replies only carry entries of changed processes.
+  /// Cleared-and-refilled per changed process; capacity persists.
+  std::vector<std::vector<ActiveSendInfo>> procSends_;
+  std::vector<std::vector<ActiveWildcardInfo>> procWildcards_;
+  /// Periodic detection stops once a round gathers "finished" from every
+  /// process — derived purely from root-LP-local gather state so the
+  /// periodic timer never reads other LPs' runtime state.
+  bool periodicStopped_ = false;
+  std::uint32_t verifyDivergences_ = 0;
+  std::vector<RoundStats> roundStats_;
+  /// True when channel latencies let in-flight intralayer data outrun the
+  /// requestWaits broadcast (precondition for ping pruning).
+  bool pruneGateOk_ = false;
+
+  // Live instruments for the incremental pipeline.
+  support::Counter* pingsSentCounter_ = nullptr;
+  support::Counter* pingsSkippedCounter_ = nullptr;
+  support::Counter* pingSkipHazards_ = nullptr;
+  support::Counter* gatherSavedBytes_ = nullptr;
+  support::Counter* mergeSavedBytes_ = nullptr;
+  support::Histogram* waitinfoFanin_ = nullptr;
+  std::uint64_t lastPingsSent_ = 0;
+  std::uint64_t lastPingsSkipped_ = 0;
 };
 
 }  // namespace wst::must

@@ -119,7 +119,9 @@ class Overlay {
         config_(config),
         cost_(std::move(cost)),
         nodes_(static_cast<std::size_t>(topology.nodeCount())),
-        links_(static_cast<std::size_t>(topology.nodeCount())) {
+        links_(static_cast<std::size_t>(topology.nodeCount())),
+        dataSent_(static_cast<std::size_t>(topology.nodeCount())),
+        dataDelivered_(static_cast<std::size_t>(topology.nodeCount())) {
     WST_ASSERT(!config_.batch[static_cast<std::size_t>(LinkClass::kAppToLeaf)],
                "batching is not supported on flow-controlled app channels");
     WST_ASSERT(!config_.batch[static_cast<std::size_t>(LinkClass::kSelf)],
@@ -245,6 +247,9 @@ class Overlay {
     WST_ASSERT(topology_.node(from).layer == topology_.node(to).layer,
                "sendIntralayer requires same-layer nodes");
     count(LinkClass::kIntralayer, bytes);
+    if (!batchable_ || batchable_(msg)) {
+      ++dataSent_[static_cast<std::size_t>(from)][to];
+    }
     sendOnLink(link(from, to, config_.intralayer, LinkClass::kIntralayer),
                std::move(msg), bytes);
   }
@@ -286,6 +291,26 @@ class Overlay {
   }
   std::size_t maxQueueDepth() const {
     return maxQueueDepth_.load(std::memory_order_relaxed);
+  }
+
+  /// Per-directed-link activity of the intralayer *data plane* (messages the
+  /// batchable predicate accepts — the wait-state algorithm's traffic; the
+  /// consistent-state control plane is excluded so observing activity never
+  /// perpetuates itself). Both counters for a node N live on N's LP:
+  /// intralayerDataSent(N, to) counts sends N performed,
+  /// intralayerDataDelivered(N, from) counts messages N's handler received
+  /// from `from`. The consistent-state handler uses snapshots of these to
+  /// skip the double ping-pong toward links with no traffic since the last
+  /// detection round.
+  std::uint64_t intralayerDataSent(NodeId from, NodeId to) const {
+    const auto& shard = dataSent_[static_cast<std::size_t>(from)];
+    const auto it = shard.find(to);
+    return it == shard.end() ? 0 : it->second;
+  }
+  std::uint64_t intralayerDataDelivered(NodeId at, NodeId from) const {
+    const auto& shard = dataDelivered_[static_cast<std::size_t>(at)];
+    const auto it = shard.find(from);
+    return it == shard.end() ? 0 : it->second;
   }
 
  private:
@@ -344,15 +369,19 @@ class Overlay {
     stats.bytes.fetch_add(bytes, std::memory_order_relaxed);
   }
 
+  /// `srcNode` is the sending tool node (-1 for application channels); it
+  /// feeds the per-link data-plane activity counters at delivery.
   std::unique_ptr<Chan> makeChannel(NodeId dest, sim::ChannelConfig cfg,
-                                    LinkClass linkClass, sim::LpId producer) {
+                                    LinkClass linkClass, sim::LpId producer,
+                                    NodeId srcNode = -1) {
     auto channel = std::make_unique<Chan>(engine_, cfg);
     channel->setEndpoints(producer, nodeLps_[static_cast<std::size_t>(dest)]);
     // The deliver callback needs the channel pointer (to return its credit
     // after processing); install it after construction.
     channel->setDeliver(
-        [this, dest, linkClass, chan = channel.get()](Envelope&& env) {
-          deliver(dest, std::move(env), chan, linkClass);
+        [this, dest, linkClass, srcNode, chan = channel.get()](
+            Envelope&& env) {
+          deliver(dest, std::move(env), chan, linkClass, srcNode);
         });
     return channel;
   }
@@ -369,7 +398,7 @@ class Overlay {
     if (it == shard.end()) {
       Link lnk;
       lnk.chan = makeChannel(to, cfg, linkClass,
-                             nodeLps_[static_cast<std::size_t>(from)]);
+                             nodeLps_[static_cast<std::size_t>(from)], from);
       lnk.linkClass = linkClass;
       it = shard.emplace(key, std::move(lnk)).first;
     }
@@ -423,13 +452,22 @@ class Overlay {
   }
 
   void deliver(NodeId dest, Envelope&& env, Chan* origin,
-               LinkClass linkClass) {
+               LinkClass linkClass, NodeId srcNode) {
     NodeRuntime& node = nodes_[static_cast<std::size_t>(dest)];
     float restScale = 1.0F;
     if (!env.rest.empty()) {
       const auto& bc = batchConfig(linkClass);
       WST_ASSERT(bc.has_value(), "multi-message envelope on unbatched class");
       restScale = static_cast<float>(bc->amortizedCostFactor);
+    }
+    if (linkClass == LinkClass::kIntralayer && srcNode >= 0) {
+      // Mirror the sender-side data-plane count (batch members are always
+      // batchable; a single may be a control-plane bypass — test it).
+      std::uint64_t dataMsgs = env.rest.size();
+      if (!batchable_ || batchable_(env.first)) ++dataMsgs;
+      if (dataMsgs > 0) {
+        dataDelivered_[static_cast<std::size_t>(dest)][srcNode] += dataMsgs;
+      }
     }
     enqueue(node, std::move(env.first), origin, 1.0F);
     for (M& msg : env.rest) enqueue(node, std::move(msg), origin, restScale);
@@ -501,6 +539,11 @@ class Overlay {
   // references must stay stable across insertions (flush timers hold
   // them): unordered_map guarantees that for mapped values.
   std::vector<std::unordered_map<std::uint32_t, Link>> links_;
+  /// Intralayer data-plane activity, sharded so each map is only touched by
+  /// its owner node's LP: dataSent_[n][to] on n's (producer) LP,
+  /// dataDelivered_[n][from] on n's (receiver) LP.
+  std::vector<std::unordered_map<NodeId, std::uint64_t>> dataSent_;
+  std::vector<std::unordered_map<NodeId, std::uint64_t>> dataDelivered_;
   LinkStats stats_[kLinkClassCount]{};
   LinkStats channelStats_[kLinkClassCount]{};
   std::atomic<std::size_t> maxQueueDepth_{0};

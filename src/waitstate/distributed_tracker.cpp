@@ -31,7 +31,9 @@ DistributedTracker::DistributedTracker(ProcId procLo, ProcId procHi,
       commView_(commView),
       config_(config),
       procs_(static_cast<std::size_t>(procHi - procLo)),
-      pendingProbes_(static_cast<std::size_t>(procHi - procLo)) {
+      pendingProbes_(static_cast<std::size_t>(procHi - procLo)),
+      versions_(static_cast<std::size_t>(procHi - procLo), 1),
+      reportedVersions_(static_cast<std::size_t>(procHi - procLo), 0) {
   WST_ASSERT(procLo >= 0 && procHi > procLo, "invalid hosted process range");
   if (config_.metrics != nullptr) {
     evictionCounter_ = &config_.metrics->counter("tracker/consumed_evictions");
@@ -94,6 +96,7 @@ void DistributedTracker::onNewOp(const Record& rec) {
   ProcState& ps = state(p);
   WST_ASSERT(rec.id.ts == ps.arrived, "newOp out of order");
   ++ps.arrived;
+  touch(p);
   ps.window.push_back(OpState{});
   OpState& op = ps.window.back();
   op.rec = rec;
@@ -181,6 +184,7 @@ void DistributedTracker::onNewOp(const Record& rec) {
 void DistributedTracker::activate(ProcId proc, OpState& op) {
   WST_ASSERT(!op.activated, "operation activated twice");
   op.activated = true;
+  touch(proc);
   const Kind kind = op.rec.kind;
 
   if (kind == Kind::kCollective) {
@@ -252,11 +256,13 @@ void DistributedTracker::pump(ProcId proc) {
     WST_ASSERT(op != nullptr, "active operation missing from window");
     if (op->rec.kind == Kind::kFinalize) {
       ps.finished = true;
+      touch(proc);
       break;
     }
     if (!canAdvanceOp(ps, *op)) break;
     ++ps.current;
     ++transitions_;
+    touch(proc);
     retireFront(ps);
     if (opArrived(ps, ps.current)) {
       OpState* next = findOp(proc, ps.current);
@@ -412,6 +418,7 @@ void DistributedTracker::performMatch(ProcId proc, OpState& recv,
   WST_ASSERT(!recv.matched, "receive matched twice");
   recv.matched = true;
   recv.matchedSend = send.sendOp;
+  touch(proc);
   maybeSendRecvActive(proc, recv);
 }
 
@@ -440,6 +447,7 @@ void DistributedTracker::satisfyProbes(ProcId dst, const PassSendMsg& send) {
     if (compatible && !probe->matched) {
       probe->matched = true;
       probe->matchedSend = send.sendOp;
+      touch(dst);
       if (reachedLocally(state(dst), r.id.ts) && !probe->sentRecvActive) {
         comms_.recvActive(probe->matchedSend.proc,
                           RecvActiveMsg{probe->matchedSend, r.id, true});
@@ -475,6 +483,7 @@ void DistributedTracker::resolveProbe(ProcId proc, OpState& probe) {
   if (found == nullptr) return;  // passSend not yet here; satisfyProbes later
   probe.matched = true;
   probe.matchedSend = found->sendOp;
+  touch(proc);
   std::erase(pendingProbes_[static_cast<std::size_t>(proc - procLo_)],
              r.id.ts);
   if (reachedLocally(state(proc), r.id.ts) && !probe.sentRecvActive) {
@@ -502,6 +511,7 @@ void DistributedTracker::onMatchInfo(const trace::MatchInfoEvent& info) {
   op->wildcardResolved = true;
   op->resolvedSource = info.source;
   op->resolvedTag = info.tag;
+  touch(p);
   if (op->rec.kind == Kind::kProbe) {
     resolveProbe(p, *op);
   } else {
@@ -526,6 +536,7 @@ void DistributedTracker::onRecvActive(const RecvActiveMsg& msg) {
       comms_.recvActiveAck(msg.recvOp.proc, RecvActiveAckMsg{msg.recvOp, true});
     } else {
       send->pendingProbeAcks.push_back(msg.recvOp);
+      touch(p);
     }
     return;
   }
@@ -534,6 +545,7 @@ void DistributedTracker::onRecvActive(const RecvActiveMsg& msg) {
   WST_ASSERT(!send->gotRecvActive, "send received recvActive twice");
   send->gotRecvActive = true;
   send->matchedRecv = msg.recvOp;
+  touch(p);
   if (send->rec.kind == Kind::kIsend) {
     // Rule 4 premise for a completion of this Isend: matching receive
     // reached — which is exactly what this message asserts.
@@ -554,12 +566,14 @@ void DistributedTracker::onRecvActiveAck(const RecvActiveAckMsg& msg) {
   if (msg.forProbe) {
     if (op != nullptr) {
       op->gotAck = true;
+      touch(p);
       pump(p);
     }
     return;
   }
   WST_ASSERT(op != nullptr, "recvActiveAck for an unknown receive");
   op->gotAck = true;
+  touch(p);
   if (op->rec.kind == Kind::kIrecv) {
     markRequestReached(p, op->rec.request);
   }
@@ -571,7 +585,10 @@ void DistributedTracker::markRequestReached(ProcId proc,
                                             mpi::RequestId request) {
   ProcState& ps = state(proc);
   const auto it = ps.requests.find(request);
-  if (it != ps.requests.end()) it->second.reached = true;
+  if (it != ps.requests.end()) {
+    it->second.reached = true;
+    touch(proc);
+  }
 }
 
 // --- collectives ----------------------------------------------------------------
@@ -629,6 +646,7 @@ void DistributedTracker::onCollectiveAck(const CollectiveAckMsg& msg) {
     }
     WST_ASSERT(op != nullptr, "collectiveAck for an unknown wave");
     op->gotCollAck = true;
+    touch(member);
     pump(member);
   }
   collWaves_.erase(std::make_pair(msg.comm, msg.wave));
@@ -654,25 +672,27 @@ std::vector<ProcId> DistributedTracker::activeSendPeerProcs() const {
   return peers;
 }
 
+void DistributedTracker::appendActiveSends(ProcId p,
+                                           std::vector<ActiveSend>& out) const {
+  const ProcState& ps = state(p);
+  if (ps.finished || !opArrived(ps, ps.current)) return;
+  const OpState* op = findOp(p, ps.current);
+  if (op == nullptr) return;
+  const Record& r = op->rec;
+  if (r.kind == Kind::kSend || r.kind == Kind::kSendrecv) {
+    out.push_back(ActiveSend{r.id, r.peer, r.tag, r.comm});
+  }
+}
+
 std::vector<DistributedTracker::ActiveSend> DistributedTracker::activeSends()
     const {
   std::vector<ActiveSend> out;
-  for (ProcId p = procLo_; p < procHi_; ++p) {
-    const ProcState& ps = state(p);
-    if (ps.finished || !opArrived(ps, ps.current)) continue;
-    const OpState* op = findOp(p, ps.current);
-    if (op == nullptr) continue;
-    const Record& r = op->rec;
-    if (r.kind == Kind::kSend || r.kind == Kind::kSendrecv) {
-      out.push_back(ActiveSend{r.id, r.peer, r.tag, r.comm});
-    }
-  }
+  for (ProcId p = procLo_; p < procHi_; ++p) appendActiveSends(p, out);
   return out;
 }
 
-std::vector<DistributedTracker::ActiveWildcard>
-DistributedTracker::activeWildcards() const {
-  std::vector<ActiveWildcard> out;
+void DistributedTracker::appendActiveWildcards(
+    ProcId p, std::vector<ActiveWildcard>& out) const {
   const auto add = [&](const OpState& op, mpi::Rank want, mpi::Tag tag,
                        mpi::CommId comm) {
     if (want != mpi::kAnySource) return;
@@ -690,40 +710,55 @@ DistributedTracker::activeWildcards() const {
     }
     out.push_back(w);
   };
-  for (ProcId p = procLo_; p < procHi_; ++p) {
-    const ProcState& ps = state(p);
-    if (ps.finished || !opArrived(ps, ps.current)) continue;
-    const OpState* op = findOp(p, ps.current);
-    if (op == nullptr || canAdvanceOp(ps, *op)) continue;
-    const Record& r = op->rec;
-    switch (r.kind) {
-      case Kind::kRecv:
-      case Kind::kProbe:
-        add(*op, r.peer, r.tag, r.comm);
-        break;
-      case Kind::kSendrecv:
-        if (!op->gotAck) add(*op, r.recvPeer, r.recvTag, r.comm);
-        break;
-      case Kind::kWait:
-      case Kind::kWaitall:
-      case Kind::kWaitany:
-      case Kind::kWaitsome: {
-        for (const mpi::RequestId req : r.completes) {
-          const auto it = ps.requests.find(req);
-          if (it == ps.requests.end() || it->second.reached) continue;
-          const Record& origin = it->second.origin;
-          if (origin.kind != Kind::kIrecv) continue;
-          if (const OpState* originOp = findOp(p, origin.id.ts)) {
-            add(*originOp, origin.peer, origin.tag, origin.comm);
-          }
+  const ProcState& ps = state(p);
+  if (ps.finished || !opArrived(ps, ps.current)) return;
+  const OpState* op = findOp(p, ps.current);
+  if (op == nullptr || canAdvanceOp(ps, *op)) return;
+  const Record& r = op->rec;
+  switch (r.kind) {
+    case Kind::kRecv:
+    case Kind::kProbe:
+      add(*op, r.peer, r.tag, r.comm);
+      break;
+    case Kind::kSendrecv:
+      if (!op->gotAck) add(*op, r.recvPeer, r.recvTag, r.comm);
+      break;
+    case Kind::kWait:
+    case Kind::kWaitall:
+    case Kind::kWaitany:
+    case Kind::kWaitsome: {
+      for (const mpi::RequestId req : r.completes) {
+        const auto it = ps.requests.find(req);
+        if (it == ps.requests.end() || it->second.reached) continue;
+        const Record& origin = it->second.origin;
+        if (origin.kind != Kind::kIrecv) continue;
+        if (const OpState* originOp = findOp(p, origin.id.ts)) {
+          add(*originOp, origin.peer, origin.tag, origin.comm);
         }
-        break;
       }
-      default:
-        break;
+      break;
     }
+    default:
+      break;
   }
+}
+
+std::vector<DistributedTracker::ActiveWildcard>
+DistributedTracker::activeWildcards() const {
+  std::vector<ActiveWildcard> out;
+  for (ProcId p = procLo_; p < procHi_; ++p) appendActiveWildcards(p, out);
   return out;
+}
+
+void DistributedTracker::markReported(ProcId proc) {
+  const auto i = static_cast<std::size_t>(proc - procLo_);
+  const ProcState& ps = procs_[i];
+  // A process whose active op arrived only after the consistent-state freeze
+  // was reported as "running" (see waitConditions), not with its real
+  // conditions: store the 0 sentinel so it stays dirty for the next round.
+  const bool suppressed = stopped_ && !ps.finished &&
+                          opArrived(ps, ps.current) && !frozenActive_[i];
+  reportedVersions_[i] = suppressed ? 0 : versions_[i];
 }
 
 // --- wait conditions ----------------------------------------------------------------

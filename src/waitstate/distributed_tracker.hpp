@@ -119,6 +119,32 @@ class DistributedTracker {
   };
   std::vector<ActiveSend> activeSends() const;
   std::vector<ActiveWildcard> activeWildcards() const;
+  /// Per-process variants used by the delta gather: append only the facts of
+  /// one hosted process.
+  void appendActiveSends(trace::ProcId proc, std::vector<ActiveSend>& out) const;
+  void appendActiveWildcards(trace::ProcId proc,
+                             std::vector<ActiveWildcard>& out) const;
+
+  // --- Delta gather support (incremental detection rounds) -------------------
+
+  /// Monotone wait-state version of a hosted process: bumped by every event
+  /// that can change the process's waitConditions / active-send / active-
+  /// wildcard report (newOp, activation, transitions, matching, handshake
+  /// and collective acks, request completion). Starts at 1.
+  std::uint64_t version(trace::ProcId proc) const {
+    return versions_[static_cast<std::size_t>(proc - procLo_)];
+  }
+  /// True when the process's wait state changed since markReported() last
+  /// ran for it (always true before the first report).
+  bool dirtySinceReport(trace::ProcId proc) const {
+    const auto i = static_cast<std::size_t>(proc - procLo_);
+    return reportedVersions_[i] != versions_[i];
+  }
+  /// Record that the process's current wait state was just reported. A
+  /// process whose report was suppressed to "running" by the consistent-
+  /// state freeze (active op arrived after the cut) stays dirty: its real
+  /// state was not shipped, so the next round must re-report it.
+  void markReported(trace::ProcId proc);
 
   // --- State inspection --------------------------------------------------------
 
@@ -229,6 +255,11 @@ class DistributedTracker {
 
   void markRequestReached(trace::ProcId proc, mpi::RequestId request);
 
+  /// Bump the wait-state version of a hosted process (delta gather support).
+  void touch(trace::ProcId proc) {
+    ++versions_[static_cast<std::size_t>(proc - procLo_)];
+  }
+
   trace::ProcId procLo_;
   trace::ProcId procHi_;
   Comms& comms_;
@@ -256,6 +287,11 @@ class DistributedTracker {
   support::Gauge* windowGauge_ = nullptr;
   /// Per hosted process: active op had arrived when stopProgress ran.
   std::vector<char> frozenActive_;
+  /// Per hosted process: monotone wait-state version (starts at 1) and the
+  /// version last shipped to the root (0 = never / suppressed report, which
+  /// can never equal a real version, so the process reads as dirty).
+  std::vector<std::uint64_t> versions_;
+  std::vector<std::uint64_t> reportedVersions_;
 };
 
 }  // namespace wst::waitstate

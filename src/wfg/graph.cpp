@@ -29,23 +29,27 @@ const NodeConditions& WaitForGraph::node(trace::ProcId proc) const {
   return nodes_[idx];
 }
 
-void WaitForGraph::pruneCollectiveCoWaiters() {
-  for (auto& node : nodes_) {
-    for (auto& clause : node.clauses) {
-      if (clause.type != ClauseType::kCollective) continue;
-      std::erase_if(clause.targets, [&](trace::ProcId target) {
-        const NodeConditions& t = nodes_[static_cast<std::size_t>(target)];
-        return t.blocked && t.inCollective && t.collComm == clause.comm &&
-               t.collWaveIndex == clause.waveIndex;
-      });
-    }
-    // A collective clause that pruned to empty means: every group member is
-    // already in the wave — the wave is complete and the process is not
-    // really waiting on it. Drop such clauses.
-    std::erase_if(node.clauses, [](const Clause& c) {
-      return c.type == ClauseType::kCollective && c.targets.empty();
+void WaitForGraph::pruneNodeCollectiveClauses(NodeConditions& node) const {
+  for (auto& clause : node.clauses) {
+    if (clause.type != ClauseType::kCollective) continue;
+    std::erase_if(clause.targets, [&](trace::ProcId target) {
+      const NodeConditions& t = nodes_[static_cast<std::size_t>(target)];
+      return t.blocked && t.inCollective && t.collComm == clause.comm &&
+             t.collWaveIndex == clause.waveIndex;
     });
   }
+  // A collective clause that pruned to empty means: every group member is
+  // already in the wave — the wave is complete and the process is not
+  // really waiting on it. Drop such clauses.
+  std::erase_if(node.clauses, [](const Clause& c) {
+    return c.type == ClauseType::kCollective && c.targets.empty();
+  });
+}
+
+void WaitForGraph::pruneCollectiveCoWaiters() {
+  // The predicate reads only header fields, which pruning never touches, so
+  // pruning nodes in place and in order equals pruning a frozen snapshot.
+  for (auto& node : nodes_) pruneNodeCollectiveClauses(node);
 }
 
 std::uint64_t WaitForGraph::arcCount() const {
@@ -57,17 +61,45 @@ std::uint64_t WaitForGraph::arcCount() const {
 }
 
 CheckResult WaitForGraph::check() const {
+  return checkImpl(nullptr, nullptr, nullptr);
+}
+
+CheckResult WaitForGraph::checkSeeded(
+    const std::vector<char>& seed, std::vector<char>& releasedOut,
+    std::vector<std::vector<trace::ProcId>>& justification) const {
+  return checkImpl(&seed, &releasedOut, &justification);
+}
+
+CheckResult WaitForGraph::checkImpl(
+    const std::vector<char>* seed, std::vector<char>* releasedOut,
+    std::vector<std::vector<trace::ProcId>>* justification) const {
   const std::size_t p = nodes_.size();
   std::vector<char> released(p, 0);
   std::vector<std::vector<char>> clauseSat(p);
   std::vector<std::size_t> unsatCount(p, 0);
+  // Per blocked proc, per clause: the target whose release satisfied it.
+  std::vector<std::vector<trace::ProcId>> satBy;
+  if (justification != nullptr) {
+    WST_ASSERT(justification->size() == p, "justification size mismatch");
+    satBy.resize(p);
+  }
 
   for (std::size_t i = 0; i < p; ++i) {
     if (!nodes_[i].blocked) {
       released[i] = 1;
+      if (justification != nullptr) (*justification)[i].clear();
+      continue;
+    }
+    if (seed != nullptr && (*seed)[i] != 0) {
+      // Warm start: assumed released; its justification from the previous
+      // round remains valid (the caller invalidated anything touched).
+      released[i] = 1;
       continue;
     }
     clauseSat[i].assign(nodes_[i].clauses.size(), 0);
+    if (justification != nullptr) {
+      satBy[i].assign(nodes_[i].clauses.size(), trace::ProcId{-1});
+    }
     unsatCount[i] = nodes_[i].clauses.size();
     // An empty clause (no targets at all) can never be satisfied: the
     // process waits for something no process can provide. Keep it unsat.
@@ -89,18 +121,22 @@ CheckResult WaitForGraph::check() const {
       const auto& clauses = nodes_[i].clauses;
       for (std::size_t c = 0; c < clauses.size(); ++c) {
         if (clauseSat[i][c]) continue;
-        const bool sat = std::any_of(
-            clauses[c].targets.begin(), clauses[c].targets.end(),
-            [&](trace::ProcId t) {
-              return released[static_cast<std::size_t>(t)] != 0;
-            });
-        if (sat) {
+        trace::ProcId by = -1;
+        for (trace::ProcId t : clauses[c].targets) {
+          if (released[static_cast<std::size_t>(t)] != 0) {
+            by = t;
+            break;
+          }
+        }
+        if (by >= 0) {
           clauseSat[i][c] = 1;
+          if (justification != nullptr) satBy[i][c] = by;
           --unsatCount[i];
         }
       }
       if (unsatCount[i] == 0) {
         released[i] = 1;
+        if (justification != nullptr) (*justification)[i] = satBy[i];
         changed = true;
       }
     }
@@ -109,9 +145,11 @@ CheckResult WaitForGraph::check() const {
   for (std::size_t i = 0; i < p; ++i) {
     if (!released[i]) {
       result.deadlocked.push_back(static_cast<trace::ProcId>(i));
+      if (justification != nullptr) (*justification)[i].clear();
     }
   }
   result.deadlock = !result.deadlocked.empty();
+  if (releasedOut != nullptr) *releasedOut = released;
 
   // Representative cycle: from any deadlocked process, repeatedly step to a
   // deadlocked target of an unsatisfied clause; a revisit closes the cycle.

@@ -1,0 +1,168 @@
+#include "wfg/incremental.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+
+#include "support/assert.hpp"
+
+namespace wst::wfg {
+
+namespace {
+
+std::uint64_t wallNs(std::chrono::steady_clock::time_point from,
+                     std::chrono::steady_clock::time_point to) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from).count());
+}
+
+}  // namespace
+
+IncrementalWfg::IncrementalWfg(std::int32_t procCount,
+                               double warmStartThreshold)
+    : procCount_(procCount),
+      threshold_(warmStartThreshold),
+      graph_(procCount),
+      pristine_(static_cast<std::size_t>(procCount)),
+      released_(static_cast<std::size_t>(procCount), 0),
+      justification_(static_cast<std::size_t>(procCount)),
+      finished_(static_cast<std::size_t>(procCount), 0) {
+  for (std::int32_t i = 0; i < procCount; ++i) {
+    pristine_[static_cast<std::size_t>(i)].proc = i;
+  }
+}
+
+void IncrementalWfg::stage(NodeConditions node) {
+  WST_ASSERT(node.proc >= 0 && node.proc < procCount_,
+             "staged node out of range");
+  staged_.push_back(std::move(node));
+}
+
+IncrementalWfg::RoundResult IncrementalWfg::commit(bool forceFull) {
+  const auto buildStart = std::chrono::steady_clock::now();
+  const std::size_t p = static_cast<std::size_t>(procCount_);
+  RoundResult rr;
+  rr.changed = static_cast<std::uint32_t>(staged_.size());
+  if (first_) {
+    WST_ASSERT(staged_.size() == p, "first commit must stage every process");
+  }
+  const bool full =
+      first_ || forceFull || threshold_ <= 0.0 ||
+      static_cast<double>(staged_.size()) > threshold_ * static_cast<double>(p);
+
+  // Apply the delta to the pristine store and track which collective waves
+  // gained or lost a member (those waves' current members need re-pruning;
+  // members that *left* a wave are staged nodes themselves).
+  std::vector<char> changedFlag(p, 0);
+  std::vector<char> inReprune(p, 0);
+  std::vector<std::uint64_t> touchedWaves;
+  for (auto& node : staged_) {
+    const auto i = static_cast<std::size_t>(node.proc);
+    NodeConditions& old = pristine_[i];
+    if (old.blocked && old.inCollective) {
+      const std::uint64_t key = waveKey(old.collComm, old.collWaveIndex);
+      auto& members = waveMembers_[key];
+      std::erase(members, old.proc);
+      touchedWaves.push_back(key);
+    }
+    if (finished_[i] != 0) --finishedCount_;
+    finished_[i] = node.description == "finished" ? 1 : 0;
+    if (finished_[i] != 0) ++finishedCount_;
+    pristine_[i] = std::move(node);
+    if (pristine_[i].blocked && pristine_[i].inCollective) {
+      const std::uint64_t key =
+          waveKey(pristine_[i].collComm, pristine_[i].collWaveIndex);
+      waveMembers_[key].push_back(pristine_[i].proc);
+      touchedWaves.push_back(key);
+    }
+    changedFlag[i] = 1;
+    inReprune[i] = 1;
+  }
+  staged_.clear();
+
+  if (full) {
+    for (std::size_t i = 0; i < p; ++i) {
+      graph_.setNode(pristine_[i]);  // copy: pristine_ stays unpruned
+    }
+    graph_.pruneCollectiveCoWaiters();
+    rr.repruned = static_cast<std::uint32_t>(p);
+    rr.fullRebuild = true;
+    justification_.assign(p, {});
+    const std::vector<char> emptySeed(p, 0);
+    const auto checkStart = std::chrono::steady_clock::now();
+    rr.buildNs = wallNs(buildStart, checkStart);
+    rr.check = graph_.checkSeeded(emptySeed, released_, justification_);
+    rr.checkNs = wallNs(checkStart, std::chrono::steady_clock::now());
+    first_ = false;
+    return rr;
+  }
+
+  for (const std::uint64_t key : touchedWaves) {
+    for (const trace::ProcId member : waveMembers_[key]) {
+      inReprune[static_cast<std::size_t>(member)] = 1;
+    }
+  }
+
+  // Install the raw headers of every changed node first: pruning reads only
+  // header fields, so once all new headers are visible, re-pruning each
+  // affected node from its pristine conditions reproduces exactly what a
+  // full prune pass over the new state would compute.
+  for (std::size_t i = 0; i < p; ++i) {
+    if (changedFlag[i] != 0) graph_.setNode(pristine_[i]);
+  }
+  for (std::size_t i = 0; i < p; ++i) {
+    if (inReprune[i] == 0) continue;
+    NodeConditions pruned = pristine_[i];
+    graph_.pruneNodeCollectiveClauses(pruned);
+    graph_.setNode(std::move(pruned));
+    ++rr.repruned;
+  }
+
+  // Seed = last round's released set minus the reverse-justification closure
+  // of every re-pruned node: a release survives only if its own conditions
+  // and its entire justifying chain are untouched.
+  std::vector<std::vector<trace::ProcId>> rev(p);
+  for (std::size_t j = 0; j < p; ++j) {
+    for (const trace::ProcId t : justification_[j]) {
+      if (t >= 0) rev[static_cast<std::size_t>(t)].push_back(
+          static_cast<trace::ProcId>(j));
+    }
+  }
+  std::vector<char> invalid = inReprune;
+  std::deque<trace::ProcId> worklist;
+  for (std::size_t i = 0; i < p; ++i) {
+    if (invalid[i] != 0) worklist.push_back(static_cast<trace::ProcId>(i));
+  }
+  while (!worklist.empty()) {
+    const trace::ProcId t = worklist.front();
+    worklist.pop_front();
+    for (const trace::ProcId j : rev[static_cast<std::size_t>(t)]) {
+      if (invalid[static_cast<std::size_t>(j)] == 0) {
+        invalid[static_cast<std::size_t>(j)] = 1;
+        worklist.push_back(j);
+      }
+    }
+  }
+  std::vector<char> seed(p, 0);
+  for (std::size_t i = 0; i < p; ++i) {
+    if (released_[i] != 0 && invalid[i] == 0) {
+      seed[i] = 1;
+      ++rr.seedReleased;
+    }
+  }
+  rr.warmStart = true;
+  const auto checkStart = std::chrono::steady_clock::now();
+  rr.buildNs = wallNs(buildStart, checkStart);
+  rr.check = graph_.checkSeeded(seed, released_, justification_);
+  rr.checkNs = wallNs(checkStart, std::chrono::steady_clock::now());
+  return rr;
+}
+
+WaitForGraph IncrementalWfg::buildFullGraph() const {
+  WaitForGraph full(procCount_);
+  for (const auto& node : pristine_) full.setNode(node);
+  full.pruneCollectiveCoWaiters();
+  return full;
+}
+
+}  // namespace wst::wfg

@@ -1,0 +1,98 @@
+// Persistent wait-for graph with warm-started deadlock checks.
+//
+// The root of the incremental detection pipeline (DESIGN.md §10) keeps one
+// WaitForGraph alive across detection rounds. Each round stages only the
+// NodeConditions of processes whose wait state changed (the delta gather),
+// then commit():
+//
+//  1. applies the staged nodes to an *unpruned* pristine store,
+//  2. re-prunes collective clauses of exactly the nodes a delta could have
+//     affected (the changed nodes plus all members of collective waves whose
+//     membership changed — pruning is destructive, so affected nodes are
+//     re-derived from their pristine conditions),
+//  3. seeds the release fixpoint from the previous round's released set,
+//     minus the reverse-justification closure of everything re-pruned: a
+//     process stays seeded only if its conditions and the full chain of
+//     releases that justified it are untouched. A sound (subset-of-true)
+//     seed makes the seeded least fixpoint identical to the cold one.
+//
+// When the changed fraction exceeds the configured threshold (or on the
+// first round / on request) it falls back to a full rebuild + cold check,
+// which is byte-identical to the non-incremental path.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "wfg/graph.hpp"
+
+namespace wst::wfg {
+
+class IncrementalWfg {
+ public:
+  /// `warmStartThreshold`: maximum changed-node fraction for which the check
+  /// is warm-started; above it (or when <= 0) every round runs a full
+  /// rebuild and cold check.
+  IncrementalWfg(std::int32_t procCount, double warmStartThreshold);
+
+  /// Stage the (unpruned) conditions of one changed process for the next
+  /// commit. The first round must stage every process (the first gather is
+  /// always full: the root has no base epoch to delta against).
+  void stage(NodeConditions node);
+
+  struct RoundResult {
+    CheckResult check;
+    bool fullRebuild = false;  // pruned + checked everything from scratch
+    bool warmStart = false;    // fixpoint seeded from the previous round
+    std::uint32_t changed = 0;       // staged nodes applied this round
+    std::uint32_t repruned = 0;      // nodes re-pruned against pristine
+    std::uint32_t seedReleased = 0;  // released flags carried into the seed
+    std::uint64_t buildNs = 0;       // wall time: apply delta + (re)prune
+    std::uint64_t checkNs = 0;       // wall time: (seeded) deadlock check
+  };
+
+  /// Apply the staged delta and run the deadlock check.
+  RoundResult commit(bool forceFull = false);
+
+  /// The persistent (pruned) graph of the last commit — what reports and
+  /// DOT output are generated from.
+  const WaitForGraph& graph() const { return graph_; }
+
+  /// Unpruned conditions of the last commit, for side-by-side verification:
+  /// a graph built from these via setNode + pruneCollectiveCoWaiters +
+  /// check() is the reference full path.
+  const std::vector<NodeConditions>& pristine() const { return pristine_; }
+
+  /// Build the reference full graph from the pristine store (verify mode).
+  WaitForGraph buildFullGraph() const;
+
+  /// Processes whose last reported description is "finished".
+  std::uint32_t finishedCount() const { return finishedCount_; }
+
+  std::int32_t procCount() const { return procCount_; }
+
+ private:
+  static std::uint64_t waveKey(mpi::CommId comm, std::uint32_t wave) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(comm))
+            << 32) |
+           wave;
+  }
+
+  std::int32_t procCount_;
+  double threshold_;
+  bool first_ = true;
+
+  WaitForGraph graph_;                  // pruned, persistent across rounds
+  std::vector<NodeConditions> pristine_;  // unpruned node conditions
+  /// Released flags and per-clause release justifications of the last check.
+  std::vector<char> released_;
+  std::vector<std::vector<trace::ProcId>> justification_;
+  /// Current members of each collective wave (per pristine headers).
+  std::unordered_map<std::uint64_t, std::vector<trace::ProcId>> waveMembers_;
+  std::vector<NodeConditions> staged_;
+  std::vector<char> finished_;
+  std::uint32_t finishedCount_ = 0;
+};
+
+}  // namespace wst::wfg

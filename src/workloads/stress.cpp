@@ -7,15 +7,29 @@ using mpi::Proc;
 mpi::Runtime::Program cyclicExchange(StressParams params) {
   return [params](Proc& self) -> sim::Task {
     const mpi::Rank n = self.worldSize();
-    const mpi::Rank d =
-        ((params.neighborDistance % n) + n) % n;  // ring-normalized stride
-    const mpi::Rank right = (self.rank() + d) % n;
-    const mpi::Rank left = (self.rank() + n - d) % n;
+    const bool straggling = params.activeRanks > 1 && params.activeRanks < n;
+    const mpi::Rank active = straggling ? params.activeRanks : n;
+    constexpr mpi::Tag kDoneTag = 7;
+    if (self.rank() >= active) {
+      // Idle rank: one long-blocked Recv until the active set completes.
+      co_await self.recv(0, kDoneTag);
+      co_await self.finalize();
+      co_return;
+    }
+    const mpi::Rank d = ((params.neighborDistance % active) + active) %
+                        active;  // ring-normalized stride
+    const mpi::Rank right = (self.rank() + d) % active;
+    const mpi::Rank left = (self.rank() + active - d) % active;
     for (std::int32_t i = 0; i < params.iterations; ++i) {
       co_await self.sendrecv(right, 0, params.bytes, left, 0);
-      if (params.barrierEvery > 0 && i % params.barrierEvery ==
-                                         params.barrierEvery - 1) {
+      if (!straggling && params.barrierEvery > 0 &&
+          i % params.barrierEvery == params.barrierEvery - 1) {
         co_await self.barrier();
+      }
+    }
+    if (straggling && self.rank() == 0) {
+      for (mpi::Rank r = active; r < n; ++r) {
+        co_await self.send(r, kDoneTag, params.bytes);
       }
     }
     co_await self.finalize();

@@ -24,6 +24,12 @@ struct StressParams {
   /// tool's fan-in models a stencil that is misaligned with the rank-to-node
   /// mapping, where every handshake crosses a node boundary.
   std::int32_t neighborDistance = 1;
+  /// Number of ranks that run the exchange (0 or >= procs: all of them).
+  /// The remaining ranks block in a Recv for a completion token that rank 0
+  /// sends after its last iteration — a stable wait state across detection
+  /// rounds that the incremental delta gather can elide (DESIGN.md §10).
+  /// Barriers are skipped in this mode (idle ranks never join them).
+  std::int32_t activeRanks = 0;
 };
 mpi::Runtime::Program cyclicExchange(StressParams params = {});
 

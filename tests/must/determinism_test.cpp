@@ -118,6 +118,50 @@ TEST(ParallelDeterminism, WildcardDeadlockIsByteIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(ParallelDeterminism, PeriodicDetectionIsByteIdenticalAcrossThreadCounts) {
+  // Periodic detection now runs on the root node's LP (no cross-LP reads),
+  // so multi-round incremental detection must stay byte-identical for any
+  // worker count — including delta gathers, warm starts, and ping pruning.
+  workloads::StressParams params;
+  params.iterations = 25;
+  params.neighborDistance = 4;
+  params.activeRanks = 8;  // idle ranks give the delta gather stable states
+  const auto program = workloads::cyclicExchange(params);
+  const mpi::RuntimeConfig mpiCfg;
+  ToolConfig toolCfg;
+  toolCfg.fanIn = 4;
+  toolCfg.periodicDetection = 100 * sim::kMicrosecond;
+  toolCfg.verifyIncremental = true;
+  toolCfg.pruneConsistentPings = true;
+
+  const RunOutput base = runScenario(1, 16, mpiCfg, toolCfg, program);
+  EXPECT_FALSE(base.deadlock);
+  EXPECT_GT(base.events, 0u);
+  for (const std::int32_t threads : {2, 4}) {
+    expectIdentical(base, runScenario(threads, 16, mpiCfg, toolCfg, program),
+                    threads);
+  }
+}
+
+TEST(ParallelDeterminism, PeriodicBatchedStressIsByteIdenticalAcrossThreads) {
+  workloads::StressParams params;
+  params.iterations = 15;
+  params.neighborDistance = 2;
+  const auto program = workloads::cyclicExchange(params);
+  const mpi::RuntimeConfig mpiCfg;
+  ToolConfig toolCfg;
+  toolCfg.fanIn = 2;
+  toolCfg.batchWaitState = true;
+  toolCfg.periodicDetection = 150 * sim::kMicrosecond;
+  toolCfg.verifyIncremental = true;
+
+  const RunOutput base = runScenario(1, 8, mpiCfg, toolCfg, program);
+  for (const std::int32_t threads : {2, 4}) {
+    expectIdentical(base, runScenario(threads, 8, mpiCfg, toolCfg, program),
+                    threads);
+  }
+}
+
 TEST(ParallelDeterminism, ParallelEngineAgreesWithSerialEngineOnVerdicts) {
   // The serial engine is the reference implementation: virtual-time results
   // (completion time, verdict, transition counts) must agree with the

@@ -10,7 +10,8 @@
 //   wst run --workload figure2b --no-buffer
 //   wst run --workload figure4 --rooted-collectives
 //
-// Exit code: 0 = clean run, 2 = deadlock reported, 1 = usage error.
+// Exit code: 0 = clean run, 2 = deadlock reported, 1 = usage error,
+// 3 = --verify-incremental divergence.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -41,9 +42,15 @@ struct Options {
   bool compare = false;  // also run an untooled reference and print slowdown
   std::int32_t iterations = 50;
   std::int32_t distance = 1;  // stress neighbour distance (ring stride)
+  std::int32_t active = 0;    // stress active ranks (0 = all)
   std::int32_t threads = 1;   // parallel engine workers; 0 = classic serial
   bool engineStats = false;   // print parallel-engine round statistics
   sim::Duration periodic = 0;
+  bool noIncremental = false;  // full gather + cold check every round
+  bool verifyIncremental = false;  // side-by-side full check each round
+  bool prunePings = false;     // skip ping-pong toward quiet peer links
+  double warmThreshold = 0.5;  // changed fraction above which a round
+                               // falls back to full rebuild + cold check
   std::string dotPath;
   std::string compressedDotPath;
   std::string htmlPath;
@@ -66,6 +73,9 @@ void printUsage() {
       "  --iterations N           workload iterations (default: 50)\n"
       "  --distance D             stress exchange ring distance (default: 1;\n"
       "                           set to the fan-in to cross node boundaries)\n"
+      "  --active N               stress: only the first N ranks exchange;\n"
+      "                           the rest block on a completion token\n"
+      "                           (stable wait states for delta gathers)\n"
       "  --faithful               implementation-faithful blocking model\n"
       "  --no-buffer              MPI does not buffer standard sends\n"
       "  --rooted-collectives     rooted collectives do not synchronize\n"
@@ -76,6 +86,17 @@ void printUsage() {
       "                           Results are identical for any N\n"
       "  --engine-stats           print parallel engine round statistics\n"
       "  --periodic-ms X          periodic detection every X virtual ms\n"
+      "  --no-incremental         full wait-info gather + cold deadlock check\n"
+      "                           every round (incremental is the default)\n"
+      "  --verify-incremental     run the full rebuild + cold check next to\n"
+      "                           every incremental round; exit 3 on any\n"
+      "                           divergence in verdict/deadlock set/DOT\n"
+      "  --prune-pings            skip the consistent-state ping-pong toward\n"
+      "                           peers whose links carried no wait-state\n"
+      "                           traffic since the last round\n"
+      "  --warm-threshold X       changed-node fraction above which a\n"
+      "                           round runs a full rebuild + cold check\n"
+      "                           instead of a warm start (default 0.5)\n"
       "  --compare                also run an untooled reference (slowdown)\n"
       "  --dot PATH               write the deadlock wait-for graph as DOT\n"
       "  --compressed-dot PATH    write the class-compressed DOT\n"
@@ -87,6 +108,7 @@ std::optional<mpi::Runtime::Program> makeWorkload(const Options& opt) {
   workloads::StressParams stress;
   stress.iterations = opt.iterations;
   stress.neighborDistance = opt.distance;
+  stress.activeRanks = opt.active;
   if (opt.workload == "stress") return workloads::cyclicExchange(stress);
   if (opt.workload == "unsafe-stress") {
     return workloads::unsafeCyclicExchange(stress);
@@ -142,6 +164,10 @@ int runWorkload(const Options& opt) {
   toolCfg.prioritizeWaitState = opt.prioritize;
   toolCfg.batchWaitState = opt.batch;
   toolCfg.periodicDetection = opt.periodic;
+  toolCfg.incrementalGather = !opt.noIncremental;
+  toolCfg.verifyIncremental = opt.verifyIncremental;
+  toolCfg.pruneConsistentPings = opt.prunePings;
+  toolCfg.warmStartThreshold = opt.warmThreshold;
 
   std::printf("running '%s' on %d simulated ranks (%s, fan-in %d, %s b)...\n",
               opt.workload.c_str(), opt.procs,
@@ -150,15 +176,11 @@ int runWorkload(const Options& opt) {
 
   // --threads 0 selects the classic single-queue serial engine; N >= 1 runs
   // the conservative parallel engine with N workers (N == 1 executes inline,
-  // no threads spawned). Periodic detection reads cross-LP state and is only
-  // supported on the serial engine.
+  // no threads spawned). Periodic detection runs on the root node's LP and
+  // composes with any engine.
   std::unique_ptr<sim::Scheduler> engineHolder;
   sim::ParallelEngine* parEngine = nullptr;
-  if (opt.threads == 0 || opt.periodic > 0) {
-    if (opt.periodic > 0 && opt.threads > 1) {
-      std::puts("note: --periodic-ms requires the serial engine; "
-                "ignoring --threads");
-    }
+  if (opt.threads == 0) {
     engineHolder = std::make_unique<sim::Engine>();
   } else {
     auto par = std::make_unique<sim::ParallelEngine>(opt.threads);
@@ -240,6 +262,35 @@ int runWorkload(const Options& opt) {
         "but matching chose (%d,%u)\n",
         um.wildcardRecv.proc, um.wildcardRecv.ts, um.activeSend.proc,
         um.activeSend.ts, um.matchedSend.proc, um.matchedSend.ts);
+  }
+
+  // Per-round delta statistics of the incremental detection pipeline.
+  for (const auto& rs : tool.roundHistory()) {
+    std::printf(
+        "round %u: %u changed + %u unchanged conditions, %s (%u repruned, "
+        "%u seeded)%s%s\n",
+        rs.epoch, rs.changed, rs.unchanged,
+        rs.fullRebuild ? "full rebuild" : "warm start", rs.repruned,
+        rs.seedReleased,
+        rs.pingsSkipped > 0
+            ? support::format(", %llu/%llu pings skipped",
+                              static_cast<unsigned long long>(rs.pingsSkipped),
+                              static_cast<unsigned long long>(
+                                  rs.pingsSkipped + rs.pingsSent))
+                  .c_str()
+            : "",
+        rs.deadlock ? " [deadlock]" : "");
+  }
+  if (opt.verifyIncremental) {
+    if (tool.verifyDivergences() > 0) {
+      std::printf("verify-incremental: %u DIVERGENT round(s)\n",
+                  tool.verifyDivergences());
+      return 3;
+    }
+    if (tool.detectionsRun() > 0) {
+      std::printf("verify-incremental: %u round(s), zero divergences\n",
+                  tool.detectionsRun());
+    }
   }
 
   if (!tool.report()) {
@@ -334,12 +385,22 @@ int main(int argc, char** argv) {
       opt.iterations = std::atoi(value());
     } else if (arg == "--distance") {
       opt.distance = std::atoi(value());
+    } else if (arg == "--active") {
+      opt.active = std::atoi(value());
     } else if (arg == "--threads") {
       opt.threads = std::atoi(value());
     } else if (arg == "--engine-stats") {
       opt.engineStats = true;
     } else if (arg == "--periodic-ms") {
       opt.periodic = static_cast<sim::Duration>(std::atof(value()) * 1e6);
+    } else if (arg == "--no-incremental") {
+      opt.noIncremental = true;
+    } else if (arg == "--verify-incremental") {
+      opt.verifyIncremental = true;
+    } else if (arg == "--prune-pings") {
+      opt.prunePings = true;
+    } else if (arg == "--warm-threshold") {
+      opt.warmThreshold = std::atof(value());
     } else if (arg == "--dot") {
       opt.dotPath = value();
     } else if (arg == "--compressed-dot") {

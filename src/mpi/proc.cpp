@@ -4,6 +4,7 @@
 
 #include "sim/awaitables.hpp"
 #include "support/assert.hpp"
+#include "support/tracing.hpp"
 
 namespace wst::mpi {
 
@@ -37,10 +38,20 @@ sim::Task Proc::enter(trace::Record rec) {
   rec.id = trace::OpId{rank_, nextTs_++};
   currentId_ = rec.id;
   ++rt_.totalCalls_;
+  if (support::TraceTrack* t = track()) {
+    t->instant(trace::toString(rec.kind), "mpi", "ts", rec.id.ts);
+  }
   if (Interposer* ip = rt_.interposer()) {
     Interposer::Hold hold = ip->onEvent(trace::NewOpEvent{rec});
     if (hold.cost > 0) co_await sim::Delay{rt_.engine(), hold.cost};
-    if (hold.wait) co_await hold.wait->wait();
+    if (hold.wait) {
+      // Tool back-pressure: the rank stalls until the leaf catches up. Not
+      // category "blocked" — this is tool-induced, not a wait on a peer.
+      support::TraceTrack* t = track();
+      if (t) t->spanBegin("backpressure", "tool");
+      co_await hold.wait->wait();
+      if (t) t->spanEnd("backpressure", "tool");
+    }
   }
   if (rt_.config().callOverhead > 0) {
     co_await sim::Delay{rt_.engine(), rt_.config().callOverhead};
@@ -85,7 +96,10 @@ sim::Task Proc::sendImpl(Rank to, Tag tag, Bytes bytes, CommId comm,
   co_await enter(rec);
   auto op = rt_.postSend(rank_, currentId_, dst, tag, comm, bytes, mode,
                          /*nonblocking=*/false, kNullRequest);
+  support::TraceTrack* t = track();
+  if (t) t->spanBegin(trace::toString(rec.kind), "blocked", "peer", dst);
   co_await op->gate.wait();
+  if (t) t->spanEnd(trace::toString(rec.kind), "blocked", "peer", dst);
 }
 
 sim::Task Proc::recv(Rank from, Tag tag, Status* status, CommId comm) {
@@ -97,7 +111,14 @@ sim::Task Proc::recv(Rank from, Tag tag, Status* status, CommId comm) {
   co_await enter(rec);
   auto op = rt_.postRecv(rank_, currentId_, src, tag, comm,
                          /*nonblocking=*/false, kNullRequest);
+  support::TraceTrack* t = track();
+  if (t) t->spanBegin(trace::toString(rec.kind), "blocked", "peer", src);
   co_await op->gate.wait();
+  // End with the *resolved* peer: a wildcard learns its sender on completion.
+  if (t) {
+    t->spanEnd(trace::toString(rec.kind), "blocked", "peer",
+               op->status.source);
+  }
   if (status) *status = op->status;
 }
 
@@ -109,7 +130,13 @@ sim::Task Proc::probe(Rank from, Tag tag, Status* status, CommId comm) {
   rec.comm = comm;
   co_await enter(rec);
   auto op = rt_.postProbe(rank_, currentId_, src, tag, comm);
+  support::TraceTrack* t = track();
+  if (t) t->spanBegin(trace::toString(rec.kind), "blocked", "peer", src);
   co_await op->gate.wait();
+  if (t) {
+    t->spanEnd(trace::toString(rec.kind), "blocked", "peer",
+               op->status.source);
+  }
   if (status) *status = op->status;
 }
 
@@ -146,7 +173,10 @@ sim::Task Proc::sendrecv(Rank to, Tag sendTag, Bytes bytes, Rank from,
   std::vector<Runtime::PointOpPtr> halves;
   halves.push_back(sendOp);
   halves.push_back(recvOp);
+  support::TraceTrack* t = track();
+  if (t) t->spanBegin(trace::toString(rec.kind), "blocked", "peer", -2);
   co_await awaitWatch(std::move(halves), /*needAll=*/true);
+  if (t) t->spanEnd(trace::toString(rec.kind), "blocked", "peer", -2);
   if (status) *status = recvOp->status;
 }
 
@@ -267,7 +297,13 @@ sim::Task Proc::wait(RequestId request, Status* status) {
   WST_ASSERT(op != nullptr, "Wait on unknown request");
   std::vector<Runtime::PointOpPtr> ops;
   ops.push_back(op);
+  support::TraceTrack* t = track();
+  if (t) t->spanBegin(trace::toString(rec.kind), "blocked", "peer", op->peer);
   co_await awaitWatch(std::move(ops), /*needAll=*/true);
+  if (t) {
+    t->spanEnd(trace::toString(rec.kind), "blocked", "peer",
+               op->isSend ? op->peer : op->status.source);
+  }
   if (status) *status = op->status;
   retire(request, actual);
 }
@@ -287,7 +323,10 @@ sim::Task Proc::waitall(std::vector<RequestId> requests) {
     WST_ASSERT(op != nullptr, "Waitall on unknown request");
     ops.push_back(std::move(op));
   }
+  support::TraceTrack* t = track();
+  if (t) t->spanBegin(trace::toString(rec.kind), "blocked", "peer", -2);
   co_await awaitWatch(ops, /*needAll=*/true);
+  if (t) t->spanEnd(trace::toString(rec.kind), "blocked", "peer", -2);
   for (std::size_t i = 0; i < requests.size(); ++i) {
     retire(requests[i], actual[i]);
   }
@@ -308,7 +347,10 @@ sim::Task Proc::waitany(std::vector<RequestId> requests, int* index) {
     WST_ASSERT(op != nullptr, "Waitany on unknown request");
     ops.push_back(std::move(op));
   }
+  support::TraceTrack* t = track();
+  if (t) t->spanBegin(trace::toString(rec.kind), "blocked", "peer", -2);
   co_await awaitWatch(ops, /*needAll=*/false);
+  if (t) t->spanEnd(trace::toString(rec.kind), "blocked", "peer", -2);
   *index = -1;
   for (std::size_t i = 0; i < ops.size(); ++i) {
     if (ops[i]->complete) {
@@ -336,7 +378,10 @@ sim::Task Proc::waitsome(std::vector<RequestId> requests,
     WST_ASSERT(op != nullptr, "Waitsome on unknown request");
     ops.push_back(std::move(op));
   }
+  support::TraceTrack* t = track();
+  if (t) t->spanBegin(trace::toString(rec.kind), "blocked", "peer", -2);
   co_await awaitWatch(ops, /*needAll=*/false);
+  if (t) t->spanEnd(trace::toString(rec.kind), "blocked", "peer", -2);
   indices->clear();
   for (std::size_t i = 0; i < ops.size(); ++i) {
     if (ops[i]->complete) {
@@ -420,7 +465,10 @@ sim::Task Proc::collectiveImpl(CollectiveKind kind, Rank rootLocal,
   co_await enter(rec);
   auto op = rt_.joinCollective(rank_, currentId_, comm, kind, root, bytes,
                                color, key);
+  support::TraceTrack* t = track();
+  if (t) t->spanBegin(mpi::toString(kind), "blocked", "peer", -2);
   co_await op->gate.wait();
+  if (t) t->spanEnd(mpi::toString(kind), "blocked", "peer", -2);
   if (out) *out = op->resultComm;
 }
 

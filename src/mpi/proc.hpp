@@ -170,6 +170,8 @@ class Proc {
   friend class Runtime;
 
   trace::Record base(trace::Kind kind) const;
+  /// This rank's flight-recorder track (null when tracing is off).
+  support::TraceTrack* track() const { return rt_.procTrack(rank_); }
   /// Interposition + call overhead at call entry; assigns the (i, j) id and
   /// leaves it in currentId_.
   sim::Task enter(trace::Record rec);

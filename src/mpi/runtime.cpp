@@ -7,8 +7,18 @@
 
 #include "mpi/proc.hpp"
 #include "support/strings.hpp"
+#include "support/tracing.hpp"
 
 namespace wst::mpi {
+
+namespace {
+/// Flow/async correlation id of an operation: unique per run (proc, ts).
+std::uint64_t opAsyncId(trace::OpId id) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(id.proc))
+          << 32) |
+         static_cast<std::uint32_t>(id.ts);
+}
+}  // namespace
 
 Runtime::Runtime(sim::Scheduler& engine, RuntimeConfig config,
                  std::int32_t procCount)
@@ -30,6 +40,16 @@ Runtime::Runtime(sim::Scheduler& engine, RuntimeConfig config,
 }
 
 Runtime::~Runtime() = default;
+
+void Runtime::setTracer(support::Tracer* tracer) {
+  procTracks_.clear();
+  if (tracer == nullptr || !tracer->enabled()) return;
+  procTracks_.reserve(procs_.size());
+  for (Rank r = 0; r < procCount(); ++r) {
+    procTracks_.push_back(tracer->track(support::TrackKind::kAppProc, r,
+                                        support::format("rank %d", r)));
+  }
+}
 
 Proc& Runtime::proc(Rank rank) {
   WST_ASSERT(rank >= 0 && rank < procCount(), "rank out of range");
@@ -138,6 +158,9 @@ Runtime::PointOpPtr Runtime::postSend(Rank src, trace::OpId id, Rank dstWorld,
     const bool inserted =
         requests_[static_cast<std::size_t>(src)].emplace(request, op).second;
     WST_ASSERT(inserted, "request id reused");
+    if (support::TraceTrack* track = procTrack(src)) {
+      track->asyncBegin("Isend", "mpi-op", opAsyncId(id), "peer", dstWorld);
+    }
   }
 
   // Envelope travels to the destination; matching happens there. Eager
@@ -212,6 +235,9 @@ Runtime::PointOpPtr Runtime::postRecv(Rank dst, trace::OpId id, Rank srcWorld,
     const bool inserted =
         requests_[static_cast<std::size_t>(dst)].emplace(request, op).second;
     WST_ASSERT(inserted, "request id reused");
+    if (support::TraceTrack* track = procTrack(dst)) {
+      track->asyncBegin("Irecv", "mpi-op", opAsyncId(id), "peer", srcWorld);
+    }
   }
 
   Mailbox& box = mailboxes_[static_cast<std::size_t>(dst)];
@@ -315,6 +341,15 @@ void Runtime::completePointOp(const PointOpPtr& op, sim::Duration delay) {
   engine_.schedule(delay, [this, op] {
     WST_ASSERT(!op->complete, "operation completed twice");
     op->complete = true;
+    if (op->nonblocking && op->request != kNullRequest) {
+      if (support::TraceTrack* track = procTrack(op->owner)) {
+        // The end carries the resolved peer: wildcard Irecvs learn their
+        // sender only here.
+        track->asyncEnd(op->isSend ? "Isend" : "Irecv", "mpi-op",
+                        opAsyncId(op->opId), "peer",
+                        op->isSend ? op->peer : op->status.source);
+      }
+    }
     op->gate.open();
     if (op->nonblocking) proc(op->owner).notifyRequestProgress();
   });

@@ -45,6 +45,11 @@
 #include "sim/task.hpp"
 #include "trace/op.hpp"
 
+namespace wst::support {
+class Tracer;
+class TraceTrack;
+}  // namespace wst::support
+
 namespace wst::mpi {
 
 class Proc;
@@ -72,6 +77,17 @@ class Runtime {
   /// Attach/detach the tool. Must be set before start().
   void setInterposer(Interposer* interposer) { interposer_ = interposer; }
   Interposer* interposer() const { return interposer_; }
+
+  /// Attach a flight recorder: creates one app-proc track per rank ("rank N")
+  /// and enables per-call instants, blocked spans, and async op-lifetime
+  /// events. All app ranks execute on the main LP, so every track has a
+  /// single writer. Call before start(); null tracer (or a disabled one)
+  /// keeps all recording sites on their null-check fast path.
+  void setTracer(support::Tracer* tracer);
+  support::TraceTrack* procTrack(Rank rank) const {
+    return procTracks_.empty() ? nullptr
+                               : procTracks_[static_cast<std::size_t>(rank)];
+  }
 
   const Communicator& comm(CommId id) const;
   /// Number of communicators created so far (including MPI_COMM_WORLD).
@@ -237,6 +253,9 @@ class Runtime {
 
   /// Outstanding (unmatched) eager sends per rank, for the backlog model.
   std::vector<std::uint32_t> eagerOutstanding_;
+
+  /// Per-rank flight-recorder tracks (empty when no tracer is attached).
+  std::vector<support::TraceTrack*> procTracks_;
 
   std::vector<bool> finalized_;
   std::int32_t finalizedCount_ = 0;

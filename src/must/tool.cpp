@@ -6,6 +6,7 @@
 
 #include "support/assert.hpp"
 #include "support/strings.hpp"
+#include "support/trace_export.hpp"
 
 namespace wst::must {
 
@@ -60,6 +61,35 @@ std::size_t conditionBytes(const wfg::NodeConditions& node) {
   }
   return bytes;
 }
+
+// Flow correlation ids for the five wait-state message kinds: the top byte
+// is the kind, the rest identifies the message instance. Point-to-point
+// handshakes are keyed by the operation they concern (each send op gets one
+// passSend, each recv op one recvActive and one recvActiveAck); collective
+// ready/ack flows are per hop, keyed by (comm, wave, hop endpoint) — the
+// source node for upward ready hops, the destination for downward ack hops.
+constexpr std::uint64_t kPassSendFlow = 1;
+constexpr std::uint64_t kRecvActiveFlow = 2;
+constexpr std::uint64_t kRecvActiveAckFlow = 3;
+constexpr std::uint64_t kCollReadyFlow = 4;
+constexpr std::uint64_t kCollAckFlow = 5;
+
+std::uint64_t packOpFlow(std::uint64_t kind, trace::OpId op) {
+  return (kind << 56) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(op.proc))
+          << 32) |
+         static_cast<std::uint32_t>(op.ts);
+}
+
+std::uint64_t packCollFlow(std::uint64_t kind, mpi::CommId comm,
+                           std::uint32_t wave, NodeId node) {
+  return (kind << 56) |
+         ((static_cast<std::uint64_t>(static_cast<std::uint32_t>(comm)) &
+           0xFFFF) << 40) |
+         (static_cast<std::uint64_t>(wave & 0xFFFFF) << 20) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(node)) &
+          0xFFFFF);
+}
 }  // namespace
 
 /// Per-TBON-node runtime state. First-layer nodes own a tracker; inner nodes
@@ -68,6 +98,8 @@ std::size_t conditionBytes(const wfg::NodeConditions& node) {
 struct DistributedTool::NodeState : waitstate::Comms {
   DistributedTool& tool;
   NodeId id;
+  /// This node's flight-recorder track (null when tracing is off).
+  support::TraceTrack* trace = nullptr;
   std::unique_ptr<waitstate::DistributedTracker> tracker;  // first layer only
 
   // Inner-node collectiveReady aggregation: accumulated ready counts per
@@ -118,6 +150,7 @@ struct DistributedTool::NodeState : waitstate::Comms {
   }
 
   NodeState(DistributedTool& t, NodeId nodeId) : tool(t), id(nodeId) {
+    trace = tool.nodeTrack(nodeId);
     const tbon::NodeInfo& info = tool.topology_.node(nodeId);
     if (tool.topology_.isFirstLayer(nodeId)) {
       waitstate::TrackerConfig cfg;
@@ -125,6 +158,7 @@ struct DistributedTool::NodeState : waitstate::Comms {
       cfg.eagerThreshold = tool.config_.eagerThreshold;
       cfg.consumedHistory = tool.config_.consumedHistory;
       cfg.metrics = &tool.metrics_;
+      cfg.trace = trace;
       tracker = std::make_unique<waitstate::DistributedTracker>(
           info.procLo, info.procHi, *this, tool.commView_, cfg);
       lastCondBytes.assign(
@@ -135,22 +169,38 @@ struct DistributedTool::NodeState : waitstate::Comms {
   // waitstate::Comms — route by destination process / towards the root.
   void passSend(const waitstate::PassSendMsg& msg) override {
     const NodeId dest = tool.topology_.nodeOfProc(msg.destProc);
+    if (trace) {
+      trace->flowBegin("passSend", "waitstate",
+                       packOpFlow(kPassSendFlow, msg.sendOp));
+    }
     tool.overlay_->sendIntralayer(id, dest, ToolMsg{msg},
                                   waitstate::kPassSendBytes);
   }
   void recvActive(ProcId sendProc,
                   const waitstate::RecvActiveMsg& msg) override {
     const NodeId dest = tool.topology_.nodeOfProc(sendProc);
+    if (trace) {
+      trace->flowBegin("recvActive", "waitstate",
+                       packOpFlow(kRecvActiveFlow, msg.recvOp));
+    }
     tool.overlay_->sendIntralayer(id, dest, ToolMsg{msg},
                                   waitstate::kRecvActiveBytes);
   }
   void recvActiveAck(ProcId recvProc,
                      const waitstate::RecvActiveAckMsg& msg) override {
     const NodeId dest = tool.topology_.nodeOfProc(recvProc);
+    if (trace) {
+      trace->flowBegin("recvActiveAck", "waitstate",
+                       packOpFlow(kRecvActiveAckFlow, msg.recvOp));
+    }
     tool.overlay_->sendIntralayer(id, dest, ToolMsg{msg},
                                   waitstate::kRecvActiveAckBytes);
   }
   void collectiveReady(const waitstate::CollectiveReadyMsg& msg) override {
+    if (trace) {
+      trace->flowBegin("collectiveReady", "waitstate",
+                       packCollFlow(kCollReadyFlow, msg.comm, msg.wave, id));
+    }
     if (tool.topology_.isRoot(id)) {
       // Single-node tree: keep queue semantics with a self-send.
       tool.overlay_->sendIntralayer(id, id, ToolMsg{msg},
@@ -185,6 +235,22 @@ DistributedTool::DistributedTool(sim::Scheduler& engine, mpi::Runtime& runtime,
         return messageCost(node, msg);
       });
   overlay_->setMetrics(&metrics_);
+  if (config_.tracer != nullptr && config_.tracer->enabled()) {
+    // The overlay registers (create-or-get) the same per-node tracks; cache
+    // the handles before the NodeState loop below so trackers get theirs.
+    overlay_->setTracer(config_.tracer);
+    nodeTracks_.resize(static_cast<std::size_t>(topology_.nodeCount()));
+    for (NodeId n = 0; n < topology_.nodeCount(); ++n) {
+      nodeTracks_[static_cast<std::size_t>(n)] = config_.tracer->track(
+          support::TrackKind::kToolNode, n,
+          support::format("node %d L%d", n, topology_.node(n).layer));
+    }
+    rootTrack_ = nodeTrack(topology_.root());
+    overlay_->setDeliveryTrace(
+        [this](NodeId self, NodeId srcNode, const ToolMsg& msg) {
+          traceDelivery(self, srcNode, msg);
+        });
+  }
   // Only the wait-state data plane coalesces; every control message of the
   // consistent-state protocol ships immediately (flushing staged traffic on
   // its link so it cannot overtake earlier messages).
@@ -364,6 +430,55 @@ mpi::Interposer::Hold DistributedTool::onEvent(const trace::Event& event) {
   return hold;
 }
 
+void DistributedTool::traceDelivery(NodeId self, NodeId srcNode,
+                                    const ToolMsg& msg) {
+  support::TraceTrack* track = nodeTrack(self);
+  if (track == nullptr) return;
+  std::visit(
+      Overloaded{
+          [&](const waitstate::PassSendMsg& m) {
+            track->flowEnd("passSend", "waitstate",
+                           packOpFlow(kPassSendFlow, m.sendOp));
+          },
+          [&](const waitstate::RecvActiveMsg& m) {
+            track->flowEnd("recvActive", "waitstate",
+                           packOpFlow(kRecvActiveFlow, m.recvOp));
+          },
+          [&](const waitstate::RecvActiveAckMsg& m) {
+            track->flowEnd("recvActiveAck", "waitstate",
+                           packOpFlow(kRecvActiveAckFlow, m.recvOp));
+          },
+          [&](const waitstate::CollectiveReadyMsg& m) {
+            track->flowEnd(
+                "collectiveReady", "waitstate",
+                packCollFlow(kCollReadyFlow, m.comm, m.wave, srcNode));
+          },
+          [&](const waitstate::CollectiveAckMsg& m) {
+            track->flowEnd("collectiveAck", "waitstate",
+                           packCollFlow(kCollAckFlow, m.comm, m.wave, self));
+          },
+          [&](const PingMsg& m) {
+            track->instant("ping", "consistent", "origin", m.origin,
+                           "remaining", m.remaining);
+          },
+          [&](const PongMsg& m) {
+            track->instant("pong", "consistent", "responder", m.responder,
+                           "remaining", m.remaining);
+          },
+          [&](const RequestWaitsMsg& m) {
+            track->instant("requestWaits", "detect", "epoch", m.epoch,
+                           "baseEpoch", m.baseEpoch);
+          },
+          [&](const WaitInfoMsg& m) {
+            track->instant("waitInfo", "detect", "conditions",
+                           static_cast<std::int64_t>(m.conditions.size()),
+                           "unchanged", m.unchangedCount);
+          },
+          [&](const auto&) {},
+      },
+      msg);
+}
+
 // --- Message dispatch -------------------------------------------------------------
 
 sim::Duration DistributedTool::messageCost(NodeId /*node*/,
@@ -396,12 +511,24 @@ sim::Duration DistributedTool::messageCost(NodeId /*node*/,
 
 void DistributedTool::broadcastDown(NodeId from, const ToolMsg& msg) {
   const tbon::NodeInfo& info = topology_.node(from);
+  support::TraceTrack* track = nodeTrack(from);
+  const waitstate::CollectiveAckMsg* ack =
+      std::get_if<waitstate::CollectiveAckMsg>(&msg);
   if (info.children.empty()) {
     // Single-node tree: the root is also the first layer; self-deliver.
+    if (track != nullptr && ack != nullptr) {
+      track->flowBegin("collectiveAck", "waitstate",
+                       packCollFlow(kCollAckFlow, ack->comm, ack->wave, from));
+    }
     overlay_->sendIntralayer(from, from, ToolMsg{msg}, modeledSize(msg));
     return;
   }
   for (const NodeId child : info.children) {
+    if (track != nullptr && ack != nullptr) {
+      track->flowBegin(
+          "collectiveAck", "waitstate",
+          packCollFlow(kCollAckFlow, ack->comm, ack->wave, child));
+    }
     overlay_->sendDown(from, child, ToolMsg{msg}, modeledSize(msg));
   }
 }
@@ -526,11 +653,16 @@ void DistributedTool::handleMessage(NodeId node, ToolMsg&& msg) {
                   overlay_->intralayerDataDelivered(node, peer)};
             }
             ns.pingCandidates.clear();
+            const auto reported =
+                static_cast<std::int64_t>(info.conditions.size());
             if (topology_.isRoot(node)) {
               handleWaitInfoAtRoot(std::move(info));
             } else {
               const std::size_t bytes = modeledSize(ToolMsg{info});
               overlay_->sendUp(node, ToolMsg{std::move(info)}, bytes);
+            }
+            if (ns.trace) {
+              ns.trace->spanEnd("stopped", "consistent", "reported", reported);
             }
             ns.tracker->resumeProgress();
           },
@@ -612,6 +744,11 @@ void DistributedTool::handleCollectiveReady(
   if (count == expected) {
     waitstate::CollectiveReadyMsg up = msg;
     up.readyCount = expected;
+    if (ns.trace) {
+      ns.trace->flowBegin("collectiveReady", "waitstate",
+                          packCollFlow(kCollReadyFlow, msg.comm, msg.wave,
+                                       node));
+    }
     overlay_->sendUp(node, ToolMsg{up}, waitstate::kCollectiveReadyBytes);
     ns.innerWaves.erase({msg.comm, msg.wave});
   }
@@ -654,12 +791,17 @@ void DistributedTool::startDetection() {
   gatheredProcs_ = 0;
   gatheredUnchanged_ = 0;
   syncStart_ = engine_.now();
+  if (rootTrack_) {
+    rootTrack_->spanBegin("detection", "detect", "epoch", epoch_);
+    rootTrack_->spanBegin("sync", "detect");
+  }
   broadcastDown(topology_.root(), ToolMsg{RequestConsistentStateMsg{epoch_}});
 }
 
 void DistributedTool::handleRequestConsistentState(NodeId node,
                                                    std::uint32_t epoch) {
   NodeState& ns = *nodes_[static_cast<std::size_t>(node)];
+  if (ns.trace) ns.trace->spanBegin("stopped", "consistent", "epoch", epoch);
   ns.tracker->stopProgress();
   ns.epoch = epoch;
 
@@ -701,12 +843,19 @@ void DistributedTool::handleRequestConsistentState(NodeId node,
     // remaining=1: one more ping-pong follows — the double ping-pong.
     overlay_->sendIntralayer(node, peer, ToolMsg{PingMsg{node, 1}}, 12);
   }
+  if (ns.trace) {
+    ns.trace->instant("pings", "consistent", "sent", sent, "skipped",
+                      static_cast<std::int64_t>(ns.skippedPeers.size()));
+  }
   ns.outstandingPeers = sent;
   if (ns.outstandingPeers == 0) maybeAckConsistentState(node);
 }
 
 void DistributedTool::maybeAckConsistentState(NodeId node) {
   NodeState& ns = *nodes_[static_cast<std::size_t>(node)];
+  if (ns.trace) {
+    ns.trace->instant("ackConsistentState", "consistent", "epoch", ns.epoch);
+  }
   const ToolMsg ack{AckConsistentStateMsg{ns.epoch, 1}};
   if (topology_.isRoot(node)) {
     overlay_->sendIntralayer(node, node, ack, 12);
@@ -717,6 +866,10 @@ void DistributedTool::maybeAckConsistentState(NodeId node) {
 
 void DistributedTool::handleRootAllAcked() {
   syncEnd_ = engine_.now();
+  if (rootTrack_) {
+    rootTrack_->spanEnd("sync", "detect");
+    rootTrack_->spanBegin("gather", "detect");
+  }
   // baseEpoch names the last round the root fully integrated; trackers whose
   // previous reply matches it send deltas, everyone else replies in full.
   const std::uint32_t base =
@@ -749,12 +902,25 @@ void DistributedTool::handleWaitInfoAtRoot(WaitInfoMsg&& msg) {
 }
 
 void DistributedTool::finishDetection() {
+  if (rootTrack_) rootTrack_->spanEnd("gather", "detect");
   using Clock = std::chrono::steady_clock;
   const wfg::IncrementalWfg::RoundResult round =
       incremental_->commit(/*forceFull=*/!config_.incrementalGather);
   const auto t2 = Clock::now();
   wfg::Report report = wfg::makeReport(incremental_->graph(), round.check);
   const auto t3 = Clock::now();
+  // Only deterministic arguments here: delta sizes, prune counts, verdicts.
+  // The round's wall-clock compute times (buildNs/checkNs) must never enter
+  // the trace — they differ across runs and thread counts.
+  if (rootTrack_) {
+    rootTrack_->instant("wfgApply", "detect", "repruned",
+                        round.repruned, "seedReleased", round.seedReleased);
+    rootTrack_->instant("check", "detect", "deadlock",
+                        round.check.deadlock ? 1 : 0, "warmStart",
+                        round.warmStart ? 1 : 0);
+    rootTrack_->instant("report", "detect", "dotBytes",
+                        static_cast<std::int64_t>(report.dotBytes));
+  }
 
   report.times.synchronizationNs = syncEnd_ - syncStart_;
   report.times.wfgGatherNs = gatherEnd_ - syncEnd_;
@@ -834,6 +1000,31 @@ void DistributedTool::finishDetection() {
   }
   detectionInProgress_ = false;
   ++detectionsCompleted_;
+  if (rootTrack_) {
+    rootTrack_->spanEnd("detection", "detect", "changed",
+                        static_cast<std::int64_t>(gatheredProcs_));
+  }
+}
+
+void DistributedTool::attachTraceToReport() {
+  if (!report_ || !report_->deadlock || config_.tracer == nullptr ||
+      !config_.tracer->enabled()) {
+    return;
+  }
+  std::vector<support::ProcBlockedProfile> profiles =
+      support::attributeBlockedTime(
+          *config_.tracer, static_cast<std::uint64_t>(engine_.now()),
+          /*tailCount=*/16);
+  std::vector<support::ProcBlockedProfile> deadlocked;
+  for (support::ProcBlockedProfile& profile : profiles) {
+    const trace::ProcId proc = profile.proc;
+    if (std::find(report_->check.deadlocked.begin(),
+                  report_->check.deadlocked.end(),
+                  proc) != report_->check.deadlocked.end()) {
+      deadlocked.push_back(std::move(profile));
+    }
+  }
+  wfg::appendWaitHistory(*report_, deadlocked);
 }
 
 }  // namespace wst::must

@@ -118,6 +118,13 @@ struct ToolConfig {
   /// Run the full rebuild + cold check next to every incremental round and
   /// count divergences in verdict, deadlock set, or DOT output.
   bool verifyIncremental = false;
+
+  /// Optional flight recorder (support/tracing.hpp). When set and enabled,
+  /// the tool records wait-state message flows (emit -> handle, across
+  /// nodes), detection-round phase spans, and consistent-state protocol
+  /// events on per-node tracks. Null (or a disabled tracer) keeps every
+  /// recording site on its pointer-check fast path.
+  support::Tracer* tracer = nullptr;
 };
 
 class DistributedTool : public mpi::Interposer {
@@ -203,6 +210,13 @@ class DistributedTool : public mpi::Interposer {
   /// Manually start a detection round (tests / ablations).
   void startDetection();
 
+  /// Post-run: append per-process blocked-time attribution (by op kind and
+  /// by peer) and flight-recorder tails of the deadlocked processes to the
+  /// report's HTML. Reads app-proc tracks, which the main LP writes — call
+  /// only after engine.run() returned (all LPs quiescent), never from inside
+  /// a detection round. No-op without a tracer or a deadlock report.
+  void attachTraceToReport();
+
  private:
   struct NodeState;
 
@@ -224,6 +238,17 @@ class DistributedTool : public mpi::Interposer {
   void onQuiescence();
   void onPeriodic();
 
+  /// Flight-recorder hook run by the overlay on the receiving node's LP just
+  /// before the handler: closes wait-state message flows and marks protocol
+  /// deliveries.
+  void traceDelivery(tbon::NodeId self, tbon::NodeId srcNode,
+                     const ToolMsg& msg);
+  support::TraceTrack* nodeTrack(tbon::NodeId node) const {
+    return nodeTracks_.empty()
+               ? nullptr
+               : nodeTracks_[static_cast<std::size_t>(node)];
+  }
+
   sim::Scheduler& engine_;
   mpi::Runtime& runtime_;
   ToolConfig config_;
@@ -231,6 +256,10 @@ class DistributedTool : public mpi::Interposer {
   tbon::Topology topology_;
   support::MetricsRegistry metrics_;
   std::unique_ptr<tbon::Overlay<ToolMsg>> overlay_;
+  /// Per-node flight-recorder tracks (empty when tracing is off); the root's
+  /// track carries the detection-round phase spans.
+  std::vector<support::TraceTrack*> nodeTracks_;
+  support::TraceTrack* rootTrack_ = nullptr;
   std::vector<std::unique_ptr<NodeState>> nodes_;  // first-layer trackers
   std::size_t quiescenceHookId_ = 0;
   /// Delivered-message counters, indexed by ToolMsg variant alternative.

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "support/assert.hpp"
+#include "support/tracing.hpp"
 
 namespace wst::sim {
 
@@ -57,6 +58,10 @@ bool Engine::runQuiescenceHooks() {
 void Engine::run() {
   for (;;) {
     while (step()) {
+    }
+    if (traceTrack_ != nullptr) {
+      traceTrack_->instant("quiescence", "engine", "events",
+                           static_cast<std::int64_t>(executed_));
     }
     if (!runQuiescenceHooks()) return;
   }

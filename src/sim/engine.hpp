@@ -29,6 +29,10 @@
 
 #include "sim/time.hpp"
 
+namespace wst::support {
+class TraceTrack;
+}  // namespace wst::support
+
 namespace wst::sim {
 
 /// Identifier of a logical process (an independently schedulable event
@@ -182,6 +186,15 @@ class Scheduler {
   /// LP order. Byte-identical across worker counts for the same workload —
   /// the determinism tests' primary witness.
   virtual std::uint64_t traceHash() const = 0;
+
+  /// Attach a flight-recorder track for engine-level events (quiescence
+  /// moments). Null detaches. Only deterministic values may be recorded
+  /// here: quiescence times and executed-event counts are identical across
+  /// worker counts, per-round worker statistics are not.
+  void setTraceTrack(support::TraceTrack* track) { traceTrack_ = track; }
+
+ protected:
+  support::TraceTrack* traceTrack_ = nullptr;
 };
 
 /// The single-threaded engine.

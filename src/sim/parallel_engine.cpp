@@ -7,6 +7,7 @@
 
 #include "support/assert.hpp"
 #include "support/metrics.hpp"
+#include "support/tracing.hpp"
 
 namespace wst::sim {
 
@@ -175,6 +176,7 @@ void ParallelEngine::buildRound(Time tmin) {
     }
   }
   ++stats_.rounds;
+  roundOccupancy_.record(ready_.size());
 }
 
 void ParallelEngine::runLp(Lp& lp, std::size_t worker) {
@@ -278,6 +280,12 @@ void ParallelEngine::run() {
     const Time tmin = minNextEventTime();
     if (tmin == kNever) {
       for (const Lp& lp : lps_) globalNow_ = std::max(globalNow_, lp.now);
+      // Quiescence time and total executed events are deterministic across
+      // worker counts (round/stall counters are not — keep them out).
+      if (traceTrack_ != nullptr) {
+        traceTrack_->instant("quiescence", "engine", "events",
+                             static_cast<std::int64_t>(eventsExecuted()));
+      }
       if (!runQuiescenceHooks()) break;
       continue;
     }
@@ -319,6 +327,10 @@ void ParallelEngine::publishMetrics(support::MetricsRegistry& metrics,
       .set(static_cast<std::int64_t>(lookahead_));
   metrics.gauge("engine/events")
       .set(static_cast<std::int64_t>(eventsExecuted()));
+  metrics.gauge("engine/round_occupancy_p50")
+      .set(static_cast<std::int64_t>(roundOccupancy_.quantile(0.5)));
+  metrics.gauge("engine/round_occupancy_p99")
+      .set(static_cast<std::int64_t>(roundOccupancy_.quantile(0.99)));
   if (!includePerWorker) return;
   metrics.gauge("engine/threads").set(threads_);
   for (std::size_t i = 0; i < stats_.workerEvents.size(); ++i) {

@@ -40,10 +40,7 @@
 #include <vector>
 
 #include "sim/engine.hpp"
-
-namespace wst::support {
-class MetricsRegistry;
-}  // namespace wst::support
+#include "support/metrics.hpp"
 
 namespace wst::sim {
 
@@ -92,6 +89,9 @@ class ParallelEngine final : public Scheduler {
   std::int32_t threads() const { return threads_; }
   Duration lookahead() const { return lookahead_; }
   const Stats& stats() const { return stats_; }
+  /// Distribution of concurrently-runnable LPs per round (the parallelism
+  /// the conservative horizon actually exposed).
+  const support::Histogram& roundOccupancy() const { return roundOccupancy_; }
 
   /// Publish engine statistics as gauges (engine/rounds, engine/lps,
   /// engine/horizon_stalls, engine/cross_lp_events, engine/events,
@@ -171,6 +171,7 @@ class ParallelEngine final : public Scheduler {
   bool shutdown_ = false;
 
   Stats stats_;
+  support::Histogram roundOccupancy_;
 };
 
 }  // namespace wst::sim

@@ -1,5 +1,6 @@
 #include "support/metrics.hpp"
 
+#include <algorithm>
 #include <bit>
 
 #include "support/strings.hpp"
@@ -25,6 +26,35 @@ std::size_t Histogram::bucketEnd() const {
   std::size_t end = kBuckets;
   while (end > 0 && bucket(end - 1) == 0) --end;
   return end;
+}
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (q <= 0.0) return static_cast<double>(min());
+  if (q >= 1.0) return static_cast<double>(max());
+  // Fractional rank in [0, n-1]; find the bucket holding that rank.
+  const double rank = q * static_cast<double>(n - 1);
+  std::uint64_t below = 0;
+  for (std::size_t k = 0; k < kBuckets; ++k) {
+    const std::uint64_t inBucket = bucket(k);
+    if (inBucket == 0) continue;
+    if (rank < static_cast<double>(below + inBucket)) {
+      // Bucket k holds values needing k bits: [2^(k-1), 2^k - 1] (bucket 0
+      // holds only 0). Interpolate by the rank's position inside the bucket.
+      double lo = k == 0 ? 0.0 : static_cast<double>(1ULL << (k - 1));
+      double hi = k == 0 ? 0.0 : static_cast<double>((1ULL << (k - 1)) * 2 - 1);
+      const double within =
+          (rank - static_cast<double>(below)) / static_cast<double>(inBucket);
+      double value = lo + (hi - lo) * within;
+      // The true extremes are known exactly; never estimate past them.
+      value = std::max(value, static_cast<double>(min()));
+      value = std::min(value, static_cast<double>(max()));
+      return value;
+    }
+    below += inBucket;
+  }
+  return static_cast<double>(max());
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
@@ -56,27 +86,6 @@ Histogram& MetricsRegistry::histogram(std::string_view name) {
   return it->second;
 }
 
-namespace {
-
-// Metric names are restricted to [A-Za-z0-9._/-] by convention; escape the
-// JSON-significant characters anyway so a stray name cannot corrupt a dump.
-std::string jsonEscape(std::string_view text) {
-  std::string out;
-  out.reserve(text.size());
-  for (const char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default: out += c; break;
-    }
-  }
-  return out;
-}
-
-}  // namespace
-
 std::string MetricsRegistry::toJson() const {
   std::lock_guard lock(mu_);
   std::string out = "{\"counters\": {";
@@ -101,12 +110,14 @@ std::string MetricsRegistry::toJson() const {
   for (const auto& [name, histogram] : histograms_) {
     out += format(
         "%s\"%s\": {\"count\": %llu, \"sum\": %llu, \"min\": %llu, "
-        "\"max\": %llu, \"mean\": %.3f, \"buckets\": [",
+        "\"max\": %llu, \"mean\": %.3f, \"p50\": %.3f, \"p99\": %.3f, "
+        "\"buckets\": [",
         first ? "" : ", ", jsonEscape(name).c_str(),
         static_cast<unsigned long long>(histogram.count()),
         static_cast<unsigned long long>(histogram.sum()),
         static_cast<unsigned long long>(histogram.min()),
-        static_cast<unsigned long long>(histogram.max()), histogram.mean());
+        static_cast<unsigned long long>(histogram.max()), histogram.mean(),
+        histogram.quantile(0.5), histogram.quantile(0.99));
     for (std::size_t b = 0; b < histogram.bucketEnd(); ++b) {
       out += format("%s%llu", b == 0 ? "" : ", ",
                     static_cast<unsigned long long>(histogram.bucket(b)));

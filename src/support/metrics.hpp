@@ -107,6 +107,13 @@ class Histogram {
   /// Index one past the highest non-empty bucket.
   std::size_t bucketEnd() const;
 
+  /// Bucket-interpolated quantile estimate: walks the cumulative counts to
+  /// the bucket containing rank q*(count-1) and interpolates linearly within
+  /// the bucket's value range [2^(k-1), 2^k - 1], clamped to the exact
+  /// min()/max() samples. q <= 0 returns min(), q >= 1 returns max(), and an
+  /// empty histogram returns 0.
+  double quantile(double q) const;
+
  private:
   std::atomic<std::uint64_t> buckets_[kBuckets]{};
   std::atomic<std::uint64_t> count_{0};

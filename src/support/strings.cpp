@@ -64,6 +64,30 @@ std::string htmlEscape(std::string_view text) {
   return out;
 }
 
+std::string jsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += format("\\u%04x", static_cast<unsigned>(
+                                       static_cast<unsigned char>(c)));
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
 std::string dotEscape(std::string_view text) {
   std::string out;
   out.reserve(text.size());

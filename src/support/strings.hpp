@@ -28,6 +28,13 @@ std::string withCommas(std::uint64_t value);
 /// Escape a string for inclusion in HTML text content.
 std::string htmlEscape(std::string_view text);
 
+/// Escape a string for inclusion in a JSON double-quoted string: the
+/// two mandatory escapes (`"`, `\`), the common short forms (\b \f \n \r
+/// \t), and \u00XX for every remaining control character below 0x20 —
+/// RFC 8259 requires all of them, and an unescaped control character makes
+/// the whole document unparsable.
+std::string jsonEscape(std::string_view text);
+
 /// Escape a string for inclusion in a DOT double-quoted identifier.
 std::string dotEscape(std::string_view text);
 

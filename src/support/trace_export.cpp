@@ -1,0 +1,220 @@
+#include "support/trace_export.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string_view>
+
+#include "support/strings.hpp"
+
+namespace wst::support {
+
+namespace {
+
+/// Synthetic Chrome-trace process id per track kind (0 is reserved).
+int pidFor(TrackKind kind) { return static_cast<int>(kind) + 1; }
+
+const char* kindProcessName(TrackKind kind) {
+  switch (kind) {
+    case TrackKind::kAppProc: return "app";
+    case TrackKind::kToolNode: return "tool";
+    case TrackKind::kEngine: return "engine";
+  }
+  return "?";
+}
+
+/// Virtual ns -> trace µs with exact 3-decimal rendering.
+std::string formatTs(std::uint64_t ns) {
+  return format("%llu.%03llu", static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+}
+
+std::string renderArgs(const TraceEvent& ev) {
+  if (ev.argName0 == nullptr) return {};
+  std::string args =
+      format(",\"args\":{\"%s\":%lld", jsonEscape(ev.argName0).c_str(),
+             static_cast<long long>(ev.arg0));
+  if (ev.argName1 != nullptr) {
+    args += format(",\"%s\":%lld", jsonEscape(ev.argName1).c_str(),
+                   static_cast<long long>(ev.arg1));
+  }
+  args += "}";
+  return args;
+}
+
+std::string renderEvent(int pid, std::int32_t tid, const TraceEvent& ev) {
+  const char* ph = "i";
+  const char* extra = "";
+  switch (ev.type) {
+    case TraceEventType::kSpanBegin: ph = "B"; break;
+    case TraceEventType::kSpanEnd: ph = "E"; break;
+    case TraceEventType::kInstant: ph = "i"; extra = ",\"s\":\"t\""; break;
+    case TraceEventType::kFlowBegin: ph = "s"; break;
+    case TraceEventType::kFlowEnd: ph = "f"; extra = ",\"bp\":\"e\""; break;
+    case TraceEventType::kAsyncBegin: ph = "b"; break;
+    case TraceEventType::kAsyncEnd: ph = "e"; break;
+  }
+  std::string line = format(
+      "{\"ph\":\"%s\",\"pid\":%d,\"tid\":%d,\"ts\":%s,\"name\":\"%s\","
+      "\"cat\":\"%s\"%s",
+      ph, pid, tid, formatTs(ev.ts).c_str(),
+      jsonEscape(ev.name != nullptr ? ev.name : "").c_str(),
+      jsonEscape(ev.cat != nullptr ? ev.cat : "").c_str(), extra);
+  const bool needsId = ev.type == TraceEventType::kFlowBegin ||
+                       ev.type == TraceEventType::kFlowEnd ||
+                       ev.type == TraceEventType::kAsyncBegin ||
+                       ev.type == TraceEventType::kAsyncEnd;
+  if (needsId) {
+    line += format(",\"id\":\"0x%llx\"",
+                   static_cast<unsigned long long>(ev.id));
+  }
+  line += renderArgs(ev);
+  line += "}";
+  return line;
+}
+
+}  // namespace
+
+std::string toChromeTraceJson(const Tracer& tracer) {
+  const std::vector<const TraceTrack*> tracks = tracer.sortedTracks();
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  const auto emit = [&](const std::string& line) {
+    if (!first) out += ",\n";
+    out += line;
+    first = false;
+  };
+
+  // Metadata: name the synthetic processes (once per kind present) and each
+  // track's thread. sortedTracks() is (kind, index) ordered already.
+  int lastPid = 0;
+  for (const TraceTrack* track : tracks) {
+    const int pid = pidFor(track->kind());
+    if (pid != lastPid) {
+      emit(format("{\"ph\":\"M\",\"pid\":%d,\"name\":\"process_name\","
+                  "\"args\":{\"name\":\"%s\"}}",
+                  pid, kindProcessName(track->kind())));
+      lastPid = pid;
+    }
+    emit(format("{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":"
+                "\"thread_name\",\"args\":{\"name\":\"%s\"}}",
+                pid, track->index(), jsonEscape(track->name()).c_str()));
+  }
+
+  // Events, per track in ring (chronological) order. Flow endpoints also get
+  // a visible instant: naked s/f records render as nothing without an
+  // enclosing slice, and the message send/receive points should be findable
+  // on the timeline.
+  for (const TraceTrack* track : tracks) {
+    const int pid = pidFor(track->kind());
+    track->forEach([&](const TraceEvent& ev) {
+      if (ev.type == TraceEventType::kFlowBegin ||
+          ev.type == TraceEventType::kFlowEnd) {
+        TraceEvent marker = ev;
+        marker.type = TraceEventType::kInstant;
+        emit(renderEvent(pid, track->index(), marker));
+      }
+      emit(renderEvent(pid, track->index(), ev));
+    });
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+namespace {
+
+std::string peerLabel(std::int64_t peer) {
+  if (peer >= 0) return format("rank %lld", static_cast<long long>(peer));
+  if (peer == -1) return "any";
+  if (peer == -2) return "multiple";
+  return "none";
+}
+
+std::string renderTailEvent(const TraceEvent& ev) {
+  const char* marker = "?";
+  switch (ev.type) {
+    case TraceEventType::kSpanBegin: marker = "begin"; break;
+    case TraceEventType::kSpanEnd: marker = "end"; break;
+    case TraceEventType::kInstant: marker = "at"; break;
+    case TraceEventType::kFlowBegin: marker = "flow>"; break;
+    case TraceEventType::kFlowEnd: marker = ">flow"; break;
+    case TraceEventType::kAsyncBegin: marker = "start"; break;
+    case TraceEventType::kAsyncEnd: marker = "finish"; break;
+  }
+  std::string line =
+      format("t=%s %s %s:%s", formatDurationNs(ev.ts).c_str(), marker,
+             ev.cat != nullptr ? ev.cat : "", ev.name != nullptr ? ev.name : "");
+  if (ev.argName0 != nullptr) {
+    line += format(" %s=%lld", ev.argName0, static_cast<long long>(ev.arg0));
+  }
+  if (ev.argName1 != nullptr) {
+    line += format(" %s=%lld", ev.argName1, static_cast<long long>(ev.arg1));
+  }
+  return line;
+}
+
+}  // namespace
+
+std::vector<ProcBlockedProfile> attributeBlockedTime(const Tracer& tracer,
+                                                     std::uint64_t endTs,
+                                                     std::size_t tailCount) {
+  std::vector<ProcBlockedProfile> out;
+  for (const TraceTrack* track : tracer.sortedTracks()) {
+    if (track->kind() != TrackKind::kAppProc) continue;
+    ProcBlockedProfile profile;
+    profile.proc = track->index();
+
+    struct OpenSpan {
+      std::string_view name;
+      std::uint64_t ts = 0;
+      std::int64_t peer = 0;
+    };
+    std::vector<OpenSpan> open;
+    std::map<std::string, std::uint64_t> byKind;
+    std::map<std::int64_t, std::uint64_t> byPeer;
+    const auto account = [&](const OpenSpan& span, std::uint64_t until,
+                             std::int64_t peer) {
+      const std::uint64_t ns = until > span.ts ? until - span.ts : 0;
+      profile.totalBlockedNs += ns;
+      byKind[std::string(span.name)] += ns;
+      byPeer[peer] += ns;
+    };
+
+    std::vector<TraceEvent> tail;
+    track->forEach([&](const TraceEvent& ev) {
+      if (tailCount > 0) {
+        if (tail.size() == tailCount) tail.erase(tail.begin());
+        tail.push_back(ev);
+      }
+      if (ev.cat == nullptr || std::string_view(ev.cat) != "blocked") return;
+      if (ev.type == TraceEventType::kSpanBegin) {
+        open.push_back({ev.name != nullptr ? std::string_view(ev.name) : "?",
+                        ev.ts, ev.arg0});
+      } else if (ev.type == TraceEventType::kSpanEnd && !open.empty()) {
+        // The end event carries the *resolved* peer (wildcard receives learn
+        // their sender only on completion); prefer it over the begin's.
+        const OpenSpan span = open.back();
+        open.pop_back();
+        account(span, ev.ts, ev.argName0 != nullptr ? ev.arg0 : span.peer);
+      }
+    });
+    // Spans never closed are the ops still blocked when recording stopped —
+    // for a deadlocked process, the deadlocked call itself.
+    for (const OpenSpan& span : open) account(span, endTs, span.peer);
+
+    for (const auto& [kind, ns] : byKind) profile.byKind.emplace_back(kind, ns);
+    std::stable_sort(profile.byKind.begin(), profile.byKind.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.second > b.second;
+                     });
+    for (const auto& [peer, ns] : byPeer) {
+      profile.byPeer.emplace_back(peerLabel(peer), ns);
+    }
+    for (const TraceEvent& ev : tail) {
+      profile.tail.push_back(renderTailEvent(ev));
+    }
+    out.push_back(std::move(profile));
+  }
+  return out;
+}
+
+}  // namespace wst::support

@@ -1,0 +1,48 @@
+// Trace consumers: Chrome trace-event JSON export and the blocked-time
+// attribution pass over the flight recorder (support/tracing.hpp).
+//
+// Both walk the tracks in deterministic (kind, index) order and render
+// timestamps with fixed precision, so for a deterministic simulation the
+// output is byte-identical across worker thread counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/tracing.hpp"
+
+namespace wst::support {
+
+/// Serialize every track as Chrome trace-event JSON (the "traceEvents" array
+/// format; loads in Perfetto and chrome://tracing). Track kinds map to
+/// synthetic processes — app = pid 1, tool = pid 2, engine = pid 3 — with one
+/// thread per track; timestamps are virtual nanoseconds rendered as
+/// microseconds with 3 decimals (exact). Span events become B/E, instants i,
+/// flows s/f (with a visible instant at each endpoint), async intervals b/e.
+std::string toChromeTraceJson(const Tracer& tracer);
+
+/// Where one process's blocked time went, mined from the "blocked" spans of
+/// its app track.
+struct ProcBlockedProfile {
+  std::int32_t proc = -1;
+  std::uint64_t totalBlockedNs = 0;
+  /// Blocked nanoseconds by MPI operation kind, descending.
+  std::vector<std::pair<std::string, std::uint64_t>> byKind;
+  /// Blocked nanoseconds by peer ("rank N", "any", "multiple"), by rank.
+  std::vector<std::pair<std::string, std::uint64_t>> byPeer;
+  /// Human-readable rendering of the track's last events, oldest first.
+  std::vector<std::string> tail;
+};
+
+/// Pair up the "blocked" category spans of every app-process track and
+/// aggregate the durations by operation kind and by peer. Spans still open
+/// at the end of the recording — the deadlocked ops — are closed at `endTs`.
+/// `tailCount` caps the flight-recorder excerpt per process. Only call once
+/// the simulation is quiescent (tracks are single-writer, unsynchronized).
+std::vector<ProcBlockedProfile> attributeBlockedTime(const Tracer& tracer,
+                                                     std::uint64_t endTs,
+                                                     std::size_t tailCount);
+
+}  // namespace wst::support

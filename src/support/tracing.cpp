@@ -1,0 +1,69 @@
+#include "support/tracing.hpp"
+
+#include "support/assert.hpp"
+#include "support/metrics.hpp"
+
+namespace wst::support {
+
+TraceTrack::TraceTrack(Tracer* tracer, TrackKind kind, std::int32_t index,
+                       std::string name, std::size_t capacity)
+    : tracer_(tracer), kind_(kind), index_(index), name_(std::move(name)) {
+  WST_ASSERT(capacity > 0, "trace track capacity must be positive");
+  buffer_.resize(capacity);
+}
+
+void TraceTrack::push(TraceEvent event) {
+  event.ts = tracer_->clockNow();
+  const bool wraps = recorded_ >= buffer_.size();
+  buffer_[static_cast<std::size_t>(recorded_ % buffer_.size())] = event;
+  ++recorded_;
+  if (wraps && tracer_->dropCounter_ != nullptr) {
+    tracer_->dropCounter_->add(1);
+  }
+}
+
+std::vector<TraceEvent> TraceTrack::snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size());
+  forEach([&](const TraceEvent& event) { out.push_back(event); });
+  return out;
+}
+
+Tracer::Tracer(Config config) : config_(std::move(config)) {
+  if (config_.metrics != nullptr) {
+    dropCounter_ = &config_.metrics->counter("trace/dropped_events");
+  }
+}
+
+TraceTrack* Tracer::track(TrackKind kind, std::int32_t index,
+                          std::string_view name) {
+  if (!config_.enabled) return nullptr;
+  std::lock_guard lock(mu_);
+  const auto key = std::make_pair(static_cast<std::uint8_t>(kind), index);
+  auto it = tracks_.find(key);
+  if (it == tracks_.end()) {
+    it = tracks_
+             .emplace(key, std::unique_ptr<TraceTrack>(new TraceTrack(
+                               this, kind, index, std::string(name),
+                               config_.capacityPerTrack)))
+             .first;
+  }
+  return it->second.get();
+}
+
+std::vector<const TraceTrack*> Tracer::sortedTracks() const {
+  std::lock_guard lock(mu_);
+  std::vector<const TraceTrack*> out;
+  out.reserve(tracks_.size());
+  for (const auto& [key, track] : tracks_) out.push_back(track.get());
+  return out;  // std::map iterates in (kind, index) order already
+}
+
+std::uint64_t Tracer::totalDropped() const {
+  std::lock_guard lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [key, track] : tracks_) total += track->dropped();
+  return total;
+}
+
+}  // namespace wst::support

@@ -1,0 +1,223 @@
+// Flight recorder: bounded, per-track ring buffers of structured trace
+// events in virtual (sim) time.
+//
+// One TraceTrack exists per emitting context — one per simulated app process,
+// one per TBON tool node, one for the engine — and every track is written by
+// exactly one logical process (app procs live on the main LP; each tool node
+// owns its LP; the engine track is written only between rounds). Sharding by
+// writer makes the recorder lock-free without atomics AND deterministic: a
+// track's event sequence is the LP's deterministic execution order, so the
+// exported trace is byte-identical across worker thread counts — the same
+// discipline as the engine's trace hash.
+//
+// Cost model: components cache TraceTrack* handles once (nullptr when tracing
+// is disabled) and guard every emission with a pointer check, so argument
+// evaluation is skipped entirely on the disabled path — tracing off means one
+// predictable branch per site.
+//
+// Memory model: each ring holds a fixed number of events and overwrites the
+// oldest on wrap; drops are counted per track and aggregated into the
+// `trace/dropped_events` metric so truncation is visible, never silent.
+//
+// Event names, categories, and argument names must be string literals (or
+// otherwise outlive the tracer): events store the pointers, not copies.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace wst::support {
+
+class Counter;
+class MetricsRegistry;
+class Tracer;
+
+/// Which world a track belongs to; exported as one Chrome-trace process per
+/// kind. Enumerator order is the export order.
+enum class TrackKind : std::uint8_t {
+  kAppProc = 0,   // one per simulated MPI rank
+  kToolNode = 1,  // one per TBON tool node
+  kEngine = 2,    // engine-level events (quiescence)
+};
+
+enum class TraceEventType : std::uint8_t {
+  kSpanBegin,   // Chrome "B" — must nest per track
+  kSpanEnd,     // Chrome "E"
+  kInstant,     // Chrome "i"
+  kFlowBegin,   // Chrome "s" — cross-track arrow start, matched by id
+  kFlowEnd,     // Chrome "f" (bp:"e") — arrow end
+  kAsyncBegin,  // Chrome "b" — overlapping interval, matched by (cat, id)
+  kAsyncEnd,    // Chrome "e"
+};
+
+/// One recorded event. POD-sized on purpose: the ring pre-allocates
+/// capacity * sizeof(TraceEvent) bytes per track.
+struct TraceEvent {
+  std::uint64_t ts = 0;  // virtual time, nanoseconds
+  std::uint64_t id = 0;  // flow / async correlation id
+  std::int64_t arg0 = 0;
+  std::int64_t arg1 = 0;
+  const char* name = nullptr;
+  const char* cat = nullptr;
+  const char* argName0 = nullptr;  // null = no argument
+  const char* argName1 = nullptr;
+  TraceEventType type = TraceEventType::kInstant;
+};
+
+/// A single-writer ring buffer of trace events. Obtain from Tracer::track();
+/// record only from the owning LP. Reading (forEach/snapshot) is safe once
+/// the writer is quiescent — after run() or from a context ordered after the
+/// writer by a round barrier.
+class TraceTrack {
+ public:
+  void spanBegin(const char* name, const char* cat) {
+    push({0, 0, 0, 0, name, cat, nullptr, nullptr,
+          TraceEventType::kSpanBegin});
+  }
+  void spanBegin(const char* name, const char* cat, const char* argName0,
+                 std::int64_t arg0) {
+    push({0, 0, arg0, 0, name, cat, argName0, nullptr,
+          TraceEventType::kSpanBegin});
+  }
+  void spanEnd(const char* name, const char* cat) {
+    push({0, 0, 0, 0, name, cat, nullptr, nullptr, TraceEventType::kSpanEnd});
+  }
+  void spanEnd(const char* name, const char* cat, const char* argName0,
+               std::int64_t arg0) {
+    push({0, 0, arg0, 0, name, cat, argName0, nullptr,
+          TraceEventType::kSpanEnd});
+  }
+  void instant(const char* name, const char* cat) {
+    push({0, 0, 0, 0, name, cat, nullptr, nullptr, TraceEventType::kInstant});
+  }
+  void instant(const char* name, const char* cat, const char* argName0,
+               std::int64_t arg0) {
+    push({0, 0, arg0, 0, name, cat, argName0, nullptr,
+          TraceEventType::kInstant});
+  }
+  void instant(const char* name, const char* cat, const char* argName0,
+               std::int64_t arg0, const char* argName1, std::int64_t arg1) {
+    push({0, 0, arg0, arg1, name, cat, argName0, argName1,
+          TraceEventType::kInstant});
+  }
+  void flowBegin(const char* name, const char* cat, std::uint64_t id) {
+    push({0, id, 0, 0, name, cat, nullptr, nullptr,
+          TraceEventType::kFlowBegin});
+  }
+  void flowEnd(const char* name, const char* cat, std::uint64_t id) {
+    push({0, id, 0, 0, name, cat, nullptr, nullptr,
+          TraceEventType::kFlowEnd});
+  }
+  void asyncBegin(const char* name, const char* cat, std::uint64_t id,
+                  const char* argName0, std::int64_t arg0) {
+    push({0, id, arg0, 0, name, cat, argName0, nullptr,
+          TraceEventType::kAsyncBegin});
+  }
+  void asyncEnd(const char* name, const char* cat, std::uint64_t id,
+                const char* argName0, std::int64_t arg0) {
+    push({0, id, arg0, 0, name, cat, argName0, nullptr,
+          TraceEventType::kAsyncEnd});
+  }
+
+  TrackKind kind() const { return kind_; }
+  std::int32_t index() const { return index_; }
+  const std::string& name() const { return name_; }
+  std::size_t capacity() const { return buffer_.size(); }
+
+  /// Events offered to the track over its lifetime.
+  std::uint64_t recorded() const { return recorded_; }
+  /// Events lost to ring wrap (oldest-first).
+  std::uint64_t dropped() const {
+    return recorded_ > buffer_.size() ? recorded_ - buffer_.size() : 0;
+  }
+  /// Events currently held.
+  std::size_t size() const {
+    return recorded_ < buffer_.size() ? static_cast<std::size_t>(recorded_)
+                                      : buffer_.size();
+  }
+
+  /// Visit the retained events oldest -> newest.
+  template <typename Fn>
+  void forEach(Fn&& fn) const {
+    const std::size_t n = size();
+    const std::size_t start =
+        recorded_ <= buffer_.size()
+            ? 0
+            : static_cast<std::size_t>(recorded_ % buffer_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      fn(buffer_[(start + i) % buffer_.size()]);
+    }
+  }
+
+  /// The retained events oldest -> newest, copied out.
+  std::vector<TraceEvent> snapshot() const;
+
+ private:
+  friend class Tracer;
+  TraceTrack(Tracer* tracer, TrackKind kind, std::int32_t index,
+             std::string name, std::size_t capacity);
+
+  void push(TraceEvent event);
+
+  Tracer* tracer_;
+  TrackKind kind_;
+  std::int32_t index_;
+  std::string name_;
+  std::vector<TraceEvent> buffer_;  // fixed size; recorded_ mod size = head
+  std::uint64_t recorded_ = 0;
+};
+
+/// Owner of all tracks of one run. Construction and track() are cheap enough
+/// to always wire up; when `Config::enabled` is false, track() hands out
+/// nullptr so every instrumented site degrades to a null check.
+class Tracer {
+ public:
+  /// Virtual-time source, typically [&engine] { return engine.now(); }.
+  /// Must return the executing LP's clock so event timestamps stay
+  /// deterministic across worker counts. Wall clocks are banned here — they
+  /// would break the byte-identical-across-threads guarantee.
+  using Clock = std::function<std::uint64_t()>;
+
+  struct Config {
+    std::size_t capacityPerTrack = 4096;
+    Clock clock;
+    MetricsRegistry* metrics = nullptr;  // optional drop-counter sink
+    bool enabled = true;
+  };
+
+  explicit Tracer(Config config);
+
+  bool enabled() const { return config_.enabled; }
+  std::uint64_t clockNow() const { return config_.clock ? config_.clock() : 0; }
+
+  /// Create-or-get the track for (kind, index); `name` labels the track in
+  /// the exported trace (first caller wins). Returns nullptr when tracing is
+  /// disabled. Serialized by a mutex — call during setup and cache the
+  /// pointer, not on hot paths.
+  TraceTrack* track(TrackKind kind, std::int32_t index, std::string_view name);
+
+  /// All tracks in deterministic export order: (kind, index) ascending.
+  std::vector<const TraceTrack*> sortedTracks() const;
+
+  /// Sum of ring-wrap drops across tracks.
+  std::uint64_t totalDropped() const;
+
+ private:
+  friend class TraceTrack;
+
+  Config config_;
+  Counter* dropCounter_ = nullptr;  // trace/dropped_events, when metrics set
+  mutable std::mutex mu_;           // guards tracks_ (setup-time only)
+  // std::map: deterministic iteration order and stable element addresses.
+  std::map<std::pair<std::uint8_t, std::int32_t>, std::unique_ptr<TraceTrack>>
+      tracks_;
+};
+
+}  // namespace wst::support

@@ -53,6 +53,8 @@
 #include "sim/engine.hpp"
 #include "support/assert.hpp"
 #include "support/metrics.hpp"
+#include "support/strings.hpp"
+#include "support/tracing.hpp"
 #include "tbon/topology.hpp"
 
 namespace wst::tbon {
@@ -111,6 +113,13 @@ class Overlay {
   /// rejected here ship immediately (after flushing their link's staged
   /// batch, preserving order). No predicate = everything batchable.
   using BatchableFn = std::function<bool(const M&)>;
+  /// Optional per-delivery trace hook, invoked on the receiving node's LP
+  /// just before the handler: (receiver, sending tool node, message).
+  /// srcNode is -1 for application channels. The tool uses it to close
+  /// cross-node flow arrows — the receiver otherwise never learns which
+  /// node a tree/intralayer message came from.
+  using DeliveryTraceFn =
+      std::function<void(NodeId self, NodeId srcNode, const M&)>;
 
   Overlay(sim::Scheduler& engine, const Topology& topology,
           OverlayConfig config, CostFn cost)
@@ -185,6 +194,22 @@ class Overlay {
     batchOccupancy_ = &metrics->histogram("overlay/batch_occupancy");
     queueDepth_ = &metrics->histogram("overlay/queue_depth");
     serviceTime_ = &metrics->histogram("overlay/service_time_ns");
+  }
+  void setDeliveryTrace(DeliveryTraceFn traceFn) {
+    deliveryTrace_ = std::move(traceFn);
+  }
+  /// Register one flight-recorder track per tool node (batch flushes record
+  /// there; the tool shares the same tracks for protocol events). Call
+  /// before traffic flows; pass nullptr to detach.
+  void setTracer(support::Tracer* tracer) {
+    nodeTracks_.assign(static_cast<std::size_t>(topology_.nodeCount()),
+                       nullptr);
+    if (tracer == nullptr) return;
+    for (NodeId n = 0; n < topology_.nodeCount(); ++n) {
+      nodeTracks_[static_cast<std::size_t>(n)] = tracer->track(
+          support::TrackKind::kToolNode, n,
+          support::format("node %d L%d", n, topology_.node(n).layer));
+    }
   }
 
   const Topology& topology() const { return topology_; }
@@ -326,6 +351,7 @@ class Overlay {
   struct Link {
     std::unique_ptr<Chan> chan;
     LinkClass linkClass = LinkClass::kIntralayer;
+    NodeId from = -1;  // sending node (flush instants record on its track)
     std::vector<M> staged;
     std::size_t stagedBytes = 0;
     std::uint64_t flushGen = 0;  // bumped per flush; invalidates timers
@@ -335,6 +361,7 @@ class Overlay {
     M msg;
     Chan* origin;
     float costScale;
+    NodeId srcNode;  // sending tool node; -1 for application channels
   };
 
   struct NodeRuntime {
@@ -400,6 +427,7 @@ class Overlay {
       lnk.chan = makeChannel(to, cfg, linkClass,
                              nodeLps_[static_cast<std::size_t>(from)], from);
       lnk.linkClass = linkClass;
+      lnk.from = from;
       it = shard.emplace(key, std::move(lnk)).first;
     }
     return it->second;
@@ -440,6 +468,11 @@ class Overlay {
     ++lnk.flushGen;
     if (lnk.staged.empty()) return;
     if (batchOccupancy_ != nullptr) batchOccupancy_->record(lnk.staged.size());
+    if (support::TraceTrack* track = nodeTrack(lnk.from)) {
+      track->instant("batchFlush", "overlay", "count",
+                     static_cast<std::int64_t>(lnk.staged.size()), "bytes",
+                     static_cast<std::int64_t>(lnk.stagedBytes));
+    }
     Envelope env{std::move(lnk.staged.front()), {}};
     env.rest.reserve(lnk.staged.size() - 1);
     for (std::size_t i = 1; i < lnk.staged.size(); ++i) {
@@ -469,8 +502,10 @@ class Overlay {
         dataDelivered_[static_cast<std::size_t>(dest)][srcNode] += dataMsgs;
       }
     }
-    enqueue(node, std::move(env.first), origin, 1.0F);
-    for (M& msg : env.rest) enqueue(node, std::move(msg), origin, restScale);
+    enqueue(node, std::move(env.first), origin, 1.0F, srcNode);
+    for (M& msg : env.rest) {
+      enqueue(node, std::move(msg), origin, restScale, srcNode);
+    }
     node.maxDepth = std::max(node.maxDepth, node.depth());
     std::size_t depth = node.depth();
     std::size_t cur = maxQueueDepth_.load(std::memory_order_relaxed);
@@ -485,12 +520,14 @@ class Overlay {
     }
   }
 
-  void enqueue(NodeRuntime& node, M&& msg, Chan* origin, float costScale) {
+  void enqueue(NodeRuntime& node, M&& msg, Chan* origin, float costScale,
+               NodeId srcNode) {
     if (urgency_ && urgency_(msg)) {
       node.urgentQueue.push_back(
-          QueueEntry{std::move(msg), origin, costScale});
+          QueueEntry{std::move(msg), origin, costScale, srcNode});
     } else {
-      node.queue.push_back(QueueEntry{std::move(msg), origin, costScale});
+      node.queue.push_back(
+          QueueEntry{std::move(msg), origin, costScale, srcNode});
     }
   }
 
@@ -506,6 +543,7 @@ class Overlay {
     if (serviceTime_ != nullptr) {
       serviceTime_->record(static_cast<std::uint64_t>(cost));
     }
+    if (deliveryTrace_) deliveryTrace_(dest, entry.srcNode, entry.msg);
     handler_(dest, std::move(entry.msg));
     node.busyUntil = engine_.now() + cost;
     // The credit models a finite receive buffer slot: it frees once the
@@ -531,6 +569,7 @@ class Overlay {
   Handler handler_;
   UrgencyFn urgency_;
   BatchableFn batchable_;
+  DeliveryTraceFn deliveryTrace_;
 
   std::vector<NodeRuntime> nodes_;
   std::vector<sim::LpId> nodeLps_;
@@ -551,6 +590,12 @@ class Overlay {
   support::Histogram* batchOccupancy_ = nullptr;
   support::Histogram* queueDepth_ = nullptr;
   support::Histogram* serviceTime_ = nullptr;
+  std::vector<support::TraceTrack*> nodeTracks_;  // empty or all-null = off
+
+  support::TraceTrack* nodeTrack(NodeId node) const {
+    if (nodeTracks_.empty() || node < 0) return nullptr;
+    return nodeTracks_[static_cast<std::size_t>(node)];
+  }
 };
 
 }  // namespace wst::tbon

@@ -4,6 +4,7 @@
 
 #include "support/assert.hpp"
 #include "support/strings.hpp"
+#include "support/tracing.hpp"
 
 namespace wst::waitstate {
 
@@ -418,6 +419,10 @@ void DistributedTracker::performMatch(ProcId proc, OpState& recv,
   WST_ASSERT(!recv.matched, "receive matched twice");
   recv.matched = true;
   recv.matchedSend = send.sendOp;
+  if (config_.trace != nullptr) {
+    config_.trace->instant("match", "tracker", "recvProc", proc, "sendProc",
+                           send.sendOp.proc);
+  }
   touch(proc);
   maybeSendRecvActive(proc, recv);
 }

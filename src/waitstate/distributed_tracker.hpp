@@ -30,6 +30,10 @@
 #include "waitstate/messages.hpp"
 #include "wfg/graph.hpp"
 
+namespace wst::support {
+class TraceTrack;
+}  // namespace wst::support
+
 namespace wst::waitstate {
 
 /// Outgoing communication of a tracker. Implementations route by process:
@@ -57,6 +61,9 @@ struct TrackerConfig {
   std::size_t consumedHistory = 8;
   /// Optional metrics sink (shared across trackers; counters aggregate).
   support::MetricsRegistry* metrics = nullptr;
+  /// Optional flight-recorder track of the hosting tool node (written only
+  /// from that node's LP). Null disables tracker-level trace events.
+  support::TraceTrack* trace = nullptr;
 };
 
 class DistributedTracker {

@@ -81,4 +81,49 @@ Report makeReport(const WaitForGraph& graph, const CheckResult& check,
   return report;
 }
 
+void appendWaitHistory(
+    Report& report, const std::vector<support::ProcBlockedProfile>& history) {
+  if (history.empty()) return;
+  constexpr std::string_view kTail = "</body></html>\n";
+  std::string& html = report.html;
+  if (html.size() >= kTail.size() &&
+      std::string_view(html).substr(html.size() - kTail.size()) == kTail) {
+    html.resize(html.size() - kTail.size());
+  }
+
+  html += "<h2>Wait history (flight recorder)</h2>\n";
+  html += "<p>Blocked-time attribution per deadlocked process, in virtual "
+          "nanoseconds; open spans are charged up to the end of the "
+          "recording.</p>\n";
+  for (const support::ProcBlockedProfile& profile : history) {
+    html += support::format(
+        "<h3>Process %d &mdash; %s ns blocked</h3>\n", profile.proc,
+        support::withCommas(profile.totalBlockedNs).c_str());
+    html += "<table border=\"1\"><tr><th>Blocked in</th><th>ns</th></tr>\n";
+    for (const auto& [kind, ns] : profile.byKind) {
+      html += support::format("<tr><td>%s</td><td>%s</td></tr>\n",
+                              support::htmlEscape(kind).c_str(),
+                              support::withCommas(ns).c_str());
+    }
+    html += "</table>\n";
+    html += "<table border=\"1\"><tr><th>Waiting on</th><th>ns</th></tr>\n";
+    for (const auto& [peer, ns] : profile.byPeer) {
+      html += support::format("<tr><td>%s</td><td>%s</td></tr>\n",
+                              support::htmlEscape(peer).c_str(),
+                              support::withCommas(ns).c_str());
+    }
+    html += "</table>\n";
+    if (!profile.tail.empty()) {
+      html += support::format("<p>Last %zu flight-recorder events:</p>\n<ol>\n",
+                              profile.tail.size());
+      for (const std::string& line : profile.tail) {
+        html += support::format("<li><code>%s</code></li>\n",
+                                support::htmlEscape(line).c_str());
+      }
+      html += "</ol>\n";
+    }
+  }
+  html += kTail;
+}
+
 }  // namespace wst::wfg

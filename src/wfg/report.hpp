@@ -10,6 +10,7 @@
 #include <string>
 #include <string_view>
 
+#include "support/trace_export.hpp"
 #include "wfg/graph.hpp"
 
 namespace wst::wfg {
@@ -63,5 +64,12 @@ Report makeReport(const WaitForGraph& graph, const CheckResult& check,
 /// One-line human-readable summary, e.g.
 /// "DEADLOCK: 3 processes, representative cycle 0 -> 1 -> 0".
 std::string summaryLine(const CheckResult& check);
+
+/// Append a per-process "wait history" section to `report.html` from the
+/// flight recorder's blocked-time attribution: where each deadlocked process
+/// spent its blocked time (by MPI call kind and by peer) and the last events
+/// the recorder holds for it. No-op when `history` is empty (tracing off).
+void appendWaitHistory(Report& report,
+                       const std::vector<support::ProcBlockedProfile>& history);
 
 }  // namespace wst::wfg

@@ -9,6 +9,8 @@
 
 #include "must/harness.hpp"
 #include "sim/parallel_engine.hpp"
+#include "support/trace_export.hpp"
+#include "support/tracing.hpp"
 #include "wfg/graph.hpp"
 #include "workloads/stress.hpp"
 
@@ -20,6 +22,7 @@ struct RunOutput {
   std::string summary;   // verdict line ("none" if no detection ran)
   std::string dot;       // rebuilt WFG DOT (empty unless deadlocked)
   std::string metricsJson;
+  std::string traceJson;  // flight-recorder export (Chrome trace JSON)
   std::uint64_t traceHash = 0;
   std::uint64_t events = 0;
   sim::Time completionTime = 0;
@@ -30,8 +33,18 @@ RunOutput runScenario(std::int32_t threads, std::int32_t procs,
                       const ToolConfig& toolCfg,
                       const mpi::Runtime::Program& program) {
   sim::ParallelEngine engine(threads);
+  support::Tracer::Config traceCfg;
+  traceCfg.clock = [&engine] {
+    return static_cast<std::uint64_t>(engine.now());
+  };
+  support::Tracer tracer(traceCfg);
+  engine.setTraceTrack(
+      tracer.track(support::TrackKind::kEngine, 0, "engine"));
+  ToolConfig tracedToolCfg = toolCfg;
+  tracedToolCfg.tracer = &tracer;
   mpi::Runtime runtime(engine, mpiCfg, procs);
-  DistributedTool tool(engine, runtime, toolCfg);
+  runtime.setTracer(&tracer);
+  DistributedTool tool(engine, runtime, tracedToolCfg);
   runtime.runToCompletion(program);
   engine.publishMetrics(tool.metrics(), /*includePerWorker=*/false);
 
@@ -39,6 +52,7 @@ RunOutput runScenario(std::int32_t threads, std::int32_t procs,
   out.deadlock = tool.deadlockFound();
   out.summary = tool.report() ? tool.report()->summary : "none";
   out.metricsJson = tool.metricsJson();
+  out.traceJson = support::toChromeTraceJson(tracer);
   out.traceHash = engine.traceHash();
   out.events = engine.eventsExecuted();
   out.completionTime = engine.now();
@@ -61,6 +75,8 @@ void expectIdentical(const RunOutput& base, const RunOutput& other,
   EXPECT_EQ(base.summary, other.summary) << "threads=" << threads;
   EXPECT_EQ(base.dot, other.dot) << "threads=" << threads;
   EXPECT_EQ(base.metricsJson, other.metricsJson) << "threads=" << threads;
+  EXPECT_EQ(base.traceJson, other.traceJson) << "threads=" << threads;
+  EXPECT_FALSE(base.traceJson.empty());
   EXPECT_EQ(base.traceHash, other.traceHash) << "threads=" << threads;
   EXPECT_EQ(base.events, other.events) << "threads=" << threads;
   EXPECT_EQ(base.completionTime, other.completionTime)

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "must/harness.hpp"
+#include "support/strings.hpp"
+#include "support/tracing.hpp"
 #include "workloads/stress.hpp"
 
 namespace wst::must {
@@ -422,6 +424,55 @@ TEST(ToolBatching, PreservesDeadlockVerdictAndWfgOutput) {
   EXPECT_EQ(base.report->check.cycle, coalesced.report->check.cycle);
   EXPECT_EQ(base.report->dotBytes, coalesced.report->dotBytes);
   EXPECT_EQ(base.report->html, coalesced.report->html);
+}
+
+TEST(Tool, DeadlockReportIncludesWaitHistoryWhenTraced) {
+  // With the flight recorder attached, the HTML report gains a per-process
+  // blocked-time attribution section and a tail of recorded events for every
+  // deadlocked process.
+  sim::Engine engine;
+  support::Tracer::Config traceCfg;
+  traceCfg.clock = [&engine] {
+    return static_cast<std::uint64_t>(engine.now());
+  };
+  support::Tracer tracer(traceCfg);
+  ToolConfig toolCfg{.fanIn = 4};
+  toolCfg.tracer = &tracer;
+  mpi::Runtime runtime(engine, smallWorld(), 8);
+  runtime.setTracer(&tracer);
+  DistributedTool tool(engine, runtime, toolCfg);
+  runtime.runToCompletion(workloads::wildcardDeadlock());
+  EXPECT_FALSE(runtime.allFinalized());
+  ASSERT_TRUE(tool.report());
+  ASSERT_TRUE(tool.report()->deadlock);
+  const std::string before = tool.report()->html;
+  EXPECT_EQ(before.find("Wait history"), std::string::npos);
+
+  tool.attachTraceToReport();
+  const std::string& html = tool.report()->html;
+  EXPECT_NE(html.find("Wait history (flight recorder)"), std::string::npos);
+  EXPECT_NE(html.find("ns blocked"), std::string::npos);
+  EXPECT_NE(html.find("flight-recorder events"), std::string::npos);
+  // Every deadlocked process gets its own section.
+  for (const auto proc : tool.report()->check.deadlocked) {
+    EXPECT_NE(html.find(support::format("<h3>Process %d", proc)),
+              std::string::npos)
+        << "missing wait history for process " << proc;
+  }
+  // The report still ends well-formed.
+  EXPECT_NE(html.find("</body></html>"), std::string::npos);
+}
+
+TEST(Tool, AttachTraceToReportIsANoOpWithoutTracer) {
+  sim::Engine engine;
+  mpi::Runtime runtime(engine, smallWorld(), 8);
+  DistributedTool tool(engine, runtime, ToolConfig{.fanIn = 4});
+  runtime.runToCompletion(workloads::wildcardDeadlock());
+  ASSERT_TRUE(tool.report());
+  const std::string before = tool.report()->html;
+  tool.attachTraceToReport();
+  EXPECT_EQ(tool.report()->html, before);
+  EXPECT_EQ(before.find("Wait history"), std::string::npos);
 }
 
 }  // namespace

@@ -80,6 +80,7 @@ TEST(Metrics, JsonDumpIsSortedAndComplete) {
             "\"gauges\": {\"depth\": {\"value\": 9, \"max\": 9}}, "
             "\"histograms\": {\"occ\": {\"count\": 1, \"sum\": 3, "
             "\"min\": 3, \"max\": 3, \"mean\": 3.000, "
+            "\"p50\": 3.000, \"p99\": 3.000, "
             "\"buckets\": [0, 0, 1]}}}");
 }
 

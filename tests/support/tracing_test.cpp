@@ -1,0 +1,183 @@
+#include "support/tracing.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/metrics.hpp"
+#include "support/strings.hpp"
+#include "support/trace_export.hpp"
+
+namespace wst::support {
+namespace {
+
+Tracer::Config configWith(std::uint64_t* clock, std::size_t capacity,
+                          MetricsRegistry* metrics = nullptr) {
+  Tracer::Config cfg;
+  cfg.capacityPerTrack = capacity;
+  cfg.clock = [clock] { return *clock; };
+  cfg.metrics = metrics;
+  return cfg;
+}
+
+TEST(TraceTrack, RecordsEventsWithClockTimestamps) {
+  std::uint64_t now = 0;
+  Tracer tracer(configWith(&now, 8));
+  TraceTrack* track = tracer.track(TrackKind::kAppProc, 0, "rank 0");
+  ASSERT_NE(track, nullptr);
+  now = 10;
+  track->spanBegin("send", "blocked", "peer", 3);
+  now = 25;
+  track->spanEnd("send", "blocked");
+  ASSERT_EQ(track->size(), 2u);
+  const std::vector<TraceEvent> events = track->snapshot();
+  EXPECT_EQ(events[0].ts, 10u);
+  EXPECT_EQ(events[0].type, TraceEventType::kSpanBegin);
+  EXPECT_STREQ(events[0].argName0, "peer");
+  EXPECT_EQ(events[0].arg0, 3);
+  EXPECT_EQ(events[1].ts, 25u);
+  EXPECT_EQ(events[1].type, TraceEventType::kSpanEnd);
+}
+
+TEST(TraceTrack, RingWrapDropsOldestAndCounts) {
+  std::uint64_t now = 0;
+  MetricsRegistry metrics;
+  Tracer tracer(configWith(&now, 4, &metrics));
+  TraceTrack* track = tracer.track(TrackKind::kAppProc, 0, "rank 0");
+  for (std::int64_t i = 0; i < 10; ++i) {
+    now = static_cast<std::uint64_t>(i);
+    track->instant("tick", "test", "i", i);
+  }
+  EXPECT_EQ(track->recorded(), 10u);
+  EXPECT_EQ(track->size(), 4u);
+  EXPECT_EQ(track->dropped(), 6u);
+  EXPECT_EQ(tracer.totalDropped(), 6u);
+  EXPECT_EQ(metrics.counter("trace/dropped_events").value(), 6u);
+  // Oldest-first visit of the survivors: the last `capacity` events.
+  std::vector<std::int64_t> seen;
+  track->forEach([&](const TraceEvent& ev) { seen.push_back(ev.arg0); });
+  EXPECT_EQ(seen, (std::vector<std::int64_t>{6, 7, 8, 9}));
+}
+
+TEST(Tracer, DisabledHandsOutNullTracks) {
+  std::uint64_t now = 0;
+  Tracer::Config cfg = configWith(&now, 8);
+  cfg.enabled = false;
+  Tracer tracer(cfg);
+  EXPECT_EQ(tracer.track(TrackKind::kAppProc, 0, "rank 0"), nullptr);
+  EXPECT_TRUE(tracer.sortedTracks().empty());
+  EXPECT_EQ(tracer.totalDropped(), 0u);
+}
+
+TEST(Tracer, SortedTracksOrderByKindThenIndex) {
+  std::uint64_t now = 0;
+  Tracer tracer(configWith(&now, 8));
+  tracer.track(TrackKind::kToolNode, 1, "node 1");
+  tracer.track(TrackKind::kEngine, 0, "engine");
+  tracer.track(TrackKind::kAppProc, 2, "rank 2");
+  tracer.track(TrackKind::kAppProc, 0, "rank 0");
+  // Create-or-get: same (kind, index) returns the same track; the first
+  // registered name wins.
+  EXPECT_EQ(tracer.track(TrackKind::kAppProc, 0, "other"),
+            tracer.track(TrackKind::kAppProc, 0, "rank 0"));
+  const auto tracks = tracer.sortedTracks();
+  ASSERT_EQ(tracks.size(), 4u);
+  EXPECT_EQ(tracks[0]->name(), "rank 0");
+  EXPECT_EQ(tracks[1]->name(), "rank 2");
+  EXPECT_EQ(tracks[2]->name(), "node 1");
+  EXPECT_EQ(tracks[3]->name(), "engine");
+}
+
+TEST(TraceExport, ChromeJsonHasMetadataAndEvents) {
+  std::uint64_t now = 0;
+  Tracer tracer(configWith(&now, 8));
+  TraceTrack* rank = tracer.track(TrackKind::kAppProc, 0, "rank 0");
+  TraceTrack* node = tracer.track(TrackKind::kToolNode, 0, "node 0 L0");
+  now = 1000;
+  rank->spanBegin("send", "blocked", "peer", 1);
+  node->flowBegin("passSend", "waitstate", 0x42);
+  now = 3500;
+  node->flowEnd("passSend", "waitstate", 0x42);
+  rank->spanEnd("send", "blocked");
+  const std::string json = toChromeTraceJson(tracer);
+  // Track metadata names the threads; events carry the virtual timestamps
+  // rendered as microseconds with fixed 3-digit precision.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  EXPECT_NE(json.find("rank 0"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1.000"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":3.500"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\":\"0x42\""), std::string::npos);
+}
+
+TEST(TraceExport, BlockedTimeAttribution) {
+  std::uint64_t now = 0;
+  Tracer tracer(configWith(&now, 16));
+  TraceTrack* track = tracer.track(TrackKind::kAppProc, 3, "rank 3");
+  // 40ns blocked in send to rank 1, then a recv posted to "any" that the
+  // completion resolves to rank 2, then a send that never completes.
+  now = 100;
+  track->spanBegin("send", "blocked", "peer", 1);
+  now = 140;
+  track->spanEnd("send", "blocked", "peer", 1);
+  now = 200;
+  track->spanBegin("recv", "blocked", "peer", -1);
+  now = 260;
+  track->spanEnd("recv", "blocked", "peer", 2);
+  now = 300;
+  track->spanBegin("send", "blocked", "peer", 0);
+  const auto profiles = attributeBlockedTime(tracer, /*endTs=*/1000,
+                                             /*tailCount=*/8);
+  ASSERT_EQ(profiles.size(), 1u);
+  const ProcBlockedProfile& p = profiles[0];
+  EXPECT_EQ(p.proc, 3);
+  // 40 + 60 + (1000 - 300) for the still-open deadlocked span.
+  EXPECT_EQ(p.totalBlockedNs, 40u + 60u + 700u);
+  ASSERT_FALSE(p.byKind.empty());
+  EXPECT_EQ(p.byKind[0].first, "send");  // 740ns beats recv's 60ns
+  EXPECT_EQ(p.byKind[0].second, 740u);
+  // The wildcard recv is attributed to its resolved peer, not "any".
+  bool sawRank2 = false;
+  for (const auto& [peer, ns] : p.byPeer) {
+    if (peer == "rank 2") {
+      sawRank2 = true;
+      EXPECT_EQ(ns, 60u);
+    }
+  }
+  EXPECT_TRUE(sawRank2);
+  EXPECT_FALSE(p.tail.empty());
+}
+
+TEST(Strings, JsonEscape) {
+  EXPECT_EQ(jsonEscape("plain"), "plain");
+  EXPECT_EQ(jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(jsonEscape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(jsonEscape(std::string("nul\x01") + "byte"), "nul\\u0001byte");
+  EXPECT_EQ(jsonEscape("\b\f\r"), "\\b\\f\\r");
+}
+
+TEST(Metrics, HistogramQuantile) {
+  Histogram empty;
+  EXPECT_EQ(empty.quantile(0.5), 0.0);
+
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+  // Bucketed estimates: exact at the clamped extremes, within the bucket
+  // width elsewhere.
+  EXPECT_EQ(h.quantile(0.0), 1.0);
+  EXPECT_EQ(h.quantile(1.0), 100.0);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 16.0);
+  EXPECT_GE(h.quantile(0.99), h.quantile(0.5));
+  EXPECT_LE(h.quantile(0.99), 100.0);
+
+  Histogram single;
+  single.record(7);
+  EXPECT_EQ(single.quantile(0.5), 7.0);
+}
+
+}  // namespace
+}  // namespace wst::support

@@ -21,6 +21,8 @@
 
 #include "must/harness.hpp"
 #include "support/strings.hpp"
+#include "support/trace_export.hpp"
+#include "support/tracing.hpp"
 #include "wfg/compress.hpp"
 #include "workloads/spec.hpp"
 #include "workloads/stress.hpp"
@@ -55,6 +57,8 @@ struct Options {
   std::string compressedDotPath;
   std::string htmlPath;
   std::string metricsPath;  // dump the tool metrics registry as JSON
+  std::string traceOut;     // Chrome trace-event JSON of the flight recorder
+  std::int32_t traceDepth = 4096;  // ring capacity per trace track
 };
 
 void printUsage() {
@@ -101,7 +105,12 @@ void printUsage() {
       "  --dot PATH               write the deadlock wait-for graph as DOT\n"
       "  --compressed-dot PATH    write the class-compressed DOT\n"
       "  --html PATH              write the HTML report\n"
-      "  --metrics PATH           write the tool metrics registry as JSON\n");
+      "  --metrics PATH           write the tool metrics registry as JSON\n"
+      "  --trace-out PATH         record a protocol trace and write it as\n"
+      "                           Chrome trace-event JSON (load in Perfetto\n"
+      "                           or chrome://tracing)\n"
+      "  --trace-depth N          flight-recorder ring capacity per track\n"
+      "                           (default: 4096 events; oldest drop first)\n");
 }
 
 std::optional<mpi::Runtime::Program> makeWorkload(const Options& opt) {
@@ -188,12 +197,45 @@ int runWorkload(const Options& opt) {
     engineHolder = std::move(par);
   }
   sim::Scheduler& engine = *engineHolder;
+
+  // The flight recorder is only constructed when asked for; everywhere else
+  // a null tracer/track pointer short-circuits before any argument work.
+  std::optional<support::Tracer> tracer;
+  if (!opt.traceOut.empty()) {
+    support::Tracer::Config traceCfg;
+    traceCfg.capacityPerTrack = static_cast<std::size_t>(
+        std::max<std::int32_t>(opt.traceDepth, 16));
+    traceCfg.clock = [&engine] {
+      return static_cast<std::uint64_t>(engine.now());
+    };
+    tracer.emplace(traceCfg);
+    engine.setTraceTrack(
+        tracer->track(support::TrackKind::kEngine, 0, "engine"));
+    toolCfg.tracer = &*tracer;
+  }
+
   mpi::Runtime runtime(engine, mpiCfg, opt.procs);
+  if (tracer) runtime.setTracer(&*tracer);
   must::DistributedTool tool(engine, runtime, toolCfg);
   runtime.runToCompletion(*program);
   if (parEngine != nullptr) {
     parEngine->publishMetrics(tool.metrics(),
                               /*includePerWorker=*/opt.engineStats);
+  }
+  if (tracer) {
+    tool.metrics().gauge("trace/dropped_events")
+        .set(static_cast<std::int64_t>(tracer->totalDropped()));
+    tool.attachTraceToReport();
+    std::ofstream out(opt.traceOut);
+    if (out) {
+      out << support::toChromeTraceJson(*tracer);
+      std::printf("trace written to %s (%s events dropped)\n",
+                  opt.traceOut.c_str(),
+                  support::withCommas(tracer->totalDropped()).c_str());
+    } else {
+      std::fprintf(stderr, "warning: cannot write trace to %s\n",
+                   opt.traceOut.c_str());
+    }
   }
 
   std::printf("\napplication: %s (virtual runtime %s, %s MPI calls)\n",
@@ -226,6 +268,10 @@ int runWorkload(const Options& opt) {
                 support::withCommas(st.crossLpEvents).c_str(),
                 st.mailboxHighWater,
                 static_cast<unsigned long long>(engine.traceHash()));
+    const support::Histogram& occ = parEngine->roundOccupancy();
+    std::printf("engine: runnable LPs per round p50 %.1f, p99 %.1f, max %s\n",
+                occ.quantile(0.5), occ.quantile(0.99),
+                support::withCommas(occ.max()).c_str());
     for (std::size_t w = 0; w < st.workerEvents.size(); ++w) {
       std::printf("engine: worker %zu executed %s events\n", w,
                   support::withCommas(st.workerEvents[w]).c_str());
@@ -409,6 +455,10 @@ int main(int argc, char** argv) {
       opt.htmlPath = value();
     } else if (arg == "--metrics") {
       opt.metricsPath = value();
+    } else if (arg == "--trace-out") {
+      opt.traceOut = value();
+    } else if (arg == "--trace-depth") {
+      opt.traceDepth = std::atoi(value());
     } else if (arg == "--batch") {
       opt.batch = true;
     } else if (arg == "--centralized") {

@@ -1,0 +1,186 @@
+#include "fuzz/fuzzer.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+
+#include "fuzz/generator.hpp"
+#include "fuzz/shrinker.hpp"
+#include "support/strings.hpp"
+
+namespace wst::fuzz {
+namespace {
+
+/// splitmix64 step: decorrelates per-run scenario seeds from the campaign
+/// seed (sequential campaign seeds must not yield overlapping streams).
+std::uint64_t mixSeed(std::uint64_t campaign, std::uint64_t index) {
+  std::uint64_t z = campaign + 0x9E3779B97F4A7C15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+bool writeFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << contents;
+  return static_cast<bool>(out);
+}
+
+/// Feature signature used for corpus curation: which protocol shapes a
+/// scenario exercises. One corpus entry per distinct signature keeps the
+/// committed corpus small but structurally diverse.
+std::uint32_t featureKey(const Scenario& sc) {
+  std::uint32_t key = 0;
+  for (const auto& ops : sc.ranks) {
+    for (const Op& op : ops) {
+      switch (op.kind) {
+        case OpKind::kProbe: key |= 1u << 0; break;
+        case OpKind::kCommSplit: key |= 1u << 1; break;
+        case OpKind::kWaitany:
+        case OpKind::kWaitsome: key |= 1u << 2; break;
+        case OpKind::kIsend:
+        case OpKind::kIrecv: key |= 1u << 3; break;
+        case OpKind::kSendrecv: key |= 1u << 4; break;
+        case OpKind::kSsend: key |= 1u << 5; break;
+        case OpKind::kBarrier:
+        case OpKind::kBcast:
+        case OpKind::kReduce:
+        case OpKind::kAllreduce:
+        case OpKind::kGather:
+        case OpKind::kAlltoall: key |= 1u << 6; break;
+        default: break;
+      }
+      if (op.peer < 0) key |= 1u << 7;  // wildcard source
+    }
+  }
+  if (sc.faults.drop > 0.0) key |= 1u << 8;
+  if (sc.periodic > 0) key |= 1u << 9;
+  return key;
+}
+
+std::string artifactText(const Outcome& outcome) {
+  return outcome.summary() + "\nwfg:\n" + outcome.wfg;
+}
+
+}  // namespace
+
+FuzzReport runFuzzCampaign(const FuzzConfig& config, std::ostream& log) {
+  namespace fs = std::filesystem;
+  FuzzReport report;
+  const auto start = std::chrono::steady_clock::now();
+  const auto overBudget = [&] {
+    if (config.budgetSec <= 0.0) return false;
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    return elapsed.count() >= config.budgetSec;
+  };
+
+  std::error_code ec;
+  fs::create_directories(config.outDir, ec);
+  if (!config.emitCorpusDir.empty()) {
+    fs::create_directories(config.emitCorpusDir, ec);
+  }
+  std::vector<std::uint32_t> corpusKeys;
+
+  for (std::int32_t i = 0; i < config.runs; ++i) {
+    if (overBudget()) {
+      report.budgetExhausted = true;
+      log << support::format("fuzz: wall-clock budget reached after %d runs\n",
+                             report.executed);
+      break;
+    }
+    const std::uint64_t seed = mixSeed(config.seed,
+                                       static_cast<std::uint64_t>(i));
+    const Scenario scenario = makeScenario(seed);
+    ++report.executed;
+
+    if (!config.emitCorpusDir.empty() && scenario.totalOps() <= 60) {
+      const std::uint32_t key = featureKey(scenario);
+      if (std::find(corpusKeys.begin(), corpusKeys.end(), key) ==
+              corpusKeys.end() &&
+          corpusKeys.size() < 24) {
+        corpusKeys.push_back(key);
+        writeFile(config.emitCorpusDir +
+                      support::format("/corpus-%016llx.wst",
+                                      static_cast<unsigned long long>(seed)),
+                  scenario.serialize());
+      }
+    }
+
+    const Outcome formal = runFormalOracle(scenario);
+    std::vector<RunOptions> variants;
+    RunOptions base;
+    base.threads = config.threads;
+    base.batch = config.batch;
+    base.injectBug = config.injectBug;
+    base.faults = false;
+    variants.push_back(base);
+    if (config.faults && scenario.faults.any()) {
+      RunOptions faulted = base;
+      faulted.faults = true;
+      variants.push_back(faulted);
+    }
+
+    for (const RunOptions& options : variants) {
+      const Outcome dist = runDistributedOracle(scenario, options);
+      const std::string reason = compareOutcomes(formal, dist);
+      if (reason.empty()) continue;
+
+      ++report.divergences;
+      log << support::format(
+          "fuzz: DIVERGENCE run=%d seed=%016llx faults=%d: %s\n", i,
+          static_cast<unsigned long long>(seed), options.faults ? 1 : 0,
+          reason.c_str());
+
+      Scenario minimal = scenario;
+      std::string finalReason = reason;
+      if (config.shrinkOnDivergence) {
+        ShrinkResult shrunk = shrink(scenario, options, config.shrinkBudget);
+        minimal = std::move(shrunk.scenario);
+        if (!shrunk.reason.empty()) finalReason = shrunk.reason;
+        log << support::format(
+            "fuzz: shrunk %zu -> %zu ops (%zu oracle evaluations)\n",
+            scenario.totalOps(), minimal.totalOps(), shrunk.evaluations);
+      }
+
+      const std::string stem =
+          config.outDir + support::format("/fuzz-%016llx-%d",
+                                          static_cast<unsigned long long>(
+                                              config.seed),
+                                          i);
+      const Outcome minFormal = runFormalOracle(minimal);
+      const Outcome minDist = runDistributedOracle(minimal, options);
+      writeFile(stem + ".wst", minimal.serialize());
+      writeFile(stem + ".formal.txt", artifactText(minFormal));
+      writeFile(stem + ".distributed.txt", artifactText(minDist));
+      report.artifacts.push_back(stem + ".wst");
+      log << support::format("fuzz: wrote %s (%s)\n", (stem + ".wst").c_str(),
+                             finalReason.c_str());
+      break;  // one divergence per scenario is enough
+    }
+  }
+  log << support::format("fuzz: %d scenarios checked, %d divergences\n",
+                         report.executed, report.divergences);
+  return report;
+}
+
+std::string replayScenario(const Scenario& scenario, const RunOptions& options,
+                           std::ostream& log) {
+  const Outcome formal = runFormalOracle(scenario);
+  const Outcome dist = runDistributedOracle(scenario, options);
+  log << "formal:      " << formal.summary() << "\n";
+  log << "distributed: " << dist.summary() << "\n";
+  const std::string reason = compareOutcomes(formal, dist);
+  if (reason.empty()) {
+    log << "replay: oracles agree\n";
+  } else {
+    log << "replay: DIVERGENCE: " << reason << "\n";
+    log << "formal wfg:\n" << formal.wfg;
+    log << "distributed wfg:\n" << dist.wfg;
+  }
+  return reason;
+}
+
+}  // namespace wst::fuzz

@@ -1,0 +1,315 @@
+// Phase-structured program generation. Each phase appends coordinated ops
+// to every (or a subset of) rank list, so scenarios are coherent enough to
+// make progress — wildcards actually race, collectives actually complete —
+// while deadlock-seeding phases inject cycles, missing collective members
+// and orphan receives with bounded probability. All decisions flow from one
+// support::Rng, so a seed reproduces the scenario byte for byte.
+#include "fuzz/generator.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/rng.hpp"
+
+namespace wst::fuzz {
+namespace {
+
+constexpr std::int32_t kByteChoices[] = {4, 64, 512, 8192};
+
+std::int32_t pickBytes(support::Rng& rng) {
+  return kByteChoices[rng.below(4)];
+}
+
+/// Random permutation of 0..n-1 (pairing / ring orders).
+std::vector<std::int32_t> permutation(support::Rng& rng, std::int32_t n) {
+  std::vector<std::int32_t> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  for (std::size_t j = perm.size(); j > 1; --j) {
+    std::swap(perm[j - 1], perm[rng.below(j)]);
+  }
+  return perm;
+}
+
+struct Builder {
+  support::Rng& rng;
+  Scenario& sc;
+  /// Communicator slots every rank currently has (the generator only emits
+  /// collective phases over slots all ranks share; the interpreter itself
+  /// tolerates arbitrary slot references).
+  std::int32_t commSlots = 1;
+
+  std::int32_t procs() const { return sc.procs; }
+  void push(std::int32_t rank, Op op) {
+    sc.ranks[static_cast<std::size_t>(rank)].push_back(op);
+  }
+
+  std::int32_t randomComm() {
+    return static_cast<std::int32_t>(rng.below(
+        static_cast<std::uint64_t>(commSlots)));
+  }
+
+  // --- Phases ---------------------------------------------------------------
+
+  /// Disjoint pairs exchange one message each, in one of several styles.
+  void pairExchange() {
+    const auto perm = permutation(rng, procs());
+    const std::int32_t tag = static_cast<std::int32_t>(rng.below(5));
+    const std::int32_t bytes = pickBytes(rng);
+    const std::uint64_t style = rng.below(5);
+    for (std::size_t i = 0; i + 1 < perm.size(); i += 2) {
+      const std::int32_t a = perm[i];
+      const std::int32_t b = perm[i + 1];
+      switch (style) {
+        case 0:  // ordered blocking send/recv
+          push(a, Op{OpKind::kSend, b, tag, 0, 0, bytes, 0});
+          push(b, Op{OpKind::kRecv, a, tag, 0, 0, bytes, 0});
+          break;
+        case 1:  // synchronous send, wildcard-tag receive
+          push(a, Op{OpKind::kSsend, b, tag, 0, 0, bytes, 0});
+          push(b, Op{OpKind::kRecv, a, -1, 0, 0, bytes, 0});
+          break;
+        case 2:  // head-to-head sendrecv (deadlock-free by definition)
+          push(a, Op{OpKind::kSendrecv, b, tag, b, tag, bytes, 0});
+          push(b, Op{OpKind::kSendrecv, a, tag, a, tag, bytes, 0});
+          break;
+        case 3: {  // isend/irecv + waitall on both sides
+          push(a, Op{OpKind::kIsend, b, tag, 0, 0, bytes, 0});
+          push(a, Op{OpKind::kIrecv, b, tag, 0, 0, bytes, 0});
+          push(a, Op{OpKind::kWaitall, 0, 0, 0, 0, 0, 0});
+          push(b, Op{OpKind::kIsend, a, tag, 0, 0, bytes, 0});
+          push(b, Op{OpKind::kIrecv, a, tag, 0, 0, bytes, 0});
+          push(b, Op{OpKind::kWaitall, 0, 0, 0, 0, 0, 0});
+          break;
+        }
+        default: {  // nonblocking with waitany + waitsome drain
+          push(a, Op{OpKind::kIsend, b, tag, 0, 0, bytes, 0});
+          push(a, Op{OpKind::kIrecv, -1, tag, 0, 0, bytes, 0});
+          push(a, Op{OpKind::kWaitany, 0, 0, 0, 0, 0, 0});
+          push(a, Op{OpKind::kWaitsome, 0, 0, 0, 0, 0, 0});
+          push(a, Op{OpKind::kWaitall, 0, 0, 0, 0, 0, 0});
+          push(b, Op{OpKind::kIsend, a, tag, 0, 0, bytes, 0});
+          push(b, Op{OpKind::kIrecv, -1, tag, 0, 0, bytes, 0});
+          push(b, Op{OpKind::kWaitall, 0, 0, 0, 0, 0, 0});
+          break;
+        }
+      }
+    }
+  }
+
+  /// Every rank bsends around a ring and receives from behind (buffered, so
+  /// safe under any interleaving).
+  void ring() {
+    const std::int32_t stride =
+        1 + static_cast<std::int32_t>(rng.below(
+                static_cast<std::uint64_t>(std::max(1, procs() - 1))));
+    const std::int32_t tag = static_cast<std::int32_t>(rng.below(5));
+    const std::int32_t bytes = pickBytes(rng);
+    for (std::int32_t r = 0; r < procs(); ++r) {
+      push(r, Op{OpKind::kBsend, (r + stride) % procs(), tag, 0, 0, bytes, 0});
+      push(r, Op{OpKind::kRecv, (r - stride % procs() + procs()) % procs(),
+                 tag, 0, 0, bytes, 0});
+    }
+  }
+
+  /// A root posts k wildcard receives; k other ranks send — the classic
+  /// nondeterministic-matching shape.
+  void wildcardGather() {
+    const std::int32_t root =
+        static_cast<std::int32_t>(rng.below(
+            static_cast<std::uint64_t>(procs())));
+    const std::int32_t fanOut =
+        1 + static_cast<std::int32_t>(rng.below(
+                static_cast<std::uint64_t>(std::max(1, procs() - 1))));
+    const std::int32_t tag = static_cast<std::int32_t>(rng.below(5));
+    const bool anyTag = rng.chance(0.3);
+    for (std::int32_t k = 0; k < fanOut; ++k) {
+      push(root, Op{OpKind::kRecv, -1, anyTag ? -1 : tag, 0, 0, 4, 0});
+    }
+    std::int32_t sent = 0;
+    for (std::int32_t r = 0; r < procs() && sent < fanOut; ++r) {
+      if (r == root) continue;
+      push(r, Op{OpKind::kSend, root, tag, 0, 0, pickBytes(rng), 0});
+      ++sent;
+    }
+  }
+
+  /// One collective over a random shared communicator slot.
+  void collective() {
+    static constexpr OpKind kKinds[] = {OpKind::kBarrier, OpKind::kBcast,
+                                        OpKind::kReduce, OpKind::kAllreduce,
+                                        OpKind::kGather, OpKind::kAlltoall};
+    const OpKind kind = kKinds[rng.below(6)];
+    const std::int32_t comm = randomComm();
+    const std::int32_t root = static_cast<std::int32_t>(rng.below(
+        static_cast<std::uint64_t>(procs())));
+    const std::int32_t bytes = pickBytes(rng);
+    for (std::int32_t r = 0; r < procs(); ++r) {
+      push(r, Op{kind, root, 0, 0, 0, bytes, comm});
+    }
+  }
+
+  /// All ranks split a shared communicator by color; every rank gains a
+  /// slot for the sub-communicator of its color group.
+  void commSplit() {
+    const std::int32_t colors =
+        2 + static_cast<std::int32_t>(rng.below(2));  // 2 or 3 groups
+    const std::int32_t comm = randomComm();
+    for (std::int32_t r = 0; r < procs(); ++r) {
+      push(r, Op{OpKind::kCommSplit, r % colors, 0, 0, 0, 0, comm});
+    }
+    ++commSlots;
+  }
+
+  /// Sender ships a message; receiver probes (possibly wildcard) and then
+  /// consumes it — drives passSend/recvActive(forProbe) and the
+  /// consumed-send history.
+  void probeChain() {
+    const std::int32_t recvr = static_cast<std::int32_t>(rng.below(
+        static_cast<std::uint64_t>(procs())));
+    const std::int32_t sender = (recvr + 1) % procs();
+    const std::int32_t tag = static_cast<std::int32_t>(rng.below(5));
+    const int messages = 1 + static_cast<int>(rng.below(3));
+    for (int m = 0; m < messages; ++m) {
+      push(sender, Op{OpKind::kSend, recvr, tag, 0, 0, pickBytes(rng), 0});
+      const bool anySource = rng.chance(0.5);
+      push(recvr, Op{OpKind::kProbe, anySource ? -1 : sender, tag, 0, 0, 4, 0});
+    }
+  }
+
+  /// Balanced nonblocking storm: every rank isends along a permutation and
+  /// posts one wildcard irecv, then drains with a random completion op.
+  void nonblockingStorm() {
+    const auto perm = permutation(rng, procs());
+    const std::int32_t tag = static_cast<std::int32_t>(rng.below(5));
+    const std::int32_t bytes = pickBytes(rng);
+    const std::uint64_t drain = rng.below(3);
+    for (std::int32_t r = 0; r < procs(); ++r) {
+      std::int32_t to = perm[static_cast<std::size_t>(r)];
+      if (to == r) to = (r + 1) % procs();
+      push(r, Op{OpKind::kIsend, to, tag, 0, 0, bytes, 0});
+      push(r, Op{OpKind::kIrecv, -1, tag, 0, 0, bytes, 0});
+      switch (drain) {
+        case 0:
+          push(r, Op{OpKind::kWaitall, 0, 0, 0, 0, 0, 0});
+          break;
+        case 1:
+          push(r, Op{OpKind::kWait, 0, 0, 0, 0, 0, 0});
+          push(r, Op{OpKind::kWaitall, 0, 0, 0, 0, 0, 0});
+          break;
+        default:
+          push(r, Op{OpKind::kWaitsome, 0, 0, 0, 0, 0, 0});
+          push(r, Op{OpKind::kWaitall, 0, 0, 0, 0, 0, 0});
+          break;
+      }
+    }
+  }
+
+  /// Random local busy time on a few ranks (perturbs relative progress).
+  void computeSkew() {
+    const int count = 1 + static_cast<int>(rng.below(
+                              static_cast<std::uint64_t>(procs())));
+    for (int i = 0; i < count; ++i) {
+      const std::int32_t r = static_cast<std::int32_t>(rng.below(
+          static_cast<std::uint64_t>(procs())));
+      push(r, Op{OpKind::kCompute, 0, 0, 0, 0,
+                 static_cast<std::int32_t>(1 + rng.below(2000)), 0});
+    }
+  }
+
+  /// Terminal deadlock seeds. Ranks involved block forever, so these are
+  /// only emitted as the final phase.
+  void deadlockSeed() {
+    switch (rng.below(4)) {
+      case 0: {  // receive cycle over k ranks
+        const std::int32_t k =
+            2 + static_cast<std::int32_t>(rng.below(
+                    static_cast<std::uint64_t>(std::max(1, procs() - 1))));
+        for (std::int32_t i = 0; i < k; ++i) {
+          push(i, Op{OpKind::kRecv, (i + 1) % k, 99, 0, 0, 4, 0});
+        }
+        break;
+      }
+      case 1: {  // one rank misses a collective
+        const std::int32_t skip = static_cast<std::int32_t>(rng.below(
+            static_cast<std::uint64_t>(procs())));
+        const std::int32_t comm = randomComm();
+        for (std::int32_t r = 0; r < procs(); ++r) {
+          if (r == skip) {
+            push(r, Op{OpKind::kRecv, -1, 98, 0, 0, 4, 0});
+          } else {
+            push(r, Op{OpKind::kBarrier, 0, 0, 0, 0, 0, comm});
+          }
+        }
+        break;
+      }
+      case 2: {  // orphan receive from a silent peer
+        const std::int32_t r = static_cast<std::int32_t>(rng.below(
+            static_cast<std::uint64_t>(procs())));
+        push(r, Op{OpKind::kRecv, (r + 1) % procs(), 97, 0, 0, 4, 0});
+        break;
+      }
+      default: {  // head-to-head synchronous sends
+        const std::int32_t a = static_cast<std::int32_t>(rng.below(
+            static_cast<std::uint64_t>(procs())));
+        const std::int32_t b = (a + 1) % procs();
+        push(a, Op{OpKind::kSsend, b, 96, 0, 0, 4, 0});
+        push(b, Op{OpKind::kSsend, a, 96, 0, 0, 4, 0});
+        break;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+Scenario makeScenario(std::uint64_t seed) {
+  support::Rng rng(seed);
+  Scenario sc;
+  sc.seed = seed;
+  sc.procs = 3 + static_cast<std::int32_t>(rng.below(6));  // 3..8
+  sc.fanIn = 2 + static_cast<std::int32_t>(rng.below(3));  // 2..4
+  sc.ranks.resize(static_cast<std::size_t>(sc.procs));
+
+  // Tool / overlay randomization: latencies in [500, 4500), a periodic
+  // detection timer on ~half of the scenarios (with jitter), and a small
+  // consumed-send history often enough to stress eviction.
+  sc.latIntra = 500 + static_cast<sim::Duration>(rng.below(4'000));
+  sc.latUp = 500 + static_cast<sim::Duration>(rng.below(4'000));
+  sc.latDown = 500 + static_cast<sim::Duration>(rng.below(4'000));
+  if (rng.chance(0.5)) {
+    sc.periodic = 50'000 + static_cast<sim::Duration>(rng.below(400'000));
+    if (rng.chance(0.5)) {
+      sc.detectionJitter =
+          1'000 + static_cast<sim::Duration>(rng.below(100'000));
+    }
+  }
+  sc.consumedHistory = rng.chance(0.4) ? 1 + rng.below(3) : 8;
+
+  // Fault plan (applied only when the run enables fault injection).
+  sc.faults.seed = rng.next();
+  sc.faults.drop = static_cast<double>(rng.below(3'000)) / 10'000.0;
+  sc.faults.dup = static_cast<double>(rng.below(2'000)) / 10'000.0;
+  sc.faults.delay = static_cast<double>(rng.below(4'000)) / 10'000.0;
+  sc.faults.maxExtraDelay =
+      1'000 + static_cast<sim::Duration>(rng.below(20'000));
+  sc.faults.jitter = static_cast<sim::Duration>(rng.below(2'000));
+
+  Builder b{rng, sc};
+  const int phases = 2 + static_cast<int>(rng.below(5));
+  for (int i = 0; i < phases; ++i) {
+    switch (rng.below(8)) {
+      case 0: b.pairExchange(); break;
+      case 1: b.ring(); break;
+      case 2: b.wildcardGather(); break;
+      case 3: b.collective(); break;
+      case 4: b.commSplit(); break;
+      case 5: b.probeChain(); break;
+      case 6: b.nonblockingStorm(); break;
+      default: b.computeSkew(); break;
+    }
+  }
+  if (rng.chance(0.35)) b.deadlockSeed();
+  return sc;
+}
+
+}  // namespace wst::fuzz

@@ -1,0 +1,16 @@
+// Random scenario generator: one RNG seed deterministically produces one
+// Scenario (program + fault plan). See DESIGN.md §12 for the grammar.
+#pragma once
+
+#include <cstdint>
+
+#include "fuzz/scenario.hpp"
+
+namespace wst::fuzz {
+
+/// Deterministic: the same seed always yields a byte-identical scenario
+/// (Scenario::serialize) on every platform (support::Rng is xoshiro256**
+/// with fixed integer reduction).
+Scenario makeScenario(std::uint64_t seed);
+
+}  // namespace wst::fuzz

@@ -1,0 +1,175 @@
+#include "fuzz/interpreter.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "mpi/comm.hpp"
+#include "mpi/proc.hpp"
+
+namespace wst::fuzz {
+namespace {
+
+/// Resolve a scenario peer to a comm-local rank: wildcards pass through,
+/// anything else wraps modulo the communicator size and steps off self
+/// (self-messaging would be a different protocol; the generator never wants
+/// it and the shrinker must not create it by rank remapping).
+mpi::Rank resolvePeer(std::int32_t peer, std::int32_t size, std::int32_t me) {
+  if (peer < 0) return mpi::kAnySource;
+  mpi::Rank r = peer % size;
+  if (r == me) r = (r + 1) % size;
+  return r;
+}
+
+mpi::Tag sendTag(std::int32_t tag) { return tag < 0 ? 0 : tag; }
+mpi::Tag recvTag(std::int32_t tag) { return tag < 0 ? mpi::kAnyTag : tag; }
+mpi::Bytes bytesOf(std::int32_t bytes) {
+  return static_cast<mpi::Bytes>(std::max(bytes, 0));
+}
+
+sim::Task runRank(mpi::Proc& self, std::shared_ptr<const Scenario> sc) {
+  const auto& ops = sc->ranks[static_cast<std::size_t>(self.rank())];
+  std::vector<mpi::CommId> comms{mpi::kCommWorld};
+  std::vector<mpi::RequestId> reqs;
+
+  for (const Op& op : ops) {
+    const mpi::CommId comm =
+        comms[static_cast<std::size_t>(op.comm) % comms.size()];
+    const mpi::Communicator& c = self.runtime().comm(comm);
+    const std::int32_t size = c.size();
+    const std::int32_t me = c.toLocal(self.rank());
+    const mpi::Bytes bytes = bytesOf(op.bytes);
+
+    switch (op.kind) {
+      case OpKind::kSend:
+      case OpKind::kBsend:
+      case OpKind::kSsend: {
+        if (size < 2) break;  // nobody to talk to on this comm
+        const mpi::Rank to = resolvePeer(std::abs(op.peer), size, me);
+        const mpi::Tag tag = sendTag(op.tag);
+        if (op.kind == OpKind::kSend) {
+          co_await self.send(to, tag, bytes, comm);
+        } else if (op.kind == OpKind::kBsend) {
+          co_await self.bsend(to, tag, bytes, comm);
+        } else {
+          co_await self.ssend(to, tag, bytes, comm);
+        }
+        break;
+      }
+      case OpKind::kRecv: {
+        if (size < 2) break;
+        co_await self.recv(resolvePeer(op.peer, size, me), recvTag(op.tag),
+                           nullptr, comm);
+        break;
+      }
+      case OpKind::kSendrecv: {
+        if (size < 2) break;
+        co_await self.sendrecv(resolvePeer(std::abs(op.peer), size, me),
+                               sendTag(op.tag), bytes,
+                               resolvePeer(op.peer2, size, me),
+                               recvTag(op.tag2), nullptr, comm);
+        break;
+      }
+      case OpKind::kProbe: {
+        if (size < 2) break;
+        mpi::Status st;
+        co_await self.probe(resolvePeer(op.peer, size, me), recvTag(op.tag),
+                            &st, comm);
+        // Status carries world ranks; recv takes comm-local.
+        co_await self.recv(c.toLocal(st.source), st.tag, nullptr, comm);
+        break;
+      }
+      case OpKind::kIsend: {
+        if (size < 2) break;
+        mpi::RequestId req = 0;
+        co_await self.isend(resolvePeer(std::abs(op.peer), size, me),
+                            sendTag(op.tag), bytes, &req, comm);
+        reqs.push_back(req);
+        break;
+      }
+      case OpKind::kIrecv: {
+        if (size < 2) break;
+        mpi::RequestId req = 0;
+        co_await self.irecv(resolvePeer(op.peer, size, me), recvTag(op.tag),
+                            &req, comm);
+        reqs.push_back(req);
+        break;
+      }
+      case OpKind::kWait: {
+        if (reqs.empty()) break;
+        co_await self.wait(reqs.front());
+        reqs.erase(reqs.begin());
+        break;
+      }
+      case OpKind::kWaitall: {
+        if (reqs.empty()) break;
+        co_await self.waitall(reqs);
+        reqs.clear();
+        break;
+      }
+      case OpKind::kWaitany: {
+        if (reqs.empty()) break;
+        int index = -1;
+        co_await self.waitany(reqs, &index);
+        if (index >= 0 && index < static_cast<int>(reqs.size())) {
+          reqs.erase(reqs.begin() + index);
+        }
+        break;
+      }
+      case OpKind::kWaitsome: {
+        if (reqs.empty()) break;
+        std::vector<int> indices;
+        co_await self.waitsome(reqs, &indices);
+        std::sort(indices.begin(), indices.end(), std::greater<>());
+        for (int i : indices) {
+          if (i >= 0 && i < static_cast<int>(reqs.size())) {
+            reqs.erase(reqs.begin() + i);
+          }
+        }
+        break;
+      }
+      case OpKind::kBarrier:
+        co_await self.barrier(comm);
+        break;
+      case OpKind::kBcast:
+        co_await self.bcast(std::abs(op.peer) % size, bytes, comm);
+        break;
+      case OpKind::kReduce:
+        co_await self.reduce(std::abs(op.peer) % size, bytes, comm);
+        break;
+      case OpKind::kAllreduce:
+        co_await self.allreduce(bytes, comm);
+        break;
+      case OpKind::kGather:
+        co_await self.gather(std::abs(op.peer) % size, bytes, comm);
+        break;
+      case OpKind::kAlltoall:
+        co_await self.alltoall(bytes, comm);
+        break;
+      case OpKind::kCommSplit: {
+        mpi::CommId out = mpi::kCommWorld;
+        co_await self.commSplit(comm, std::abs(op.peer), me, &out);
+        // A shrink mutation can misalign collective sequences so that this
+        // split shares a wave with another collective kind; the runtime
+        // records the usage error and returns no communicator. Stay total:
+        // only adopt a real result.
+        if (out >= 0) comms.push_back(out);
+        break;
+      }
+      case OpKind::kCompute:
+        co_await self.compute(static_cast<sim::Duration>(bytes) * 50);
+        break;
+    }
+  }
+  if (!reqs.empty()) co_await self.waitall(reqs);
+  co_await self.finalize();
+}
+
+}  // namespace
+
+mpi::Runtime::Program scenarioProgram(
+    std::shared_ptr<const Scenario> scenario) {
+  return [scenario](mpi::Proc& self) { return runRank(self, scenario); };
+}
+
+}  // namespace wst::fuzz

@@ -1,0 +1,21 @@
+// Turns a Scenario into runnable rank coroutines with *total* semantics:
+// every op list executes no matter what the shrinker deleted. Peers wrap
+// modulo the communicator size (and step off self), waits on an empty request
+// set are no-ops, communicator slots wrap modulo the slots a rank actually
+// holds. Totality is what lets the shrinker delete arbitrary ops/ranks and
+// still get a well-defined program on both oracle sides.
+#pragma once
+
+#include <memory>
+
+#include "fuzz/scenario.hpp"
+#include "mpi/runtime.hpp"
+
+namespace wst::fuzz {
+
+/// Build the rank program for `scenario`. The returned callable (and the
+/// coroutine frames it spawns) share ownership of the scenario, so the
+/// caller's copy may go away while the run is in flight.
+mpi::Runtime::Program scenarioProgram(std::shared_ptr<const Scenario> scenario);
+
+}  // namespace wst::fuzz

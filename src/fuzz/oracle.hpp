@@ -1,0 +1,62 @@
+// Differential oracle: run a scenario once through the centralized
+// reference (Recorder -> MatchedTrace -> formal TransitionSystem) and once
+// through the full distributed tool, then compare verdict, terminal state
+// vector, blocked/finished sets and the canonicalized wait-for graph.
+// Both runs use the zero-overhead tool configuration so they observe the
+// same execution (identical wildcard matching), which makes any difference
+// a protocol bug rather than schedule noise.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/scenario.hpp"
+#include "tbon/overlay.hpp"
+#include "trace/op.hpp"
+
+namespace wst::fuzz {
+
+/// Knobs of one distributed run (the fuzzer sweeps these).
+struct RunOptions {
+  /// Apply the scenario's fault plan (drop/dup/delay/jitter) to the overlay.
+  bool faults = true;
+  /// 0 = serial engine; otherwise ParallelEngine with this many threads.
+  std::int32_t threads = 0;
+  /// Enable wait-state message batching.
+  bool batch = false;
+  /// Planted-bug hook (ToolConfig::injectBug).
+  std::int32_t injectBug = 0;
+};
+
+/// What one oracle side observed at the terminal state.
+struct Outcome {
+  bool deadlock = false;
+  std::vector<trace::ProcId> deadlocked;
+  std::vector<trace::LocalTs> state;
+  std::vector<bool> blocked;
+  std::vector<bool> finished;
+  /// Canonical wait-for-graph serialization: structural fields only
+  /// (blocked flag, clause type/comm/wave/targets), no free-text reasons,
+  /// clause and target order normalized — the two sides phrase reasons
+  /// differently but must agree on structure.
+  std::string wfg;
+  std::uint64_t traceHash = 0;
+  tbon::FaultStats faultStats{};
+
+  /// One-line digest for divergence reports.
+  std::string summary() const;
+};
+
+/// Centralized reference run.
+Outcome runFormalOracle(const Scenario& scenario);
+
+/// Full distributed tool run.
+Outcome runDistributedOracle(const Scenario& scenario,
+                             const RunOptions& options);
+
+/// Empty string = agreement; otherwise a human-readable description of the
+/// first difference found.
+std::string compareOutcomes(const Outcome& formal, const Outcome& distributed);
+
+}  // namespace wst::fuzz

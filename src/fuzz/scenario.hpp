@@ -1,0 +1,120 @@
+// Fuzz scenario model: a serializable random-but-valid MPI program plus the
+// tool/fault configuration it runs under (DESIGN.md §12).
+//
+// A scenario is per-rank lists of abstract operations. The interpreter
+// (interpreter.hpp) turns them into rank coroutines with *total* semantics:
+// any op list is runnable — peers are clamped into range, waits on an empty
+// request set are no-ops, communicator slots wrap around — so the shrinker
+// may delete arbitrary ops, ranks or faults and both oracle sides still
+// execute. Scenarios serialize to a line-oriented `.wst` text format that is
+// byte-identical for a given scenario value (the replay / corpus format).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace wst::fuzz {
+
+enum class OpKind : std::uint8_t {
+  kSend,
+  kBsend,
+  kSsend,
+  kRecv,
+  kSendrecv,
+  kProbe,  // blocking probe, then a receive consuming the probed message
+  kIsend,
+  kIrecv,
+  kWait,      // wait for the oldest outstanding request (no-op if none)
+  kWaitall,   // wait for all outstanding requests
+  kWaitany,   // wait for one outstanding request (no-op if none)
+  kWaitsome,  // wait for at least one outstanding request (no-op if none)
+  kBarrier,
+  kBcast,
+  kReduce,
+  kAllreduce,
+  kGather,
+  kAlltoall,
+  kCommSplit,  // collective; appends a communicator slot on participants
+  kCompute,    // local busy time (schedule diversity)
+};
+inline constexpr int kOpKindCount = 20;
+
+const char* opKindName(OpKind kind);
+std::optional<OpKind> opKindFromName(const std::string& name);
+
+struct Op {
+  OpKind kind = OpKind::kBarrier;
+  /// Send target / receive source (world or comm-local rank, clamped by the
+  /// interpreter; -1 = MPI_ANY_SOURCE), root of rooted collectives, or the
+  /// color of a kCommSplit.
+  std::int32_t peer = 0;
+  std::int32_t tag = 0;  // -1 = MPI_ANY_TAG on receive-like ops
+  /// kSendrecv only: the receive half's source / tag.
+  std::int32_t peer2 = 0;
+  std::int32_t tag2 = 0;
+  std::int32_t bytes = 4;
+  /// Communicator slot: 0 = MPI_COMM_WORLD, each kCommSplit the rank
+  /// executed appends one. Wrapped modulo the rank's slot count.
+  std::int32_t comm = 0;
+
+  bool operator==(const Op&) const = default;
+};
+
+/// Fault intensities applied to the tool overlay when a run enables fault
+/// injection (see tbon::FaultConfig for the mechanics).
+struct FaultPlan {
+  double drop = 0.0;
+  double dup = 0.0;
+  double delay = 0.0;
+  sim::Duration maxExtraDelay = 0;
+  /// Per-message latency jitter on overlay channels (sim::ChannelConfig).
+  sim::Duration jitter = 0;
+  std::uint64_t seed = 1;
+
+  bool any() const {
+    return drop > 0.0 || dup > 0.0 || delay > 0.0 || jitter > 0;
+  }
+  bool operator==(const FaultPlan&) const = default;
+};
+
+struct Scenario {
+  std::int32_t procs = 4;
+  std::int32_t fanIn = 2;
+  /// Generator seed (provenance only; replay never re-derives from it).
+  std::uint64_t seed = 0;
+  /// Periodic detection interval (0 = quiescence detection only) and its
+  /// randomized per-round jitter.
+  sim::Duration periodic = 0;
+  sim::Duration detectionJitter = 0;
+  /// Consumed-send history bound (stresses the eviction/pinning path).
+  std::size_t consumedHistory = 8;
+  /// Overlay channel latencies (randomized per scenario).
+  sim::Duration latIntra = 2'000;
+  sim::Duration latUp = 2'000;
+  sim::Duration latDown = 2'000;
+  FaultPlan faults;
+  /// ranks[r] = operation list of world rank r.
+  std::vector<std::vector<Op>> ranks;
+
+  std::size_t totalOps() const {
+    std::size_t n = 0;
+    for (const auto& r : ranks) n += r.size();
+    return n;
+  }
+
+  bool operator==(const Scenario&) const = default;
+
+  /// Deterministic text form: the same scenario value always produces the
+  /// same bytes (replay artifacts, the committed corpus, determinism tests).
+  std::string serialize() const;
+  /// Parse the serialize() format. On failure returns nullopt and, when
+  /// `error` is non-null, a one-line diagnostic.
+  static std::optional<Scenario> parse(const std::string& text,
+                                       std::string* error = nullptr);
+};
+
+}  // namespace wst::fuzz

@@ -1,0 +1,149 @@
+#include "fuzz/shrinker.hpp"
+
+#include <algorithm>
+
+namespace wst::fuzz {
+namespace {
+
+/// Rank peers after deleting world rank `gone`: higher ranks shift down;
+/// references to the deleted rank collapse to 0 (the interpreter's
+/// resolvePeer steps off self, so this stays total). Wildcards (-1) and
+/// commsplit colors pass through untouched.
+std::int32_t remapPeer(std::int32_t peer, std::int32_t gone) {
+  if (peer < 0) return peer;
+  if (peer == gone) return 0;
+  return peer > gone ? peer - 1 : peer;
+}
+
+Scenario withoutRank(const Scenario& sc, std::int32_t gone) {
+  Scenario out = sc;
+  out.procs = sc.procs - 1;
+  out.fanIn = std::max<std::int32_t>(2, std::min(sc.fanIn, out.procs));
+  out.ranks.erase(out.ranks.begin() + gone);
+  for (auto& ops : out.ranks) {
+    for (Op& op : ops) {
+      if (op.kind == OpKind::kCommSplit) continue;  // peer is a color
+      op.peer = remapPeer(op.peer, gone);
+      if (op.kind == OpKind::kSendrecv) op.peer2 = remapPeer(op.peer2, gone);
+    }
+  }
+  return out;
+}
+
+struct Shrinker {
+  const RunOptions& options;
+  std::size_t budget;
+  std::size_t evaluations = 0;
+  std::string lastReason;
+
+  bool reproduces(const Scenario& sc) {
+    if (evaluations >= budget) return false;
+    ++evaluations;
+    const Outcome formal = runFormalOracle(sc);
+    const Outcome dist = runDistributedOracle(sc, options);
+    const std::string reason = compareOutcomes(formal, dist);
+    if (reason.empty()) return false;
+    lastReason = reason;
+    return true;
+  }
+
+  /// Try deleting whole ranks (the biggest single reduction).
+  bool dropRanks(Scenario& sc) {
+    bool changed = false;
+    for (std::int32_t r = sc.procs - 1; r >= 0 && sc.procs > 2; --r) {
+      Scenario candidate = withoutRank(sc, r);
+      if (reproduces(candidate)) {
+        sc = std::move(candidate);
+        changed = true;
+      }
+      if (evaluations >= budget) break;
+    }
+    return changed;
+  }
+
+  /// ddmin-style chunk deletion on one rank's op list: chunk sizes halve
+  /// from len/2 down to 1.
+  bool shrinkOps(Scenario& sc) {
+    bool changed = false;
+    for (std::size_t r = 0; r < sc.ranks.size(); ++r) {
+      for (std::size_t chunk = std::max<std::size_t>(sc.ranks[r].size() / 2, 1);
+           chunk >= 1; chunk /= 2) {
+        bool removedAtThisSize = true;
+        while (removedAtThisSize && !sc.ranks[r].empty()) {
+          removedAtThisSize = false;
+          for (std::size_t at = 0; at < sc.ranks[r].size();) {
+            Scenario candidate = sc;
+            auto& ops = candidate.ranks[r];
+            const std::size_t n = std::min(chunk, ops.size() - at);
+            ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(at),
+                      ops.begin() + static_cast<std::ptrdiff_t>(at + n));
+            if (reproduces(candidate)) {
+              sc = std::move(candidate);
+              changed = true;
+              removedAtThisSize = true;
+            } else {
+              at += chunk;
+            }
+            if (evaluations >= budget) return changed;
+          }
+        }
+        if (chunk == 1) break;
+      }
+    }
+    return changed;
+  }
+
+  /// Strip configuration complexity that turns out to be irrelevant.
+  bool simplifyConfig(Scenario& sc) {
+    bool changed = false;
+    const auto tryApply = [&](auto&& mutate) {
+      Scenario candidate = sc;
+      mutate(candidate);
+      if (candidate == sc) return;
+      if (reproduces(candidate)) {
+        sc = std::move(candidate);
+        changed = true;
+      }
+    };
+    tryApply([](Scenario& s) {
+      s.faults.drop = 0.0;
+      s.faults.dup = 0.0;
+      s.faults.delay = 0.0;
+      s.faults.maxExtraDelay = 0;
+    });
+    tryApply([](Scenario& s) { s.faults.jitter = 0; });
+    tryApply([](Scenario& s) {
+      s.periodic = 0;
+      s.detectionJitter = 0;
+    });
+    tryApply([](Scenario& s) { s.consumedHistory = 8; });
+    tryApply([](Scenario& s) {
+      s.latIntra = 2'000;
+      s.latUp = 2'000;
+      s.latDown = 2'000;
+    });
+    return changed;
+  }
+};
+
+}  // namespace
+
+ShrinkResult shrink(const Scenario& start, const RunOptions& options,
+                    std::size_t budget) {
+  Shrinker sh{options, budget, 0, {}};
+  Scenario sc = start;
+  bool changed = true;
+  while (changed && sh.evaluations < budget) {
+    changed = false;
+    changed |= sh.dropRanks(sc);
+    changed |= sh.shrinkOps(sc);
+    changed |= sh.simplifyConfig(sc);
+  }
+  ShrinkResult result;
+  result.scenario = std::move(sc);
+  result.evaluations = sh.evaluations;
+  result.reason = sh.lastReason;
+  return result;
+}
+
+}  // namespace wst::fuzz

@@ -1,0 +1,30 @@
+// Automatic scenario minimization: given a scenario whose distributed run
+// diverges from the formal oracle, greedily delete ranks, op chunks and
+// configuration complexity while the divergence still reproduces. Greedy
+// fixpoint over three passes (drop-rank, ddmin-style op chunk deletion,
+// config simplification), bounded by an oracle-evaluation budget.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "fuzz/oracle.hpp"
+#include "fuzz/scenario.hpp"
+
+namespace wst::fuzz {
+
+struct ShrinkResult {
+  Scenario scenario;
+  /// Oracle evaluations spent (each = one formal + one distributed run).
+  std::size_t evaluations = 0;
+  /// compareOutcomes() reason of the final (minimal) scenario.
+  std::string reason;
+};
+
+/// Precondition: `start` diverges under `options` (callers have just
+/// observed it). Returns the smallest reproducing scenario found within
+/// `budget` oracle evaluations — at worst `start` itself.
+ShrinkResult shrink(const Scenario& start, const RunOptions& options,
+                    std::size_t budget = 400);
+
+}  // namespace wst::fuzz

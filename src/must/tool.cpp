@@ -260,6 +260,16 @@ DistributedTool::DistributedTool(sim::Scheduler& engine, mpi::Runtime& runtime,
            std::holds_alternative<waitstate::RecvActiveAckMsg>(msg) ||
            std::holds_alternative<waitstate::CollectiveReadyMsg>(msg);
   });
+  // The fault injector may perturb exactly the five wait-state message
+  // kinds; the consistent-state and detection control plane rides the same
+  // reliable streams untouched (see tbon::FaultConfig).
+  overlay_->setFaultable([](const ToolMsg& msg) {
+    return std::holds_alternative<waitstate::PassSendMsg>(msg) ||
+           std::holds_alternative<waitstate::RecvActiveMsg>(msg) ||
+           std::holds_alternative<waitstate::RecvActiveAckMsg>(msg) ||
+           std::holds_alternative<waitstate::CollectiveReadyMsg>(msg) ||
+           std::holds_alternative<waitstate::CollectiveAckMsg>(msg);
+  });
   overlay_->setHandler(
       [this](NodeId node, ToolMsg&& msg) { handleMessage(node, std::move(msg)); });
   if (config_.prioritizeWaitState) {
@@ -300,6 +310,10 @@ DistributedTool::DistributedTool(sim::Scheduler& engine, mpi::Runtime& runtime,
     pruneGateOk_ = config_.overlay.intralayer.latency + slack <
                    config_.overlay.treeUp.latency +
                        config_.overlay.treeDown.latency;
+    // Fault injection (retransmit delays, hold-backs, channel jitter)
+    // voids any latency-based guarantee that in-flight data outruns the
+    // requestWaits broadcast.
+    if (config_.overlay.faults.enabled) pruneGateOk_ = false;
   }
 
   if (config_.detectOnQuiescence) {
@@ -308,9 +322,17 @@ DistributedTool::DistributedTool(sim::Scheduler& engine, mpi::Runtime& runtime,
   if (config_.periodicDetection > 0) {
     // The periodic timer lives on the root's LP: every decision it takes
     // reads only root-LP state, so it composes with the parallel engine.
+    periodicRng_.reseed(config_.detectionJitterSeed);
     engine_.scheduleOn(overlay_->nodeLp(topology_.root()),
-                       config_.periodicDetection, [this] { onPeriodic(); });
+                       config_.periodicDetection + periodicJitter(),
+                       [this] { onPeriodic(); });
   }
+}
+
+sim::Duration DistributedTool::periodicJitter() {
+  if (config_.detectionJitter <= 0) return 0;
+  return static_cast<sim::Duration>(periodicRng_.below(
+      static_cast<std::uint64_t>(config_.detectionJitter) + 1));
 }
 
 DistributedTool::~DistributedTool() {
@@ -543,6 +565,11 @@ void DistributedTool::handleMessage(NodeId node, ToolMsg&& msg) {
           [&](waitstate::PassSendMsg& m) { ns.tracker->onPassSend(m); },
           [&](waitstate::RecvActiveMsg& m) { ns.tracker->onRecvActive(m); },
           [&](waitstate::RecvActiveAckMsg& m) {
+            // Planted bug for fuzzer validation (ToolConfig::injectBug):
+            // losing probe acks leaves probe wait states permanently
+            // blocked on this node while the centralized oracle resolves
+            // them — a divergence the fuzzer must catch.
+            if (config_.injectBug == 1 && m.forProbe) return;
             ns.tracker->onRecvActiveAck(m);
           },
           [&](waitstate::CollectiveReadyMsg& m) {
@@ -777,9 +804,14 @@ void DistributedTool::onPeriodic() {
   // (periodicStopped_), so it never inspects tracker or runtime state that
   // lives on other LPs.
   if (deadlockFound() || periodicStopped_) return;
+  if (config_.maxPeriodicRounds != 0 &&
+      ++periodicRounds_ > config_.maxPeriodicRounds) {
+    return;
+  }
   if (!detectionInProgress_) startDetection();
   engine_.scheduleOn(overlay_->nodeLp(topology_.root()),
-                     engine_.now() + config_.periodicDetection,
+                     engine_.now() + config_.periodicDetection +
+                         periodicJitter(),
                      [this] { onPeriodic(); });
 }
 

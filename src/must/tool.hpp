@@ -37,6 +37,7 @@
 #include "must/messages.hpp"
 #include "must/runtime_comm_view.hpp"
 #include "support/metrics.hpp"
+#include "support/rng.hpp"
 #include "tbon/overlay.hpp"
 #include "tbon/topology.hpp"
 #include "waitstate/distributed_tracker.hpp"
@@ -71,6 +72,26 @@ struct ToolConfig {
   /// Additional periodic detection interval (0 disables). Exercises
   /// consistent-state snapshots of intermediate states.
   sim::Duration periodicDetection = 0;
+  /// Randomize each periodic interval by an extra uniform [0, jitter]
+  /// drawn from a root-LP RNG (deterministic per seed): detection rounds
+  /// land at adversarial instants instead of a fixed cadence. Fuzzing only.
+  sim::Duration detectionJitter = 0;
+  std::uint64_t detectionJitterSeed = 1;
+  /// Stop the periodic timer after this many rounds (0 = unbounded). The
+  /// timer otherwise only stops on a deadlock report or when every process
+  /// reported finished — a process blocked forever without forming a
+  /// deadlock (e.g. a starved wildcard receive) would keep the simulation
+  /// alive indefinitely. Fuzzed runs bound the rounds; the final
+  /// quiescence-triggered detection still runs either way.
+  std::uint32_t maxPeriodicRounds = 0;
+
+  /// Test hook for the fuzzer's planted-bug demonstration (wst fuzz
+  /// --inject-bug). 0 = off. 1 = the first-layer handler silently discards
+  /// recvActiveAck messages that answer probes, so probe wait states never
+  /// resolve — a realistic lost-protocol-message bug the differential
+  /// oracle must catch and the shrinker must minimize. Never enable
+  /// outside tests.
+  std::int32_t injectBug = 0;
 
   /// Prefer processing wait-state messages (passSend, recvActive,
   /// recvActiveAck, collectiveReady/Ack) over the bulk NewOp event stream —
@@ -237,6 +258,8 @@ class DistributedTool : public mpi::Interposer {
   void finishDetection();
   void onQuiescence();
   void onPeriodic();
+  /// Extra uniform [0, detectionJitter] delay for the periodic timer.
+  sim::Duration periodicJitter();
 
   /// Flight-recorder hook run by the overlay on the receiving node's LP just
   /// before the handler: closes wait-state message flows and marks protocol
@@ -320,6 +343,10 @@ class DistributedTool : public mpi::Interposer {
   /// process — derived purely from root-LP-local gather state so the
   /// periodic timer never reads other LPs' runtime state.
   bool periodicStopped_ = false;
+  std::uint32_t periodicRounds_ = 0;
+  /// Jitters the periodic detection timer; only ever touched on the root
+  /// LP, so the draw order (and thus the schedule) is deterministic.
+  support::Rng periodicRng_{1};
   std::uint32_t verifyDivergences_ = 0;
   std::vector<RoundStats> roundStats_;
   /// True when channel latencies let in-flight intralayer data outrun the

@@ -28,6 +28,7 @@
 
 #include "sim/engine.hpp"
 #include "support/assert.hpp"
+#include "support/rng.hpp"
 
 namespace wst::sim {
 
@@ -38,6 +39,14 @@ struct ChannelConfig {
   Duration perByte = 0;
   /// Credit pool size; 0 means unlimited (no flow control).
   std::uint32_t credits = 0;
+  /// Schedule perturbation: each message pays an extra latency drawn
+  /// uniformly from [0, jitter], from a per-channel RNG seeded with
+  /// jitterSeed — deterministic, replayable adversarial timing. Arrival
+  /// times stay monotone (clamped against the previous arrival), so the
+  /// non-overtaking guarantee survives jitter. Jitter only ever *adds*
+  /// latency, so a declared cross-LP lookahead of `latency` stays valid.
+  Duration jitter = 0;
+  std::uint64_t jitterSeed = 0;
 };
 
 template <typename M>
@@ -128,7 +137,15 @@ class Channel {
     const Time depart = std::max(engine_.now(), lastDepart_) +
                         config_.perByte * static_cast<Duration>(bytes);
     lastDepart_ = depart;
-    const Time arrival = depart + config_.latency;
+    Time arrival = depart + config_.latency;
+    if (config_.jitter > 0) {
+      arrival += static_cast<Duration>(
+          jitterRng_.below(static_cast<std::uint64_t>(config_.jitter) + 1));
+      // Jittered arrivals could regress relative to an earlier, more
+      // heavily jittered message; re-clamp to keep the channel FIFO.
+      arrival = std::max(arrival, lastArrival_);
+      lastArrival_ = arrival;
+    }
     ++sent_;
     bytesSent_ += bytes;
     // M is moved into the scheduled closure; delivery happens at `arrival`
@@ -144,6 +161,8 @@ class Channel {
   LpId producerLp_ = kMainLp;
   LpId consumerLp_ = kMainLp;
   Time lastDepart_ = 0;
+  Time lastArrival_ = 0;
+  support::Rng jitterRng_{config_.jitterSeed};
   std::uint32_t creditsLeft_ = 0;
   std::deque<std::function<void()>> creditWaiters_;
   std::uint64_t sent_ = 0;

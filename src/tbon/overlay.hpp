@@ -43,6 +43,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -53,6 +54,7 @@
 #include "sim/engine.hpp"
 #include "support/assert.hpp"
 #include "support/metrics.hpp"
+#include "support/rng.hpp"
 #include "support/strings.hpp"
 #include "support/tracing.hpp"
 #include "tbon/topology.hpp"
@@ -84,6 +86,55 @@ struct BatchConfig {
   double amortizedCostFactor = 0.25;
 };
 
+/// Adversarial fault injection for fuzzing. When enabled, every envelope on
+/// the intralayer and tree link classes travels through a reliable
+/// per-directed-link stream: the sender assigns consecutive sequence
+/// numbers and keeps unacknowledged copies, the receiver delivers strictly
+/// in sequence order (buffering out-of-order arrivals), discards
+/// duplicates, and returns cumulative acknowledgements. Beneath that
+/// stream an injector may drop, duplicate, or delay individual *data-plane*
+/// messages — those the faultable predicate accepts; control-plane traffic
+/// (the consistent-state ping-pong and detection requests) is sequenced but
+/// never perturbed, so it still cannot overtake earlier data on its link
+/// and the double ping-pong's drained-channel proof is preserved.
+///
+/// Drops are fair-lossy: a given (link, seq) is dropped at most
+/// maxDropsPerMsg times and maxRetransmits exceeds that bound, so at least
+/// one copy of every message reaches the wire and each message is
+/// delivered exactly once, in order. Retransmit timers are engine events,
+/// so the simulation cannot reach quiescence while a loss is still being
+/// healed — detection always observes a fully delivered protocol state.
+struct FaultConfig {
+  bool enabled = false;
+  std::uint64_t seed = 1;
+  /// Per-transmission probability of dropping a faultable message.
+  double dropProb = 0.0;
+  /// Probability of sending a faultable message twice.
+  double dupProb = 0.0;
+  /// Probability of holding a faultable message back before it enters the
+  /// wire (later messages overtake it in flight; the receiver's reorder
+  /// buffer restores order).
+  double delayProb = 0.0;
+  /// Maximum extra hold-back, drawn uniformly from [1, maxExtraDelay].
+  sim::Duration maxExtraDelay = 0;
+  std::uint32_t maxDropsPerMsg = 2;
+  std::uint32_t maxRetransmits = 8;
+  sim::Duration retransmitTimeout = 40'000;
+};
+
+/// Counters of what the fault layer actually did during a run. A given
+/// seed reproduces these exactly (the per-sender RNGs are sharded by node,
+/// so thread count does not change the schedule of decisions).
+struct FaultStats {
+  std::uint64_t dropsInjected = 0;
+  std::uint64_t dupsInjected = 0;
+  std::uint64_t delaysInjected = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t duplicatesDiscarded = 0;
+  std::uint64_t reordersBuffered = 0;
+  std::uint64_t acksSent = 0;
+};
+
 struct OverlayConfig {
   sim::ChannelConfig appToLeaf{
       .latency = 2'000, .perByte = 0, .credits = 64};
@@ -93,6 +144,8 @@ struct OverlayConfig {
   /// Per-link-class coalescing; disengaged = every message ships alone.
   /// Supported on kIntralayer, kUp and kDown (classes without credits).
   std::array<std::optional<BatchConfig>, kLinkClassCount> batch{};
+  /// Fault injection beneath the reliable link layer (fuzzing only).
+  FaultConfig faults{};
 };
 
 template <typename M>
@@ -142,6 +195,28 @@ class Overlay {
                "batched link classes must not use credit flow control");
     WST_ASSERT(!batchConfig(LinkClass::kDown) || config_.treeDown.credits == 0,
                "batched link classes must not use credit flow control");
+    if (config_.faults.enabled) {
+      // Retransmits resend on the raw channel and would double-consume
+      // credits; the faulted classes are credit-free by design anyway.
+      WST_ASSERT(config_.intralayer.credits == 0 &&
+                     config_.treeUp.credits == 0 &&
+                     config_.treeDown.credits == 0,
+                 "fault injection requires credit-free overlay link classes");
+      WST_ASSERT(config_.faults.maxRetransmits > config_.faults.maxDropsPerMsg,
+                 "retransmit budget must exceed the per-message drop bound");
+      WST_ASSERT(config_.faults.retransmitTimeout > 0,
+                 "fault injection needs a positive retransmit timeout");
+      recvStreams_.resize(static_cast<std::size_t>(topology.nodeCount()));
+      faultRngs_.reserve(static_cast<std::size_t>(topology.nodeCount()));
+      for (NodeId n = 0; n < topology.nodeCount(); ++n) {
+        // One RNG shard per sending node, consumed only on that node's LP:
+        // fault decisions are deterministic for a seed regardless of how
+        // many worker threads drive the engine.
+        faultRngs_.emplace_back(config_.faults.seed +
+                                0x9E3779B97F4A7C15ULL *
+                                    (static_cast<std::uint64_t>(n) + 1));
+      }
+    }
     // One logical process per tool node (the serial engine hands back
     // kMainLp for each — everything stays on one queue).
     nodeLps_.reserve(static_cast<std::size_t>(topology.nodeCount()));
@@ -181,6 +256,13 @@ class Overlay {
   void setUrgency(UrgencyFn urgency) { urgency_ = std::move(urgency); }
   void setBatchable(BatchableFn batchable) {
     batchable_ = std::move(batchable);
+  }
+  /// Which messages the fault injector may drop/duplicate/delay (the
+  /// wait-state data plane). Messages rejected here — or all messages, if
+  /// no predicate is installed — are still sequenced by the reliable layer
+  /// but never perturbed. Same shape as the batchable predicate.
+  void setFaultable(BatchableFn faultable) {
+    faultable_ = std::move(faultable);
   }
   /// Publish live instruments (batch occupancy, queue depth, service time)
   /// into a registry. Call before traffic flows.
@@ -338,14 +420,42 @@ class Overlay {
     return it == shard.end() ? 0 : it->second;
   }
 
+  /// Snapshot of the fault layer's activity (all zero when disabled).
+  FaultStats faultStats() const {
+    FaultStats s;
+    s.dropsInjected =
+        faultCounters_.drops.load(std::memory_order_relaxed);
+    s.dupsInjected = faultCounters_.dups.load(std::memory_order_relaxed);
+    s.delaysInjected =
+        faultCounters_.delays.load(std::memory_order_relaxed);
+    s.retransmits =
+        faultCounters_.retransmits.load(std::memory_order_relaxed);
+    s.duplicatesDiscarded =
+        faultCounters_.dupsDiscarded.load(std::memory_order_relaxed);
+    s.reordersBuffered =
+        faultCounters_.reorders.load(std::memory_order_relaxed);
+    s.acksSent = faultCounters_.acks.load(std::memory_order_relaxed);
+    return s;
+  }
+
  private:
   /// Channel payload: one message, or a flushed batch (rest empty for
-  /// singles — no allocation on the unbatched path).
+  /// singles — no allocation on the unbatched path). `seq` > 0 marks an
+  /// envelope carried by the reliable stream of its directed link.
   struct Envelope {
     M first;
     std::vector<M> rest;
+    std::uint64_t seq = 0;
   };
   using Chan = sim::Channel<Envelope>;
+
+  /// Sender-side copy of an unacknowledged reliable envelope.
+  struct Pending {
+    Envelope env;
+    std::size_t bytes = 0;
+    std::uint32_t attempts = 0;
+    std::uint32_t drops = 0;
+  };
 
   /// A directed connection plus its staging buffer while batching.
   struct Link {
@@ -355,6 +465,17 @@ class Overlay {
     std::vector<M> staged;
     std::size_t stagedBytes = 0;
     std::uint64_t flushGen = 0;  // bumped per flush; invalidates timers
+    // Reliable-stream sender state (fault injection only); lives on the
+    // producer LP like the rest of the link.
+    std::uint64_t nextSeq = 0;
+    std::map<std::uint64_t, Pending> inflight;
+  };
+
+  /// Receiver-side reorder state of one incoming reliable stream, keyed by
+  /// (sending node, link class); touched only on the receiving node's LP.
+  struct RecvStream {
+    std::uint64_t expected = 1;
+    std::map<std::uint64_t, Envelope> buffered;
   };
 
   struct QueueEntry {
@@ -408,7 +529,11 @@ class Overlay {
     channel->setDeliver(
         [this, dest, linkClass, srcNode, chan = channel.get()](
             Envelope&& env) {
-          deliver(dest, std::move(env), chan, linkClass, srcNode);
+          if (env.seq == 0) {
+            deliver(dest, std::move(env), chan, linkClass, srcNode);
+          } else {
+            reliableDeliver(dest, std::move(env), chan, linkClass, srcNode);
+          }
         });
     return channel;
   }
@@ -440,8 +565,7 @@ class Overlay {
       // message cannot overtake logically earlier ones on the same link —
       // the consistent-state protocol depends on that order.
       flushLink(lnk);
-      countChannel(lnk.linkClass, bytes);
-      lnk.chan->send(Envelope{std::move(msg), {}}, bytes);
+      ship(lnk, Envelope{std::move(msg), {}}, bytes);
       return;
     }
     if (lnk.staged.empty()) {
@@ -478,10 +602,148 @@ class Overlay {
     for (std::size_t i = 1; i < lnk.staged.size(); ++i) {
       env.rest.push_back(std::move(lnk.staged[i]));
     }
-    countChannel(lnk.linkClass, lnk.stagedBytes);
-    lnk.chan->send(std::move(env), lnk.stagedBytes);
+    ship(lnk, std::move(env), lnk.stagedBytes);
     lnk.staged.clear();
     lnk.stagedBytes = 0;
+  }
+
+  // --- Reliable link layer (fault injection) ---------------------------------
+
+  bool faultsOn(LinkClass linkClass) const {
+    return config_.faults.enabled &&
+           (linkClass == LinkClass::kIntralayer ||
+            linkClass == LinkClass::kUp || linkClass == LinkClass::kDown);
+  }
+
+  /// The injector may only perturb data-plane payloads. Batched envelopes
+  /// contain only batchable (data-plane) members, so they qualify as a
+  /// whole; singles are tested against the faultable predicate.
+  bool faultablePayload(const Envelope& env) const {
+    if (!faultable_) return false;
+    if (!env.rest.empty()) return true;
+    return faultable_(env.first);
+  }
+
+  /// Final hop onto the channel: sequences the envelope through the
+  /// reliable stream when faults apply to this link class.
+  void ship(Link& lnk, Envelope&& env, std::size_t bytes) {
+    countChannel(lnk.linkClass, bytes);
+    if (!faultsOn(lnk.linkClass)) {
+      lnk.chan->send(std::move(env), bytes);
+      return;
+    }
+    env.seq = ++lnk.nextSeq;
+    const std::uint64_t seq = env.seq;
+    lnk.inflight.emplace(seq, Pending{std::move(env), bytes, 0, 0});
+    transmit(lnk, seq);
+  }
+
+  /// One transmission attempt of an unacknowledged envelope: the injector
+  /// may drop it (bounded per message), duplicate it, or hold it back so
+  /// later sequence numbers overtake it on the wire. Always runs on the
+  /// link's producer LP. Every attempt arms a retransmit timer (up to the
+  /// budget); the timer is a no-op once the ack has retired the entry, and
+  /// its presence keeps the engine from quiescing mid-heal.
+  void transmit(Link& lnk, std::uint64_t seq) {
+    auto it = lnk.inflight.find(seq);
+    WST_ASSERT(it != lnk.inflight.end(), "transmit of an acked seq");
+    Pending& p = it->second;
+    ++p.attempts;
+    const FaultConfig& fc = config_.faults;
+    support::Rng& rng = faultRngs_[static_cast<std::size_t>(lnk.from)];
+    const bool perturbable = faultablePayload(p.env);
+    if (perturbable && p.drops < fc.maxDropsPerMsg &&
+        rng.chance(fc.dropProb)) {
+      ++p.drops;
+      faultCounters_.drops.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      sim::Duration hold = 0;
+      if (perturbable && fc.maxExtraDelay > 0 && rng.chance(fc.delayProb)) {
+        hold = 1 + static_cast<sim::Duration>(rng.below(
+                       static_cast<std::uint64_t>(fc.maxExtraDelay)));
+        faultCounters_.delays.fetch_add(1, std::memory_order_relaxed);
+      }
+      const int copies = (perturbable && rng.chance(fc.dupProb)) ? 2 : 1;
+      if (copies == 2) {
+        faultCounters_.dups.fetch_add(1, std::memory_order_relaxed);
+      }
+      for (int i = 0; i < copies; ++i) {
+        if (hold > 0) {
+          engine_.scheduleOn(lnk.chan->producerLp(), engine_.now() + hold,
+                             [&lnk, env = p.env, bytes = p.bytes]() mutable {
+                               lnk.chan->send(std::move(env), bytes);
+                             });
+        } else {
+          lnk.chan->send(Envelope{p.env}, p.bytes);
+        }
+      }
+    }
+    if (p.attempts < fc.maxRetransmits) {
+      engine_.scheduleOn(lnk.chan->producerLp(),
+                         engine_.now() + fc.retransmitTimeout,
+                         [this, &lnk, seq] {
+                           if (lnk.inflight.find(seq) == lnk.inflight.end()) {
+                             return;  // acknowledged in the meantime
+                           }
+                           faultCounters_.retransmits.fetch_add(
+                               1, std::memory_order_relaxed);
+                           transmit(lnk, seq);
+                         });
+    }
+  }
+
+  /// Receiver side of the reliable stream: strict in-order release into
+  /// the normal delivery path, duplicate suppression, cumulative acks.
+  void reliableDeliver(NodeId dest, Envelope&& env, Chan* origin,
+                       LinkClass linkClass, NodeId srcNode) {
+    const std::uint32_t streamKey =
+        (static_cast<std::uint32_t>(srcNode) << 3) |
+        static_cast<std::uint32_t>(linkClass);
+    RecvStream& rs =
+        recvStreams_[static_cast<std::size_t>(dest)][streamKey];
+    if (env.seq < rs.expected || rs.buffered.count(env.seq) != 0) {
+      faultCounters_.dupsDiscarded.fetch_add(1, std::memory_order_relaxed);
+      sendAck(dest, origin, srcNode, linkClass, rs.expected - 1);
+      return;
+    }
+    if (env.seq > rs.expected) {
+      faultCounters_.reorders.fetch_add(1, std::memory_order_relaxed);
+      rs.buffered.emplace(env.seq, std::move(env));
+      return;
+    }
+    deliver(dest, std::move(env), origin, linkClass, srcNode);
+    ++rs.expected;
+    while (!rs.buffered.empty() &&
+           rs.buffered.begin()->first == rs.expected) {
+      Envelope next = std::move(rs.buffered.begin()->second);
+      rs.buffered.erase(rs.buffered.begin());
+      deliver(dest, std::move(next), origin, linkClass, srcNode);
+      ++rs.expected;
+    }
+    sendAck(dest, origin, srcNode, linkClass, rs.expected - 1);
+  }
+
+  /// Acks travel outside the message plane: a closure scheduled onto the
+  /// sender's LP one link latency from now (the latency is declared as
+  /// cross-LP lookahead, so this is parallel-safe). Acks themselves are
+  /// never faulted — retransmits already cover the lost-ack appearance.
+  void sendAck(NodeId dest, Chan* origin, NodeId srcNode,
+               LinkClass linkClass, std::uint64_t upTo) {
+    faultCounters_.acks.fetch_add(1, std::memory_order_relaxed);
+    const std::uint32_t linkKey =
+        (static_cast<std::uint32_t>(dest) << 3) |
+        static_cast<std::uint32_t>(linkClass);
+    engine_.scheduleOn(
+        origin->producerLp(), engine_.now() + origin->config().latency,
+        [this, srcNode, linkKey, upTo] {
+          auto& shard = links_[static_cast<std::size_t>(srcNode)];
+          const auto it = shard.find(linkKey);
+          if (it == shard.end()) return;
+          auto& inflight = it->second.inflight;
+          while (!inflight.empty() && inflight.begin()->first <= upTo) {
+            inflight.erase(inflight.begin());
+          }
+        });
   }
 
   void deliver(NodeId dest, Envelope&& env, Chan* origin,
@@ -569,6 +831,7 @@ class Overlay {
   Handler handler_;
   UrgencyFn urgency_;
   BatchableFn batchable_;
+  BatchableFn faultable_;
   DeliveryTraceFn deliveryTrace_;
 
   std::vector<NodeRuntime> nodes_;
@@ -583,6 +846,21 @@ class Overlay {
   /// dataDelivered_[n][from] on n's (receiver) LP.
   std::vector<std::unordered_map<NodeId, std::uint64_t>> dataSent_;
   std::vector<std::unordered_map<NodeId, std::uint64_t>> dataDelivered_;
+  /// Reliable-stream receiver state, sharded by receiving node (only that
+  /// node's LP touches its shard). Empty unless faults are enabled.
+  std::vector<std::unordered_map<std::uint32_t, RecvStream>> recvStreams_;
+  /// Fault-decision RNGs, sharded by sending node.
+  std::vector<support::Rng> faultRngs_;
+  /// Relaxed atomics: commutative adds from any LP, deterministic totals.
+  struct {
+    std::atomic<std::uint64_t> drops{0};
+    std::atomic<std::uint64_t> dups{0};
+    std::atomic<std::uint64_t> delays{0};
+    std::atomic<std::uint64_t> retransmits{0};
+    std::atomic<std::uint64_t> dupsDiscarded{0};
+    std::atomic<std::uint64_t> reorders{0};
+    std::atomic<std::uint64_t> acks{0};
+  } faultCounters_;
   LinkStats stats_[kLinkClassCount]{};
   LinkStats channelStats_[kLinkClassCount]{};
   std::atomic<std::size_t> maxQueueDepth_{0};

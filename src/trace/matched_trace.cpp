@@ -74,7 +74,9 @@ void MatchedTrace::matchSendRecv(OpId send, OpId recv) {
 void MatchedTrace::matchProbe(OpId probe, OpId send) {
   WST_ASSERT(op(probe).kind == Kind::kProbe || op(probe).kind == Kind::kIprobe,
              "matchProbe: not a probe");
-  WST_ASSERT(op(send).isSendLike(), "matchProbe: not a send");
+  // Like matchSendRecv: a probe may observe the send half of a Sendrecv.
+  WST_ASSERT(op(send).isSendLike() || op(send).kind == Kind::kSendrecv,
+             "matchProbe: not a send");
   const bool inserted = recvToSend_.emplace(probe, send).second;
   WST_ASSERT(inserted, "matchProbe: probe matched twice");
   sendToProbes_[send].push_back(probe);

@@ -38,6 +38,7 @@ DistributedTracker::DistributedTracker(ProcId procLo, ProcId procHi,
   WST_ASSERT(procLo >= 0 && procHi > procLo, "invalid hosted process range");
   if (config_.metrics != nullptr) {
     evictionCounter_ = &config_.metrics->counter("tracker/consumed_evictions");
+    pinnedCounter_ = &config_.metrics->counter("tracker/consumed_pinned");
     windowGauge_ = &config_.metrics->gauge("tracker/max_window");
   }
 }
@@ -150,19 +151,23 @@ void DistributedTracker::onNewOp(const Record& rec) {
       pendingProbes_[static_cast<std::size_t>(p - procLo_)].push_back(
           rec.id.ts);
       if (rec.peer != mpi::kAnySource) {
-        // A deterministic probe may already observe a pending send.
+        // A deterministic probe may already observe a pending send — but
+        // only one that no earlier still-unmatched receive of this process
+        // could claim first (program order: those receives have priority).
         const ChannelKey key{rec.peer, p, rec.comm};
         const auto it = pendingSends_.find(key);
         if (it != pendingSends_.end()) {
           for (const PassSendMsg& send : it->second) {
-            if (rec.tag == mpi::kAnyTag || rec.tag == send.tag) {
-              op.matched = true;
-              op.matchedSend = send.sendOp;
-              std::erase(
-                  pendingProbes_[static_cast<std::size_t>(p - procLo_)],
-                  rec.id.ts);
-              break;
+            if (rec.tag != mpi::kAnyTag && rec.tag != send.tag) continue;
+            if (!probeOrderReached(p, op, send.sendOp.proc, send.tag,
+                                   send.comm)) {
+              break;  // recheckProbes() revisits once that receive matches
             }
+            op.matched = true;
+            op.matchedSend = send.sendOp;
+            std::erase(pendingProbes_[static_cast<std::size_t>(p - procLo_)],
+                       rec.id.ts);
+            break;
           }
         }
       }
@@ -349,6 +354,7 @@ void DistributedTracker::tryMatch(ProcId proc, mpi::CommId comm) {
   // Tags an unresolved wildcard ahead in the queue could still claim; sends
   // with such tags must not be matched by later receives.
   bool anyTagBlocked = false;
+  bool matchedAny = false;
   std::vector<mpi::Tag> blockedTags;
 
   for (auto lit = list.begin(); lit != list.end();) {
@@ -397,21 +403,41 @@ void DistributedTracker::tryMatch(ProcId proc, mpi::CommId comm) {
       const PassSendMsg send = *found;
       auto& chan = chIt->second;
       auto& history = consumedSends_[ChannelKey{source, proc, comm}];
-      history.push_back(send);
+      history.push_back(ConsumedSend{send, op->rec.id});
       if (config_.consumedHistory != 0 &&
           history.size() > config_.consumedHistory) {
-        // A probe that names this send after the eviction can never
+        // Evict the oldest entry whose consuming receive has completed its
+        // recvActiveAck handshake (or has already retired from the window,
+        // which implies the handshake finished). Entries with the ack
+        // still in flight stay pinned: under message reordering a probe
+        // naming that send can still arrive and must resolve, so the
+        // history transiently exceeds its bound rather than dropping a
+        // live entry. A probe that names an evicted send can never
         // resolve; the counter makes that failure mode observable.
-        history.pop_front();
-        if (evictionCounter_ != nullptr) evictionCounter_->add();
+        bool evicted = false;
+        for (auto eit = history.begin(); eit != history.end(); ++eit) {
+          const OpState* consumer = findOp(eit->consumer.proc,
+                                           eit->consumer.ts);
+          if (consumer != nullptr && !consumer->gotAck) continue;  // pinned
+          history.erase(eit);
+          if (evictionCounter_ != nullptr) evictionCounter_->add();
+          evicted = true;
+          break;
+        }
+        if (!evicted && pinnedCounter_ != nullptr) pinnedCounter_->add();
       }
       chan.erase(chan.begin() + static_cast<std::ptrdiff_t>(foundIdx));
       performMatch(proc, *op, send);
       lit = list.erase(lit);
+      matchedAny = true;
     } else {
       ++lit;
     }
   }
+  // Each match may open the program-order gate of a pending probe (the
+  // probe could not observe the store while an earlier receive was
+  // undecided).
+  if (matchedAny) recheckProbes(proc);
 }
 
 void DistributedTracker::performMatch(ProcId proc, OpState& recv,
@@ -440,6 +466,13 @@ void DistributedTracker::satisfyProbes(ProcId dst, const PassSendMsg& send) {
   for (auto it = probes.begin(); it != probes.end();) {
     OpState* probe = findOp(dst, *it);
     WST_ASSERT(probe != nullptr, "pending probe missing from window");
+    if (!probeOrderReached(dst, *probe, send.sendOp.proc, send.tag,
+                           send.comm)) {
+      // An earlier receive of this process is still unmatched and may claim
+      // this send; recheckProbes() revisits once it matches.
+      ++it;
+      continue;
+    }
     const Record& r = probe->rec;
     bool compatible = false;
     if (probe->wildcardResolved) {
@@ -465,6 +498,84 @@ void DistributedTracker::satisfyProbes(ProcId dst, const PassSendMsg& send) {
   }
 }
 
+bool DistributedTracker::probeOrderReached(ProcId proc, const OpState& probe,
+                                           mpi::Rank sendSrc, mpi::Tag sendTag,
+                                           mpi::CommId sendComm) const {
+  const ProcState& ps = procs_[static_cast<std::size_t>(proc - procLo_)];
+  for (const OpState& op : ps.window) {
+    if (op.rec.id.ts >= probe.rec.id.ts) break;
+    const Kind k = op.rec.kind;
+    if (!(k == Kind::kRecv || k == Kind::kIrecv || k == Kind::kSendrecv) ||
+        op.matched) {
+      continue;
+    }
+    if (op.rec.comm != sendComm) continue;
+    mpi::Rank wantSrc = k == Kind::kSendrecv ? op.rec.recvPeer : op.rec.peer;
+    mpi::Tag wantTag = k == Kind::kSendrecv ? op.rec.recvTag : op.rec.tag;
+    if (op.wildcardResolved) {
+      wantSrc = op.resolvedSource;
+      wantTag = op.resolvedTag;
+    }
+    const bool srcOk = wantSrc == mpi::kAnySource || wantSrc == sendSrc;
+    const bool tagOk = wantTag == mpi::kAnyTag || wantTag == sendTag;
+    if (srcOk && tagOk) return false;  // that receive may claim this send
+  }
+  return true;
+}
+
+void DistributedTracker::recheckProbes(ProcId proc) {
+  auto& probes = pendingProbes_[static_cast<std::size_t>(proc - procLo_)];
+  for (auto it = probes.begin(); it != probes.end();) {
+    OpState* probe = findOp(proc, *it);
+    WST_ASSERT(probe != nullptr, "pending probe missing from window");
+    if (probe->matched) {
+      it = probes.erase(it);
+      continue;
+    }
+    const Record& r = probe->rec;
+    mpi::Rank source = mpi::kAnySource;
+    mpi::Tag tag = mpi::kAnyTag;
+    if (probe->wildcardResolved) {
+      source = probe->resolvedSource;
+      tag = probe->resolvedTag;
+    } else if (r.peer != mpi::kAnySource) {
+      source = r.peer;
+      tag = r.tag;
+    }
+    if (source == mpi::kAnySource) {
+      ++it;  // unresolved wildcard probe: only MatchInfo can resolve it
+      continue;
+    }
+    const PassSendMsg* found = nullptr;
+    const auto chIt = pendingSends_.find(ChannelKey{source, proc, r.comm});
+    if (chIt != pendingSends_.end()) {
+      for (const PassSendMsg& send : chIt->second) {
+        if (tag != mpi::kAnyTag && send.tag != tag) continue;
+        if (!probeOrderReached(proc, *probe, source, send.tag, r.comm)) {
+          // An earlier receive may claim this send; once it matches, the
+          // send leaves the channel and this probe is rechecked again.
+          break;
+        }
+        found = &send;
+        break;
+      }
+    }
+    if (found == nullptr) {
+      ++it;
+      continue;
+    }
+    probe->matched = true;
+    probe->matchedSend = found->sendOp;
+    touch(proc);
+    if (reachedLocally(state(proc), r.id.ts) && !probe->sentRecvActive) {
+      comms_.recvActive(probe->matchedSend.proc,
+                        RecvActiveMsg{probe->matchedSend, r.id, true});
+      probe->sentRecvActive = true;
+    }
+    it = probes.erase(it);
+  }
+}
+
 void DistributedTracker::resolveProbe(ProcId proc, OpState& probe) {
   if (probe.matched) return;
   const Record& r = probe.rec;
@@ -482,7 +593,17 @@ void DistributedTracker::resolveProbe(ProcId proc, OpState& probe) {
   }
   if (found == nullptr) {
     if (const auto it = consumedSends_.find(key); it != consumedSends_.end()) {
-      found = scan(it->second);
+      for (const ConsumedSend& entry : it->second) {
+        // A send consumed by an op that precedes the probe in program order
+        // was gone before the probe executed — it cannot be what the probe
+        // observed (the consumer of a send to this process is always this
+        // process, so timestamps are comparable).
+        if (entry.send.tag == probe.resolvedTag &&
+            entry.consumer.ts > r.id.ts) {
+          found = &entry.send;
+          break;
+        }
+      }
     }
   }
   if (found == nullptr) return;  // passSend not yet here; satisfyProbes later
@@ -521,6 +642,9 @@ void DistributedTracker::onMatchInfo(const trace::MatchInfoEvent& info) {
     resolveProbe(p, *op);
   } else {
     tryMatch(p, op->rec.comm);
+    // Resolution narrows what this receive can claim, which may open the
+    // program-order gate of a pending probe even when no match landed.
+    recheckProbes(p);
   }
   pump(p);
 }

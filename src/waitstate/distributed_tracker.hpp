@@ -248,6 +248,17 @@ class DistributedTracker {
   void maybeSendRecvActive(trace::ProcId proc, OpState& op);
   void satisfyProbes(trace::ProcId dst, const PassSendMsg& send);
   void resolveProbe(trace::ProcId proc, OpState& probe);
+  /// Program-order gate for probe matching: a probe may observe a specific
+  /// send only if no earlier still-unmatched receive-like op of its process
+  /// could claim that send first (posted receives have priority over the
+  /// probe in program order). Receives that cannot match the send — wrong
+  /// tag, source, or communicator — do not gate it.
+  bool probeOrderReached(trace::ProcId proc, const OpState& probe,
+                         mpi::Rank sendSrc, mpi::Tag sendTag,
+                         mpi::CommId sendComm) const;
+  /// Re-scan pending probes against the pending-send store after earlier
+  /// receives matched (the order gate may have just opened).
+  void recheckProbes(trace::ProcId proc);
 
   // Collectives.
   /// Hosted members of a communicator's group, resolved once per comm
@@ -276,9 +287,17 @@ class DistributedTracker {
 
   std::vector<ProcState> procs_;
   std::map<ChannelKey, std::deque<PassSendMsg>> pendingSends_;
+  /// A consumed send remembered together with the receive that consumed
+  /// it. Until that receive's recvActiveAck handshake completes, a late
+  /// probe resolution may still need to identify the send, so eviction
+  /// must pin the entry (see tryMatch).
+  struct ConsumedSend {
+    PassSendMsg send;
+    trace::OpId consumer;
+  };
   /// Recently consumed sends per channel (bounded history) so late probe
   /// resolutions can still identify their send.
-  std::map<ChannelKey, std::deque<PassSendMsg>> consumedSends_;
+  std::map<ChannelKey, std::deque<ConsumedSend>> consumedSends_;
   /// Unmatched consuming receive-like ops per (proc, comm), in call order.
   std::map<std::pair<trace::ProcId, mpi::CommId>, std::deque<trace::LocalTs>>
       pendingRecvs_;
@@ -291,6 +310,7 @@ class DistributedTracker {
   std::size_t maxWindow_ = 0;
   // Cached instruments (null when config_.metrics is null).
   support::Counter* evictionCounter_ = nullptr;
+  support::Counter* pinnedCounter_ = nullptr;
   support::Gauge* windowGauge_ = nullptr;
   /// Per hosted process: active op had arrived when stopProgress ran.
   std::vector<char> frozenActive_;

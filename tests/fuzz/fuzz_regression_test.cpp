@@ -1,0 +1,169 @@
+// Regression suite for the protocol fuzzer: replays the committed scenario
+// corpus through both oracles, proves the planted tracker bug is caught and
+// shrunk to a tiny witness, and pins down the determinism guarantees the
+// `wst fuzz` CLI advertises (same seed => same scenario bytes, same fault
+// schedule, same verdict — regardless of worker thread count).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/generator.hpp"
+#include "fuzz/oracle.hpp"
+#include "fuzz/scenario.hpp"
+#include "fuzz/shrinker.hpp"
+
+#ifndef WST_FUZZ_CORPUS_DIR
+#error "build must define WST_FUZZ_CORPUS_DIR"
+#endif
+
+namespace wst::fuzz {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<fs::path> corpusFiles() {
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(WST_FUZZ_CORPUS_DIR)) {
+    if (entry.path().extension() == ".wst") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+Scenario load(const fs::path& file) {
+  std::ifstream in(file);
+  std::ostringstream text;
+  text << in.rdbuf();
+  std::string error;
+  const auto scenario = Scenario::parse(text.str(), &error);
+  EXPECT_TRUE(scenario.has_value()) << file << ": " << error;
+  return *scenario;
+}
+
+TEST(FuzzRegression, CorpusIsCommittedAndParses) {
+  const auto files = corpusFiles();
+  ASSERT_GE(files.size(), 10u) << "corpus shrank below the regression floor";
+  for (const auto& file : files) {
+    const Scenario scenario = load(file);
+    EXPECT_GT(scenario.totalOps(), 0) << file;
+    EXPECT_LE(scenario.totalOps(), 60) << file;
+    // Round-trip: the committed bytes are exactly what serialize() emits.
+    std::ifstream in(file);
+    std::ostringstream text;
+    text << in.rdbuf();
+    EXPECT_EQ(scenario.serialize(), text.str()) << file;
+  }
+}
+
+TEST(FuzzRegression, CorpusReplaysWithoutDivergence) {
+  for (const auto& file : corpusFiles()) {
+    const Scenario scenario = load(file);
+    const Outcome formal = runFormalOracle(scenario);
+    RunOptions options;
+    options.faults = scenario.faults.any();
+    const Outcome distributed = runDistributedOracle(scenario, options);
+    EXPECT_EQ(compareOutcomes(formal, distributed), "") << file;
+  }
+}
+
+TEST(FuzzRegression, CorpusReplaysWithoutDivergenceUnderThreads) {
+  for (const auto& file : corpusFiles()) {
+    const Scenario scenario = load(file);
+    const Outcome formal = runFormalOracle(scenario);
+    RunOptions options;
+    options.faults = scenario.faults.any();
+    options.threads = 4;
+    const Outcome distributed = runDistributedOracle(scenario, options);
+    EXPECT_EQ(compareOutcomes(formal, distributed), "") << file;
+  }
+}
+
+TEST(FuzzRegression, PlantedBugIsCaughtAndShrinksToATinyWitness) {
+  // --inject-bug 1 drops the tracker's recvActiveAck responses for probes;
+  // the differential oracle must notice, and the shrinker must reduce the
+  // witness to a handful of operations.
+  RunOptions options;
+  options.faults = false;
+  options.injectBug = 1;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const Scenario scenario = makeScenario(seed);
+    const Outcome formal = runFormalOracle(scenario);
+    const Outcome buggy = runDistributedOracle(scenario, options);
+    if (compareOutcomes(formal, buggy).empty()) continue;
+
+    const ShrinkResult shrunk = shrink(scenario, options, /*budget=*/300);
+    EXPECT_LE(shrunk.scenario.totalOps(), 8)
+        << "shrinker left a large witness for seed " << seed;
+    // The shrunk scenario still reproduces the divergence.
+    const Outcome formal2 = runFormalOracle(shrunk.scenario);
+    const Outcome buggy2 = runDistributedOracle(shrunk.scenario, options);
+    EXPECT_NE(compareOutcomes(formal2, buggy2), "");
+    // And a healthy tracker agrees on it: the witness blames the bug, not
+    // the scenario.
+    RunOptions healthy = options;
+    healthy.injectBug = 0;
+    const Outcome fixed = runDistributedOracle(shrunk.scenario, healthy);
+    EXPECT_EQ(compareOutcomes(formal2, fixed), "");
+    return;
+  }
+  FAIL() << "planted bug never diverged in 40 scenarios";
+}
+
+TEST(FuzzRegression, SameSeedYieldsByteIdenticalScenarios) {
+  for (std::uint64_t seed : {1ULL, 42ULL, 0xDEADBEEFULL}) {
+    const Scenario a = makeScenario(seed);
+    const Scenario b = makeScenario(seed);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.serialize(), b.serialize());
+  }
+  // Distinct seeds explore distinct programs.
+  EXPECT_NE(makeScenario(1).serialize(), makeScenario(2).serialize());
+}
+
+TEST(FuzzRegression, VerdictAndFaultScheduleAreThreadCountInvariant) {
+  // Pick a corpus scenario that actually exercises the fault layer.
+  Scenario scenario;
+  bool found = false;
+  for (const auto& file : corpusFiles()) {
+    scenario = load(file);
+    if (scenario.faults.any()) {
+      found = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(found) << "corpus has no faulted scenario";
+
+  RunOptions serial;
+  serial.faults = true;
+  const Outcome base = runDistributedOracle(scenario, serial);
+  for (int threads : {1, 2, 4}) {
+    RunOptions opt = serial;
+    opt.threads = threads;
+    const Outcome out = runDistributedOracle(scenario, opt);
+    EXPECT_EQ(compareOutcomes(base, out), "") << "threads=" << threads;
+    // The fault schedule itself is sharded per sending node, so its
+    // decision counts cannot depend on the worker count.
+    EXPECT_EQ(out.faultStats.dropsInjected, base.faultStats.dropsInjected);
+    EXPECT_EQ(out.faultStats.dupsInjected, base.faultStats.dupsInjected);
+    EXPECT_EQ(out.faultStats.delaysInjected, base.faultStats.delaysInjected);
+  }
+}
+
+TEST(FuzzRegression, RepeatedRunsAreFullyDeterministic) {
+  const Scenario scenario = makeScenario(0xABCDEFULL);
+  RunOptions options;
+  options.faults = true;
+  const Outcome a = runDistributedOracle(scenario, options);
+  const Outcome b = runDistributedOracle(scenario, options);
+  EXPECT_EQ(compareOutcomes(a, b), "");
+  EXPECT_EQ(a.traceHash, b.traceHash);
+  EXPECT_EQ(a.wfg, b.wfg);
+}
+
+}  // namespace
+}  // namespace wst::fuzz

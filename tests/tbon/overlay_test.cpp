@@ -248,5 +248,107 @@ TEST(OverlayBatch, MetricsRecordOccupancy) {
   EXPECT_GT(metrics.histogram("overlay/queue_depth").count(), 0u);
 }
 
+// --- fault injection --------------------------------------------------------------
+
+OverlayConfig faultedConfig(std::uint64_t seed) {
+  OverlayConfig cfg;
+  cfg.faults.enabled = true;
+  cfg.faults.seed = seed;
+  cfg.faults.dropProb = 0.30;
+  cfg.faults.dupProb = 0.25;
+  cfg.faults.delayProb = 0.40;
+  cfg.faults.maxExtraDelay = 15'000;
+  return cfg;
+}
+
+struct FaultFixture : Fixture {
+  explicit FaultFixture(std::uint64_t seed) : Fixture(8, 4, faultedConfig(seed)) {
+    overlay.setFaultable([](const Msg&) { return true; });
+  }
+};
+
+TEST(OverlayFaults, ReliableLayerDeliversExactlyOnceInOrder) {
+  FaultFixture f(/*seed=*/7);
+  for (int i = 0; i < 60; ++i) f.overlay.sendIntralayer(0, 1, Msg{i}, 4);
+  for (int i = 0; i < 20; ++i) f.overlay.sendUp(0, Msg{100 + i}, 4);
+  f.engine.run();
+
+  // Every message arrives exactly once, per-link order intact, despite the
+  // injector dropping, duplicating and delaying transmissions underneath.
+  std::vector<int> atNode1;
+  std::vector<int> atRoot;
+  for (const auto& [node, tag] : f.received) {
+    (node == 1 ? atNode1 : atRoot).push_back(tag);
+  }
+  ASSERT_EQ(atNode1.size(), 60u);
+  ASSERT_EQ(atRoot.size(), 20u);
+  for (int i = 0; i < 60; ++i) EXPECT_EQ(atNode1[static_cast<std::size_t>(i)], i);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(atRoot[static_cast<std::size_t>(i)], 100 + i);
+  }
+
+  // With these probabilities over 80 messages the injector certainly fired,
+  // and every perturbation left a healing trace.
+  const FaultStats s = f.overlay.faultStats();
+  EXPECT_GT(s.dropsInjected, 0u);
+  EXPECT_GT(s.dupsInjected, 0u);
+  EXPECT_GT(s.delaysInjected, 0u);
+  EXPECT_GE(s.retransmits, s.dropsInjected);
+  EXPECT_GE(s.duplicatesDiscarded, s.dupsInjected);
+  EXPECT_GT(s.acksSent, 0u);
+}
+
+TEST(OverlayFaults, ScheduleIsDeterministicPerSeed) {
+  const auto run = [](std::uint64_t seed) {
+    FaultFixture f(seed);
+    for (int i = 0; i < 40; ++i) f.overlay.sendIntralayer(0, 1, Msg{i}, 4);
+    f.engine.run();
+    return f.overlay.faultStats();
+  };
+  const FaultStats a = run(21);
+  const FaultStats b = run(21);
+  EXPECT_EQ(a.dropsInjected, b.dropsInjected);
+  EXPECT_EQ(a.dupsInjected, b.dupsInjected);
+  EXPECT_EQ(a.delaysInjected, b.delaysInjected);
+  EXPECT_EQ(a.retransmits, b.retransmits);
+  EXPECT_EQ(a.duplicatesDiscarded, b.duplicatesDiscarded);
+  EXPECT_EQ(a.reordersBuffered, b.reordersBuffered);
+  EXPECT_EQ(a.acksSent, b.acksSent);
+  // A different seed draws a different schedule (overwhelmingly likely
+  // with 40 messages at these probabilities).
+  const FaultStats c = run(22);
+  EXPECT_TRUE(a.dropsInjected != c.dropsInjected ||
+              a.dupsInjected != c.dupsInjected ||
+              a.delaysInjected != c.delaysInjected);
+}
+
+TEST(OverlayFaults, ControlPlaneNeverPerturbed) {
+  // Messages the faultable predicate rejects are sequenced but never
+  // dropped, duplicated, or delayed.
+  FaultFixture f(/*seed=*/5);
+  f.overlay.setFaultable([](const Msg& m) { return m.tag >= 1000; });
+  for (int i = 0; i < 30; ++i) f.overlay.sendIntralayer(0, 1, Msg{i}, 4);
+  f.engine.run();
+  ASSERT_EQ(f.received.size(), 30u);
+  const FaultStats s = f.overlay.faultStats();
+  EXPECT_EQ(s.dropsInjected, 0u);
+  EXPECT_EQ(s.dupsInjected, 0u);
+  EXPECT_EQ(s.delaysInjected, 0u);
+  EXPECT_EQ(s.retransmits, 0u);
+}
+
+TEST(OverlayFaults, JitterPreservesPerLinkOrder) {
+  OverlayConfig cfg;
+  cfg.intralayer.jitter = 5'000;
+  cfg.intralayer.jitterSeed = 99;
+  Fixture f(8, 4, cfg);
+  for (int i = 0; i < 25; ++i) f.overlay.sendIntralayer(0, 1, Msg{i}, 4);
+  f.engine.run();
+  ASSERT_EQ(f.received.size(), 25u);
+  for (int i = 0; i < 25; ++i) {
+    EXPECT_EQ(f.received[static_cast<std::size_t>(i)].second, i);
+  }
+}
+
 }  // namespace
 }  // namespace wst::tbon

@@ -519,17 +519,38 @@ TEST(DistributedTracker, ProbeResolutionSurvivesWithLargeEnoughBound) {
 }
 
 TEST(DistributedTracker, DefaultBoundEvictsAndCountsInMetrics) {
-  // The default bound (8) cannot cover 12 consumed sends: the probe's send
-  // is evicted and the probe stays unresolved — and the metrics layer now
-  // reports exactly how many entries were dropped, instead of failing
-  // silently as before.
+  // Steady-state traffic with no probe in flight: every consuming receive
+  // completes its recvActiveAck handshake, so the default bound (8) evicts
+  // the excess history — and the metrics layer reports exactly how many
+  // entries were dropped.
+  support::MetricsRegistry metrics;
+  TrackerConfig cfg;
+  cfg.metrics = &metrics;
+  Harness h(4, 2, cfg);
+  for (int i = 0; i < 12; ++i) {
+    h.send(0, 2, /*tag=*/100 + i);
+    h.recv(2, 0, /*tag=*/100 + i);
+  }
+  EXPECT_EQ(h.of(2).current(2), 12u);
+  EXPECT_EQ(metrics.counter("tracker/consumed_evictions").value(), 4u);
+  EXPECT_EQ(metrics.counter("tracker/consumed_pinned").value(), 0u);
+}
+
+TEST(DistributedTracker, PendingProbePinsConsumedHistory) {
+  // Regression for the eviction pinning fix: a wildcard probe posted before
+  // heavy traffic blocks its process timeline, so the consuming receives
+  // never finish their recvActiveAck handshake. The history entries they
+  // produced stay pinned instead of being evicted — a late MatchInfo naming
+  // the very first send must still resolve the probe. The old policy
+  // (evict-oldest unconditionally) dropped that entry and wedged the probe.
   support::MetricsRegistry metrics;
   TrackerConfig cfg;
   cfg.metrics = &metrics;
   std::uint64_t evictions = 0;
-  runProbeAfterConsumedSends(cfg, /*traffic=*/12, /*expectResolved=*/false,
+  runProbeAfterConsumedSends(cfg, /*traffic=*/12, /*expectResolved=*/true,
                              &evictions);
-  EXPECT_EQ(evictions, 4u);  // 12 consumed - 8 retained
+  EXPECT_EQ(evictions, 0u);
+  EXPECT_GT(metrics.counter("tracker/consumed_pinned").value(), 0u);
 }
 
 TEST(DistributedTracker, MetricsTrackMaxWindow) {

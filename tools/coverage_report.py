@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Per-subsystem line-coverage report over a WST_COVERAGE build tree.
+
+Walks the .gcno/.gcda files of a build directory, runs gcov in JSON mode,
+aggregates executed/executable lines per source file, and prints one row per
+subsystem of interest. With --check, exits non-zero when a subsystem falls
+below its threshold (the floors are set a few points under the measured
+coverage so genuine regressions fail CI without flaking on noise).
+
+Usage:
+  python3 tools/coverage_report.py <build-dir> [--check]
+"""
+
+import argparse
+import collections
+import json
+import os
+import subprocess
+import sys
+
+# Subsystem -> minimum line coverage (percent). Enforced with --check.
+THRESHOLDS = {
+    "src/waitstate": 88.0,
+    "src/must": 94.0,
+    "src/wfg": 94.0,
+    "src/fuzz": 85.0,
+}
+
+
+def gcda_files(build_dir):
+    for root, _dirs, files in os.walk(os.path.abspath(build_dir)):
+        for name in files:
+            if name.endswith(".gcda"):
+                yield os.path.join(root, name)
+
+
+def collect(build_dir, repo_root):
+    covered = collections.Counter()
+    total = collections.Counter()
+    seen = set()
+    for gcda in gcda_files(build_dir):
+        out = subprocess.run(
+            ["gcov", "--stdout", "--json-format", gcda],
+            cwd=os.path.dirname(gcda),
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+        if out.returncode != 0:
+            continue
+        for line in out.stdout.splitlines():
+            if not line.startswith("{"):
+                continue
+            data = json.loads(line)
+            for f in data.get("files", []):
+                path = os.path.normpath(
+                    os.path.join(data.get("current_working_directory", ""),
+                                 f["file"]))
+                rel = os.path.relpath(path, repo_root)
+                if not rel.startswith("src" + os.sep):
+                    continue
+                key = (rel, data.get("data_file", ""))
+                if key in seen:  # one object file's view per source is enough
+                    continue
+                seen.add(key)
+                for ln in f.get("lines", []):
+                    tag = (rel, ln["line_number"])
+                    total[tag] = 1
+                    if ln["count"] > 0:
+                        covered[tag] = 1
+    return covered, total
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("build_dir")
+    parser.add_argument("--check", action="store_true",
+                        help="fail when a subsystem is below its threshold")
+    args = parser.parse_args()
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    covered, total = collect(args.build_dir, repo_root)
+    if not total:
+        print("no gcov data found — was the build configured with "
+              "-DWST_COVERAGE=ON and were the tests run?", file=sys.stderr)
+        return 2
+
+    by_subsystem_cov = collections.Counter()
+    by_subsystem_tot = collections.Counter()
+    for (rel, _line) in total:
+        subsystem = os.sep.join(rel.split(os.sep)[:2])
+        by_subsystem_tot[subsystem] += 1
+    for (rel, _line) in covered:
+        subsystem = os.sep.join(rel.split(os.sep)[:2])
+        by_subsystem_cov[subsystem] += 1
+
+    failures = []
+    for subsystem in sorted(by_subsystem_tot):
+        tot = by_subsystem_tot[subsystem]
+        cov = by_subsystem_cov[subsystem]
+        pct = 100.0 * cov / tot
+        floor = THRESHOLDS.get(subsystem)
+        marker = ""
+        if floor is not None:
+            marker = f"  (floor {floor:.0f}%)"
+            if args.check and pct < floor:
+                failures.append((subsystem, pct, floor))
+                marker += "  FAIL"
+        print(f"{subsystem:<16} {cov:>6}/{tot:<6} lines  {pct:6.2f}%{marker}")
+
+    if failures:
+        for subsystem, pct, floor in failures:
+            print(f"coverage regression: {subsystem} at {pct:.2f}% "
+                  f"(floor {floor:.0f}%)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

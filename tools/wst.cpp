@@ -9,15 +9,22 @@
 //   wst run --workload 126.lammps --procs 256 --centralized
 //   wst run --workload figure2b --no-buffer
 //   wst run --workload figure4 --rooted-collectives
+//   wst fuzz --runs 500 --seed 7 --out-dir /tmp/fuzz
+//   wst fuzz --replay /tmp/fuzz/fuzz-0000000000000007-12.wst
 //
 // Exit code: 0 = clean run, 2 = deadlock reported, 1 = usage error,
-// 3 = --verify-incremental divergence.
+// 3 = --verify-incremental or fuzz oracle divergence.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
+
+#include "fuzz/fuzzer.hpp"
+#include "fuzz/generator.hpp"
 
 #include "must/harness.hpp"
 #include "support/strings.hpp"
@@ -68,6 +75,7 @@ void printUsage() {
       "commands:\n"
       "  list                     list available workloads\n"
       "  run                      run a workload under the tool\n"
+      "  fuzz                     differential protocol fuzzing (see below)\n"
       "\n"
       "run options:\n"
       "  --workload NAME          workload or SPEC proxy name (default: stress)\n"
@@ -110,7 +118,117 @@ void printUsage() {
       "                           Chrome trace-event JSON (load in Perfetto\n"
       "                           or chrome://tracing)\n"
       "  --trace-depth N          flight-recorder ring capacity per track\n"
-      "                           (default: 4096 events; oldest drop first)\n");
+      "                           (default: 4096 events; oldest drop first)\n"
+      "\n"
+      "fuzz options:\n"
+      "  --runs N                 scenarios to generate and check (default 100)\n"
+      "  --seed S                 campaign seed; same seed + options =>\n"
+      "                           byte-identical scenarios and verdicts\n"
+      "  --threads N              distributed runs on the parallel engine\n"
+      "                           (default 0 = serial)\n"
+      "  --batch                  enable wait-state batching in the tool\n"
+      "  --no-faults              skip the fault-injected variant of each run\n"
+      "  --inject-bug K           plant tool bug K (test hook; 1 = drop probe\n"
+      "                           acks) so the oracle must catch it\n"
+      "  --out-dir DIR            where divergence artifacts go (default .)\n"
+      "  --budget-sec X           stop starting new runs after X wall seconds\n"
+      "  --no-shrink              keep divergent scenarios unminimized\n"
+      "  --shrink-budget N        max oracle evaluations per shrink (default\n"
+      "                           400)\n"
+      "  --emit-corpus DIR        save structurally diverse scenarios to DIR\n"
+      "  --replay FILE            differential-check one .wst scenario file\n"
+      "  --print-scenario S       print the generated scenario for seed S\n"
+      "\n"
+      "  fuzz exit code: 0 = all oracles agree, 3 = divergence found\n");
+}
+
+int runFuzz(int argc, char** argv) {
+  fuzz::FuzzConfig cfg;
+  cfg.runs = 100;
+  std::string replayPath;
+  std::optional<std::uint64_t> printSeed;
+  bool noFaults = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--runs") {
+      cfg.runs = std::atoi(value());
+    } else if (arg == "--seed") {
+      cfg.seed = std::strtoull(value(), nullptr, 0);
+    } else if (arg == "--threads") {
+      cfg.threads = std::atoi(value());
+    } else if (arg == "--batch") {
+      cfg.batch = true;
+    } else if (arg == "--no-faults") {
+      noFaults = true;
+    } else if (arg == "--inject-bug") {
+      cfg.injectBug = std::atoi(value());
+    } else if (arg == "--out-dir") {
+      cfg.outDir = value();
+    } else if (arg == "--budget-sec") {
+      cfg.budgetSec = std::atof(value());
+    } else if (arg == "--no-shrink") {
+      cfg.shrinkOnDivergence = false;
+    } else if (arg == "--shrink-budget") {
+      cfg.shrinkBudget = static_cast<std::size_t>(std::atoi(value()));
+    } else if (arg == "--emit-corpus") {
+      cfg.emitCorpusDir = value();
+    } else if (arg == "--replay") {
+      replayPath = value();
+    } else if (arg == "--print-scenario") {
+      printSeed = std::strtoull(value(), nullptr, 0);
+    } else if (arg == "--help" || arg == "-h") {
+      printUsage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown fuzz option '%s'\n", arg.c_str());
+      return 1;
+    }
+  }
+  cfg.faults = !noFaults;
+
+  if (printSeed) {
+    std::fputs(fuzz::makeScenario(*printSeed).serialize().c_str(), stdout);
+    return 0;
+  }
+
+  if (!replayPath.empty()) {
+    std::ifstream in(replayPath, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", replayPath.c_str());
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string error;
+    const auto scenario = fuzz::Scenario::parse(text.str(), &error);
+    if (!scenario) {
+      std::fprintf(stderr, "cannot parse %s: %s\n", replayPath.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    fuzz::RunOptions options;
+    options.faults = cfg.faults && scenario->faults.any();
+    options.threads = cfg.threads;
+    options.batch = cfg.batch;
+    options.injectBug = cfg.injectBug;
+    const std::string reason =
+        fuzz::replayScenario(*scenario, options, std::cout);
+    return reason.empty() ? 0 : 3;
+  }
+
+  if (cfg.runs < 1) {
+    std::fprintf(stderr, "--runs must be at least 1\n");
+    return 1;
+  }
+  const fuzz::FuzzReport report = fuzz::runFuzzCampaign(cfg, std::cout);
+  return report.divergences > 0 ? 3 : 0;
 }
 
 std::optional<mpi::Runtime::Program> makeWorkload(const Options& opt) {
@@ -406,6 +524,7 @@ int main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   if (command == "list") return listWorkloads();
+  if (command == "fuzz") return runFuzz(argc, argv);
   if (command != "run") {
     printUsage();
     return 1;

@@ -1,0 +1,200 @@
+// Root-work scaling of the hierarchical in-tree deadlock check
+// (DESIGN.md §13): drive condenseLeaf / condenseMerge / resolveAtRoot over
+// a depth-≥3 TBON at large p and show that what reaches the root — boundary
+// nodes, residual arc runs, condensation bytes — stays constant-ish in p
+// (proportional to the root's child count), while the underlying wait-for
+// graphs grow as p (ring) and p² (wildcard).
+//
+// Two stress shapes, both manifest deadlocks over all p processes:
+//
+//  * ring-wait: process i waits for i+1 mod p (one plain arc each). Inside
+//    a subtree this is a single-target pure-OR chain, so chain absorption
+//    condenses each child to ONE boundary unit; the cycle only closes at
+//    the root.
+//  * wildcard: every process waits for Recv(ANY) with no matching send —
+//    the paper's Figure 10 worst case, p² arcs. Run-length target encoding
+//    keeps every residual clause at O(1) runs and SCC collapse condenses
+//    each subtree's all-wait-on-all knot to ONE summary node.
+//
+// Graphs are materialized one first-layer node at a time (the 64k wildcard
+// graph never exists in memory as a whole — only its condensations do).
+// With WST_VERIFY_HIERARCHICAL=1 every feasible point (p ≤ 8192) is
+// cross-checked against the centralized WaitForGraph::check() verdict and
+// deadlock set; CI's bench-smoke job runs exactly that. Committed results:
+// BENCH_scale.json at the repo root.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <vector>
+
+#include "tbon/topology.hpp"
+#include "waitstate/messages.hpp"
+#include "wfg/graph.hpp"
+#include "wfg/partial.hpp"
+
+namespace {
+
+using namespace wst;
+
+enum class Shape { kRing, kWildcard };
+
+wfg::NodeConditions makeConditions(Shape shape, trace::ProcId p,
+                                   std::int32_t procs) {
+  wfg::NodeConditions node;
+  node.proc = p;
+  node.blocked = true;
+  wfg::Clause clause;
+  if (shape == Shape::kRing) {
+    clause.targets.push_back((p + 1) % procs);
+  } else {
+    clause.targets.reserve(static_cast<std::size_t>(procs) - 1);
+    for (trace::ProcId t = 0; t < procs; ++t) {
+      if (t != p) clause.targets.push_back(t);
+    }
+  }
+  node.clauses.push_back(std::move(clause));
+  return node;
+}
+
+struct TreeRun {
+  wfg::HierarchicalResult result;
+  std::uint64_t rootChildren = 0;
+  std::uint64_t rootBytes = 0;  // modeled size of the root's inbound msgs
+  double seconds = 0.0;
+};
+
+/// The full in-tree pass: condense every first-layer node, merge level by
+/// level, resolve at the root. Returns the root's view plus wall time.
+TreeRun runTree(Shape shape, const tbon::Topology& topo) {
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<wfg::Condensation> byNode(
+      static_cast<std::size_t>(topo.nodeCount()));
+
+  for (tbon::NodeId n = 0; n < topo.firstLayerCount(); ++n) {
+    const tbon::NodeInfo& info = topo.node(n);
+    std::vector<wfg::NodeConditions> conds;
+    conds.reserve(static_cast<std::size_t>(info.procCount()));
+    for (trace::ProcId p = info.procLo; p < info.procHi; ++p) {
+      conds.push_back(makeConditions(shape, p, topo.procCount()));
+    }
+    byNode[static_cast<std::size_t>(n)] =
+        wfg::condenseLeaf(conds, info.procLo, info.procHi);
+  }
+
+  const auto childCondensations = [&](tbon::NodeId n) {
+    std::vector<wfg::Condensation> children;
+    for (const tbon::NodeId c : topo.node(n).children) {
+      children.push_back(std::move(byNode[static_cast<std::size_t>(c)]));
+    }
+    std::sort(children.begin(), children.end(),
+              [](const wfg::Condensation& a, const wfg::Condensation& b) {
+                return a.procLo < b.procLo;
+              });
+    return children;
+  };
+
+  // Node ids grow with the layer, so children are always condensed before
+  // their parent; the root (last id) resolves instead of merging.
+  for (tbon::NodeId n = topo.firstLayerCount(); n < topo.nodeCount(); ++n) {
+    if (topo.isRoot(n)) break;
+    byNode[static_cast<std::size_t>(n)] =
+        wfg::condenseMerge(childCondensations(n));
+  }
+
+  TreeRun run;
+  std::vector<wfg::Condensation> atRoot;
+  if (topo.isFirstLayer(topo.root())) {
+    atRoot.push_back(std::move(byNode[static_cast<std::size_t>(topo.root())]));
+  } else {
+    atRoot = childCondensations(topo.root());
+  }
+  run.rootChildren = atRoot.size();
+  for (const wfg::Condensation& c : atRoot) {
+    run.rootBytes += waitstate::condensationBytes(c);
+  }
+  run.result = wfg::resolveAtRoot(atRoot);
+  run.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return run;
+}
+
+/// Centralized cross-check (WST_VERIFY_HIERARCHICAL=1, feasible p only):
+/// the in-tree verdict and deadlock set must equal the full graph's check.
+bool verifyCentralized(Shape shape, std::int32_t procs,
+                       const wfg::HierarchicalResult& hier) {
+  wfg::WaitForGraph graph(procs);
+  for (trace::ProcId p = 0; p < procs; ++p) {
+    graph.setNode(makeConditions(shape, p, procs));
+  }
+  graph.pruneCollectiveCoWaiters();
+  const wfg::CheckResult check = graph.check();
+  std::vector<trace::ProcId> deadlocked = check.deadlocked;
+  std::sort(deadlocked.begin(), deadlocked.end());
+  return check.deadlock == hier.deadlock && deadlocked == hier.deadlocked;
+}
+
+void runScale(benchmark::State& state, Shape shape) {
+  const auto procs = static_cast<std::int32_t>(state.range(0));
+  const tbon::Topology topo(procs, /*fanIn=*/8);
+  const char* verifyEnv = std::getenv("WST_VERIFY_HIERARCHICAL");
+  const bool verify =
+      verifyEnv != nullptr && verifyEnv[0] == '1' && procs <= 8192;
+
+  TreeRun run;
+  for (auto _ : state) {
+    run = runTree(shape, topo);
+    state.SetIterationTime(run.seconds);
+  }
+  if (!run.result.deadlock ||
+      run.result.deadlocked.size() != static_cast<std::size_t>(procs)) {
+    state.SkipWithError("in-tree check missed the manifest deadlock");
+    return;
+  }
+  if (verify && !verifyCentralized(shape, procs, run.result)) {
+    state.SkipWithError("in-tree result diverged from centralized check");
+    return;
+  }
+
+  state.counters["tree_depth"] = static_cast<double>(topo.layerCount());
+  state.counters["leaves"] = static_cast<double>(topo.firstLayerCount());
+  state.counters["root_children"] = static_cast<double>(run.rootChildren);
+  state.counters["root_boundary_nodes"] =
+      static_cast<double>(run.result.boundaryNodes);
+  state.counters["root_arc_runs"] =
+      static_cast<double>(run.result.boundaryArcs);
+  state.counters["root_arc_targets"] =
+      static_cast<double>(run.result.boundaryTargets);
+  state.counters["root_bytes"] = static_cast<double>(run.rootBytes);
+  // The headline: fraction of the process count the root actually examined.
+  state.counters["root_node_fraction"] =
+      static_cast<double>(run.result.boundaryNodes) / procs;
+  state.counters["verified"] = verify ? 1.0 : 0.0;
+}
+
+void BM_RingScale(benchmark::State& state) { runScale(state, Shape::kRing); }
+void BM_WildcardScale(benchmark::State& state) {
+  runScale(state, Shape::kWildcard);
+}
+
+BENCHMARK(BM_RingScale)
+    ->RangeMultiplier(4)
+    ->Range(1024, 65536)
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->ArgNames({"p"});
+
+BENCHMARK(BM_WildcardScale)
+    ->RangeMultiplier(4)
+    ->Range(1024, 65536)
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->ArgNames({"p"});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -114,6 +114,7 @@ FuzzReport runFuzzCampaign(const FuzzConfig& config, std::ostream& log) {
     RunOptions base;
     base.threads = config.threads;
     base.batch = config.batch;
+    base.hierarchical = config.hierarchical;
     base.injectBug = config.injectBug;
     base.faults = false;
     variants.push_back(base);

@@ -21,6 +21,9 @@ struct FuzzConfig {
   std::int32_t threads = 0;
   /// Wait-state batching for the distributed runs.
   bool batch = false;
+  /// Run the hierarchical in-tree check (with the in-tool differential
+  /// guard) in every distributed run.
+  bool hierarchical = false;
   /// When false, skip the fault-injected variant of each run.
   bool faults = true;
   /// Planted-bug hook forwarded to the distributed tool.

@@ -163,6 +163,13 @@ Outcome runDistributedOracle(const Scenario& scenario,
   cfg.overlay.treeDown.latency = scenario.latDown;
   cfg.batchWaitState = options.batch;
   cfg.injectBug = options.injectBug;
+  if (options.hierarchical) {
+    // Differential guard inside the tool: the condensed in-tree check runs
+    // next to the raw root check every detection round and divergences are
+    // counted (surfaced below as Outcome::hierDivergences).
+    cfg.hierarchicalCheck = true;
+    cfg.verifyHierarchical = true;
+  }
   if (options.faults) {
     const FaultPlan& f = scenario.faults;
     if (f.drop > 0.0 || f.dup > 0.0 || f.delay > 0.0) {
@@ -203,6 +210,7 @@ Outcome runDistributedOracle(const Scenario& scenario,
   fillFromGraph(out, graph);
   out.traceHash = engine->traceHash();
   out.faultStats = tool.overlay().faultStats();
+  out.hierDivergences = tool.hierarchicalDivergences();
   return out;
 }
 
@@ -220,6 +228,10 @@ std::string compareOutcomes(const Outcome& formal,
   if (formal.blocked != distributed.blocked) return "blocked sets differ";
   if (formal.finished != distributed.finished) return "finished sets differ";
   if (formal.wfg != distributed.wfg) return "canonical wait-for graphs differ";
+  if (distributed.hierDivergences > 0) {
+    return support::format("hierarchical check diverged in %u round(s)",
+                           distributed.hierDivergences);
+  }
   return {};
 }
 

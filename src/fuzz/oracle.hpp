@@ -25,6 +25,9 @@ struct RunOptions {
   std::int32_t threads = 0;
   /// Enable wait-state message batching.
   bool batch = false;
+  /// Run the hierarchical (condensed) check next to the raw root check in
+  /// the distributed tool and surface any in-tool divergence.
+  bool hierarchical = false;
   /// Planted-bug hook (ToolConfig::injectBug).
   std::int32_t injectBug = 0;
 };
@@ -43,6 +46,9 @@ struct Outcome {
   std::string wfg;
   std::uint64_t traceHash = 0;
   tbon::FaultStats faultStats{};
+  /// Detection rounds where the tool's hierarchical check disagreed with
+  /// its raw root check (RunOptions::hierarchical only; must stay 0).
+  std::uint32_t hierDivergences = 0;
 
   /// One-line digest for divergence reports.
   std::string summary() const;

@@ -80,13 +80,43 @@ struct WaitInfoMsg {
   std::vector<ActiveWildcardInfo> activeWildcards;
 };
 
+/// First layer -> root (condensed and merged at inner nodes): the subtree's
+/// boundary condensation plus the §3.3 facts. In pure hierarchical mode this
+/// replaces WaitInfoMsg entirely; in verify mode it rides next to the raw
+/// reply (and then carries no active sends/wildcards — the raw path already
+/// delivers them).
+struct CondensedWaitInfoMsg {
+  waitstate::CondensedWaitMsg wait;
+  std::vector<ActiveSendInfo> activeSends;
+  std::vector<ActiveWildcardInfo> activeWildcards;
+};
+
+/// Root -> first layer (hierarchical deadlock only): fetch the full wait-for
+/// conditions of the deadlocked processes so the root can reconstruct the
+/// report detail (DOT, clause reasons, process-level cycle). Safe after the
+/// trackers resumed: a deadlocked process is permanently blocked, so its
+/// unsatisfiable conditions cannot change after the consistent cut.
+struct DeadlockDetailRequestMsg {
+  std::uint32_t epoch = 0;
+  std::vector<trace::ProcId> procs;  // sorted, global
+};
+
+/// First layer -> root (merged at inner nodes): the requested conditions.
+/// Every first-layer node answers (possibly empty) so inner nodes can count
+/// one reply per child.
+struct DeadlockDetailMsg {
+  std::uint32_t epoch = 0;
+  std::vector<wfg::NodeConditions> conditions;
+};
+
 using ToolMsg =
     std::variant<trace::NewOpEvent, trace::MatchInfoEvent,
                  waitstate::PassSendMsg, waitstate::RecvActiveMsg,
                  waitstate::RecvActiveAckMsg, waitstate::CollectiveReadyMsg,
                  waitstate::CollectiveAckMsg, RequestConsistentStateMsg,
                  AckConsistentStateMsg, PingMsg, PongMsg, RequestWaitsMsg,
-                 WaitInfoMsg>;
+                 WaitInfoMsg, CondensedWaitInfoMsg, DeadlockDetailRequestMsg,
+                 DeadlockDetailMsg>;
 
 /// Modeled wire size for bandwidth accounting.
 inline std::size_t modeledSize(const ToolMsg& msg) {
@@ -118,6 +148,20 @@ inline std::size_t modeledSize(const ToolMsg& msg) {
           }
           bytes += 16 * m.activeSends.size();
           bytes += 20 * m.activeWildcards.size();
+          return bytes;
+        } else if constexpr (std::is_same_v<T, CondensedWaitInfoMsg>) {
+          return 8 + waitstate::condensationBytes(m.wait.cond) +
+                 16 * m.activeSends.size() + 20 * m.activeWildcards.size();
+        } else if constexpr (std::is_same_v<T, DeadlockDetailRequestMsg>) {
+          return 8 + 4 * m.procs.size();
+        } else if constexpr (std::is_same_v<T, DeadlockDetailMsg>) {
+          std::size_t bytes = 8;
+          for (const auto& node : m.conditions) {
+            bytes += 16;
+            for (const auto& clause : node.clauses) {
+              bytes += 8 + 4 * clause.targets.size();
+            }
+          }
           return bytes;
         } else {
           return 12;  // control messages

@@ -34,7 +34,8 @@ const char* toolMsgKindName(std::size_t index) {
       "recv_active",      "recv_active_ack", "collective_ready",
       "collective_ack",   "request_consistent_state",
       "ack_consistent_state", "ping",       "pong",
-      "request_waits",    "wait_info",
+      "request_waits",    "wait_info",      "condensed_wait_info",
+      "deadlock_detail_request", "deadlock_detail",
   };
   static_assert(std::variant_size_v<ToolMsg> ==
                 sizeof(kNames) / sizeof(kNames[0]));
@@ -131,6 +132,20 @@ struct DistributedTool::NodeState : waitstate::Comms {
   WaitInfoMsg pendingWaitInfo;
   std::uint32_t waitInfoChildren = 0;
   std::uint64_t waitInfoChildBytes = 0;
+
+  // Inner-node condensation aggregation (hierarchical check): collect one
+  // child condensation per child, then merge-and-resolve at this level and
+  // forward a single condensation of the whole subtree.
+  std::vector<wfg::Condensation> pendingCond;
+  std::vector<ActiveSendInfo> pendingCondSends;
+  std::vector<ActiveWildcardInfo> pendingCondWildcards;
+  std::uint32_t pendingCondFinished = 0;
+  std::uint32_t condChildren = 0;
+  std::uint32_t condEpoch = 0;
+
+  // Inner-node deadlock-detail aggregation (one reply per child).
+  DeadlockDetailMsg pendingDetail;
+  std::uint32_t detailChildren = 0;
 
   /// Cached count of this node's hosted processes per communicator group
   /// (groups are immutable once created).
@@ -403,8 +418,16 @@ std::string DistributedTool::metricsJson() {
       .set(static_cast<std::int64_t>(detectionsRun()));
   metrics_.gauge("tool/verify_divergences")
       .set(static_cast<std::int64_t>(verifyDivergences_));
+  metrics_.gauge("tool/hierarchical_divergences")
+      .set(static_cast<std::int64_t>(hierarchicalDivergences_));
   if (!roundStats_.empty()) {
     const RoundStats& last = roundStats_.back();
+    if (last.hierarchical) {
+      metrics_.gauge("tool/last_round/boundary_nodes")
+          .set(static_cast<std::int64_t>(last.boundaryNodes));
+      metrics_.gauge("tool/last_round/boundary_arcs")
+          .set(static_cast<std::int64_t>(last.boundaryArcs));
+    }
     metrics_.gauge("tool/last_round/changed")
         .set(static_cast<std::int64_t>(last.changed));
     metrics_.gauge("tool/last_round/unchanged")
@@ -496,6 +519,16 @@ void DistributedTool::traceDelivery(NodeId self, NodeId srcNode,
                            static_cast<std::int64_t>(m.conditions.size()),
                            "unchanged", m.unchangedCount);
           },
+          [&](const CondensedWaitInfoMsg& m) {
+            track->instant(
+                "condensedWaitInfo", "detect", "boundary",
+                static_cast<std::int64_t>(m.wait.cond.nodes.size()),
+                "finished", m.wait.finishedCount);
+          },
+          [&](const DeadlockDetailMsg& m) {
+            track->instant("deadlockDetail", "detect", "conditions",
+                           static_cast<std::int64_t>(m.conditions.size()));
+          },
           [&](const auto&) {},
       },
       msg);
@@ -523,6 +556,16 @@ sim::Duration DistributedTool::messageCost(NodeId /*node*/,
             return config_.collectiveMsgCost;
           },
           [&](const WaitInfoMsg& m) {
+            return config_.controlMsgCost +
+                   static_cast<sim::Duration>(20 * m.conditions.size());
+          },
+          [&](const CondensedWaitInfoMsg& m) {
+            // Service cost follows the boundary, not p: that is the point of
+            // the hierarchical check.
+            return config_.controlMsgCost +
+                   static_cast<sim::Duration>(20 * m.wait.cond.nodes.size());
+          },
+          [&](const DeadlockDetailMsg& m) {
             return config_.controlMsgCost +
                    static_cast<sim::Duration>(20 * m.conditions.size());
           },
@@ -619,47 +662,104 @@ void DistributedTool::handleMessage(NodeId node, ToolMsg&& msg) {
               broadcastDown(node, ToolMsg{m});
               return;
             }
-            // Delta reply: processes whose wait-state version is unchanged
-            // since this node's reply of the root's base epoch are elided
-            // and only counted. Everything else (first round, base
-            // mismatch, incremental gather off) reports in full.
-            WaitInfoMsg info;
-            info.epoch = m.epoch;
             const tbon::NodeInfo& topo = topology_.node(node);
-            const bool delta = config_.incrementalGather && m.baseEpoch != 0 &&
-                               m.baseEpoch == ns.lastReplyEpoch;
             std::vector<waitstate::DistributedTracker::ActiveSend> sends;
             std::vector<waitstate::DistributedTracker::ActiveWildcard> wilds;
-            for (ProcId p = topo.procLo; p < topo.procHi; ++p) {
-              const auto local = static_cast<std::size_t>(p - topo.procLo);
-              if (delta && !ns.tracker->dirtySinceReport(p)) {
-                ++info.unchangedCount;
-                gatherSavedBytes_->add(ns.lastCondBytes[local]);
-                continue;
+            std::int64_t reported = 0;
+            if (hierPathActive()) {
+              // Condensed reply (hierarchical check): condense the full,
+              // pristine conditions of every hosted process — the fixpoint
+              // resolves subtree-local fates right here and only the
+              // boundary travels up. No delta: the condensation is a
+              // from-scratch summary each round. Runs before the raw loop
+              // so markReported() cannot disturb the snapshot semantics.
+              CondensedWaitInfoMsg cmsg;
+              cmsg.wait.epoch = m.epoch;
+              std::vector<wfg::NodeConditions> conds;
+              conds.reserve(static_cast<std::size_t>(topo.procCount()));
+              for (ProcId p = topo.procLo; p < topo.procHi; ++p) {
+                conds.push_back(ns.tracker->waitConditions(p));
+                if (conds.back().finished) ++cmsg.wait.finishedCount;
+                if (!rawPathActive()) {
+                  // Pure mode: the §3.3 facts ride the condensed message.
+                  sends.clear();
+                  ns.tracker->appendActiveSends(p, sends);
+                  for (const auto& s : sends) {
+                    cmsg.activeSends.push_back(
+                        ActiveSendInfo{s.op, s.dest, s.tag, s.comm});
+                  }
+                  wilds.clear();
+                  ns.tracker->appendActiveWildcards(p, wilds);
+                  for (const auto& w : wilds) {
+                    ActiveWildcardInfo wi;
+                    wi.op = w.op;
+                    wi.tag = w.tag;
+                    wi.comm = w.comm;
+                    wi.matched = w.matched;
+                    wi.matchedSend = w.matchedSend;
+                    cmsg.activeWildcards.push_back(wi);
+                  }
+                }
               }
-              wfg::NodeConditions cond = ns.tracker->waitConditions(p);
-              ns.lastCondBytes[local] = conditionBytes(cond);
-              info.conditions.push_back(std::move(cond));
-              sends.clear();
-              ns.tracker->appendActiveSends(p, sends);
-              for (const auto& s : sends) {
-                info.activeSends.push_back(
-                    ActiveSendInfo{s.op, s.dest, s.tag, s.comm});
+              cmsg.wait.cond =
+                  wfg::condenseLeaf(conds, topo.procLo, topo.procHi);
+              reported =
+                  static_cast<std::int64_t>(cmsg.wait.cond.nodes.size());
+              if (topology_.isRoot(node)) {
+                handleCondensedAtRoot(std::move(cmsg));
+              } else {
+                const std::size_t bytes = modeledSize(ToolMsg{cmsg});
+                overlay_->sendUp(node, ToolMsg{std::move(cmsg)}, bytes);
               }
-              wilds.clear();
-              ns.tracker->appendActiveWildcards(p, wilds);
-              for (const auto& w : wilds) {
-                ActiveWildcardInfo wi;
-                wi.op = w.op;
-                wi.tag = w.tag;
-                wi.comm = w.comm;
-                wi.matched = w.matched;
-                wi.matchedSend = w.matchedSend;
-                info.activeWildcards.push_back(wi);
-              }
-              ns.tracker->markReported(p);
             }
-            ns.lastReplyEpoch = m.epoch;
+            if (rawPathActive()) {
+              // Delta reply: processes whose wait-state version is unchanged
+              // since this node's reply of the root's base epoch are elided
+              // and only counted. Everything else (first round, base
+              // mismatch, incremental gather off) reports in full.
+              WaitInfoMsg info;
+              info.epoch = m.epoch;
+              const bool delta = config_.incrementalGather &&
+                                 m.baseEpoch != 0 &&
+                                 m.baseEpoch == ns.lastReplyEpoch;
+              for (ProcId p = topo.procLo; p < topo.procHi; ++p) {
+                const auto local = static_cast<std::size_t>(p - topo.procLo);
+                if (delta && !ns.tracker->dirtySinceReport(p)) {
+                  ++info.unchangedCount;
+                  gatherSavedBytes_->add(ns.lastCondBytes[local]);
+                  continue;
+                }
+                wfg::NodeConditions cond = ns.tracker->waitConditions(p);
+                ns.lastCondBytes[local] = conditionBytes(cond);
+                info.conditions.push_back(std::move(cond));
+                sends.clear();
+                ns.tracker->appendActiveSends(p, sends);
+                for (const auto& s : sends) {
+                  info.activeSends.push_back(
+                      ActiveSendInfo{s.op, s.dest, s.tag, s.comm});
+                }
+                wilds.clear();
+                ns.tracker->appendActiveWildcards(p, wilds);
+                for (const auto& w : wilds) {
+                  ActiveWildcardInfo wi;
+                  wi.op = w.op;
+                  wi.tag = w.tag;
+                  wi.comm = w.comm;
+                  wi.matched = w.matched;
+                  wi.matchedSend = w.matchedSend;
+                  info.activeWildcards.push_back(wi);
+                }
+                ns.tracker->markReported(p);
+              }
+              ns.lastReplyEpoch = m.epoch;
+              reported = static_cast<std::int64_t>(info.conditions.size());
+              if (topology_.isRoot(node)) {
+                handleWaitInfoAtRoot(std::move(info));
+              } else {
+                const std::size_t bytes = modeledSize(ToolMsg{info});
+                overlay_->sendUp(node, ToolMsg{std::move(info)}, bytes);
+              }
+            }
             // The drain guarantee holds here (post-sync): flag skipped
             // links that saw data-plane traffic during the stopped window,
             // then snapshot this round's candidate links as the next cut.
@@ -680,14 +780,6 @@ void DistributedTool::handleMessage(NodeId node, ToolMsg&& msg) {
                   overlay_->intralayerDataDelivered(node, peer)};
             }
             ns.pingCandidates.clear();
-            const auto reported =
-                static_cast<std::int64_t>(info.conditions.size());
-            if (topology_.isRoot(node)) {
-              handleWaitInfoAtRoot(std::move(info));
-            } else {
-              const std::size_t bytes = modeledSize(ToolMsg{info});
-              overlay_->sendUp(node, ToolMsg{std::move(info)}, bytes);
-            }
             if (ns.trace) {
               ns.trace->spanEnd("stopped", "consistent", "reported", reported);
             }
@@ -724,6 +816,87 @@ void DistributedTool::handleMessage(NodeId node, ToolMsg&& msg) {
               mergeSavedBytes_->add(ns.waitInfoChildBytes - bytes);
             }
             ns.waitInfoChildBytes = 0;
+            overlay_->sendUp(node, ToolMsg{std::move(merged)}, bytes);
+          },
+          [&](CondensedWaitInfoMsg& m) {
+            if (topology_.isRoot(node)) {
+              handleCondensedAtRoot(std::move(m));
+              return;
+            }
+            // Inner-node hierarchical step: once every child condensation
+            // arrived, merge them, resolve everything that became
+            // subtree-local at this level, and forward one condensation of
+            // the whole subtree.
+            ns.condEpoch = m.wait.epoch;
+            ns.pendingCondFinished += m.wait.finishedCount;
+            ns.pendingCond.push_back(std::move(m.wait.cond));
+            std::move(m.activeSends.begin(), m.activeSends.end(),
+                      std::back_inserter(ns.pendingCondSends));
+            std::move(m.activeWildcards.begin(), m.activeWildcards.end(),
+                      std::back_inserter(ns.pendingCondWildcards));
+            const auto& children = topology_.node(node).children;
+            if (++ns.condChildren <
+                static_cast<std::uint32_t>(children.size())) {
+              return;
+            }
+            std::sort(ns.pendingCond.begin(), ns.pendingCond.end(),
+                      [](const wfg::Condensation& a,
+                         const wfg::Condensation& b) {
+                        return a.procLo < b.procLo;
+                      });
+            CondensedWaitInfoMsg merged;
+            merged.wait.epoch = ns.condEpoch;
+            merged.wait.finishedCount = ns.pendingCondFinished;
+            merged.wait.cond = wfg::condenseMerge(ns.pendingCond);
+            merged.activeSends = std::move(ns.pendingCondSends);
+            merged.activeWildcards = std::move(ns.pendingCondWildcards);
+            ns.pendingCond.clear();
+            ns.pendingCondSends.clear();
+            ns.pendingCondWildcards.clear();
+            ns.pendingCondFinished = 0;
+            ns.condChildren = 0;
+            const std::size_t bytes = modeledSize(ToolMsg{merged});
+            overlay_->sendUp(node, ToolMsg{std::move(merged)}, bytes);
+          },
+          [&](DeadlockDetailRequestMsg& m) {
+            if (!topology_.isFirstLayer(node)) {
+              broadcastDown(node, ToolMsg{m});
+              return;
+            }
+            // Reply with the conditions of the hosted deadlocked processes.
+            // Every first-layer node answers (possibly with nothing) so the
+            // merge above can count one reply per child.
+            DeadlockDetailMsg reply;
+            reply.epoch = m.epoch;
+            const tbon::NodeInfo& topo = topology_.node(node);
+            for (const ProcId p : m.procs) {
+              if (p < topo.procLo || p >= topo.procHi) continue;
+              reply.conditions.push_back(ns.tracker->waitConditions(p));
+            }
+            if (topology_.isRoot(node)) {
+              handleDeadlockDetailAtRoot(std::move(reply));
+            } else {
+              const std::size_t bytes = modeledSize(ToolMsg{reply});
+              overlay_->sendUp(node, ToolMsg{std::move(reply)}, bytes);
+            }
+          },
+          [&](DeadlockDetailMsg& m) {
+            if (topology_.isRoot(node)) {
+              handleDeadlockDetailAtRoot(std::move(m));
+              return;
+            }
+            ns.pendingDetail.epoch = m.epoch;
+            std::move(m.conditions.begin(), m.conditions.end(),
+                      std::back_inserter(ns.pendingDetail.conditions));
+            const auto& children = topology_.node(node).children;
+            if (++ns.detailChildren <
+                static_cast<std::uint32_t>(children.size())) {
+              return;
+            }
+            DeadlockDetailMsg merged = std::move(ns.pendingDetail);
+            ns.pendingDetail = DeadlockDetailMsg{};
+            ns.detailChildren = 0;
+            const std::size_t bytes = modeledSize(ToolMsg{merged});
             overlay_->sendUp(node, ToolMsg{std::move(merged)}, bytes);
           },
       },
@@ -822,6 +995,11 @@ void DistributedTool::startDetection() {
   acksAtRoot_ = 0;
   gatheredProcs_ = 0;
   gatheredUnchanged_ = 0;
+  rootCondensations_.clear();
+  rootCondFinished_ = 0;
+  pendingHier_.reset();
+  detailConds_.clear();
+  detailMsgsAtRoot_ = 0;
   syncStart_ = engine_.now();
   if (rootTrack_) {
     rootTrack_->spanBegin("detection", "detect", "epoch", epoch_);
@@ -904,8 +1082,11 @@ void DistributedTool::handleRootAllAcked() {
   }
   // baseEpoch names the last round the root fully integrated; trackers whose
   // previous reply matches it send deltas, everyone else replies in full.
-  const std::uint32_t base =
-      config_.incrementalGather ? lastIntegratedEpoch_ : 0;
+  // Pure hierarchical rounds never integrate raw conditions, so the base
+  // stays 0 there (no tracker consults it anyway — the raw path is off).
+  const std::uint32_t base = config_.incrementalGather && rawPathActive()
+                                 ? lastIntegratedEpoch_
+                                 : 0;
   broadcastDown(topology_.root(), ToolMsg{RequestWaitsMsg{epoch_, base}});
 }
 
@@ -926,15 +1107,56 @@ void DistributedTool::handleWaitInfoAtRoot(WaitInfoMsg&& msg) {
   for (const ActiveWildcardInfo& w : msg.activeWildcards) {
     procWildcards_[static_cast<std::size_t>(w.op.proc)].push_back(w);
   }
-  if (gatheredProcs_ + gatheredUnchanged_ ==
-      static_cast<std::uint32_t>(runtime_.procCount())) {
-    gatherEnd_ = engine_.now();
-    finishDetection();
+  maybeFinishDetection();
+}
+
+std::uint32_t DistributedTool::expectedCondensedAtRoot() const {
+  // One condensed message per root child; a single-node tree (root doubles
+  // as first layer) self-delivers exactly one.
+  const auto& children = topology_.node(topology_.root()).children;
+  return children.empty() ? 1u : static_cast<std::uint32_t>(children.size());
+}
+
+void DistributedTool::handleCondensedAtRoot(CondensedWaitInfoMsg&& msg) {
+  if (!rawPathActive()) {
+    // Pure mode: the §3.3 facts arrive here. Condensed replies are full
+    // (no delta), so refresh the whole range they cover.
+    for (ProcId p = msg.wait.cond.procLo; p < msg.wait.cond.procHi; ++p) {
+      procSends_[static_cast<std::size_t>(p)].clear();
+      procWildcards_[static_cast<std::size_t>(p)].clear();
+    }
+    for (const ActiveSendInfo& s : msg.activeSends) {
+      procSends_[static_cast<std::size_t>(s.op.proc)].push_back(s);
+    }
+    for (const ActiveWildcardInfo& w : msg.activeWildcards) {
+      procWildcards_[static_cast<std::size_t>(w.op.proc)].push_back(w);
+    }
   }
+  rootCondFinished_ += msg.wait.finishedCount;
+  rootCondensations_.push_back(std::move(msg.wait.cond));
+  maybeFinishDetection();
+}
+
+void DistributedTool::maybeFinishDetection() {
+  if (rawPathActive() &&
+      gatheredProcs_ + gatheredUnchanged_ !=
+          static_cast<std::uint32_t>(runtime_.procCount())) {
+    return;
+  }
+  if (hierPathActive() &&
+      rootCondensations_.size() != expectedCondensedAtRoot()) {
+    return;
+  }
+  gatherEnd_ = engine_.now();
+  finishDetection();
 }
 
 void DistributedTool::finishDetection() {
   if (rootTrack_) rootTrack_->spanEnd("gather", "detect");
+  if (!rawPathActive()) {
+    finishHierarchicalDetection();
+    return;
+  }
   using Clock = std::chrono::steady_clock;
   const wfg::IncrementalWfg::RoundResult round =
       incremental_->commit(/*forceFull=*/!config_.incrementalGather);
@@ -982,6 +1204,31 @@ void DistributedTool::finishDetection() {
     if (!agree) ++verifyDivergences_;
   }
 
+  std::optional<wfg::HierarchicalResult> hier;
+  if (hierPathActive()) {
+    hier.emplace(resolveHierarchical());
+    if (config_.verifyHierarchical) {
+      // The condensed path must reproduce the raw root check exactly:
+      // verdict, deadlocked set, the released bitmap (complement of the
+      // deadlocked set over all processes), and the finished count summed
+      // up the tree.
+      bool agree = hier->deadlock == round.check.deadlock &&
+                   hier->deadlocked == round.check.deadlocked &&
+                   rootCondFinished_ == incremental_->finishedCount();
+      if (agree) {
+        for (ProcId p = 0; p < runtime_.procCount(); ++p) {
+          const bool dead = std::binary_search(round.check.deadlocked.begin(),
+                                               round.check.deadlocked.end(), p);
+          if (hier->released[static_cast<std::size_t>(p)] == dead) {
+            agree = false;
+            break;
+          }
+        }
+      }
+      if (!agree) ++hierarchicalDivergences_;
+    }
+  }
+
   RoundStats stats;
   stats.epoch = epoch_;
   stats.changed = gatheredProcs_;
@@ -997,6 +1244,12 @@ void DistributedTool::finishDetection() {
   stats.pingsSent = pingsSentCounter_->value() - lastPingsSent_;
   stats.pingsSkipped = pingsSkippedCounter_->value() - lastPingsSkipped_;
   stats.deadlock = round.check.deadlock;
+  if (hier) {
+    stats.hierarchical = true;
+    stats.boundaryNodes = hier->boundaryNodes;
+    stats.boundaryArcs = hier->boundaryArcs;
+    stats.boundaryTargets = hier->boundaryTargets;
+  }
   lastPingsSent_ = pingsSentCounter_->value();
   lastPingsSkipped_ = pingsSkippedCounter_->value();
   roundStats_.push_back(stats);
@@ -1007,6 +1260,16 @@ void DistributedTool::finishDetection() {
       incremental_->finishedCount() ==
       static_cast<std::uint32_t>(runtime_.procCount());
 
+  runUnexpectedMatchCheck();
+  detectionInProgress_ = false;
+  ++detectionsCompleted_;
+  if (rootTrack_) {
+    rootTrack_->spanEnd("detection", "detect", "changed",
+                        static_cast<std::int64_t>(gatheredProcs_));
+  }
+}
+
+void DistributedTool::runUnexpectedMatchCheck() {
   // Unexpected-match check (paper §3.3): cross every persisted active
   // wildcard receive with every persisted active send to its process, in
   // ascending process order.
@@ -1030,11 +1293,109 @@ void DistributedTool::finishDetection() {
       }
     }
   }
+}
+
+wfg::HierarchicalResult DistributedTool::resolveHierarchical() {
+  // Children send independently; restore the deterministic range order
+  // before resolving (ranges are disjoint and contiguous over [0, p)).
+  std::sort(rootCondensations_.begin(), rootCondensations_.end(),
+            [](const wfg::Condensation& a, const wfg::Condensation& b) {
+              return a.procLo < b.procLo;
+            });
+  wfg::HierarchicalResult hier = wfg::resolveAtRoot(rootCondensations_);
+  rootCondensations_.clear();
+  return hier;
+}
+
+void DistributedTool::finishHierarchicalDetection() {
+  pendingHier_.emplace(resolveHierarchical());
+  if (rootTrack_) {
+    rootTrack_->instant(
+        "boundaryCheck", "detect", "nodes",
+        static_cast<std::int64_t>(pendingHier_->boundaryNodes), "arcs",
+        static_cast<std::int64_t>(pendingHier_->boundaryArcs));
+  }
+  if (!pendingHier_->deadlock) {
+    completeHierarchicalRound(wfg::WaitForGraph(runtime_.procCount()));
+    return;
+  }
+  // Deadlock: reconstruct the report detail. Only the deadlocked processes'
+  // conditions are fetched — they are permanently blocked, so their
+  // unsatisfiable conditions are stable even though the trackers resumed
+  // after the consistent cut (DESIGN.md §13).
+  if (rootTrack_) rootTrack_->spanBegin("detail", "detect");
+  broadcastDown(topology_.root(), ToolMsg{DeadlockDetailRequestMsg{
+                                      epoch_, pendingHier_->deadlocked}});
+}
+
+void DistributedTool::handleDeadlockDetailAtRoot(DeadlockDetailMsg&& msg) {
+  std::move(msg.conditions.begin(), msg.conditions.end(),
+            std::back_inserter(detailConds_));
+  if (++detailMsgsAtRoot_ != expectedCondensedAtRoot()) return;
+  if (rootTrack_) rootTrack_->spanEnd("detail", "detect");
+  wfg::WaitForGraph graph(runtime_.procCount());
+  for (wfg::NodeConditions& cond : detailConds_) {
+    graph.setNode(std::move(cond));
+  }
+  detailConds_.clear();
+  completeHierarchicalRound(std::move(graph));
+}
+
+void DistributedTool::completeHierarchicalRound(
+    wfg::WaitForGraph&& detailGraph) {
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+  const wfg::HierarchicalResult& hier = *pendingHier_;
+  wfg::CheckResult check;
+  check.deadlock = hier.deadlock;
+  check.deadlocked = hier.deadlocked;
+  // The root never materialized the full graph; the honest work figure is
+  // the boundary it actually checked.
+  check.arcCount = hier.boundaryArcs;
+  if (hier.deadlock) {
+    // Same-wave collective targets among the reconstructed conditions prune
+    // exactly as on the full graph: both endpoints of every deadlocked-to-
+    // deadlocked arc carry their wave headers, and the report restricts
+    // itself to deadlocked processes.
+    detailGraph.pruneCollectiveCoWaiters();
+    check.cycle = wfg::findCycle(detailGraph, hier.released, hier.deadlocked);
+  }
+  const auto t1 = Clock::now();
+  wfg::Report report = wfg::makeReport(detailGraph, check);
+  const auto t2 = Clock::now();
+  report.times.synchronizationNs = syncEnd_ - syncStart_;
+  report.times.wfgGatherNs = gatherEnd_ - syncEnd_;
+  report.times.graphBuildNs = 0;
+  report.times.deadlockCheckNs = wallNs(t0, t1);
+  report.times.outputGenerationNs = wallNs(t1, t2);
+  report.incremental.incremental = false;
+
+  RoundStats stats;
+  stats.epoch = epoch_;
+  stats.syncNs = static_cast<std::uint64_t>(syncEnd_ - syncStart_);
+  stats.gatherNs = static_cast<std::uint64_t>(gatherEnd_ - syncEnd_);
+  stats.checkNs = wallNs(t0, t1);
+  stats.pingsSent = pingsSentCounter_->value() - lastPingsSent_;
+  stats.pingsSkipped = pingsSkippedCounter_->value() - lastPingsSkipped_;
+  stats.deadlock = hier.deadlock;
+  stats.hierarchical = true;
+  stats.boundaryNodes = hier.boundaryNodes;
+  stats.boundaryArcs = hier.boundaryArcs;
+  stats.boundaryTargets = hier.boundaryTargets;
+  lastPingsSent_ = pingsSentCounter_->value();
+  lastPingsSkipped_ = pingsSkippedCounter_->value();
+  roundStats_.push_back(stats);
+
+  report_ = std::move(report);
+  periodicStopped_ =
+      rootCondFinished_ == static_cast<std::uint32_t>(runtime_.procCount());
+  runUnexpectedMatchCheck();
+  pendingHier_.reset();
   detectionInProgress_ = false;
   ++detectionsCompleted_;
   if (rootTrack_) {
-    rootTrack_->spanEnd("detection", "detect", "changed",
-                        static_cast<std::int64_t>(gatheredProcs_));
+    rootTrack_->spanEnd("detection", "detect", "boundary",
+                        static_cast<std::int64_t>(stats.boundaryNodes));
   }
 }
 

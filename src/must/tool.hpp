@@ -42,6 +42,7 @@
 #include "tbon/topology.hpp"
 #include "waitstate/distributed_tracker.hpp"
 #include "wfg/incremental.hpp"
+#include "wfg/partial.hpp"
 #include "wfg/report.hpp"
 
 namespace wst::must {
@@ -140,6 +141,22 @@ struct ToolConfig {
   /// count divergences in verdict, deadlock set, or DOT output.
   bool verifyIncremental = false;
 
+  // --- Hierarchical in-tree check (DESIGN.md §13) ----------------------------
+
+  /// Push the release fixpoint down the TBON: first-layer nodes condense
+  /// their hosted processes' wait-for subgraph, inner nodes merge and
+  /// re-condense their children's condensations, and the root resolves a
+  /// graph of boundary nodes only — its per-round work is proportional to
+  /// the boundary, not to p. Replaces the raw wait-info gather entirely; on
+  /// deadlock a detail phase re-fetches only the deadlocked processes'
+  /// conditions to reconstruct the DOT/cycle report.
+  bool hierarchicalCheck = false;
+  /// Run the hierarchical check next to the raw-gather root check and count
+  /// divergences in verdict, deadlocked set, released set, or finished
+  /// count. Implies the condensed path runs even if hierarchicalCheck is
+  /// off (the raw path then still produces the report).
+  bool verifyHierarchical = false;
+
   /// Optional flight recorder (support/tracing.hpp). When set and enabled,
   /// the tool records wait-state message flows (emit -> handle, across
   /// nodes), detection-round phase spans, and consistent-state protocol
@@ -204,12 +221,25 @@ class DistributedTool : public mpi::Interposer {
     std::uint64_t pingsSent = 0;
     std::uint64_t pingsSkipped = 0;
     bool deadlock = false;
+    /// Hierarchical check (when the condensed path ran this round): the
+    /// boundary nodes and residual clause target runs the root resolved —
+    /// the root's actual per-round work unit.
+    bool hierarchical = false;
+    std::uint64_t boundaryNodes = 0;
+    std::uint64_t boundaryArcs = 0;
+    std::uint64_t boundaryTargets = 0;
   };
   const std::vector<RoundStats>& roundHistory() const { return roundStats_; }
 
   /// Rounds where the side-by-side full check disagreed with the
   /// incremental one (only counted with ToolConfig::verifyIncremental).
   std::uint32_t verifyDivergences() const { return verifyDivergences_; }
+
+  /// Rounds where the hierarchical (condensed) check disagreed with the
+  /// raw root check (only counted with ToolConfig::verifyHierarchical).
+  std::uint32_t hierarchicalDivergences() const {
+    return hierarchicalDivergences_;
+  }
 
   // --- Introspection ---------------------------------------------------------
 
@@ -256,6 +286,30 @@ class DistributedTool : public mpi::Interposer {
   void handleRootAllAcked();
   void handleWaitInfoAtRoot(WaitInfoMsg&& msg);
   void finishDetection();
+
+  // Hierarchical check (DESIGN.md §13).
+  bool hierPathActive() const {
+    return config_.hierarchicalCheck || config_.verifyHierarchical;
+  }
+  bool rawPathActive() const {
+    return !config_.hierarchicalCheck || config_.verifyHierarchical;
+  }
+  std::uint32_t expectedCondensedAtRoot() const;
+  void handleCondensedAtRoot(CondensedWaitInfoMsg&& msg);
+  /// Fires finishDetection once every active gather path completed at the
+  /// root (raw wait-info and/or condensed replies).
+  void maybeFinishDetection();
+  /// Sort the child condensations and resolve the boundary graph.
+  wfg::HierarchicalResult resolveHierarchical();
+  /// Pure hierarchical round: resolve, then either finalize directly (no
+  /// deadlock) or launch the deadlock-detail reconstruction phase.
+  void finishHierarchicalDetection();
+  void handleDeadlockDetailAtRoot(DeadlockDetailMsg&& msg);
+  /// Finalize a pure hierarchical round into report/stats; `detailGraph`
+  /// holds the deadlocked processes' reconstructed conditions (empty graph
+  /// when no deadlock was found).
+  void completeHierarchicalRound(wfg::WaitForGraph&& detailGraph);
+  void runUnexpectedMatchCheck();
   void onQuiescence();
   void onPeriodic();
   /// Extra uniform [0, detectionJitter] delay for the periodic timer.
@@ -349,6 +403,14 @@ class DistributedTool : public mpi::Interposer {
   support::Rng periodicRng_{1};
   std::uint32_t verifyDivergences_ = 0;
   std::vector<RoundStats> roundStats_;
+
+  // Hierarchical check state (root).
+  std::vector<wfg::Condensation> rootCondensations_;
+  std::uint32_t rootCondFinished_ = 0;
+  std::optional<wfg::HierarchicalResult> pendingHier_;
+  std::vector<wfg::NodeConditions> detailConds_;
+  std::uint32_t detailMsgsAtRoot_ = 0;
+  std::uint32_t hierarchicalDivergences_ = 0;
   /// True when channel latencies let in-flight intralayer data outrun the
   /// requestWaits broadcast (precondition for ping pruning).
   bool pruneGateOk_ = false;

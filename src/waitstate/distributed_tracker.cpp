@@ -898,6 +898,7 @@ wfg::NodeConditions DistributedTracker::waitConditions(ProcId proc) const {
   node.proc = proc;
   if (ps.finished) {
     node.description = "finished";
+    node.finished = true;
     return node;
   }
   if (!opArrived(ps, ps.current)) {

@@ -18,6 +18,7 @@
 
 #include "mpi/types.hpp"
 #include "trace/op.hpp"
+#include "wfg/partial.hpp"
 
 namespace wst::waitstate {
 
@@ -63,6 +64,34 @@ struct CollectiveAckMsg {
   mpi::CommId comm = mpi::kCommWorld;
   std::uint32_t wave = 0;
 };
+
+/// Condensed wait-info reply of the hierarchical check (DESIGN.md §13):
+/// instead of raw per-process conditions, a subtree forwards its boundary
+/// condensation — locally released/deadlocked processes resolved in the
+/// tree, only boundary nodes travel up. `finishedCount` counts hosted
+/// processes that reached MPI_Finalize (summed up the tree so the root can
+/// stop periodic detection without raw conditions).
+struct CondensedWaitMsg {
+  std::uint32_t epoch = 0;
+  std::uint32_t finishedCount = 0;
+  wfg::Condensation cond;
+};
+
+/// Modeled wire size of one boundary condensation (run-length encoded ids:
+/// 8 bytes per run, 12 per wave tag, 4 per explicit deadlocked id).
+inline std::size_t condensationBytes(const wfg::Condensation& c) {
+  std::size_t bytes = 12;  // range + section counts
+  bytes += 8 * c.releasedRuns.size();
+  bytes += 4 * c.deadlocked.size();
+  bytes += 12 * c.waveTags.size();
+  for (const wfg::BoundaryNode& node : c.nodes) {
+    bytes += 8 + 8 * node.memberRuns.size();
+    for (const wfg::CondClause& clause : node.clauses) {
+      bytes += 12 + 8 * clause.targetRuns.size();
+    }
+  }
+  return bytes;
+}
 
 /// Modeled wire sizes (bandwidth accounting in the overlay).
 inline constexpr std::size_t kPassSendBytes = 28;

@@ -216,6 +216,7 @@ wfg::NodeConditions TransitionSystem::waitConditions(ProcId proc) const {
   const trace::LocalTs j = state_[static_cast<std::size_t>(proc)];
   if (finished(proc)) {
     node.description = "finished";
+    node.finished = true;
     return node;
   }
   const OpId id{proc, j};

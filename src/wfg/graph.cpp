@@ -167,8 +167,15 @@ CheckResult WaitForGraph::checkImpl(
       visitedAt.emplace(cur, path.size());
       path.push_back(cur);
       const auto& node = nodes_[static_cast<std::size_t>(cur)];
+      // The walk only ever visits deadlocked processes (the start is
+      // deadlocked and every step goes to an unreleased target), which are
+      // blocked and never seeded, so their clauseSat entries are populated.
+      const auto& sat = clauseSat[static_cast<std::size_t>(cur)];
       trace::ProcId next = -1;
       for (std::size_t c = 0; c < node.clauses.size() && next < 0; ++c) {
+        // A clause satisfied by some released target is not blocking `cur`;
+        // stepping through it would put a non-blocking arc in the cycle.
+        if (sat[c] != 0) continue;
         for (trace::ProcId t : node.clauses[c].targets) {
           if (!released[static_cast<std::size_t>(t)]) {
             next = t;

@@ -63,6 +63,10 @@ struct NodeConditions {
   std::vector<Clause> clauses;
   /// Description of the active operation, e.g. "Recv(from:ANY, tag:0)".
   std::string description;
+  /// The process reached MPI_Finalize: it can never block again. Carried as
+  /// a first-class flag (not the description string) so consumers like
+  /// IncrementalWfg::finishedCount() cannot be corrupted by label drift.
+  bool finished = false;
   /// For blocked collectives: the wave this process participates in
   /// (used by the root's pruning step). Valid when inCollective is true.
   bool inCollective = false;

@@ -63,10 +63,11 @@ IncrementalWfg::RoundResult IncrementalWfg::commit(bool forceFull) {
       const std::uint64_t key = waveKey(old.collComm, old.collWaveIndex);
       auto& members = waveMembers_[key];
       std::erase(members, old.proc);
+      if (members.empty()) waveMembers_.erase(key);  // keep the map bounded
       touchedWaves.push_back(key);
     }
     if (finished_[i] != 0) --finishedCount_;
-    finished_[i] = node.description == "finished" ? 1 : 0;
+    finished_[i] = node.finished ? 1 : 0;
     if (finished_[i] != 0) ++finishedCount_;
     pristine_[i] = std::move(node);
     if (pristine_[i].blocked && pristine_[i].inCollective) {
@@ -79,6 +80,11 @@ IncrementalWfg::RoundResult IncrementalWfg::commit(bool forceFull) {
     inReprune[i] = 1;
   }
   staged_.clear();
+  // Several staged nodes can touch the same wave (and one node touches its
+  // old and new wave): dedupe so re-prune work below runs once per wave.
+  std::sort(touchedWaves.begin(), touchedWaves.end());
+  touchedWaves.erase(std::unique(touchedWaves.begin(), touchedWaves.end()),
+                     touchedWaves.end());
 
   if (full) {
     for (std::size_t i = 0; i < p; ++i) {
@@ -98,7 +104,11 @@ IncrementalWfg::RoundResult IncrementalWfg::commit(bool forceFull) {
   }
 
   for (const std::uint64_t key : touchedWaves) {
-    for (const trace::ProcId member : waveMembers_[key]) {
+    // find(): a wave whose last member left was erased above; operator[]
+    // would silently resurrect an empty entry.
+    const auto it = waveMembers_.find(key);
+    if (it == waveMembers_.end()) continue;
+    for (const trace::ProcId member : it->second) {
       inReprune[static_cast<std::size_t>(member)] = 1;
     }
   }

@@ -67,8 +67,13 @@ class IncrementalWfg {
   /// Build the reference full graph from the pristine store (verify mode).
   WaitForGraph buildFullGraph() const;
 
-  /// Processes whose last reported description is "finished".
+  /// Processes whose last reported conditions carry the finished flag.
   std::uint32_t finishedCount() const { return finishedCount_; }
+
+  /// Number of collective waves currently holding at least one member.
+  /// Bounded by the number of *live* waves: emptied entries are erased, so
+  /// long runs with many completed waves cannot grow the map without bound.
+  std::size_t waveEntryCount() const { return waveMembers_.size(); }
 
   std::int32_t procCount() const { return procCount_; }
 

@@ -1,0 +1,761 @@
+#include "wfg/partial.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "support/assert.hpp"
+
+namespace wst::wfg {
+
+namespace {
+
+using Run = ProcRun;
+
+/// Sorted + deduplicated targets, coalesced into half-open runs.
+std::vector<Run> runsFromTargets(std::vector<trace::ProcId> targets) {
+  std::sort(targets.begin(), targets.end());
+  targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+  std::vector<Run> runs;
+  for (const trace::ProcId t : targets) {
+    if (!runs.empty() && runs.back().second == t) {
+      ++runs.back().second;
+    } else {
+      runs.emplace_back(t, t + 1);
+    }
+  }
+  return runs;
+}
+
+/// Union of arbitrarily many runs: sort by start, coalesce overlap/adjacency.
+std::vector<Run> unionRuns(std::vector<Run> runs) {
+  std::sort(runs.begin(), runs.end());
+  std::vector<Run> out;
+  for (const Run& r : runs) {
+    if (!out.empty() && r.first <= out.back().second) {
+      out.back().second = std::max(out.back().second, r.second);
+    } else {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+/// a \ b for sorted disjoint run lists.
+std::vector<Run> subtractRuns(const std::vector<Run>& a,
+                              const std::vector<Run>& b) {
+  std::vector<Run> out;
+  std::size_t j = 0;
+  for (Run r : a) {
+    while (r.first < r.second) {
+      while (j < b.size() && b[j].second <= r.first) ++j;
+      if (j == b.size() || b[j].first >= r.second) {
+        out.push_back(r);
+        break;
+      }
+      if (b[j].first > r.first) out.emplace_back(r.first, b[j].first);
+      r.first = std::max(r.first, b[j].second);
+    }
+  }
+  return out;
+}
+
+enum class Fate : std::uint8_t { kReleased, kDeadlocked, kBoundary };
+
+struct Unit {
+  trace::ProcId rep = -1;
+  std::vector<Run> members;
+  std::vector<CondClause> clauses;
+};
+
+/// Working state of one subtree level. Per-process arrays are O(range);
+/// per-arc state is run-encoded throughout.
+struct Level {
+  trace::ProcId lo = 0;
+  trace::ProcId hi = 0;
+  std::vector<Fate> fate;            // per in-range process
+  std::vector<std::int32_t> unitOf;  // per in-range process; -1 unless boundary
+  std::vector<Unit> units;
+  std::vector<WaveTag> waveTags;     // sorted by proc
+  std::vector<std::int32_t> waveOf;  // per in-range process; index or -1
+};
+
+void buildWaveOf(Level& lv) {
+  lv.waveOf.assign(static_cast<std::size_t>(lv.hi - lv.lo), -1);
+  for (std::size_t i = 0; i < lv.waveTags.size(); ++i) {
+    lv.waveOf[static_cast<std::size_t>(lv.waveTags[i].proc - lv.lo)] =
+        static_cast<std::int32_t>(i);
+  }
+}
+
+void setUnitOf(Level& lv, const std::vector<Run>& members,
+               std::int32_t unit) {
+  for (const Run& r : members) {
+    for (trace::ProcId p = r.first; p < r.second; ++p) {
+      lv.unitOf[static_cast<std::size_t>(p - lv.lo)] = unit;
+    }
+  }
+}
+
+/// Erase in-range same-wave co-waiter targets from collective clauses; a
+/// collective clause emptied *by erasure alone* is vacuous (the wave is
+/// complete) and dropped. Satisfied clauses are always dropped whole before
+/// they are forwarded, so an empty collective clause here can only stem from
+/// erasure. Out-of-range targets wait for the level where they come in range
+/// — composing to exactly pruneCollectiveCoWaiters() on the full graph.
+void pruneCoWaiters(Level& lv) {
+  for (Unit& u : lv.units) {
+    for (CondClause& clause : u.clauses) {
+      if (clause.type != ClauseType::kCollective) continue;
+      std::vector<Run> kept;
+      for (const Run& r : clause.targetRuns) {
+        if (r.second <= lv.lo || r.first >= lv.hi) {
+          kept.push_back(r);
+          continue;
+        }
+        if (r.first < lv.lo) kept.emplace_back(r.first, lv.lo);
+        const trace::ProcId inLo = std::max(r.first, lv.lo);
+        const trace::ProcId inHi = std::min(r.second, lv.hi);
+        trace::ProcId runStart = -1;
+        for (trace::ProcId t = inLo; t < inHi; ++t) {
+          const std::int32_t w =
+              lv.waveOf[static_cast<std::size_t>(t - lv.lo)];
+          const bool coWaiter =
+              w >= 0 &&
+              lv.waveTags[static_cast<std::size_t>(w)].comm == clause.comm &&
+              lv.waveTags[static_cast<std::size_t>(w)].wave ==
+                  clause.waveIndex;
+          if (coWaiter) {
+            if (runStart >= 0) {
+              kept.emplace_back(runStart, t);
+              runStart = -1;
+            }
+          } else if (runStart < 0) {
+            runStart = t;
+          }
+        }
+        if (runStart >= 0) kept.emplace_back(runStart, inHi);
+        if (r.second > lv.hi) kept.emplace_back(lv.hi, r.second);
+      }
+      clause.targetRuns = unionRuns(std::move(kept));
+    }
+    std::erase_if(u.clauses, [](const CondClause& c) {
+      return c.type == ClauseType::kCollective && c.targetRuns.empty();
+    });
+  }
+}
+
+struct CompiledClause {
+  bool external = false;        // some target out of range
+  bool releasedTarget = false;  // some in-range target with a released fate
+  std::vector<std::int32_t> unitTargets;  // deduped in-range boundary units
+};
+
+/// Release fixpoint over the level's units. Out-of-range targets count as
+/// released when `optimistic`, as unreleased otherwise; in-range deadlocked
+/// targets never satisfy anything. The pessimistic result under-approximates
+/// and the optimistic result over-approximates the true released set, so
+/// pessimistically released / optimistically unreleased verdicts are final.
+std::vector<char> unitFixpoint(const Level& lv, bool optimistic) {
+  const std::size_t n = lv.units.size();
+  std::vector<std::vector<CompiledClause>> comp(n);
+  std::vector<std::int32_t> lastStamp(n, -1);
+  std::int32_t stamp = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    comp[i].resize(lv.units[i].clauses.size());
+    for (std::size_t c = 0; c < lv.units[i].clauses.size(); ++c) {
+      CompiledClause& cc = comp[i][c];
+      ++stamp;
+      for (const Run& r : lv.units[i].clauses[c].targetRuns) {
+        if (r.first < lv.lo || r.second > lv.hi) cc.external = true;
+        const trace::ProcId inLo = std::max(r.first, lv.lo);
+        const trace::ProcId inHi = std::min(r.second, lv.hi);
+        for (trace::ProcId t = inLo; t < inHi; ++t) {
+          const auto ti = static_cast<std::size_t>(t - lv.lo);
+          if (lv.fate[ti] == Fate::kReleased) {
+            cc.releasedTarget = true;
+          } else if (lv.fate[ti] == Fate::kBoundary) {
+            const std::int32_t tu = lv.unitOf[ti];
+            if (tu >= 0 && lastStamp[static_cast<std::size_t>(tu)] != stamp) {
+              lastStamp[static_cast<std::size_t>(tu)] = stamp;
+              cc.unitTargets.push_back(tu);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<char> rel(n, 0);
+  std::vector<std::vector<char>> clauseSat(n);
+  std::vector<std::size_t> unsat(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    clauseSat[i].assign(comp[i].size(), 0);
+    for (std::size_t c = 0; c < comp[i].size(); ++c) {
+      if (comp[i][c].releasedTarget || (optimistic && comp[i][c].external)) {
+        clauseSat[i][c] = 1;
+      } else {
+        ++unsat[i];
+      }
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rel[i] != 0) continue;
+      for (std::size_t c = 0; c < comp[i].size(); ++c) {
+        if (clauseSat[i][c] != 0) continue;
+        for (const std::int32_t tu : comp[i][c].unitTargets) {
+          if (rel[static_cast<std::size_t>(tu)] != 0) {
+            clauseSat[i][c] = 1;
+            --unsat[i];
+            break;
+          }
+        }
+      }
+      if (unsat[i] == 0) {
+        rel[i] = 1;
+        changed = true;
+      }
+    }
+  }
+  return rel;
+}
+
+/// True once some target's fate is kReleased (checked against the *updated*
+/// fates, i.e. pessimistic satisfaction including this level's releases).
+bool clauseSatisfiedNow(const Level& lv, const CondClause& clause) {
+  for (const Run& r : clause.targetRuns) {
+    const trace::ProcId inLo = std::max(r.first, lv.lo);
+    const trace::ProcId inHi = std::min(r.second, lv.hi);
+    for (trace::ProcId t = inLo; t < inHi; ++t) {
+      if (lv.fate[static_cast<std::size_t>(t - lv.lo)] == Fate::kReleased) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool pureOr(const Unit& u) {
+  // Collective clauses are never summarized: their targets must stay
+  // individually erasable by wave-based co-waiter pruning at higher levels.
+  return u.clauses.size() == 1 && u.clauses[0].type == ClauseType::kPlain;
+}
+
+void compactUnits(Level& lv) {
+  std::vector<Unit> survivors;
+  survivors.reserve(lv.units.size());
+  for (Unit& u : lv.units) {
+    if (u.members.empty()) continue;
+    survivors.push_back(std::move(u));
+  }
+  lv.units = std::move(survivors);
+  for (std::size_t i = 0; i < lv.units.size(); ++i) {
+    setUnitOf(lv, lv.units[i].members, static_cast<std::int32_t>(i));
+  }
+}
+
+/// Collapse strongly-connected components of pure-OR units into single
+/// summary units. Exact: through a pure-OR unit, released(target) implies
+/// released(unit), so mutually reachable pure-OR units share one fate under
+/// every assignment of the outside world; the summary clause — the union of
+/// all member targets minus the knot itself — is satisfied iff any member's
+/// clause is. (AND units may not be collapsed: a released neighbor releases
+/// only one of their clauses.)
+void collapseSccs(Level& lv) {
+  const std::size_t n = lv.units.size();
+  if (n < 2) return;
+  std::vector<char> elig(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    elig[i] = pureOr(lv.units[i]) ? 1 : 0;
+  }
+
+  std::vector<std::vector<std::int32_t>> adj(n);
+  std::vector<std::int32_t> lastStamp(n, -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (elig[i] == 0) continue;
+    for (const Run& r : lv.units[i].clauses[0].targetRuns) {
+      const trace::ProcId inLo = std::max(r.first, lv.lo);
+      const trace::ProcId inHi = std::min(r.second, lv.hi);
+      for (trace::ProcId t = inLo; t < inHi; ++t) {
+        const auto ti = static_cast<std::size_t>(t - lv.lo);
+        if (lv.fate[ti] != Fate::kBoundary) continue;
+        const std::int32_t tu = lv.unitOf[ti];
+        if (tu < 0 || tu == static_cast<std::int32_t>(i) ||
+            elig[static_cast<std::size_t>(tu)] == 0) {
+          continue;
+        }
+        if (lastStamp[static_cast<std::size_t>(tu)] !=
+            static_cast<std::int32_t>(i)) {
+          lastStamp[static_cast<std::size_t>(tu)] =
+              static_cast<std::int32_t>(i);
+          adj[i].push_back(tu);
+        }
+      }
+    }
+  }
+
+  // Iterative Tarjan over the eligible subgraph.
+  std::vector<std::int32_t> index(n, -1);
+  std::vector<std::int32_t> low(n, 0);
+  std::vector<std::int32_t> sccOf(n, -1);
+  std::vector<char> onStack(n, 0);
+  std::vector<std::int32_t> stack;
+  std::int32_t nextIndex = 0;
+  std::int32_t sccCount = 0;
+  struct Frame {
+    std::int32_t v;
+    std::size_t child;
+  };
+  std::vector<Frame> dfs;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (elig[s] == 0 || index[s] >= 0) continue;
+    index[s] = low[s] = nextIndex++;
+    stack.push_back(static_cast<std::int32_t>(s));
+    onStack[s] = 1;
+    dfs.push_back({static_cast<std::int32_t>(s), 0});
+    while (!dfs.empty()) {
+      Frame& f = dfs.back();
+      const auto v = static_cast<std::size_t>(f.v);
+      if (f.child < adj[v].size()) {
+        const std::int32_t w = adj[v][f.child++];
+        const auto wi = static_cast<std::size_t>(w);
+        if (index[wi] < 0) {
+          index[wi] = low[wi] = nextIndex++;
+          stack.push_back(w);
+          onStack[wi] = 1;
+          dfs.push_back({w, 0});
+        } else if (onStack[wi] != 0) {
+          low[v] = std::min(low[v], index[wi]);
+        }
+      } else {
+        dfs.pop_back();
+        if (!dfs.empty()) {
+          const auto parent = static_cast<std::size_t>(dfs.back().v);
+          low[parent] = std::min(low[parent], low[v]);
+        }
+        if (low[v] == index[v]) {
+          for (;;) {
+            const std::int32_t w = stack.back();
+            stack.pop_back();
+            onStack[static_cast<std::size_t>(w)] = 0;
+            sccOf[static_cast<std::size_t>(w)] = sccCount;
+            if (w == f.v) break;
+          }
+          ++sccCount;
+        }
+      }
+    }
+  }
+
+  std::vector<std::vector<std::int32_t>> groups(
+      static_cast<std::size_t>(sccCount));
+  for (std::size_t i = 0; i < n; ++i) {
+    if (sccOf[i] >= 0) {
+      groups[static_cast<std::size_t>(sccOf[i])].push_back(
+          static_cast<std::int32_t>(i));
+    }
+  }
+  bool anyKnot = false;
+  for (const auto& g : groups) anyKnot = anyKnot || g.size() >= 2;
+  if (!anyKnot) return;
+
+  std::vector<Unit> merged;
+  std::vector<char> consumed(n, 0);
+  for (const auto& g : groups) {
+    if (g.size() < 2) continue;
+    std::vector<Run> members;
+    std::vector<Run> targets;
+    for (const std::int32_t i : g) {
+      const auto ui = static_cast<std::size_t>(i);
+      consumed[ui] = 1;
+      members.insert(members.end(), lv.units[ui].members.begin(),
+                     lv.units[ui].members.end());
+      const auto& runs = lv.units[ui].clauses[0].targetRuns;
+      targets.insert(targets.end(), runs.begin(), runs.end());
+    }
+    Unit u;
+    u.members = unionRuns(std::move(members));
+    u.rep = u.members.front().first;
+    CondClause clause;  // kPlain: the knot is already fully wave-pruned
+    clause.targetRuns = subtractRuns(unionRuns(std::move(targets)), u.members);
+    WST_ASSERT(!clause.targetRuns.empty(),
+               "a boundary knot must reference outside itself");
+    u.clauses.push_back(std::move(clause));
+    merged.push_back(std::move(u));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (consumed[i] == 0) merged.push_back(std::move(lv.units[i]));
+  }
+  lv.units = std::move(merged);
+  for (std::size_t i = 0; i < lv.units.size(); ++i) {
+    setUnitOf(lv, lv.units[i].members, static_cast<std::int32_t>(i));
+  }
+}
+
+/// Absorb pure-OR units whose single clause can only be satisfied by one
+/// other unit: no out-of-range target, and every live in-range target is a
+/// member of the same unit v (deadlocked targets contribute nothing to an
+/// OR; self-targets contribute nothing to a least fixpoint). Then
+/// released(u) iff released(v) — u joins v's unit and its clause is
+/// discarded. This is what condenses wait *chains* (ring patterns) whose
+/// cycle only closes at an ancestor, where SCC collapse alone would forward
+/// one unit per process.
+void absorbChains(Level& lv) {
+  if (lv.units.size() < 2) return;
+  bool changedAny = true;
+  while (changedAny) {
+    changedAny = false;
+    for (std::size_t i = 0; i < lv.units.size(); ++i) {
+      Unit& u = lv.units[i];
+      if (u.members.empty() || !pureOr(u)) continue;
+      std::int32_t target = -1;
+      bool absorbable = true;
+      for (const Run& r : u.clauses[0].targetRuns) {
+        if (r.first < lv.lo || r.second > lv.hi) {
+          absorbable = false;
+          break;
+        }
+        for (trace::ProcId t = r.first; t < r.second; ++t) {
+          const auto ti = static_cast<std::size_t>(t - lv.lo);
+          if (lv.fate[ti] == Fate::kDeadlocked) continue;
+          // kReleased is impossible: the clause would have been satisfied.
+          const std::int32_t tu = lv.unitOf[ti];
+          if (tu == static_cast<std::int32_t>(i)) continue;
+          if (target < 0) {
+            target = tu;
+          } else if (target != tu) {
+            absorbable = false;
+            break;
+          }
+        }
+        if (!absorbable) break;
+      }
+      if (!absorbable || target < 0) continue;
+      Unit& v = lv.units[static_cast<std::size_t>(target)];
+      std::vector<Run> members = std::move(v.members);
+      members.insert(members.end(), u.members.begin(), u.members.end());
+      v.members = unionRuns(std::move(members));
+      v.rep = v.members.front().first;
+      setUnitOf(lv, u.members, target);
+      u.members.clear();
+      u.clauses.clear();
+      changedAny = true;
+    }
+  }
+  compactUnits(lv);
+}
+
+/// One level's full resolution pass: prune newly in-range co-waiters, run
+/// both fixpoints, finalize released/deadlocked fates, drop satisfied
+/// clauses from the surviving boundary units, then condense knots + chains.
+void resolveLevel(Level& lv) {
+  pruneCoWaiters(lv);
+  const std::vector<char> relP = unitFixpoint(lv, /*optimistic=*/false);
+  const std::vector<char> relO = unitFixpoint(lv, /*optimistic=*/true);
+  for (std::size_t i = 0; i < lv.units.size(); ++i) {
+    Fate f = Fate::kBoundary;
+    if (relP[i] != 0) {
+      f = Fate::kReleased;
+    } else if (relO[i] == 0) {
+      f = Fate::kDeadlocked;
+    }
+    if (f == Fate::kBoundary) continue;
+    for (const Run& r : lv.units[i].members) {
+      for (trace::ProcId p = r.first; p < r.second; ++p) {
+        lv.fate[static_cast<std::size_t>(p - lv.lo)] = f;
+        lv.unitOf[static_cast<std::size_t>(p - lv.lo)] = -1;
+      }
+    }
+    lv.units[i].members.clear();  // resolved: drop from the boundary
+    lv.units[i].clauses.clear();
+  }
+  compactUnits(lv);
+  for (Unit& u : lv.units) {
+    std::erase_if(u.clauses, [&](const CondClause& c) {
+      return clauseSatisfiedNow(lv, c);
+    });
+    WST_ASSERT(!u.clauses.empty(),
+               "a boundary unit must have an unsatisfied clause");
+  }
+  collapseSccs(lv);
+  absorbChains(lv);
+}
+
+Condensation emitCondensation(Level& lv) {
+  Condensation out;
+  out.procLo = lv.lo;
+  out.procHi = lv.hi;
+  trace::ProcId runStart = -1;
+  for (trace::ProcId p = lv.lo; p < lv.hi; ++p) {
+    const Fate f = lv.fate[static_cast<std::size_t>(p - lv.lo)];
+    if (f == Fate::kReleased) {
+      if (runStart < 0) runStart = p;
+      continue;
+    }
+    if (runStart >= 0) {
+      out.releasedRuns.emplace_back(runStart, p);
+      runStart = -1;
+    }
+    if (f == Fate::kDeadlocked) out.deadlocked.push_back(p);
+  }
+  if (runStart >= 0) out.releasedRuns.emplace_back(runStart, lv.hi);
+  out.waveTags = std::move(lv.waveTags);
+  std::sort(lv.units.begin(), lv.units.end(),
+            [](const Unit& a, const Unit& b) { return a.rep < b.rep; });
+  out.nodes.reserve(lv.units.size());
+  for (Unit& u : lv.units) {
+    BoundaryNode node;
+    node.rep = u.rep;
+    node.memberRuns = std::move(u.members);
+    node.clauses = std::move(u.clauses);
+    out.nodes.push_back(std::move(node));
+  }
+  return out;
+}
+
+Level buildLevel(const std::vector<Condensation>& children) {
+  WST_ASSERT(!children.empty(), "merge needs at least one condensation");
+  Level lv;
+  lv.lo = children.front().procLo;
+  lv.hi = children.back().procHi;
+  WST_ASSERT(lv.hi > lv.lo, "empty process range");
+  const auto n = static_cast<std::size_t>(lv.hi - lv.lo);
+  lv.fate.assign(n, Fate::kReleased);
+  lv.unitOf.assign(n, -1);
+  trace::ProcId expect = lv.lo;
+  for (const Condensation& child : children) {
+    WST_ASSERT(child.procLo == expect,
+               "child condensations must be sorted and contiguous");
+    expect = child.procHi;
+    for (const trace::ProcId d : child.deadlocked) {
+      lv.fate[static_cast<std::size_t>(d - lv.lo)] = Fate::kDeadlocked;
+    }
+    for (const BoundaryNode& node : child.nodes) {
+      const auto ui = static_cast<std::int32_t>(lv.units.size());
+      Unit u;
+      u.rep = node.rep;
+      u.members = node.memberRuns;
+      for (const CondClause& c : node.clauses) u.clauses.push_back(c);
+      for (const Run& r : u.members) {
+        for (trace::ProcId p = r.first; p < r.second; ++p) {
+          lv.fate[static_cast<std::size_t>(p - lv.lo)] = Fate::kBoundary;
+          lv.unitOf[static_cast<std::size_t>(p - lv.lo)] = ui;
+        }
+      }
+      lv.units.push_back(std::move(u));
+    }
+    lv.waveTags.insert(lv.waveTags.end(), child.waveTags.begin(),
+                       child.waveTags.end());
+  }
+  WST_ASSERT(expect == lv.hi, "child ranges must cover the level range");
+  buildWaveOf(lv);
+  return lv;
+}
+
+}  // namespace
+
+std::uint64_t Condensation::boundaryProcs() const {
+  std::uint64_t count = 0;
+  for (const BoundaryNode& node : nodes) {
+    for (const ProcRun& r : node.memberRuns) {
+      count += static_cast<std::uint64_t>(r.second - r.first);
+    }
+  }
+  return count;
+}
+
+std::uint64_t Condensation::arcRuns() const {
+  std::uint64_t count = 0;
+  for (const BoundaryNode& node : nodes) {
+    for (const CondClause& clause : node.clauses) {
+      count += clause.targetRuns.size();
+    }
+  }
+  return count;
+}
+
+std::uint64_t Condensation::arcTargets() const {
+  std::uint64_t count = 0;
+  for (const BoundaryNode& node : nodes) {
+    for (const CondClause& clause : node.clauses) {
+      for (const ProcRun& r : clause.targetRuns) {
+        count += static_cast<std::uint64_t>(r.second - r.first);
+      }
+    }
+  }
+  return count;
+}
+
+Condensation condenseLeaf(const std::vector<NodeConditions>& conds,
+                          trace::ProcId lo, trace::ProcId hi) {
+  WST_ASSERT(hi > lo, "empty leaf range");
+  WST_ASSERT(conds.size() == static_cast<std::size_t>(hi - lo),
+             "conditions must cover exactly [lo, hi)");
+  Level lv;
+  lv.lo = lo;
+  lv.hi = hi;
+  const auto n = static_cast<std::size_t>(hi - lo);
+  lv.fate.assign(n, Fate::kReleased);
+  lv.unitOf.assign(n, -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeConditions& cond = conds[i];
+    const trace::ProcId p = lo + static_cast<trace::ProcId>(i);
+    WST_ASSERT(cond.proc == p, "conditions must be ordered by process");
+    if (cond.blocked && cond.inCollective) {
+      lv.waveTags.push_back({p, cond.collComm, cond.collWaveIndex});
+    }
+    if (!cond.blocked) continue;  // fate stays released
+    lv.fate[i] = Fate::kBoundary;
+    lv.unitOf[i] = static_cast<std::int32_t>(lv.units.size());
+    Unit u;
+    u.rep = p;
+    u.members.emplace_back(p, p + 1);
+    u.clauses.reserve(cond.clauses.size());
+    for (const Clause& clause : cond.clauses) {
+      CondClause cc;
+      cc.targetRuns = runsFromTargets(clause.targets);
+      cc.type = clause.type;
+      cc.comm = clause.comm;
+      cc.waveIndex = clause.waveIndex;
+      u.clauses.push_back(std::move(cc));
+    }
+    lv.units.push_back(std::move(u));
+  }
+  buildWaveOf(lv);
+  resolveLevel(lv);
+  return emitCondensation(lv);
+}
+
+Condensation condenseMerge(const std::vector<Condensation>& children) {
+  Level lv = buildLevel(children);
+  resolveLevel(lv);
+  return emitCondensation(lv);
+}
+
+HierarchicalResult resolveAtRoot(const std::vector<Condensation>& children) {
+  HierarchicalResult res;
+  for (const Condensation& child : children) {
+    res.boundaryNodes += child.nodes.size();
+    res.boundaryArcs += child.arcRuns();
+    res.boundaryTargets += child.arcTargets();
+  }
+  Level lv = buildLevel(children);
+  WST_ASSERT(lv.lo == 0, "the root must cover process 0");
+  pruneCoWaiters(lv);
+  // With the full range in scope nothing is external: the pessimistic and
+  // optimistic fixpoints coincide and every unit resolves.
+  const std::vector<char> rel = unitFixpoint(lv, /*optimistic=*/false);
+  for (std::size_t i = 0; i < lv.units.size(); ++i) {
+    const Fate f = rel[i] != 0 ? Fate::kReleased : Fate::kDeadlocked;
+    for (const Run& r : lv.units[i].members) {
+      for (trace::ProcId p = r.first; p < r.second; ++p) {
+        lv.fate[static_cast<std::size_t>(p - lv.lo)] = f;
+      }
+    }
+  }
+  res.released.assign(static_cast<std::size_t>(lv.hi), 0);
+  for (trace::ProcId p = 0; p < lv.hi; ++p) {
+    const Fate f = lv.fate[static_cast<std::size_t>(p)];
+    if (f == Fate::kReleased) {
+      res.released[static_cast<std::size_t>(p)] = 1;
+    } else {
+      res.deadlocked.push_back(p);
+    }
+  }
+  res.deadlock = !res.deadlocked.empty();
+
+  // Best-effort representative cycle over the units the root resolved,
+  // mirroring the checkImpl walk at rep granularity: first unsatisfied
+  // clause, first unreleased target; stop when the target's unit was
+  // resolved below the root.
+  if (res.deadlock && !lv.units.empty()) {
+    std::int32_t start = -1;
+    for (std::size_t i = 0; i < lv.units.size(); ++i) {
+      if (rel[i] != 0) continue;
+      if (start < 0 ||
+          lv.units[i].rep < lv.units[static_cast<std::size_t>(start)].rep) {
+        start = static_cast<std::int32_t>(i);
+      }
+    }
+    if (start >= 0) {
+      std::unordered_map<std::int32_t, std::size_t> visitedAt;
+      std::vector<trace::ProcId> path;
+      std::int32_t cur = start;
+      for (;;) {
+        const auto it = visitedAt.find(cur);
+        if (it != visitedAt.end()) {
+          res.cycle.assign(
+              path.begin() + static_cast<std::ptrdiff_t>(it->second),
+              path.end());
+          break;
+        }
+        visitedAt.emplace(cur, path.size());
+        const Unit& u = lv.units[static_cast<std::size_t>(cur)];
+        path.push_back(u.rep);
+        std::int32_t next = -1;
+        bool decided = false;
+        for (const CondClause& clause : u.clauses) {
+          if (clauseSatisfiedNow(lv, clause)) continue;
+          for (const Run& r : clause.targetRuns) {
+            for (trace::ProcId t = r.first; t < r.second && !decided; ++t) {
+              if (lv.fate[static_cast<std::size_t>(t)] == Fate::kReleased) {
+                continue;
+              }
+              next = lv.unitOf[static_cast<std::size_t>(t)];
+              decided = true;
+            }
+            if (decided) break;
+          }
+          if (decided) break;
+        }
+        if (next < 0) break;
+        cur = next;
+      }
+    }
+  }
+  return res;
+}
+
+std::vector<trace::ProcId> findCycle(
+    const WaitForGraph& graph, const std::vector<char>& released,
+    const std::vector<trace::ProcId>& deadlocked) {
+  std::vector<trace::ProcId> cycle;
+  if (deadlocked.empty()) return cycle;
+  std::unordered_map<trace::ProcId, std::size_t> visitedAt;
+  std::vector<trace::ProcId> path;
+  trace::ProcId cur = deadlocked.front();
+  for (;;) {
+    const auto it = visitedAt.find(cur);
+    if (it != visitedAt.end()) {
+      cycle.assign(path.begin() + static_cast<std::ptrdiff_t>(it->second),
+                   path.end());
+      break;
+    }
+    visitedAt.emplace(cur, path.size());
+    path.push_back(cur);
+    const NodeConditions& node = graph.node(cur);
+    trace::ProcId next = -1;
+    for (std::size_t c = 0; c < node.clauses.size() && next < 0; ++c) {
+      bool sat = false;
+      for (const trace::ProcId t : node.clauses[c].targets) {
+        if (released[static_cast<std::size_t>(t)] != 0) {
+          sat = true;
+          break;
+        }
+      }
+      if (sat) continue;  // a satisfied clause is not blocking `cur`
+      // An unsatisfied clause has no released target: its first target (if
+      // any) is the walk's next hop, exactly as in checkImpl.
+      if (!node.clauses[c].targets.empty()) {
+        next = node.clauses[c].targets.front();
+      }
+    }
+    if (next < 0) break;
+    cur = next;
+  }
+  return cycle;
+}
+
+}  // namespace wst::wfg

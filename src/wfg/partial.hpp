@@ -1,0 +1,129 @@
+// Hierarchical (in-tree) deadlock check: partial release fixpoints and
+// boundary condensation (DESIGN.md §13).
+//
+// Every TBON subtree hosts a contiguous process range [procLo, procHi). A
+// node runs the AND⊕OR release fixpoint over the wait-for subgraph of its
+// range *twice* — once assuming every out-of-range target stays unreleased
+// (pessimistic) and once assuming every out-of-range target is released
+// (optimistic). Processes released pessimistically are released under any
+// outside world; processes not released even optimistically are deadlocked
+// under any outside world. Both verdicts are final and stay below. The
+// remainder — processes whose fate genuinely depends on the outside — is
+// forwarded upward as a *boundary condensation*: residual unsatisfied
+// clauses with locally-released targets substituted away, strongly-connected
+// pure-OR knots collapsed to single summary nodes, and single-target pure-OR
+// chains absorbed into the unit they forward to. The root, whose range is
+// everything, has no unknowns left: its fixpoint resolves every remaining
+// boundary node and the per-round root work is proportional to the boundary
+// — sublinear in p whenever waits are mostly subtree-local (bench/fig_scale).
+//
+// Collective co-waiter pruning is distributed the same way: wave-membership
+// headers of every in-range blocked-in-collective process ride along as
+// WaveTags, and a collective clause target is erased at the first level where
+// clause owner and target are both in range — composing, level by level, to
+// exactly WaitForGraph::pruneCollectiveCoWaiters() on the full graph.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "wfg/graph.hpp"
+
+namespace wst::wfg {
+
+/// Half-open, sorted, disjoint run of process ids. Boundary condensations
+/// encode all id sets as runs: the paper's p²-arc wildcard graph (Figure 10)
+/// has interval-dense target sets that condense to O(1) runs per clause.
+using ProcRun = std::pair<trace::ProcId, trace::ProcId>;
+
+/// Wave-membership header of one in-range process blocked in a collective.
+/// Forwarded for *every* such process regardless of its local fate: pruning
+/// precedes the fixpoint, and a locally released (or deadlocked) process is
+/// still a co-waiter, not a blocker, for same-wave clauses above.
+struct WaveTag {
+  trace::ProcId proc = -1;
+  mpi::CommId comm = -1;
+  std::uint32_t wave = 0;
+};
+
+/// Residual unsatisfied clause of a boundary node; targets as global-id runs.
+struct CondClause {
+  std::vector<ProcRun> targetRuns;
+  ClauseType type = ClauseType::kPlain;
+  mpi::CommId comm = -1;  // for kCollective: wave identity for pruning above
+  std::uint32_t waveIndex = 0;
+};
+
+/// One unresolved unit: a single process, a collapsed strongly-connected
+/// pure-OR knot, or a chain absorbed into either. All members provably share
+/// one fate, decided above. Residual clauses never contain locally released
+/// targets (their clause was satisfied and dropped); locally *deadlocked*
+/// targets are kept — they keep collective clauses honest for the
+/// vacuous-empty drop rule (a clause may only be dropped as "wave complete"
+/// when co-waiter erasure alone emptied it).
+struct BoundaryNode {
+  trace::ProcId rep = -1;           // lowest member: stable unit id
+  std::vector<ProcRun> memberRuns;  // sorted, disjoint, non-empty
+  std::vector<CondClause> clauses;
+};
+
+/// What a subtree forwards to its parent. Partitions [procLo, procHi):
+/// every in-range process is exactly one of released (releasedRuns),
+/// deadlocked, or a member of exactly one boundary node.
+struct Condensation {
+  trace::ProcId procLo = 0;
+  trace::ProcId procHi = 0;
+  std::vector<ProcRun> releasedRuns;      // final: released under any outside
+  std::vector<trace::ProcId> deadlocked;  // final: sorted, never released
+  std::vector<WaveTag> waveTags;          // sorted by proc
+  std::vector<BoundaryNode> nodes;        // sorted by rep
+
+  std::uint64_t boundaryProcs() const;
+  /// Residual clause target runs across all boundary nodes (root work unit).
+  std::uint64_t arcRuns() const;
+  /// Residual clause targets, expanded (information content, not work).
+  std::uint64_t arcTargets() const;
+};
+
+/// Condense the wait-for subgraph of one first-layer node hosting processes
+/// [lo, hi). `conds[i]` holds the (unpruned) conditions of process lo + i.
+Condensation condenseLeaf(const std::vector<NodeConditions>& conds,
+                          trace::ProcId lo, trace::ProcId hi);
+
+/// Merge the condensations of adjacent sibling subtrees (sorted by procLo,
+/// contiguous ranges) into the parent subtree's condensation, resolving
+/// everything that became subtree-local at this level.
+Condensation condenseMerge(const std::vector<Condensation>& children);
+
+struct HierarchicalResult {
+  bool deadlock = false;
+  std::vector<trace::ProcId> deadlocked;  // sorted, global
+  std::vector<char> released;             // per process: 1 iff released
+  /// Best-effort representative cycle over the *reps* of boundary nodes the
+  /// root itself resolved (empty when the knot was condensed below the root
+  /// or resolved early). Process-level cycles come from findCycle() over
+  /// reconstructed detail conditions.
+  std::vector<trace::ProcId> cycle;
+  /// Work the root actually checked: boundary nodes / clause target runs /
+  /// expanded targets received from its children (fig_scale's metrics).
+  std::uint64_t boundaryNodes = 0;
+  std::uint64_t boundaryArcs = 0;
+  std::uint64_t boundaryTargets = 0;
+};
+
+/// Final resolution over the root's child condensations, which must cover
+/// [0, p). No target is out of range any more, so the pessimistic and
+/// optimistic fixpoints coincide and every boundary node resolves.
+HierarchicalResult resolveAtRoot(const std::vector<Condensation>& children);
+
+/// Representative-cycle walk over explicit conditions plus a released bitmap
+/// (the hierarchical root's view after detail reconstruction): from the
+/// first deadlocked process, step through *unsatisfied* clauses (clauses
+/// with no released target) to the first unreleased target; a revisit closes
+/// the cycle. Mirrors the walk at the end of WaitForGraph::checkImpl.
+std::vector<trace::ProcId> findCycle(const WaitForGraph& graph,
+                                     const std::vector<char>& released,
+                                     const std::vector<trace::ProcId>& deadlocked);
+
+}  // namespace wst::wfg

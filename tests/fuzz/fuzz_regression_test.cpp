@@ -83,6 +83,23 @@ TEST(FuzzRegression, CorpusReplaysWithoutDivergenceUnderThreads) {
   }
 }
 
+TEST(FuzzRegression, CorpusReplaysWithoutDivergenceUnderHierarchicalCheck) {
+  // The hierarchical in-tree check (with its in-tool differential guard
+  // against the raw root check) must agree with the formal oracle on the
+  // whole committed corpus — including the fault-injected scenarios, where
+  // both in-tool paths see the same (possibly degraded) tracker state.
+  for (const auto& file : corpusFiles()) {
+    const Scenario scenario = load(file);
+    const Outcome formal = runFormalOracle(scenario);
+    RunOptions options;
+    options.faults = scenario.faults.any();
+    options.hierarchical = true;
+    const Outcome distributed = runDistributedOracle(scenario, options);
+    EXPECT_EQ(compareOutcomes(formal, distributed), "") << file;
+    EXPECT_EQ(distributed.hierDivergences, 0u) << file;
+  }
+}
+
 TEST(FuzzRegression, PlantedBugIsCaughtAndShrinksToATinyWitness) {
   // --inject-bug 1 drops the tracker's recvActiveAck responses for probes;
   // the differential oracle must notice, and the shrinker must reduce the

@@ -105,6 +105,22 @@ TEST(WaitForGraph, WildcardAllToAllOrDeadlock) {
   EXPECT_FALSE(result.cycle.empty());
 }
 
+TEST(WaitForGraph, CycleWalkSkipsSatisfiedClauses) {
+  // 0's first clause is an OR satisfied by the running process 3, but its
+  // first *listed* target is the deadlocked 1. The representative-cycle walk
+  // must not step through the satisfied clause (0 -> 1 is not a blocking
+  // arc): the real cycle is 0 -> 2 -> 0 via the unsatisfied second clause.
+  WaitForGraph g(4);
+  g.setNode(blockedOn(0, {{1, 3}, {2}}));
+  g.setNode(blockedOn(1, {{0}}));
+  g.setNode(blockedOn(2, {{0}}));
+  g.setNode(running(3));
+  const auto result = g.check();
+  EXPECT_TRUE(result.deadlock);
+  EXPECT_EQ(result.deadlocked, (std::vector<trace::ProcId>{0, 1, 2}));
+  EXPECT_EQ(result.cycle, (std::vector<trace::ProcId>{0, 2}));
+}
+
 TEST(WaitForGraph, EmptyClauseIsUnsatisfiable) {
   WaitForGraph g(2);
   NodeConditions stuck = blockedOn(0, {});

@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <random>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "wfg/graph.hpp"
@@ -28,6 +30,7 @@ NodeConditions finishedNode(trace::ProcId p) {
   n.proc = p;
   n.blocked = false;
   n.description = "finished";
+  n.finished = true;
   return n;
 }
 
@@ -99,13 +102,27 @@ std::string checkSignature(const WaitForGraph& graph, const CheckResult& r) {
   return sig;
 }
 
+/// Distinct (comm, wave) pairs among currently blocked collective nodes —
+/// the exact number of live entries waveMembers_ may hold.
+std::size_t liveWaveCount(const std::vector<NodeConditions>& latest) {
+  std::set<std::pair<mpi::CommId, std::uint32_t>> waves;
+  for (const NodeConditions& n : latest) {
+    if (n.blocked && n.inCollective) {
+      waves.emplace(n.collComm, n.collWaveIndex);
+    }
+  }
+  return waves.size();
+}
+
 TEST(IncrementalWfg, RandomDeltaSequencesMatchColdRebuild) {
   for (std::uint32_t seed = 0; seed < 20; ++seed) {
     std::mt19937 rng(seed);
     IncrementalWfg inc(kProcs, /*warmStartThreshold=*/1.0);
+    std::vector<NodeConditions> latest(kProcs);
     // First round stages everyone.
     for (trace::ProcId p = 0; p < kProcs; ++p) {
-      inc.stage(randomNode(p, rng));
+      latest[static_cast<std::size_t>(p)] = randomNode(p, rng);
+      inc.stage(latest[static_cast<std::size_t>(p)]);
     }
     inc.commit();
     std::uniform_int_distribution<int> deltaSize(0, kProcs / 2);
@@ -117,7 +134,8 @@ TEST(IncrementalWfg, RandomDeltaSequencesMatchColdRebuild) {
         const trace::ProcId p = pick(rng);
         if (staged[static_cast<std::size_t>(p)]) continue;
         staged[static_cast<std::size_t>(p)] = 1;
-        inc.stage(randomNode(p, rng));
+        latest[static_cast<std::size_t>(p)] = randomNode(p, rng);
+        inc.stage(latest[static_cast<std::size_t>(p)]);
       }
       const auto result = inc.commit();
       WaitForGraph cold = inc.buildFullGraph();
@@ -126,8 +144,26 @@ TEST(IncrementalWfg, RandomDeltaSequencesMatchColdRebuild) {
                 checkSignature(cold, coldCheck))
           << "seed=" << seed << " round=" << round
           << " warm=" << result.warmStart;
+      // Emptied wave entries must be erased: the map holds exactly the live
+      // waves, so long runs cannot grow it without bound.
+      EXPECT_EQ(inc.waveEntryCount(), liveWaveCount(latest))
+          << "seed=" << seed << " round=" << round;
     }
   }
+}
+
+TEST(IncrementalWfg, FinishedCountIgnoresDescriptionDrift) {
+  // finishedCount must follow the first-class flag, not the label: a
+  // relabeled description neither adds nor removes finished processes.
+  IncrementalWfg inc(2, 1.0);
+  NodeConditions drifted = runningNode(0);
+  drifted.description = "finished";  // label says finished, flag says no
+  NodeConditions flagged = finishedNode(1);
+  flagged.description = "done (finalized)";  // label drifted, flag says yes
+  inc.stage(drifted);
+  inc.stage(flagged);
+  inc.commit();
+  EXPECT_EQ(inc.finishedCount(), 1u);
 }
 
 TEST(IncrementalWfg, EmptyDeltaRoundKeepsVerdict) {

@@ -1,0 +1,336 @@
+// Hierarchical boundary-condensation check ≡ centralized check: for any
+// wait-for graph and any contiguous partition of processes into subtrees,
+// condenseLeaf + condenseMerge + resolveAtRoot must agree with the full
+// WaitForGraph::check() on verdict, released set, and deadlocked set —
+// including the all-local (one leaf) and all-boundary (singleton leaves)
+// extremes.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "wfg/graph.hpp"
+#include "wfg/partial.hpp"
+
+namespace wst::wfg {
+namespace {
+
+NodeConditions running(trace::ProcId p) {
+  NodeConditions n;
+  n.proc = p;
+  n.blocked = false;
+  n.description = "running";
+  return n;
+}
+
+NodeConditions finished(trace::ProcId p) {
+  NodeConditions n = running(p);
+  n.description = "finished";
+  n.finished = true;
+  return n;
+}
+
+NodeConditions blockedOn(trace::ProcId p,
+                         std::vector<std::vector<trace::ProcId>> clauses) {
+  NodeConditions n;
+  n.proc = p;
+  n.blocked = true;
+  n.description = "Recv";
+  for (auto& targets : clauses) {
+    Clause clause;
+    clause.targets = std::move(targets);
+    n.clauses.push_back(std::move(clause));
+  }
+  return n;
+}
+
+/// Synthetic idiom: one group-wide OR collective clause (incremental_test).
+NodeConditions blockedCollectiveGroup(trace::ProcId p, mpi::CommId comm,
+                                      std::uint32_t wave,
+                                      trace::ProcId procCount) {
+  NodeConditions n;
+  n.proc = p;
+  n.blocked = true;
+  n.description = "Barrier";
+  n.inCollective = true;
+  n.collComm = comm;
+  n.collWaveIndex = wave;
+  Clause clause;
+  clause.type = ClauseType::kCollective;
+  clause.comm = comm;
+  clause.waveIndex = wave;
+  for (trace::ProcId t = 0; t < procCount; ++t) {
+    if (t != p) clause.targets.push_back(t);
+  }
+  n.clauses.push_back(std::move(clause));
+  return n;
+}
+
+/// Real-producer idiom: one single-target collective clause per member.
+NodeConditions blockedCollectiveSingles(trace::ProcId p, mpi::CommId comm,
+                                        std::uint32_t wave,
+                                        trace::ProcId procCount) {
+  NodeConditions n;
+  n.proc = p;
+  n.blocked = true;
+  n.description = "Barrier";
+  n.inCollective = true;
+  n.collComm = comm;
+  n.collWaveIndex = wave;
+  for (trace::ProcId t = 0; t < procCount; ++t) {
+    if (t == p) continue;
+    Clause clause;
+    clause.type = ClauseType::kCollective;
+    clause.comm = comm;
+    clause.waveIndex = wave;
+    clause.targets.push_back(t);
+    n.clauses.push_back(std::move(clause));
+  }
+  return n;
+}
+
+NodeConditions blockedWildcard(trace::ProcId p, trace::ProcId procCount) {
+  std::vector<trace::ProcId> targets;
+  for (trace::ProcId t = 0; t < procCount; ++t) {
+    if (t != p) targets.push_back(t);
+  }
+  return blockedOn(p, {std::move(targets)});
+}
+
+/// Drive the full hierarchy: split [0, p) at `cuts`, condense each leaf,
+/// merge groups of `arity` siblings level by level, resolve at the root.
+HierarchicalResult hierCheck(const std::vector<NodeConditions>& conds,
+                             const std::vector<trace::ProcId>& cuts,
+                             std::size_t arity) {
+  const auto p = static_cast<trace::ProcId>(conds.size());
+  std::vector<Condensation> level;
+  trace::ProcId lo = 0;
+  const auto leaf = [&](trace::ProcId hi) {
+    std::vector<NodeConditions> slice(
+        conds.begin() + lo, conds.begin() + static_cast<std::ptrdiff_t>(hi));
+    level.push_back(condenseLeaf(slice, lo, hi));
+    lo = hi;
+  };
+  for (const trace::ProcId cut : cuts) leaf(cut);
+  leaf(p);
+  while (level.size() > arity) {
+    std::vector<Condensation> next;
+    for (std::size_t i = 0; i < level.size(); i += arity) {
+      const std::size_t end = std::min(i + arity, level.size());
+      next.push_back(condenseMerge(
+          {level.begin() + static_cast<std::ptrdiff_t>(i),
+           level.begin() + static_cast<std::ptrdiff_t>(end)}));
+    }
+    level = std::move(next);
+  }
+  return resolveAtRoot(level);
+}
+
+void expectMatchesCentralized(const std::vector<NodeConditions>& conds,
+                              const HierarchicalResult& hier,
+                              const std::string& context) {
+  WaitForGraph g(static_cast<std::int32_t>(conds.size()));
+  for (const auto& c : conds) g.setNode(c);
+  g.pruneCollectiveCoWaiters();
+  const CheckResult ref = g.check();
+  EXPECT_EQ(hier.deadlock, ref.deadlock) << context;
+  EXPECT_EQ(hier.deadlocked, ref.deadlocked) << context;
+  std::vector<char> refReleased(conds.size(), 1);
+  for (const trace::ProcId d : ref.deadlocked) {
+    refReleased[static_cast<std::size_t>(d)] = 0;
+  }
+  EXPECT_EQ(hier.released, refReleased) << context;
+}
+
+TEST(PartialWfg, TwoCycleAcrossSplitBoundary) {
+  std::vector<NodeConditions> conds = {blockedOn(0, {{3}}), running(1),
+                                       running(2), blockedOn(3, {{0}})};
+  const auto hier = hierCheck(conds, {2}, 2);
+  EXPECT_TRUE(hier.deadlock);
+  EXPECT_EQ(hier.deadlocked, (std::vector<trace::ProcId>{0, 3}));
+  expectMatchesCentralized(conds, hier, "two-cycle across split");
+}
+
+TEST(PartialWfg, ChainReleasesAcrossSingletonLeaves) {
+  std::vector<NodeConditions> conds = {blockedOn(0, {{1}}), blockedOn(1, {{2}}),
+                                       blockedOn(2, {{3}}), running(3)};
+  const auto hier = hierCheck(conds, {1, 2, 3}, 2);  // all-boundary extreme
+  EXPECT_FALSE(hier.deadlock);
+  expectMatchesCentralized(conds, hier, "chain, singleton leaves");
+}
+
+TEST(PartialWfg, RingCondensesToOneUnitPerSubtree) {
+  // A blocked ring is a chain inside every subtree; the cycle only closes at
+  // the root. Chain absorption must forward one boundary node per subtree.
+  const trace::ProcId p = 8;
+  std::vector<NodeConditions> conds;
+  for (trace::ProcId i = 0; i < p; ++i) {
+    conds.push_back(blockedOn(i, {{(i + 1) % p}}));
+  }
+  const auto hier = hierCheck(conds, {2, 4, 6}, 2);
+  EXPECT_TRUE(hier.deadlock);
+  EXPECT_EQ(hier.deadlocked.size(), static_cast<std::size_t>(p));
+  EXPECT_EQ(hier.boundaryNodes, 2u);  // one per root child
+  expectMatchesCentralized(conds, hier, "ring");
+}
+
+TEST(PartialWfg, WildcardKnotCollapsesPerSubtree) {
+  // Paper Figure 10: every process waits (OR) on all others — p*(p-1) arcs.
+  // Each leaf's processes form one pure-OR SCC; the root must only see one
+  // summary node per child with interval-condensed targets.
+  const trace::ProcId p = 16;
+  std::vector<NodeConditions> conds;
+  for (trace::ProcId i = 0; i < p; ++i) {
+    conds.push_back(blockedWildcard(i, p));
+  }
+  const auto hier = hierCheck(conds, {4, 8, 12}, 4);
+  EXPECT_TRUE(hier.deadlock);
+  EXPECT_EQ(hier.deadlocked.size(), static_cast<std::size_t>(p));
+  EXPECT_EQ(hier.boundaryNodes, 4u);       // one summary node per child
+  EXPECT_LE(hier.boundaryArcs, 8u);        // ≤ 2 runs each (complement)
+  EXPECT_FALSE(hier.cycle.empty());        // reps form a knot at the root
+  expectMatchesCentralized(conds, hier, "wildcard all-to-all");
+}
+
+TEST(PartialWfg, SatisfiedOrClauseDoesNotHideDeadlock) {
+  // 0's first clause is satisfied by the running 3, but its second clause
+  // waits on the deadlocked 1<->2 pair: 0 must still deadlock, and the
+  // satisfied clause must not leak into the boundary condensation.
+  std::vector<NodeConditions> conds = {
+      blockedOn(0, {{3, 1}, {2}}), blockedOn(1, {{2}}), blockedOn(2, {{1}}),
+      running(3)};
+  for (const auto& cuts :
+       std::vector<std::vector<trace::ProcId>>{{}, {1, 2, 3}, {2}}) {
+    const auto hier = hierCheck(conds, cuts, 2);
+    EXPECT_TRUE(hier.deadlock);
+    EXPECT_EQ(hier.deadlocked, (std::vector<trace::ProcId>{0, 1, 2}));
+    expectMatchesCentralized(conds, hier, "satisfied OR clause");
+  }
+}
+
+TEST(PartialWfg, CollectiveWavePrunesAcrossSubtreeBoundary) {
+  // Three same-wave co-waiters split across leaves plus one straggler: the
+  // cross-boundary co-waiter targets must be erased at the merge level, not
+  // mistaken for blockers.
+  const trace::ProcId p = 4;
+  std::vector<NodeConditions> conds;
+  for (trace::ProcId i = 0; i < 3; ++i) {
+    conds.push_back(blockedCollectiveSingles(i, 0, 7, p));
+  }
+  conds.push_back(running(3));
+  for (const auto& cuts :
+       std::vector<std::vector<trace::ProcId>>{{2}, {1, 2, 3}, {}}) {
+    const auto hier = hierCheck(conds, cuts, 2);
+    EXPECT_FALSE(hier.deadlock);
+    expectMatchesCentralized(conds, hier, "collective co-waiter pruning");
+  }
+}
+
+TEST(PartialWfg, CollectiveDeadlockWithBlockedStraggler) {
+  const trace::ProcId p = 3;
+  std::vector<NodeConditions> conds;
+  for (trace::ProcId i = 0; i < 2; ++i) {
+    conds.push_back(blockedCollectiveSingles(i, 0, 0, p));
+  }
+  conds.push_back(blockedOn(2, {{0}}));  // straggler waits on a waiter
+  for (const auto& cuts :
+       std::vector<std::vector<trace::ProcId>>{{1}, {2}, {1, 2}}) {
+    const auto hier = hierCheck(conds, cuts, 2);
+    EXPECT_TRUE(hier.deadlock);
+    EXPECT_EQ(hier.deadlocked.size(), 3u);
+    expectMatchesCentralized(conds, hier, "collective deadlock");
+  }
+}
+
+TEST(PartialWfg, EmptyClauseIsUnsatisfiableInAnySplit) {
+  std::vector<NodeConditions> conds;
+  NodeConditions stuck = blockedOn(0, {});
+  stuck.clauses.push_back(Clause{});  // no targets: unprovidable condition
+  conds.push_back(std::move(stuck));
+  conds.push_back(running(1));
+  for (const auto& cuts : std::vector<std::vector<trace::ProcId>>{{}, {1}}) {
+    const auto hier = hierCheck(conds, cuts, 2);
+    EXPECT_TRUE(hier.deadlock);
+    EXPECT_EQ(hier.deadlocked, (std::vector<trace::ProcId>{0}));
+    expectMatchesCentralized(conds, hier, "empty clause");
+  }
+}
+
+TEST(PartialWfg, RandomizedEquivalence) {
+  for (std::uint32_t seed = 0; seed < 80; ++seed) {
+    std::mt19937 rng(seed);
+    const trace::ProcId p = 4 + static_cast<trace::ProcId>(seed % 21);
+    std::uniform_int_distribution<int> kind(0, 9);
+    std::uniform_int_distribution<trace::ProcId> anyProc(0, p - 1);
+    std::uniform_int_distribution<int> clauseCount(1, 3);
+    std::uniform_int_distribution<int> targetCount(1, 4);
+    std::uniform_int_distribution<std::uint32_t> wave(0, 2);
+    std::uniform_int_distribution<int> comm(0, 1);
+
+    std::vector<NodeConditions> conds;
+    for (trace::ProcId i = 0; i < p; ++i) {
+      switch (kind(rng)) {
+        case 0:
+          conds.push_back(finished(i));
+          break;
+        case 1:
+        case 2:
+          conds.push_back(running(i));
+          break;
+        case 3:
+          conds.push_back(blockedCollectiveGroup(i, comm(rng), wave(rng), p));
+          break;
+        case 4:
+          conds.push_back(
+              blockedCollectiveSingles(i, comm(rng), wave(rng), p));
+          break;
+        case 5:
+          conds.push_back(blockedWildcard(i, p));
+          break;
+        default: {
+          std::vector<std::vector<trace::ProcId>> clauses;
+          const int cc = clauseCount(rng);
+          for (int c = 0; c < cc; ++c) {
+            std::vector<trace::ProcId> targets;
+            const int tc = targetCount(rng);
+            for (int t = 0; t < tc; ++t) {
+              targets.push_back(anyProc(rng));  // self-targets allowed
+            }
+            clauses.push_back(std::move(targets));
+          }
+          conds.push_back(blockedOn(i, std::move(clauses)));
+          break;
+        }
+      }
+    }
+
+    // Three partition styles: all-local, all-boundary, random cuts.
+    std::vector<std::vector<trace::ProcId>> splits;
+    splits.push_back({});
+    std::vector<trace::ProcId> singletons;
+    for (trace::ProcId i = 1; i < p; ++i) singletons.push_back(i);
+    splits.push_back(std::move(singletons));
+    std::vector<trace::ProcId> cuts;
+    for (trace::ProcId i = 1; i < p; ++i) {
+      if (std::uniform_int_distribution<int>(0, 2)(rng) == 0) {
+        cuts.push_back(i);
+      }
+    }
+    splits.push_back(std::move(cuts));
+
+    for (std::size_t s = 0; s < splits.size(); ++s) {
+      const std::size_t arity =
+          2 + static_cast<std::size_t>(
+                  std::uniform_int_distribution<int>(0, 2)(rng));
+      const auto hier = hierCheck(conds, splits[s], arity);
+      expectMatchesCentralized(
+          conds, hier,
+          "seed=" + std::to_string(seed) + " split=" + std::to_string(s) +
+              " p=" + std::to_string(p));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wst::wfg

@@ -57,6 +57,8 @@ struct Options {
   sim::Duration periodic = 0;
   bool noIncremental = false;  // full gather + cold check every round
   bool verifyIncremental = false;  // side-by-side full check each round
+  bool hierarchicalCheck = false;  // in-tree condensed check replaces gather
+  bool verifyHierarchical = false;  // condensed check next to the raw check
   bool prunePings = false;     // skip ping-pong toward quiet peer links
   double warmThreshold = 0.5;  // changed fraction above which a round
                                // falls back to full rebuild + cold check
@@ -103,6 +105,14 @@ void printUsage() {
       "  --verify-incremental     run the full rebuild + cold check next to\n"
       "                           every incremental round; exit 3 on any\n"
       "                           divergence in verdict/deadlock set/DOT\n"
+      "  --hierarchical-check     run the deadlock check inside the tree:\n"
+      "                           subtrees resolve local fates and forward\n"
+      "                           boundary condensations; the root checks\n"
+      "                           boundary nodes only (replaces the raw\n"
+      "                           wait-info gather)\n"
+      "  --verify-hierarchical    run the condensed in-tree check next to\n"
+      "                           the raw root check; exit 3 on any\n"
+      "                           divergence in verdict/deadlocked/released\n"
       "  --prune-pings            skip the consistent-state ping-pong toward\n"
       "                           peers whose links carried no wait-state\n"
       "                           traffic since the last round\n"
@@ -127,6 +137,9 @@ void printUsage() {
       "  --threads N              distributed runs on the parallel engine\n"
       "                           (default 0 = serial)\n"
       "  --batch                  enable wait-state batching in the tool\n"
+      "  --hierarchical           run every distributed check with the\n"
+      "                           hierarchical in-tree path and its in-tool\n"
+      "                           differential guard\n"
       "  --no-faults              skip the fault-injected variant of each run\n"
       "  --inject-bug K           plant tool bug K (test hook; 1 = drop probe\n"
       "                           acks) so the oracle must catch it\n"
@@ -165,6 +178,8 @@ int runFuzz(int argc, char** argv) {
       cfg.threads = std::atoi(value());
     } else if (arg == "--batch") {
       cfg.batch = true;
+    } else if (arg == "--hierarchical") {
+      cfg.hierarchical = true;
     } else if (arg == "--no-faults") {
       noFaults = true;
     } else if (arg == "--inject-bug") {
@@ -217,6 +232,7 @@ int runFuzz(int argc, char** argv) {
     options.faults = cfg.faults && scenario->faults.any();
     options.threads = cfg.threads;
     options.batch = cfg.batch;
+    options.hierarchical = cfg.hierarchical;
     options.injectBug = cfg.injectBug;
     const std::string reason =
         fuzz::replayScenario(*scenario, options, std::cout);
@@ -293,6 +309,8 @@ int runWorkload(const Options& opt) {
   toolCfg.periodicDetection = opt.periodic;
   toolCfg.incrementalGather = !opt.noIncremental;
   toolCfg.verifyIncremental = opt.verifyIncremental;
+  toolCfg.hierarchicalCheck = opt.hierarchicalCheck;
+  toolCfg.verifyHierarchical = opt.verifyHierarchical;
   toolCfg.pruneConsistentPings = opt.prunePings;
   toolCfg.warmStartThreshold = opt.warmThreshold;
 
@@ -430,9 +448,18 @@ int runWorkload(const Options& opt) {
 
   // Per-round delta statistics of the incremental detection pipeline.
   for (const auto& rs : tool.roundHistory()) {
+    if (rs.hierarchical && opt.hierarchicalCheck && !opt.verifyHierarchical) {
+      std::printf(
+          "round %u: hierarchical check, root saw %llu boundary node(s), "
+          "%llu arc run(s)%s\n",
+          rs.epoch, static_cast<unsigned long long>(rs.boundaryNodes),
+          static_cast<unsigned long long>(rs.boundaryArcs),
+          rs.deadlock ? " [deadlock]" : "");
+      continue;
+    }
     std::printf(
         "round %u: %u changed + %u unchanged conditions, %s (%u repruned, "
-        "%u seeded)%s%s\n",
+        "%u seeded)%s%s%s\n",
         rs.epoch, rs.changed, rs.unchanged,
         rs.fullRebuild ? "full rebuild" : "warm start", rs.repruned,
         rs.seedReleased,
@@ -443,7 +470,24 @@ int runWorkload(const Options& opt) {
                                   rs.pingsSkipped + rs.pingsSent))
                   .c_str()
             : "",
+        rs.hierarchical
+            ? support::format(", %llu boundary node(s)",
+                              static_cast<unsigned long long>(
+                                  rs.boundaryNodes))
+                  .c_str()
+            : "",
         rs.deadlock ? " [deadlock]" : "");
+  }
+  if (opt.verifyHierarchical) {
+    if (tool.hierarchicalDivergences() > 0) {
+      std::printf("verify-hierarchical: %u DIVERGENT round(s)\n",
+                  tool.hierarchicalDivergences());
+      return 3;
+    }
+    if (tool.detectionsRun() > 0) {
+      std::printf("verify-hierarchical: %u round(s), zero divergences\n",
+                  tool.detectionsRun());
+    }
   }
   if (opt.verifyIncremental) {
     if (tool.verifyDivergences() > 0) {
@@ -562,6 +606,10 @@ int main(int argc, char** argv) {
       opt.noIncremental = true;
     } else if (arg == "--verify-incremental") {
       opt.verifyIncremental = true;
+    } else if (arg == "--hierarchical-check") {
+      opt.hierarchicalCheck = true;
+    } else if (arg == "--verify-hierarchical") {
+      opt.verifyHierarchical = true;
     } else if (arg == "--prune-pings") {
       opt.prunePings = true;
     } else if (arg == "--warm-threshold") {

@@ -1,0 +1,151 @@
+// Engine-level throughput of the shard-per-core parallel engine: how much
+// simulated work the shard layout actually parallelizes, and what one
+// barrier-synchronized round costs.
+//
+//  * BM_ShardScaling — an app-shaped LP population (one heavy "application
+//    world" LP 0 plus 12 equal tool-node LPs, LP 0 weighted like the four
+//    tool LPs of one shard) runs busy-work event chains with periodic
+//    cross-shard sends. At --threads 4 the layout is perfectly balanced
+//    (LP 0 alone on shard 0, four tool LPs on each of shards 1..3), so this
+//    is the honest ceiling for the engine: wall-clock here is what the CI
+//    speedup gate compares between threads:1 and threads:4 (>= 1.5x on a
+//    4-core runner). threads:2 deliberately shows the Amdahl bound of the
+//    app LP instead — one shard carries all twelve tool LPs.
+//  * BM_RoundLatency — the same LP population chaining zero-work events one
+//    lookahead apart, so every round executes one trivial event per LP and
+//    the measurement is dominated by round turnaround (two barrier
+//    crossings + the serial horizon reduction). The threads:1 row is the
+//    barrier-free baseline; the delta against it is the per-round cost of
+//    the sense-reversing barrier.
+//
+// Committed results: BENCH_engine.json at the repo root. The container the
+// repo grows in has ONE core (num_cpus: 1 in the context block), so the
+// committed numbers show thread-count parity, not speedup; the enforced
+// speedup measurement happens in CI's bench-smoke job on >= 4-core runners.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/parallel_engine.hpp"
+
+namespace {
+
+using namespace wst;
+
+constexpr std::int32_t kToolLps = 12;
+constexpr sim::Duration kLookahead = 10;
+
+/// ~1ns per iteration of integer mixing; stands in for tracker work.
+void busyWork(std::uint64_t iters) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    h = (h ^ i) * 0x100000001b3ULL;
+  }
+  benchmark::DoNotOptimize(h);
+}
+
+struct ChainParams {
+  int length = 0;              // chain events per LP
+  std::uint64_t spin = 0;      // busyWork iterations per tool-LP event
+  std::uint64_t mainSpin = 0;  // busyWork iterations per LP-0 event
+  int crossEvery = 0;  // every n-th event also mails the next LP (0 = never)
+};
+
+/// Build the LP population and start one event chain per LP. Chains stay on
+/// their home LP (so the per-shard load follows the layout exactly) and step
+/// `kLookahead` apart; every `crossEvery`-th event additionally sends a
+/// small remote event to the neighbouring LP, which on a multi-shard layout
+/// rides the cross-shard SPSC rings.
+void scheduleChains(sim::ParallelEngine& e, const ChainParams& params) {
+  std::vector<sim::LpId> lps{sim::kMainLp};
+  for (std::int32_t i = 0; i < kToolLps; ++i) lps.push_back(e.createLp());
+  e.noteCrossLpLatency(kLookahead);
+  for (std::size_t k = 0; k < lps.size(); ++k) {
+    const sim::LpId self = lps[k];
+    const sim::LpId next = lps[(k + 1) % lps.size()];
+    const std::uint64_t spin =
+        self == sim::kMainLp ? params.mainSpin : params.spin;
+    const int crossEvery = params.crossEvery;
+    auto tick = std::make_shared<std::function<void(int)>>();
+    *tick = [&e, spin, next, crossEvery, tick](int remaining) {
+      busyWork(spin);
+      if (remaining == 0) return;
+      if (crossEvery > 0 && remaining % crossEvery == 0) {
+        e.scheduleOn(next, e.now() + kLookahead, [] { busyWork(64); });
+      }
+      e.schedule(kLookahead, [tick, remaining] { (*tick)(remaining - 1); });
+    };
+    const int length = params.length;
+    e.scheduleOn(self, 0, [tick, length] { (*tick)(length); });
+  }
+}
+
+void BM_ShardScaling(benchmark::State& state) {
+  const auto threads = static_cast<std::int32_t>(state.range(0));
+  ChainParams params;
+  params.length = 1200;
+  params.spin = 1500;                    // ~1.5us per tool event
+  params.mainSpin = 4 * params.spin;     // LP 0 ~= one full tool shard
+  params.crossEvery = 5;
+  std::uint64_t events = 0;
+  std::uint64_t crossEvents = 0;
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    sim::ParallelEngine e(threads);
+    scheduleChains(e, params);
+    e.run();
+    events += e.eventsExecuted();
+    const sim::ParallelEngine::Stats stats = e.stats();
+    crossEvents += stats.crossLpEvents;
+    rounds += stats.rounds;
+  }
+  state.counters["events_per_sec"] =
+      benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["cross_events_per_sec"] = benchmark::Counter(
+      static_cast<double>(crossEvents), benchmark::Counter::kIsRate);
+  state.counters["rounds"] = static_cast<double>(
+      rounds / static_cast<std::uint64_t>(std::max<std::int64_t>(
+                   1, state.iterations())));
+}
+
+void BM_RoundLatency(benchmark::State& state) {
+  const auto threads = static_cast<std::int32_t>(state.range(0));
+  ChainParams params;
+  params.length = 3000;  // ~3000 rounds of one trivial event per LP
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    sim::ParallelEngine e(threads);
+    scheduleChains(e, params);
+    e.run();
+    rounds += e.stats().rounds;
+  }
+  state.counters["rounds_per_sec"] =
+      benchmark::Counter(static_cast<double>(rounds), benchmark::Counter::kIsRate);
+  // Inverse of the above, directly readable as per-round turnaround.
+  state.counters["round_ns"] = benchmark::Counter(
+      static_cast<double>(rounds),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
+BENCHMARK(BM_ShardScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond)
+    ->ArgNames({"threads"});
+
+BENCHMARK(BM_RoundLatency)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond)
+    ->ArgNames({"threads"});
+
+}  // namespace
+
+BENCHMARK_MAIN();

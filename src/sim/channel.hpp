@@ -69,8 +69,11 @@ class Channel {
 
   /// Pin the channel between logical processes: sends execute on
   /// `producer`, deliveries run on `consumer`. Channel state (FIFO clock,
-  /// credits, waiters) lives on the producer LP; credit returns are routed
-  /// back to it. Defaults to kMainLp on both ends.
+  /// credits, waiters) lives on the producer LP — and therefore on the
+  /// producer LP's shard: the parallel engine never runs two events of one
+  /// LP concurrently, so this state needs no locks, and the delivery hop
+  /// below rides the engine's cross-shard SPSC mail rings. Credit returns
+  /// are routed back to the producer LP. Defaults to kMainLp on both ends.
   void setEndpoints(LpId producer, LpId consumer) {
     producerLp_ = producer;
     consumerLp_ = consumer;

@@ -6,8 +6,10 @@
 //    (time, sequence, action) events and one virtual clock; ties in time are
 //    broken by insertion sequence number, so a run is fully deterministic.
 //  * ParallelEngine (sim/parallel_engine.hpp): a conservative parallel
-//    engine that shards the event queue into logical processes (LPs) and
-//    executes LPs concurrently below a lookahead-based safe horizon.
+//    engine that shards the event queue into logical processes (LPs),
+//    pins the LPs to per-worker shards (shared-nothing ownership, SPSC
+//    cross-shard mail rings), and executes shards concurrently below a
+//    lookahead-based safe horizon.
 //
 // Components schedule against the Scheduler interface so the same MPI
 // runtime, channels, and tool run unchanged on either engine. The LP-aware

@@ -5,6 +5,11 @@
 #include <string>
 #include <utility>
 
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include "support/assert.hpp"
 #include "support/metrics.hpp"
 #include "support/tracing.hpp"
@@ -12,26 +17,41 @@
 namespace wst::sim {
 
 namespace {
+
 constexpr Time kNever = std::numeric_limits<Time>::max();
+
+/// Best-effort affinity: pin the calling thread to `core`. Failure (cpuset
+/// restrictions, exotic kernels) is silently ignored — pinning is an
+/// optimization, never a correctness requirement.
+void pinSelfToCore(std::int32_t core) {
+#ifdef __linux__
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<std::size_t>(core) % CPU_SETSIZE, &set);
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)core;
+#endif
+}
+
 }  // namespace
 
 thread_local ParallelEngine* ParallelEngine::tlsEngine_ = nullptr;
 thread_local ParallelEngine::Lp* ParallelEngine::tlsLp_ = nullptr;
 
-ParallelEngine::ParallelEngine(std::int32_t threads, Duration minLookahead)
-    : threads_(std::max(threads, 1)), lookahead_(minLookahead) {
+ParallelEngine::ParallelEngine(std::int32_t threads, Duration minLookahead,
+                               bool pinThreads)
+    : threads_(std::max(threads, 1)),
+      pinThreads_(pinThreads),
+      lookahead_(minLookahead) {
   lps_.emplace_back();  // the main LP (application world)
   lps_.back().id = kMainLp;
-  stats_.workerEvents.assign(static_cast<std::size_t>(threads_), 0);
 }
 
 ParallelEngine::~ParallelEngine() {
   if (!workers_.empty()) {
-    {
-      std::lock_guard lock(poolMu_);
-      shutdown_ = true;
-    }
-    poolCv_.notify_all();
+    phase_ = Phase::kShutdown;
+    barrier_->arriveAndWait(shards_[0].barrierSense);
     for (std::thread& worker : workers_) worker.join();
   }
 }
@@ -68,9 +88,22 @@ void ParallelEngine::enqueueLocal(Lp& lp, Time when, Action action) {
   lp.queue.push(when, lp.nextSeq++, std::move(action));
 }
 
-void ParallelEngine::enqueueMail(Lp& dst, Mail mail) {
-  std::lock_guard lock(dst.mailboxMu);
-  dst.mailbox.push_back(std::move(mail));
+void ParallelEngine::pushMail(std::int32_t srcShard, Mail mail) {
+  ring(srcShard, lps_[static_cast<std::size_t>(mail.dstLp)].shard)
+      .push(std::move(mail));
+}
+
+void ParallelEngine::pushExternal(Mail mail) {
+  if (running_) {
+    // Quiescence hooks run on the coordinating thread while workers are
+    // parked at the barrier; the external ring row is SPSC with the
+    // coordinator as its only producer.
+    pushMail(shardCount_, std::move(mail));
+  } else {
+    // Setup (possibly before the layout exists): stage; ensureShards()
+    // flushes into the rings at the top of the next run().
+    externalStaged_.push_back(std::move(mail));
+  }
 }
 
 void ParallelEngine::schedule(Duration delay, Action action) {
@@ -83,34 +116,35 @@ void ParallelEngine::scheduleAt(Time when, Action action) {
     enqueueLocal(*lp, when, std::move(action));
     return;
   }
-  // Outside any event (setup or a quiescence hook): route to the main LP
-  // through its mailbox, stamped with the external sequence — the single
-  // coordinator thread owns the counter.
+  // Outside any event (setup or a quiescence hook): route to the main LP,
+  // stamped with the external sequence — the coordinating thread owns the
+  // counter.
   WST_ASSERT(when >= globalNow_,
              "cannot schedule an event in the virtual past");
-  enqueueMail(lps_.front(),
-              Mail{when, kExternalLp, externalSeq_++, std::move(action)});
+  pushExternal(Mail{when, kMainLp, kExternalLp, externalSeq_++,
+                    std::move(action)});
 }
 
 void ParallelEngine::scheduleOn(LpId target, Time when, Action action) {
   WST_ASSERT(target >= 0 && target < lpCount(), "scheduleOn: unknown LP");
-  Lp& dst = lps_[static_cast<std::size_t>(target)];
   Lp* src = executingLp();
   if (src != nullptr) {
-    if (src == &dst) {
-      enqueueLocal(dst, when, std::move(action));
+    if (src->id == target) {
+      enqueueLocal(*src, when, std::move(action));
       return;
     }
     // The conservative guarantee: cross-LP events land at or beyond the
     // horizon of the round that sent them.
     WST_ASSERT(when >= src->now + lookahead_,
                "cross-LP event inside the lookahead window");
-    enqueueMail(dst, Mail{when, src->id, src->crossSeq++, std::move(action)});
+    pushMail(src->shard, Mail{when, target, src->id, src->crossSeq++,
+                              std::move(action)});
     return;
   }
   WST_ASSERT(when >= globalNow_,
              "cannot schedule an event in the virtual past");
-  enqueueMail(dst, Mail{when, kExternalLp, externalSeq_++, std::move(action)});
+  pushExternal(Mail{when, target, kExternalLp, externalSeq_++,
+                    std::move(action)});
 }
 
 std::size_t ParallelEngine::addQuiescenceHook(Action hook) {
@@ -124,62 +158,145 @@ void ParallelEngine::removeQuiescenceHook(std::size_t id) {
                 [id](const auto& entry) { return entry.first == id; });
 }
 
-void ParallelEngine::drainMailboxes() {
-  std::vector<Mail> mail;
-  for (Lp& lp : lps_) {
-    mail.clear();
-    {
-      std::lock_guard lock(lp.mailboxMu);
-      mail.swap(lp.mailbox);
+void ParallelEngine::ensureShards() {
+  const std::int32_t lpTotal = lpCount();
+  const std::int32_t want = std::max<std::int32_t>(
+      1, std::min<std::int32_t>(threads_, lpTotal));
+  if (shardCount_ != want || layoutLps_ != lpTotal) {
+    WST_ASSERT(workers_.empty(),
+               "LP set changed after worker threads started; create all LPs "
+               "before the first run()");
+    for (const auto& r : rings_) {
+      WST_ASSERT(r->empty(), "shard layout rebuild with mail in flight");
     }
-    if (mail.empty()) continue;
-    stats_.mailboxHighWater = std::max(stats_.mailboxHighWater, mail.size());
-    stats_.crossLpEvents += mail.size();
-    // (when, srcLp, srcSeq) is a deterministic total order of the round's
-    // cross-LP traffic into this LP, independent of worker interleaving.
+    shardCount_ = want;
+    layoutLps_ = lpTotal;
+    shards_.clear();
+    for (std::int32_t s = 0; s < shardCount_; ++s) shards_.emplace_back();
+    // Static pinning: the main LP (application world, the Amdahl-bound
+    // bulk of the event stream) owns shard 0 by itself whenever more than
+    // one shard exists; tool-node LPs round-robin over the remaining
+    // shards. The layout affects only load balance — determinism never
+    // depends on it (the mail sort key has no shard component).
+    for (Lp& lp : lps_) {
+      if (shardCount_ == 1) {
+        lp.shard = 0;
+      } else if (lp.id == kMainLp) {
+        lp.shard = 0;
+      } else {
+        lp.shard = 1 + (lp.id - 1) % (shardCount_ - 1);
+      }
+      shards_[static_cast<std::size_t>(lp.shard)].lps.push_back(&lp);
+    }
+    rings_.clear();
+    rings_.reserve(static_cast<std::size_t>(shardCount_ + 1) *
+                   static_cast<std::size_t>(shardCount_));
+    for (std::int32_t i = 0; i < (shardCount_ + 1) * shardCount_; ++i) {
+      rings_.push_back(std::make_unique<detail::SpscRing<Mail>>());
+    }
+    barrier_ = std::make_unique<detail::SpinBarrier>(shardCount_);
+  }
+  // Flush external mail staged while idle into the coordinator's ring row.
+  for (Mail& mail : externalStaged_) pushMail(shardCount_, std::move(mail));
+  externalStaged_.clear();
+}
+
+void ParallelEngine::startWorkers() {
+  if (!workers_.empty() || shardCount_ <= 1) return;
+  const bool pin =
+      pinThreads_ && std::thread::hardware_concurrency() >=
+                         static_cast<unsigned>(shardCount_);
+  if (pin) pinSelfToCore(0);
+  workers_.reserve(static_cast<std::size_t>(shardCount_) - 1);
+  for (std::int32_t s = 1; s < shardCount_; ++s) {
+    workers_.emplace_back([this, s, pin] {
+      if (pin) pinSelfToCore(s);
+      workerMain(static_cast<std::size_t>(s));
+    });
+  }
+}
+
+void ParallelEngine::workerMain(std::size_t shard) {
+  bool& sense = shards_[shard].barrierSense;
+  for (;;) {
+    barrier_->arriveAndWait(sense);  // wait for the coordinator's phase
+    const Phase phase = phase_;      // ordered by the barrier
+    if (phase == Phase::kShutdown) return;
+    if (phase == Phase::kDrain) {
+      drainShard(shard);
+    } else {
+      executeShard(shard);
+    }
+    barrier_->arriveAndWait(sense);  // phase done
+  }
+}
+
+void ParallelEngine::runPhase(Phase phase) {
+  if (shardCount_ <= 1) {
+    if (phase == Phase::kDrain) {
+      drainShard(0);
+    } else {
+      executeShard(0);
+    }
+    return;
+  }
+  phase_ = phase;
+  bool& sense = shards_[0].barrierSense;
+  barrier_->arriveAndWait(sense);  // release workers into the phase
+  if (phase == Phase::kDrain) {
+    drainShard(0);
+  } else {
+    executeShard(0);
+  }
+  barrier_->arriveAndWait(sense);  // join: all shards done
+}
+
+void ParallelEngine::drainShard(std::size_t shard) {
+  Shard& sh = shards_[shard];
+  std::vector<Mail>& mail = sh.scratch;
+  mail.clear();
+  for (std::int32_t src = 0; src <= shardCount_; ++src) {
+    ring(src, static_cast<std::int32_t>(shard)).drainInto(mail);
+  }
+  if (!mail.empty()) {
+    sh.crossLpEvents += mail.size();
+    // (dstLp, when, srcLp, srcSeq) is a deterministic total order of the
+    // round's inbound traffic: per destination LP it reduces to the
+    // (when, srcLp, srcSeq) merge key, independent of worker interleaving
+    // AND of which ring (shard layout) carried each item.
     std::sort(mail.begin(), mail.end(), [](const Mail& a, const Mail& b) {
+      if (a.dstLp != b.dstLp) return a.dstLp < b.dstLp;
       if (a.when != b.when) return a.when < b.when;
       if (a.srcLp != b.srcLp) return a.srcLp < b.srcLp;
       return a.srcSeq < b.srcSeq;
     });
-    for (Mail& m : mail) {
+    std::size_t runStart = 0;
+    for (std::size_t i = 0; i < mail.size(); ++i) {
+      Mail& m = mail[i];
+      Lp& lp = lps_[static_cast<std::size_t>(m.dstLp)];
       WST_ASSERT(m.when >= lp.now, "cross-LP event arrived in the past");
       lp.queue.push(m.when, lp.nextSeq++, std::move(m.action));
+      if (i + 1 == mail.size() || mail[i + 1].dstLp != m.dstLp) {
+        sh.mailboxHighWater = std::max(sh.mailboxHighWater, i + 1 - runStart);
+        runStart = i + 1;
+      }
     }
+    mail.clear();
   }
-}
-
-Time ParallelEngine::minNextEventTime() const {
+  // Shard-local slice of the min-reduction for the next horizon, plus the
+  // lock-free pending count anyPending() reads.
   Time tmin = kNever;
-  for (const Lp& lp : lps_) {
-    if (!lp.queue.empty()) tmin = std::min(tmin, lp.queue.top().when);
+  std::uint64_t queued = 0;
+  for (const Lp* lp : sh.lps) {
+    if (lp->queue.empty()) continue;
+    tmin = std::min(tmin, lp->queue.top().when);
+    queued += lp->queue.size();
   }
-  return tmin;
+  sh.localMin = tmin;
+  sh.queuedEvents.store(queued, std::memory_order_relaxed);
 }
 
-void ParallelEngine::buildRound(Time tmin) {
-  if (lps_.size() == 1) {
-    horizon_ = kNever;  // no cross-LP traffic possible: run to empty
-  } else {
-    WST_ASSERT(lookahead_ > 0,
-               "multiple LPs require a positive lookahead "
-               "(noteCrossLpLatency)");
-    horizon_ = tmin + lookahead_;
-  }
-  ready_.clear();
-  for (Lp& lp : lps_) {
-    if (lp.queue.empty()) continue;
-    if (lp.queue.top().when < horizon_) {
-      ready_.push_back(&lp);
-    } else {
-      ++stats_.horizonStalls;
-    }
-  }
-  ++stats_.rounds;
-  roundOccupancy_.record(ready_.size());
-}
-
-void ParallelEngine::runLp(Lp& lp, std::size_t worker) {
+void ParallelEngine::runLp(Lp& lp, Shard& shard) {
   tlsEngine_ = this;
   tlsLp_ = &lp;
   std::uint64_t executed = 0;
@@ -192,71 +309,36 @@ void ParallelEngine::runLp(Lp& lp, std::size_t worker) {
     event.action();
   }
   lp.executed += executed;
-  stats_.workerEvents[worker] += executed;
+  shard.executedEvents += executed;
   tlsLp_ = nullptr;
   tlsEngine_ = nullptr;
 }
 
-void ParallelEngine::claimLps(std::size_t worker) {
-  for (std::size_t k = nextReady_.fetch_add(1, std::memory_order_relaxed);
-       k < ready_.size();
-       k = nextReady_.fetch_add(1, std::memory_order_relaxed)) {
-    runLp(*ready_[k], worker);
-  }
-}
-
-void ParallelEngine::startWorkers() {
-  if (!workers_.empty() || threads_ == 1) return;
-  workers_.reserve(static_cast<std::size_t>(threads_) - 1);
-  for (std::int32_t i = 1; i < threads_; ++i) {
-    workers_.emplace_back(
-        [this, i] { workerMain(static_cast<std::size_t>(i)); });
-  }
-}
-
-void ParallelEngine::workerMain(std::size_t worker) {
-  std::uint64_t seenGen = 0;
-  for (;;) {
-    {
-      std::unique_lock lock(poolMu_);
-      poolCv_.wait(lock,
-                   [&] { return shutdown_ || roundGen_ != seenGen; });
-      if (shutdown_) return;
-      seenGen = roundGen_;
+void ParallelEngine::executeShard(std::size_t shard) {
+  Shard& sh = shards_[shard];
+  sh.readyCount = 0;
+  for (Lp* lp : sh.lps) {
+    if (lp->queue.empty()) continue;
+    if (lp->queue.top().when >= horizon_) {
+      ++sh.horizonStalls;
+      continue;
     }
-    claimLps(worker);
-    {
-      std::lock_guard lock(poolMu_);
-      if (--pendingWorkers_ == 0) doneCv_.notify_one();
-    }
+    ++sh.readyCount;
+    runLp(*lp, sh);
   }
-}
-
-void ParallelEngine::executeRound() {
-  if (threads_ == 1 || ready_.size() == 1) {
-    for (Lp* lp : ready_) runLp(*lp, 0);
-    return;
-  }
-  startWorkers();
-  nextReady_.store(0, std::memory_order_relaxed);
-  {
-    std::lock_guard lock(poolMu_);
-    ++roundGen_;
-    pendingWorkers_ = static_cast<std::int32_t>(workers_.size());
-  }
-  poolCv_.notify_all();
-  claimLps(0);  // the coordinator works too
-  {
-    std::unique_lock lock(poolMu_);
-    doneCv_.wait(lock, [&] { return pendingWorkers_ == 0; });
-  }
+  std::uint64_t queued = 0;
+  for (const Lp* lp : sh.lps) queued += lp->queue.size();
+  sh.queuedEvents.store(queued, std::memory_order_relaxed);
 }
 
 bool ParallelEngine::anyPending() const {
-  for (const Lp& lp : lps_) {
-    if (!lp.queue.empty()) return true;
-    std::lock_guard lock(lp.mailboxMu);
-    if (!lp.mailbox.empty()) return true;
+  if (!externalStaged_.empty()) return true;
+  if (shardCount_ == 0) return false;  // pre-layout: nothing but staged mail
+  for (const Shard& sh : shards_) {
+    if (sh.queuedEvents.load(std::memory_order_relaxed) != 0) return true;
+  }
+  for (const auto& r : rings_) {
+    if (!r->empty()) return true;
   }
   return false;
 }
@@ -275,13 +357,18 @@ bool ParallelEngine::runQuiescenceHooks() {
 void ParallelEngine::run() {
   WST_ASSERT(!running_, "run() is not reentrant");
   running_ = true;
+  ensureShards();
+  startWorkers();
   for (;;) {
-    drainMailboxes();
-    const Time tmin = minNextEventTime();
+    runPhase(Phase::kDrain);
+    Time tmin = kNever;
+    for (const Shard& sh : shards_) tmin = std::min(tmin, sh.localMin);
     if (tmin == kNever) {
+      // Quiescent: workers are parked at the barrier, so shard state is
+      // safely readable here. Quiescence time and total executed events are
+      // deterministic across worker counts (round/stall counters are not —
+      // keep them out).
       for (const Lp& lp : lps_) globalNow_ = std::max(globalNow_, lp.now);
-      // Quiescence time and total executed events are deterministic across
-      // worker counts (round/stall counters are not — keep them out).
       if (traceTrack_ != nullptr) {
         traceTrack_->instant("quiescence", "engine", "events",
                              static_cast<std::int64_t>(eventsExecuted()));
@@ -289,8 +376,19 @@ void ParallelEngine::run() {
       if (!runQuiescenceHooks()) break;
       continue;
     }
-    buildRound(tmin);
-    executeRound();
+    if (lps_.size() == 1) {
+      horizon_ = kNever;  // no cross-LP traffic possible: run to empty
+    } else {
+      WST_ASSERT(lookahead_ > 0,
+                 "multiple LPs require a positive lookahead "
+                 "(noteCrossLpLatency)");
+      horizon_ = tmin + lookahead_;
+    }
+    ++rounds_;
+    runPhase(Phase::kExecute);
+    std::size_t occupancy = 0;
+    for (const Shard& sh : shards_) occupancy += sh.readyCount;
+    roundOccupancy_.record(occupancy);
   }
   running_ = false;
 }
@@ -312,16 +410,31 @@ std::uint64_t ParallelEngine::traceHash() const {
   return hash;
 }
 
+ParallelEngine::Stats ParallelEngine::stats() const {
+  Stats merged;
+  merged.rounds = rounds_;
+  merged.workerEvents.reserve(shards_.size());
+  for (const Shard& sh : shards_) {
+    merged.horizonStalls += sh.horizonStalls;
+    merged.crossLpEvents += sh.crossLpEvents;
+    merged.mailboxHighWater =
+        std::max(merged.mailboxHighWater, sh.mailboxHighWater);
+    merged.workerEvents.push_back(sh.executedEvents);
+  }
+  return merged;
+}
+
 void ParallelEngine::publishMetrics(support::MetricsRegistry& metrics,
                                     bool includePerWorker) const {
+  const Stats merged = stats();
   metrics.gauge("engine/rounds")
-      .set(static_cast<std::int64_t>(stats_.rounds));
+      .set(static_cast<std::int64_t>(merged.rounds));
   metrics.gauge("engine/horizon_stalls")
-      .set(static_cast<std::int64_t>(stats_.horizonStalls));
+      .set(static_cast<std::int64_t>(merged.horizonStalls));
   metrics.gauge("engine/cross_lp_events")
-      .set(static_cast<std::int64_t>(stats_.crossLpEvents));
+      .set(static_cast<std::int64_t>(merged.crossLpEvents));
   metrics.gauge("engine/mailbox_high_water")
-      .set(static_cast<std::int64_t>(stats_.mailboxHighWater));
+      .set(static_cast<std::int64_t>(merged.mailboxHighWater));
   metrics.gauge("engine/lps").set(lpCount());
   metrics.gauge("engine/lookahead_ns")
       .set(static_cast<std::int64_t>(lookahead_));
@@ -332,10 +445,13 @@ void ParallelEngine::publishMetrics(support::MetricsRegistry& metrics,
   metrics.gauge("engine/round_occupancy_p99")
       .set(static_cast<std::int64_t>(roundOccupancy_.quantile(0.99)));
   if (!includePerWorker) return;
+  // Layout-dependent values: the shard count follows min(threads, LPs), so
+  // none of these may enter output compared across thread counts.
   metrics.gauge("engine/threads").set(threads_);
-  for (std::size_t i = 0; i < stats_.workerEvents.size(); ++i) {
+  metrics.gauge("engine/shards").set(shardCount_);
+  for (std::size_t i = 0; i < merged.workerEvents.size(); ++i) {
     metrics.gauge("engine/worker" + std::to_string(i) + "/events")
-        .set(static_cast<std::int64_t>(stats_.workerEvents[i]));
+        .set(static_cast<std::int64_t>(merged.workerEvents[i]));
   }
 }
 

@@ -1,68 +1,95 @@
-// Conservative parallel discrete-event engine with channel-latency lookahead.
+// Conservative parallel discrete-event engine, shard-per-core edition.
 //
-// The simulation is sharded into logical processes (LPs): the main LP (id 0)
+// The simulation is split into logical processes (LPs): the main LP (id 0)
 // hosts the application world — every rank coroutine and the MPI matching
 // machinery, which share state and cannot be split — and each TBON tool node
-// gets an LP of its own (the overlay creates them). Execution proceeds in
-// barrier-synchronized rounds:
+// gets an LP of its own (the overlay creates them). LPs are statically
+// partitioned into **shards**, one shard per worker thread, and a shard owns
+// its LPs outright: their event queues, virtual clocks, sequence counters,
+// trace-hash accumulators, and statistics are touched by exactly one thread
+// for the whole run. There is no work stealing and no shared mutable round
+// state — the seastar-style shared-nothing layout.
 //
-//   1. Drain every LP's mailbox of cross-LP events into its local queue,
-//      in deterministic (when, source LP, source sequence) order.
-//   2. Compute T_min = the earliest pending event time across LPs and the
-//      safe horizon T_min + L, where L is the minimum cross-LP channel
-//      latency (the lookahead; every overlay link has latency >= 2us).
-//   3. Worker threads claim LPs whose next event is below the horizon and
-//      execute them concurrently, each LP strictly sequentially in
-//      (time, sequence) order.
+// Cross-shard traffic travels through per-(source shard, destination shard)
+// SPSC rings (sim/spsc_ring.hpp): a cross-LP send is a wait-free push by the
+// sending shard, and each shard drains its own inbound rings at round start.
+// No mutex exists anywhere on the send or drain path.
 //
-// Safety: an LP executing at time t < T_min + L can only send cross-LP
-// events with timestamp >= t + L >= T_min + L — at or beyond the horizon —
-// so no event that could still arrive this round precedes anything a worker
-// executes. Events never execute out of (time, sequence) order per LP.
+// Execution proceeds in barrier-synchronized rounds (YAWNS), two parallel
+// phases per round separated by a sense-reversing spin barrier
+// (sim/barrier.hpp):
 //
-// Determinism: each LP's local order is (time, sequence), exactly like the
-// serial engine; cross-LP events are stamped with the *sending LP's*
-// deterministic counter and merged into the destination queue in sorted
-// (when, srcLp, srcSeq) order at round boundaries, which do not depend on
-// the number of worker threads. Hence verdicts, DOT output, metrics, and the
-// event-trace hash are byte-identical for --threads 1..N.
+//   drain phase    every shard drains its inbound rings, sorts the mail by
+//                  the deterministic (dst LP, when, src LP, src seq) key,
+//                  appends it to the destination queues, and computes its
+//                  shard-local minimum next-event time;
+//   (serial)       the coordinator reduces the shard minima to T_min and
+//                  publishes the safe horizon H = T_min + L (L = minimum
+//                  cross-LP channel latency, the lookahead);
+//   execute phase  every shard runs those of its LPs whose next event lies
+//                  below H, each LP strictly sequentially in (time, seq)
+//                  order.
 //
-// Quiescence hooks run serially on the coordinating thread between rounds,
-// with the same copy semantics as the serial engine.
+// Safety: an LP executing at time t < H can only send cross-LP events with
+// timestamp >= t + L >= H — at or beyond the horizon — so nothing a shard
+// executes this round can be affected by in-flight mail. Safety does not
+// depend on the shard layout, only on the horizon rule.
+//
+// Determinism: per-LP execution order is (time, seq) exactly as on the
+// serial engine; cross-LP mail is stamped with the *sending LP's* counter
+// and merged into the destination queue in sorted (when, srcLp, srcSeq)
+// order at round boundaries. The sort key never mentions shards, so the
+// merge — and therefore verdicts, DOT output, metrics, and the per-LP
+// trace hash — is byte-identical for any --threads value and any
+// LP-to-shard layout.
+//
+// Quiescence hooks run serially on the coordinating thread between rounds
+// (workers parked at the barrier), with the same copy semantics as the
+// serial engine; their sends go through coordinator-owned external rings.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
+#include <memory>
 #include <thread>
 #include <vector>
 
+#include "sim/barrier.hpp"
 #include "sim/engine.hpp"
+#include "sim/spsc_ring.hpp"
+#include "support/align.hpp"
 #include "support/metrics.hpp"
 
 namespace wst::sim {
 
 class ParallelEngine final : public Scheduler {
  public:
-  /// Deterministic per-run statistics (except workerEvents, which depends on
-  /// the racy LP-to-worker assignment and is excluded from compared output).
+  /// Merged per-run statistics. Everything except workerEvents is
+  /// deterministic across thread counts; workerEvents (events executed per
+  /// shard) is deterministic *given a layout* but the layout follows the
+  /// thread count, so keep it out of output compared across --threads.
   struct Stats {
     std::uint64_t rounds = 0;
     /// LPs that had pending events at or beyond the horizon of a round.
     std::uint64_t horizonStalls = 0;
     std::uint64_t crossLpEvents = 0;
-    /// Largest single-round mailbox of any LP, measured at drain time.
+    /// Largest single-round inbound mail batch of any LP.
     std::size_t mailboxHighWater = 0;
-    /// Events executed per worker thread (index 0 = the calling thread).
+    /// Events executed per shard (shard 0 = the calling thread).
     std::vector<std::uint64_t> workerEvents;
   };
 
   /// `threads` counts the calling thread; 1 runs everything inline (no
-  /// worker threads are spawned) with identical results. `minLookahead`
-  /// seeds the lookahead; components lower it via noteCrossLpLatency.
-  explicit ParallelEngine(std::int32_t threads = 1, Duration minLookahead = 0);
+  /// worker threads, no barriers) with identical results. The effective
+  /// shard count is min(threads, LP count) — extra threads beyond the LP
+  /// count would only spin at the barrier, so they are not spawned.
+  /// `minLookahead` seeds the lookahead; components lower it via
+  /// noteCrossLpLatency. `pinThreads` requests best-effort CPU affinity
+  /// (shard i -> core i) when the host has at least as many hardware
+  /// threads as shards; keep it off when several engines share a machine.
+  explicit ParallelEngine(std::int32_t threads = 1, Duration minLookahead = 0,
+                          bool pinThreads = false);
   ~ParallelEngine() override;
 
   Time now() const override;
@@ -87,26 +114,32 @@ class ParallelEngine final : public Scheduler {
   std::uint64_t traceHash() const override;
 
   std::int32_t threads() const { return threads_; }
+  /// Shards of the current layout (0 before the first run()).
+  std::int32_t shardCount() const { return shardCount_; }
   Duration lookahead() const { return lookahead_; }
-  const Stats& stats() const { return stats_; }
+  /// Statistics merged across shards (by value: per-shard slices live in
+  /// cache-line-padded shard state and are folded on demand).
+  Stats stats() const;
   /// Distribution of concurrently-runnable LPs per round (the parallelism
   /// the conservative horizon actually exposed).
   const support::Histogram& roundOccupancy() const { return roundOccupancy_; }
 
   /// Publish engine statistics as gauges (engine/rounds, engine/lps,
   /// engine/horizon_stalls, engine/cross_lp_events, engine/events,
-  /// engine/mailbox_high_water, engine/lookahead_ns) — all deterministic
-  /// across thread counts. With includePerWorker, adds engine/threads and
-  /// engine/worker<i>/events, which are NOT deterministic; keep them out of
-  /// any output that is compared across thread counts.
+  /// engine/mailbox_high_water, engine/lookahead_ns, round-occupancy
+  /// quantiles) — all deterministic across thread counts. With
+  /// includePerWorker, adds engine/threads, engine/shards, and
+  /// engine/worker<i>/events, which follow the layout; keep them out of any
+  /// output that is compared across thread counts.
   void publishMetrics(support::MetricsRegistry& metrics,
                       bool includePerWorker = false) const;
 
  private:
-  /// A cross-LP event parked in the destination's mailbox until the next
-  /// round boundary.
+  /// A cross-LP event in flight between shards until the next round
+  /// boundary.
   struct Mail {
     Time when = 0;
+    LpId dstLp = 0;
     LpId srcLp = 0;
     std::uint64_t srcSeq = 0;
     Action action;
@@ -114,15 +147,35 @@ class ParallelEngine final : public Scheduler {
 
   struct Lp {
     LpId id = 0;
+    std::int32_t shard = 0;
     detail::EventHeap queue;
     Time now = 0;
     std::uint64_t nextSeq = 0;   // local insertion order
     std::uint64_t crossSeq = 0;  // stamped onto outgoing cross-LP events
     std::uint64_t executed = 0;
     std::uint64_t hash = detail::kFnvOffset;
-    mutable std::mutex mailboxMu;
-    std::vector<Mail> mailbox;
   };
+
+  /// Everything one worker thread owns, padded so no two shards share a
+  /// cache line (the per-worker stats of the previous engine false-shared
+  /// through a contiguous vector).
+  struct alignas(support::kCacheLine) Shard {
+    std::vector<Lp*> lps;       // owned LPs, ascending id
+    std::vector<Mail> scratch;  // drain staging, reused across rounds
+    std::uint64_t executedEvents = 0;
+    std::uint64_t crossLpEvents = 0;
+    std::uint64_t horizonStalls = 0;
+    std::size_t mailboxHighWater = 0;
+    std::size_t readyCount = 0;  // LPs run in the current execute phase
+    Time localMin = 0;           // drain-phase result
+    bool barrierSense = false;   // this shard's thread's barrier flag
+    /// Events queued across this shard's LPs, refreshed at the end of each
+    /// phase. Lets anyPending() poll progress without locks (quiescence
+    /// hooks call it after every hook).
+    std::atomic<std::uint64_t> queuedEvents{0};
+  };
+
+  enum class Phase : std::uint8_t { kDrain, kExecute, kShutdown };
 
   /// Sort key source for events sent from outside any LP (pre-run setup and
   /// quiescence hooks). Sorts before any real LP at equal times.
@@ -130,15 +183,33 @@ class ParallelEngine final : public Scheduler {
 
   Lp* executingLp() const;
   void enqueueLocal(Lp& lp, Time when, Action action);
-  void enqueueMail(Lp& dst, Mail mail);
-  void drainMailboxes();
-  Time minNextEventTime() const;
-  void buildRound(Time tmin);
-  void executeRound();
-  void runLp(Lp& lp, std::size_t worker);
-  void claimLps(std::size_t worker);
+  /// Wait-free push onto the (srcShard -> dst's shard) ring.
+  void pushMail(std::int32_t srcShard, Mail mail);
+  /// External (non-LP) sends: staged while idle, ring-pushed while running.
+  void pushExternal(Mail mail);
+  detail::SpscRing<Mail>& ring(std::int32_t srcShard, std::int32_t dstShard) {
+    return *rings_[static_cast<std::size_t>(srcShard) *
+                       static_cast<std::size_t>(shardCount_) +
+                   static_cast<std::size_t>(dstShard)];
+  }
+  const detail::SpscRing<Mail>& ring(std::int32_t srcShard,
+                                     std::int32_t dstShard) const {
+    return *rings_[static_cast<std::size_t>(srcShard) *
+                       static_cast<std::size_t>(shardCount_) +
+                   static_cast<std::size_t>(dstShard)];
+  }
+
+  /// (Re)build the LP-to-shard layout and the ring matrix; flush staged
+  /// external mail into the rings. Called at the top of run().
+  void ensureShards();
   void startWorkers();
-  void workerMain(std::size_t worker);
+  void workerMain(std::size_t shard);
+  /// Publish `phase` and drive every shard through it (coordinator runs
+  /// shard 0 itself). Single-shard layouts skip the barrier entirely.
+  void runPhase(Phase phase);
+  void drainShard(std::size_t shard);
+  void executeShard(std::size_t shard);
+  void runLp(Lp& lp, Shard& shard);
   bool anyPending() const;
   bool runQuiescenceHooks();
 
@@ -146,8 +217,9 @@ class ParallelEngine final : public Scheduler {
   static thread_local Lp* tlsLp_;
 
   const std::int32_t threads_;
+  const bool pinThreads_;
   Duration lookahead_ = 0;
-  std::deque<Lp> lps_;  // stable addresses; mutex members are not movable
+  std::deque<Lp> lps_;  // stable addresses; shards hold pointers
   Time globalNow_ = 0;
   std::uint64_t externalSeq_ = 0;
   bool running_ = false;
@@ -155,22 +227,25 @@ class ParallelEngine final : public Scheduler {
   std::vector<std::pair<std::size_t, Action>> quiescenceHooks_;
   std::size_t nextHookId_ = 0;
 
-  // Round state, written by the coordinator before workers wake (the pool
-  // mutex orders the hand-off).
+  // Shard machinery, built by ensureShards() on the first run(). The ring
+  // matrix has (shardCount_ + 1) producer rows: one per shard plus the
+  // external row (producer = the coordinating thread, which is the only
+  // context that ever sends from outside an LP).
+  std::int32_t shardCount_ = 0;
+  std::int32_t layoutLps_ = 0;
+  std::deque<Shard> shards_;  // deque: Shard holds an atomic (not movable)
+  std::vector<std::unique_ptr<detail::SpscRing<Mail>>> rings_;
+  std::unique_ptr<detail::SpinBarrier> barrier_;
+  std::vector<Mail> externalStaged_;  // sends before run() / between runs
+
+  // Round state: written by the coordinator in its serial window, read by
+  // workers after the phase barrier (which supplies the ordering).
+  Phase phase_ = Phase::kDrain;
   Time horizon_ = 0;
-  std::vector<Lp*> ready_;
-  std::atomic<std::size_t> nextReady_{0};
 
-  // Worker pool (spawned lazily on the first multi-LP round).
-  std::vector<std::thread> workers_;
-  std::mutex poolMu_;
-  std::condition_variable poolCv_;   // coordinator -> workers: round start
-  std::condition_variable doneCv_;   // workers -> coordinator: round done
-  std::uint64_t roundGen_ = 0;
-  std::int32_t pendingWorkers_ = 0;
-  bool shutdown_ = false;
+  std::vector<std::thread> workers_;  // shardCount_ - 1, spawned lazily
 
-  Stats stats_;
+  std::uint64_t rounds_ = 0;  // coordinator-owned
   support::Histogram roundOccupancy_;
 };
 

@@ -1,0 +1,130 @@
+// Unbounded single-producer / single-consumer FIFO ring.
+//
+// The parallel engine's cross-shard mail plane: each (source shard,
+// destination shard) pair owns one ring, so a cross-shard send is a
+// wait-free push by the producing shard's thread and the destination shard
+// drains its inbound rings at round start without touching a mutex. The
+// round barrier guarantees producers and consumers never contend on the
+// same round's traffic, but the ring is independently correct under true
+// concurrency (publication via release/acquire on the per-block cursor), so
+// quiescence checks may probe emptiness from other threads at any time.
+//
+// Layout: a chain of geometrically growing blocks. The producer writes
+// slots in its tail block and publishes them by advancing the block's
+// `published` cursor (release); when a block fills it links a fresh block
+// (release) and moves on. The consumer reads `published` (acquire), moves
+// slots out, and frees fully consumed blocks. Neither side ever blocks,
+// allocates on the common path, or shares a cache line with the other: the
+// producer and consumer ends are padded apart, and steady-state traffic
+// reuses the already-allocated tail block capacity only after the consumer
+// has recycled it — i.e. blocks are allocated O(log n) times for n pushes,
+// not recycled in place (simplicity over allocator pressure; drained blocks
+// are freed immediately).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "support/align.hpp"
+#include "support/assert.hpp"
+
+namespace wst::sim::detail {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t initialCapacity = 64)
+      : head_(new Block(initialCapacity)), tail_(head_) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  ~SpscRing() {
+    Block* b = head_;
+    while (b != nullptr) {
+      Block* next = b->next.load(std::memory_order_relaxed);
+      delete b;
+      b = next;
+    }
+  }
+
+  /// Producer side only. Wait-free except when a block fills (amortized
+  /// O(1) allocations thanks to geometric growth).
+  void push(T value) {
+    Block* b = tail_;
+    const std::size_t w = b->published.load(std::memory_order_relaxed);
+    if (w == b->slots.size()) {
+      Block* grown = new Block(std::min(b->slots.size() * 2, kMaxBlock));
+      grown->slots[0] = std::move(value);
+      grown->published.store(1, std::memory_order_release);
+      // Link after publication so a consumer that follows `next` always
+      // finds the element already visible.
+      b->next.store(grown, std::memory_order_release);
+      tail_ = grown;
+    } else {
+      b->slots[w] = std::move(value);
+      b->published.store(w + 1, std::memory_order_release);
+    }
+    size_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Consumer side only. Returns false when no published element remains.
+  bool pop(T& out) {
+    for (;;) {
+      Block* b = head_;
+      const std::size_t w = b->published.load(std::memory_order_acquire);
+      if (b->consumed < w) {
+        out = std::move(b->slots[b->consumed++]);
+        size_.fetch_sub(1, std::memory_order_relaxed);
+        return true;
+      }
+      if (b->consumed == b->slots.size()) {
+        Block* next = b->next.load(std::memory_order_acquire);
+        if (next == nullptr) return false;
+        head_ = next;
+        delete b;
+        continue;
+      }
+      return false;
+    }
+  }
+
+  /// Consumer side only: move every published element into `out`.
+  template <typename Container>
+  void drainInto(Container& out) {
+    T item;
+    while (pop(item)) out.push_back(std::move(item));
+  }
+
+  /// Safe from any thread. Exact whenever the caller is ordered against
+  /// both ends (e.g. after a round barrier); a conservative estimate
+  /// otherwise — it never reads 0 while an element is published and
+  /// unconsumed by ordered code.
+  std::size_t sizeEstimate() const {
+    return size_.load(std::memory_order_relaxed);
+  }
+  bool empty() const { return sizeEstimate() == 0; }
+
+ private:
+  static constexpr std::size_t kMaxBlock = 8192;
+
+  struct Block {
+    explicit Block(std::size_t capacity) : slots(capacity) {
+      WST_ASSERT(capacity > 0, "SpscRing block capacity must be positive");
+    }
+    std::vector<T> slots;
+    /// Producer publish cursor: slots [0, published) are readable.
+    alignas(support::kCacheLine) std::atomic<std::size_t> published{0};
+    /// Consumer cursor; only the consumer thread touches it.
+    alignas(support::kCacheLine) std::size_t consumed = 0;
+    std::atomic<Block*> next{nullptr};
+  };
+
+  alignas(support::kCacheLine) Block* head_;  // consumer end
+  alignas(support::kCacheLine) Block* tail_;  // producer end
+  alignas(support::kCacheLine) std::atomic<std::size_t> size_{0};
+};
+
+}  // namespace wst::sim::detail

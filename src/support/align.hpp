@@ -1,0 +1,18 @@
+// Cache-line geometry for false-sharing padding.
+//
+// A fixed 64-byte constant instead of std::hardware_destructive_interference_
+// size: the standard value is an ABI hazard (GCC warns that it varies between
+// compiler versions and -mtune flags, which -Werror turns fatal in headers),
+// while 64 bytes is the destructive-interference granule on every x86-64 and
+// the vast majority of AArch64 parts we build for. Structures whose fields
+// are written by different shards align/pad with this so one shard's hot
+// counter never shares a line with another's.
+#pragma once
+
+#include <cstddef>
+
+namespace wst::support {
+
+inline constexpr std::size_t kCacheLine = 64;
+
+}  // namespace wst::support

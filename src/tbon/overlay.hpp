@@ -32,9 +32,12 @@
 // Parallel execution: every tool node gets a logical process of its own
 // (engine.createLp()); application processes stay on the main LP. Channel
 // latencies are declared to the engine as cross-LP lookahead, so on a
-// ParallelEngine distinct tool nodes execute concurrently. State is
-// partitioned accordingly — NodeRuntime and a node's outgoing Link map are
-// only touched by that node's LP; shared statistics use relaxed atomics.
+// ParallelEngine distinct tool nodes execute concurrently — the engine pins
+// each LP to a worker shard, and cross-LP sends ride the engine's SPSC
+// rings. State is partitioned accordingly: NodeRuntime and a node's
+// outgoing Link map are only touched by that node's LP; the few shared
+// statistics use commutative relaxed atomics, cache-line padded so shards
+// incrementing different link classes never bounce one another's lines.
 #pragma once
 
 #include <algorithm>
@@ -496,8 +499,10 @@ class Overlay {
   };
 
   /// Updated from whichever LP sends; commutative relaxed adds keep the
-  /// totals deterministic across worker counts.
-  struct LinkStats {
+  /// totals deterministic across worker counts. Cache-line aligned so the
+  /// per-class entries of stats_/channelStats_ do not false-share between
+  /// shards counting different link classes.
+  struct alignas(support::kCacheLine) LinkStats {
     std::atomic<std::uint64_t> messages{0};
     std::atomic<std::uint64_t> bytes{0};
   };
@@ -852,7 +857,9 @@ class Overlay {
   /// Fault-decision RNGs, sharded by sending node.
   std::vector<support::Rng> faultRngs_;
   /// Relaxed atomics: commutative adds from any LP, deterministic totals.
-  struct {
+  /// Aligned off neighbouring members; the counters themselves are updated
+  /// rarely enough (fault events) that internal padding is not worth it.
+  struct alignas(support::kCacheLine) {
     std::atomic<std::uint64_t> drops{0};
     std::atomic<std::uint64_t> dups{0};
     std::atomic<std::uint64_t> delays{0};

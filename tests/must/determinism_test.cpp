@@ -178,6 +178,26 @@ TEST(ParallelDeterminism, PeriodicBatchedStressIsByteIdenticalAcrossThreads) {
   }
 }
 
+TEST(ParallelDeterminism, ThreadsBeyondLpCountAreByteIdentical) {
+  // 8 procs at fan-in 4 build a small overlay (few tool-node LPs), so
+  // --threads 8 exceeds the LP count: the engine clamps the shard count to
+  // the LPs and must still be byte-identical with the 1- and 2-thread runs.
+  workloads::StressParams params;
+  params.iterations = 12;
+  params.neighborDistance = 4;
+  const auto program = workloads::cyclicExchange(params);
+  const mpi::RuntimeConfig mpiCfg;
+  ToolConfig toolCfg;
+  toolCfg.fanIn = 4;
+
+  const RunOutput base = runScenario(1, 8, mpiCfg, toolCfg, program);
+  EXPECT_FALSE(base.deadlock);
+  for (const std::int32_t threads : {2, 8}) {
+    expectIdentical(base, runScenario(threads, 8, mpiCfg, toolCfg, program),
+                    threads);
+  }
+}
+
 TEST(ParallelDeterminism, ParallelEngineAgreesWithSerialEngineOnVerdicts) {
   // The serial engine is the reference implementation: virtual-time results
   // (completion time, verdict, transition counts) must agree with the

@@ -1,0 +1,100 @@
+// Per-phase deadlock-freedom certificates (DESIGN.md §15).
+//
+// The static classifier (classifier.hpp) walks a scenario program
+// phase-by-phase and decides, for each phase, whether it falls into one of
+// the simplified synchronization models that the static-detection line of
+// work shows are decidable in O(n): deterministic point-to-point chains,
+// wildcard-free rings, and single-communicator blocking collectives. A phase
+// that type-checks is *certified*: executing it cannot deadlock under the
+// conservative blocking model, no matter how the runtime schedules it.
+//
+// At runtime the tool consumes the certificate's *prefix cut*: the maximal
+// run of leading certified phases, the same phase set on every rank. Inside
+// the prefix the tracker drops to sampling mode — the wrapper counts the op
+// and ships nothing — and re-arms with a PhaseResyncMsg at the first op past
+// each rank's watermark. Restricting suppression to a global prefix is what
+// makes the re-arm sound: certified phases match all of their sends to
+// named receives *within the phase*, so no suppressed message can still be
+// in flight, and no suppressed collective wave can straddle the cut (see the
+// soundness argument in DESIGN.md §15).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/op.hpp"
+
+namespace wst::analysis {
+
+/// Which simplified model a certified phase instantiates. Purely
+/// informational (the certification proof is the same event-graph
+/// construction for all of them); surfaced in summaries and metrics.
+enum class PhaseModel : std::uint8_t {
+  kEmpty,       // no MPI operations (compute / markers only)
+  kChain,       // deterministic point-to-point, acyclic rank order
+  kRing,        // wildcard-free ring: the send graph is one cycle
+  kCollective,  // blocking collectives on one communicator only
+  kMixed,       // certified, but not one of the named shapes
+};
+
+const char* phaseModelName(PhaseModel model);
+
+/// Verdict for one phase of the program.
+struct PhaseCert {
+  std::int32_t index = 0;
+  bool certified = false;
+  PhaseModel model = PhaseModel::kEmpty;
+  /// Why certification failed (first offending construct); empty if
+  /// certified.
+  std::string reason;
+  /// Trace records the phase emits across all ranks.
+  std::uint64_t records = 0;
+  /// Collective waves on MPI_COMM_WORLD in this phase (identical on every
+  /// rank of a certified phase).
+  std::uint32_t worldCollectives = 0;
+};
+
+/// The classifier's output: per-phase verdicts plus the derived prefix cut
+/// the runtime actually consumes. Plain data — the tool keeps a const
+/// pointer to one of these for the lifetime of a run.
+struct Certificate {
+  std::int32_t procCount = 0;
+  std::vector<PhaseCert> phases;
+
+  /// Number of leading certified phases (the global suppression cut).
+  std::int32_t prefixPhases = 0;
+  /// Per-rank record watermark: ops with ts < sampleUntil[r] are covered by
+  /// the prefix and may be sampled instead of tracked.
+  std::vector<trace::LocalTs> sampleUntil;
+  /// MPI_COMM_WORLD collective waves inside the prefix. Every rank
+  /// participates in every world collective, so one number serves all ranks
+  /// (the tracker advances its per-process wave counter by this at resync).
+  std::uint32_t prefixWorldCollectives = 0;
+
+  /// True when the certificate suppresses anything at all.
+  bool active() const {
+    for (const trace::LocalTs w : sampleUntil) {
+      if (w > 0) return true;
+    }
+    return false;
+  }
+
+  std::int32_t certifiedPhases() const {
+    std::int32_t n = 0;
+    for (const PhaseCert& p : phases) n += p.certified ? 1 : 0;
+    return n;
+  }
+
+  /// Total records covered by the prefix (what the tracker never sees).
+  std::uint64_t certifiedOps() const {
+    std::uint64_t n = 0;
+    for (const trace::LocalTs w : sampleUntil) n += w;
+    return n;
+  }
+
+  /// One-line human description for CLI output and logs.
+  std::string summary() const;
+};
+
+}  // namespace wst::analysis

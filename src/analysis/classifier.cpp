@@ -1,0 +1,431 @@
+#include "analysis/classifier.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "support/strings.hpp"
+
+namespace wst::analysis {
+namespace {
+
+/// Does the op's *completion* gate the next op in program order? Under the
+/// conservative blocking model everything blocks except buffered sends and
+/// the posting half of non-blocking operations.
+bool blocksProgramOrder(OpClass cls) {
+  switch (cls) {
+    case OpClass::kBufferedSend:
+    case OpClass::kIsend:
+    case OpClass::kIrecv:
+      return false;
+    default:
+      return true;
+  }
+}
+
+/// Does completing the send side require the matching receive to be posted?
+/// Standard and synchronous sends rendezvous conservatively; an Isend's
+/// *request* completes on the same condition (tracker rule 4), so the
+/// dependency is identical — it just lands on C(isend), which only the
+/// closing kCompletion waits for.
+bool sendNeedsRendezvous(OpClass cls) {
+  return cls == OpClass::kSend || cls == OpClass::kIsend ||
+         cls == OpClass::kSendrecv;
+}
+
+struct PhaseFailure {
+  std::string reason;
+};
+
+/// One phase's ops: (rank, index into ranks[rank]) in program order per rank.
+using PhaseOps = std::vector<std::vector<std::int32_t>>;
+
+struct PhaseResult {
+  PhaseCert cert;
+  /// Records the phase emits on each rank (for prefix watermarks).
+  std::vector<std::uint64_t> rankRecords;
+};
+
+PhaseResult certifyPhase(const Program& program, std::int32_t phaseIndex,
+                         const PhaseOps& phaseOps) {
+  const std::int32_t procs = program.procCount;
+  PhaseResult result;
+  result.cert.index = phaseIndex;
+  result.rankRecords.assign(static_cast<std::size_t>(procs), 0);
+
+  const auto fail = [&](std::string reason) {
+    result.cert.certified = false;
+    result.cert.model = PhaseModel::kEmpty;
+    result.cert.reason = std::move(reason);
+    return result;
+  };
+
+  // Phase-local node ids: every op gets P = 2k and C = 2k + 1.
+  std::int32_t opCount = 0;
+  std::vector<std::vector<std::int32_t>> nodeOf(
+      static_cast<std::size_t>(procs));
+  for (std::int32_t r = 0; r < procs; ++r) {
+    nodeOf[static_cast<std::size_t>(r)].assign(
+        phaseOps[static_cast<std::size_t>(r)].size(), -1);
+  }
+
+  bool sawP2p = false;
+  bool sawCollective = false;
+
+  // Pass 1: concreteness, record counts, node numbering.
+  for (std::int32_t r = 0; r < procs; ++r) {
+    const auto& ops = program.ranks[static_cast<std::size_t>(r)];
+    const auto& indices = phaseOps[static_cast<std::size_t>(r)];
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      const ProgOp& op = ops[static_cast<std::size_t>(indices[i])];
+      if (op.cls == OpClass::kOpaque) {
+        return fail(support::format("rank %d: %s", r, op.why.c_str()));
+      }
+      result.cert.records += static_cast<std::uint64_t>(op.records);
+      result.rankRecords[static_cast<std::size_t>(r)] +=
+          static_cast<std::uint64_t>(op.records);
+      nodeOf[static_cast<std::size_t>(r)][i] = opCount++;
+      if (op.cls == OpClass::kCollective) {
+        sawCollective = true;
+      } else {
+        sawP2p = true;
+      }
+    }
+  }
+  if (opCount == 0) {
+    result.cert.certified = true;
+    result.cert.model = PhaseModel::kEmpty;
+    return result;
+  }
+
+  const auto pNode = [](std::int32_t k) { return 2 * k; };
+  const auto cNode = [](std::int32_t k) { return 2 * k + 1; };
+
+  // Pass 2: request discipline — every request opened in the phase must be
+  // closed in the phase, and completions must not reach across the cut.
+  for (std::int32_t r = 0; r < procs; ++r) {
+    const auto& ops = program.ranks[static_cast<std::size_t>(r)];
+    const auto& indices = phaseOps[static_cast<std::size_t>(r)];
+    std::vector<std::int32_t> open;  // op indices of in-phase isend/irecv
+    for (const std::int32_t idx : indices) {
+      const ProgOp& op = ops[static_cast<std::size_t>(idx)];
+      if (op.cls == OpClass::kIsend || op.cls == OpClass::kIrecv) {
+        open.push_back(idx);
+      } else if (op.cls == OpClass::kCompletion) {
+        for (const std::int32_t q : op.completes) {
+          const auto it = std::find(open.begin(), open.end(), q);
+          if (it == open.end()) {
+            return fail(support::format(
+                "rank %d: completion reaches a request opened outside the "
+                "phase",
+                r));
+          }
+          open.erase(it);
+        }
+      }
+    }
+    if (!open.empty()) {
+      return fail(support::format(
+          "rank %d: nonblocking request left open across the phase boundary",
+          r));
+    }
+  }
+
+  // Pass 3: point-to-point matching by per-channel FIFO counting. With
+  // named sources and tags, MPI non-overtaking makes the k-th send on
+  // (src, dst, tag) the unique match of the k-th receive on that channel.
+  struct Channel {
+    std::vector<std::pair<std::int32_t, bool>> sends;  // (node id, rendezvous)
+    std::vector<std::int32_t> recvs;                   // node ids
+  };
+  std::map<std::tuple<std::int32_t, std::int32_t, std::int32_t>, Channel>
+      channels;
+  std::vector<std::vector<std::pair<std::int32_t, std::int32_t>>> collSeqs(
+      static_cast<std::size_t>(procs));  // (kind, root) per rank in order
+  std::vector<std::vector<std::int32_t>> collNodes(
+      static_cast<std::size_t>(procs));
+  std::vector<std::pair<std::int32_t, std::int32_t>> sendEdges;  // rank graph
+
+  for (std::int32_t r = 0; r < procs; ++r) {
+    const auto& ops = program.ranks[static_cast<std::size_t>(r)];
+    const auto& indices = phaseOps[static_cast<std::size_t>(r)];
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      const ProgOp& op = ops[static_cast<std::size_t>(indices[i])];
+      const std::int32_t k = nodeOf[static_cast<std::size_t>(r)][i];
+      switch (op.cls) {
+        case OpClass::kSend:
+        case OpClass::kBufferedSend:
+        case OpClass::kIsend:
+          channels[{r, op.peer, op.tag}].sends.emplace_back(
+              k, sendNeedsRendezvous(op.cls));
+          sendEdges.emplace_back(r, op.peer);
+          break;
+        case OpClass::kRecv:
+        case OpClass::kIrecv:
+          channels[{op.peer, r, op.tag}].recvs.push_back(k);
+          break;
+        case OpClass::kSendrecv:
+          channels[{r, op.peer, op.tag}].sends.emplace_back(k, true);
+          channels[{op.recvPeer, r, op.recvTag}].recvs.push_back(k);
+          sendEdges.emplace_back(r, op.peer);
+          break;
+        case OpClass::kCollective:
+          collSeqs[static_cast<std::size_t>(r)].emplace_back(op.collective,
+                                                             op.root);
+          collNodes[static_cast<std::size_t>(r)].push_back(k);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  for (const auto& [key, chan] : channels) {
+    if (chan.sends.size() != chan.recvs.size()) {
+      return fail(support::format(
+          "unmatched point-to-point traffic on channel %d->%d tag %d "
+          "(%zu sends, %zu receives)",
+          std::get<0>(key), std::get<1>(key), std::get<2>(key),
+          chan.sends.size(), chan.recvs.size()));
+    }
+  }
+
+  // Pass 4: collective wave alignment. World collectives involve every
+  // rank, so all ranks must post the same (kind, root) sequence.
+  const std::size_t waves = collSeqs.empty() ? 0 : collSeqs[0].size();
+  for (std::int32_t r = 1; r < procs; ++r) {
+    if (collSeqs[static_cast<std::size_t>(r)] != collSeqs[0]) {
+      return fail(support::format(
+          "collective waves misaligned between rank 0 and rank %d", r));
+    }
+  }
+  result.cert.worldCollectives = static_cast<std::uint32_t>(waves);
+
+  // Pass 5: the event graph. Nodes: P/C per op plus one per wave.
+  const std::int32_t nodes =
+      2 * opCount + static_cast<std::int32_t>(waves);
+  std::vector<std::vector<std::int32_t>> adj(
+      static_cast<std::size_t>(nodes));
+  std::vector<std::int32_t> indeg(static_cast<std::size_t>(nodes), 0);
+  const auto arc = [&](std::int32_t from, std::int32_t to) {
+    adj[static_cast<std::size_t>(from)].push_back(to);
+    ++indeg[static_cast<std::size_t>(to)];
+  };
+
+  for (std::int32_t r = 0; r < procs; ++r) {
+    const auto& ops = program.ranks[static_cast<std::size_t>(r)];
+    const auto& indices = phaseOps[static_cast<std::size_t>(r)];
+    std::int32_t prev = -1;
+    bool prevBlocks = false;
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      const ProgOp& op = ops[static_cast<std::size_t>(indices[i])];
+      const std::int32_t k = nodeOf[static_cast<std::size_t>(r)][i];
+      arc(pNode(k), cNode(k));
+      if (prev >= 0) {
+        arc(pNode(prev), pNode(k));
+        if (prevBlocks) arc(cNode(prev), pNode(k));
+      }
+      if (op.cls == OpClass::kCompletion) {
+        // C(w) additionally waits for every completed request: find the
+        // phase-local ordinal of each completed op.
+        for (const std::int32_t q : op.completes) {
+          const auto it =
+              std::find(indices.begin(), indices.end(), q);
+          const std::size_t pos =
+              static_cast<std::size_t>(it - indices.begin());
+          arc(cNode(nodeOf[static_cast<std::size_t>(r)][pos]), cNode(k));
+        }
+      }
+      prev = k;
+      prevBlocks = blocksProgramOrder(op.cls);
+    }
+  }
+  for (auto& [key, chan] : channels) {
+    for (std::size_t i = 0; i < chan.sends.size(); ++i) {
+      const auto [sendNode, rendezvous] = chan.sends[i];
+      const std::int32_t recvNode = chan.recvs[i];
+      arc(pNode(sendNode), cNode(recvNode));
+      if (rendezvous) arc(pNode(recvNode), cNode(sendNode));
+    }
+  }
+  for (std::size_t w = 0; w < waves; ++w) {
+    const std::int32_t waveNode =
+        2 * opCount + static_cast<std::int32_t>(w);
+    for (std::int32_t r = 0; r < procs; ++r) {
+      const std::int32_t k = collNodes[static_cast<std::size_t>(r)][w];
+      arc(pNode(k), waveNode);
+      arc(waveNode, cNode(k));
+    }
+  }
+
+  // Kahn's algorithm: a topological order exists iff no deadlock cycle.
+  std::vector<std::int32_t> queue;
+  for (std::int32_t n = 0; n < nodes; ++n) {
+    if (indeg[static_cast<std::size_t>(n)] == 0) queue.push_back(n);
+  }
+  std::int32_t processed = 0;
+  while (!queue.empty()) {
+    const std::int32_t n = queue.back();
+    queue.pop_back();
+    ++processed;
+    for (const std::int32_t m : adj[static_cast<std::size_t>(n)]) {
+      if (--indeg[static_cast<std::size_t>(m)] == 0) queue.push_back(m);
+    }
+  }
+  if (processed != nodes) {
+    return fail("potential deadlock: cyclic dependency in the phase event "
+                "graph");
+  }
+
+  // Certified. Label the simplified-model family for reporting.
+  result.cert.certified = true;
+  if (sawCollective && !sawP2p) {
+    result.cert.model = PhaseModel::kCollective;
+  } else if (sawP2p && !sawCollective) {
+    // Ring: the distinct send edges form one cycle covering their ranks.
+    std::sort(sendEdges.begin(), sendEdges.end());
+    sendEdges.erase(std::unique(sendEdges.begin(), sendEdges.end()),
+                    sendEdges.end());
+    std::map<std::int32_t, std::int32_t> next;
+    std::map<std::int32_t, std::int32_t> indegRank;
+    bool simple = true;
+    for (const auto& [from, to] : sendEdges) {
+      if (next.count(from) != 0) {
+        simple = false;
+        break;
+      }
+      next[from] = to;
+      ++indegRank[to];
+    }
+    bool ring = simple && !next.empty();
+    if (ring) {
+      for (const auto& [rank, deg] : indegRank) {
+        if (deg != 1 || next.count(rank) == 0) {
+          ring = false;
+          break;
+        }
+      }
+      if (ring && indegRank.size() != next.size()) ring = false;
+      if (ring) {
+        // One cycle, not several: walk from the first sender.
+        std::int32_t at = next.begin()->first;
+        std::size_t steps = 0;
+        do {
+          at = next[at];
+          ++steps;
+        } while (at != next.begin()->first && steps <= next.size());
+        if (steps != next.size()) ring = false;
+      }
+    }
+    if (ring) {
+      result.cert.model = PhaseModel::kRing;
+    } else {
+      // Chain: the send graph is acyclic (longest-path order exists).
+      std::map<std::int32_t, std::vector<std::int32_t>> g;
+      std::map<std::int32_t, std::int32_t> deg;
+      for (const auto& [from, to] : sendEdges) {
+        g[from].push_back(to);
+        ++deg[to];
+        deg.try_emplace(from, 0);
+      }
+      std::vector<std::int32_t> q;
+      for (const auto& [rank, d] : deg) {
+        if (d == 0) q.push_back(rank);
+      }
+      std::size_t seen = 0;
+      while (!q.empty()) {
+        const std::int32_t n = q.back();
+        q.pop_back();
+        ++seen;
+        const auto it = g.find(n);
+        if (it == g.end()) continue;
+        for (const std::int32_t m : it->second) {
+          if (--deg[m] == 0) q.push_back(m);
+        }
+      }
+      result.cert.model =
+          seen == deg.size() ? PhaseModel::kChain : PhaseModel::kMixed;
+    }
+  } else {
+    result.cert.model = PhaseModel::kMixed;
+  }
+  return result;
+}
+
+}  // namespace
+
+const char* phaseModelName(PhaseModel model) {
+  switch (model) {
+    case PhaseModel::kEmpty: return "empty";
+    case PhaseModel::kChain: return "chain";
+    case PhaseModel::kRing: return "ring";
+    case PhaseModel::kCollective: return "collective";
+    case PhaseModel::kMixed: return "mixed";
+  }
+  return "?";
+}
+
+std::string Certificate::summary() const {
+  std::uint64_t total = 0;
+  for (const PhaseCert& p : phases) total += p.records;
+  return support::format(
+      "%d/%zu phase(s) certified, prefix %d phase(s): %llu/%llu op(s) "
+      "static, %u world collective wave(s)",
+      certifiedPhases(), phases.size(), prefixPhases,
+      static_cast<unsigned long long>(certifiedOps()),
+      static_cast<unsigned long long>(total), prefixWorldCollectives);
+}
+
+Certificate analyzeProgram(const Program& program) {
+  Certificate cert;
+  cert.procCount = program.procCount;
+  cert.sampleUntil.assign(static_cast<std::size_t>(program.procCount), 0);
+  const std::int32_t phaseCount = std::max<std::int32_t>(program.phaseCount, 1);
+
+  // Group op indices per phase per rank (front-ends assign phases
+  // monotonically per rank; grouping tolerates gaps).
+  std::vector<PhaseOps> byPhase(
+      static_cast<std::size_t>(phaseCount),
+      PhaseOps(static_cast<std::size_t>(program.procCount)));
+  for (std::int32_t r = 0; r < program.procCount; ++r) {
+    const auto& ops = program.ranks[static_cast<std::size_t>(r)];
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      const std::int32_t f =
+          std::clamp<std::int32_t>(ops[i].phase, 0, phaseCount - 1);
+      byPhase[static_cast<std::size_t>(f)][static_cast<std::size_t>(r)]
+          .push_back(static_cast<std::int32_t>(i));
+    }
+  }
+
+  std::vector<PhaseResult> results;
+  results.reserve(static_cast<std::size_t>(phaseCount));
+  for (std::int32_t f = 0; f < phaseCount; ++f) {
+    results.push_back(
+        certifyPhase(program, f, byPhase[static_cast<std::size_t>(f)]));
+    cert.phases.push_back(results.back().cert);
+  }
+
+  // The prefix cut: leading certified phases, never including the final
+  // phase (teardown stays dynamic so every rank re-arms before finalize).
+  std::int32_t prefix = 0;
+  while (prefix < phaseCount - 1 &&
+         cert.phases[static_cast<std::size_t>(prefix)].certified) {
+    ++prefix;
+  }
+  cert.prefixPhases = prefix;
+  for (std::int32_t f = 0; f < prefix; ++f) {
+    const PhaseResult& res = results[static_cast<std::size_t>(f)];
+    for (std::int32_t r = 0; r < program.procCount; ++r) {
+      cert.sampleUntil[static_cast<std::size_t>(r)] +=
+          static_cast<trace::LocalTs>(
+              res.rankRecords[static_cast<std::size_t>(r)]);
+    }
+    cert.prefixWorldCollectives +=
+        cert.phases[static_cast<std::size_t>(f)].worldCollectives;
+  }
+  return cert;
+}
+
+}  // namespace wst::analysis

@@ -1,0 +1,36 @@
+// Phase classifier: decide deadlock freedom for simplified-model phases.
+//
+// analyzeProgram() certifies each phase of an abstract program (program.hpp)
+// independently and derives the global prefix cut the runtime consumes
+// (certificate.hpp). A phase certifies iff
+//
+//   1. every op is concrete (no kOpaque anywhere in the phase),
+//   2. request discipline is phase-local: every kIsend/kIrecv is completed
+//      by a kCompletion of the same phase, and nothing stays open,
+//   3. point-to-point matching closes: on every (src, dst, tag) channel the
+//      send count equals the receive count — with named sources and tags the
+//      k-th send is the k-th receive's unique match (MPI non-overtaking),
+//   4. collective waves align: every rank posts the same sequence of
+//      (kind, root) world collectives,
+//   5. the phase event graph is acyclic. Each op contributes a posted node
+//      P(op) and a completed node C(op); program order, rendezvous pairs,
+//      request completion, and collective waves add the dependency arcs
+//      (see DESIGN.md §15 for the full arc table). A topological order of
+//      that graph *is* a deadlock-free schedule, and because wildcard-free
+//      programs are confluent, its existence rules out deadlock from every
+//      reachable state — this is the O(n) string-matching construction of
+//      the static-detection line (arXiv 0709.3689/0709.3692).
+//
+// The final phase of a program is never part of the prefix even when it
+// certifies: it carries finalize/teardown, and keeping it dynamic
+// guarantees every rank re-arms the tracker before terminating.
+#pragma once
+
+#include "analysis/certificate.hpp"
+#include "analysis/program.hpp"
+
+namespace wst::analysis {
+
+Certificate analyzeProgram(const Program& program);
+
+}  // namespace wst::analysis

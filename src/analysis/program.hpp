@@ -1,0 +1,73 @@
+// Abstract program form consumed by the phase classifier.
+//
+// Front-ends lower concrete scenario sources into this shape:
+//   * fuzz/analyze.cpp walks a fuzz Scenario symbolically, mirroring the
+//     interpreter's total semantics call for call;
+//   * analysis/trace_program.cpp lifts a recorded profiling trace of a
+//     workload back into per-rank op lists.
+//
+// The contract is conservative by construction: anything a front-end cannot
+// resolve to a *concrete, deterministic* operation (wildcard sources or
+// tags, probes, waitany/waitsome, communicator creation, anything after
+// such an op on the same rank) becomes OpClass::kOpaque with a reason, and
+// opaque ops poison their phase. Only operations that emit at least one
+// trace record appear here; `records` is the exact count the runtime's
+// interposer will see for the op, so prefix watermarks can be summed from
+// certified phases alone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wst::analysis {
+
+enum class OpClass : std::uint8_t {
+  kSend,        // blocking-model send to a named peer (standard/ssend)
+  kBufferedSend,  // bsend: completes at post even conservatively
+  kRecv,        // receive from a named source with a named tag
+  kSendrecv,    // combined op; both halves named
+  kIsend,       // non-blocking send; closed by a kCompletion in some phase
+  kIrecv,       // non-blocking named receive
+  kCompletion,  // wait/waitall: blocks until all listed requests complete
+  kCollective,  // blocking collective on MPI_COMM_WORLD
+  kOpaque,      // anything the front-end could not prove deterministic
+};
+
+struct ProgOp {
+  OpClass cls = OpClass::kOpaque;
+  /// Phase index the op belongs to (front-ends segment; see classifier).
+  std::int32_t phase = 0;
+  /// Exact number of trace records the runtime emits for this op.
+  std::int32_t records = 1;
+
+  /// Point-to-point: resolved *world* peer (send destination / receive
+  /// source) and tag. Always concrete — wildcards are kOpaque.
+  std::int32_t peer = -1;
+  std::int32_t tag = 0;
+  /// kSendrecv: the receive half.
+  std::int32_t recvPeer = -1;
+  std::int32_t recvTag = 0;
+
+  /// kCollective: operation kind id and root (kinds must agree across the
+  /// ranks of a wave; the ids only need to be consistent per front-end).
+  std::int32_t collective = -1;
+  std::int32_t root = 0;
+
+  /// kCompletion: indices (into the same rank's op list) of the
+  /// kIsend/kIrecv operations whose requests this call completes.
+  std::vector<std::int32_t> completes;
+
+  /// kOpaque: which construct bailed (diagnostics only).
+  std::string why;
+};
+
+struct Program {
+  std::int32_t procCount = 0;
+  /// Number of phases (every op's `phase` is < phaseCount).
+  std::int32_t phaseCount = 1;
+  /// ranks[r] = world rank r's operations in program order.
+  std::vector<std::vector<ProgOp>> ranks;
+};
+
+}  // namespace wst::analysis

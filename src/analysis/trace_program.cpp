@@ -1,0 +1,197 @@
+#include "analysis/trace_program.hpp"
+
+#include <unordered_map>
+
+#include "mpi/types.hpp"
+#include "support/strings.hpp"
+#include "trace/op.hpp"
+
+namespace wst::analysis {
+namespace {
+
+/// Marks `op` opaque with a reason. Used both for the offending op and for
+/// everything after it on a poisoned rank.
+void makeOpaque(ProgOp& op, std::string why) {
+  op.cls = OpClass::kOpaque;
+  op.completes.clear();
+  op.why = std::move(why);
+}
+
+}  // namespace
+
+Program programFromTrace(const trace::MatchedTrace& trace) {
+  Program program;
+  program.procCount = trace.procCount();
+  program.ranks.resize(static_cast<std::size_t>(program.procCount));
+
+  // Per-rank count of MPI_COMM_WORLD collective records, for the alignment
+  // check that gates phase segmentation.
+  std::vector<std::int32_t> worldColl(
+      static_cast<std::size_t>(program.procCount), 0);
+  std::int32_t maxPhase = 0;
+
+  for (trace::ProcId p = 0; p < program.procCount; ++p) {
+    std::vector<ProgOp>& ops = program.ranks[static_cast<std::size_t>(p)];
+    ops.reserve(trace.length(p));
+    // Request id -> index of the kIsend/kIrecv op in `ops` that created it.
+    std::unordered_map<mpi::RequestId, std::int32_t> requests;
+    std::int32_t phase = 0;
+    bool poisoned = false;
+    std::string poison;
+
+    for (trace::LocalTs ts = 0; ts < trace.length(p); ++ts) {
+      const trace::Record& rec = trace.op({p, ts});
+      ProgOp op;
+      op.phase = phase;
+      op.records = 1;
+
+      // Phase boundaries follow the recorded world collectives even on a
+      // poisoned rank: boundary indices only have to be right up to the
+      // first uncertifiable phase, and segmenting uniformly keeps the other
+      // ranks' phases aligned.
+      const bool worldCollective = rec.kind == trace::Kind::kCollective &&
+                                   rec.comm == mpi::kCommWorld;
+
+      if (poisoned) {
+        makeOpaque(op, support::format("after %s", poison.c_str()));
+      } else if (rec.comm != mpi::kCommWorld) {
+        makeOpaque(op, "operation on a derived communicator");
+        poisoned = true;
+        poison = "derived communicator";
+      } else {
+        switch (rec.kind) {
+          case trace::Kind::kSend:
+            op.cls = rec.sendMode == mpi::SendMode::kBuffered
+                         ? OpClass::kBufferedSend
+                         : OpClass::kSend;
+            op.peer = rec.peer;
+            op.tag = rec.tag;
+            break;
+          case trace::Kind::kRecv:
+            if (rec.peer == mpi::kAnySource || rec.tag == mpi::kAnyTag) {
+              makeOpaque(op, "wildcard receive");
+              poisoned = true;
+              poison = "wildcard receive";
+            } else {
+              op.cls = OpClass::kRecv;
+              op.peer = rec.peer;
+              op.tag = rec.tag;
+            }
+            break;
+          case trace::Kind::kSendrecv:
+            if (rec.recvPeer == mpi::kAnySource ||
+                rec.recvTag == mpi::kAnyTag) {
+              makeOpaque(op, "sendrecv with a wildcard receive half");
+              poisoned = true;
+              poison = "wildcard receive";
+            } else {
+              op.cls = OpClass::kSendrecv;
+              op.peer = rec.peer;
+              op.tag = rec.tag;
+              op.recvPeer = rec.recvPeer;
+              op.recvTag = rec.recvTag;
+            }
+            break;
+          case trace::Kind::kIsend:
+            op.cls = OpClass::kIsend;
+            op.peer = rec.peer;
+            op.tag = rec.tag;
+            requests[rec.request] =
+                static_cast<std::int32_t>(ops.size());
+            break;
+          case trace::Kind::kIrecv:
+            if (rec.peer == mpi::kAnySource || rec.tag == mpi::kAnyTag) {
+              makeOpaque(op, "wildcard nonblocking receive");
+              poisoned = true;
+              poison = "wildcard receive";
+            } else {
+              op.cls = OpClass::kIrecv;
+              op.peer = rec.peer;
+              op.tag = rec.tag;
+              requests[rec.request] =
+                  static_cast<std::int32_t>(ops.size());
+            }
+            break;
+          case trace::Kind::kWait:
+          case trace::Kind::kWaitall: {
+            op.cls = OpClass::kCompletion;
+            for (const mpi::RequestId req : rec.completes) {
+              const auto it = requests.find(req);
+              if (it == requests.end()) {
+                makeOpaque(op, "completion of an untracked request");
+                poisoned = true;
+                poison = "untracked request";
+                break;
+              }
+              op.completes.push_back(it->second);
+            }
+            break;
+          }
+          case trace::Kind::kCollective:
+            op.cls = OpClass::kCollective;
+            op.collective = static_cast<std::int32_t>(rec.collective);
+            op.root = rec.root;
+            break;
+          case trace::Kind::kFinalize:
+            makeOpaque(op, "finalize");
+            break;
+          case trace::Kind::kProbe:
+          case trace::Kind::kIprobe:
+            makeOpaque(op, "probe");
+            poisoned = true;
+            poison = "probe";
+            break;
+          case trace::Kind::kWaitany:
+          case trace::Kind::kWaitsome:
+            makeOpaque(op, "nondeterministic completion");
+            poisoned = true;
+            poison = "nondeterministic completion";
+            break;
+          case trace::Kind::kTest:
+          case trace::Kind::kTestall:
+          case trace::Kind::kTestany:
+          case trace::Kind::kTestsome:
+            makeOpaque(op, "test call");
+            poisoned = true;
+            poison = "test call";
+            break;
+          case trace::Kind::kSendInit:
+          case trace::Kind::kRecvInit:
+            makeOpaque(op, "persistent request");
+            poisoned = true;
+            poison = "persistent request";
+            break;
+        }
+      }
+
+      ops.push_back(std::move(op));
+      if (worldCollective) {
+        ++phase;
+        ++worldColl[static_cast<std::size_t>(p)];
+      }
+    }
+    if (phase > maxPhase) maxPhase = phase;
+  }
+
+  // Ranks must agree on the world collective count for the segmentation to
+  // describe global phases; otherwise collapse to a single (final, never
+  // suppressed) phase.
+  bool aligned = true;
+  for (std::size_t p = 1; p < worldColl.size(); ++p) {
+    if (worldColl[p] != worldColl[0]) {
+      aligned = false;
+      break;
+    }
+  }
+  if (!aligned) {
+    for (std::vector<ProgOp>& ops : program.ranks) {
+      for (ProgOp& op : ops) op.phase = 0;
+    }
+    program.phaseCount = 1;
+  } else {
+    program.phaseCount = maxPhase + 1;
+  }
+  return program;
+}
+
+}  // namespace wst::analysis

@@ -1,0 +1,27 @@
+// Trace front-end: lift a recorded profiling run into an abstract program.
+//
+// certifyWorkload() (must/hybrid.hpp) records one reference execution of a
+// workload with the offline Recorder, then calls programFromTrace() to turn
+// the per-rank record sequences back into the classifier's program form.
+// Phases are segmented at MPI_COMM_WORLD collectives: every world collective
+// ends the phase it belongs to (the wave itself stays in the closing phase),
+// which matches how iterative SPEC-style apps are structured — compute +
+// halo exchange, then an Allreduce. If the ranks disagree on how many world
+// collectives they executed the run is not phase-alignable and the whole
+// trace collapses into one (final, never-suppressed) phase.
+//
+// The lift is conservative: wildcard receives, probes, waitany/waitsome,
+// test calls, persistent requests, communicator creation and any op on a
+// non-world communicator become kOpaque, and additionally *poison* the rest
+// of that rank — after nondeterminism we no longer trust our replay of the
+// rank's request bookkeeping, so everything later stays dynamic.
+#pragma once
+
+#include "analysis/program.hpp"
+#include "trace/matched_trace.hpp"
+
+namespace wst::analysis {
+
+Program programFromTrace(const trace::MatchedTrace& trace);
+
+}  // namespace wst::analysis

@@ -1,0 +1,215 @@
+#include "fuzz/analyze.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include "support/strings.hpp"
+
+namespace wst::fuzz {
+namespace {
+
+using analysis::OpClass;
+using analysis::ProgOp;
+
+/// Interpreter's resolvePeer for non-wildcard peers: wrap modulo comm size,
+/// step off self.
+std::int32_t resolveNamed(std::int32_t peer, std::int32_t size,
+                          std::int32_t me) {
+  std::int32_t r = peer % size;
+  if (r == me) r = (r + 1) % size;
+  return r;
+}
+
+struct RankLowering {
+  const Scenario& sc;
+  std::int32_t rank;
+  std::vector<ProgOp> ops;
+  /// Indices (into `ops`) of the kIsend/kIrecv whose requests are pending,
+  /// oldest first — mirrors the interpreter's `reqs` vector.
+  std::vector<std::int32_t> reqs;
+  std::int32_t phase = 0;
+  std::int32_t maxPhase = 0;
+  bool poisoned = false;
+  std::string poison;
+
+  ProgOp& emit(OpClass cls, std::int32_t records) {
+    ProgOp op;
+    op.cls = cls;
+    op.phase = phase;
+    op.records = records;
+    ops.push_back(std::move(op));
+    return ops.back();
+  }
+
+  ProgOp& opaque(std::string why, std::int32_t records) {
+    ProgOp& op = emit(OpClass::kOpaque, records);
+    op.why = std::move(why);
+    return op;
+  }
+
+  void poisonRank(const std::string& why) {
+    poisoned = true;
+    poison = why;
+  }
+
+  void lower() {
+    const std::int32_t size = sc.procs;  // world; splits poison the rank
+    const std::int32_t me = rank;
+    for (const Op& op : sc.ranks[static_cast<std::size_t>(rank)]) {
+      if (op.kind == OpKind::kPhase) {
+        // Markers segment phases even on a poisoned rank, keeping the other
+        // ranks' phase indices aligned.
+        ++phase;
+        maxPhase = std::max(maxPhase, phase);
+        continue;
+      }
+      if (op.kind == OpKind::kCompute) continue;  // no trace record
+      if (poisoned) {
+        opaque(support::format("after %s", poison.c_str()), 1);
+        continue;
+      }
+      switch (op.kind) {
+        case OpKind::kSend:
+        case OpKind::kBsend:
+        case OpKind::kSsend: {
+          if (size < 2) break;
+          ProgOp& p = emit(op.kind == OpKind::kBsend ? OpClass::kBufferedSend
+                                                     : OpClass::kSend,
+                           1);
+          p.peer = resolveNamed(std::abs(op.peer), size, me);
+          p.tag = std::max(op.tag, 0);
+          break;
+        }
+        case OpKind::kRecv: {
+          if (size < 2) break;
+          if (op.peer < 0 || op.tag < 0) {
+            opaque("wildcard receive", 1);
+          } else {
+            ProgOp& p = emit(OpClass::kRecv, 1);
+            p.peer = resolveNamed(op.peer, size, me);
+            p.tag = op.tag;
+          }
+          break;
+        }
+        case OpKind::kSendrecv: {
+          if (size < 2) break;
+          if (op.peer2 < 0 || op.tag2 < 0) {
+            opaque("sendrecv with a wildcard receive half", 1);
+          } else {
+            ProgOp& p = emit(OpClass::kSendrecv, 1);
+            p.peer = resolveNamed(std::abs(op.peer), size, me);
+            p.tag = std::max(op.tag, 0);
+            p.recvPeer = resolveNamed(op.peer2, size, me);
+            p.recvTag = op.tag2;
+          }
+          break;
+        }
+        case OpKind::kProbe:
+          // Probe + consuming receive of the probed message: two records,
+          // and even a named probe matches without consuming — beyond the
+          // simplified models. The rank stays deterministic afterwards.
+          if (size < 2) break;
+          opaque("probe", 2);
+          break;
+        case OpKind::kIsend: {
+          if (size < 2) break;
+          reqs.push_back(static_cast<std::int32_t>(ops.size()));
+          ProgOp& p = emit(OpClass::kIsend, 1);
+          p.peer = resolveNamed(std::abs(op.peer), size, me);
+          p.tag = std::max(op.tag, 0);
+          break;
+        }
+        case OpKind::kIrecv: {
+          if (size < 2) break;
+          reqs.push_back(static_cast<std::int32_t>(ops.size()));
+          if (op.peer < 0 || op.tag < 0) {
+            opaque("wildcard nonblocking receive", 1);
+          } else {
+            ProgOp& p = emit(OpClass::kIrecv, 1);
+            p.peer = resolveNamed(op.peer, size, me);
+            p.tag = op.tag;
+          }
+          break;
+        }
+        case OpKind::kWait: {
+          if (reqs.empty()) break;
+          ProgOp& p = emit(OpClass::kCompletion, 1);
+          p.completes.push_back(reqs.front());
+          reqs.erase(reqs.begin());
+          break;
+        }
+        case OpKind::kWaitall: {
+          if (reqs.empty()) break;
+          ProgOp& p = emit(OpClass::kCompletion, 1);
+          p.completes = reqs;
+          reqs.clear();
+          break;
+        }
+        case OpKind::kWaitany:
+        case OpKind::kWaitsome:
+          if (reqs.empty()) break;  // interpreter elides these too
+          // Which requests remain open is schedule-dependent from here on.
+          opaque("nondeterministic completion", 1);
+          poisonRank("nondeterministic completion");
+          break;
+        case OpKind::kBarrier:
+        case OpKind::kBcast:
+        case OpKind::kReduce:
+        case OpKind::kAllreduce:
+        case OpKind::kGather:
+        case OpKind::kAlltoall: {
+          // Before any split the slot table holds only MPI_COMM_WORLD, so
+          // every op.comm wraps to world — same as the interpreter.
+          ProgOp& p = emit(OpClass::kCollective, 1);
+          p.collective = static_cast<std::int32_t>(op.kind);
+          const bool rooted = op.kind == OpKind::kBcast ||
+                              op.kind == OpKind::kReduce ||
+                              op.kind == OpKind::kGather;
+          p.root = rooted ? std::abs(op.peer) % size : 0;
+          break;
+        }
+        case OpKind::kCommSplit:
+          // The split itself is a collective record; afterwards the rank's
+          // communicator slot table depends on whether the wave succeeded.
+          opaque("communicator split", 1);
+          poisonRank("communicator split");
+          break;
+        case OpKind::kCompute:
+        case OpKind::kPhase:
+          break;  // handled above
+      }
+    }
+    // The interpreter's implicit tail: drain leftover requests, finalize.
+    if (poisoned) {
+      opaque(support::format("after %s", poison.c_str()), 1);  // maybe-waitall
+      opaque(support::format("after %s", poison.c_str()), 1);  // finalize
+    } else {
+      if (!reqs.empty()) {
+        ProgOp& p = emit(OpClass::kCompletion, 1);
+        p.completes = reqs;
+        reqs.clear();
+      }
+      opaque("finalize", 1);
+    }
+  }
+};
+
+}  // namespace
+
+analysis::Program programFromScenario(const Scenario& scenario) {
+  analysis::Program program;
+  program.procCount = scenario.procs;
+  program.ranks.resize(static_cast<std::size_t>(scenario.procs));
+  std::int32_t maxPhase = 0;
+  for (std::int32_t r = 0; r < scenario.procs; ++r) {
+    RankLowering lowering{scenario, r, {}, {}, 0, 0, false, {}};
+    lowering.lower();
+    program.ranks[static_cast<std::size_t>(r)] = std::move(lowering.ops);
+    maxPhase = std::max(maxPhase, lowering.maxPhase);
+  }
+  program.phaseCount = maxPhase + 1;
+  return program;
+}
+
+}  // namespace wst::fuzz

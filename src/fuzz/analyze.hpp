@@ -1,0 +1,24 @@
+// Scenario front-end for the static phase classifier.
+//
+// programFromScenario() lowers a fuzz Scenario into the analyzer's abstract
+// program form (analysis/program.hpp) by walking each rank's op list with
+// *exactly* the interpreter's total semantics — same peer clamping, same
+// empty-wait elisions, same implicit trailing waitall/finalize — so that the
+// ProgOp record counts equal the records the runtime's interposer will see.
+// Phases follow the explicit kPhase markers the generator emits.
+//
+// Anything nondeterministic maps to kOpaque: wildcard sources/tags and
+// probes stay per-op opaque (straight-line scenarios keep the rest of the
+// rank deterministic), while waitany/waitsome (request list becomes
+// schedule-dependent) and commSplit (communicator slot table becomes
+// schedule-dependent) poison the remainder of the rank.
+#pragma once
+
+#include "analysis/program.hpp"
+#include "fuzz/scenario.hpp"
+
+namespace wst::fuzz {
+
+analysis::Program programFromScenario(const Scenario& scenario);
+
+}  // namespace wst::fuzz

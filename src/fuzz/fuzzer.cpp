@@ -115,6 +115,7 @@ FuzzReport runFuzzCampaign(const FuzzConfig& config, std::ostream& log) {
     base.threads = config.threads;
     base.batch = config.batch;
     base.hierarchical = config.hierarchical;
+    base.hybrid = config.hybrid;
     base.injectBug = config.injectBug;
     base.faults = false;
     variants.push_back(base);

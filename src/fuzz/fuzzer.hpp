@@ -24,6 +24,9 @@ struct FuzzConfig {
   /// Run the hierarchical in-tree check (with the in-tool differential
   /// guard) in every distributed run.
   bool hierarchical = false;
+  /// Certify each scenario statically and run the distributed side in
+  /// hybrid sampling mode (RunOptions::hybrid).
+  bool hybrid = false;
   /// When false, skip the fault-injected variant of each run.
   bool faults = true;
   /// Planted-bug hook forwarded to the distributed tool.

@@ -37,10 +37,26 @@ struct Builder {
   /// collective phases over slots all ranks share; the interpreter itself
   /// tolerates arbitrary slot references).
   std::int32_t commSlots = 1;
+  /// Index of the generation phase currently being emitted.
+  std::int32_t phaseIndex = 0;
 
   std::int32_t procs() const { return sc.procs; }
   void push(std::int32_t rank, Op op) {
     sc.ranks[static_cast<std::size_t>(rank)].push_back(op);
+  }
+
+  /// Start the next generation phase. From the second phase on, every rank
+  /// gets an explicit kPhase marker (peer = index of the phase it opens), so
+  /// the static analyzer and the interpreter agree on phase extents instead
+  /// of phases being implicit in the pattern list. Markers emit no MPI call
+  /// and consume no randomness.
+  void beginPhase() {
+    if (phaseIndex > 0) {
+      for (std::int32_t r = 0; r < procs(); ++r) {
+        push(r, Op{OpKind::kPhase, phaseIndex, 0, 0, 0, 0, 0});
+      }
+    }
+    ++phaseIndex;
   }
 
   std::int32_t randomComm() {
@@ -297,6 +313,7 @@ Scenario makeScenario(std::uint64_t seed) {
   Builder b{rng, sc};
   const int phases = 2 + static_cast<int>(rng.below(5));
   for (int i = 0; i < phases; ++i) {
+    b.beginPhase();
     switch (rng.below(8)) {
       case 0: b.pairExchange(); break;
       case 1: b.ring(); break;
@@ -308,7 +325,10 @@ Scenario makeScenario(std::uint64_t seed) {
       default: b.computeSkew(); break;
     }
   }
-  if (rng.chance(0.35)) b.deadlockSeed();
+  if (rng.chance(0.35)) {
+    b.beginPhase();
+    b.deadlockSeed();
+  }
   return sc;
 }
 

@@ -159,6 +159,12 @@ sim::Task runRank(mpi::Proc& self, std::shared_ptr<const Scenario> sc) {
       case OpKind::kCompute:
         co_await self.compute(static_cast<sim::Duration>(bytes) * 50);
         break;
+      case OpKind::kPhase:
+        // Phase boundary marker: no MPI call, no trace record. The static
+        // analyzer (fuzz/analyze.cpp) segments certification phases here;
+        // an attached tool sees the transition via Interposer::onPhase.
+        self.phase(op.peer);
+        break;
     }
   }
   if (!reqs.empty()) co_await self.waitall(reqs);

@@ -5,6 +5,8 @@
 #include <memory>
 #include <utility>
 
+#include "analysis/classifier.hpp"
+#include "fuzz/analyze.hpp"
 #include "fuzz/interpreter.hpp"
 #include "mpi/runtime.hpp"
 #include "must/recorder.hpp"
@@ -143,6 +145,10 @@ Outcome runDistributedOracle(const Scenario& scenario,
 
   mpi::Runtime runtime(*engine, mpiConfigFor(scenario), scenario.procs);
 
+  // Built before the tool and kept alive past it: the tool reads the
+  // certificate both at construction and while handling sampled events.
+  analysis::Certificate certificate;
+
   must::ToolConfig cfg;
   cfg.fanIn = scenario.fanIn;
   // Zero application-visible overhead: both oracle sides must observe the
@@ -163,6 +169,13 @@ Outcome runDistributedOracle(const Scenario& scenario,
   cfg.overlay.treeDown.latency = scenario.latDown;
   cfg.batchWaitState = options.batch;
   cfg.injectBug = options.injectBug;
+  if (options.hybrid) {
+    certificate = analysis::analyzeProgram(programFromScenario(scenario));
+    cfg.certificate = &certificate;
+    // Sampling must stay invisible to the application schedule, like every
+    // other oracle overhead knob.
+    cfg.sampledEventCost = 0;
+  }
   if (options.hierarchical) {
     // Differential guard inside the tool: the condensed in-tree check runs
     // next to the raw root check every detection round and divergences are

@@ -28,6 +28,12 @@ struct RunOptions {
   /// Run the hierarchical (condensed) check next to the raw root check in
   /// the distributed tool and surface any in-tool divergence.
   bool hierarchical = false;
+  /// Hybrid static/dynamic mode: certify the scenario with the static
+  /// classifier (fuzz/analyze.cpp) and hand the certificate to the tool, so
+  /// certified-prefix operations are sampled instead of tracked. Verdicts
+  /// and terminal wait-for graphs must be identical either way — the fuzz
+  /// campaigns sweep this flag to enforce that.
+  bool hybrid = false;
   /// Planted-bug hook (ToolConfig::injectBug).
   std::int32_t injectBug = 0;
 };

@@ -16,6 +16,7 @@ constexpr std::array<const char*, kOpKindCount> kOpNames = {
     "probe",   "isend",   "irecv",     "wait",   "waitall",
     "waitany", "waitsome", "barrier",  "bcast",  "reduce",
     "allreduce", "gather", "alltoall", "commsplit", "compute",
+    "phase",
 };
 
 /// Probabilities print on a fixed 1e-4 grid so serialize() is reproducible

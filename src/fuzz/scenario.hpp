@@ -40,8 +40,11 @@ enum class OpKind : std::uint8_t {
   kAlltoall,
   kCommSplit,  // collective; appends a communicator slot on participants
   kCompute,    // local busy time (schedule diversity)
+  kPhase,      // explicit phase boundary marker; peer = phase index. Emits
+               // no MPI call — the static analyzer and the interpreter use
+               // it to agree on phase extents (DESIGN.md §15).
 };
-inline constexpr int kOpKindCount = 20;
+inline constexpr int kOpKindCount = 21;
 
 const char* opKindName(OpKind kind);
 std::optional<OpKind> opKindFromName(const std::string& name);

@@ -23,6 +23,7 @@ Scenario withoutRank(const Scenario& sc, std::int32_t gone) {
   for (auto& ops : out.ranks) {
     for (Op& op : ops) {
       if (op.kind == OpKind::kCommSplit) continue;  // peer is a color
+      if (op.kind == OpKind::kPhase) continue;      // peer is a phase index
       op.peer = remapPeer(op.peer, gone);
       if (op.kind == OpKind::kSendrecv) op.peer2 = remapPeer(op.peer2, gone);
     }

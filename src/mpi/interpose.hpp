@@ -9,8 +9,10 @@
 // application, the mechanism behind the slowdowns of paper Figures 9/12.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 
+#include "mpi/types.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
 #include "trace/event.hpp"
@@ -34,6 +36,15 @@ class Interposer {
   /// Observe one event from a rank. `event` carries the assigned (i, j)
   /// operation id. Called in call order per rank.
   virtual Hold onEvent(const trace::Event& event) = 0;
+
+  /// Phase-boundary marker from the application (Proc::phase). Not an MPI
+  /// call: it emits no trace record and charges no cost; it only tells the
+  /// tool that the program entered certification phase `phase` (hybrid
+  /// static/dynamic mode, DESIGN.md §15). Default: ignore.
+  virtual void onPhase(Rank rank, std::int32_t phase) {
+    (void)rank;
+    (void)phase;
+  }
 };
 
 }  // namespace wst::mpi

@@ -154,6 +154,13 @@ class Proc {
   /// Local computation for `d` of virtual time (not an MPI call).
   sim::Task compute(sim::Duration d);
 
+  /// Phase-boundary marker (not an MPI call): emits no trace record and
+  /// consumes no virtual time; it only notifies an attached interposer that
+  /// this rank entered certification phase `index` (DESIGN.md §15).
+  void phase(std::int32_t index) {
+    if (mpi::Interposer* ip = rt_.interposer()) ip->onPhase(rank_, index);
+  }
+
   /// MPI_Finalize: terminal operation; the rank is done afterwards.
   sim::Task finalize();
 

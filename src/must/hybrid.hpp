@@ -1,0 +1,28 @@
+// Hybrid static/dynamic mode, workload side (DESIGN.md §15).
+//
+// Workloads are C++ coroutine programs, not declarative op lists, so the
+// static classifier cannot read them directly. certifyWorkload() instead
+// records one tool-free profiling execution with the offline Recorder,
+// lifts the matched trace back into the classifier's program form
+// (analysis/trace_program.cpp) and certifies that. This is sound for the
+// deterministic SPEC-style workloads the hybrid targets: the certificate
+// only ever covers wildcard-free, probe-free phases, and the trace
+// front-end refuses to certify past the first nondeterministic construct —
+// a rank whose replay could diverge from the profile keeps full tracking.
+// A run that does not finalize (e.g. 126.lammps deadlocks) yields an empty
+// certificate: nothing suppressed, verdicts untouched.
+#pragma once
+
+#include "analysis/certificate.hpp"
+#include "mpi/runtime.hpp"
+
+namespace wst::must {
+
+/// Profile `program` once without a tool attached and derive the per-phase
+/// deadlock-freedom certificate for it. Returns an inactive (all-dynamic)
+/// certificate when the profiling run deadlocks or nothing certifies.
+analysis::Certificate certifyWorkload(std::int32_t procs,
+                                      const mpi::RuntimeConfig& mpiConfig,
+                                      const mpi::Runtime::Program& program);
+
+}  // namespace wst::must

@@ -109,6 +109,17 @@ struct DeadlockDetailMsg {
   std::vector<wfg::NodeConditions> conditions;
 };
 
+/// Process wrapper -> its first-layer node (hybrid mode, DESIGN.md §15):
+/// the process left its statically certified prefix. The tracker
+/// fast-forwards the process's state over the `opCount` sampled records
+/// (which include `worldCollectives` MPI_COMM_WORLD collective waves) and
+/// resumes full tracking with the operation that follows this message.
+struct PhaseResyncMsg {
+  trace::ProcId proc = -1;
+  trace::LocalTs opCount = 0;
+  std::uint32_t worldCollectives = 0;
+};
+
 using ToolMsg =
     std::variant<trace::NewOpEvent, trace::MatchInfoEvent,
                  waitstate::PassSendMsg, waitstate::RecvActiveMsg,
@@ -116,7 +127,7 @@ using ToolMsg =
                  waitstate::CollectiveAckMsg, RequestConsistentStateMsg,
                  AckConsistentStateMsg, PingMsg, PongMsg, RequestWaitsMsg,
                  WaitInfoMsg, CondensedWaitInfoMsg, DeadlockDetailRequestMsg,
-                 DeadlockDetailMsg>;
+                 DeadlockDetailMsg, PhaseResyncMsg>;
 
 /// Modeled wire size for bandwidth accounting.
 inline std::size_t modeledSize(const ToolMsg& msg) {
@@ -154,6 +165,8 @@ inline std::size_t modeledSize(const ToolMsg& msg) {
                  16 * m.activeSends.size() + 20 * m.activeWildcards.size();
         } else if constexpr (std::is_same_v<T, DeadlockDetailRequestMsg>) {
           return 8 + 4 * m.procs.size();
+        } else if constexpr (std::is_same_v<T, PhaseResyncMsg>) {
+          return 16;
         } else if constexpr (std::is_same_v<T, DeadlockDetailMsg>) {
           std::size_t bytes = 8;
           for (const auto& node : m.conditions) {

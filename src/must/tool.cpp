@@ -35,7 +35,7 @@ const char* toolMsgKindName(std::size_t index) {
       "collective_ack",   "request_consistent_state",
       "ack_consistent_state", "ping",       "pong",
       "request_waits",    "wait_info",      "condensed_wait_info",
-      "deadlock_detail_request", "deadlock_detail",
+      "deadlock_detail_request", "deadlock_detail", "phase_resync",
   };
   static_assert(std::variant_size_v<ToolMsg> ==
                 sizeof(kNames) / sizeof(kNames[0]));
@@ -305,6 +305,23 @@ DistributedTool::DistributedTool(sim::Scheduler& engine, mpi::Runtime& runtime,
   incremental_.emplace(runtime_.procCount(), config_.warmStartThreshold);
   procSends_.resize(static_cast<std::size_t>(runtime_.procCount()));
   procWildcards_.resize(static_cast<std::size_t>(runtime_.procCount()));
+  // Unified suppressed-message accounting: one total plus a per-layer
+  // breakdown, so every suppression layer's savings read against the same
+  // baseline (incremental + ping-prune previously reported bytes only).
+  suppressedTotal_ = &metrics_.counter("tracker/suppressed_msgs");
+  suppressedHybrid_ = &metrics_.counter("tracker/suppressed_msgs/hybrid");
+  suppressedIncremental_ =
+      &metrics_.counter("tracker/suppressed_msgs/incremental");
+  suppressedPingPrune_ =
+      &metrics_.counter("tracker/suppressed_msgs/ping_prune");
+  certifiedOpsCounter_ = &metrics_.counter("tracker/certified_ops");
+  phaseMarksCounter_ = &metrics_.counter("tracker/phase_marks");
+  if (config_.certificate != nullptr && config_.certificate->active()) {
+    WST_ASSERT(config_.certificate->procCount == runtime_.procCount(),
+               "certificate process count does not match the runtime");
+    sampleUntil_ = config_.certificate->sampleUntil;
+  }
+
   pingsSentCounter_ = &metrics_.counter("tool/pings_sent");
   pingsSkippedCounter_ = &metrics_.counter("tool/pings_skipped");
   pingSkipHazards_ = &metrics_.counter("tool/ping_skip_hazards");
@@ -445,6 +462,35 @@ std::string DistributedTool::metricsJson() {
 
 // --- Interposition -------------------------------------------------------------
 
+namespace {
+/// Tracker protocol messages one suppressed record would have caused beyond
+/// its own event: passSend for sends, recvActive + ack for receives, both
+/// for sendrecv, ready + ack share for collectives. Drives the hybrid's
+/// entry in the unified suppressed-message counters.
+std::uint64_t elidedProtocolMsgs(const trace::Record& rec) {
+  switch (rec.kind) {
+    case trace::Kind::kSend:
+    case trace::Kind::kIsend:
+      return 1;
+    case trace::Kind::kRecv:
+    case trace::Kind::kIrecv:
+      return 2;
+    case trace::Kind::kSendrecv:
+      return 3;
+    case trace::Kind::kCollective:
+      return 2;
+    default:
+      return 0;
+  }
+}
+}  // namespace
+
+void DistributedTool::onPhase(mpi::Rank rank, std::int32_t phase) {
+  (void)rank;
+  (void)phase;
+  phaseMarksCounter_->add();
+}
+
 mpi::Interposer::Hold DistributedTool::onEvent(const trace::Event& event) {
   Hold hold;
   hold.cost = config_.appEventCost;
@@ -452,6 +498,48 @@ mpi::Interposer::Hold DistributedTool::onEvent(const trace::Event& event) {
   const ProcId proc =
       isMatchInfo ? std::get<trace::MatchInfoEvent>(event).recvOp.proc
                   : std::get<trace::NewOpEvent>(event).rec.id.proc;
+
+  if (!sampleUntil_.empty()) {
+    const trace::LocalTs watermark =
+        sampleUntil_[static_cast<std::size_t>(proc)];
+    if (isMatchInfo) {
+      // A matching decision for a sampled op has no tracker-side op to bind
+      // to. Certified prefixes are wildcard-free, so this cannot fire for a
+      // sound certificate; stay total anyway.
+      if (std::get<trace::MatchInfoEvent>(event).recvOp.ts < watermark) {
+        hold.cost = config_.sampledEventCost;
+        suppressedHybrid_->add();
+        suppressedTotal_->add();
+        return hold;
+      }
+    } else {
+      const trace::Record& rec = std::get<trace::NewOpEvent>(event).rec;
+      if (rec.id.ts < watermark) {
+        // Sampling mode: the op is statically proven to match and complete
+        // inside the certified prefix. Count it and ship nothing — no event
+        // up the TBON, no credits consumed, no tracker work.
+        hold.cost = config_.sampledEventCost;
+        certifiedOpsCounter_->add();
+        const std::uint64_t elided = 1 + elidedProtocolMsgs(rec);
+        suppressedHybrid_->add(elided);
+        suppressedTotal_->add(elided);
+        return hold;
+      }
+      if (watermark > 0 && rec.id.ts == watermark) {
+        // First op past the prefix (timestamps are dense, so this happens
+        // exactly once per rank): resync the tracker state before the op's
+        // own event so it arrives at a fast-forwarded tracker.
+        PhaseResyncMsg resync;
+        resync.proc = proc;
+        resync.opCount = watermark;
+        resync.worldCollectives =
+            config_.certificate->prefixWorldCollectives;
+        overlay_->injectUnthrottled(proc, ToolMsg{resync},
+                                    modeledSize(ToolMsg{resync}));
+      }
+    }
+  }
+
   ToolMsg msg = std::visit([](const auto& e) { return ToolMsg{e}; }, event);
   const std::size_t bytes = trace::modeledSize(event);
 
@@ -605,6 +693,9 @@ void DistributedTool::handleMessage(NodeId node, ToolMsg&& msg) {
       Overloaded{
           [&](trace::NewOpEvent& e) { ns.tracker->onNewOp(e.rec); },
           [&](trace::MatchInfoEvent& e) { ns.tracker->onMatchInfo(e); },
+          [&](PhaseResyncMsg& m) {
+            ns.tracker->fastForward(m.proc, m.opCount, m.worldCollectives);
+          },
           [&](waitstate::PassSendMsg& m) { ns.tracker->onPassSend(m); },
           [&](waitstate::RecvActiveMsg& m) { ns.tracker->onRecvActive(m); },
           [&](waitstate::RecvActiveAckMsg& m) {
@@ -727,6 +818,9 @@ void DistributedTool::handleMessage(NodeId node, ToolMsg&& msg) {
                 if (delta && !ns.tracker->dirtySinceReport(p)) {
                   ++info.unchangedCount;
                   gatherSavedBytes_->add(ns.lastCondBytes[local]);
+                  // One elided per-process conditions entry in the reply.
+                  suppressedIncremental_->add();
+                  suppressedTotal_->add();
                   continue;
                 }
                 wfg::NodeConditions cond = ns.tracker->waitConditions(p);
@@ -1045,6 +1139,9 @@ void DistributedTool::handleRequestConsistentState(NodeId node,
               overlay_->intralayerDataDelivered(node, peer)) {
         ns.skippedPeers.push_back(peer);
         pingsSkippedCounter_->add();
+        // A skipped double ping-pong elides four messages (2x ping/pong).
+        suppressedPingPrune_->add(4);
+        suppressedTotal_->add(4);
         continue;
       }
     }

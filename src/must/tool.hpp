@@ -32,6 +32,7 @@
 #include <variant>
 #include <vector>
 
+#include "analysis/certificate.hpp"
 #include "mpi/proc.hpp"
 #include "mpi/runtime.hpp"
 #include "must/messages.hpp"
@@ -157,6 +158,21 @@ struct ToolConfig {
   /// off (the raw path then still produces the report).
   bool verifyHierarchical = false;
 
+  // --- Hybrid static/dynamic mode (DESIGN.md §15) ----------------------------
+
+  /// Per-phase deadlock-freedom certificate from the static classifier
+  /// (analysis::analyzeProgram), or null for pure dynamic tracking. When
+  /// set, operations inside a rank's certified prefix are *sampled*: the
+  /// wrapper counts them against the rank's watermark and ships nothing up
+  /// the TBON. The first op past the watermark is preceded by a
+  /// PhaseResyncMsg that fast-forwards the rank's tracker state over the
+  /// prefix; tracking is fully dynamic from there on. The certificate must
+  /// outlive the tool and match the runtime's process count.
+  const analysis::Certificate* certificate = nullptr;
+  /// Wrapper cost charged to an application rank for a sampled call (bump a
+  /// counter, compare against the watermark — no serialization, no send).
+  sim::Duration sampledEventCost = 25;
+
   /// Optional flight recorder (support/tracing.hpp). When set and enabled,
   /// the tool records wait-state message flows (emit -> handle, across
   /// nodes), detection-round phase spans, and consistent-state protocol
@@ -177,6 +193,10 @@ class DistributedTool : public mpi::Interposer {
 
   // mpi::Interposer:
   Hold onEvent(const trace::Event& event) override;
+  /// Phase-boundary marker (Proc::phase): free to the application, counted
+  /// for observability ("tracker/phase_marks" lines up against the
+  /// certificate's phase structure in the metrics dump).
+  void onPhase(mpi::Rank rank, std::int32_t phase) override;
 
   // --- Results -------------------------------------------------------------
 
@@ -414,6 +434,21 @@ class DistributedTool : public mpi::Interposer {
   /// True when channel latencies let in-flight intralayer data outrun the
   /// requestWaits broadcast (precondition for ping pruning).
   bool pruneGateOk_ = false;
+
+  // Hybrid sampling state: per-rank watermark (from the certificate) and
+  // suppressed-record count; the resync fires when the count reaches the
+  // watermark (timestamps are dense, so that happens exactly once).
+  std::vector<trace::LocalTs> sampleUntil_;
+
+  // Unified suppressed-message accounting (satellite of DESIGN.md §15):
+  // every layer that elides tracker messages counts them here, per layer
+  // and in total, so savings are comparable against one baseline.
+  support::Counter* suppressedTotal_ = nullptr;
+  support::Counter* suppressedHybrid_ = nullptr;
+  support::Counter* suppressedIncremental_ = nullptr;
+  support::Counter* suppressedPingPrune_ = nullptr;
+  support::Counter* certifiedOpsCounter_ = nullptr;
+  support::Counter* phaseMarksCounter_ = nullptr;
 
   // Live instruments for the incremental pipeline.
   support::Counter* pingsSentCounter_ = nullptr;

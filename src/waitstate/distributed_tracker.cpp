@@ -91,6 +91,24 @@ std::size_t DistributedTracker::windowSize(ProcId proc) const {
   return state(proc).window.size();
 }
 
+void DistributedTracker::fastForward(ProcId proc, LocalTs opCount,
+                                     std::uint32_t worldCollectives) {
+  ProcState& ps = state(proc);
+  // Suppression covers a *prefix* of the process's records, so the resync
+  // must land on a pristine process: nothing arrived, nothing tracked.
+  WST_ASSERT(ps.window.empty() && ps.arrived == 0 && ps.current == 0 &&
+                 ps.windowBase == 0 && !ps.finished,
+             "hybrid resync on a non-pristine process");
+  ps.windowBase = opCount;
+  ps.current = opCount;
+  ps.arrived = opCount;
+  // Every certified world collective wave completed inside the prefix; the
+  // per-comm wave counter must skip past them so the first tracked
+  // collective lands in the right wave.
+  ps.collSeq[mpi::kCommWorld] += worldCollectives;
+  touch(proc);
+}
+
 // --- newOp -------------------------------------------------------------------
 
 void DistributedTracker::onNewOp(const Record& rec) {

@@ -88,6 +88,17 @@ class DistributedTracker {
   void onRecvActiveAck(const RecvActiveAckMsg& msg);
   void onCollectiveAck(const CollectiveAckMsg& msg);
 
+  /// Hybrid static/dynamic mode: jump a hosted process's state over a
+  /// statically certified prefix (DESIGN.md §15). The tool calls this when
+  /// the process's PhaseResyncMsg arrives, i.e. right before the first
+  /// tracked (post-prefix) operation: the process executed `opCount`
+  /// records that were sampled instead of shipped, all of them matched and
+  /// completed within the prefix, including `worldCollectives` collective
+  /// waves on MPI_COMM_WORLD. The tracker must still be pristine for the
+  /// process — suppression is a prefix, so no tracked op can precede it.
+  void fastForward(trace::ProcId proc, trace::LocalTs opCount,
+                   std::uint32_t worldCollectives);
+
   // --- Consistent-state protocol support (paper §5) --------------------------
 
   /// Stop applying transitions; message handling continues. Captures which

@@ -1,0 +1,379 @@
+// Unit tests of the static phase classifier: one certifying program per
+// simplified-model family (chain, ring, collective, mixed, non-blocking
+// exchange), near-misses that must stay uncertified (wildcards, count
+// mismatches, blocking cycles, cross-phase requests, a wildcard hidden
+// behind a communicator split), and the prefix-cut arithmetic the runtime
+// consumes (sampleUntil watermarks, final-phase exclusion).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/classifier.hpp"
+#include "analysis/program.hpp"
+#include "fuzz/analyze.hpp"
+#include "fuzz/scenario.hpp"
+
+namespace wst::analysis {
+namespace {
+
+ProgOp send(std::int32_t phase, std::int32_t peer, std::int32_t tag = 0,
+            OpClass cls = OpClass::kSend) {
+  ProgOp op;
+  op.cls = cls;
+  op.phase = phase;
+  op.peer = peer;
+  op.tag = tag;
+  return op;
+}
+
+ProgOp recv(std::int32_t phase, std::int32_t peer, std::int32_t tag = 0,
+            OpClass cls = OpClass::kRecv) {
+  ProgOp op;
+  op.cls = cls;
+  op.phase = phase;
+  op.peer = peer;
+  op.tag = tag;
+  return op;
+}
+
+ProgOp sendrecv(std::int32_t phase, std::int32_t to, std::int32_t from) {
+  ProgOp op;
+  op.cls = OpClass::kSendrecv;
+  op.phase = phase;
+  op.peer = to;
+  op.recvPeer = from;
+  return op;
+}
+
+ProgOp completion(std::int32_t phase, std::vector<std::int32_t> completes) {
+  ProgOp op;
+  op.cls = OpClass::kCompletion;
+  op.phase = phase;
+  op.completes = std::move(completes);
+  return op;
+}
+
+ProgOp collective(std::int32_t phase, std::int32_t kind,
+                  std::int32_t root = 0) {
+  ProgOp op;
+  op.cls = OpClass::kCollective;
+  op.phase = phase;
+  op.collective = kind;
+  op.root = root;
+  return op;
+}
+
+ProgOp opaque(std::int32_t phase, const char* why) {
+  ProgOp op;
+  op.cls = OpClass::kOpaque;
+  op.phase = phase;
+  op.why = why;
+  return op;
+}
+
+/// Program skeleton with an opaque finalize on every rank in the last phase
+/// (mirrors both front-ends: teardown is never certified).
+Program makeProgram(std::int32_t procs, std::int32_t phases) {
+  Program p;
+  p.procCount = procs;
+  p.phaseCount = phases;
+  p.ranks.resize(static_cast<std::size_t>(procs));
+  for (auto& ops : p.ranks) ops.push_back(opaque(phases - 1, "finalize"));
+  return p;
+}
+
+void prepend(Program& p, std::int32_t rank, std::vector<ProgOp> ops) {
+  auto& list = p.ranks[static_cast<std::size_t>(rank)];
+  list.insert(list.begin(), ops.begin(), ops.end());
+}
+
+TEST(Classifier, DeterministicChainCertifiesAsChain) {
+  Program p = makeProgram(3, 2);
+  prepend(p, 0, {send(0, 1)});
+  prepend(p, 1, {recv(0, 0), send(0, 2)});
+  prepend(p, 2, {recv(0, 1)});
+  const Certificate cert = analyzeProgram(p);
+  ASSERT_EQ(cert.phases.size(), 2u);
+  EXPECT_TRUE(cert.phases[0].certified);
+  EXPECT_EQ(cert.phases[0].model, PhaseModel::kChain);
+  EXPECT_FALSE(cert.phases[1].certified);  // finalize
+  EXPECT_EQ(cert.prefixPhases, 1);
+  EXPECT_EQ(cert.sampleUntil, (std::vector<trace::LocalTs>{1, 2, 1}));
+  EXPECT_EQ(cert.certifiedOps(), 4u);
+  EXPECT_TRUE(cert.active());
+}
+
+TEST(Classifier, BufferedSendRingCertifiesAsRing) {
+  const std::int32_t n = 4;
+  Program p = makeProgram(n, 2);
+  for (std::int32_t r = 0; r < n; ++r) {
+    prepend(p, r,
+            {send(0, (r + 1) % n, 0, OpClass::kBufferedSend),
+             recv(0, (r + n - 1) % n)});
+  }
+  const Certificate cert = analyzeProgram(p);
+  EXPECT_TRUE(cert.phases[0].certified);
+  EXPECT_EQ(cert.phases[0].model, PhaseModel::kRing);
+  EXPECT_EQ(cert.prefixPhases, 1);
+}
+
+TEST(Classifier, SendrecvRingCertifiesAsRing) {
+  const std::int32_t n = 5;
+  Program p = makeProgram(n, 2);
+  for (std::int32_t r = 0; r < n; ++r) {
+    prepend(p, r, {sendrecv(0, (r + 1) % n, (r + n - 1) % n)});
+  }
+  const Certificate cert = analyzeProgram(p);
+  EXPECT_TRUE(cert.phases[0].certified);
+  EXPECT_EQ(cert.phases[0].model, PhaseModel::kRing);
+}
+
+TEST(Classifier, BlockingSendRingIsUncertified) {
+  // Standard sends rendezvous under the conservative model: every rank's
+  // send completion waits for the next rank's receive, which waits for that
+  // rank's send — a cycle in the event graph, the classic unsafe ring.
+  const std::int32_t n = 4;
+  Program p = makeProgram(n, 2);
+  for (std::int32_t r = 0; r < n; ++r) {
+    prepend(p, r, {send(0, (r + 1) % n), recv(0, (r + n - 1) % n)});
+  }
+  const Certificate cert = analyzeProgram(p);
+  EXPECT_FALSE(cert.phases[0].certified);
+  EXPECT_NE(cert.phases[0].reason.find("cyclic"), std::string::npos);
+  EXPECT_EQ(cert.prefixPhases, 0);
+  EXPECT_FALSE(cert.active());
+}
+
+TEST(Classifier, HeadToHeadBlockingSendsAreUncertified) {
+  Program p = makeProgram(2, 2);
+  prepend(p, 0, {send(0, 1), recv(0, 1)});
+  prepend(p, 1, {send(0, 0), recv(0, 0)});
+  const Certificate cert = analyzeProgram(p);
+  EXPECT_FALSE(cert.phases[0].certified);
+}
+
+TEST(Classifier, CollectivePhaseCertifiesAsCollective) {
+  Program p = makeProgram(4, 2);
+  for (std::int32_t r = 0; r < 4; ++r) {
+    prepend(p, r, {collective(0, /*kind=*/12), collective(0, /*kind=*/15)});
+  }
+  const Certificate cert = analyzeProgram(p);
+  EXPECT_TRUE(cert.phases[0].certified);
+  EXPECT_EQ(cert.phases[0].model, PhaseModel::kCollective);
+  EXPECT_EQ(cert.phases[0].worldCollectives, 2u);
+  EXPECT_EQ(cert.prefixWorldCollectives, 2u);
+}
+
+TEST(Classifier, MixedPhaseCertifiesAsMixed) {
+  Program p = makeProgram(2, 2);
+  prepend(p, 0, {send(0, 1), collective(0, 12)});
+  prepend(p, 1, {recv(0, 0), collective(0, 12)});
+  const Certificate cert = analyzeProgram(p);
+  EXPECT_TRUE(cert.phases[0].certified);
+  EXPECT_EQ(cert.phases[0].model, PhaseModel::kMixed);
+}
+
+TEST(Classifier, NonblockingExchangeCertifies) {
+  // Both ranks: irecv, isend, waitall — the request dependencies close
+  // inside the phase, and posting halves do not block program order.
+  Program p = makeProgram(2, 2);
+  for (std::int32_t r = 0; r < 2; ++r) {
+    prepend(p, r,
+            {recv(0, 1 - r, 0, OpClass::kIrecv),
+             send(0, 1 - r, 0, OpClass::kIsend), completion(0, {0, 1})});
+  }
+  const Certificate cert = analyzeProgram(p);
+  EXPECT_TRUE(cert.phases[0].certified) << cert.phases[0].reason;
+  EXPECT_EQ(cert.prefixPhases, 1);
+}
+
+TEST(Classifier, WildcardMakesThePhaseUncertified) {
+  Program p = makeProgram(2, 2);
+  prepend(p, 0, {send(0, 1)});
+  prepend(p, 1, {opaque(0, "wildcard receive")});
+  const Certificate cert = analyzeProgram(p);
+  EXPECT_FALSE(cert.phases[0].certified);
+  EXPECT_NE(cert.phases[0].reason.find("wildcard"), std::string::npos);
+}
+
+TEST(Classifier, SendRecvCountMismatchIsUncertified) {
+  Program p = makeProgram(2, 2);
+  prepend(p, 0, {send(0, 1, 0, OpClass::kBufferedSend),
+                 send(0, 1, 0, OpClass::kBufferedSend)});
+  prepend(p, 1, {recv(0, 0)});
+  const Certificate cert = analyzeProgram(p);
+  EXPECT_FALSE(cert.phases[0].certified);
+  EXPECT_NE(cert.phases[0].reason.find("unmatched"), std::string::npos);
+}
+
+TEST(Classifier, CollectiveWaveMisalignmentIsUncertified) {
+  Program p = makeProgram(2, 2);
+  prepend(p, 0, {collective(0, 12), collective(0, 15)});
+  prepend(p, 1, {collective(0, 15), collective(0, 12)});
+  const Certificate cert = analyzeProgram(p);
+  EXPECT_FALSE(cert.phases[0].certified);
+  EXPECT_NE(cert.phases[0].reason.find("misaligned"), std::string::npos);
+}
+
+TEST(Classifier, CrossPhaseRequestPoisonsBothPhases) {
+  Program p = makeProgram(2, 3);
+  // Rank 0: isend in phase 0, wait for it in phase 1.
+  prepend(p, 0, {send(0, 1, 0, OpClass::kIsend), completion(1, {0})});
+  prepend(p, 1, {recv(0, 0)});
+  const Certificate cert = analyzeProgram(p);
+  EXPECT_FALSE(cert.phases[0].certified);  // request left open
+  EXPECT_FALSE(cert.phases[1].certified);  // completion reaches across
+  EXPECT_EQ(cert.prefixPhases, 0);
+}
+
+TEST(Classifier, OpenRequestIsUncertified) {
+  Program p = makeProgram(2, 2);
+  prepend(p, 0, {send(0, 1, 0, OpClass::kIsend)});
+  prepend(p, 1, {recv(0, 0, 0, OpClass::kIrecv), completion(0, {0})});
+  const Certificate cert = analyzeProgram(p);
+  EXPECT_FALSE(cert.phases[0].certified);
+  EXPECT_NE(cert.phases[0].reason.find("open"), std::string::npos);
+}
+
+TEST(Classifier, PrefixStopsAtFirstUncertifiedPhase) {
+  Program p = makeProgram(2, 4);
+  // Phase 0 certified, phase 1 uncertified, phase 2 certified again — the
+  // prefix cut must stop at 1 and never resume.
+  prepend(p, 0, {send(0, 1), send(1, 1), opaque(1, "probe"), send(2, 1)});
+  prepend(p, 1, {recv(0, 0), recv(1, 0), recv(2, 0)});
+  const Certificate cert = analyzeProgram(p);
+  ASSERT_EQ(cert.phases.size(), 4u);
+  EXPECT_TRUE(cert.phases[0].certified);
+  EXPECT_FALSE(cert.phases[1].certified);
+  EXPECT_TRUE(cert.phases[2].certified);
+  EXPECT_EQ(cert.prefixPhases, 1);
+  EXPECT_EQ(cert.sampleUntil, (std::vector<trace::LocalTs>{1, 1}));
+}
+
+TEST(Classifier, FinalPhaseNeverJoinsThePrefixEvenWhenCertified) {
+  Program p;  // no opaque finalize: every phase certifies
+  p.procCount = 2;
+  p.phaseCount = 3;
+  p.ranks.resize(2);
+  for (std::int32_t f = 0; f < 3; ++f) {
+    p.ranks[0].push_back(send(f, 1, f, OpClass::kBufferedSend));
+    p.ranks[1].push_back(recv(f, 0, f));
+  }
+  const Certificate cert = analyzeProgram(p);
+  EXPECT_TRUE(cert.phases[2].certified);
+  EXPECT_EQ(cert.prefixPhases, 2);  // capped at phaseCount - 1
+  EXPECT_EQ(cert.sampleUntil, (std::vector<trace::LocalTs>{2, 2}));
+}
+
+TEST(Classifier, EmptyPhaseCertifiesAsEmpty) {
+  Program p = makeProgram(2, 2);  // phase 0 has no ops at all
+  const Certificate cert = analyzeProgram(p);
+  EXPECT_TRUE(cert.phases[0].certified);
+  EXPECT_EQ(cert.phases[0].model, PhaseModel::kEmpty);
+  EXPECT_EQ(cert.prefixPhases, 1);
+  EXPECT_FALSE(cert.active());  // nothing to suppress
+}
+
+// --- Scenario front-end (fuzz/analyze.cpp) ---------------------------------
+
+fuzz::Op fuzzOp(fuzz::OpKind kind, std::int32_t peer = 0,
+                std::int32_t tag = 0) {
+  fuzz::Op op;
+  op.kind = kind;
+  op.peer = peer;
+  op.tag = tag;
+  return op;
+}
+
+TEST(ScenarioFrontEnd, DeterministicExchangeCertifiesFirstPhase) {
+  fuzz::Scenario sc;
+  sc.procs = 4;
+  sc.ranks.resize(4);
+  sc.ranks[0] = {fuzzOp(fuzz::OpKind::kSend, 1),
+                 fuzzOp(fuzz::OpKind::kPhase, 1),
+                 fuzzOp(fuzz::OpKind::kBarrier)};
+  sc.ranks[1] = {fuzzOp(fuzz::OpKind::kRecv, 0),
+                 fuzzOp(fuzz::OpKind::kPhase, 1),
+                 fuzzOp(fuzz::OpKind::kBarrier)};
+  sc.ranks[2] = {fuzzOp(fuzz::OpKind::kPhase, 1),
+                 fuzzOp(fuzz::OpKind::kBarrier)};
+  sc.ranks[3] = {fuzzOp(fuzz::OpKind::kPhase, 1),
+                 fuzzOp(fuzz::OpKind::kBarrier)};
+  const Certificate cert = analyzeProgram(fuzz::programFromScenario(sc));
+  ASSERT_EQ(cert.phases.size(), 2u);
+  EXPECT_TRUE(cert.phases[0].certified) << cert.phases[0].reason;
+  EXPECT_FALSE(cert.phases[1].certified);  // barrier phase carries finalize
+  EXPECT_EQ(cert.prefixPhases, 1);
+  EXPECT_EQ(cert.sampleUntil, (std::vector<trace::LocalTs>{1, 1, 0, 0}));
+}
+
+TEST(ScenarioFrontEnd, WildcardHiddenBehindCommSplitUncertifiesPrefix) {
+  // The wildcard receive sits in phase 1, but the kCommSplit in phase 0
+  // already poisons the rank: the split's schedule-dependent slot table
+  // makes everything after it non-derivable, so phase 0 is uncertified and
+  // the prefix is empty — suppression never engages.
+  fuzz::Scenario sc;
+  sc.procs = 4;
+  sc.ranks.resize(4);
+  for (auto& ops : sc.ranks) {
+    ops = {fuzzOp(fuzz::OpKind::kCommSplit, 0),
+           fuzzOp(fuzz::OpKind::kPhase, 1),
+           fuzzOp(fuzz::OpKind::kRecv, /*peer=*/-1, /*tag=*/-1)};
+  }
+  sc.ranks[0][2] = fuzzOp(fuzz::OpKind::kSend, 1);
+  const Certificate cert = analyzeProgram(fuzz::programFromScenario(sc));
+  EXPECT_FALSE(cert.phases[0].certified);
+  EXPECT_EQ(cert.prefixPhases, 0);
+  EXPECT_FALSE(cert.active());
+}
+
+TEST(ScenarioFrontEnd, WildcardPhaseDoesNotPoisonLaterPhases) {
+  // A wildcard receive is per-op opaque, not rank poison: the phase that
+  // contains it stays uncertified, but a later deterministic phase still
+  // type-checks (it just cannot join the prefix).
+  fuzz::Scenario sc;
+  sc.procs = 2;
+  sc.ranks.resize(2);
+  sc.ranks[0] = {fuzzOp(fuzz::OpKind::kRecv, -1, -1),
+                 fuzzOp(fuzz::OpKind::kPhase, 1),
+                 fuzzOp(fuzz::OpKind::kRecv, 1),
+                 fuzzOp(fuzz::OpKind::kPhase, 2),
+                 fuzzOp(fuzz::OpKind::kBarrier)};
+  sc.ranks[1] = {fuzzOp(fuzz::OpKind::kSend, 0),
+                 fuzzOp(fuzz::OpKind::kPhase, 1),
+                 fuzzOp(fuzz::OpKind::kSend, 0),
+                 fuzzOp(fuzz::OpKind::kPhase, 2),
+                 fuzzOp(fuzz::OpKind::kBarrier)};
+  const Certificate cert = analyzeProgram(fuzz::programFromScenario(sc));
+  ASSERT_EQ(cert.phases.size(), 3u);
+  EXPECT_FALSE(cert.phases[0].certified);
+  EXPECT_TRUE(cert.phases[1].certified) << cert.phases[1].reason;
+  EXPECT_EQ(cert.prefixPhases, 0);
+}
+
+TEST(ScenarioFrontEnd, LoweringIsDeterministic) {
+  const fuzz::Scenario sc = [] {
+    fuzz::Scenario s;
+    s.procs = 3;
+    s.ranks.resize(3);
+    for (std::int32_t r = 0; r < 3; ++r) {
+      s.ranks[static_cast<std::size_t>(r)] = {
+          fuzzOp(fuzz::OpKind::kIsend, (r + 1) % 3),
+          fuzzOp(fuzz::OpKind::kIrecv, (r + 2) % 3),
+          fuzzOp(fuzz::OpKind::kWaitall),
+          fuzzOp(fuzz::OpKind::kPhase, 1),
+          fuzzOp(fuzz::OpKind::kAllreduce)};
+    }
+    return s;
+  }();
+  const Certificate a = analyzeProgram(fuzz::programFromScenario(sc));
+  const Certificate b = analyzeProgram(fuzz::programFromScenario(sc));
+  EXPECT_EQ(a.summary(), b.summary());
+  EXPECT_EQ(a.sampleUntil, b.sampleUntil);
+  EXPECT_EQ(a.prefixPhases, b.prefixPhases);
+  EXPECT_TRUE(a.phases[0].certified) << a.phases[0].reason;
+}
+
+}  // namespace
+}  // namespace wst::analysis

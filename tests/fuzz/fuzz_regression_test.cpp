@@ -100,6 +100,35 @@ TEST(FuzzRegression, CorpusReplaysWithoutDivergenceUnderHierarchicalCheck) {
   }
 }
 
+TEST(FuzzRegression, CorpusReplaysWithoutDivergenceUnderHybrid) {
+  // Hybrid sampling mode: each scenario is certified statically and the
+  // distributed run suppresses tracking inside the certified prefix. The
+  // whole corpus — wildcards, comm splits, faults, deadlocks — must still
+  // agree with the formal oracle on verdict, terminal state and WFG.
+  for (const auto& file : corpusFiles()) {
+    const Scenario scenario = load(file);
+    const Outcome formal = runFormalOracle(scenario);
+    RunOptions options;
+    options.faults = scenario.faults.any();
+    options.hybrid = true;
+    const Outcome distributed = runDistributedOracle(scenario, options);
+    EXPECT_EQ(compareOutcomes(formal, distributed), "") << file;
+  }
+}
+
+TEST(FuzzRegression, CorpusReplaysWithoutDivergenceUnderHybridThreads) {
+  for (const auto& file : corpusFiles()) {
+    const Scenario scenario = load(file);
+    const Outcome formal = runFormalOracle(scenario);
+    RunOptions options;
+    options.faults = scenario.faults.any();
+    options.hybrid = true;
+    options.threads = 4;
+    const Outcome distributed = runDistributedOracle(scenario, options);
+    EXPECT_EQ(compareOutcomes(formal, distributed), "") << file;
+  }
+}
+
 TEST(FuzzRegression, PlantedBugIsCaughtAndShrinksToATinyWitness) {
   // --inject-bug 1 drops the tracker's recvActiveAck responses for probes;
   // the differential oracle must notice, and the shrinker must reduce the

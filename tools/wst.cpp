@@ -14,6 +14,7 @@
 //
 // Exit code: 0 = clean run, 2 = deadlock reported, 1 = usage error,
 // 3 = --verify-incremental or fuzz oracle divergence.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -22,11 +23,14 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "analysis/certificate.hpp"
 #include "fuzz/fuzzer.hpp"
 #include "fuzz/generator.hpp"
 
 #include "must/harness.hpp"
+#include "must/hybrid.hpp"
 #include "support/strings.hpp"
 #include "support/trace_export.hpp"
 #include "support/tracing.hpp"
@@ -59,6 +63,9 @@ struct Options {
   bool verifyIncremental = false;  // side-by-side full check each round
   bool hierarchicalCheck = false;  // in-tree condensed check replaces gather
   bool verifyHierarchical = false;  // condensed check next to the raw check
+  bool hybrid = false;         // static certificate + sampled tracking
+  bool verifyHybrid = false;   // dual run, plain vs hybrid; exit 3 on any
+                               // divergence in verdict/deadlocked/state
   bool prunePings = false;     // skip ping-pong toward quiet peer links
   double warmThreshold = 0.5;  // changed fraction above which a round
                                // falls back to full rebuild + cold check
@@ -113,6 +120,14 @@ void printUsage() {
       "  --verify-hierarchical    run the condensed in-tree check next to\n"
       "                           the raw root check; exit 3 on any\n"
       "                           divergence in verdict/deadlocked/released\n"
+      "  --hybrid                 certify the workload's deterministic phases\n"
+      "                           with the static classifier (one tool-free\n"
+      "                           profiling run) and sample instead of track\n"
+      "                           inside the certified prefix\n"
+      "  --verify-hybrid          run the tool twice, plain and hybrid, and\n"
+      "                           compare verdict, deadlocked set, and the\n"
+      "                           terminal per-rank state; exit 3 on any\n"
+      "                           divergence\n"
       "  --prune-pings            skip the consistent-state ping-pong toward\n"
       "                           peers whose links carried no wait-state\n"
       "                           traffic since the last round\n"
@@ -140,6 +155,9 @@ void printUsage() {
       "  --hierarchical           run every distributed check with the\n"
       "                           hierarchical in-tree path and its in-tool\n"
       "                           differential guard\n"
+      "  --hybrid                 certify each scenario statically and run\n"
+      "                           the distributed side in hybrid sampling\n"
+      "                           mode (verdicts must not change)\n"
       "  --no-faults              skip the fault-injected variant of each run\n"
       "  --inject-bug K           plant tool bug K (test hook; 1 = drop probe\n"
       "                           acks) so the oracle must catch it\n"
@@ -180,6 +198,8 @@ int runFuzz(int argc, char** argv) {
       cfg.batch = true;
     } else if (arg == "--hierarchical") {
       cfg.hierarchical = true;
+    } else if (arg == "--hybrid") {
+      cfg.hybrid = true;
     } else if (arg == "--no-faults") {
       noFaults = true;
     } else if (arg == "--inject-bug") {
@@ -233,6 +253,7 @@ int runFuzz(int argc, char** argv) {
     options.threads = cfg.threads;
     options.batch = cfg.batch;
     options.hierarchical = cfg.hierarchical;
+    options.hybrid = cfg.hybrid;
     options.injectBug = cfg.injectBug;
     const std::string reason =
         fuzz::replayScenario(*scenario, options, std::cout);
@@ -314,6 +335,69 @@ int runWorkload(const Options& opt) {
   toolCfg.pruneConsistentPings = opt.prunePings;
   toolCfg.warmStartThreshold = opt.warmThreshold;
 
+  // Divergence guard for the hybrid mode, styled after --verify-incremental:
+  // run the tool twice — pure dynamic tracking vs certificate-driven
+  // sampling — and require identical verdicts, deadlocked sets, and terminal
+  // per-rank operation counts. Exit 3 on any difference.
+  if (opt.verifyHybrid) {
+    const analysis::Certificate cert =
+        must::certifyWorkload(opt.procs, mpiCfg, *program);
+    std::printf("verify-hybrid: %s\n", cert.summary().c_str());
+
+    struct SideResult {
+      bool deadlock = false;
+      std::vector<trace::ProcId> deadlocked;
+      bool allFinalized = false;
+      std::vector<trace::LocalTs> state;
+    };
+    const auto runSide = [&](const analysis::Certificate* certificate) {
+      sim::Engine engine;
+      mpi::Runtime runtime(engine, mpiCfg, opt.procs);
+      must::ToolConfig cfg = toolCfg;
+      cfg.certificate = certificate;
+      must::DistributedTool tool(engine, runtime, cfg);
+      runtime.runToCompletion(*program);
+      SideResult side;
+      side.deadlock = tool.deadlockFound();
+      if (tool.report()) side.deadlocked = tool.report()->check.deadlocked;
+      std::sort(side.deadlocked.begin(), side.deadlocked.end());
+      side.allFinalized = runtime.allFinalized();
+      for (trace::ProcId p = 0; p < opt.procs; ++p) {
+        side.state.push_back(
+            tool.tracker(tool.topology().nodeOfProc(p)).current(p));
+      }
+      return side;
+    };
+    const SideResult plain = runSide(nullptr);
+    const SideResult hybrid = runSide(&cert);
+    std::string divergence;
+    if (plain.deadlock != hybrid.deadlock) {
+      divergence = "verdict differs";
+    } else if (plain.deadlocked != hybrid.deadlocked) {
+      divergence = "deadlocked sets differ";
+    } else if (plain.allFinalized != hybrid.allFinalized) {
+      divergence = "completion differs";
+    } else if (plain.state != hybrid.state) {
+      divergence = "terminal state vectors differ";
+    }
+    if (!divergence.empty()) {
+      std::printf("verify-hybrid: DIVERGENCE: %s\n", divergence.c_str());
+      return 3;
+    }
+    std::printf("verify-hybrid: verdict '%s', zero divergences\n",
+                plain.deadlock ? "deadlock" : "clean");
+    return plain.deadlock ? 2 : 0;
+  }
+
+  // Certificate must outlive the tool: the wrapper consults it on every
+  // sampled event.
+  std::optional<analysis::Certificate> certificate;
+  if (opt.hybrid) {
+    certificate = must::certifyWorkload(opt.procs, mpiCfg, *program);
+    std::printf("hybrid: %s\n", certificate->summary().c_str());
+    toolCfg.certificate = &*certificate;
+  }
+
   std::printf("running '%s' on %d simulated ranks (%s, fan-in %d, %s b)...\n",
               opt.workload.c_str(), opt.procs,
               opt.centralized ? "centralized" : "distributed", toolCfg.fanIn,
@@ -383,6 +467,18 @@ int runWorkload(const Options& opt) {
               support::withCommas(tool.totalTransitions()).c_str(),
               support::withCommas(tool.overlay().totalMessages()).c_str(),
               tool.maxWindowSize());
+  if (opt.hybrid) {
+    std::printf("hybrid: %s certified ops sampled, %s tracker messages "
+                "suppressed\n",
+                support::withCommas(
+                    tool.metrics().counter("tracker/certified_ops").value())
+                    .c_str(),
+                support::withCommas(tool.metrics()
+                                        .counter("tracker/suppressed_msgs/"
+                                                 "hybrid")
+                                        .value())
+                    .c_str());
+  }
   if (opt.batch) {
     std::printf("batching: %s intralayer messages in %s channel messages\n",
                 support::withCommas(
@@ -610,6 +706,10 @@ int main(int argc, char** argv) {
       opt.hierarchicalCheck = true;
     } else if (arg == "--verify-hierarchical") {
       opt.verifyHierarchical = true;
+    } else if (arg == "--hybrid") {
+      opt.hybrid = true;
+    } else if (arg == "--verify-hybrid") {
+      opt.verifyHybrid = true;
     } else if (arg == "--prune-pings") {
       opt.prunePings = true;
     } else if (arg == "--warm-threshold") {

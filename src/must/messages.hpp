@@ -120,6 +120,30 @@ struct PhaseResyncMsg {
   std::uint32_t worldCollectives = 0;
 };
 
+/// One TBON node's health sample (telemetry plane, DESIGN.md §16). Every
+/// field is state owned by the sampling node's LP at the moment its beat
+/// timer fires, so the row — and everything the root derives from it — is
+/// deterministic across worker counts.
+struct HealthBeatRow {
+  tbon::NodeId node = -1;
+  std::uint64_t beatSeq = 0;            // sender-local beat counter
+  std::uint64_t sampledAtNs = 0;        // virtual time of the sample
+  std::uint32_t lastEpoch = 0;          // last detection epoch seen
+  std::uint32_t queueDepth = 0;         // overlay receive queue, now
+  std::uint32_t maxQueueDepth = 0;      // node-local high-water
+  std::uint64_t retransmitBacklog = 0;  // unacked reliable-stream envelopes
+  std::uint64_t condensationNodes = 0;  // last condensation size (hier mode)
+  std::uint64_t resyncedOps = 0;        // ops fast-forwarded by resyncs
+  std::uint64_t deliveredMsgs = 0;      // tool messages handled by the node
+};
+
+/// Node -> root (relayed up the tree): periodic liveness + load beat.
+/// Fire-and-forget — no node ever waits for a child's beat, so a silent
+/// node stalls nothing; the root notices it by the *absence* of rows.
+struct HealthBeatMsg {
+  std::vector<HealthBeatRow> rows;
+};
+
 using ToolMsg =
     std::variant<trace::NewOpEvent, trace::MatchInfoEvent,
                  waitstate::PassSendMsg, waitstate::RecvActiveMsg,
@@ -127,7 +151,7 @@ using ToolMsg =
                  waitstate::CollectiveAckMsg, RequestConsistentStateMsg,
                  AckConsistentStateMsg, PingMsg, PongMsg, RequestWaitsMsg,
                  WaitInfoMsg, CondensedWaitInfoMsg, DeadlockDetailRequestMsg,
-                 DeadlockDetailMsg, PhaseResyncMsg>;
+                 DeadlockDetailMsg, PhaseResyncMsg, HealthBeatMsg>;
 
 /// Modeled wire size for bandwidth accounting.
 inline std::size_t modeledSize(const ToolMsg& msg) {
@@ -167,6 +191,8 @@ inline std::size_t modeledSize(const ToolMsg& msg) {
           return 8 + 4 * m.procs.size();
         } else if constexpr (std::is_same_v<T, PhaseResyncMsg>) {
           return 16;
+        } else if constexpr (std::is_same_v<T, HealthBeatMsg>) {
+          return 8 + 48 * m.rows.size();
         } else if constexpr (std::is_same_v<T, DeadlockDetailMsg>) {
           std::size_t bytes = 8;
           for (const auto& node : m.conditions) {

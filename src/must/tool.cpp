@@ -36,6 +36,7 @@ const char* toolMsgKindName(std::size_t index) {
       "ack_consistent_state", "ping",       "pong",
       "request_waits",    "wait_info",      "condensed_wait_info",
       "deadlock_detail_request", "deadlock_detail", "phase_resync",
+      "health_beat",
   };
   static_assert(std::variant_size_v<ToolMsg> ==
                 sizeof(kNames) / sizeof(kNames[0]));
@@ -146,6 +147,13 @@ struct DistributedTool::NodeState : waitstate::Comms {
   // Inner-node deadlock-detail aggregation (one reply per child).
   DeadlockDetailMsg pendingDetail;
   std::uint32_t detailChildren = 0;
+
+  // Health-beat bookkeeping (telemetry plane): all counters are only ever
+  // touched on this node's LP, so a beat row sampling them is deterministic.
+  std::uint64_t beatSeq = 0;        // beats this node sent
+  std::uint64_t deliveredMsgs = 0;  // tool messages handled by this node
+  std::uint64_t resyncedOps = 0;    // ops fast-forwarded by PhaseResyncMsg
+  std::uint64_t lastCondNodes = 0;  // boundary size of the last condensation
 
   /// Cached count of this node's hosted processes per communicator group
   /// (groups are immutable once created).
@@ -348,6 +356,38 @@ DistributedTool::DistributedTool(sim::Scheduler& engine, mpi::Runtime& runtime,
     if (config_.overlay.faults.enabled) pruneGateOk_ = false;
   }
 
+  // Telemetry plane (DESIGN.md §16): instruments, the per-round timeline,
+  // and the per-process overhead buckets exist only when enabled, so a
+  // disabled run registers nothing and its metrics dump stays unchanged.
+  if (config_.telemetry) {
+    ohWrapperNs_ = &metrics_.counter("overhead/wrapper_ns");
+    ohSampledNs_ = &metrics_.counter("overhead/sampled_ns");
+    ohCreditWaitNs_ = &metrics_.counter("overhead/credit_wait_ns");
+    ohSyncNs_ = &metrics_.counter("overhead/sync_ns");
+    ohGatherNs_ = &metrics_.counter("overhead/gather_ns");
+    ohResyncNs_ = &metrics_.counter("overhead/resync_ns");
+    procOverhead_.resize(static_cast<std::size_t>(runtime_.procCount()));
+    support::MetricsTimeline::Config tlc;
+    tlc.capacity = config_.timelineCapacity;
+    timeline_ = std::make_unique<support::MetricsTimeline>(metrics_, tlc);
+  }
+  if (config_.healthBeatInterval > 0) {
+    healthBeatsSent_ = &metrics_.counter("health/beats_sent");
+    healthRowsReceived_ = &metrics_.counter("health/rows_received");
+    healthStaleFlags_ = &metrics_.counter("health/stale_flags");
+    healthStaleGauge_ = &metrics_.gauge("health/stale_nodes");
+    fleetHealth_.resize(static_cast<std::size_t>(topology_.nodeCount()));
+    // One cadence timer per node, on the node's own LP: beats sample only
+    // that LP's state and never keep the run alive (leftover ticks are
+    // discarded once the last live event drains).
+    for (NodeId n = 0; n < topology_.nodeCount(); ++n) {
+      if (n == config_.muteHealthBeatNode) continue;  // injected silent node
+      engine_.scheduleCadenceOn(overlay_->nodeLp(n),
+                                config_.healthBeatInterval,
+                                [this, n] { onHealthBeat(n); });
+    }
+  }
+
   if (config_.detectOnQuiescence) {
     quiescenceHookId_ = engine_.addQuiescenceHook([this] { onQuiescence(); });
   }
@@ -412,8 +452,10 @@ std::size_t DistributedTool::maxWindowSize() const {
   return maxSize;
 }
 
-std::string DistributedTool::metricsJson() {
-  // Derived statistics snapshot as gauges (idempotent across calls).
+void DistributedTool::refreshDerivedMetrics() {
+  // Derived statistics snapshot as gauges (idempotent across calls). Called
+  // from single-threaded windows only: post-run (metricsJson) or a
+  // deterministic cut (timeline capture), never from inside an event.
   for (const tbon::LinkClass c :
        {tbon::LinkClass::kAppToLeaf, tbon::LinkClass::kIntralayer,
         tbon::LinkClass::kUp, tbon::LinkClass::kDown, tbon::LinkClass::kSelf}) {
@@ -457,6 +499,10 @@ std::string DistributedTool::metricsJson() {
     metrics_.gauge("tool/last_round/full_rebuild")
         .set(last.fullRebuild ? 1 : 0);
   }
+}
+
+std::string DistributedTool::metricsJson() {
+  refreshDerivedMetrics();
   return metrics_.toJson();
 }
 
@@ -499,6 +545,22 @@ mpi::Interposer::Hold DistributedTool::onEvent(const trace::Event& event) {
       isMatchInfo ? std::get<trace::MatchInfoEvent>(event).recvOp.proc
                   : std::get<trace::NewOpEvent>(event).rec.id.proc;
 
+  // Overhead self-accounting (telemetry plane): the wrapper charges its own
+  // cost to the process's bucket right here. procOverhead_ is app-LP state
+  // and is empty when telemetry is off, so the disabled hot path pays one
+  // predictable branch per accounting site and nothing else.
+  const bool accountOverhead = !procOverhead_.empty();
+  const auto chargeWrapper = [&](std::uint64_t ns, bool sampled) {
+    ProcOverhead& po = procOverhead_[static_cast<std::size_t>(proc)];
+    if (sampled) {
+      po.sampledNs += ns;
+      ohSampledNs_->add(ns);
+    } else {
+      po.wrapperNs += ns;
+      ohWrapperNs_->add(ns);
+    }
+  };
+
   if (!sampleUntil_.empty()) {
     const trace::LocalTs watermark =
         sampleUntil_[static_cast<std::size_t>(proc)];
@@ -510,6 +572,9 @@ mpi::Interposer::Hold DistributedTool::onEvent(const trace::Event& event) {
         hold.cost = config_.sampledEventCost;
         suppressedHybrid_->add();
         suppressedTotal_->add();
+        if (accountOverhead) {
+          chargeWrapper(static_cast<std::uint64_t>(hold.cost), true);
+        }
         return hold;
       }
     } else {
@@ -523,6 +588,9 @@ mpi::Interposer::Hold DistributedTool::onEvent(const trace::Event& event) {
         const std::uint64_t elided = 1 + elidedProtocolMsgs(rec);
         suppressedHybrid_->add(elided);
         suppressedTotal_->add(elided);
+        if (accountOverhead) {
+          chargeWrapper(static_cast<std::uint64_t>(hold.cost), true);
+        }
         return hold;
       }
       if (watermark > 0 && rec.id.ts == watermark) {
@@ -542,6 +610,9 @@ mpi::Interposer::Hold DistributedTool::onEvent(const trace::Event& event) {
 
   ToolMsg msg = std::visit([](const auto& e) { return ToolMsg{e}; }, event);
   const std::size_t bytes = trace::modeledSize(event);
+  if (accountOverhead) {
+    chargeWrapper(static_cast<std::uint64_t>(hold.cost), false);
+  }
 
   if (isMatchInfo) {
     // Status piggybacks on the operation's completion; never blocks.
@@ -552,11 +623,22 @@ mpi::Interposer::Hold DistributedTool::onEvent(const trace::Event& event) {
     overlay_->inject(proc, std::move(msg), bytes);
     return hold;
   }
-  // Tool channel full: the rank blocks until the leaf node catches up.
+  // Tool channel full: the rank blocks until the leaf node catches up. With
+  // telemetry on, the time from here to the credit callback is the rank's
+  // backpressure stall; both timestamps are taken on the app LP (the app
+  // channel's producer), so the bucket is deterministic.
   auto gate = std::make_shared<sim::Gate>();
   hold.wait = gate;
+  const sim::Time blockStart = engine_.now();
   overlay_->onceInjectCredit(
-      proc, [this, proc, m = std::move(msg), bytes, gate]() mutable {
+      proc,
+      [this, proc, m = std::move(msg), bytes, gate, blockStart]() mutable {
+        if (!procOverhead_.empty()) {
+          const auto waited =
+              static_cast<std::uint64_t>(engine_.now() - blockStart);
+          procOverhead_[static_cast<std::size_t>(proc)].creditWaitNs += waited;
+          ohCreditWaitNs_->add(waited);
+        }
         overlay_->inject(proc, std::move(m), bytes);
         gate->open();
       });
@@ -689,11 +771,17 @@ void DistributedTool::broadcastDown(NodeId from, const ToolMsg& msg) {
 void DistributedTool::handleMessage(NodeId node, ToolMsg&& msg) {
   msgCounters_[msg.index()]->add();
   NodeState& ns = *nodes_[static_cast<std::size_t>(node)];
+  ++ns.deliveredMsgs;
   std::visit(
       Overloaded{
           [&](trace::NewOpEvent& e) { ns.tracker->onNewOp(e.rec); },
           [&](trace::MatchInfoEvent& e) { ns.tracker->onMatchInfo(e); },
           [&](PhaseResyncMsg& m) {
+            ns.resyncedOps += static_cast<std::uint64_t>(m.opCount);
+            if (ohResyncNs_ != nullptr) {
+              ohResyncNs_->add(
+                  static_cast<std::uint64_t>(config_.controlMsgCost));
+            }
             ns.tracker->fastForward(m.proc, m.opCount, m.worldCollectives);
           },
           [&](waitstate::PassSendMsg& m) { ns.tracker->onPassSend(m); },
@@ -720,6 +808,7 @@ void DistributedTool::handleMessage(NodeId node, ToolMsg&& msg) {
             if (topology_.isFirstLayer(node)) {
               handleRequestConsistentState(node, m.epoch);
             } else {
+              ns.epoch = m.epoch;  // inner nodes track the epoch for beats
               broadcastDown(node, ToolMsg{m});
             }
           },
@@ -796,6 +885,7 @@ void DistributedTool::handleMessage(NodeId node, ToolMsg&& msg) {
                   wfg::condenseLeaf(conds, topo.procLo, topo.procHi);
               reported =
                   static_cast<std::int64_t>(cmsg.wait.cond.nodes.size());
+              ns.lastCondNodes = cmsg.wait.cond.nodes.size();
               if (topology_.isRoot(node)) {
                 handleCondensedAtRoot(std::move(cmsg));
               } else {
@@ -949,6 +1039,7 @@ void DistributedTool::handleMessage(NodeId node, ToolMsg&& msg) {
             ns.pendingCondWildcards.clear();
             ns.pendingCondFinished = 0;
             ns.condChildren = 0;
+            ns.lastCondNodes = merged.wait.cond.nodes.size();
             const std::size_t bytes = modeledSize(ToolMsg{merged});
             overlay_->sendUp(node, ToolMsg{std::move(merged)}, bytes);
           },
@@ -992,6 +1083,17 @@ void DistributedTool::handleMessage(NodeId node, ToolMsg&& msg) {
             ns.detailChildren = 0;
             const std::size_t bytes = modeledSize(ToolMsg{merged});
             overlay_->sendUp(node, ToolMsg{std::move(merged)}, bytes);
+          },
+          [&](HealthBeatMsg& m) {
+            // Fire-and-forget fold toward the root: inner nodes relay the
+            // rows unchanged (the vector form keeps future coalescing
+            // possible); the root integrates them into the fleet table.
+            if (topology_.isRoot(node)) {
+              integrateHealthRows(m.rows);
+              return;
+            }
+            const std::size_t bytes = modeledSize(ToolMsg{m});
+            overlay_->sendUp(node, ToolMsg{std::move(m)}, bytes);
           },
       },
       msg);
@@ -1360,6 +1462,11 @@ void DistributedTool::finishDetection() {
   runUnexpectedMatchCheck();
   detectionInProgress_ = false;
   ++detectionsCompleted_;
+  if (ohSyncNs_ != nullptr) {
+    ohSyncNs_->add(stats.syncNs);
+    ohGatherNs_->add(stats.gatherNs);
+  }
+  requestTimelineCapture(stats.epoch);
   if (rootTrack_) {
     rootTrack_->spanEnd("detection", "detect", "changed",
                         static_cast<std::int64_t>(gatheredProcs_));
@@ -1490,6 +1597,11 @@ void DistributedTool::completeHierarchicalRound(
   pendingHier_.reset();
   detectionInProgress_ = false;
   ++detectionsCompleted_;
+  if (ohSyncNs_ != nullptr) {
+    ohSyncNs_->add(stats.syncNs);
+    ohGatherNs_->add(stats.gatherNs);
+  }
+  requestTimelineCapture(stats.epoch);
   if (rootTrack_) {
     rootTrack_->spanEnd("detection", "detect", "boundary",
                         static_cast<std::int64_t>(stats.boundaryNodes));
@@ -1515,6 +1627,266 @@ void DistributedTool::attachTraceToReport() {
     }
   }
   wfg::appendWaitHistory(*report_, deadlocked);
+}
+
+// --- Live telemetry plane (DESIGN.md §16) --------------------------------------
+
+void DistributedTool::requestTimelineCapture(std::uint32_t epoch) {
+  if (!timeline_ || timelineCapturePending_) return;
+  timelineCapturePending_ = true;
+  // Snapshotting the registry from inside an event would race with other
+  // shards; the next cut is the earliest deterministic single-threaded
+  // window, and its placement depends only on the schedule, never on the
+  // worker count — so the timeline is byte-identical across --threads 1..N.
+  engine_.atNextCut([this, epoch](sim::Time now) {
+    timelineCapturePending_ = false;
+    refreshDerivedMetrics();
+    timeline_->capture(static_cast<std::int64_t>(now),
+                       support::format("round %u", epoch));
+  });
+}
+
+HealthBeatRow DistributedTool::makeHealthRow(NodeId node) {
+  NodeState& ns = *nodes_[static_cast<std::size_t>(node)];
+  HealthBeatRow row;
+  row.node = node;
+  row.beatSeq = ++ns.beatSeq;
+  row.sampledAtNs = static_cast<std::uint64_t>(engine_.now());
+  row.lastEpoch = ns.epoch;
+  row.queueDepth = static_cast<std::uint32_t>(overlay_->nodeQueueDepth(node));
+  row.maxQueueDepth =
+      static_cast<std::uint32_t>(overlay_->nodeMaxQueueDepth(node));
+  row.retransmitBacklog = overlay_->nodeRetransmitBacklog(node);
+  row.condensationNodes = ns.lastCondNodes;
+  row.resyncedOps = ns.resyncedOps;
+  row.deliveredMsgs = ns.deliveredMsgs;
+  return row;
+}
+
+void DistributedTool::onHealthBeat(NodeId node) {
+  healthBeatsSent_->add();
+  HealthBeatMsg msg;
+  msg.rows.push_back(makeHealthRow(node));
+  if (topology_.isRoot(node)) {
+    integrateHealthRows(msg.rows);
+    sweepStaleHealth();  // the root's own tick doubles as the sweep
+  } else {
+    const std::size_t bytes = modeledSize(ToolMsg{msg});
+    overlay_->sendUp(node, ToolMsg{std::move(msg)}, bytes);
+  }
+  // Cadence self-reschedule on this node's own LP: beats keep firing while
+  // live work exists and silently stop once the run has truly drained.
+  engine_.scheduleCadenceOn(overlay_->nodeLp(node),
+                            engine_.now() + config_.healthBeatInterval,
+                            [this, node] { onHealthBeat(node); });
+}
+
+void DistributedTool::integrateHealthRows(std::vector<HealthBeatRow>& rows) {
+  const auto now = static_cast<std::uint64_t>(engine_.now());
+  for (HealthBeatRow& row : rows) {
+    healthRowsReceived_->add();
+    NodeHealth& h = fleetHealth_[static_cast<std::size_t>(row.node)];
+    h.last = row;
+    h.arrivedAtNs = now;
+    ++h.beatsSeen;
+    h.everSeen = true;
+  }
+}
+
+void DistributedTool::sweepStaleHealth() {
+  const auto now = static_cast<std::uint64_t>(engine_.now());
+  const auto threshold = static_cast<std::uint64_t>(
+      config_.healthStaleFactor *
+      static_cast<double>(config_.healthBeatInterval));
+  std::int64_t stale = 0;
+  for (NodeHealth& h : fleetHealth_) {
+    // arrivedAtNs stays 0 until the first row lands, so a node that never
+    // reported is flagged once the threshold has elapsed from run start —
+    // the injected-silent-node case the acceptance test exercises.
+    const bool nowStale = now >= threshold && now - h.arrivedAtNs >= threshold;
+    if (nowStale && !h.stale) healthStaleFlags_->add();
+    h.stale = nowStale;
+    if (nowStale) ++stale;
+  }
+  healthStaleGauge_->set(stale);
+}
+
+std::uint32_t DistributedTool::staleNodeCount() const {
+  std::uint32_t count = 0;
+  for (const NodeHealth& h : fleetHealth_) count += h.stale ? 1 : 0;
+  return count;
+}
+
+void DistributedTool::finalizeTelemetry() {
+  if (!timeline_) return;
+  refreshDerivedMetrics();
+  timeline_->capture(static_cast<std::int64_t>(engine_.now()), "final");
+}
+
+std::string DistributedTool::statusJson(sim::Time now) const {
+  // Every value below is virtual-clock or counted state; the round
+  // wall-clock figures (buildNs/checkNs) are deliberately excluded — they
+  // differ across runs and worker counts and would break byte-stability.
+  std::string out = support::format(
+      "{\"schema\": \"wst-status-v1\", \"time_ns\": %lld, \"procs\": %d, "
+      "\"nodes\": %d, \"epoch\": %u, \"detections\": %u, "
+      "\"detection_in_progress\": %s, \"deadlock\": %s",
+      static_cast<long long>(now), runtime_.procCount(),
+      topology_.nodeCount(), epoch_, detectionsCompleted_,
+      detectionInProgress_ ? "true" : "false",
+      deadlockFound() ? "true" : "false");
+
+  out += ", \"rounds\": [";
+  constexpr std::size_t kRoundTail = 8;
+  const std::size_t first =
+      roundStats_.size() > kRoundTail ? roundStats_.size() - kRoundTail : 0;
+  for (std::size_t i = first; i < roundStats_.size(); ++i) {
+    const RoundStats& r = roundStats_[i];
+    out += support::format(
+        "%s{\"epoch\": %u, \"changed\": %u, \"unchanged\": %u, "
+        "\"sync_ns\": %llu, \"gather_ns\": %llu, \"deadlock\": %s, "
+        "\"hierarchical\": %s, \"boundary_nodes\": %llu}",
+        i == first ? "" : ", ", r.epoch, r.changed, r.unchanged,
+        static_cast<unsigned long long>(r.syncNs),
+        static_cast<unsigned long long>(r.gatherNs),
+        r.deadlock ? "true" : "false", r.hierarchical ? "true" : "false",
+        static_cast<unsigned long long>(r.boundaryNodes));
+  }
+  out += "]";
+
+  out += support::format(", \"overhead\": {\"enabled\": %s",
+                         procOverhead_.empty() ? "false" : "true");
+  if (!procOverhead_.empty()) {
+    std::uint64_t wrapper = 0;
+    std::uint64_t sampled = 0;
+    std::uint64_t creditWait = 0;
+    for (const ProcOverhead& po : procOverhead_) {
+      wrapper += po.wrapperNs;
+      sampled += po.sampledNs;
+      creditWait += po.creditWaitNs;
+    }
+    out += support::format(
+        ", \"total\": {\"wrapper_ns\": %llu, \"sampled_ns\": %llu, "
+        "\"credit_wait_ns\": %llu, \"sync_ns\": %llu, \"gather_ns\": %llu, "
+        "\"resync_ns\": %llu}, \"per_proc\": [",
+        static_cast<unsigned long long>(wrapper),
+        static_cast<unsigned long long>(sampled),
+        static_cast<unsigned long long>(creditWait),
+        static_cast<unsigned long long>(ohSyncNs_->value()),
+        static_cast<unsigned long long>(ohGatherNs_->value()),
+        static_cast<unsigned long long>(ohResyncNs_->value()));
+    for (std::size_t p = 0; p < procOverhead_.size(); ++p) {
+      const ProcOverhead& po = procOverhead_[p];
+      const std::uint64_t tracked =
+          po.wrapperNs + po.sampledNs + po.creditWaitNs;
+      const auto elapsed = static_cast<std::uint64_t>(now);
+      const std::uint64_t appCompute =
+          elapsed > tracked ? elapsed - tracked : 0;
+      out += support::format(
+          "%s{\"proc\": %zu, \"wrapper_ns\": %llu, \"sampled_ns\": %llu, "
+          "\"credit_wait_ns\": %llu, \"app_compute_ns\": %llu}",
+          p == 0 ? "" : ", ", p, static_cast<unsigned long long>(po.wrapperNs),
+          static_cast<unsigned long long>(po.sampledNs),
+          static_cast<unsigned long long>(po.creditWaitNs),
+          static_cast<unsigned long long>(appCompute));
+    }
+    out += "]";
+  }
+  out += "}";
+
+  out += support::format(
+      ", \"health\": {\"enabled\": %s, \"interval_ns\": %lld, "
+      "\"stale_nodes\": %u, \"nodes\": [",
+      fleetHealth_.empty() ? "false" : "true",
+      static_cast<long long>(config_.healthBeatInterval), staleNodeCount());
+  for (std::size_t n = 0; n < fleetHealth_.size(); ++n) {
+    const NodeHealth& h = fleetHealth_[n];
+    out += support::format(
+        "%s{\"node\": %zu, \"stale\": %s, \"ever_seen\": %s, "
+        "\"beats_seen\": %llu, \"arrived_at_ns\": %llu, "
+        "\"sampled_at_ns\": %llu, \"last_epoch\": %u, \"queue_depth\": %u, "
+        "\"max_queue_depth\": %u, \"retransmit_backlog\": %llu, "
+        "\"condensation_nodes\": %llu, \"resynced_ops\": %llu, "
+        "\"delivered_msgs\": %llu}",
+        n == 0 ? "" : ", ", n, h.stale ? "true" : "false",
+        h.everSeen ? "true" : "false",
+        static_cast<unsigned long long>(h.beatsSeen),
+        static_cast<unsigned long long>(h.arrivedAtNs),
+        static_cast<unsigned long long>(h.last.sampledAtNs), h.last.lastEpoch,
+        h.last.queueDepth, h.last.maxQueueDepth,
+        static_cast<unsigned long long>(h.last.retransmitBacklog),
+        static_cast<unsigned long long>(h.last.condensationNodes),
+        static_cast<unsigned long long>(h.last.resyncedOps),
+        static_cast<unsigned long long>(h.last.deliveredMsgs));
+  }
+  out += "]}";
+
+  out += support::format(
+      ", \"timeline\": {\"enabled\": %s, \"captured\": %llu, "
+      "\"evicted\": %llu, \"points\": %zu}}",
+      timeline_ ? "true" : "false",
+      static_cast<unsigned long long>(timeline_ ? timeline_->captured() : 0),
+      static_cast<unsigned long long>(timeline_ ? timeline_->evicted() : 0),
+      timeline_ ? timeline_->size() : std::size_t{0});
+  return out;
+}
+
+std::string DistributedTool::prometheusText(sim::Time now) {
+  if (!timeline_) return std::string();
+  refreshDerivedMetrics();
+  return support::prometheusExposition(metrics_.snapshot(),
+                                       static_cast<std::int64_t>(now));
+}
+
+void DistributedTool::attachTelemetryToReport() {
+  if (!report_) return;
+  const std::uint64_t dropped =
+      config_.tracer != nullptr ? config_.tracer->totalDropped() : 0;
+  const tbon::FaultStats faults = overlay_->faultStats();
+  const bool haveFaults =
+      faults.dropsInjected + faults.retransmits + faults.duplicatesDiscarded +
+          faults.reordersBuffered >
+      0;
+  if (dropped == 0 && !haveFaults && fleetHealth_.empty()) return;
+
+  const auto numRow = [](const char* label, std::uint64_t value) {
+    return support::format("<tr><td>%s</td><td>%s</td></tr>\n", label,
+                           support::withCommas(value).c_str());
+  };
+  std::string body;
+  body += "<table border=\"1\"><tr><th>Signal</th><th>Value</th></tr>\n";
+  body += numRow("Dropped trace events", dropped);
+  body += numRow("Fault drops injected", faults.dropsInjected);
+  body += numRow("Retransmits", faults.retransmits);
+  body += numRow("Duplicates discarded", faults.duplicatesDiscarded);
+  body += numRow("Reorders buffered", faults.reordersBuffered);
+  body += "</table>\n";
+
+  if (!fleetHealth_.empty()) {
+    body += support::format(
+        "<p>Fleet health (beat interval %s ns): %u stale node(s).</p>\n",
+        support::withCommas(
+            static_cast<std::uint64_t>(config_.healthBeatInterval))
+            .c_str(),
+        staleNodeCount());
+    body += "<table border=\"1\"><tr><th>Node</th><th>State</th>"
+            "<th>Beats</th><th>Last epoch</th><th>Queue depth (max)</th>"
+            "<th>Retransmit backlog</th><th>Delivered</th></tr>\n";
+    for (std::size_t n = 0; n < fleetHealth_.size(); ++n) {
+      const NodeHealth& h = fleetHealth_[n];
+      const char* state =
+          h.stale ? "STALE" : (h.everSeen ? "ok" : "never reported");
+      body += support::format(
+          "<tr><td>%zu</td><td>%s</td><td>%s</td><td>%u</td>"
+          "<td>%u (%u)</td><td>%s</td><td>%s</td></tr>\n",
+          n, state, support::withCommas(h.beatsSeen).c_str(),
+          h.last.lastEpoch, h.last.queueDepth, h.last.maxQueueDepth,
+          support::withCommas(h.last.retransmitBacklog).c_str(),
+          support::withCommas(h.last.deliveredMsgs).c_str());
+    }
+    body += "</table>\n";
+  }
+  wfg::appendHtmlSection(*report_, "Telemetry", body);
 }
 
 }  // namespace wst::must

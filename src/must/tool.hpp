@@ -38,6 +38,7 @@
 #include "must/messages.hpp"
 #include "must/runtime_comm_view.hpp"
 #include "support/metrics.hpp"
+#include "support/metrics_timeline.hpp"
 #include "support/rng.hpp"
 #include "tbon/overlay.hpp"
 #include "tbon/topology.hpp"
@@ -179,6 +180,29 @@ struct ToolConfig {
   /// events on per-node tracks. Null (or a disabled tracer) keeps every
   /// recording site on its pointer-check fast path.
   support::Tracer* tracer = nullptr;
+
+  // --- Live telemetry plane (DESIGN.md §16) ----------------------------------
+
+  /// Master switch for the per-round metric timeline and the overhead
+  /// self-accounting buckets. Off (the default) keeps the wrapper hot path
+  /// on a single predictable branch and registers no extra instruments, so
+  /// metrics dumps and schedules are bit-identical to pre-telemetry runs.
+  bool telemetry = false;
+  /// Retained timeline points before the ring folds into its base snapshot.
+  std::size_t timelineCapacity = 512;
+
+  /// Virtual-ns interval of the in-tree health beats (0 = no beats). Every
+  /// TBON node periodically sends a HealthBeatRow toward the root on a
+  /// cadence timer (sim::Scheduler::scheduleCadenceOn), so beats observe the
+  /// run without keeping it alive; the root maintains the fleet health
+  /// table and flags nodes whose rows stop arriving.
+  sim::Duration healthBeatInterval = 0;
+  /// A node is stale when the root saw no row from it for more than
+  /// healthStaleFactor * healthBeatInterval virtual ns.
+  double healthStaleFactor = 2.0;
+  /// Test hook: this node never schedules its beat timer (a silent node the
+  /// root must flag stale). -1 = none.
+  tbon::NodeId muteHealthBeatNode = -1;
 };
 
 class DistributedTool : public mpi::Interposer {
@@ -288,6 +312,60 @@ class DistributedTool : public mpi::Interposer {
   /// a detection round. No-op without a tracer or a deadlock report.
   void attachTraceToReport();
 
+  // --- Live telemetry plane (DESIGN.md §16) ----------------------------------
+
+  /// Root-side view of one TBON node's health, fed by HealthBeatMsg rows.
+  struct NodeHealth {
+    HealthBeatRow last{};           // most recent row (default until one lands)
+    std::uint64_t arrivedAtNs = 0;  // root virtual time of the last row
+    std::uint64_t beatsSeen = 0;
+    bool everSeen = false;
+    bool stale = false;  // flagged by the root's staleness sweep
+  };
+  /// Fleet health table indexed by NodeId; empty unless health beats are
+  /// enabled. Root-LP state — read after run() or from a cut.
+  const std::vector<NodeHealth>& healthTable() const { return fleetHealth_; }
+  std::uint32_t staleNodeCount() const;
+
+  /// Per-process virtual-time overhead buckets (telemetry mode): wrapper
+  /// cost of fully tracked calls, sampled-call cost inside certified
+  /// prefixes, and time spent blocked on tool backpressure credit. The rest
+  /// of a process's elapsed virtual time is application compute.
+  struct ProcOverhead {
+    std::uint64_t wrapperNs = 0;
+    std::uint64_t sampledNs = 0;
+    std::uint64_t creditWaitNs = 0;
+  };
+  /// Empty unless ToolConfig::telemetry; app-LP state, read at cuts/post-run.
+  const std::vector<ProcOverhead>& procOverhead() const {
+    return procOverhead_;
+  }
+
+  /// Per-round metric time series (null unless ToolConfig::telemetry).
+  const support::MetricsTimeline* timeline() const { return timeline_.get(); }
+
+  /// Render the live status document (schema wst-status-v1) as of virtual
+  /// time `now`: detection progress, recent rounds, overhead buckets, fleet
+  /// health, timeline occupancy. Every value is virtual-clock or count
+  /// state, so the document is byte-identical across worker counts when
+  /// rendered from a cut or after run().
+  std::string statusJson(sim::Time now) const;
+
+  /// Prometheus text exposition of a fresh registry snapshot stamped
+  /// `now` (empty without telemetry). Refreshes derived gauges, so call
+  /// only from deterministic windows (cuts / post-run).
+  std::string prometheusText(sim::Time now);
+
+  /// Post-run: refresh derived gauges and append a final timeline point
+  /// (label "final") at the engine's current virtual time. No-op without
+  /// telemetry.
+  void finalizeTelemetry();
+
+  /// Post-run: append the telemetry section (dropped trace events, overlay
+  /// fault/retransmit totals, fleet health table) to the report's HTML.
+  /// No-op when no report exists or nothing noteworthy happened.
+  void attachTelemetryToReport();
+
  private:
   struct NodeState;
 
@@ -332,6 +410,16 @@ class DistributedTool : public mpi::Interposer {
   void runUnexpectedMatchCheck();
   void onQuiescence();
   void onPeriodic();
+
+  // Telemetry plane (DESIGN.md §16).
+  void refreshDerivedMetrics();
+  /// Ask the scheduler for a timeline capture at the next deterministic cut
+  /// (once per round; label carries the epoch). No-op without telemetry.
+  void requestTimelineCapture(std::uint32_t epoch);
+  HealthBeatRow makeHealthRow(tbon::NodeId node);
+  void onHealthBeat(tbon::NodeId node);
+  void integrateHealthRows(std::vector<HealthBeatRow>& rows);
+  void sweepStaleHealth();
   /// Extra uniform [0, detectionJitter] delay for the periodic timer.
   sim::Duration periodicJitter();
 
@@ -459,6 +547,24 @@ class DistributedTool : public mpi::Interposer {
   support::Histogram* waitinfoFanin_ = nullptr;
   std::uint64_t lastPingsSent_ = 0;
   std::uint64_t lastPingsSkipped_ = 0;
+
+  // Telemetry plane (DESIGN.md §16). The timeline and overhead instruments
+  // exist only with ToolConfig::telemetry, the health members only with
+  // beats enabled, so disabled runs register nothing and change no output.
+  std::unique_ptr<support::MetricsTimeline> timeline_;
+  bool timelineCapturePending_ = false;  // root-LP state
+  std::vector<NodeHealth> fleetHealth_;  // root-LP state
+  std::vector<ProcOverhead> procOverhead_;  // app-LP state; empty = off
+  support::Counter* ohWrapperNs_ = nullptr;
+  support::Counter* ohSampledNs_ = nullptr;
+  support::Counter* ohCreditWaitNs_ = nullptr;
+  support::Counter* ohSyncNs_ = nullptr;
+  support::Counter* ohGatherNs_ = nullptr;
+  support::Counter* ohResyncNs_ = nullptr;
+  support::Counter* healthBeatsSent_ = nullptr;
+  support::Counter* healthRowsReceived_ = nullptr;
+  support::Counter* healthStaleFlags_ = nullptr;
+  support::Gauge* healthStaleGauge_ = nullptr;
 };
 
 }  // namespace wst::must

@@ -21,6 +21,25 @@ void Engine::scheduleOn(LpId /*lp*/, Time when, Action action) {
   scheduleAt(when, std::move(action));
 }
 
+void Engine::scheduleCadenceOn(LpId /*lp*/, Time when, Action action) {
+  WST_ASSERT(when >= now_, "cannot schedule an event in the virtual past");
+  queue_.push(when, nextSeq_++, std::move(action), /*cadence=*/true);
+}
+
+void Engine::atNextCut(std::function<void(Time)> fn) {
+  cuts_.push_back(std::move(fn));
+}
+
+void Engine::drainCuts() {
+  while (!cuts_.empty()) {
+    // Swap out first so a callback that (against the contract) requests
+    // another cut still drains here instead of dangling past the run.
+    std::vector<std::function<void(Time)>> due;
+    due.swap(cuts_);
+    for (auto& fn : due) fn(now_);
+  }
+}
+
 std::size_t Engine::addQuiescenceHook(Action hook) {
   const std::size_t id = nextHookId_++;
   quiescenceHooks_.emplace_back(id, std::move(hook));
@@ -41,30 +60,38 @@ bool Engine::step() {
   traceHash_ = detail::fnvMix(detail::fnvMix(traceHash_, event.when),
                               event.seq);
   event.action();
+  if (!cuts_.empty()) drainCuts();
   return true;
 }
 
 bool Engine::runQuiescenceHooks() {
   // Copy: a hook may register/unregister hooks while running. A hook removed
-  // by an earlier hook of the same round still runs this round.
+  // by an earlier hook of the same round still runs this round. Only live
+  // events resume the run — pending cadence timers never do.
   const auto hooks = quiescenceHooks_;
   for (const auto& [id, hook] : hooks) {
     hook();
-    if (!queue_.empty()) return true;
+    if (queue_.liveSize() > 0) return true;
   }
-  return !queue_.empty();
+  return queue_.liveSize() > 0;
 }
 
 void Engine::run() {
   for (;;) {
-    while (step()) {
+    // Quiescence is decided on live events only; cadence events execute in
+    // timestamp order as long as live work keeps the run going.
+    while (queue_.liveSize() > 0 && step()) {
     }
     if (traceTrack_ != nullptr) {
       traceTrack_->instant("quiescence", "engine", "events",
                            static_cast<std::int64_t>(executed_));
     }
-    if (!runQuiescenceHooks()) return;
+    if (!runQuiescenceHooks()) break;
   }
+  drainCuts();
+  // Whatever is left is cadence-only (liveSize() == 0): telemetry timers
+  // past the end of the run. Discard without executing.
+  queue_.clear();
 }
 
 std::uint64_t Engine::runSome(std::uint64_t maxEvents) {

@@ -60,6 +60,10 @@ struct Event {
   Time when = 0;
   std::uint64_t seq = 0;
   std::function<void()> action;
+  /// Cadence (telemetry) events execute normally while live events exist
+  /// but never keep the engine alive: quiescence and termination are
+  /// decided as if they were not queued. See Scheduler::scheduleCadenceOn.
+  bool cadence = false;
 };
 
 /// Binary min-heap on (when, seq) whose pop() *moves* the event out —
@@ -69,10 +73,14 @@ class EventHeap {
  public:
   bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }
+  /// Events that count toward quiescence (everything but cadence events).
+  std::size_t liveSize() const { return live_; }
   const Event& top() const { return heap_.front(); }
 
-  void push(Time when, std::uint64_t seq, std::function<void()> action) {
-    heap_.push_back(Event{when, seq, std::move(action)});
+  void push(Time when, std::uint64_t seq, std::function<void()> action,
+            bool cadence = false) {
+    heap_.push_back(Event{when, seq, std::move(action), cadence});
+    if (!cadence) ++live_;
     siftUp(heap_.size() - 1);
   }
 
@@ -82,7 +90,14 @@ class EventHeap {
     Event last = std::move(heap_.back());
     heap_.pop_back();
     if (!heap_.empty()) siftDown(std::move(last));
+    if (!out.cadence) --live_;
     return out;
+  }
+
+  /// Drop every queued event (end-of-run cadence cleanup).
+  void clear() {
+    heap_.clear();
+    live_ = 0;
   }
 
  private:
@@ -120,6 +135,7 @@ class EventHeap {
   }
 
   std::vector<Event> heap_;
+  std::size_t live_ = 0;
 };
 
 }  // namespace detail
@@ -149,6 +165,25 @@ class Scheduler {
   /// lookahead into the future (see ParallelEngine); the serial engine
   /// ignores the LP and behaves like scheduleAt.
   virtual void scheduleOn(LpId lp, Time when, Action action) = 0;
+
+  /// Schedule a **cadence** event: it executes exactly like a normal event
+  /// while live (non-cadence) events keep the run going, but it never
+  /// prevents quiescence or termination — leftover cadence events are
+  /// discarded when the run ends. This is what periodic telemetry (health
+  /// beats, status rewrites) uses so a deadlocked application still drains
+  /// to quiescence and triggers detection. From inside an event the target
+  /// must be the executing LP (cadence timers are self-rescheduling,
+  /// per-LP); from setup context any LP is accepted.
+  virtual void scheduleCadenceOn(LpId lp, Time when, Action action) = 0;
+
+  /// Run `fn(now)` at the next deterministic cut: the serial engine runs it
+  /// right after the current event; the parallel engine runs it on the
+  /// coordinating thread after the current execute round completes (every
+  /// event below the round's horizon executed — a state that is
+  /// byte-identical across worker counts) or at quiescence. Callbacks run
+  /// in (requesting LP, request order) order, may read any LP-owned or
+  /// registry state, and must not schedule events or request further cuts.
+  virtual void atNextCut(std::function<void(Time)> fn) = 0;
 
   /// Create a new logical process. The serial engine returns kMainLp: all
   /// "LPs" share the one queue. Call before run().
@@ -208,6 +243,8 @@ class Engine final : public Scheduler {
   void schedule(Duration delay, Action action) override;
   void scheduleAt(Time when, Action action) override;
   void scheduleOn(LpId lp, Time when, Action action) override;
+  void scheduleCadenceOn(LpId lp, Time when, Action action) override;
+  void atNextCut(std::function<void(Time)> fn) override;
   LpId createLp() override { return kMainLp; }
   LpId currentLp() const override { return kMainLp; }
   std::int32_t lpCount() const override { return 1; }
@@ -223,13 +260,16 @@ class Engine final : public Scheduler {
   /// Returns the number of events actually executed.
   std::uint64_t runSome(std::uint64_t maxEvents);
 
-  bool empty() const override { return queue_.empty(); }
+  /// "No events pending" means no *live* events: leftover cadence timers
+  /// never hold the engine open.
+  bool empty() const override { return queue_.liveSize() == 0; }
   std::uint64_t eventsExecuted() const override { return executed_; }
   std::uint64_t traceHash() const override { return traceHash_; }
 
  private:
   bool step();
   bool runQuiescenceHooks();
+  void drainCuts();
 
   Time now_ = 0;
   std::uint64_t nextSeq_ = 0;
@@ -238,6 +278,7 @@ class Engine final : public Scheduler {
   detail::EventHeap queue_;
   std::vector<std::pair<std::size_t, Action>> quiescenceHooks_;
   std::size_t nextHookId_ = 0;
+  std::vector<std::function<void(Time)>> cuts_;
 };
 
 }  // namespace wst::sim

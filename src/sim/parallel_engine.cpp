@@ -83,9 +83,10 @@ void ParallelEngine::noteCrossLpLatency(Duration latency) {
   if (lookahead_ == 0 || latency < lookahead_) lookahead_ = latency;
 }
 
-void ParallelEngine::enqueueLocal(Lp& lp, Time when, Action action) {
+void ParallelEngine::enqueueLocal(Lp& lp, Time when, Action action,
+                                  bool cadence) {
   WST_ASSERT(when >= lp.now, "cannot schedule an event in the virtual past");
-  lp.queue.push(when, lp.nextSeq++, std::move(action));
+  lp.queue.push(when, lp.nextSeq++, std::move(action), cadence);
 }
 
 void ParallelEngine::pushMail(std::int32_t srcShard, Mail mail) {
@@ -145,6 +146,52 @@ void ParallelEngine::scheduleOn(LpId target, Time when, Action action) {
              "cannot schedule an event in the virtual past");
   pushExternal(Mail{when, target, kExternalLp, externalSeq_++,
                     std::move(action)});
+}
+
+void ParallelEngine::scheduleCadenceOn(LpId target, Time when, Action action) {
+  WST_ASSERT(target >= 0 && target < lpCount(),
+             "scheduleCadenceOn: unknown LP");
+  Lp* src = executingLp();
+  if (src != nullptr) {
+    // Cadence timers are per-LP self-rescheduling clocks; cross-LP cadence
+    // mail from inside an event is not supported (the rings cannot be
+    // inspected by the live-event quiescence test).
+    WST_ASSERT(src->id == target,
+               "in-event cadence scheduling must target the executing LP");
+    enqueueLocal(*src, when, std::move(action), /*cadence=*/true);
+    return;
+  }
+  WST_ASSERT(when >= globalNow_,
+             "cannot schedule an event in the virtual past");
+  Mail mail{when, target, kExternalLp, externalSeq_++, std::move(action)};
+  mail.cadence = true;
+  pushExternal(std::move(mail));
+}
+
+void ParallelEngine::atNextCut(std::function<void(Time)> fn) {
+  const Lp* lp = executingLp();
+  const LpId requester = lp != nullptr ? lp->id : kExternalLp;
+  std::lock_guard lock(cutMu_);
+  cutRequests_.emplace_back(requester, std::move(fn));
+  cutsPending_.store(true, std::memory_order_release);
+}
+
+void ParallelEngine::drainCuts() {
+  std::vector<std::pair<LpId, std::function<void(Time)>>> due;
+  {
+    std::lock_guard lock(cutMu_);
+    due.swap(cutRequests_);
+    cutsPending_.store(false, std::memory_order_relaxed);
+  }
+  if (due.empty()) return;
+  // Per-LP request order is already program order (an LP runs serially);
+  // stable-sorting by requester erases the cross-shard push interleaving.
+  std::stable_sort(due.begin(), due.end(), [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  });
+  Time cutNow = globalNow_;
+  for (const Lp& lp : lps_) cutNow = std::max(cutNow, lp.now);
+  for (auto& [requester, fn] : due) fn(cutNow);
 }
 
 std::size_t ParallelEngine::addQuiescenceHook(Action hook) {
@@ -275,7 +322,7 @@ void ParallelEngine::drainShard(std::size_t shard) {
       Mail& m = mail[i];
       Lp& lp = lps_[static_cast<std::size_t>(m.dstLp)];
       WST_ASSERT(m.when >= lp.now, "cross-LP event arrived in the past");
-      lp.queue.push(m.when, lp.nextSeq++, std::move(m.action));
+      lp.queue.push(m.when, lp.nextSeq++, std::move(m.action), m.cadence);
       if (i + 1 == mail.size() || mail[i + 1].dstLp != m.dstLp) {
         sh.mailboxHighWater = std::max(sh.mailboxHighWater, i + 1 - runStart);
         runStart = i + 1;
@@ -284,21 +331,27 @@ void ParallelEngine::drainShard(std::size_t shard) {
     mail.clear();
   }
   // Shard-local slice of the min-reduction for the next horizon, plus the
-  // lock-free pending count anyPending() reads.
+  // lock-free *live* pending count that quiescence and anyPending() read.
+  // The horizon minimum must range over every event (cadence included) —
+  // an executing cadence event can send cross-LP mail like any other, so
+  // excluding it would break the lookahead guarantee.
   Time tmin = kNever;
-  std::uint64_t queued = 0;
+  std::uint64_t live = 0;
   for (const Lp* lp : sh.lps) {
     if (lp->queue.empty()) continue;
     tmin = std::min(tmin, lp->queue.top().when);
-    queued += lp->queue.size();
+    live += lp->queue.liveSize();
   }
   sh.localMin = tmin;
-  sh.queuedEvents.store(queued, std::memory_order_relaxed);
+  sh.queuedEvents.store(live, std::memory_order_relaxed);
 }
 
 void ParallelEngine::runLp(Lp& lp, Shard& shard) {
   tlsEngine_ = this;
   tlsLp_ = &lp;
+#ifndef NDEBUG
+  support::gMetricsWriterLp = lp.id;
+#endif
   std::uint64_t executed = 0;
   while (!lp.queue.empty() && lp.queue.top().when < horizon_) {
     detail::Event event = lp.queue.pop();
@@ -310,6 +363,9 @@ void ParallelEngine::runLp(Lp& lp, Shard& shard) {
   }
   lp.executed += executed;
   shard.executedEvents += executed;
+#ifndef NDEBUG
+  support::gMetricsWriterLp = -1;
+#endif
   tlsLp_ = nullptr;
   tlsEngine_ = nullptr;
 }
@@ -326,9 +382,9 @@ void ParallelEngine::executeShard(std::size_t shard) {
     ++sh.readyCount;
     runLp(*lp, sh);
   }
-  std::uint64_t queued = 0;
-  for (const Lp* lp : sh.lps) queued += lp->queue.size();
-  sh.queuedEvents.store(queued, std::memory_order_relaxed);
+  std::uint64_t live = 0;
+  for (const Lp* lp : sh.lps) live += lp->queue.liveSize();
+  sh.queuedEvents.store(live, std::memory_order_relaxed);
 }
 
 bool ParallelEngine::anyPending() const {
@@ -362,10 +418,15 @@ void ParallelEngine::run() {
   for (;;) {
     runPhase(Phase::kDrain);
     Time tmin = kNever;
-    for (const Shard& sh : shards_) tmin = std::min(tmin, sh.localMin);
-    if (tmin == kNever) {
-      // Quiescent: workers are parked at the barrier, so shard state is
-      // safely readable here. Quiescence time and total executed events are
+    std::uint64_t live = 0;
+    for (const Shard& sh : shards_) {
+      tmin = std::min(tmin, sh.localMin);
+      live += sh.queuedEvents.load(std::memory_order_relaxed);
+    }
+    if (live == 0) {
+      // Quiescent on *live* events (pending cadence timers do not count):
+      // workers are parked at the barrier, so shard state is safely
+      // readable here. Quiescence time and total executed events are
       // deterministic across worker counts (round/stall counters are not —
       // keep them out).
       for (const Lp& lp : lps_) globalNow_ = std::max(globalNow_, lp.now);
@@ -373,6 +434,7 @@ void ParallelEngine::run() {
         traceTrack_->instant("quiescence", "engine", "events",
                              static_cast<std::int64_t>(eventsExecuted()));
       }
+      if (cutsPending_.load(std::memory_order_acquire)) drainCuts();
       if (!runQuiescenceHooks()) break;
       continue;
     }
@@ -389,7 +451,18 @@ void ParallelEngine::run() {
     std::size_t occupancy = 0;
     for (const Shard& sh : shards_) occupancy += sh.readyCount;
     roundOccupancy_.record(occupancy);
+    // Deferred cuts drain in the coordinator's serial window: every event
+    // below this round's horizon has executed, a state byte-identical
+    // across worker counts and shard layouts.
+    if (cutsPending_.load(std::memory_order_acquire)) drainCuts();
   }
+  // Leftover events are cadence-only (live == 0): telemetry timers past the
+  // end of the run. Discard without executing.
+  for (Lp& lp : lps_) lp.queue.clear();
+  for (Shard& sh : shards_) {
+    sh.queuedEvents.store(0, std::memory_order_relaxed);
+  }
+  drainCuts();
   running_ = false;
 }
 

@@ -52,6 +52,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -96,6 +97,8 @@ class ParallelEngine final : public Scheduler {
   void schedule(Duration delay, Action action) override;
   void scheduleAt(Time when, Action action) override;
   void scheduleOn(LpId lp, Time when, Action action) override;
+  void scheduleCadenceOn(LpId lp, Time when, Action action) override;
+  void atNextCut(std::function<void(Time)> fn) override;
   LpId createLp() override;
   LpId currentLp() const override;
   std::int32_t lpCount() const override {
@@ -143,6 +146,7 @@ class ParallelEngine final : public Scheduler {
     LpId srcLp = 0;
     std::uint64_t srcSeq = 0;
     Action action;
+    bool cadence = false;
   };
 
   struct Lp {
@@ -169,9 +173,11 @@ class ParallelEngine final : public Scheduler {
     std::size_t readyCount = 0;  // LPs run in the current execute phase
     Time localMin = 0;           // drain-phase result
     bool barrierSense = false;   // this shard's thread's barrier flag
-    /// Events queued across this shard's LPs, refreshed at the end of each
-    /// phase. Lets anyPending() poll progress without locks (quiescence
-    /// hooks call it after every hook).
+    /// *Live* (non-cadence) events queued across this shard's LPs,
+    /// refreshed at the end of each phase. Quiescence and anyPending() key
+    /// off this count so pending cadence timers never hold the run open;
+    /// the horizon still ranges over every queued event (localMin), because
+    /// a cadence event that executes can send mail like any other.
     std::atomic<std::uint64_t> queuedEvents{0};
   };
 
@@ -182,7 +188,7 @@ class ParallelEngine final : public Scheduler {
   static constexpr LpId kExternalLp = -1;
 
   Lp* executingLp() const;
-  void enqueueLocal(Lp& lp, Time when, Action action);
+  void enqueueLocal(Lp& lp, Time when, Action action, bool cadence = false);
   /// Wait-free push onto the (srcShard -> dst's shard) ring.
   void pushMail(std::int32_t srcShard, Mail mail);
   /// External (non-LP) sends: staged while idle, ring-pushed while running.
@@ -212,6 +218,10 @@ class ParallelEngine final : public Scheduler {
   void runLp(Lp& lp, Shard& shard);
   bool anyPending() const;
   bool runQuiescenceHooks();
+  /// Run queued atNextCut callbacks on the coordinating thread (workers
+  /// parked). Callbacks are stable-sorted by requesting LP so the order is
+  /// layout-invariant even when several LPs requested cuts the same round.
+  void drainCuts();
 
   static thread_local ParallelEngine* tlsEngine_;
   static thread_local Lp* tlsLp_;
@@ -226,6 +236,14 @@ class ParallelEngine final : public Scheduler {
 
   std::vector<std::pair<std::size_t, Action>> quiescenceHooks_;
   std::size_t nextHookId_ = 0;
+
+  // Deferred deterministic-cut requests. Events on any shard may request a
+  // cut, so pushes are mutex-protected; the mutex is off the hot path (one
+  // lock per request, typically a handful per detection round) and the run
+  // loop polls the flag, not the lock.
+  std::mutex cutMu_;
+  std::vector<std::pair<LpId, std::function<void(Time)>>> cutRequests_;
+  std::atomic<bool> cutsPending_{false};
 
   // Shard machinery, built by ensureShards() on the first run(). The ring
   // matrix has (shardCount_ + 1) producer rows: one per shard plus the

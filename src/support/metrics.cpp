@@ -2,10 +2,28 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 
+#include "support/assert.hpp"
 #include "support/strings.hpp"
 
 namespace wst::support {
+
+#ifndef NDEBUG
+thread_local std::int32_t gMetricsWriterLp = -1;
+
+void Gauge::assertSingleWriter() {
+  if (gMetricsWriterLp < 0) return;  // setup / hook / post-run context
+  std::int32_t expected = kUnowned;
+  if (ownerLp_.compare_exchange_strong(expected, gMetricsWriterLp,
+                                       std::memory_order_relaxed)) {
+    return;  // first event-context writer claims the gauge
+  }
+  WST_ASSERT(expected == gMetricsWriterLp,
+             "Gauge::set from a second LP; concurrent writers must use "
+             "observe()");
+}
+#endif
 
 void Histogram::record(std::uint64_t value) {
   buckets_[static_cast<std::size_t>(std::bit_width(value))].fetch_add(
@@ -84,6 +102,45 @@ Histogram& MetricsRegistry::histogram(std::string_view name) {
     it = histograms_.try_emplace(std::string(name)).first;
   }
   return it->second;
+}
+
+std::int64_t MetricsSnapshot::value(std::string_view key,
+                                    std::int64_t fallback) const {
+  for (const auto& [name, v] : series) {
+    if (name == key) return v;
+  }
+  return fallback;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mu_);
+  MetricsSnapshot snap;
+  snap.series.reserve(counters_.size() + 2 * gauges_.size() +
+                      6 * histograms_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.series.emplace_back("counter/" + name,
+                             static_cast<std::int64_t>(counter.value()));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.series.emplace_back("gauge/" + name, gauge.value());
+    snap.series.emplace_back("gauge/" + name + "#max", gauge.max());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const std::string base = "hist/" + name;
+    snap.series.emplace_back(base + "#count",
+                             static_cast<std::int64_t>(histogram.count()));
+    snap.series.emplace_back(base + "#max",
+                             static_cast<std::int64_t>(histogram.max()));
+    snap.series.emplace_back(base + "#min",
+                             static_cast<std::int64_t>(histogram.min()));
+    snap.series.emplace_back(base + "#p50",
+                             std::llround(histogram.quantile(0.5)));
+    snap.series.emplace_back(base + "#p99",
+                             std::llround(histogram.quantile(0.99)));
+    snap.series.emplace_back(base + "#sum",
+                             static_cast<std::int64_t>(histogram.sum()));
+  }
+  return snap;
 }
 
 std::string MetricsRegistry::toJson() const {

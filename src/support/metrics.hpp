@@ -27,10 +27,22 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "support/align.hpp"
 
 namespace wst::support {
+
+#ifndef NDEBUG
+/// Debug-only identity of the LP whose event is currently executing on this
+/// thread; -1 outside concurrent event execution (setup, hooks, post-run).
+/// The parallel engine maintains it so Gauge::set can assert its
+/// single-writer contract by *LP*, not by thread — two LPs sharing a shard
+/// today may land on different shards at another --threads value, so any
+/// multi-LP set() is a determinism bug regardless of the current layout.
+extern thread_local std::int32_t gMetricsWriterLp;
+#endif
 
 /// Monotonically increasing event count.
 ///
@@ -55,8 +67,13 @@ class alignas(kCacheLine) Counter {
 class alignas(kCacheLine) Gauge {
  public:
   /// Last-writer-wins assignment. Not deterministic under concurrent
-  /// writers — reserve for single-threaded contexts.
+  /// writers — reserve for single-threaded contexts or state owned by one
+  /// LP. Debug builds assert the owning-LP contract: once an LP writes a
+  /// gauge from event context, no other LP may ever set() it.
   void set(std::int64_t value) {
+#ifndef NDEBUG
+    assertSingleWriter();
+#endif
     value_.store(value, std::memory_order_relaxed);
     raiseMax(value);
   }
@@ -87,6 +104,11 @@ class alignas(kCacheLine) Gauge {
 
   std::atomic<std::int64_t> value_{0};
   std::atomic<std::int64_t> max_{0};
+#ifndef NDEBUG
+  void assertSingleWriter();
+  static constexpr std::int32_t kUnowned = -2;
+  std::atomic<std::int32_t> ownerLp_{kUnowned};
+#endif
 };
 
 /// Power-of-two bucketed histogram of non-negative samples. Bucket k counts
@@ -131,6 +153,24 @@ class Histogram {
   std::atomic<std::uint64_t> max_{0};
 };
 
+/// A point-in-time flattening of every registered instrument into scalar
+/// series, the unit the metrics timeline delta-encodes. Keys are prefixed
+/// by family and suffixed by component so every series is one int64:
+///   counter/<name>            the counter value
+///   gauge/<name>              last-written value
+///   gauge/<name>#max          high-water mark
+///   hist/<name>#count|#max|#min|#p50|#p99|#sum
+/// Families emit in counter < gauge < hist order and names sort within a
+/// family, so `series` is lexicographically sorted by key ('#' sorts below
+/// every character metric names use) — diffs are a linear merge-walk.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::int64_t>> series;
+
+  /// Value of a series key, or `fallback` when absent (linear probe is fine:
+  /// callers are tests and report rendering).
+  std::int64_t value(std::string_view key, std::int64_t fallback = 0) const;
+};
+
 /// Named instrument store. Instruments are created on first lookup and have
 /// registry lifetime; returned references remain valid across later lookups.
 /// Lookups lock a registry mutex (components cache the references, so the
@@ -140,6 +180,12 @@ class MetricsRegistry {
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name);
+
+  /// Flatten the current instrument values into a MetricsSnapshot (sorted
+  /// series of int64 scalars; histogram quantiles rounded to integers).
+  /// Locks the registry mutex — call from deterministic-cut context or any
+  /// other single-threaded window, not from hot event paths.
+  MetricsSnapshot snapshot() const;
 
   /// The registered instruments as one JSON object:
   ///   {"counters": {name: value, ...},

@@ -1,0 +1,139 @@
+#include "support/metrics_timeline.hpp"
+
+#include <utility>
+
+#include "support/strings.hpp"
+
+namespace wst::support {
+
+namespace {
+
+/// "counter/overlay/msgs" -> ("counter", "wst_overlay_msgs"): family prefix
+/// stripped, every non-[a-zA-Z0-9_] byte mangled to '_', wst_ namespace
+/// prefix added. Series keys are unique, so mangled names stay unique for
+/// the metric names this codebase uses.
+std::pair<std::string_view, std::string> promName(std::string_view key) {
+  const std::size_t slash = key.find('/');
+  const std::string_view family = key.substr(0, slash);
+  std::string name = "wst_";
+  for (const char c : key.substr(slash + 1)) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    name.push_back(ok ? c : '_');
+  }
+  return {family, std::move(name)};
+}
+
+void appendSeriesObject(
+    std::string& out,
+    const std::vector<std::pair<std::string, std::int64_t>>& series) {
+  out += '{';
+  bool first = true;
+  for (const auto& [key, value] : series) {
+    out += format("%s\"%s\": %lld", first ? "" : ", ",
+                  jsonEscape(key).c_str(), static_cast<long long>(value));
+    first = false;
+  }
+  out += '}';
+}
+
+}  // namespace
+
+void MetricsTimeline::capture(std::int64_t timeNs, std::string_view label) {
+  MetricsSnapshot cur = registry_.snapshot();
+  Point point;
+  point.timeNs = timeNs;
+  point.label = std::string(label);
+  // Merge-walk diff against the previous snapshot; both sides are sorted by
+  // key. Instruments are never unregistered, so keys only ever appear — a
+  // new key's delta is its absolute value (delta from zero).
+  auto prev = latest_.series.begin();
+  const auto prevEnd = latest_.series.end();
+  for (const auto& [key, value] : cur.series) {
+    while (prev != prevEnd && prev->first < key) ++prev;
+    if (prev != prevEnd && prev->first == key) {
+      if (prev->second != value) {
+        point.deltas.emplace_back(key, value - prev->second);
+      }
+      ++prev;
+    } else if (value != 0) {
+      point.deltas.emplace_back(key, value);
+    }
+  }
+  latest_ = std::move(cur);
+  latestTimeNs_ = timeNs;
+  ++captured_;
+  points_.push_back(std::move(point));
+  while (points_.size() > config_.capacity) {
+    applyDeltas(base_, points_.front());
+    baseTimeNs_ = points_.front().timeNs;
+    points_.pop_front();
+    ++evicted_;
+  }
+}
+
+void MetricsTimeline::applyDeltas(MetricsSnapshot& base, const Point& point) {
+  MetricsSnapshot merged;
+  merged.series.reserve(base.series.size() + point.deltas.size());
+  auto b = base.series.begin();
+  const auto bEnd = base.series.end();
+  for (const auto& [key, delta] : point.deltas) {
+    while (b != bEnd && b->first < key) merged.series.push_back(*b++);
+    if (b != bEnd && b->first == key) {
+      merged.series.emplace_back(key, b->second + delta);
+      ++b;
+    } else {
+      merged.series.emplace_back(key, delta);
+    }
+  }
+  while (b != bEnd) merged.series.push_back(*b++);
+  base = std::move(merged);
+}
+
+MetricsSnapshot MetricsTimeline::at(std::size_t index) const {
+  MetricsSnapshot snap = base_;
+  for (std::size_t i = 0; i <= index && i < points_.size(); ++i) {
+    applyDeltas(snap, points_[i]);
+  }
+  return snap;
+}
+
+std::string MetricsTimeline::toJson() const {
+  std::string out = format(
+      "{\"schema\": \"wst-timeline-v1\", \"capacity\": %llu, "
+      "\"captured\": %llu, \"evicted\": %llu, \"base_time_ns\": %lld, "
+      "\"base\": ",
+      static_cast<unsigned long long>(config_.capacity),
+      static_cast<unsigned long long>(captured_),
+      static_cast<unsigned long long>(evicted_),
+      static_cast<long long>(baseTimeNs_));
+  appendSeriesObject(out, base_.series);
+  out += ", \"points\": [";
+  bool first = true;
+  for (const Point& point : points_) {
+    out += format("%s{\"t_ns\": %lld, \"label\": \"%s\", \"d\": ",
+                  first ? "" : ", ", static_cast<long long>(point.timeNs),
+                  jsonEscape(point.label).c_str());
+    appendSeriesObject(out, point.deltas);
+    out += '}';
+    first = false;
+  }
+  out += "]}";
+  return out;
+}
+
+std::string prometheusExposition(const MetricsSnapshot& snap,
+                                 std::int64_t timeNs) {
+  std::string out = "# wst metrics exposition (virtual clock)\n";
+  out += "# TYPE wst_virtual_time_ns gauge\n";
+  out += format("wst_virtual_time_ns %lld\n", static_cast<long long>(timeNs));
+  for (const auto& [key, value] : snap.series) {
+    const auto [family, name] = promName(key);
+    out += format("# TYPE %s %s\n", name.c_str(),
+                  family == "counter" ? "counter" : "gauge");
+    out += format("%s %lld\n", name.c_str(), static_cast<long long>(value));
+  }
+  return out;
+}
+
+}  // namespace wst::support

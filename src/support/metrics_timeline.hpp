@@ -1,0 +1,96 @@
+// Bounded time series over the metrics registry.
+//
+// The registry alone answers "what were the totals at exit"; the timeline
+// answers "what happened per detection round". Each capture() flattens the
+// registry into a MetricsSnapshot (support/metrics.hpp) and appends one
+// delta-encoded point: only the series that changed since the previous
+// capture are stored, as (key, delta) pairs. A bounded ring keeps memory
+// constant over arbitrarily long runs — when the ring is full the oldest
+// point is folded into the running base snapshot, so the retained window
+// always reconstructs exactly and `captured()`/`evicted()` make the
+// truncation visible.
+//
+// Clock domain: capture() is stamped by the *caller* with a virtual-ns
+// time. Captures must happen at deterministic cuts (Scheduler::atNextCut)
+// so the snapshot values — and therefore the serialized timeline — are
+// byte-identical across --threads 1..N. Nothing here reads wall clocks.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+
+#include "support/metrics.hpp"
+
+namespace wst::support {
+
+/// Render one snapshot as Prometheus text exposition: one `# TYPE` line and
+/// one sample per series, names mangled to [a-zA-Z0-9_] with a wst_ prefix,
+/// preceded by a wst_virtual_time_ns gauge carrying `timeNs`.
+std::string prometheusExposition(const MetricsSnapshot& snap,
+                                 std::int64_t timeNs);
+
+class MetricsTimeline {
+ public:
+  struct Config {
+    /// Retained delta points; older points fold into the base snapshot.
+    std::size_t capacity = 512;
+  };
+
+  struct Point {
+    std::int64_t timeNs = 0;
+    std::string label;
+    /// Sparse (series key, value delta vs predecessor); new series appear
+    /// as deltas from zero. Sorted by key like MetricsSnapshot::series.
+    std::vector<std::pair<std::string, std::int64_t>> deltas;
+  };
+
+  explicit MetricsTimeline(MetricsRegistry& registry)
+      : MetricsTimeline(registry, Config{}) {}
+  MetricsTimeline(MetricsRegistry& registry, Config config)
+      : registry_(registry), config_(config) {}
+
+  /// Snapshot the registry and append a delta point stamped `timeNs`
+  /// (virtual ns, caller-supplied) with a short label ("round", "final",
+  /// "status"). Call only from deterministic single-threaded windows.
+  void capture(std::int64_t timeNs, std::string_view label);
+
+  std::size_t size() const { return points_.size(); }
+  std::uint64_t captured() const { return captured_; }
+  std::uint64_t evicted() const { return evicted_; }
+  const MetricsSnapshot& latest() const { return latest_; }
+
+  /// Reconstruct the full snapshot as of retained point `index`
+  /// (0 = oldest). Test/inspection path, linear in window size.
+  MetricsSnapshot at(std::size_t index) const;
+
+  /// The retained delta points, oldest first (`wst top` replay path).
+  const std::deque<Point>& points() const { return points_; }
+
+  /// The whole timeline as one JSON document (schema wst-timeline-v1):
+  /// base snapshot + per-point sparse deltas, keys sorted, byte-stable.
+  std::string toJson() const;
+
+  /// prometheusExposition() of the latest snapshot, stamped with its
+  /// capture time.
+  std::string prometheus() const {
+    return prometheusExposition(latest_, latestTimeNs_);
+  }
+
+ private:
+  /// base + point.deltas, merged by key (both sides sorted).
+  static void applyDeltas(MetricsSnapshot& base, const Point& point);
+
+  MetricsRegistry& registry_;
+  Config config_;
+  MetricsSnapshot base_;    // state just before the oldest retained point
+  std::int64_t baseTimeNs_ = 0;
+  MetricsSnapshot latest_;  // state as of the newest point
+  std::int64_t latestTimeNs_ = 0;
+  std::deque<Point> points_;
+  std::uint64_t captured_ = 0;
+  std::uint64_t evicted_ = 0;
+};
+
+}  // namespace wst::support

@@ -403,6 +403,28 @@ class Overlay {
     return maxQueueDepth_.load(std::memory_order_relaxed);
   }
 
+  // --- Per-node health introspection (telemetry plane, DESIGN.md §16) --------
+  // All of these read state owned by `node`'s LP, so a health-beat handler
+  // executing on that LP samples them race-free and deterministically.
+
+  /// Messages currently queued at the node (normal + urgent).
+  std::size_t nodeQueueDepth(NodeId node) const {
+    return nodes_[static_cast<std::size_t>(node)].depth();
+  }
+  /// Node-local queue-depth high-water mark.
+  std::size_t nodeMaxQueueDepth(NodeId node) const {
+    return nodes_[static_cast<std::size_t>(node)].maxDepth;
+  }
+  /// Unacknowledged reliable-stream envelopes held by the node's outgoing
+  /// links (always 0 unless fault injection is enabled).
+  std::size_t nodeRetransmitBacklog(NodeId node) const {
+    std::size_t backlog = 0;
+    for (const auto& [key, link] : links_[static_cast<std::size_t>(node)]) {
+      backlog += link.inflight.size();
+    }
+    return backlog;
+  }
+
   /// Per-directed-link activity of the intralayer *data plane* (messages the
   /// batchable predicate accepts — the wait-state algorithm's traffic; the
   /// consistent-state control plane is excluded so observing activity never

@@ -126,4 +126,18 @@ void appendWaitHistory(
   html += kTail;
 }
 
+void appendHtmlSection(Report& report, std::string_view title,
+                       std::string_view bodyHtml) {
+  constexpr std::string_view kTail = "</body></html>\n";
+  std::string& html = report.html;
+  if (html.size() >= kTail.size() &&
+      std::string_view(html).substr(html.size() - kTail.size()) == kTail) {
+    html.resize(html.size() - kTail.size());
+  }
+  html += support::format("<h2>%s</h2>\n",
+                          support::htmlEscape(title).c_str());
+  html += bodyHtml;
+  html += kTail;
+}
+
 }  // namespace wst::wfg

@@ -72,4 +72,11 @@ std::string summaryLine(const CheckResult& check);
 void appendWaitHistory(Report& report,
                        const std::vector<support::ProcBlockedProfile>& history);
 
+/// Append a generic section (an h2 title plus prebuilt body markup) inside
+/// `report.html`'s closing tags. Callers escape their own text content;
+/// `bodyHtml` is inserted verbatim. Used by the telemetry plane to surface
+/// dropped trace events, overlay fault totals, and the fleet health table.
+void appendHtmlSection(Report& report, std::string_view title,
+                       std::string_view bodyHtml);
+
 }  // namespace wst::wfg

@@ -1,0 +1,150 @@
+// MetricsTimeline: snapshot/delta arithmetic, ring eviction into the base
+// snapshot, JSON/Prometheus serialization (DESIGN.md §16).
+#include "support/metrics_timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "support/metrics.hpp"
+
+namespace wst::support {
+namespace {
+
+std::int64_t valueOf(const MetricsSnapshot& snap, const std::string& key) {
+  for (const auto& [k, v] : snap.series) {
+    if (k == key) return v;
+  }
+  ADD_FAILURE() << "missing series " << key;
+  return 0;
+}
+
+bool hasKey(const MetricsSnapshot& snap, const std::string& key) {
+  for (const auto& [k, v] : snap.series) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+TEST(MetricsTimeline, DeltasOnlyStoreChangedSeries) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("a");
+  Counter& b = reg.counter("b");
+  MetricsTimeline tl(reg);
+
+  a.add(5);
+  b.add(2);
+  tl.capture(100, "first");
+  a.add(3);  // b unchanged
+  tl.capture(200, "second");
+
+  ASSERT_EQ(tl.points().size(), 2u);
+  // First point: both series are new, both appear as deltas from zero.
+  EXPECT_EQ(tl.points()[0].deltas.size(), 2u);
+  // Second point: only `a` moved.
+  ASSERT_EQ(tl.points()[1].deltas.size(), 1u);
+  EXPECT_EQ(tl.points()[1].deltas[0].first, "counter/a");
+  EXPECT_EQ(tl.points()[1].deltas[0].second, 3);
+  EXPECT_EQ(tl.points()[1].timeNs, 200);
+  EXPECT_EQ(tl.points()[1].label, "second");
+}
+
+TEST(MetricsTimeline, AtReconstructsEverySnapshotExactly) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("c");
+  Gauge& g = reg.gauge("g");
+  MetricsTimeline tl(reg);
+
+  for (int i = 1; i <= 5; ++i) {
+    c.add(static_cast<std::uint64_t>(i));
+    g.set(10 - i);
+    tl.capture(i * 100, "round");
+  }
+  // Running counter totals are 1, 3, 6, 10, 15.
+  const std::int64_t expected[] = {1, 3, 6, 10, 15};
+  for (std::size_t i = 0; i < 5; ++i) {
+    const MetricsSnapshot snap = tl.at(i);
+    EXPECT_EQ(valueOf(snap, "counter/c"), expected[i]) << i;
+    EXPECT_EQ(valueOf(snap, "gauge/g"), 10 - static_cast<std::int64_t>(i + 1))
+        << i;
+  }
+  EXPECT_EQ(valueOf(tl.latest(), "counter/c"), 15);
+}
+
+TEST(MetricsTimeline, RingEvictionFoldsIntoBase) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("c");
+  MetricsTimeline::Config cfg;
+  cfg.capacity = 3;
+  MetricsTimeline tl(reg, cfg);
+
+  for (int i = 1; i <= 10; ++i) {
+    c.add(1);
+    tl.capture(i, "round");
+  }
+  EXPECT_EQ(tl.size(), 3u);
+  EXPECT_EQ(tl.captured(), 10u);
+  EXPECT_EQ(tl.evicted(), 7u);
+  // The oldest retained window still reconstructs the exact totals: points
+  // hold captures 8, 9, 10 of a counter bumped once per capture.
+  EXPECT_EQ(valueOf(tl.at(0), "counter/c"), 8);
+  EXPECT_EQ(valueOf(tl.at(1), "counter/c"), 9);
+  EXPECT_EQ(valueOf(tl.at(2), "counter/c"), 10);
+  EXPECT_EQ(valueOf(tl.latest(), "counter/c"), 10);
+}
+
+TEST(MetricsTimeline, NewSeriesAppearMidStream) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("a");
+  MetricsTimeline tl(reg);
+
+  a.add(1);
+  tl.capture(1, "r");
+  EXPECT_FALSE(hasKey(tl.latest(), "counter/late"));
+  reg.counter("late").add(7);
+  tl.capture(2, "r");
+  EXPECT_EQ(valueOf(tl.latest(), "counter/late"), 7);
+  // The late series' first delta is its absolute value (delta from zero).
+  const auto& deltas = tl.points().back().deltas;
+  ASSERT_EQ(deltas.size(), 1u);
+  EXPECT_EQ(deltas[0].first, "counter/late");
+  EXPECT_EQ(deltas[0].second, 7);
+}
+
+TEST(MetricsTimeline, JsonIsSchemaTaggedAndDeterministic) {
+  MetricsRegistry reg;
+  reg.counter("x").add(4);
+  reg.gauge("y").set(-2);
+  MetricsTimeline tl(reg);
+  tl.capture(50, "round 1");
+
+  const std::string json = tl.toJson();
+  EXPECT_NE(json.find("\"schema\": \"wst-timeline-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"counter/x\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"gauge/y\": -2"), std::string::npos);
+  EXPECT_NE(json.find("\"label\": \"round 1\""), std::string::npos);
+  EXPECT_EQ(json, tl.toJson());  // rendering is a pure function of state
+}
+
+TEST(MetricsTimeline, PrometheusManglesNamesAndTypes) {
+  MetricsRegistry reg;
+  reg.counter("overlay/msgs").add(3);
+  reg.gauge("trace/window").set(12);
+  reg.histogram("svc/ns").record(100);
+  MetricsTimeline tl(reg);
+  tl.capture(99, "round");
+
+  const std::string prom = tl.prometheus();
+  EXPECT_NE(prom.find("wst_virtual_time_ns 99"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE wst_overlay_msgs counter"), std::string::npos);
+  EXPECT_NE(prom.find("wst_overlay_msgs 3"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE wst_trace_window gauge"), std::string::npos);
+  // Histogram facets mangle '#' to '_' and are exposed as gauges.
+  EXPECT_NE(prom.find("wst_svc_ns_count 1"), std::string::npos);
+  // Stand-alone exposition of an arbitrary snapshot matches the member.
+  EXPECT_EQ(prom, prometheusExposition(tl.latest(), 99));
+}
+
+}  // namespace
+}  // namespace wst::support

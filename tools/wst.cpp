@@ -31,6 +31,7 @@
 
 #include "must/harness.hpp"
 #include "must/hybrid.hpp"
+#include "must/telemetry.hpp"
 #include "support/strings.hpp"
 #include "support/trace_export.hpp"
 #include "support/tracing.hpp"
@@ -75,6 +76,15 @@ struct Options {
   std::string metricsPath;  // dump the tool metrics registry as JSON
   std::string traceOut;     // Chrome trace-event JSON of the flight recorder
   std::int32_t traceDepth = 4096;  // ring capacity per trace track
+
+  // Live telemetry plane (DESIGN.md §16).
+  bool telemetry = false;      // per-round timeline + overhead accounting
+  bool top = false;            // `wst top`: render the timeline post-run
+  std::string statusOut;       // status JSON path (+ .prom sibling)
+  sim::Duration statusInterval = 5'000'000;  // virtual ns between rewrites
+  sim::Duration beatInterval = 0;            // TBON health beats (0 = off)
+  std::string timelineOut;     // timeline JSON (wst-timeline-v1) path
+  std::int32_t muteNode = -1;  // test hook: node that never sends beats
 };
 
 void printUsage() {
@@ -84,6 +94,9 @@ void printUsage() {
       "commands:\n"
       "  list                     list available workloads\n"
       "  run                      run a workload under the tool\n"
+      "  top                      run with telemetry and render the\n"
+      "                           per-round metric timeline (accepts all\n"
+      "                           run options)\n"
       "  fuzz                     differential protocol fuzzing (see below)\n"
       "\n"
       "run options:\n"
@@ -144,6 +157,24 @@ void printUsage() {
       "                           or chrome://tracing)\n"
       "  --trace-depth N          flight-recorder ring capacity per track\n"
       "                           (default: 4096 events; oldest drop first)\n"
+      "  --telemetry              per-round metric timeline + overhead\n"
+      "                           self-accounting (implied by the flags\n"
+      "                           below and by `wst top`)\n"
+      "  --status-out PATH        rewrite a live status JSON document at\n"
+      "                           PATH (and Prometheus text at PATH.prom)\n"
+      "                           on a virtual-time cadence; byte-identical\n"
+      "                           for any --threads N\n"
+      "  --status-interval-ms X   status rewrite cadence in virtual ms\n"
+      "                           (default: 5)\n"
+      "  --beat-interval-ms X     TBON health beats every X virtual ms:\n"
+      "                           nodes report queue/retransmit/epoch state\n"
+      "                           up the tree; the root flags stale nodes\n"
+      "                           (default: off)\n"
+      "  --timeline-out PATH      write the per-round metric timeline as\n"
+      "                           JSON (schema wst-timeline-v1) after the\n"
+      "                           run\n"
+      "  --mute-node N            test hook: tool node N never sends health\n"
+      "                           beats (exercises staleness detection)\n"
       "\n"
       "fuzz options:\n"
       "  --runs N                 scenarios to generate and check (default 100)\n"
@@ -335,6 +366,14 @@ int runWorkload(const Options& opt) {
   toolCfg.pruneConsistentPings = opt.prunePings;
   toolCfg.warmStartThreshold = opt.warmThreshold;
 
+  // Any telemetry output implies the timeline + overhead accounting; health
+  // beats stay a separate opt-in because they add protocol traffic.
+  const bool telemetry = opt.telemetry || opt.top || !opt.statusOut.empty() ||
+                         !opt.timelineOut.empty() || opt.beatInterval > 0;
+  toolCfg.telemetry = telemetry;
+  toolCfg.healthBeatInterval = opt.beatInterval;
+  toolCfg.muteHealthBeatNode = opt.muteNode;
+
   // Divergence guard for the hybrid mode, styled after --verify-incremental:
   // run the tool twice — pure dynamic tracking vs certificate-driven
   // sampling — and require identical verdicts, deadlocked sets, and terminal
@@ -437,7 +476,46 @@ int runWorkload(const Options& opt) {
   mpi::Runtime runtime(engine, mpiCfg, opt.procs);
   if (tracer) runtime.setTracer(&*tracer);
   must::DistributedTool tool(engine, runtime, toolCfg);
+
+  std::optional<must::StatusWriter> statusWriter;
+  if (!opt.statusOut.empty()) {
+    must::StatusWriter::Config swCfg;
+    swCfg.path = opt.statusOut;
+    swCfg.interval = opt.statusInterval;
+    statusWriter.emplace(engine, tool, swCfg);
+    statusWriter->start();
+  }
+
   runtime.runToCompletion(*program);
+
+  // Telemetry finalization runs before publishMetrics: the engine's own
+  // stats legitimately vary with the worker count, so folding them into the
+  // registry first would break the byte-stability of the status/timeline
+  // documents across --threads 1..N.
+  // Attached regardless of the telemetry flag: the section self-guards and
+  // also surfaces dropped trace events and overlay fault totals from plain
+  // traced/fault-injected runs.
+  tool.attachTelemetryToReport();
+  if (telemetry) {
+    tool.finalizeTelemetry();
+    if (statusWriter) {
+      statusWriter->writeFinal();
+      std::printf("status written to %s (%s rewrites)\n",
+                  opt.statusOut.c_str(),
+                  support::withCommas(statusWriter->rewrites()).c_str());
+    }
+    if (!opt.timelineOut.empty() && tool.timeline() != nullptr) {
+      std::ofstream out(opt.timelineOut);
+      if (out) {
+        out << tool.timeline()->toJson() << "\n";
+        std::printf("timeline JSON written to %s\n", opt.timelineOut.c_str());
+      } else {
+        std::fprintf(stderr, "warning: cannot write timeline to %s\n",
+                     opt.timelineOut.c_str());
+      }
+    }
+  }
+
   if (parEngine != nullptr) {
     parEngine->publishMetrics(tool.metrics(),
                               /*includePerWorker=*/opt.engineStats);
@@ -507,6 +585,58 @@ int runWorkload(const Options& opt) {
     for (std::size_t w = 0; w < st.workerEvents.size(); ++w) {
       std::printf("engine: worker %zu executed %s events\n", w,
                   support::withCommas(st.workerEvents[w]).c_str());
+    }
+  }
+  if (opt.beatInterval > 0) {
+    std::uint64_t beatsSeen = 0;
+    std::uint32_t reporting = 0;
+    for (const must::DistributedTool::NodeHealth& h : tool.healthTable()) {
+      beatsSeen += h.beatsSeen;
+      reporting += h.everSeen ? 1 : 0;
+    }
+    std::printf("health: %u/%zu node(s) reporting, %s beat row(s) at root, "
+                "%u stale\n",
+                reporting, tool.healthTable().size(),
+                support::withCommas(beatsSeen).c_str(), tool.staleNodeCount());
+    for (std::size_t n = 0; n < tool.healthTable().size(); ++n) {
+      if (tool.healthTable()[n].stale) {
+        std::printf("health: node %zu STALE (last beat at %s ns)\n", n,
+                    support::withCommas(tool.healthTable()[n].arrivedAtNs)
+                        .c_str());
+      }
+    }
+  }
+  if (opt.top && tool.timeline() != nullptr) {
+    const support::MetricsTimeline& tl = *tool.timeline();
+    std::printf("\ntimeline: %s capture(s), %s evicted, %zu retained\n",
+                support::withCommas(tl.captured()).c_str(),
+                support::withCommas(tl.evicted()).c_str(), tl.size());
+    for (const support::MetricsTimeline::Point& point : tl.points()) {
+      // Show the largest movers per point; ties break on the series key so
+      // the rendering is deterministic.
+      auto deltas = point.deltas;
+      std::sort(deltas.begin(), deltas.end(),
+                [](const auto& a, const auto& b) {
+                  const std::int64_t ma = a.second < 0 ? -a.second : a.second;
+                  const std::int64_t mb = b.second < 0 ? -b.second : b.second;
+                  if (ma != mb) return ma > mb;
+                  return a.first < b.first;
+                });
+      constexpr std::size_t kTopMovers = 4;
+      const std::size_t shown = std::min(deltas.size(), kTopMovers);
+      std::string movers;
+      for (std::size_t i = 0; i < shown; ++i) {
+        movers += support::format("%s%s %+lld", i == 0 ? "" : "; ",
+                                  deltas[i].first.c_str(),
+                                  static_cast<long long>(deltas[i].second));
+      }
+      if (deltas.size() > shown) {
+        movers += support::format(" (+%zu more)", deltas.size() - shown);
+      }
+      std::printf("  %14s  %-9s %s\n",
+                  support::withCommas(
+                      static_cast<std::uint64_t>(point.timeNs)).c_str(),
+                  point.label.c_str(), movers.c_str());
     }
   }
   if (!opt.metricsPath.empty()) {
@@ -665,12 +795,13 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   if (command == "list") return listWorkloads();
   if (command == "fuzz") return runFuzz(argc, argv);
-  if (command != "run") {
+  if (command != "run" && command != "top") {
     printUsage();
     return 1;
   }
 
   Options opt;
+  opt.top = command == "top";
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto value = [&]() -> const char* {
@@ -726,6 +857,18 @@ int main(int argc, char** argv) {
       opt.traceOut = value();
     } else if (arg == "--trace-depth") {
       opt.traceDepth = std::atoi(value());
+    } else if (arg == "--telemetry") {
+      opt.telemetry = true;
+    } else if (arg == "--status-out") {
+      opt.statusOut = value();
+    } else if (arg == "--status-interval-ms") {
+      opt.statusInterval = static_cast<sim::Duration>(std::atof(value()) * 1e6);
+    } else if (arg == "--beat-interval-ms") {
+      opt.beatInterval = static_cast<sim::Duration>(std::atof(value()) * 1e6);
+    } else if (arg == "--timeline-out") {
+      opt.timelineOut = value();
+    } else if (arg == "--mute-node") {
+      opt.muteNode = std::atoi(value());
     } else if (arg == "--batch") {
       opt.batch = true;
     } else if (arg == "--centralized") {

@@ -57,6 +57,7 @@ std::uint32_t featureKey(const Scenario& sc) {
   }
   if (sc.faults.drop > 0.0) key |= 1u << 8;
   if (sc.periodic > 0) key |= 1u << 9;
+  if (sc.crash.enabled) key |= 1u << 10;
   return key;
 }
 
@@ -93,7 +94,9 @@ FuzzReport runFuzzCampaign(const FuzzConfig& config, std::ostream& log) {
     }
     const std::uint64_t seed = mixSeed(config.seed,
                                        static_cast<std::uint64_t>(i));
-    const Scenario scenario = makeScenario(seed);
+    GenOptions gen;
+    gen.allowCrash = config.crashFaults;
+    const Scenario scenario = makeScenario(seed, gen);
     ++report.executed;
 
     if (!config.emitCorpusDir.empty() && scenario.totalOps() <= 60) {

@@ -29,6 +29,9 @@ struct FuzzConfig {
   bool hybrid = false;
   /// When false, skip the fault-injected variant of each run.
   bool faults = true;
+  /// Generate crash-fault scenarios (`--fault-kinds crash`): every scenario
+  /// carries a tool-node crash-stop plan, armed in all distributed variants.
+  bool crashFaults = false;
   /// Planted-bug hook forwarded to the distributed tool.
   std::int32_t injectBug = 0;
   /// Where divergence artifacts are written.

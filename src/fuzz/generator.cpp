@@ -279,11 +279,26 @@ struct Builder {
 }  // namespace
 
 Scenario makeScenario(std::uint64_t seed) {
+  return makeScenario(seed, GenOptions{});
+}
+
+Scenario makeScenario(std::uint64_t seed, const GenOptions& options) {
   support::Rng rng(seed);
   Scenario sc;
   sc.seed = seed;
-  sc.procs = 3 + static_cast<std::int32_t>(rng.below(6));  // 3..8
-  sc.fanIn = 2 + static_cast<std::int32_t>(rng.below(3));  // 2..4
+  if (options.allowCrash) {
+    // Crash campaigns need inner tool nodes: fanIn 2 with at least 5 procs
+    // yields a depth-3 tree (>= 3 first-layer nodes condense to >= 2 inner
+    // aggregators under the root).
+    sc.procs = 5 + static_cast<std::int32_t>(rng.below(4));  // 5..8
+    sc.fanIn = 2;
+    sc.crash.enabled = true;
+    sc.crash.nodeIndex = static_cast<std::int32_t>(rng.below(8));
+    sc.crash.at = 20'000 + static_cast<sim::Time>(rng.below(1'500'000));
+  } else {
+    sc.procs = 3 + static_cast<std::int32_t>(rng.below(6));  // 3..8
+    sc.fanIn = 2 + static_cast<std::int32_t>(rng.below(3));  // 2..4
+  }
   sc.ranks.resize(static_cast<std::size_t>(sc.procs));
 
   // Tool / overlay randomization: latencies in [500, 4500), a periodic

@@ -13,4 +13,15 @@ namespace wst::fuzz {
 /// with fixed integer reduction).
 Scenario makeScenario(std::uint64_t seed);
 
+/// Generation knobs for specialized campaigns. The default value generates
+/// exactly what makeScenario(seed) does.
+struct GenOptions {
+  /// Arm a tool-node crash-stop: forces fanIn = 2 and procs >= 5 so the
+  /// TBON has inner (non-root, non-leaf) nodes to kill, and draws the
+  /// victim index and virtual crash time from the same RNG stream.
+  bool allowCrash = false;
+};
+
+Scenario makeScenario(std::uint64_t seed, const GenOptions& options);
+
 }  // namespace wst::fuzz

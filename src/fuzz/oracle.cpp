@@ -183,6 +183,20 @@ Outcome runDistributedOracle(const Scenario& scenario,
     cfg.hierarchicalCheck = true;
     cfg.verifyHierarchical = true;
   }
+  if (scenario.crash.enabled) {
+    // Map the abstract victim index onto an eligible inner node of the
+    // actual topology (never the root, never a first-layer leaf host), so
+    // shrinking can mutate the index freely without invalidating the plan.
+    const tbon::Topology topo(scenario.procs, scenario.fanIn);
+    const std::int32_t innerCount =
+        topo.nodeCount() - topo.firstLayerCount() - 1;
+    if (innerCount > 0) {
+      const auto victim = static_cast<tbon::NodeId>(
+          topo.firstLayerCount() + scenario.crash.nodeIndex % innerCount);
+      cfg.crashPlan.push_back(
+          {victim, std::max<sim::Time>(scenario.crash.at, 10'000)});
+    }
+  }
   if (options.faults) {
     const FaultPlan& f = scenario.faults;
     if (f.drop > 0.0 || f.dup > 0.0 || f.delay > 0.0) {

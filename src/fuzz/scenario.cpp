@@ -66,6 +66,10 @@ std::string Scenario::serialize() const {
                          static_cast<long long>(faults.maxExtraDelay),
                          static_cast<long long>(faults.jitter),
                          static_cast<unsigned long long>(faults.seed));
+  if (crash.enabled) {
+    out += support::format("crash %d %lld\n", crash.nodeIndex,
+                           static_cast<long long>(crash.at));
+  }
   for (std::size_t r = 0; r < ranks.size(); ++r) {
     out += support::format("rank %llu\n",
                            static_cast<unsigned long long>(r));
@@ -142,6 +146,13 @@ std::optional<Scenario> Scenario::parse(const std::string& text,
       if (!(in >> key >> sc.faults.seed) || key != "seed") {
         return fail("bad faults line (seed)");
       }
+    } else if (word == "crash") {
+      sc.crash.enabled = true;
+      if (!(in >> sc.crash.nodeIndex >> sc.crash.at)) {
+        return fail("bad crash line");
+      }
+      if (sc.crash.nodeIndex < 0) return fail("crash node index negative");
+      if (sc.crash.at <= 0) return fail("crash time must be positive");
     } else if (word == "rank") {
       std::size_t index = 0;
       if (!(in >> index) || index != sc.ranks.size()) {

@@ -84,6 +84,18 @@ struct FaultPlan {
   bool operator==(const FaultPlan&) const = default;
 };
 
+/// Crash-stop plan for one inner tool node (the `crash` fault kind). The
+/// oracle maps `nodeIndex` onto an eligible inner node of the scenario's
+/// actual topology (never the root, never a leaf), so any index value stays
+/// valid under shrinking.
+struct CrashPlan {
+  bool enabled = false;
+  std::int32_t nodeIndex = 0;
+  sim::Time at = 50'000;
+
+  bool operator==(const CrashPlan&) const = default;
+};
+
 struct Scenario {
   std::int32_t procs = 4;
   std::int32_t fanIn = 2;
@@ -100,6 +112,9 @@ struct Scenario {
   sim::Duration latUp = 2'000;
   sim::Duration latDown = 2'000;
   FaultPlan faults;
+  /// Optional tool-node crash-stop (serialized only when enabled, so the
+  /// pre-crash corpus format round-trips byte-exact).
+  CrashPlan crash;
   /// ranks[r] = operation list of world rank r.
   std::vector<std::vector<Op>> ranks;
 

@@ -123,6 +123,8 @@ struct Shrinker {
       s.latUp = 2'000;
       s.latDown = 2'000;
     });
+    tryApply([](Scenario& s) { s.crash = CrashPlan{}; });
+    tryApply([](Scenario& s) { s.crash.nodeIndex = 0; });
     return changed;
   }
 };

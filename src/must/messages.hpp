@@ -28,14 +28,19 @@ struct AckConsistentStateMsg {
 };
 
 /// Intralayer double ping-pong (paper Figure 8). `remaining` counts the
-/// ping-pong rounds still to run after this one.
+/// ping-pong rounds still to run after this one. `epoch` tags the detection
+/// round the ping belongs to: a pong of a round the tool abandoned (a crash
+/// tore the round and recovery restarted it) is dropped instead of being
+/// miscounted against the new round's outstanding-peer tally.
 struct PingMsg {
   tbon::NodeId origin = -1;
   std::int32_t remaining = 0;
+  std::uint32_t epoch = 0;
 };
 struct PongMsg {
   tbon::NodeId responder = -1;
   std::int32_t remaining = 0;
+  std::uint32_t epoch = 0;
 };
 
 /// Root -> first layer: describe the wait-for conditions of all processes.
@@ -144,6 +149,39 @@ struct HealthBeatMsg {
   std::vector<HealthBeatRow> rows;
 };
 
+// --- Crash-recovery control plane (DESIGN.md §17) ----------------------------
+
+/// Root -> an orphaned child of a crashed node: adopt `newParent` as the up
+/// route. The orphan re-sends its unacknowledged collective contributions
+/// over the new path (idempotent: aggregation is origin-keyed) and then
+/// re-registers up the tree so the root knows the subtree is re-anchored.
+struct ReparentMsg {
+  tbon::NodeId deadNode = -1;
+  tbon::NodeId newParent = -1;
+};
+
+/// Root -> the adopting node: `orphans` now route through you; drop the
+/// crashed child from your live-children set and ignore any contribution
+/// still in flight from it (the orphans replay the ground truth).
+struct AdoptMsg {
+  tbon::NodeId deadNode = -1;
+  std::vector<tbon::NodeId> orphans;
+};
+
+/// Adopter -> root (relayed up): the adoption is applied on the adopter's
+/// node state.
+struct AdoptAckMsg {
+  tbon::NodeId adopter = -1;
+  tbon::NodeId deadNode = -1;
+};
+
+/// Orphan -> root (relayed up the *new* path): this subtree re-anchored.
+/// Arrival doubles as proof the new route works end to end.
+struct ReRegisterMsg {
+  tbon::NodeId orphan = -1;
+  tbon::NodeId deadNode = -1;
+};
+
 using ToolMsg =
     std::variant<trace::NewOpEvent, trace::MatchInfoEvent,
                  waitstate::PassSendMsg, waitstate::RecvActiveMsg,
@@ -151,7 +189,8 @@ using ToolMsg =
                  waitstate::CollectiveAckMsg, RequestConsistentStateMsg,
                  AckConsistentStateMsg, PingMsg, PongMsg, RequestWaitsMsg,
                  WaitInfoMsg, CondensedWaitInfoMsg, DeadlockDetailRequestMsg,
-                 DeadlockDetailMsg, PhaseResyncMsg, HealthBeatMsg>;
+                 DeadlockDetailMsg, PhaseResyncMsg, HealthBeatMsg, ReparentMsg,
+                 AdoptMsg, AdoptAckMsg, ReRegisterMsg>;
 
 /// Modeled wire size for bandwidth accounting.
 inline std::size_t modeledSize(const ToolMsg& msg) {
@@ -189,6 +228,8 @@ inline std::size_t modeledSize(const ToolMsg& msg) {
                  16 * m.activeSends.size() + 20 * m.activeWildcards.size();
         } else if constexpr (std::is_same_v<T, DeadlockDetailRequestMsg>) {
           return 8 + 4 * m.procs.size();
+        } else if constexpr (std::is_same_v<T, AdoptMsg>) {
+          return 8 + 4 * m.orphans.size();
         } else if constexpr (std::is_same_v<T, PhaseResyncMsg>) {
           return 16;
         } else if constexpr (std::is_same_v<T, HealthBeatMsg>) {

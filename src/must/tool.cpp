@@ -36,7 +36,8 @@ const char* toolMsgKindName(std::size_t index) {
       "ack_consistent_state", "ping",       "pong",
       "request_waits",    "wait_info",      "condensed_wait_info",
       "deadlock_detail_request", "deadlock_detail", "phase_resync",
-      "health_beat",
+      "health_beat",      "reparent",       "adopt",
+      "adopt_ack",        "re_register",
   };
   static_assert(std::variant_size_v<ToolMsg> ==
                 sizeof(kNames) / sizeof(kNames[0]));
@@ -104,11 +105,28 @@ struct DistributedTool::NodeState : waitstate::Comms {
   support::TraceTrack* trace = nullptr;
   std::unique_ptr<waitstate::DistributedTracker> tracker;  // first layer only
 
-  // Inner-node collectiveReady aggregation: accumulated ready counts per
-  // (comm, wave) until the node's whole subtree is ready.
-  std::unordered_map<std::pair<mpi::CommId, std::uint32_t>, std::uint32_t,
-                     CommWaveHash>
-      innerWaves;
+  // Inner-node collectiveReady aggregation, keyed by the contributing child
+  // so a replayed contribution (crash recovery) replaces instead of adding.
+  // Entries live until the wave's ack arrives — an orphan's replay can then
+  // re-complete the subtree and re-forward (idempotent at every level).
+  std::unordered_map<std::pair<mpi::CommId, std::uint32_t>,
+                     std::map<NodeId, std::uint32_t>, CommWaveHash>
+      innerContrib;
+
+  // Live-tree view of this node (crash recovery, DESIGN.md §17): children
+  // currently routing through it (topology children until adoptions change
+  // it) and crashed ex-children whose stray contributions must be ignored.
+  std::vector<NodeId> liveChildren;
+  std::set<NodeId> deadChildren;
+
+  // Unacknowledged collective contributions, replayed after a re-parenting
+  // (ordered keys: the replay order must be deterministic). pendingColl
+  // holds a first-layer tracker's own sends, forwardedColl an inner node's
+  // forwarded subtree aggregates.
+  std::map<std::pair<mpi::CommId, std::uint32_t>, waitstate::CollectiveReadyMsg>
+      pendingColl;
+  std::map<std::pair<mpi::CommId, std::uint32_t>, waitstate::CollectiveReadyMsg>
+      forwardedColl;
 
   // Consistent-state protocol (first layer).
   std::uint32_t epoch = 0;
@@ -155,17 +173,22 @@ struct DistributedTool::NodeState : waitstate::Comms {
   std::uint64_t resyncedOps = 0;    // ops fast-forwarded by PhaseResyncMsg
   std::uint64_t lastCondNodes = 0;  // boundary size of the last condensation
 
-  /// Cached count of this node's hosted processes per communicator group
-  /// (groups are immutable once created).
+  /// Cached per-communicator contribution expectation of an inner node: the
+  /// group members hosted under its *live* children's process spans.
+  /// Communicator groups are immutable, so the cache only invalidates when
+  /// an adoption changes liveChildren. Equals the node's own hosted span
+  /// while the live tree matches the topology.
   std::unordered_map<mpi::CommId, std::uint32_t> hostedCounts;
 
-  std::uint32_t hostedInComm(mpi::CommId comm) {
+  std::uint32_t expectedInComm(mpi::CommId comm) {
     auto it = hostedCounts.find(comm);
     if (it == hostedCounts.end()) {
-      const tbon::NodeInfo& info = tool.topology_.node(id);
       std::uint32_t hosted = 0;
-      for (const ProcId member : tool.commView_.group(comm)) {
-        if (member >= info.procLo && member < info.procHi) ++hosted;
+      for (const NodeId child : liveChildren) {
+        const tbon::NodeInfo& ci = tool.topology_.node(child);
+        for (const ProcId member : tool.commView_.group(comm)) {
+          if (member >= ci.procLo && member < ci.procHi) ++hosted;
+        }
       }
       it = hostedCounts.emplace(comm, hosted).first;
     }
@@ -175,6 +198,7 @@ struct DistributedTool::NodeState : waitstate::Comms {
   NodeState(DistributedTool& t, NodeId nodeId) : tool(t), id(nodeId) {
     trace = tool.nodeTrack(nodeId);
     const tbon::NodeInfo& info = tool.topology_.node(nodeId);
+    liveChildren = info.children;
     if (tool.topology_.isFirstLayer(nodeId)) {
       waitstate::TrackerConfig cfg;
       cfg.blockingModel = tool.config_.blockingModel;
@@ -224,12 +248,17 @@ struct DistributedTool::NodeState : waitstate::Comms {
       trace->flowBegin("collectiveReady", "waitstate",
                        packCollFlow(kCollReadyFlow, msg.comm, msg.wave, id));
     }
+    waitstate::CollectiveReadyMsg stamped = msg;
+    stamped.originNode = id;
+    // Remember the contribution until its ack: a re-parented node re-sends
+    // everything unacknowledged over the new path (DESIGN.md §17).
+    pendingColl[{msg.comm, msg.wave}] = stamped;
     if (tool.topology_.isRoot(id)) {
       // Single-node tree: keep queue semantics with a self-send.
-      tool.overlay_->sendIntralayer(id, id, ToolMsg{msg},
+      tool.overlay_->sendIntralayer(id, id, ToolMsg{stamped},
                                     waitstate::kCollectiveReadyBytes);
     } else {
-      tool.overlay_->sendUp(id, ToolMsg{msg},
+      tool.overlay_->sendUp(id, ToolMsg{stamped},
                             waitstate::kCollectiveReadyBytes);
     }
   }
@@ -310,6 +339,20 @@ DistributedTool::DistributedTool(sim::Scheduler& engine, mpi::Runtime& runtime,
   }
   runtime_.setInterposer(this);
 
+  // Root's mirror of the live tree; diverges from the topology only when a
+  // recovery re-parents a crashed node's children.
+  rootLiveParent_.reserve(static_cast<std::size_t>(topology_.nodeCount()));
+  rootLiveChildren_.reserve(static_cast<std::size_t>(topology_.nodeCount()));
+  for (NodeId n = 0; n < topology_.nodeCount(); ++n) {
+    rootLiveParent_.push_back(topology_.node(n).parent);
+    rootLiveChildren_.push_back(topology_.node(n).children);
+  }
+  if (config_.healthBeatInterval > 0 || !config_.crashPlan.empty()) {
+    healthFlapSuppressed_ = &metrics_.counter("health/flap_suppressed");
+    healthReparentRuns_ = &metrics_.counter("health/reparent_runs");
+    healthReackWaves_ = &metrics_.counter("health/reack_waves");
+  }
+
   incremental_.emplace(runtime_.procCount(), config_.warmStartThreshold);
   procSends_.resize(static_cast<std::size_t>(runtime_.procCount()));
   procWildcards_.resize(static_cast<std::size_t>(runtime_.procCount()));
@@ -387,6 +430,8 @@ DistributedTool::DistributedTool(sim::Scheduler& engine, mpi::Runtime& runtime,
                                 [this, n] { onHealthBeat(n); });
     }
   }
+
+  scheduleCrashPlan();
 
   if (config_.detectOnQuiescence) {
     quiescenceHookId_ = engine_.addQuiescenceHook([this] { onQuiescence(); });
@@ -745,11 +790,13 @@ sim::Duration DistributedTool::messageCost(NodeId /*node*/,
 }
 
 void DistributedTool::broadcastDown(NodeId from, const ToolMsg& msg) {
-  const tbon::NodeInfo& info = topology_.node(from);
+  // Fans out over the *live* children: adoptions reroute a torn subtree's
+  // downward traffic through its adopter, and a crashed child is skipped.
+  const NodeState& ns = *nodes_[static_cast<std::size_t>(from)];
   support::TraceTrack* track = nodeTrack(from);
   const waitstate::CollectiveAckMsg* ack =
       std::get_if<waitstate::CollectiveAckMsg>(&msg);
-  if (info.children.empty()) {
+  if (ns.liveChildren.empty()) {
     // Single-node tree: the root is also the first layer; self-deliver.
     if (track != nullptr && ack != nullptr) {
       track->flowBegin("collectiveAck", "waitstate",
@@ -758,7 +805,7 @@ void DistributedTool::broadcastDown(NodeId from, const ToolMsg& msg) {
     overlay_->sendIntralayer(from, from, ToolMsg{msg}, modeledSize(msg));
     return;
   }
-  for (const NodeId child : info.children) {
+  for (const NodeId child : ns.liveChildren) {
     if (track != nullptr && ack != nullptr) {
       track->flowBegin(
           "collectiveAck", "waitstate",
@@ -799,8 +846,14 @@ void DistributedTool::handleMessage(NodeId node, ToolMsg&& msg) {
           },
           [&](waitstate::CollectiveAckMsg& m) {
             if (topology_.isFirstLayer(node)) {
+              ns.pendingColl.erase({m.comm, m.wave});
               ns.tracker->onCollectiveAck(m);
             } else {
+              // The ack retires the subtree's forwarded contribution (and
+              // its per-child ledger); a recovery re-broadcast arriving a
+              // second time erases nothing and fans out again — harmless.
+              ns.forwardedColl.erase({m.comm, m.wave});
+              ns.innerContrib.erase({m.comm, m.wave});
               broadcastDown(node, ToolMsg{m});
             }
           },
@@ -814,6 +867,9 @@ void DistributedTool::handleMessage(NodeId node, ToolMsg&& msg) {
           },
           [&](AckConsistentStateMsg& m) {
             if (topology_.isRoot(node)) {
+              // Acks of a torn (crash-aborted) round must not count against
+              // the restarted round's tally.
+              if (!detectionInProgress_ || m.epoch != epoch_) return;
               acksAtRoot_ += m.count;
               if (acksAtRoot_ ==
                   static_cast<std::uint32_t>(topology_.firstLayerCount())) {
@@ -824,17 +880,21 @@ void DistributedTool::handleMessage(NodeId node, ToolMsg&& msg) {
             }
           },
           [&](PingMsg& m) {
-            overlay_->sendIntralayer(node, m.origin,
-                                     ToolMsg{PongMsg{node, m.remaining}}, 12);
+            overlay_->sendIntralayer(
+                node, m.origin, ToolMsg{PongMsg{node, m.remaining, m.epoch}},
+                12);
           },
           [&](PongMsg& m) {
+            // A pong of a round the root abandoned (crash tore it) arrives
+            // after this node already moved to the restarted epoch: drop it
+            // instead of miscounting it against the new round.
+            if (m.epoch != ns.epoch || ns.outstandingPeers <= 0) return;
             if (m.remaining > 0) {
               overlay_->sendIntralayer(
                   node, m.responder,
-                  ToolMsg{PingMsg{node, m.remaining - 1}}, 12);
+                  ToolMsg{PingMsg{node, m.remaining - 1, m.epoch}}, 12);
               return;
             }
-            WST_ASSERT(ns.outstandingPeers > 0, "unexpected pong");
             if (--ns.outstandingPeers == 0) maybeAckConsistentState(node);
           },
           [&](RequestWaitsMsg& m) {
@@ -842,6 +902,10 @@ void DistributedTool::handleMessage(NodeId node, ToolMsg&& msg) {
               broadcastDown(node, ToolMsg{m});
               return;
             }
+            // A torn round's request straggling in after the restarted
+            // round's consistent-state sync must not resume the tracker
+            // mid-sync (the new round's cut would be unsound).
+            if (m.epoch != ns.epoch) return;
             const tbon::NodeInfo& topo = topology_.node(node);
             std::vector<waitstate::DistributedTracker::ActiveSend> sends;
             std::vector<waitstate::DistributedTracker::ActiveWildcard> wilds;
@@ -974,6 +1038,15 @@ void DistributedTool::handleMessage(NodeId node, ToolMsg&& msg) {
               handleWaitInfoAtRoot(std::move(m));
               return;
             }
+            // Epoch-keyed partial merge: a crash can tear a round mid-merge,
+            // so a newer epoch discards the stale partial and a torn round's
+            // straggler is dropped.
+            if (ns.waitInfoChildren > 0 && m.epoch != ns.pendingWaitInfo.epoch) {
+              if (m.epoch < ns.pendingWaitInfo.epoch) return;
+              ns.pendingWaitInfo = WaitInfoMsg{};
+              ns.waitInfoChildren = 0;
+              ns.waitInfoChildBytes = 0;
+            }
             // TBON aggregation: merge the subtree's deltas into one upward
             // message per round instead of relaying each child's reply.
             ns.waitInfoChildBytes += modeledSize(ToolMsg{m});
@@ -986,16 +1059,15 @@ void DistributedTool::handleMessage(NodeId node, ToolMsg&& msg) {
             std::move(m.activeWildcards.begin(), m.activeWildcards.end(),
                       std::back_inserter(ns.pendingWaitInfo.activeWildcards));
             ++ns.waitInfoChildren;
-            const auto& children = topology_.node(node).children;
             if (ns.waitInfoChildren <
-                static_cast<std::uint32_t>(children.size())) {
+                static_cast<std::uint32_t>(ns.liveChildren.size())) {
               return;
             }
             WaitInfoMsg merged = std::move(ns.pendingWaitInfo);
             ns.pendingWaitInfo = WaitInfoMsg{};
             ns.waitInfoChildren = 0;
             const std::size_t bytes = modeledSize(ToolMsg{merged});
-            waitinfoFanin_->record(children.size());
+            waitinfoFanin_->record(ns.liveChildren.size());
             if (ns.waitInfoChildBytes > bytes) {
               mergeSavedBytes_->add(ns.waitInfoChildBytes - bytes);
             }
@@ -1011,6 +1083,14 @@ void DistributedTool::handleMessage(NodeId node, ToolMsg&& msg) {
             // arrived, merge them, resolve everything that became
             // subtree-local at this level, and forward one condensation of
             // the whole subtree.
+            if (ns.condChildren > 0 && m.wait.epoch != ns.condEpoch) {
+              if (m.wait.epoch < ns.condEpoch) return;  // torn-round straggler
+              ns.pendingCond.clear();
+              ns.pendingCondSends.clear();
+              ns.pendingCondWildcards.clear();
+              ns.pendingCondFinished = 0;
+              ns.condChildren = 0;
+            }
             ns.condEpoch = m.wait.epoch;
             ns.pendingCondFinished += m.wait.finishedCount;
             ns.pendingCond.push_back(std::move(m.wait.cond));
@@ -1018,9 +1098,8 @@ void DistributedTool::handleMessage(NodeId node, ToolMsg&& msg) {
                       std::back_inserter(ns.pendingCondSends));
             std::move(m.activeWildcards.begin(), m.activeWildcards.end(),
                       std::back_inserter(ns.pendingCondWildcards));
-            const auto& children = topology_.node(node).children;
             if (++ns.condChildren <
-                static_cast<std::uint32_t>(children.size())) {
+                static_cast<std::uint32_t>(ns.liveChildren.size())) {
               return;
             }
             std::sort(ns.pendingCond.begin(), ns.pendingCond.end(),
@@ -1051,6 +1130,7 @@ void DistributedTool::handleMessage(NodeId node, ToolMsg&& msg) {
             // Reply with the conditions of the hosted deadlocked processes.
             // Every first-layer node answers (possibly with nothing) so the
             // merge above can count one reply per child.
+            if (m.epoch != ns.epoch) return;  // torn-round straggler
             DeadlockDetailMsg reply;
             reply.epoch = m.epoch;
             const tbon::NodeInfo& topo = topology_.node(node);
@@ -1070,12 +1150,16 @@ void DistributedTool::handleMessage(NodeId node, ToolMsg&& msg) {
               handleDeadlockDetailAtRoot(std::move(m));
               return;
             }
+            if (ns.detailChildren > 0 && m.epoch != ns.pendingDetail.epoch) {
+              if (m.epoch < ns.pendingDetail.epoch) return;
+              ns.pendingDetail = DeadlockDetailMsg{};
+              ns.detailChildren = 0;
+            }
             ns.pendingDetail.epoch = m.epoch;
             std::move(m.conditions.begin(), m.conditions.end(),
                       std::back_inserter(ns.pendingDetail.conditions));
-            const auto& children = topology_.node(node).children;
             if (++ns.detailChildren <
-                static_cast<std::uint32_t>(children.size())) {
+                static_cast<std::uint32_t>(ns.liveChildren.size())) {
               return;
             }
             DeadlockDetailMsg merged = std::move(ns.pendingDetail);
@@ -1095,6 +1179,49 @@ void DistributedTool::handleMessage(NodeId node, ToolMsg&& msg) {
             const std::size_t bytes = modeledSize(ToolMsg{m});
             overlay_->sendUp(node, ToolMsg{std::move(m)}, bytes);
           },
+          [&](ReparentMsg& m) {
+            // Re-route up traffic, replay unacknowledged collective
+            // contributions over the new path (idempotent: aggregation is
+            // origin-keyed at every level), then re-register so the root can
+            // confirm the subtree is re-anchored end to end.
+            overlay_->setLiveParent(node, m.newParent);
+            if (config_.injectBug != 2) {
+              for (const auto& [key, ready] : ns.pendingColl) {
+                overlay_->sendUp(node, ToolMsg{ready},
+                                 waitstate::kCollectiveReadyBytes);
+              }
+              for (const auto& [key, ready] : ns.forwardedColl) {
+                overlay_->sendUp(node, ToolMsg{ready},
+                                 waitstate::kCollectiveReadyBytes);
+              }
+            }
+            overlay_->sendUp(node, ToolMsg{ReRegisterMsg{node, m.deadNode}},
+                             12);
+          },
+          [&](AdoptMsg& m) {
+            applyAdoption(node, m);
+            overlay_->sendUp(node, ToolMsg{AdoptAckMsg{node, m.deadNode}}, 12);
+          },
+          [&](AdoptAckMsg& m) {
+            if (!topology_.isRoot(node)) {
+              overlay_->sendUp(node, ToolMsg{m}, 12);
+              return;
+            }
+            if (recovery_ && m.deadNode == recovery_->dead) {
+              ++recovery_->adoptAcks;
+              maybeCompleteRecovery();
+            }
+          },
+          [&](ReRegisterMsg& m) {
+            if (!topology_.isRoot(node)) {
+              overlay_->sendUp(node, ToolMsg{m}, 12);
+              return;
+            }
+            if (recovery_ && m.deadNode == recovery_->dead) {
+              ++recovery_->reRegisters;
+              maybeCompleteRecovery();
+            }
+          },
       },
       msg);
 }
@@ -1103,8 +1230,16 @@ void DistributedTool::handleMessage(NodeId node, ToolMsg&& msg) {
 
 void DistributedTool::handleCollectiveReady(
     NodeId node, const waitstate::CollectiveReadyMsg& msg) {
+  const auto key = std::make_pair(msg.comm, msg.wave);
   if (topology_.isRoot(node)) {
-    RootWaveState& wave = rootWaves_[{msg.comm, msg.wave}];
+    // Replays of already-acked waves (orphans re-send after re-parenting)
+    // and stragglers from a crashed aggregator must not re-count.
+    if (completedWaves_.count(key) != 0) return;
+    if (msg.originNode >= 0 &&
+        rootDeadNodes_.count(static_cast<NodeId>(msg.originNode)) != 0) {
+      return;
+    }
+    RootWaveState& wave = rootWaves_[key];
     if (!wave.kindRecorded) {
       wave.kind = msg.kind;
       wave.kindRecorded = true;
@@ -1113,7 +1248,7 @@ void DistributedTool::handleCollectiveReady(
           "collective mismatch on comm %d wave %u: %s vs %s", msg.comm,
           msg.wave, mpi::toString(wave.kind), mpi::toString(msg.kind)));
     }
-    wave.readyCount += msg.readyCount;
+    wave.contrib[static_cast<NodeId>(msg.originNode)] = msg.readyCount;
     auto sizeIt = rootGroupSizes_.find(msg.comm);
     if (sizeIt == rootGroupSizes_.end()) {
       sizeIt = rootGroupSizes_
@@ -1122,31 +1257,41 @@ void DistributedTool::handleCollectiveReady(
                    .first;
     }
     const std::uint32_t groupSize = sizeIt->second;
-    WST_ASSERT(wave.readyCount <= groupSize, "collective over-subscription");
-    if (wave.readyCount == groupSize) {
+    const std::uint32_t sum = wave.readySum();
+    WST_ASSERT(sum <= groupSize, "collective over-subscription");
+    if (sum == groupSize) {
+      completedWaves_.emplace(key, wave.kind);
       rootCollectiveComplete(msg);
-      rootWaves_.erase({msg.comm, msg.wave});
+      rootWaves_.erase(key);
     }
     return;
   }
 
-  // Inner node: order-preserving aggregation — forward one message once the
-  // whole subtree is ready (paper [12]).
+  // Inner node: order-preserving aggregation keyed by the contributing
+  // child, so a replay after re-parenting replaces instead of double-counts
+  // — forward one message once the whole subtree is ready (paper [12]).
   NodeState& ns = *nodes_[static_cast<std::size_t>(node)];
-  const std::uint32_t expected = ns.hostedInComm(msg.comm);
-  auto& count = ns.innerWaves[{msg.comm, msg.wave}];
-  count += msg.readyCount;
-  WST_ASSERT(count <= expected, "subtree collective over-subscription");
-  if (count == expected) {
+  const NodeId origin = static_cast<NodeId>(msg.originNode);
+  if (ns.deadChildren.count(origin) != 0) return;  // straggler from a crash
+  auto& contrib = ns.innerContrib[key];
+  contrib[origin] = msg.readyCount;
+  const std::uint32_t expected = ns.expectedInComm(msg.comm);
+  std::uint32_t sum = 0;
+  for (const auto& [child, count] : contrib) sum += count;
+  WST_ASSERT(sum <= expected, "subtree collective over-subscription");
+  if (sum == expected) {
     waitstate::CollectiveReadyMsg up = msg;
     up.readyCount = expected;
+    up.originNode = node;
     if (ns.trace) {
       ns.trace->flowBegin("collectiveReady", "waitstate",
                           packCollFlow(kCollReadyFlow, msg.comm, msg.wave,
                                        node));
     }
+    // Kept (not erased) until the root's ack so a post-crash replay request
+    // can re-send the aggregate; the ack erases both maps.
+    ns.forwardedColl[key] = up;
     overlay_->sendUp(node, ToolMsg{up}, waitstate::kCollectiveReadyBytes);
-    ns.innerWaves.erase({msg.comm, msg.wave});
   }
 }
 
@@ -1156,9 +1301,199 @@ void DistributedTool::rootCollectiveComplete(
                 ToolMsg{waitstate::CollectiveAckMsg{msg.comm, msg.wave}});
 }
 
+// --- Crash recovery (DESIGN.md §17) -----------------------------------------------------
+
+void DistributedTool::scheduleCrashPlan() {
+  for (const ToolConfig::CrashPlanEntry& entry : config_.crashPlan) {
+    WST_ASSERT(innerNodeEligible(entry.node),
+               "crash victims must be inner tool nodes");
+    WST_ASSERT(entry.at > 0, "crash time must be positive");
+    const tbon::NodeId victim = entry.node;
+    engine_.scheduleOn(overlay_->nodeLp(victim), entry.at,
+                       [this, victim] { overlay_->crashNode(victim); });
+  }
+}
+
+bool DistributedTool::maybeInitiateRecovery() {
+  if (!config_.crashRecovery) return false;
+  if (recovery_) return true;
+  for (const ToolConfig::CrashPlanEntry& entry : config_.crashPlan) {
+    if (entry.at <= engine_.now() && recoveredNodes_.count(entry.node) == 0) {
+      initiateRecovery(entry.node);
+    }
+  }
+  return recovery_.has_value();
+}
+
+void DistributedTool::initiateRecovery(tbon::NodeId dead) {
+  if (!recoveredNodes_.insert(dead).second) return;
+  if (recovery_) {
+    pendingRecoveries_.push_back(dead);
+    return;
+  }
+  beginRecovery(dead);
+}
+
+void DistributedTool::beginRecovery(tbon::NodeId dead) {
+  if (healthReparentRuns_ != nullptr) healthReparentRuns_->add();
+  // A crashed node is by definition stale. Flag it here so the fleet-health
+  // table shows exactly one flag transition per crash no matter which path
+  // initiated recovery — the staleness sweep (which flags first and
+  // confirms before acting) or the quiescence/periodic crash-plan scan
+  // (which can beat the sweep to it). The sweep freezes recovered nodes,
+  // so this transition is the only one the victim ever gets.
+  if (!fleetHealth_.empty()) {
+    NodeHealth& h = fleetHealth_[static_cast<std::size_t>(dead)];
+    if (!h.stale) {
+      h.stale = true;
+      if (healthStaleFlags_ != nullptr) healthStaleFlags_->add();
+      if (healthStaleGauge_ != nullptr) {
+        healthStaleGauge_->set(static_cast<std::int64_t>(staleNodeCount()));
+      }
+    }
+  }
+  RecoveryState rec;
+  rec.dead = dead;
+  const NodeId parent = rootLiveParent_[static_cast<std::size_t>(dead)];
+  std::vector<NodeId> orphans = rootLiveChildren_[static_cast<std::size_t>(dead)];
+
+  // Adopter is the dead node's parent unless that would blow the fan-in
+  // bound; then the whole orphan set goes to the live sibling with the
+  // fewest children (ties to the lowest id, for determinism).
+  NodeId adopter = parent;
+  if (!topology_.isRoot(adopter)) {
+    const std::size_t after =
+        rootLiveChildren_[static_cast<std::size_t>(parent)].size() - 1 +
+        orphans.size();
+    if (after > 2 * static_cast<std::size_t>(config_.fanIn)) {
+      NodeId best = -1;
+      for (const NodeId sib :
+           rootLiveChildren_[static_cast<std::size_t>(parent)]) {
+        if (sib == dead) continue;
+        if (best < 0 ||
+            rootLiveChildren_[static_cast<std::size_t>(sib)].size() <
+                rootLiveChildren_[static_cast<std::size_t>(best)].size()) {
+          best = sib;
+        }
+      }
+      if (best >= 0) adopter = best;
+    }
+  }
+  rec.parent = parent;
+  rec.adopter = adopter;
+  rec.expectedReRegisters = static_cast<std::uint32_t>(orphans.size());
+  rec.expectedAdoptAcks = adopter == parent ? 1 : 2;
+
+  // Root-side shadow topology: the recovery plan and future recoveries are
+  // computed against the live tree, not the static one.
+  auto& pc = rootLiveChildren_[static_cast<std::size_t>(parent)];
+  pc.erase(std::remove(pc.begin(), pc.end(), dead), pc.end());
+  auto& ac = rootLiveChildren_[static_cast<std::size_t>(adopter)];
+  for (const NodeId o : orphans) {
+    rootLiveParent_[static_cast<std::size_t>(o)] = adopter;
+    ac.push_back(o);
+  }
+  std::sort(ac.begin(), ac.end());
+  rootDeadNodes_.insert(dead);
+  for (auto& [key, wave] : rootWaves_) wave.contrib.erase(dead);
+  recovery_ = rec;
+  if (rootTrack_) {
+    rootTrack_->instant("reparent", "health", "dead", dead);
+  }
+
+  const NodeId root = topology_.root();
+  const auto sendAdopt = [&](NodeId target, std::vector<NodeId> orphanSet) {
+    AdoptMsg adopt;
+    adopt.deadNode = dead;
+    adopt.orphans = std::move(orphanSet);
+    if (target == root) {
+      applyAdoption(root, adopt);
+      ++recovery_->adoptAcks;
+    } else {
+      const std::size_t bytes = modeledSize(ToolMsg{adopt});
+      overlay_->sendDown(root, target, ToolMsg{std::move(adopt)}, bytes);
+    }
+  };
+  sendAdopt(adopter, orphans);
+  // When a sibling adopts, the parent still needs to drop the dead child
+  // from its live set (empty orphan list = drop-only adoption).
+  if (adopter != parent) sendAdopt(parent, {});
+  for (const NodeId o : orphans) {
+    overlay_->sendDown(root, o, ToolMsg{ReparentMsg{dead, adopter}}, 12);
+  }
+  maybeCompleteRecovery();
+}
+
+void DistributedTool::applyAdoption(tbon::NodeId node, const AdoptMsg& msg) {
+  NodeState& ns = *nodes_[static_cast<std::size_t>(node)];
+  ns.deadChildren.insert(msg.deadNode);
+  auto& lc = ns.liveChildren;
+  lc.erase(std::remove(lc.begin(), lc.end(), msg.deadNode), lc.end());
+  for (const NodeId o : msg.orphans) lc.push_back(o);
+  std::sort(lc.begin(), lc.end());
+  ns.hostedCounts.clear();  // expected counts follow the live children
+  // Any contribution counted from the dead child is stale: the orphans
+  // replay the ground truth over the new path.
+  for (auto& [key, contrib] : ns.innerContrib) contrib.erase(msg.deadNode);
+}
+
+void DistributedTool::maybeCompleteRecovery() {
+  if (!recovery_) return;
+  if (recovery_->adoptAcks < recovery_->expectedAdoptAcks) return;
+  if (recovery_->reRegisters < recovery_->expectedReRegisters) return;
+  completeRecovery();
+}
+
+void DistributedTool::completeRecovery() {
+  const NodeId root = topology_.root();
+  // Re-broadcast the acks of every completed wave: an orphan's replay of a
+  // wave that completed through the dead aggregator may have left a stale
+  // partial at the adopter; the ack erases it everywhere.
+  for (const auto& [key, kind] : completedWaves_) {
+    (void)kind;
+    if (healthReackWaves_ != nullptr) healthReackWaves_->add();
+    broadcastDown(root,
+                  ToolMsg{waitstate::CollectiveAckMsg{key.first, key.second}});
+  }
+  // Reset the health table's arrival clocks so the torn interval does not
+  // immediately flag surviving nodes stale.
+  if (!fleetHealth_.empty()) {
+    const auto now = static_cast<std::uint64_t>(engine_.now());
+    for (std::size_t n = 0; n < fleetHealth_.size(); ++n) {
+      if (rootDeadNodes_.count(static_cast<NodeId>(n)) != 0) continue;
+      fleetHealth_[n].arrivedAtNs = now;
+    }
+  }
+  ++recoveriesCompleted_;
+  recovery_.reset();
+  if (detectionInProgress_) {
+    abortTornRound();
+    startDetection();
+  }
+  if (!pendingRecoveries_.empty()) {
+    const NodeId next = pendingRecoveries_.front();
+    pendingRecoveries_.erase(pendingRecoveries_.begin());
+    beginRecovery(next);
+  }
+}
+
+void DistributedTool::abortTornRound() {
+  if (!detectionInProgress_) return;
+  // The partial gather is unusable: the dead aggregator may have swallowed
+  // replies. Drop the staged delta (re-collected against the last committed
+  // epoch) and restart; epoch guards drop the torn round's stragglers.
+  incremental_->discardStaged();
+  if (rootTrack_) rootTrack_->instant("roundTorn", "detect", "epoch", epoch_);
+  detectionInProgress_ = false;
+}
+
 // --- Detection (paper §5) -------------------------------------------------------------
 
 void DistributedTool::onQuiescence() {
+  // Recovery runs first and unconditionally: a crash can strand the tool
+  // after a verdict or mid-round, and quiescence guarantees no stragglers
+  // are in flight — the safest moment to re-parent.
+  if (maybeInitiateRecovery()) return;
   if (detectionInProgress_) return;
   if (deadlockFound()) return;
   if (analysisFinished() && runtime_.allFinalized()) return;
@@ -1177,7 +1512,8 @@ void DistributedTool::onPeriodic() {
       ++periodicRounds_ > config_.maxPeriodicRounds) {
     return;
   }
-  if (!detectionInProgress_) startDetection();
+  const bool recovering = maybeInitiateRecovery();
+  if (!recovering && !detectionInProgress_) startDetection();
   engine_.scheduleOn(overlay_->nodeLp(topology_.root()),
                      engine_.now() + config_.periodicDetection +
                          periodicJitter(),
@@ -1250,7 +1586,8 @@ void DistributedTool::handleRequestConsistentState(NodeId node,
     pingsSentCounter_->add();
     ++sent;
     // remaining=1: one more ping-pong follows — the double ping-pong.
-    overlay_->sendIntralayer(node, peer, ToolMsg{PingMsg{node, 1}}, 12);
+    overlay_->sendIntralayer(node, peer, ToolMsg{PingMsg{node, 1, ns.epoch}},
+                             12);
   }
   if (ns.trace) {
     ns.trace->instant("pings", "consistent", "sent", sent, "skipped",
@@ -1290,6 +1627,7 @@ void DistributedTool::handleRootAllAcked() {
 }
 
 void DistributedTool::handleWaitInfoAtRoot(WaitInfoMsg&& msg) {
+  if (!detectionInProgress_ || msg.epoch != epoch_) return;  // torn round
   gatheredUnchanged_ += msg.unchangedCount;
   // A process appearing in the delta invalidates its persisted active
   // sends/wildcards (refilled below); elided processes keep theirs.
@@ -1310,13 +1648,16 @@ void DistributedTool::handleWaitInfoAtRoot(WaitInfoMsg&& msg) {
 }
 
 std::uint32_t DistributedTool::expectedCondensedAtRoot() const {
-  // One condensed message per root child; a single-node tree (root doubles
-  // as first layer) self-delivers exactly one.
-  const auto& children = topology_.node(topology_.root()).children;
+  // One condensed message per *live* root child (orphans adopted by the
+  // root report directly); a single-node tree (root doubles as first layer)
+  // self-delivers exactly one.
+  const auto& children =
+      nodes_[static_cast<std::size_t>(topology_.root())]->liveChildren;
   return children.empty() ? 1u : static_cast<std::uint32_t>(children.size());
 }
 
 void DistributedTool::handleCondensedAtRoot(CondensedWaitInfoMsg&& msg) {
+  if (!detectionInProgress_ || msg.wait.epoch != epoch_) return;  // torn round
   if (!rawPathActive()) {
     // Pure mode: the §3.3 facts arrive here. Condensed replies are full
     // (no delta), so refresh the whole range they cover.
@@ -1533,6 +1874,7 @@ void DistributedTool::finishHierarchicalDetection() {
 }
 
 void DistributedTool::handleDeadlockDetailAtRoot(DeadlockDetailMsg&& msg) {
+  if (!detectionInProgress_ || msg.epoch != epoch_) return;  // torn round
   std::move(msg.conditions.begin(), msg.conditions.end(),
             std::back_inserter(detailConds_));
   if (++detailMsgsAtRoot_ != expectedCondensedAtRoot()) return;
@@ -1664,15 +2006,25 @@ HealthBeatRow DistributedTool::makeHealthRow(NodeId node) {
 }
 
 void DistributedTool::onHealthBeat(NodeId node) {
-  healthBeatsSent_->add();
-  HealthBeatMsg msg;
-  msg.rows.push_back(makeHealthRow(node));
-  if (topology_.isRoot(node)) {
-    integrateHealthRows(msg.rows);
-    sweepStaleHealth();  // the root's own tick doubles as the sweep
-  } else {
-    const std::size_t bytes = modeledSize(ToolMsg{msg});
-    overlay_->sendUp(node, ToolMsg{std::move(msg)}, bytes);
+  if (overlay_->isCrashed(node)) return;  // dead nodes stop beating
+  // A paused node skips sending but keeps its timer: the beat resumes once
+  // the window passes — the flap case the staleness sweep must tolerate.
+  const auto now = static_cast<std::uint64_t>(engine_.now());
+  const bool paused = node == config_.pauseHealthBeatNode &&
+                      now >= config_.pauseBeatFrom && now < config_.pauseBeatTo;
+  if (!paused) {
+    healthBeatsSent_->add();
+    HealthBeatMsg msg;
+    msg.rows.push_back(makeHealthRow(node));
+    if (topology_.isRoot(node)) {
+      integrateHealthRows(msg.rows);
+      sweepStaleHealth();  // the root's own tick doubles as the sweep
+    } else {
+      const std::size_t bytes = modeledSize(ToolMsg{msg});
+      overlay_->sendUp(node, ToolMsg{std::move(msg)}, bytes);
+    }
+  } else if (topology_.isRoot(node)) {
+    sweepStaleHealth();
   }
   // Cadence self-reschedule on this node's own LP: beats keep firing while
   // live work exists and silently stop once the run has truly drained.
@@ -1699,12 +2051,32 @@ void DistributedTool::sweepStaleHealth() {
       config_.healthStaleFactor *
       static_cast<double>(config_.healthBeatInterval));
   std::int64_t stale = 0;
-  for (NodeHealth& h : fleetHealth_) {
+  for (std::size_t n = 0; n < fleetHealth_.size(); ++n) {
+    NodeHealth& h = fleetHealth_[n];
+    const auto node = static_cast<NodeId>(n);
+    // A node whose recovery already ran keeps its stale flag frozen:
+    // exactly one flag transition per crash, and never a second
+    // re-parenting run for the same victim.
+    if (recoveredNodes_.count(node) != 0) {
+      if (h.stale) ++stale;
+      continue;
+    }
     // arrivedAtNs stays 0 until the first row lands, so a node that never
     // reported is flagged once the threshold has elapsed from run start —
     // the injected-silent-node case the acceptance test exercises.
     const bool nowStale = now >= threshold && now - h.arrivedAtNs >= threshold;
-    if (nowStale && !h.stale) healthStaleFlags_->add();
+    if (nowStale && !h.stale) {
+      healthStaleFlags_->add();
+    } else if (nowStale && h.stale && config_.crashRecovery &&
+               innerNodeEligible(node)) {
+      // Confirm-then-act: stale across two consecutive sweeps. A node that
+      // resumed beating between sweeps never reaches this branch.
+      initiateRecovery(node);
+    } else if (!nowStale && h.stale && healthFlapSuppressed_ != nullptr) {
+      // Flagged last sweep but beating again: a flap, not a crash. Unflag
+      // without ever starting a re-parenting run.
+      healthFlapSuppressed_->add();
+    }
     h.stale = nowStale;
     if (nowStale) ++stale;
   }
@@ -1796,9 +2168,10 @@ std::string DistributedTool::statusJson(sim::Time now) const {
 
   out += support::format(
       ", \"health\": {\"enabled\": %s, \"interval_ns\": %lld, "
-      "\"stale_nodes\": %u, \"nodes\": [",
+      "\"stale_nodes\": %u, \"recoveries\": %u, \"nodes\": [",
       fleetHealth_.empty() ? "false" : "true",
-      static_cast<long long>(config_.healthBeatInterval), staleNodeCount());
+      static_cast<long long>(config_.healthBeatInterval), staleNodeCount(),
+      recoveriesCompleted_);
   for (std::size_t n = 0; n < fleetHealth_.size(); ++n) {
     const NodeHealth& h = fleetHealth_[n];
     out += support::format(

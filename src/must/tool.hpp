@@ -25,8 +25,10 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <unordered_map>
 #include <utility>
 #include <variant>
@@ -92,8 +94,11 @@ struct ToolConfig {
   /// --inject-bug). 0 = off. 1 = the first-layer handler silently discards
   /// recvActiveAck messages that answer probes, so probe wait states never
   /// resolve — a realistic lost-protocol-message bug the differential
-  /// oracle must catch and the shrinker must minimize. Never enable
-  /// outside tests.
+  /// oracle must catch and the shrinker must minimize. 2 = crash recovery
+  /// skips the orphans' collective-contribution replay after re-parenting,
+  /// so a wave whose contribution died with the crashed node never
+  /// completes — the planted recovery bug of the crash-chaos campaign.
+  /// Never enable outside tests.
   std::int32_t injectBug = 0;
 
   /// Prefer processing wait-state messages (passSend, recvActive,
@@ -203,6 +208,30 @@ struct ToolConfig {
   /// Test hook: this node never schedules its beat timer (a silent node the
   /// root must flag stale). -1 = none.
   tbon::NodeId muteHealthBeatNode = -1;
+  /// Test hook: this node's beat timer fires but sends nothing while
+  /// virtual time is inside [pauseBeatFrom, pauseBeatTo) — a slow node, not
+  /// a dead one. Exercises the staleness-sweep flap path.
+  tbon::NodeId pauseHealthBeatNode = -1;
+  sim::Time pauseBeatFrom = 0;
+  sim::Time pauseBeatTo = 0;
+
+  // --- Crash-stop tolerance (DESIGN.md §17) ----------------------------------
+
+  /// Crash-stop plan (tests / fuzzing): each entry kills one *inner* tool
+  /// node (never the root, never a first-layer node) at a virtual time. The
+  /// overlay drops everything addressed to the victim from then on; the
+  /// root recovers by re-parenting the victim's children (see
+  /// crashRecovery). The plan is root-visible static configuration — the
+  /// process supervisor of a real deployment knows which container died.
+  struct CrashPlanEntry {
+    tbon::NodeId node = -1;
+    sim::Time at = 0;
+  };
+  std::vector<CrashPlanEntry> crashPlan;
+  /// Master switch of the re-parenting reaction. Off = crashed nodes stay
+  /// dark and their subtree's protocol state is simply lost (only useful to
+  /// demonstrate why recovery is needed).
+  bool crashRecovery = true;
 };
 
 class DistributedTool : public mpi::Interposer {
@@ -327,6 +356,15 @@ class DistributedTool : public mpi::Interposer {
   const std::vector<NodeHealth>& healthTable() const { return fleetHealth_; }
   std::uint32_t staleNodeCount() const;
 
+  /// Crash recoveries completed (re-parenting + re-anchoring ran end to
+  /// end). Root-LP state — read after run() or from a cut.
+  std::uint32_t recoveriesCompleted() const { return recoveriesCompleted_; }
+  /// The root's view of a node's current up-routing parent (topology parent
+  /// until a recovery re-parented it).
+  tbon::NodeId liveParentOf(tbon::NodeId node) const {
+    return rootLiveParent_[static_cast<std::size_t>(node)];
+  }
+
   /// Per-process virtual-time overhead buckets (telemetry mode): wrapper
   /// cost of fully tracked calls, sampled-call cost inside certified
   /// prefixes, and time spent blocked on tool backpressure credit. The rest
@@ -411,6 +449,29 @@ class DistributedTool : public mpi::Interposer {
   void onQuiescence();
   void onPeriodic();
 
+  // Crash recovery (DESIGN.md §17). Root-LP state machine: detect (crash
+  // plan at quiescence/periodic ticks, or the staleness sweep when beats
+  // run) -> re-parent orphans -> collect re-registrations + the adopter's
+  // ack -> re-anchor (replay completed collective acks, restart any torn
+  // detection round).
+  void scheduleCrashPlan();
+  bool maybeInitiateRecovery();
+  void initiateRecovery(tbon::NodeId dead);
+  void beginRecovery(tbon::NodeId dead);
+  /// Apply an adoption on `node`'s state (drop the dead child, take the
+  /// orphans, invalidate cached per-comm expectations).
+  void applyAdoption(tbon::NodeId node, const AdoptMsg& msg);
+  void maybeCompleteRecovery();
+  void completeRecovery();
+  /// Drop the torn round's partial root state without committing it; the
+  /// restarted round re-gathers (leaves that already replied answer full,
+  /// so no stale delta base survives).
+  void abortTornRound();
+  bool innerNodeEligible(tbon::NodeId node) const {
+    return node >= 0 && !topology_.isRoot(node) &&
+           !topology_.isFirstLayer(node);
+  }
+
   // Telemetry plane (DESIGN.md §16).
   void refreshDerivedMetrics();
   /// Ask the scheduler for a timeline capture at the next deterministic cut
@@ -452,10 +513,17 @@ class DistributedTool : public mpi::Interposer {
 
   // Root state.
   struct RootWaveState {
-    std::uint32_t readyCount = 0;
+    /// Per-origin-subtree contributions (replace-on-rekey: a replayed
+    /// contribution after crash recovery is idempotent).
+    std::map<tbon::NodeId, std::uint32_t> contrib;
     bool kindRecorded = false;
     mpi::CollectiveKind kind = mpi::CollectiveKind::kBarrier;
-    bool acked = false;
+
+    std::uint32_t readySum() const {
+      std::uint32_t sum = 0;
+      for (const auto& [origin, count] : contrib) sum += count;
+      return sum;
+    }
   };
   /// Hash for (comm, wave) keys — collective bookkeeping is pure point
   /// lookup/erase (never iterated), so unordered maps carry no ordering
@@ -475,7 +543,34 @@ class DistributedTool : public mpi::Interposer {
   /// Cached |group(comm)| — communicator groups are immutable, so the size
   /// is resolved once per comm instead of once per collectiveReady message.
   std::unordered_map<mpi::CommId, std::uint32_t> rootGroupSizes_;
+  /// Waves the root completed and acked, kept so recovery can replay the
+  /// ack toward a subtree that lost it (ordered: the replay order must be
+  /// deterministic across worker counts).
+  std::map<std::pair<mpi::CommId, std::uint32_t>, mpi::CollectiveKind>
+      completedWaves_;
   std::vector<std::string> usageErrors_;
+
+  // Crash-recovery state (root LP, DESIGN.md §17).
+  struct RecoveryState {
+    tbon::NodeId dead = -1;
+    tbon::NodeId parent = -1;   // the dead node's live parent at crash time
+    tbon::NodeId adopter = -1;  // parent, or a sibling when fan-in bound hit
+    std::uint32_t expectedReRegisters = 0;
+    std::uint32_t reRegisters = 0;
+    std::uint32_t expectedAdoptAcks = 0;  // 2 when a sibling adopts (the old
+    std::uint32_t adoptAcks = 0;          // parent still drops the dead child)
+  };
+  std::optional<RecoveryState> recovery_;
+  std::vector<tbon::NodeId> pendingRecoveries_;  // crashes queued behind one
+  std::set<tbon::NodeId> recoveredNodes_;  // recovery initiated (once each)
+  std::uint32_t recoveriesCompleted_ = 0;
+  /// Root's mirror of the live tree (node-local routing state lives on the
+  /// nodes themselves; the root plans re-parenting against this view).
+  std::vector<tbon::NodeId> rootLiveParent_;
+  std::vector<std::vector<tbon::NodeId>> rootLiveChildren_;
+  /// Crashed nodes whose recovery completed: their (now dead) contributions
+  /// are filtered out of collective aggregation at the root.
+  std::set<tbon::NodeId> rootDeadNodes_;
 
   // Detection round state (root).
   std::uint32_t epoch_ = 0;
@@ -565,6 +660,12 @@ class DistributedTool : public mpi::Interposer {
   support::Counter* healthRowsReceived_ = nullptr;
   support::Counter* healthStaleFlags_ = nullptr;
   support::Gauge* healthStaleGauge_ = nullptr;
+
+  // Crash-recovery instruments (registered when beats run or a crash plan
+  // exists; null otherwise so disabled runs register nothing).
+  support::Counter* healthFlapSuppressed_ = nullptr;
+  support::Counter* healthReparentRuns_ = nullptr;
+  support::Counter* healthReackWaves_ = nullptr;
 };
 
 }  // namespace wst::must

@@ -100,4 +100,23 @@ std::uint64_t Engine::runSome(std::uint64_t maxEvents) {
   return count;
 }
 
+std::uint64_t Engine::runSlice(std::uint64_t maxEvents) {
+  std::uint64_t count = 0;
+  for (;;) {
+    while (count < maxEvents && queue_.liveSize() > 0 && step()) ++count;
+    if (queue_.liveSize() > 0) return count;  // budget hit mid-run
+    if (traceTrack_ != nullptr) {
+      traceTrack_->instant("quiescence", "engine", "events",
+                           static_cast<std::int64_t>(executed_));
+    }
+    if (!runQuiescenceHooks()) break;
+    // A hook revived the run right at the budget boundary: report a full
+    // slice so the caller comes back (count < maxEvents must imply done).
+    if (count >= maxEvents) return count;
+  }
+  drainCuts();
+  queue_.clear();
+  return count;
+}
+
 }  // namespace wst::sim

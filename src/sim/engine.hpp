@@ -260,6 +260,14 @@ class Engine final : public Scheduler {
   /// Returns the number of events actually executed.
   std::uint64_t runSome(std::uint64_t maxEvents);
 
+  /// Cooperative slice of run(): execute up to `maxEvents` events including
+  /// full quiescence handling, then yield. Returns the number of events
+  /// executed; a return value < maxEvents means the run is COMPLETE (the
+  /// quiescence hooks declined to continue, cuts drained, leftover cadence
+  /// timers discarded) — exactly the terminal state run() leaves behind.
+  /// Returning == maxEvents means more work remains: call again.
+  std::uint64_t runSlice(std::uint64_t maxEvents);
+
   /// "No events pending" means no *live* events: leftover cadence timers
   /// never hold the engine open.
   bool empty() const override { return queue_.liveSize() == 0; }

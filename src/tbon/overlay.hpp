@@ -186,7 +186,12 @@ class Overlay {
         nodes_(static_cast<std::size_t>(topology.nodeCount())),
         links_(static_cast<std::size_t>(topology.nodeCount())),
         dataSent_(static_cast<std::size_t>(topology.nodeCount())),
-        dataDelivered_(static_cast<std::size_t>(topology.nodeCount())) {
+        dataDelivered_(static_cast<std::size_t>(topology.nodeCount())),
+        crashed_(static_cast<std::size_t>(topology.nodeCount()), 0) {
+    liveParent_.reserve(static_cast<std::size_t>(topology.nodeCount()));
+    for (NodeId n = 0; n < topology.nodeCount(); ++n) {
+      liveParent_.push_back(topology.node(n).parent);
+    }
     WST_ASSERT(!config_.batch[static_cast<std::size_t>(LinkClass::kAppToLeaf)],
                "batching is not supported on flow-controlled app channels");
     WST_ASSERT(!config_.batch[static_cast<std::size_t>(LinkClass::kSelf)],
@@ -330,7 +335,9 @@ class Overlay {
   // --- Node-side sends -------------------------------------------------------
 
   void sendUp(NodeId from, M msg, std::size_t bytes) {
-    const NodeId parent = topology_.node(from).parent;
+    // Routed by the *live* parent table: re-parenting (crash recovery)
+    // redirects a node's up traffic without rebuilding the topology.
+    const NodeId parent = liveParent_[static_cast<std::size_t>(from)];
     WST_ASSERT(parent >= 0, "sendUp from the root");
     count(LinkClass::kUp, bytes);
     sendOnLink(link(from, parent, config_.treeUp, LinkClass::kUp),
@@ -443,6 +450,45 @@ class Overlay {
     const auto& shard = dataDelivered_[static_cast<std::size_t>(at)];
     const auto it = shard.find(from);
     return it == shard.end() ? 0 : it->second;
+  }
+
+  // --- Crash-stop faults + live-tree routing (DESIGN.md §17) -----------------
+
+  /// Crash-stop a tool node. Call on the victim's own LP (schedule an event
+  /// there): its pending queue is discarded, every future delivery to it is
+  /// dropped, staged batches on its outgoing links are abandoned, and its
+  /// reliable-stream retransmit state is cleared so timers become no-ops.
+  /// Closures already scheduled by the node (a delayed duplicate, say) model
+  /// messages that were on the wire at the instant of the crash.
+  void crashNode(NodeId node) {
+    crashed_[static_cast<std::size_t>(node)] = 1;
+    NodeRuntime& rt = nodes_[static_cast<std::size_t>(node)];
+    crashDropped_.fetch_add(rt.depth(), std::memory_order_relaxed);
+    rt.queue.clear();
+    rt.urgentQueue.clear();
+    for (auto& [key, lnk] : links_[static_cast<std::size_t>(node)]) {
+      ++lnk.flushGen;  // invalidate pending flush timers
+      lnk.staged.clear();
+      lnk.stagedBytes = 0;
+      lnk.inflight.clear();  // retransmit timers find nothing and stop
+    }
+  }
+  bool isCrashed(NodeId node) const {
+    return crashed_[static_cast<std::size_t>(node)] != 0;
+  }
+  /// Messages dropped because their destination had crash-stopped.
+  std::uint64_t crashDroppedMessages() const {
+    return crashDropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Current up-routing parent of a node (topology parent until re-parented).
+  NodeId liveParent(NodeId node) const {
+    return liveParent_[static_cast<std::size_t>(node)];
+  }
+  /// Redirect a node's up traffic to a new parent. Call on the node's own
+  /// LP (the table entry is owned by the node, like its outgoing links).
+  void setLiveParent(NodeId node, NodeId parent) {
+    liveParent_[static_cast<std::size_t>(node)] = parent;
   }
 
   /// Snapshot of the fault layer's activity (all zero when disabled).
@@ -723,6 +769,12 @@ class Overlay {
   /// the normal delivery path, duplicate suppression, cumulative acks.
   void reliableDeliver(NodeId dest, Envelope&& env, Chan* origin,
                        LinkClass linkClass, NodeId srcNode) {
+    if (crashed_[static_cast<std::size_t>(dest)] != 0) {
+      // No ack either: the sender's retransmits run out their bounded
+      // budget against the dead node and stop.
+      crashDropped_.fetch_add(1 + env.rest.size(), std::memory_order_relaxed);
+      return;
+    }
     const std::uint32_t streamKey =
         (static_cast<std::uint32_t>(srcNode) << 3) |
         static_cast<std::uint32_t>(linkClass);
@@ -775,6 +827,13 @@ class Overlay {
 
   void deliver(NodeId dest, Envelope&& env, Chan* origin,
                LinkClass linkClass, NodeId srcNode) {
+    if (crashed_[static_cast<std::size_t>(dest)] != 0) {
+      // A crashed node silently swallows its wire. Crash-stop is only
+      // supported for inner tree nodes, whose channels are credit-free, so
+      // there is no credit to return here.
+      crashDropped_.fetch_add(1 + env.rest.size(), std::memory_order_relaxed);
+      return;
+    }
     NodeRuntime& node = nodes_[static_cast<std::size_t>(dest)];
     float restScale = 1.0F;
     if (!env.rest.empty()) {
@@ -822,6 +881,12 @@ class Overlay {
 
   void processNext(NodeId dest) {
     NodeRuntime& node = nodes_[static_cast<std::size_t>(dest)];
+    if (crashed_[static_cast<std::size_t>(dest)] != 0) {
+      node.queue.clear();
+      node.urgentQueue.clear();
+      node.processing = false;
+      return;
+    }
     WST_ASSERT(node.depth() > 0, "processNext on empty queue");
     auto& source = node.urgentQueue.empty() ? node.queue : node.urgentQueue;
     QueueEntry entry = std::move(source.front());
@@ -873,6 +938,12 @@ class Overlay {
   /// dataDelivered_[n][from] on n's (receiver) LP.
   std::vector<std::unordered_map<NodeId, std::uint64_t>> dataSent_;
   std::vector<std::unordered_map<NodeId, std::uint64_t>> dataDelivered_;
+  /// Crash-stop flags (entry written once, on the victim's LP; read on the
+  /// paths that target the victim, which run on the same LP) and the live
+  /// up-routing parent table (each entry owned by its node's LP).
+  std::vector<char> crashed_;
+  std::vector<NodeId> liveParent_;
+  std::atomic<std::uint64_t> crashDropped_{0};
   /// Reliable-stream receiver state, sharded by receiving node (only that
   /// node's LP touches its shard). Empty unless faults are enabled.
   std::vector<std::unordered_map<std::uint32_t, RecvStream>> recvStreams_;

@@ -777,6 +777,12 @@ void DistributedTracker::onCollectiveActivated(ProcId /*proc*/, OpState& op) {
 }
 
 void DistributedTracker::onCollectiveAck(const CollectiveAckMsg& msg) {
+  // Duplicate tolerance: crash recovery re-broadcasts the acks of completed
+  // waves (an ack lost inside a crashed node's subtree must be replayable).
+  // A wave we already acked and retired — or never hosted members of — has
+  // no collWaves_ entry; such an ack is a no-op.
+  const auto waveIt = collWaves_.find(std::make_pair(msg.comm, msg.wave));
+  if (waveIt == collWaves_.end()) return;
   for (const ProcId member : hostedGroupCache(msg.comm).members) {
     // Locate the member's operation of this wave explicitly instead of
     // assuming it is the current one: the acked collective is what keeps

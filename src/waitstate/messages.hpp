@@ -56,6 +56,11 @@ struct CollectiveReadyMsg {
   std::uint32_t wave = 0;  // nth collective on this communicator
   std::uint32_t readyCount = 0;
   mpi::CollectiveKind kind = mpi::CollectiveKind::kBarrier;
+  /// Tool node this (possibly aggregated) contribution comes from, stamped
+  /// by the tool transport at each hop. Aggregation above is keyed by it so
+  /// a re-sent contribution (crash recovery) replaces instead of adding —
+  /// the up path stays idempotent. -1 until the tool stamps it.
+  std::int32_t originNode = -1;
 };
 
 /// Root determined the collective wave is complete: premise of rule (3)

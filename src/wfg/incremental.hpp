@@ -55,6 +55,12 @@ class IncrementalWfg {
   /// Apply the staged delta and run the deadlock check.
   RoundResult commit(bool forceFull = false);
 
+  /// Drop the staged delta without committing. Used when a detection round
+  /// is torn by a crash: the partial gather is abandoned and the restarted
+  /// round re-collects against the last *committed* epoch, so staging the
+  /// torn round's replies would double-apply them.
+  void discardStaged() { staged_.clear(); }
+
   /// The persistent (pruned) graph of the last commit — what reports and
   /// DOT output are generated from.
   const WaitForGraph& graph() const { return graph_; }

@@ -160,6 +160,99 @@ TEST(FuzzRegression, PlantedBugIsCaughtAndShrinksToATinyWitness) {
   FAIL() << "planted bug never diverged in 40 scenarios";
 }
 
+TEST(FuzzRegression, CrashPlanRoundTripsByteExact) {
+  // The crash grammar line (`crash <nodeIndex> <at>`) must survive a full
+  // serialize -> parse -> serialize cycle byte-exactly, and scenarios
+  // without a crash plan must keep the pre-crash wire format so the old
+  // committed corpus stays byte-stable.
+  GenOptions gen;
+  gen.allowCrash = true;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const Scenario crash = makeScenario(seed, gen);
+    ASSERT_TRUE(crash.crash.enabled) << "seed " << seed;
+    const std::string bytes = crash.serialize();
+    EXPECT_NE(bytes.find("\ncrash "), std::string::npos) << "seed " << seed;
+    std::string error;
+    const auto reparsed = Scenario::parse(bytes, &error);
+    ASSERT_TRUE(reparsed.has_value()) << error;
+    EXPECT_EQ(*reparsed, crash);
+    EXPECT_EQ(reparsed->serialize(), bytes);
+
+    const Scenario plain = makeScenario(seed);
+    EXPECT_FALSE(plain.crash.enabled);
+    EXPECT_EQ(plain.serialize().find("\ncrash "), std::string::npos);
+  }
+}
+
+TEST(FuzzRegression, CrashCorpusIsCommittedAndReplays) {
+  // The committed corpus must include shrunk crash-recovery witnesses, and
+  // each must replay divergence-free against a healthy tool (the recovery
+  // protocol heals the torn subtree) in both serial and threaded runs.
+  std::size_t crashFiles = 0;
+  for (const auto& file : corpusFiles()) {
+    const Scenario scenario = load(file);
+    if (!scenario.crash.enabled) continue;
+    ++crashFiles;
+    const Outcome formal = runFormalOracle(scenario);
+    for (const std::int32_t threads : {0, 4}) {
+      RunOptions options;
+      options.faults = scenario.faults.any();
+      options.threads = threads;
+      const Outcome distributed = runDistributedOracle(scenario, options);
+      EXPECT_EQ(compareOutcomes(formal, distributed), "")
+          << file << " threads=" << threads;
+    }
+  }
+  EXPECT_GE(crashFiles, 4u) << "crash corpus shrank below the floor";
+}
+
+TEST(FuzzRegression, PlantedRecoveryBugIsCaughtAndShrinksToATinyWitness) {
+  // --inject-bug 2 skips the re-parented nodes' replay of unacknowledged
+  // collective contributions, so state held in the crashed node is lost
+  // for good. The loss window is widest when fault-injected retransmit
+  // delays stretch the in-flight phase, so the sweep runs with each
+  // scenario's fault plan armed. The differential oracle must notice, and
+  // the shrinker must reduce the witness to a handful of operations while
+  // keeping the crash plan (dropping it would stop reproducing).
+  RunOptions options;
+  options.injectBug = 2;
+  GenOptions gen;
+  gen.allowCrash = true;
+  std::size_t divergent = 0;
+  std::size_t bestOps = 0;
+  for (std::uint64_t seed = 1; seed <= 40 && divergent < 3; ++seed) {
+    const Scenario scenario = makeScenario(seed, gen);
+    options.faults = scenario.faults.any();
+    const Outcome formal = runFormalOracle(scenario);
+    const Outcome buggy = runDistributedOracle(scenario, options);
+    if (compareOutcomes(formal, buggy).empty()) continue;
+    ++divergent;
+
+    const ShrinkResult shrunk = shrink(scenario, options, /*budget=*/400);
+    EXPECT_LT(shrunk.scenario.totalOps(), scenario.totalOps())
+        << "shrinker made no progress on seed " << seed;
+    EXPECT_TRUE(shrunk.scenario.crash.enabled)
+        << "a recovery-bug witness cannot lose its crash plan";
+    const Outcome formal2 = runFormalOracle(shrunk.scenario);
+    const Outcome buggy2 = runDistributedOracle(shrunk.scenario, options);
+    EXPECT_NE(compareOutcomes(formal2, buggy2), "");
+    // A healthy tool agrees on the witness: the bug is in the skipped
+    // replay, not in the scenario.
+    RunOptions healthy = options;
+    healthy.injectBug = 0;
+    const Outcome fixed = runDistributedOracle(shrunk.scenario, healthy);
+    EXPECT_EQ(compareOutcomes(formal2, fixed), "");
+    if (bestOps == 0 || shrunk.scenario.totalOps() < bestOps) {
+      bestOps = shrunk.scenario.totalOps();
+    }
+  }
+  ASSERT_GT(divergent, 0u)
+      << "planted recovery bug never diverged in 40 crash scenarios";
+  // At least one witness in the sweep must minimize to a handful of ops
+  // (the committed corpus-crash-* files were produced exactly this way).
+  EXPECT_LE(bestOps, 8u) << "no witness shrank below 8 ops";
+}
+
 TEST(FuzzRegression, SameSeedYieldsByteIdenticalScenarios) {
   for (std::uint64_t seed : {1ULL, 42ULL, 0xDEADBEEFULL}) {
     const Scenario a = makeScenario(seed);

@@ -1,0 +1,189 @@
+// Multi-session serving (DESIGN.md §17): N independent scenarios
+// co-scheduled over a shared pool must each produce a result byte-identical
+// to running the session alone — same verdict, metrics JSON, DOT, trace
+// hash — for any thread count, any slice size, any session cap, and with
+// evictions of co-tenants happening mid-campaign.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fuzz/generator.hpp"
+#include "fuzz/interpreter.hpp"
+#include "fuzz/scenario.hpp"
+#include "must/serve.hpp"
+#include "support/strings.hpp"
+
+namespace wst::must {
+namespace {
+
+// Mirrors the `wst serve` session builder: the fuzz oracle's zero-overhead
+// tool configuration around a generated scenario.
+SessionSpec makeSpec(std::int32_t index, std::uint64_t seed) {
+  const auto scenario =
+      std::make_shared<const fuzz::Scenario>(fuzz::makeScenario(seed));
+  SessionSpec spec;
+  spec.name = support::format("s%03d-%016llx", index,
+                              static_cast<unsigned long long>(seed));
+  spec.procs = scenario->procs;
+  spec.mpiConfig.ranksPerNode = 2;
+  spec.tool.fanIn = scenario->fanIn;
+  spec.tool.appEventCost = 0;
+  spec.tool.overlay.appToLeaf.credits = 0;
+  spec.tool.detectOnQuiescence = true;
+  spec.tool.periodicDetection = scenario->periodic;
+  spec.tool.detectionJitter = scenario->detectionJitter;
+  spec.tool.detectionJitterSeed = scenario->seed + 1;
+  spec.tool.maxPeriodicRounds = 64;
+  spec.tool.consumedHistory = scenario->consumedHistory;
+  spec.tool.overlay.intralayer.latency = scenario->latIntra;
+  spec.tool.overlay.treeUp.latency = scenario->latUp;
+  spec.tool.overlay.treeDown.latency = scenario->latDown;
+  spec.program = fuzz::scenarioProgram(scenario);
+  return spec;
+}
+
+std::vector<SessionSpec> eightSessions() {
+  std::vector<SessionSpec> specs;
+  for (std::int32_t i = 0; i < 8; ++i) {
+    specs.push_back(makeSpec(i, static_cast<std::uint64_t>(i + 1)));
+  }
+  return specs;
+}
+
+void expectSameResult(const SessionResult& a, const SessionResult& b,
+                      const std::string& context) {
+  EXPECT_EQ(a.name, b.name) << context;
+  EXPECT_EQ(a.completed, b.completed) << context;
+  EXPECT_EQ(a.evicted, b.evicted) << context;
+  EXPECT_EQ(a.deadlock, b.deadlock) << context;
+  EXPECT_EQ(a.detections, b.detections) << context;
+  EXPECT_EQ(a.completionTime, b.completionTime) << context;
+  EXPECT_EQ(a.traceHash, b.traceHash) << context;
+  EXPECT_EQ(a.eventsExecuted, b.eventsExecuted) << context;
+  EXPECT_EQ(a.metricsJson, b.metricsJson) << context;
+  EXPECT_EQ(a.dot, b.dot) << context;
+  EXPECT_EQ(a.summary, b.summary) << context;
+}
+
+TEST(Serve, EightSessionsMatchSoloRunsByteForByte) {
+  const auto specs = eightSessions();
+  ServeServer::Config cfg;
+  cfg.threads = 1;
+  cfg.sliceEvents = 64;  // force many scheduling rounds per session
+  ServeServer server(cfg);
+  for (const SessionSpec& spec : specs) server.submit(spec);
+  server.run();
+
+  ASSERT_EQ(server.results().size(), specs.size());
+  bool sawDeadlock = false;
+  bool sawClean = false;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const SessionResult solo = runSessionSolo(specs[i]);
+    expectSameResult(server.results()[i], solo, "session " + specs[i].name);
+    EXPECT_TRUE(server.results()[i].completed);
+    (server.results()[i].deadlock ? sawDeadlock : sawClean) = true;
+  }
+  // The seed mix must actually cover both verdicts, or the parity check
+  // proves less than it claims.
+  EXPECT_TRUE(sawDeadlock);
+  EXPECT_TRUE(sawClean);
+  EXPECT_EQ(server.admitted(), specs.size());
+  EXPECT_EQ(server.completed(), specs.size());
+  EXPECT_EQ(server.evicted(), 0u);
+  EXPECT_GT(server.roundsRun(), 1u);
+}
+
+TEST(Serve, ResultsAreThreadCountAndCapInvariant) {
+  const auto specs = eightSessions();
+  const auto runWith = [&](std::int32_t threads, std::int32_t cap) {
+    ServeServer::Config cfg;
+    cfg.threads = threads;
+    cfg.sessionCap = cap;
+    cfg.sliceEvents = 64;
+    ServeServer server(cfg);
+    for (const SessionSpec& spec : specs) server.submit(spec);
+    server.run();
+    return server.results();
+  };
+  const auto base = runWith(1, 8);
+  for (const auto& [threads, cap] :
+       std::vector<std::pair<std::int32_t, std::int32_t>>{
+           {4, 8}, {1, 3}, {4, 3}, {2, 1}}) {
+    const auto other = runWith(threads, cap);
+    ASSERT_EQ(other.size(), base.size());
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      expectSameResult(base[i], other[i],
+                       support::format("threads=%d cap=%d session %zu",
+                                       threads, cap, i));
+    }
+  }
+}
+
+TEST(Serve, EvictingOneSessionLeavesTheOthersUntouched) {
+  const auto specs = eightSessions();
+  const auto runWithEviction = [&](std::int32_t threads) {
+    ServeServer::Config cfg;
+    cfg.threads = threads;
+    cfg.sliceEvents = 64;
+    ServeServer server(cfg);
+    for (const SessionSpec& spec : specs) server.submit(spec);
+    server.evictAfterRounds(specs[2].name, 2);
+    server.run();
+    return server.results();
+  };
+
+  const auto results = runWithEviction(1);
+  ASSERT_EQ(results.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (i == 2) {
+      EXPECT_TRUE(results[i].evicted);
+      EXPECT_FALSE(results[i].completed);
+      EXPECT_EQ(results[i].rounds, 2u);
+      continue;
+    }
+    const SessionResult solo = runSessionSolo(specs[i]);
+    expectSameResult(results[i], solo, "survivor " + specs[i].name);
+  }
+
+  // The evicted campaign is itself deterministic across thread counts.
+  const auto threaded = runWithEviction(4);
+  ASSERT_EQ(threaded.size(), results.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    expectSameResult(results[i], threaded[i],
+                     "eviction thread-invariance session " +
+                         std::to_string(i));
+  }
+}
+
+TEST(Serve, StatusJsonCarriesSessionsTableAndCounters) {
+  const auto specs = eightSessions();
+  ServeServer::Config cfg;
+  cfg.threads = 2;
+  cfg.sessionCap = 4;
+  ServeServer server(cfg);
+  for (const SessionSpec& spec : specs) server.submit(spec);
+  server.run();
+  const std::string json = server.statusJson();
+  EXPECT_NE(json.find("\"schema\": \"wst-serve-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"sessions\": ["), std::string::npos);
+  for (const SessionSpec& spec : specs) {
+    EXPECT_NE(json.find(spec.name), std::string::npos) << spec.name;
+  }
+  EXPECT_NE(json.find("\"admitted\": 8"), std::string::npos);
+  EXPECT_NE(json.find("\"completed\": 8"), std::string::npos);
+  EXPECT_EQ(server.deadlocks(),
+            static_cast<std::uint64_t>(
+                std::count_if(server.results().begin(),
+                              server.results().end(),
+                              [](const SessionResult& r) {
+                                return r.deadlock;
+                              })));
+}
+
+}  // namespace
+}  // namespace wst::must

@@ -70,12 +70,21 @@ DESCRIPTIONS = {
         " thread count, so excluded from deterministic documents).",
     "health/beats_sent": "HealthBeat messages originated by tool nodes"
         " (one per node per beat interval).",
+    "health/flap_suppressed": "Stale flags cleared because the node's"
+        " beats resumed before the confirm sweep (no recovery started).",
+    "health/reack_waves": "Completed collective waves re-acked downward"
+        " after a recovery so moved subtrees drop stale pending state.",
+    "health/reparent_runs": "Crash recoveries executed: orphan adoption,"
+        " re-registration and wait-state slice re-anchoring (DESIGN.md"
+        " §17).",
     "health/rows_received": "Per-node health rows integrated at the root,"
         " including relayed descendants.",
     "health/stale_flags": "Healthy-to-stale transitions observed by the"
-        " root's staleness sweep (flaps increment again).",
+        " root's staleness sweep or the crash-plan scan (one per crash;"
+        " flaps increment again).",
     "health/stale_nodes": "Tool nodes currently flagged stale at the root"
-        " (no beat within healthStaleFactor x interval).",
+        " (no beat within healthStaleFactor x interval; crashed nodes stay"
+        " flagged after recovery).",
     "overhead/credit_wait_ns": "Virtual time ranks spent blocked on the"
         " batching credit gate.",
     "overhead/gather_ns": "Virtual time from round kickoff until the last"

@@ -11,6 +11,7 @@
 //   wst run --workload figure4 --rooted-collectives
 //   wst fuzz --runs 500 --seed 7 --out-dir /tmp/fuzz
 //   wst fuzz --replay /tmp/fuzz/fuzz-0000000000000007-12.wst
+//   wst serve --sessions 16 --threads 4 --status-out /tmp/serve.json
 //
 // Exit code: 0 = clean run, 2 = deadlock reported, 1 = usage error,
 // 3 = --verify-incremental or fuzz oracle divergence.
@@ -28,8 +29,10 @@
 #include "analysis/certificate.hpp"
 #include "fuzz/fuzzer.hpp"
 #include "fuzz/generator.hpp"
+#include "fuzz/interpreter.hpp"
 
 #include "must/harness.hpp"
+#include "must/serve.hpp"
 #include "must/hybrid.hpp"
 #include "must/telemetry.hpp"
 #include "support/strings.hpp"
@@ -98,6 +101,9 @@ void printUsage() {
       "                           per-round metric timeline (accepts all\n"
       "                           run options)\n"
       "  fuzz                     differential protocol fuzzing (see below)\n"
+      "  serve                    multiplex N independent scenarios as\n"
+      "                           co-scheduled sessions over a shared\n"
+      "                           thread pool (see below)\n"
       "\n"
       "run options:\n"
       "  --workload NAME          workload or SPEC proxy name (default: stress)\n"
@@ -190,6 +196,11 @@ void printUsage() {
       "                           the distributed side in hybrid sampling\n"
       "                           mode (verdicts must not change)\n"
       "  --no-faults              skip the fault-injected variant of each run\n"
+      "  --fault-kinds KINDS      extra fault kinds; 'crash' generates\n"
+      "                           scenarios that crash-stop a random inner\n"
+      "                           tool node at a random virtual time (the\n"
+      "                           recovery protocol must keep verdicts\n"
+      "                           identical to the formal oracle)\n"
       "  --inject-bug K           plant tool bug K (test hook; 1 = drop probe\n"
       "                           acks) so the oracle must catch it\n"
       "  --out-dir DIR            where divergence artifacts go (default .)\n"
@@ -201,7 +212,28 @@ void printUsage() {
       "  --replay FILE            differential-check one .wst scenario file\n"
       "  --print-scenario S       print the generated scenario for seed S\n"
       "\n"
-      "  fuzz exit code: 0 = all oracles agree, 3 = divergence found\n");
+      "  fuzz exit code: 0 = all oracles agree, 3 = divergence found\n"
+      "\n"
+      "serve options:\n"
+      "  --sessions N             sessions to build and serve (default 8);\n"
+      "                           session i runs the fuzz scenario for seed\n"
+      "                           BASE+i with its own virtual clock and\n"
+      "                           isolated metrics/trace namespaces\n"
+      "  --seed S                 base scenario seed (default 1)\n"
+      "  --threads N              scheduler worker threads (default 1);\n"
+      "                           results are byte-identical for any N\n"
+      "  --session-cap N          max concurrently admitted sessions\n"
+      "                           (default 8; the rest queue FIFO)\n"
+      "  --slice-events N         events per session per scheduling round\n"
+      "                           (default 4096)\n"
+      "  --status-out PATH        write the final status JSON document\n"
+      "                           (schema wst-serve-v1, sessions table +\n"
+      "                           serve counters)\n"
+      "  --verify-solo            also run every session alone and require\n"
+      "                           byte-identical verdict/metrics/DOT/trace\n"
+      "\n"
+      "  serve exit code: 0 = all sessions clean, 2 = deadlock verdict(s),\n"
+      "  3 = --verify-solo parity mismatch\n");
 }
 
 int runFuzz(int argc, char** argv) {
@@ -233,6 +265,13 @@ int runFuzz(int argc, char** argv) {
       cfg.hybrid = true;
     } else if (arg == "--no-faults") {
       noFaults = true;
+    } else if (arg == "--fault-kinds") {
+      const std::string kinds = value();
+      if (kinds.find("crash") != std::string::npos) cfg.crashFaults = true;
+      if (kinds.find("crash") == std::string::npos && kinds != "default") {
+        std::fprintf(stderr, "unknown fault kind '%s'\n", kinds.c_str());
+        return 1;
+      }
     } else if (arg == "--inject-bug") {
       cfg.injectBug = std::atoi(value());
     } else if (arg == "--out-dir") {
@@ -260,7 +299,10 @@ int runFuzz(int argc, char** argv) {
   cfg.faults = !noFaults;
 
   if (printSeed) {
-    std::fputs(fuzz::makeScenario(*printSeed).serialize().c_str(), stdout);
+    fuzz::GenOptions gen;
+    gen.allowCrash = cfg.crashFaults;
+    std::fputs(fuzz::makeScenario(*printSeed, gen).serialize().c_str(),
+               stdout);
     return 0;
   }
 
@@ -297,6 +339,139 @@ int runFuzz(int argc, char** argv) {
   }
   const fuzz::FuzzReport report = fuzz::runFuzzCampaign(cfg, std::cout);
   return report.divergences > 0 ? 3 : 0;
+}
+
+/// Build the serve session for scenario seed `seed`: the same zero-overhead
+/// tool configuration the fuzz oracle uses, so a served session's verdict is
+/// comparable with `wst fuzz --print-scenario seed` + replay.
+must::SessionSpec makeServeSession(std::int32_t index, std::uint64_t seed) {
+  const auto scenario =
+      std::make_shared<const fuzz::Scenario>(fuzz::makeScenario(seed));
+  must::SessionSpec spec;
+  spec.name = support::format("s%03d-%016llx", index,
+                              static_cast<unsigned long long>(seed));
+  spec.procs = scenario->procs;
+  spec.mpiConfig.ranksPerNode = 2;
+  spec.tool.fanIn = scenario->fanIn;
+  spec.tool.appEventCost = 0;
+  spec.tool.overlay.appToLeaf.credits = 0;
+  spec.tool.detectOnQuiescence = true;
+  spec.tool.periodicDetection = scenario->periodic;
+  spec.tool.detectionJitter = scenario->detectionJitter;
+  spec.tool.detectionJitterSeed = scenario->seed + 1;
+  spec.tool.maxPeriodicRounds = 64;
+  spec.tool.consumedHistory = scenario->consumedHistory;
+  spec.tool.overlay.intralayer.latency = scenario->latIntra;
+  spec.tool.overlay.treeUp.latency = scenario->latUp;
+  spec.tool.overlay.treeDown.latency = scenario->latDown;
+  spec.program = fuzz::scenarioProgram(scenario);
+  return spec;
+}
+
+int runServe(int argc, char** argv) {
+  must::ServeServer::Config cfg;
+  std::int32_t sessions = 8;
+  std::uint64_t seed = 1;
+  std::string statusOut;
+  bool verifySolo = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--sessions") {
+      sessions = std::atoi(value());
+    } else if (arg == "--seed") {
+      seed = std::strtoull(value(), nullptr, 0);
+    } else if (arg == "--threads") {
+      cfg.threads = std::atoi(value());
+    } else if (arg == "--session-cap") {
+      cfg.sessionCap = std::atoi(value());
+    } else if (arg == "--slice-events") {
+      cfg.sliceEvents = std::strtoull(value(), nullptr, 0);
+    } else if (arg == "--status-out") {
+      statusOut = value();
+    } else if (arg == "--verify-solo") {
+      verifySolo = true;
+    } else if (arg == "--help" || arg == "-h") {
+      printUsage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown serve option '%s'\n", arg.c_str());
+      return 1;
+    }
+  }
+  if (sessions < 1) {
+    std::fprintf(stderr, "--sessions must be at least 1\n");
+    return 1;
+  }
+  if (cfg.threads < 1 || cfg.sessionCap < 1 || cfg.sliceEvents < 1) {
+    std::fprintf(stderr,
+                 "--threads, --session-cap and --slice-events must be >= 1\n");
+    return 1;
+  }
+
+  std::vector<must::SessionSpec> specs;
+  specs.reserve(static_cast<std::size_t>(sessions));
+  for (std::int32_t i = 0; i < sessions; ++i) {
+    specs.push_back(makeServeSession(i, seed + static_cast<std::uint64_t>(i)));
+  }
+
+  must::ServeServer server(cfg);
+  for (const must::SessionSpec& spec : specs) server.submit(spec);
+  server.run();
+
+  for (const must::SessionResult& r : server.results()) {
+    std::printf("%-24s %s rounds=%llu events=%llu\n", r.name.c_str(),
+                r.summary.c_str(), static_cast<unsigned long long>(r.rounds),
+                static_cast<unsigned long long>(r.eventsExecuted));
+  }
+  std::printf(
+      "serve: %llu admitted, %llu completed, %llu evicted, %llu deadlocks, "
+      "%llu rounds\n",
+      static_cast<unsigned long long>(server.admitted()),
+      static_cast<unsigned long long>(server.completed()),
+      static_cast<unsigned long long>(server.evicted()),
+      static_cast<unsigned long long>(server.deadlocks()),
+      static_cast<unsigned long long>(server.roundsRun()));
+
+  if (!statusOut.empty()) {
+    std::ofstream out(statusOut, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", statusOut.c_str());
+      return 1;
+    }
+    out << server.statusJson();
+  }
+
+  if (verifySolo) {
+    std::int32_t mismatches = 0;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      const must::SessionResult solo = must::runSessionSolo(specs[i]);
+      const must::SessionResult& served = server.results()[i];
+      const auto differs = [&](const char* what) {
+        std::fprintf(stderr, "serve: PARITY MISMATCH %s: %s\n",
+                     served.name.c_str(), what);
+        ++mismatches;
+      };
+      if (solo.deadlock != served.deadlock) differs("verdict");
+      else if (solo.detections != served.detections) differs("detections");
+      else if (solo.completionTime != served.completionTime) {
+        differs("completion time");
+      } else if (solo.traceHash != served.traceHash) differs("trace hash");
+      else if (solo.metricsJson != served.metricsJson) differs("metrics JSON");
+      else if (solo.dot != served.dot) differs("DOT");
+      else if (solo.summary != served.summary) differs("summary");
+    }
+    if (mismatches > 0) return 3;
+    std::printf("serve: all %zu sessions byte-identical to solo runs\n",
+                specs.size());
+  }
+  return server.deadlocks() > 0 ? 2 : 0;
 }
 
 std::optional<mpi::Runtime::Program> makeWorkload(const Options& opt) {
@@ -795,6 +970,7 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   if (command == "list") return listWorkloads();
   if (command == "fuzz") return runFuzz(argc, argv);
+  if (command == "serve") return runServe(argc, argv);
   if (command != "run" && command != "top") {
     printUsage();
     return 1;
